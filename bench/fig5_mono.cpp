@@ -1,0 +1,81 @@
+//===- bench/fig5_mono.cpp - Paper Figure 5 (a) and (b) --------------------===//
+//
+// Part of the Vapor SIMD reproduction.
+//
+// Figure 5: "Mono: normalized vectorization impact, ratio of (A/C)/(E/F),
+// higher is better" — the speedup vectorization yields under the
+// resource-constrained (weak, Mono-like) JIT, normalized by the speedup it
+// yields under native compilation, per kernel, on SSE and AltiVec.
+//
+// The binary prints both sub-figures; pass "sse" or "altivec" to print
+// just one.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "vapor/Pipeline.h"
+
+#include <cstring>
+
+using namespace vapor;
+using namespace vapor::bench;
+
+namespace {
+
+double vectorizationImpact(const kernels::Kernel &K,
+                           const target::TargetDesc &T, bool Weak) {
+  RunOptions O;
+  O.Target = T;
+  O.Tier = Weak ? jit::Tier::Weak : jit::Tier::Strong;
+  Flow VecFlow = Weak ? Flow::SplitVectorized : Flow::NativeVectorized;
+  Flow ScaFlow = Weak ? Flow::SplitScalar : Flow::NativeScalar;
+  uint64_t Vec = runKernel(K, VecFlow, O).Cycles;
+  uint64_t Sca = runKernel(K, ScaFlow, O).Cycles;
+  return static_cast<double>(Sca) / static_cast<double>(Vec);
+}
+
+void figure5(const target::TargetDesc &T, const char *Caption) {
+  printHeader(std::string("Figure 5") + Caption +
+              ": Mono JIT, normalized vectorization impact "
+              "(split speedup / native speedup, higher is better)");
+  printColumnLabels({"split-spdp", "native-spdp", "normalized"});
+
+  std::vector<double> Normalized;
+  auto Emit = [&](const std::string &Name, double SplitImpact,
+                  double NativeImpact) {
+    double Norm = SplitImpact / NativeImpact;
+    Normalized.push_back(Norm);
+    printRow(Name, {{"s", SplitImpact}, {"n", NativeImpact}, {"r", Norm}});
+  };
+
+  for (const kernels::Kernel &K : kernels::table2Kernels()) {
+    double S = vectorizationImpact(K, T, /*Weak=*/true);
+    double N = vectorizationImpact(K, T, /*Weak=*/false);
+    Emit(K.Name, S, N);
+  }
+  // The paper plots one bar for the Polybench suite average.
+  std::vector<double> PolyS, PolyN;
+  for (const kernels::Kernel &K : kernels::polybenchKernels()) {
+    PolyS.push_back(vectorizationImpact(K, T, true));
+    PolyN.push_back(vectorizationImpact(K, T, false));
+  }
+  Emit("polybench_avg", arithMean(PolyS), arithMean(PolyN));
+
+  std::printf("%-18s  %10s  %10s  %10.3f\n", "Arith.Mean", "", "",
+              arithMean(Normalized));
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool DoSse = true, DoAltivec = true;
+  if (argc > 1 && argv[1][0] != '-') { // Flags (e.g. benchmark's) ignored.
+    DoSse = std::strcmp(argv[1], "sse") == 0;
+    DoAltivec = std::strcmp(argv[1], "altivec") == 0;
+  }
+  if (DoSse)
+    figure5(target::sseTarget(), "(a) SSE (128-bit)");
+  if (DoAltivec)
+    figure5(target::altivecTarget(), "(b) AltiVec (128-bit)");
+  return 0;
+}

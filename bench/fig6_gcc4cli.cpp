@@ -1,0 +1,67 @@
+//===- bench/fig6_gcc4cli.cpp - Paper Figure 6 (a), (b), (c) ----------------===//
+//
+// Part of the Vapor SIMD reproduction.
+//
+// Figure 6: "gcc4cli: normalized vectorization times, ratio (D)/(F), lower
+// is better" — execution time of split-vectorized code compiled by the
+// strong online compiler, normalized by natively-vectorized code, for all
+// 32 kernels on SSE, AltiVec, and NEON, with the harmonic mean the paper
+// reports (0.8x..1x).
+//
+// Pass "sse", "altivec" or "neon" to print one sub-figure.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "vapor/Pipeline.h"
+
+#include <cstring>
+
+using namespace vapor;
+using namespace vapor::bench;
+
+namespace {
+
+void figure6(const target::TargetDesc &T, const char *Caption) {
+  printHeader(std::string("Figure 6") + Caption +
+              ": gcc4cli, normalized execution time "
+              "(split / native, lower is better)");
+  printColumnLabels({"split-cyc", "native-cyc", "normalized"});
+
+  std::vector<double> Ratios;
+  for (const kernels::Kernel &K : kernels::allKernels()) {
+    RunOptions O;
+    O.Target = T;
+    O.Tier = jit::Tier::Strong;
+    RunOutcome Split = runKernel(K, Flow::SplitVectorized, O);
+    RunOutcome Native = runKernel(K, Flow::NativeVectorized, O);
+    double Ratio = static_cast<double>(Split.Cycles) /
+                   static_cast<double>(Native.Cycles);
+    Ratios.push_back(Ratio);
+    std::string Name = K.Name;
+    if (Split.Scalarized)
+      Name += "*"; // Scalarized on this target (e.g. f64 on AltiVec).
+    printRow(Name, {{"s", static_cast<double>(Split.Cycles)},
+                    {"n", static_cast<double>(Native.Cycles)},
+                    {"r", Ratio}});
+  }
+  std::printf("%-18s  %10s  %10s  %10.3f\n", "Har.Mean", "", "",
+              harmonicMean(Ratios));
+  std::printf("(* = scalarized by the online compiler on this target)\n");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool All = argc <= 1 || argv[1][0] == '-';
+  auto Want = [&](const char *Name) {
+    return All || std::strcmp(argv[1], Name) == 0;
+  };
+  if (Want("sse"))
+    figure6(target::sseTarget(), "(a) SSE (128-bit)");
+  if (Want("altivec"))
+    figure6(target::altivecTarget(), "(b) AltiVec (128-bit)");
+  if (Want("neon"))
+    figure6(target::neonTarget(), "(c) NEON (64-bit)");
+  return 0;
+}

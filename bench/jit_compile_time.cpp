@@ -1,0 +1,155 @@
+//===- bench/jit_compile_time.cpp - JIT compile time (Sec. V-A(c)) ----------===//
+//
+// Part of the Vapor SIMD reproduction.
+//
+// "We observed a similar increase of 4.85x/5.37x in compile time on
+// x86/PowerPC, respectively, confirming that JIT compilation time is
+// proportional to the bytecode size. Overall, the JIT compile time
+// remained negligible ... in the microsecond range."
+//
+// Built on google-benchmark: wall-clock time of the online compiler on
+// scalar vs vectorized bytecode, followed by a printed ratio summary.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "bytecode/Bytecode.h"
+#include "jit/Jit.h"
+#include "kernels/Kernels.h"
+#include "vectorizer/Vectorizer.h"
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+
+using namespace vapor;
+
+namespace {
+
+struct Prepared {
+  ir::Function Scalar{""};
+  ir::Function Vector{""};
+  size_t ScalarBytes = 0;
+  size_t VectorBytes = 0;
+};
+
+Prepared prepare(const std::string &Name) {
+  kernels::Kernel K = kernels::kernelByName(Name);
+  Prepared P;
+  P.Scalar = K.Source;
+  P.Vector = vectorizer::vectorize(K.Source).Output;
+  P.ScalarBytes = bytecode::encodedSize(P.Scalar);
+  P.VectorBytes = bytecode::encodedSize(P.Vector);
+  return P;
+}
+
+void jitOnce(const ir::Function &F, const target::TargetDesc &T) {
+  auto RT = jit::RuntimeInfo::unknown(F.Arrays.size());
+  auto CR = jit::compile(F, T, RT);
+  benchmark::DoNotOptimize(CR.Code.Instrs.data());
+}
+
+void BM_JitScalarBytecode(benchmark::State &State,
+                          const std::string &Kernel,
+                          target::TargetDesc T) {
+  Prepared P = prepare(Kernel);
+  for (auto _ : State)
+    jitOnce(P.Scalar, T);
+  State.counters["bytecode_bytes"] = static_cast<double>(P.ScalarBytes);
+}
+
+void BM_JitVectorBytecode(benchmark::State &State,
+                          const std::string &Kernel,
+                          target::TargetDesc T) {
+  Prepared P = prepare(Kernel);
+  for (auto _ : State)
+    jitOnce(P.Vector, T);
+  State.counters["bytecode_bytes"] = static_cast<double>(P.VectorBytes);
+}
+
+const char *SampleKernels[] = {"saxpy_fp", "sfir_s16", "dissolve_s8",
+                               "convolve_s32", "mmm_fp"};
+
+void registerAll() {
+  for (const char *K : SampleKernels) {
+    for (auto [TName, T] :
+         {std::pair<const char *, target::TargetDesc>{"sse",
+                                                      target::sseTarget()},
+          {"altivec", target::altivecTarget()}}) {
+      benchmark::RegisterBenchmark(
+          (std::string("jit_scalar/") + K + "/" + TName).c_str(),
+          [K = std::string(K), T](benchmark::State &S) {
+            BM_JitScalarBytecode(S, K, T);
+          });
+      benchmark::RegisterBenchmark(
+          (std::string("jit_vector/") + K + "/" + TName).c_str(),
+          [K = std::string(K), T](benchmark::State &S) {
+            BM_JitVectorBytecode(S, K, T);
+          });
+    }
+  }
+}
+
+/// After the timed runs, print the paper-style summary: compile-time
+/// ratio vs bytecode-size ratio across the whole suite, measured once.
+void printRatioSummary() {
+  using Clock = std::chrono::steady_clock;
+  bench::printHeader(
+      "JIT compile time: vectorized vs scalar bytecode (paper: ~4.85x on "
+      "x86 / ~5.37x on PowerPC, proportional to bytecode size)");
+  bench::printColumnLabels({"time-ratio", "size-ratio", "us-vector"});
+
+  for (auto [TName, T] :
+       {std::pair<const char *, target::TargetDesc>{"sse",
+                                                    target::sseTarget()},
+        {"altivec", target::altivecTarget()}}) {
+    std::vector<double> TimeRatios, SizeRatios;
+    double SumVecMicros = 0;
+    unsigned Count = 0;
+    for (const kernels::Kernel &K : kernels::allKernels()) {
+      Prepared P;
+      P.Scalar = K.Source;
+      auto VR = vectorizer::vectorize(K.Source);
+      if (!VR.anyVectorized())
+        continue;
+      P.Vector = std::move(VR.Output);
+      auto Time = [&](const ir::Function &F) {
+        // Median of repeated runs to tame scheduler noise.
+        std::vector<double> Micros;
+        for (int Rep = 0; Rep < 7; ++Rep) {
+          auto T0 = Clock::now();
+          jitOnce(F, T);
+          auto T1 = Clock::now();
+          Micros.push_back(
+              std::chrono::duration<double, std::micro>(T1 - T0).count());
+        }
+        std::sort(Micros.begin(), Micros.end());
+        return Micros[Micros.size() / 2];
+      };
+      double ScalarUs = Time(P.Scalar);
+      double VectorUs = Time(P.Vector);
+      TimeRatios.push_back(VectorUs / ScalarUs);
+      SizeRatios.push_back(
+          static_cast<double>(bytecode::encodedSize(P.Vector)) /
+          static_cast<double>(bytecode::encodedSize(P.Scalar)));
+      SumVecMicros += VectorUs;
+      ++Count;
+    }
+    bench::printRow(std::string("avg/") + TName,
+                    {{"t", bench::arithMean(TimeRatios)},
+                     {"s", bench::arithMean(SizeRatios)},
+                     {"us", SumVecMicros / Count}});
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  registerAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  printRatioSummary();
+  return 0;
+}

@@ -1,0 +1,53 @@
+//===- examples/audio_pipeline.cpp - External buffers and versioning -------===//
+//
+// Part of the Vapor SIMD reproduction.
+//
+// A host application hands the kernel audio buffers it allocated itself —
+// the compiler can neither force nor assume their alignment (the paper's
+// mix_streams situation). The offline stage therefore emits an alignment
+// version guard; at run time the guard routes well-aligned buffers to the
+// fast aligned loop and odd ones to the fall-back, with identical audio
+// either way. The example mixes two stereo streams and reports the cycle
+// cost of both placements.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/Kernels.h"
+#include "vapor/Pipeline.h"
+
+#include <cstdio>
+
+using namespace vapor;
+
+int main() {
+  kernels::Kernel Mix = kernels::kernelByName("mix_streams_s16");
+  std::printf("kernel: %s (features:", Mix.Name.c_str());
+  for (const auto &F : Mix.Features)
+    std::printf(" %s", F.c_str());
+  std::printf(")\n\n");
+
+  // The split bytecode contains the guard regardless of placement.
+  auto VR = vectorizer::vectorize(Mix.Source);
+  bool HasGuard =
+      VR.Output.str().find("bases_aligned") != std::string::npos;
+  std::printf("offline stage emitted an alignment version guard: %s\n\n",
+              HasGuard ? "yes" : "no");
+
+  std::printf("%-26s %12s %10s\n", "buffer placement", "cycles", "output");
+  for (uint32_t Mis : {0u, 8u}) {
+    RunOptions O;
+    O.Target = target::sseTarget();
+    O.ExternalMisalign = Mis; // Where the host put the buffers.
+    RunOutcome Out = runKernel(Mix, Flow::SplitVectorized, O);
+    std::string Err;
+    bool Ok = checkAgainstGolden(Mix, Out, Err);
+    std::printf("%-26s %12llu %10s\n",
+                Mis == 0 ? "16-byte aligned" : "8-byte misaligned",
+                static_cast<unsigned long long>(Out.Cycles),
+                Ok ? "bit-exact" : Err.c_str());
+  }
+
+  std::printf("\nSame compiled method, both placements correct; the guard "
+              "only decides how fast.\n");
+  return 0;
+}

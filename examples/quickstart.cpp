@@ -1,0 +1,78 @@
+//===- examples/quickstart.cpp - Vapor SIMD in five minutes ----------------===//
+//
+// Part of the Vapor SIMD reproduction.
+//
+// Builds a scalar saxpy in the IR, auto-vectorizes it once into
+// VS-agnostic split bytecode, JIT-compiles that same bytecode for an
+// SSE-class machine and for a machine with no SIMD at all, runs both, and
+// checks the results — "auto-vectorize once, run everywhere" end to end.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+#include "ir/Verifier.h"
+#include "jit/Jit.h"
+#include "target/VM.h"
+#include "vectorizer/Vectorizer.h"
+
+#include <cstdio>
+
+using namespace vapor;
+using namespace vapor::ir;
+using namespace vapor::target;
+
+int main() {
+  // --- 1. Write the scalar kernel in the IR -----------------------------
+  //
+  //   for (i = 0; i < n; ++i) y[i] += alpha * x[i];
+  //
+  // Arrays declare only element alignment: portable bytecode cannot
+  // assume the runtime aligns anything (that is the point of the paper's
+  // alignment hints and versioning).
+  Function F("saxpy");
+  uint32_t X = F.addArray("x", ScalarKind::F32, 1024, 4);
+  uint32_t Y = F.addArray("y", ScalarKind::F32, 1024, 4);
+  ValueId N = F.addParam("n", Type::scalar(ScalarKind::I64));
+  ValueId Alpha = F.addParam("alpha", Type::scalar(ScalarKind::F32));
+  IrBuilder B(F);
+  auto L = B.beginLoop(B.constIdx(0), N, B.constIdx(1));
+  B.store(Y, L.indVar(),
+          B.add(B.load(Y, L.indVar()), B.mul(Alpha, B.load(X, L.indVar()))));
+  B.endLoop(L);
+  verifyOrDie(F);
+
+  // --- 2. Auto-vectorize once (offline stage) ---------------------------
+  auto VR = vectorizer::vectorize(F);
+  std::printf("offline stage: %s\n",
+              VR.anyVectorized() ? "loop vectorized (VS-agnostic bytecode)"
+                                 : "nothing vectorized?!");
+  std::printf("\n--- split-layer bytecode ---\n%s\n",
+              VR.Output.str().c_str());
+
+  // --- 3. Run everywhere (online stage per target) ----------------------
+  for (const TargetDesc &T : {sseTarget(), scalarTarget()}) {
+    MemoryImage Mem;
+    for (const auto &A : VR.Output.Arrays)
+      Mem.addArray(A, 0);
+    for (int I = 0; I < 1024; ++I) {
+      Mem.pokeFP(X, I, I * 0.5);
+      Mem.pokeFP(Y, I, 1.0);
+    }
+    auto CR = jit::compile(VR.Output, T, jit::RuntimeInfo::fromMemory(Mem));
+    VM Machine(CR.Code, T, Mem);
+    Machine.setParamInt("n", 1024);
+    Machine.setParamFP("alpha", 2.0);
+    Machine.run();
+
+    bool Ok = true;
+    for (int I = 0; I < 1024; ++I)
+      Ok &= Mem.peekFP(Y, I) == 1.0f + 2.0f * (I * 0.5f);
+    std::printf("target %-7s: %8llu cycles, %s%s\n", T.Name.c_str(),
+                static_cast<unsigned long long>(Machine.cycles()),
+                Ok ? "results correct" : "RESULTS WRONG",
+                CR.Scalarized ? " (scalarized)" : "");
+  }
+  std::printf("\nSame bytecode, both machines — that is split "
+              "vectorization.\n");
+  return 0;
+}

@@ -1,0 +1,114 @@
+//===- analysis/Affine.cpp - Affine scalar evolution -----------------------===//
+//
+// Part of the Vapor SIMD reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Affine.h"
+
+#include "support/Support.h"
+
+#include <sstream>
+
+using namespace vapor;
+using namespace vapor::analysis;
+using namespace vapor::ir;
+
+AffineExpr AffineExpr::dropTerm(ValueId V) const {
+  AffineExpr R = *this;
+  R.Terms.erase(V);
+  return R;
+}
+
+AffineExpr AffineExpr::add(const AffineExpr &O) const {
+  if (!Valid || !O.Valid)
+    return invalid();
+  AffineExpr R = *this;
+  R.Const += O.Const;
+  for (const auto &[V, C] : O.Terms) {
+    int64_t &Slot = R.Terms[V];
+    Slot += C;
+    if (Slot == 0)
+      R.Terms.erase(V);
+  }
+  return R;
+}
+
+AffineExpr AffineExpr::negate() const { return mulConst(-1); }
+
+AffineExpr AffineExpr::sub(const AffineExpr &O) const {
+  return add(O.negate());
+}
+
+AffineExpr AffineExpr::mulConst(int64_t C) const {
+  if (!Valid)
+    return invalid();
+  if (C == 0)
+    return constant(0);
+  AffineExpr R = *this;
+  R.Const *= C;
+  for (auto &[V, Coeff] : R.Terms)
+    Coeff *= C;
+  return R;
+}
+
+std::string AffineExpr::str() const {
+  if (!Valid)
+    return "<invalid>";
+  std::ostringstream OS;
+  OS << Const;
+  for (const auto &[V, C] : Terms)
+    OS << (C >= 0 ? " + " : " - ") << (C >= 0 ? C : -C) << "*%" << V;
+  return OS.str();
+}
+
+const AffineExpr &AffineAnalysis::of(ValueId V) {
+  auto It = Cache.find(V);
+  if (It != Cache.end())
+    return It->second;
+  // Insert a placeholder symbol first so (malformed) cycles terminate.
+  Cache.emplace(V, AffineExpr::term(V));
+  AffineExpr E = compute(V);
+  return Cache[V] = E;
+}
+
+AffineExpr AffineAnalysis::compute(ValueId V) {
+  const ValueInfo &VI = F.Values[V];
+  // Induction variables, params, carried variables: their own term.
+  if (VI.Def != ValueDef::Instr)
+    return AffineExpr::term(V);
+  if (VI.Ty != Type::scalar(ScalarKind::I64))
+    return AffineExpr::term(V);
+
+  const Instr &I = F.instrOf(V);
+  switch (I.Op) {
+  case Opcode::ConstInt:
+    return AffineExpr::constant(I.IntImm);
+  case Opcode::Add:
+    return of(I.Ops[0]).add(of(I.Ops[1]));
+  case Opcode::Sub:
+    return of(I.Ops[0]).sub(of(I.Ops[1]));
+  case Opcode::Neg:
+    return of(I.Ops[0]).negate();
+  case Opcode::Mul: {
+    AffineExpr A = of(I.Ops[0]);
+    AffineExpr B = of(I.Ops[1]);
+    if (A.isConstant())
+      return B.mulConst(A.Const);
+    if (B.isConstant())
+      return A.mulConst(B.Const);
+    return AffineExpr::term(V);
+  }
+  case Opcode::Shl: {
+    AffineExpr A = of(I.Ops[0]);
+    AffineExpr B = of(I.Ops[1]);
+    if (B.isConstant() && B.Const >= 0 && B.Const < 63)
+      return A.mulConst(int64_t(1) << B.Const);
+    return AffineExpr::term(V);
+  }
+  default:
+    // Division, remainder, loads, idioms (get_VF, loop_bound, ...):
+    // opaque symbols. Subtraction still cancels equal symbols.
+    return AffineExpr::term(V);
+  }
+}

@@ -1,0 +1,97 @@
+//===- analysis/Affine.h - Affine scalar evolution -------------*- C++ -*-===//
+//
+// Part of the Vapor SIMD reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight scalar evolution: expresses integer IR values as affine
+/// forms  c0 + sum(ci * term_i)  where terms are loop induction variables,
+/// parameters, or opaque symbols (any value the analysis cannot see
+/// through becomes its own symbol). Symbolic terms cancel under
+/// subtraction, which is what the dependence and alignment analyses need:
+/// a[i+2] and a[i] differ by the constant 2 even when the surrounding
+/// expressions are built from unknown parameters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAPOR_ANALYSIS_AFFINE_H
+#define VAPOR_ANALYSIS_AFFINE_H
+
+#include "ir/Function.h"
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace vapor {
+namespace analysis {
+
+/// An affine form over value-id terms. Invalid means "not affine".
+struct AffineExpr {
+  bool Valid = false;
+  int64_t Const = 0;
+  /// Coefficient per term value (induction variables, params, opaque
+  /// symbols). Zero coefficients are never stored.
+  std::map<ir::ValueId, int64_t> Terms;
+
+  static AffineExpr invalid() { return AffineExpr(); }
+  static AffineExpr constant(int64_t C) {
+    AffineExpr E;
+    E.Valid = true;
+    E.Const = C;
+    return E;
+  }
+  static AffineExpr term(ir::ValueId V, int64_t Coeff = 1) {
+    AffineExpr E;
+    E.Valid = true;
+    if (Coeff)
+      E.Terms[V] = Coeff;
+    return E;
+  }
+
+  bool isConstant() const { return Valid && Terms.empty(); }
+
+  /// Coefficient of \p V (0 if absent).
+  int64_t coeff(ir::ValueId V) const {
+    auto It = Terms.find(V);
+    return It == Terms.end() ? 0 : It->second;
+  }
+
+  /// This expression with the \p V term removed.
+  AffineExpr dropTerm(ir::ValueId V) const;
+
+  AffineExpr add(const AffineExpr &O) const;
+  AffineExpr sub(const AffineExpr &O) const;
+  AffineExpr negate() const;
+  AffineExpr mulConst(int64_t C) const;
+
+  std::string str() const;
+  bool operator==(const AffineExpr &O) const {
+    return Valid == O.Valid && Const == O.Const && Terms == O.Terms;
+  }
+};
+
+/// Memoizing affine analysis over one function. Only I64-typed scalar
+/// values get non-trivial forms (index arithmetic is all I64 by IR rule);
+/// everything else becomes an opaque symbol.
+class AffineAnalysis {
+public:
+  explicit AffineAnalysis(const ir::Function &Fn) : F(Fn) {}
+
+  /// \returns the affine form of \p V. Always Valid: unanalyzable values
+  /// are returned as single-symbol forms, so callers detect "unknown" by
+  /// the presence of symbol terms they cannot interpret, not by Valid.
+  const AffineExpr &of(ir::ValueId V);
+
+private:
+  AffineExpr compute(ir::ValueId V);
+
+  const ir::Function &F;
+  std::map<ir::ValueId, AffineExpr> Cache;
+};
+
+} // namespace analysis
+} // namespace vapor
+
+#endif // VAPOR_ANALYSIS_AFFINE_H

@@ -1,0 +1,66 @@
+//===- analysis/Alignment.cpp - Access alignment analysis ------------------===//
+//
+// Part of the Vapor SIMD reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Alignment.h"
+
+using namespace vapor;
+using namespace vapor::analysis;
+using namespace vapor::ir;
+
+AccessShape analysis::accessShape(const Function &F, AffineAnalysis &AA,
+                                  const LoopNestInfo &Nest, uint32_t LoopIdx,
+                                  ValueId Index) {
+  (void)F;
+  AccessShape S;
+  ValueId Iv = F.Loops[LoopIdx].IndVar;
+  const AffineExpr &E = AA.of(Index);
+  S.IvCoeff = E.coeff(Iv);
+  AffineExpr Off = E.dropTerm(Iv);
+  S.OffsetConst = Off.Terms.empty();
+  S.OffsetElems = Off.Const;
+  S.OffsetTerms = Off.Terms;
+  S.OffsetInvariant = true;
+  for (const auto &[V, C] : Off.Terms) {
+    (void)C;
+    if (Nest.definesValue(LoopIdx, V))
+      S.OffsetInvariant = false;
+  }
+  return S;
+}
+
+AlignmentInfo analysis::alignmentOf(const Function &F, uint32_t Array,
+                                    const AccessShape &Shape) {
+  assert(Shape.IvCoeff == 1 && "alignment hints apply to contiguous access");
+  const ArrayInfo &A = F.Arrays[Array];
+  unsigned ES = scalarSize(A.Elem);
+
+  AlignmentInfo Info;
+  int64_t ModElems = AlignModBytes / ES;
+  if (!Shape.offsetKnownMod(ModElems)) {
+    // Variable residue: nothing can be said (mod = 0, the nulled hint).
+    Info.Hint.Mis = -1;
+    Info.Hint.Mod = 0;
+    return Info;
+  }
+
+  int64_t MisBytes = ((Shape.OffsetElems * ES) % AlignModBytes +
+                      AlignModBytes) %
+                     AlignModBytes;
+  if (A.BaseAlign >= static_cast<uint32_t>(AlignModBytes)) {
+    Info.Hint.Mis = static_cast<int32_t>(MisBytes);
+    Info.Hint.Mod = AlignModBytes;
+    Info.Hint.IfJitAligns = false;
+    return Info;
+  }
+
+  // Base alignment unknown offline: the hint is valid only if the online
+  // compiler can force the base to vector alignment (paper Sec. III-B(c),
+  // the "alternative approach" extra hint).
+  Info.Hint.Mis = static_cast<int32_t>(MisBytes);
+  Info.Hint.Mod = AlignModBytes;
+  Info.Hint.IfJitAligns = true;
+  return Info;
+}

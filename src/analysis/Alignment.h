@@ -1,0 +1,79 @@
+//===- analysis/Alignment.h - Access alignment analysis --------*- C++ -*-===//
+//
+// Part of the Vapor SIMD reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Computes the paper's misalignment hints (Sec. III-B(c)): for each
+/// contiguous access in a candidate loop, the misalignment of its first
+/// address relative to a Mod-byte boundary (Mod = 32, the largest SIMD
+/// width considered). Three outcomes:
+///
+///  - base alignment >= Mod and constant offset: mis known outright;
+///  - base alignment unknown but offset constant: mis known *conditional
+///    on the online compiler aligning array bases* (the IfJitAligns hint);
+///  - otherwise: unknown (mod = 0 — the nulled hint of fallback versions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAPOR_ANALYSIS_ALIGNMENT_H
+#define VAPOR_ANALYSIS_ALIGNMENT_H
+
+#include "analysis/Affine.h"
+#include "analysis/LoopAnalysis.h"
+
+namespace vapor {
+namespace analysis {
+
+/// The paper's reference modulo: 32 bytes, the largest SIMD width of any
+/// target in the study (AVX).
+constexpr int32_t AlignModBytes = 32;
+
+struct AccessShape {
+  /// Coefficient of the candidate loop's induction variable in the index
+  /// (1 = contiguous; 0 = invariant; k>1 = strided by k).
+  int64_t IvCoeff = 0;
+  /// True when the index minus IvCoeff*iv is a compile-time constant.
+  bool OffsetConst = false;
+  int64_t OffsetElems = 0;
+  /// True when the non-iv part contains only terms invariant in the loop.
+  bool OffsetInvariant = false;
+  /// Symbolic terms of the offset (value -> coefficient). A term whose
+  /// coefficient is a multiple of the alignment modulus contributes
+  /// nothing to misalignment (a row stride of 16 f32 elements is 64
+  /// bytes: every row base is 32-byte congruent).
+  std::map<ir::ValueId, int64_t> OffsetTerms;
+
+  /// True when the offset is congruent to OffsetElems modulo
+  /// \p ModElems for every execution (all symbolic coefficients divide).
+  bool offsetKnownMod(int64_t ModElems) const {
+    if (OffsetConst)
+      return true;
+    for (const auto &[V, C] : OffsetTerms) {
+      (void)V;
+      if (C % ModElems != 0)
+        return false;
+    }
+    return true;
+  }
+};
+
+/// Shape of \p Index relative to loop \p LoopIdx.
+AccessShape accessShape(const ir::Function &F, AffineAnalysis &AA,
+                        const LoopNestInfo &Nest, uint32_t LoopIdx,
+                        ir::ValueId Index);
+
+struct AlignmentInfo {
+  ir::AlignHint Hint; ///< mis/mod/IfJitAligns as encoded into the idioms.
+};
+
+/// Misalignment hint for a contiguous access of shape \p Shape to
+/// \p Array. \p Shape.IvCoeff must be 1.
+AlignmentInfo alignmentOf(const ir::Function &F, uint32_t Array,
+                          const AccessShape &Shape);
+
+} // namespace analysis
+} // namespace vapor
+
+#endif // VAPOR_ANALYSIS_ALIGNMENT_H

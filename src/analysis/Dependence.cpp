@@ -1,0 +1,109 @@
+//===- analysis/Dependence.cpp - Data-dependence testing -------------------===//
+//
+// Part of the Vapor SIMD reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dependence.h"
+
+using namespace vapor;
+using namespace vapor::analysis;
+using namespace vapor::ir;
+
+DepPair analysis::classifyPair(const Function &F, AffineAnalysis &AA,
+                               const LoopNestInfo &Nest, uint32_t LoopIdx,
+                               const MemAccess &A, const MemAccess &B) {
+  DepPair P;
+  P.A = A;
+  P.B = B;
+
+  if (A.Array != B.Array || (!A.IsWrite && !B.IsWrite)) {
+    P.Kind = DepKind::Independent;
+    return P;
+  }
+
+  ValueId Iv = F.Loops[LoopIdx].IndVar;
+  const AffineExpr &FA = AA.of(A.Index);
+  const AffineExpr &FB = AA.of(B.Index);
+
+  // Every non-iv term must be invariant with respect to the candidate
+  // loop; a loop-variant symbol (e.g. another value recomputed per
+  // iteration) makes the distance unanalyzable.
+  for (const AffineExpr *E : {&FA, &FB}) {
+    for (const auto &[V, C] : E->Terms) {
+      (void)C;
+      if (V != Iv && Nest.definesValue(LoopIdx, V)) {
+        P.Kind = DepKind::Unknown;
+        return P;
+      }
+    }
+  }
+
+  int64_t CoeffA = FA.coeff(Iv);
+  int64_t CoeffB = FB.coeff(Iv);
+  if (CoeffA != CoeffB) {
+    // General SIV with distinct coefficients: out of scope, conservative.
+    P.Kind = DepKind::Unknown;
+    return P;
+  }
+
+  AffineExpr Diff = FA.dropTerm(Iv).sub(FB.dropTerm(Iv));
+  if (!Diff.Terms.empty()) {
+    // Symbolic difference (e.g. a[i] vs a[i+n]): unknown distance.
+    P.Kind = DepKind::Unknown;
+    return P;
+  }
+
+  int64_t C = Diff.Const; // fA(i) - fB(i) == C for all i.
+  if (CoeffA == 0) {
+    // ZIV: both indexes invariant in the loop.
+    P.Kind = C == 0 ? DepKind::Carried : DepKind::Independent;
+    if (C == 0 && &A != &B)
+      P.Distance = 0; // Same location touched by every iteration.
+    if (C == 0)
+      P.Kind = DepKind::Carried; // Every-iteration conflict.
+    return P;
+  }
+
+  // fA(i1) == fB(i2)  <=>  Coeff*(i1 - i2) == -C.
+  if (C % CoeffA != 0) {
+    P.Kind = DepKind::Independent;
+    return P;
+  }
+  int64_t D = -C / CoeffA; // i2 = i1 + D.
+  if (D == 0) {
+    P.Kind = DepKind::SameIteration;
+    return P;
+  }
+  P.Kind = DepKind::Carried;
+  P.Distance = D;
+  return P;
+}
+
+DependenceResult analysis::analyzeDependences(const Function &F,
+                                              AffineAnalysis &AA,
+                                              const LoopNestInfo &Nest,
+                                              uint32_t LoopIdx) {
+  DependenceResult R;
+  std::vector<MemAccess> Accs = collectAccesses(F, F.Loops[LoopIdx].Body);
+  for (size_t I = 0; I < Accs.size(); ++I) {
+    for (size_t J = I; J < Accs.size(); ++J) {
+      // An access paired with itself still matters: a store revisiting the
+      // same address across iterations is an output dependence.
+      if (I == J && !Accs[I].IsWrite)
+        continue;
+      DepPair P = classifyPair(F, AA, Nest, LoopIdx, Accs[I], Accs[J]);
+      if (I == J && P.Kind == DepKind::SameIteration) {
+        // The access versus itself in the same iteration is trivially the
+        // same operation, not a conflict.
+        P.Kind = DepKind::Independent;
+      }
+      R.Pairs.push_back(P);
+      if (P.Kind == DepKind::Carried || P.Kind == DepKind::Unknown) {
+        R.Vectorizable = false;
+        R.Blockers.push_back(P);
+      }
+    }
+  }
+  return R;
+}

@@ -1,0 +1,70 @@
+//===- analysis/Dependence.h - Data-dependence testing ---------*- C++ -*-===//
+//
+// Part of the Vapor SIMD reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dependence analysis with distance abstraction (paper Sec. II(a)): for a
+/// candidate loop, every pair of accesses to the same array (at least one
+/// a write) is classified as independent, same-iteration, loop-carried
+/// with a constant distance, or unknown.
+///
+/// The offline compiler follows the paper's conservative policy: a loop
+/// with any carried or unknown dependence is not vectorized, because the
+/// vectorization factor is not known offline (Sec. III-B(b)). The distance
+/// is still reported, so the dependence-hint extension described there
+/// could be layered on without reworking the analysis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAPOR_ANALYSIS_DEPENDENCE_H
+#define VAPOR_ANALYSIS_DEPENDENCE_H
+
+#include "analysis/Affine.h"
+#include "analysis/LoopAnalysis.h"
+
+#include <string>
+#include <vector>
+
+namespace vapor {
+namespace analysis {
+
+enum class DepKind : uint8_t {
+  Independent,   ///< Never the same address.
+  SameIteration, ///< Same address only within one iteration (distance 0).
+  Carried,       ///< Constant nonzero iteration distance.
+  Unknown,       ///< Could not be analyzed.
+};
+
+struct DepPair {
+  MemAccess A;
+  MemAccess B;
+  DepKind Kind = DepKind::Unknown;
+  int64_t Distance = 0; ///< Meaningful for Carried.
+};
+
+struct DependenceResult {
+  /// True iff every pair is Independent or SameIteration.
+  bool Vectorizable = true;
+  /// Pairs that block vectorization (Carried/Unknown with a write).
+  std::vector<DepPair> Blockers;
+  /// All classified pairs (for diagnostics and tests).
+  std::vector<DepPair> Pairs;
+};
+
+/// Classifies one pair of accesses with respect to the induction variable
+/// \p Iv of candidate loop \p LoopIdx.
+DepPair classifyPair(const ir::Function &F, AffineAnalysis &AA,
+                     const LoopNestInfo &Nest, uint32_t LoopIdx,
+                     const MemAccess &A, const MemAccess &B);
+
+/// Tests every access pair in the body of loop \p LoopIdx.
+DependenceResult analyzeDependences(const ir::Function &F, AffineAnalysis &AA,
+                                    const LoopNestInfo &Nest,
+                                    uint32_t LoopIdx);
+
+} // namespace analysis
+} // namespace vapor
+
+#endif // VAPOR_ANALYSIS_DEPENDENCE_H

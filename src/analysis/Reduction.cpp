@@ -1,0 +1,101 @@
+//===- analysis/Reduction.cpp - Reduction and idiom matching ---------------===//
+//
+// Part of the Vapor SIMD reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Reduction.h"
+
+#include "analysis/LoopAnalysis.h"
+
+using namespace vapor;
+using namespace vapor::analysis;
+using namespace vapor::ir;
+
+std::optional<ReductionInfo> analysis::matchReduction(const Function &F,
+                                                      uint32_t LoopIdx,
+                                                      uint32_t CarriedIdx) {
+  const LoopStmt &L = F.Loops[LoopIdx];
+  const LoopStmt::CarriedVar &C = L.Carried[CarriedIdx];
+
+  const ValueInfo &NextInfo = F.Values[C.Next];
+  if (NextInfo.Def != ValueDef::Instr)
+    return std::nullopt;
+  const Instr &Update = F.Instrs[NextInfo.A];
+
+  ReductionKind Kind;
+  switch (Update.Op) {
+  case Opcode::Add:
+    Kind = ReductionKind::Plus;
+    break;
+  case Opcode::Min:
+    Kind = ReductionKind::Min;
+    break;
+  case Opcode::Max:
+    Kind = ReductionKind::Max;
+    break;
+  default:
+    return std::nullopt;
+  }
+
+  ValueId Contribution;
+  if (Update.Ops[0] == C.Phi)
+    Contribution = Update.Ops[1];
+  else if (Update.Ops[1] == C.Phi)
+    Contribution = Update.Ops[0];
+  else
+    return std::nullopt;
+
+  // The contribution must not feed from the accumulator, and the
+  // accumulator must have no use other than the update itself; otherwise
+  // partial sums in vector lanes would be observable.
+  if (dependsOn(F, Contribution, C.Phi))
+    return std::nullopt;
+  if (countUses(F, L.Body, C.Phi) != 1)
+    return std::nullopt;
+
+  ReductionInfo R;
+  R.Kind = Kind;
+  R.CarriedIdx = CarriedIdx;
+  R.UpdateInstr = NextInfo.A;
+  R.Contribution = Contribution;
+  return R;
+}
+
+std::optional<WideningMul> analysis::matchWideningMul(const Function &F,
+                                                      ValueId V) {
+  const ValueInfo &VI = F.Values[V];
+  if (VI.Def != ValueDef::Instr)
+    return std::nullopt;
+  const Instr &Mul = F.Instrs[VI.A];
+  if (Mul.Op != Opcode::Mul)
+    return std::nullopt;
+
+  auto StripWiden = [&](ValueId Op) -> std::optional<ValueId> {
+    const ValueInfo &OI = F.Values[Op];
+    if (OI.Def != ValueDef::Instr)
+      return std::nullopt;
+    const Instr &Cvt = F.Instrs[OI.A];
+    if (Cvt.Op != Opcode::Convert)
+      return std::nullopt;
+    ScalarKind Src = F.typeOf(Cvt.Ops[0]).Elem;
+    if (widenKind(Src) != Cvt.Ty.Elem)
+      return std::nullopt;
+    return Cvt.Ops[0];
+  };
+
+  auto A = StripWiden(Mul.Ops[0]);
+  auto B = StripWiden(Mul.Ops[1]);
+  if (!A || !B)
+    return std::nullopt;
+  ScalarKind KA = F.typeOf(*A).Elem;
+  ScalarKind KB = F.typeOf(*B).Elem;
+  if (KA != KB)
+    return std::nullopt;
+
+  WideningMul W;
+  W.NarrowA = *A;
+  W.NarrowB = *B;
+  W.NarrowKind = KA;
+  return W;
+}

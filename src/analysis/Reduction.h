@@ -1,0 +1,61 @@
+//===- analysis/Reduction.h - Reduction and idiom matching -----*- C++ -*-===//
+//
+// Part of the Vapor SIMD reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recognition of reduction cycles on loop-carried variables (paper
+/// Sec. II(a)) and of the computational idioms the split layer can express
+/// specially: widening multiply-accumulate (dot_product), widening
+/// multiplication, and the abs-difference pattern of SAD.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAPOR_ANALYSIS_REDUCTION_H
+#define VAPOR_ANALYSIS_REDUCTION_H
+
+#include "ir/Function.h"
+
+#include <optional>
+
+namespace vapor {
+namespace analysis {
+
+enum class ReductionKind : uint8_t { Plus, Min, Max };
+
+struct ReductionInfo {
+  ReductionKind Kind = ReductionKind::Plus;
+  uint32_t CarriedIdx = 0;
+  /// The update instruction (its result is the carried Next value).
+  uint32_t UpdateInstr = 0;
+  /// The per-iteration contribution X in  phi' = phi op X.
+  ir::ValueId Contribution = ir::NoValue;
+};
+
+/// Matches carried variable \p CarriedIdx of \p LoopIdx as a reduction:
+/// its next value must be  op(phi, X)  with op in {add, min, max}, X must
+/// not depend on phi, and phi must have no other use in the loop body.
+/// Floating-point additions are accepted (reassociation is permitted, as
+/// in the paper's use of GCC's vectorizer).
+std::optional<ReductionInfo> matchReduction(const ir::Function &F,
+                                            uint32_t LoopIdx,
+                                            uint32_t CarriedIdx);
+
+/// A widening multiplication: Mul(Convert(a), Convert(b)) where both
+/// conversions promote from the same kind K to widen(K).
+struct WideningMul {
+  ir::ValueId NarrowA = ir::NoValue;
+  ir::ValueId NarrowB = ir::NoValue;
+  ir::ScalarKind NarrowKind = ir::ScalarKind::None;
+};
+
+/// Matches \p V as a widening multiplication (the dot_product /
+/// widen_mult enabling pattern).
+std::optional<WideningMul> matchWideningMul(const ir::Function &F,
+                                            ir::ValueId V);
+
+} // namespace analysis
+} // namespace vapor
+
+#endif // VAPOR_ANALYSIS_REDUCTION_H

@@ -1,0 +1,507 @@
+//===- ir/Builder.cpp - IR construction helper ----------------------------===//
+//
+// Part of the Vapor SIMD reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+
+#include "support/Support.h"
+
+using namespace vapor;
+using namespace vapor::ir;
+
+Region &IrBuilder::resolve(const RegionRef &R) {
+  switch (R.K) {
+  case RegionRef::Kind::FuncBody:
+    return F.Body;
+  case RegionRef::Kind::LoopBody:
+    return F.Loops[R.Index].Body;
+  case RegionRef::Kind::IfThen:
+    return F.Ifs[R.Index].Then;
+  case RegionRef::Kind::IfElse:
+    return F.Ifs[R.Index].Else;
+  }
+  vapor_unreachable("bad region ref");
+}
+
+Region &IrBuilder::currentRegion() { return resolve(Stack.back()); }
+
+ValueId IrBuilder::emit(Instr I) {
+  uint32_t Idx = static_cast<uint32_t>(F.Instrs.size());
+  if (!I.Ty.isNone())
+    I.Result = F.makeValue(I.Ty, ValueDef::Instr, Idx);
+  ValueId Result = I.Result;
+  F.Instrs.push_back(std::move(I));
+  currentRegion().Nodes.push_back({NodeKind::Instr, Idx});
+  return Result;
+}
+
+ValueId IrBuilder::constInt(ScalarKind K, int64_t V) {
+  assert(isIntKind(K) || K == ScalarKind::I1);
+  Instr I;
+  I.Op = Opcode::ConstInt;
+  I.Ty = Type::scalar(K);
+  I.IntImm = V;
+  return emit(std::move(I));
+}
+
+ValueId IrBuilder::constFP(ScalarKind K, double V) {
+  assert(isFloatKind(K));
+  Instr I;
+  I.Op = Opcode::ConstFP;
+  I.Ty = Type::scalar(K);
+  I.FPImm = V;
+  return emit(std::move(I));
+}
+
+ValueId IrBuilder::binop(Opcode Op, ValueId A, ValueId B) {
+  assert(isBinArith(Op) && "not a binary arithmetic opcode");
+  Type TA = F.typeOf(A);
+  assert(TA == F.typeOf(B) && "binop operand type mismatch");
+  Instr I;
+  I.Op = Op;
+  I.Ty = TA;
+  I.Ops = {A, B};
+  return emit(std::move(I));
+}
+
+ValueId IrBuilder::neg(ValueId A) {
+  Instr I;
+  I.Op = Opcode::Neg;
+  I.Ty = F.typeOf(A);
+  I.Ops = {A};
+  return emit(std::move(I));
+}
+
+ValueId IrBuilder::abs(ValueId A) {
+  Instr I;
+  I.Op = Opcode::Abs;
+  I.Ty = F.typeOf(A);
+  I.Ops = {A};
+  return emit(std::move(I));
+}
+
+ValueId IrBuilder::sqrtOp(ValueId A) {
+  assert(isFloatKind(F.typeOf(A).Elem) && "sqrt is floating-point only");
+  Instr I;
+  I.Op = Opcode::Sqrt;
+  I.Ty = F.typeOf(A);
+  I.Ops = {A};
+  return emit(std::move(I));
+}
+
+ValueId IrBuilder::cmp(Opcode Op, ValueId A, ValueId B) {
+  assert(isCompare(Op) && "not a comparison opcode");
+  Type TA = F.typeOf(A);
+  assert(TA == F.typeOf(B) && "cmp operand type mismatch");
+  Instr I;
+  I.Op = Op;
+  I.Ty = Type(ScalarKind::I1, TA.Vector);
+  I.Ops = {A, B};
+  return emit(std::move(I));
+}
+
+ValueId IrBuilder::select(ValueId Cond, ValueId TrueV, ValueId FalseV) {
+  Type TT = F.typeOf(TrueV);
+  assert(TT == F.typeOf(FalseV) && "select arm type mismatch");
+  assert(F.typeOf(Cond).Elem == ScalarKind::I1 && "select needs i1 cond");
+  Instr I;
+  I.Op = Opcode::Select;
+  I.Ty = TT;
+  I.Ops = {Cond, TrueV, FalseV};
+  return emit(std::move(I));
+}
+
+ValueId IrBuilder::convert(ScalarKind Dst, ValueId V) {
+  Type TV = F.typeOf(V);
+  Instr I;
+  I.Op = Opcode::Convert;
+  I.Ty = Type(Dst, TV.Vector);
+  I.Ops = {V};
+  return emit(std::move(I));
+}
+
+ValueId IrBuilder::load(uint32_t Arr, ValueId Idx) {
+  assert(Arr < F.Arrays.size());
+  Instr I;
+  I.Op = Opcode::Load;
+  I.Ty = Type::scalar(F.Arrays[Arr].Elem);
+  I.Ops = {Idx};
+  I.Array = Arr;
+  return emit(std::move(I));
+}
+
+void IrBuilder::store(uint32_t Arr, ValueId Idx, ValueId V) {
+  assert(Arr < F.Arrays.size());
+  assert(F.typeOf(V) == Type::scalar(F.Arrays[Arr].Elem) &&
+         "store value/element type mismatch");
+  Instr I;
+  I.Op = Opcode::Store;
+  I.Ops = {Idx, V};
+  I.Array = Arr;
+  emit(std::move(I));
+}
+
+//===--- Idioms -------------------------------------------------------------//
+
+ValueId IrBuilder::getVF(ScalarKind K) {
+  Instr I;
+  I.Op = Opcode::GetVF;
+  I.Ty = Type::scalar(ScalarKind::I64);
+  I.TyParam = K;
+  return emit(std::move(I));
+}
+
+ValueId IrBuilder::getAlignLimit(ScalarKind K) {
+  Instr I;
+  I.Op = Opcode::GetAlignLimit;
+  I.Ty = Type::scalar(ScalarKind::I64);
+  I.TyParam = K;
+  return emit(std::move(I));
+}
+
+ValueId IrBuilder::getMisalign(uint32_t Arr, int64_t OffElems) {
+  Instr I;
+  I.Op = Opcode::GetMisalign;
+  I.Ty = Type::scalar(ScalarKind::I64);
+  I.Array = Arr;
+  I.IntImm = OffElems;
+  I.TyParam = F.Arrays[Arr].Elem;
+  return emit(std::move(I));
+}
+
+ValueId IrBuilder::initUniform(ValueId Val) {
+  Type TV = F.typeOf(Val);
+  assert(TV.isScalar());
+  Instr I;
+  I.Op = Opcode::InitUniform;
+  I.Ty = Type::vector(TV.Elem);
+  I.TyParam = TV.Elem;
+  I.Ops = {Val};
+  return emit(std::move(I));
+}
+
+ValueId IrBuilder::initAffine(ValueId Val, ValueId Inc) {
+  Type TV = F.typeOf(Val);
+  assert(TV.isScalar() && TV == F.typeOf(Inc));
+  Instr I;
+  I.Op = Opcode::InitAffine;
+  I.Ty = Type::vector(TV.Elem);
+  I.TyParam = TV.Elem;
+  I.Ops = {Val, Inc};
+  return emit(std::move(I));
+}
+
+ValueId IrBuilder::initReduc(ValueId Val, ValueId Default) {
+  Type TV = F.typeOf(Val);
+  assert(TV.isScalar() && TV == F.typeOf(Default));
+  Instr I;
+  I.Op = Opcode::InitReduc;
+  I.Ty = Type::vector(TV.Elem);
+  I.TyParam = TV.Elem;
+  I.Ops = {Val, Default};
+  return emit(std::move(I));
+}
+
+ValueId IrBuilder::reduc(Opcode Op, ValueId Vec) {
+  assert(Op == Opcode::ReducPlus || Op == Opcode::ReducMax ||
+         Op == Opcode::ReducMin);
+  Type TV = F.typeOf(Vec);
+  assert(TV.isVector());
+  Instr I;
+  I.Op = Op;
+  I.Ty = Type::scalar(TV.Elem);
+  I.TyParam = TV.Elem;
+  I.Ops = {Vec};
+  return emit(std::move(I));
+}
+
+ValueId IrBuilder::dotProduct(ValueId V1, ValueId V2, ValueId Acc) {
+  Type T1 = F.typeOf(V1);
+  assert(T1.isVector() && T1 == F.typeOf(V2));
+  ScalarKind Wide = widenKind(T1.Elem);
+  assert(F.typeOf(Acc) == Type::vector(Wide) && "dot accumulator kind");
+  Instr I;
+  I.Op = Opcode::DotProduct;
+  I.Ty = Type::vector(Wide);
+  I.TyParam = T1.Elem;
+  I.Ops = {V1, V2, Acc};
+  return emit(std::move(I));
+}
+
+static ValueId emitWiden(IrBuilder &B, Function &F, Opcode Op, ValueId V1,
+                         ValueId V2) {
+  Type T1 = F.typeOf(V1);
+  assert(T1.isVector() && T1 == F.typeOf(V2));
+  Instr I;
+  I.Op = Op;
+  I.Ty = Type::vector(widenKind(T1.Elem));
+  I.TyParam = T1.Elem;
+  I.Ops = {V1, V2};
+  return B.emit(std::move(I));
+}
+
+ValueId IrBuilder::widenMultHi(ValueId V1, ValueId V2) {
+  return emitWiden(*this, F, Opcode::WidenMultHi, V1, V2);
+}
+
+ValueId IrBuilder::widenMultLo(ValueId V1, ValueId V2) {
+  return emitWiden(*this, F, Opcode::WidenMultLo, V1, V2);
+}
+
+ValueId IrBuilder::pack(ValueId V1, ValueId V2) {
+  Type T1 = F.typeOf(V1);
+  assert(T1.isVector() && T1 == F.typeOf(V2));
+  ScalarKind Narrow = narrowKind(T1.Elem);
+  assert(Narrow != ScalarKind::None && "pack cannot narrow this kind");
+  Instr I;
+  I.Op = Opcode::Pack;
+  I.Ty = Type::vector(Narrow);
+  I.TyParam = Narrow;
+  I.Ops = {V1, V2};
+  return emit(std::move(I));
+}
+
+static ValueId emitUnpack(IrBuilder &B, Function &F, Opcode Op, ValueId V) {
+  Type TV = F.typeOf(V);
+  assert(TV.isVector());
+  Instr I;
+  I.Op = Op;
+  I.Ty = Type::vector(widenKind(TV.Elem));
+  I.TyParam = TV.Elem;
+  I.Ops = {V};
+  return B.emit(std::move(I));
+}
+
+ValueId IrBuilder::unpackHi(ValueId V) {
+  return emitUnpack(*this, F, Opcode::UnpackHi, V);
+}
+
+ValueId IrBuilder::unpackLo(ValueId V) {
+  return emitUnpack(*this, F, Opcode::UnpackLo, V);
+}
+
+ValueId IrBuilder::extract(int64_t Stride, int64_t Off,
+                           const std::vector<ValueId> &Vecs) {
+  assert(!Vecs.empty() && Stride >= 1 && Off >= 0 && Off < Stride);
+  assert(static_cast<int64_t>(Vecs.size()) == Stride &&
+         "extract needs Stride input vectors to produce a full vector");
+  Type TV = F.typeOf(Vecs.front());
+  for (ValueId V : Vecs)
+    assert(F.typeOf(V) == TV && "extract operand type mismatch");
+  Instr I;
+  I.Op = Opcode::Extract;
+  I.Ty = TV;
+  I.TyParam = TV.Elem;
+  I.Ops = Vecs;
+  I.IntImm = Off;
+  I.IntImm2 = Stride;
+  return emit(std::move(I));
+}
+
+static ValueId emitInterleave(IrBuilder &B, Function &F, Opcode Op, ValueId V1,
+                              ValueId V2) {
+  Type T1 = F.typeOf(V1);
+  assert(T1.isVector() && T1 == F.typeOf(V2));
+  Instr I;
+  I.Op = Op;
+  I.Ty = T1;
+  I.TyParam = T1.Elem;
+  I.Ops = {V1, V2};
+  return B.emit(std::move(I));
+}
+
+ValueId IrBuilder::interleaveHi(ValueId V1, ValueId V2) {
+  return emitInterleave(*this, F, Opcode::InterleaveHi, V1, V2);
+}
+
+ValueId IrBuilder::interleaveLo(ValueId V1, ValueId V2) {
+  return emitInterleave(*this, F, Opcode::InterleaveLo, V1, V2);
+}
+
+static Instr makeVecMem(Function &F, Opcode Op, uint32_t Arr, ValueId Idx) {
+  assert(Arr < F.Arrays.size());
+  Instr I;
+  I.Op = Op;
+  I.Ty = Type::vector(F.Arrays[Arr].Elem);
+  I.TyParam = F.Arrays[Arr].Elem;
+  I.Ops = {Idx};
+  I.Array = Arr;
+  return I;
+}
+
+ValueId IrBuilder::aload(uint32_t Arr, ValueId Idx) {
+  return emit(makeVecMem(F, Opcode::ALoad, Arr, Idx));
+}
+
+ValueId IrBuilder::uload(uint32_t Arr, ValueId Idx, AlignHint Hint) {
+  Instr I = makeVecMem(F, Opcode::ULoad, Arr, Idx);
+  I.Hint = Hint;
+  return emit(std::move(I));
+}
+
+void IrBuilder::astore(uint32_t Arr, ValueId Idx, ValueId V) {
+  assert(F.typeOf(V) == Type::vector(F.Arrays[Arr].Elem));
+  Instr I;
+  I.Op = Opcode::AStore;
+  I.Ops = {Idx, V};
+  I.Array = Arr;
+  I.TyParam = F.Arrays[Arr].Elem;
+  emit(std::move(I));
+}
+
+void IrBuilder::ustore(uint32_t Arr, ValueId Idx, ValueId V, AlignHint Hint) {
+  assert(F.typeOf(V) == Type::vector(F.Arrays[Arr].Elem));
+  Instr I;
+  I.Op = Opcode::UStore;
+  I.Ops = {Idx, V};
+  I.Array = Arr;
+  I.TyParam = F.Arrays[Arr].Elem;
+  I.Hint = Hint;
+  emit(std::move(I));
+}
+
+ValueId IrBuilder::alignLoad(uint32_t Arr, ValueId Idx) {
+  return emit(makeVecMem(F, Opcode::AlignLoad, Arr, Idx));
+}
+
+ValueId IrBuilder::getRT(uint32_t Arr, ValueId Idx, AlignHint Hint) {
+  Instr I;
+  I.Op = Opcode::GetRT;
+  I.Ty = Type::scalar(ScalarKind::U64);
+  I.Ops = {Idx};
+  I.Array = Arr;
+  I.TyParam = F.Arrays[Arr].Elem;
+  I.Hint = Hint;
+  return emit(std::move(I));
+}
+
+ValueId IrBuilder::realignLoad(ValueId V1, ValueId V2, ValueId RT,
+                               uint32_t Arr, ValueId Idx, AlignHint Hint) {
+  assert(Arr < F.Arrays.size());
+  Type VT = Type::vector(F.Arrays[Arr].Elem);
+  assert(F.typeOf(V1) == VT && F.typeOf(V2) == VT);
+  Instr I;
+  I.Op = Opcode::RealignLoad;
+  I.Ty = VT;
+  I.TyParam = F.Arrays[Arr].Elem;
+  I.Ops = {V1, V2, RT, Idx};
+  I.Array = Arr;
+  I.Hint = Hint;
+  return emit(std::move(I));
+}
+
+ValueId IrBuilder::loopBound(ValueId VectBound, ValueId ScalarBound) {
+  assert(F.typeOf(VectBound) == Type::scalar(ScalarKind::I64) &&
+         F.typeOf(ScalarBound) == Type::scalar(ScalarKind::I64));
+  Instr I;
+  I.Op = Opcode::LoopBound;
+  I.Ty = Type::scalar(ScalarKind::I64);
+  I.Ops = {VectBound, ScalarBound};
+  return emit(std::move(I));
+}
+
+ValueId IrBuilder::versionGuard(GuardKind Kind, std::vector<uint32_t> Args,
+                                ScalarKind TyParam) {
+  assert(Kind != GuardKind::None);
+  Instr I;
+  I.Op = Opcode::VersionGuard;
+  I.Ty = Type::scalar(ScalarKind::I1);
+  I.Guard = Kind;
+  I.GuardArgs = std::move(Args);
+  I.TyParam = TyParam;
+  return emit(std::move(I));
+}
+
+//===--- Structured control flow ---------------------------------------------//
+
+IrBuilder::LoopHandle IrBuilder::beginLoop(ValueId Lower, ValueId Upper,
+                                           ValueId Step, LoopRole Role) {
+  assert(F.typeOf(Lower) == Type::scalar(ScalarKind::I64) &&
+         F.typeOf(Upper) == Type::scalar(ScalarKind::I64) &&
+         F.typeOf(Step) == Type::scalar(ScalarKind::I64) &&
+         "loop bounds must be index-typed (i64)");
+  uint32_t Idx = static_cast<uint32_t>(F.Loops.size());
+  F.Loops.emplace_back();
+  LoopStmt &L = F.Loops.back();
+  L.Lower = Lower;
+  L.Upper = Upper;
+  L.Step = Step;
+  L.Role = Role;
+  L.IndVar = F.makeValue(Type::scalar(ScalarKind::I64), ValueDef::LoopInd, Idx);
+  currentRegion().Nodes.push_back({NodeKind::Loop, Idx});
+  Stack.push_back({RegionRef::Kind::LoopBody, Idx});
+  LoopHandle H;
+  H.LoopIdx = Idx;
+  H.IndVar = L.IndVar;
+  return H;
+}
+
+ValueId IrBuilder::addCarried(const LoopHandle &L, ValueId Init) {
+  assert(Stack.back().K == RegionRef::Kind::LoopBody &&
+         Stack.back().Index == L.LoopIdx &&
+         "addCarried outside the loop being built");
+  LoopStmt &Loop = F.Loops[L.LoopIdx];
+  uint32_t CIdx = static_cast<uint32_t>(Loop.Carried.size());
+  LoopStmt::CarriedVar C;
+  C.Init = Init;
+  C.Phi = F.makeValue(F.typeOf(Init), ValueDef::LoopCarried, L.LoopIdx, CIdx);
+  C.Result =
+      F.makeValue(F.typeOf(Init), ValueDef::LoopResult, L.LoopIdx, CIdx);
+  Loop.Carried.push_back(C);
+  return C.Phi;
+}
+
+void IrBuilder::setCarriedNext(const LoopHandle &L, ValueId Phi,
+                               ValueId Next) {
+  LoopStmt &Loop = F.Loops[L.LoopIdx];
+  for (auto &C : Loop.Carried) {
+    if (C.Phi != Phi)
+      continue;
+    assert(F.typeOf(Next) == F.typeOf(Phi) && "carried next type mismatch");
+    C.Next = Next;
+    return;
+  }
+  vapor_unreachable("phi is not a carried variable of this loop");
+}
+
+ValueId IrBuilder::carriedResult(const LoopHandle &L, ValueId Phi) const {
+  const LoopStmt &Loop = F.Loops[L.LoopIdx];
+  for (const auto &C : Loop.Carried)
+    if (C.Phi == Phi)
+      return C.Result;
+  vapor_unreachable("phi is not a carried variable of this loop");
+}
+
+void IrBuilder::endLoop(const LoopHandle &L) {
+  assert(Stack.back().K == RegionRef::Kind::LoopBody &&
+         Stack.back().Index == L.LoopIdx && "endLoop does not match");
+  for ([[maybe_unused]] const auto &C : F.Loops[L.LoopIdx].Carried)
+    assert(C.Next != NoValue && "carried variable without a next value");
+  Stack.pop_back();
+}
+
+uint32_t IrBuilder::beginIf(ValueId Cond) {
+  assert(F.typeOf(Cond) == Type::scalar(ScalarKind::I1) &&
+         "if condition must be scalar i1");
+  uint32_t Idx = static_cast<uint32_t>(F.Ifs.size());
+  F.Ifs.emplace_back();
+  F.Ifs[Idx].Cond = Cond;
+  currentRegion().Nodes.push_back({NodeKind::If, Idx});
+  Stack.push_back({RegionRef::Kind::IfThen, Idx});
+  return Idx;
+}
+
+void IrBuilder::beginElse(uint32_t IfIdx) {
+  assert(Stack.back().K == RegionRef::Kind::IfThen &&
+         Stack.back().Index == IfIdx && "beginElse does not match");
+  Stack.back().K = RegionRef::Kind::IfElse;
+}
+
+void IrBuilder::endIf(uint32_t IfIdx) {
+  assert((Stack.back().K == RegionRef::Kind::IfThen ||
+          Stack.back().K == RegionRef::Kind::IfElse) &&
+         Stack.back().Index == IfIdx && "endIf does not match");
+  Stack.pop_back();
+}

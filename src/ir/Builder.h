@@ -1,0 +1,167 @@
+//===- ir/Builder.h - IR construction helper -------------------*- C++ -*-===//
+//
+// Part of the Vapor SIMD reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// IrBuilder appends instructions and structured control flow to a
+/// Function. It maintains an insertion stack so loops and if-statements
+/// nest naturally:
+///
+/// \code
+///   Function F("saxpy");
+///   IrBuilder B(F);
+///   ValueId N = F.addParam("n", Type::scalar(ScalarKind::I64));
+///   auto L = B.beginLoop(B.constIdx(0), N, B.constIdx(1));
+///   ValueId X = B.load(XArr, L.indVar());
+///   ...
+///   B.endLoop(L);
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAPOR_IR_BUILDER_H
+#define VAPOR_IR_BUILDER_H
+
+#include "ir/Function.h"
+
+#include <vector>
+
+namespace vapor {
+namespace ir {
+
+class IrBuilder {
+public:
+  explicit IrBuilder(Function &Fn) : F(Fn) {}
+
+  Function &function() { return F; }
+
+  //===--- Constants ------------------------------------------------------===//
+
+  ValueId constInt(ScalarKind K, int64_t V);
+  ValueId constFP(ScalarKind K, double V);
+  /// Index-typed (I64) constant; loop bounds and indices use this.
+  ValueId constIdx(int64_t V) { return constInt(ScalarKind::I64, V); }
+
+  //===--- Base operations ------------------------------------------------===//
+
+  ValueId binop(Opcode Op, ValueId A, ValueId B);
+  ValueId add(ValueId A, ValueId B) { return binop(Opcode::Add, A, B); }
+  ValueId sub(ValueId A, ValueId B) { return binop(Opcode::Sub, A, B); }
+  ValueId mul(ValueId A, ValueId B) { return binop(Opcode::Mul, A, B); }
+  ValueId div(ValueId A, ValueId B) { return binop(Opcode::Div, A, B); }
+  ValueId rem(ValueId A, ValueId B) { return binop(Opcode::Rem, A, B); }
+  ValueId smin(ValueId A, ValueId B) { return binop(Opcode::Min, A, B); }
+  ValueId smax(ValueId A, ValueId B) { return binop(Opcode::Max, A, B); }
+  ValueId shl(ValueId A, ValueId B) { return binop(Opcode::Shl, A, B); }
+  ValueId shra(ValueId A, ValueId B) { return binop(Opcode::ShrA, A, B); }
+  ValueId shrl(ValueId A, ValueId B) { return binop(Opcode::ShrL, A, B); }
+
+  ValueId neg(ValueId A);
+  ValueId abs(ValueId A);
+  ValueId sqrtOp(ValueId A);
+  ValueId cmp(Opcode Op, ValueId A, ValueId B);
+  ValueId select(ValueId Cond, ValueId TrueV, ValueId FalseV);
+  /// Elementwise conversion to kind \p Dst (vectorness preserved).
+  ValueId convert(ScalarKind Dst, ValueId V);
+
+  ValueId load(uint32_t Arr, ValueId Idx);
+  void store(uint32_t Arr, ValueId Idx, ValueId V);
+
+  //===--- Split-layer idioms (paper Table 1) -----------------------------===//
+
+  ValueId getVF(ScalarKind K);
+  ValueId getAlignLimit(ScalarKind K);
+  /// Misalignment, in elements modulo the target alignment limit, of the
+  /// address \p Arr + \p OffElems. Materialized by the JIT.
+  ValueId getMisalign(uint32_t Arr, int64_t OffElems);
+
+  ValueId initUniform(ValueId Val);
+  ValueId initAffine(ValueId Val, ValueId Inc);
+  ValueId initReduc(ValueId Val, ValueId Default);
+
+  ValueId reduc(Opcode Op, ValueId Vec);
+  ValueId dotProduct(ValueId V1, ValueId V2, ValueId Acc);
+  ValueId widenMultHi(ValueId V1, ValueId V2);
+  ValueId widenMultLo(ValueId V1, ValueId V2);
+  ValueId pack(ValueId V1, ValueId V2);
+  ValueId unpackHi(ValueId V);
+  ValueId unpackLo(ValueId V);
+
+  ValueId extract(int64_t Stride, int64_t Off,
+                  const std::vector<ValueId> &Vecs);
+  ValueId interleaveHi(ValueId V1, ValueId V2);
+  ValueId interleaveLo(ValueId V1, ValueId V2);
+
+  ValueId aload(uint32_t Arr, ValueId Idx);
+  ValueId uload(uint32_t Arr, ValueId Idx, AlignHint Hint);
+  void astore(uint32_t Arr, ValueId Idx, ValueId V);
+  void ustore(uint32_t Arr, ValueId Idx, ValueId V, AlignHint Hint);
+  ValueId alignLoad(uint32_t Arr, ValueId Idx);
+  ValueId getRT(uint32_t Arr, ValueId Idx, AlignHint Hint);
+  ValueId realignLoad(ValueId V1, ValueId V2, ValueId RT, uint32_t Arr,
+                      ValueId Idx, AlignHint Hint);
+
+  ValueId loopBound(ValueId VectBound, ValueId ScalarBound);
+  ValueId versionGuard(GuardKind Kind, std::vector<uint32_t> Args,
+                       ScalarKind TyParam = ScalarKind::None);
+
+  //===--- Structured control flow ----------------------------------------===//
+
+  struct LoopHandle {
+    uint32_t LoopIdx = ~0u;
+    ValueId IndVar = NoValue;
+    ValueId indVar() const { return IndVar; }
+  };
+
+  /// Opens a counted loop over [Lower, Upper) step Step and pushes its body
+  /// as the insertion point.
+  LoopHandle beginLoop(ValueId Lower, ValueId Upper, ValueId Step,
+                       LoopRole Role = LoopRole::Plain);
+
+  /// Adds a loop-carried variable initialized to \p Init; \returns the
+  /// value readable inside the body. Must be called while \p L is the
+  /// innermost open loop.
+  ValueId addCarried(const LoopHandle &L, ValueId Init);
+
+  /// Sets the next-iteration value of carried variable \p Phi.
+  void setCarriedNext(const LoopHandle &L, ValueId Phi, ValueId Next);
+
+  /// \returns the value holding the final value of \p Phi after the loop.
+  ValueId carriedResult(const LoopHandle &L, ValueId Phi) const;
+
+  /// Closes the loop; verifies every carried variable has a Next value.
+  void endLoop(const LoopHandle &L);
+
+  /// Opens an if-statement and pushes the then-region.
+  uint32_t beginIf(ValueId Cond);
+  /// Switches insertion to the else-region of the innermost open if.
+  void beginElse(uint32_t IfIdx);
+  void endIf(uint32_t IfIdx);
+
+  //===--- Low-level escape hatch -----------------------------------------===//
+
+  /// Appends \p I to the current region; creates the result value when
+  /// \p I.Ty is not none. \returns the result value (or NoValue).
+  ValueId emit(Instr I);
+
+private:
+  /// Addresses a region stably across vector reallocation.
+  struct RegionRef {
+    enum class Kind : uint8_t { FuncBody, LoopBody, IfThen, IfElse } K;
+    uint32_t Index = 0;
+  };
+
+  Region &resolve(const RegionRef &R);
+  Region &currentRegion();
+
+  Function &F;
+  std::vector<RegionRef> Stack{
+      {RegionRef::Kind::FuncBody, 0}};
+};
+
+} // namespace ir
+} // namespace vapor
+
+#endif // VAPOR_IR_BUILDER_H

@@ -1,0 +1,117 @@
+//===- ir/Function.cpp - IR core implementation --------------------------===//
+//
+// Part of the Vapor SIMD reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Function.h"
+
+#include "support/Support.h"
+
+using namespace vapor;
+using namespace vapor::ir;
+
+namespace {
+
+struct OpcodeInfo {
+  const char *Mnemonic;
+  int NumOperands;
+  uint8_t Flags;
+};
+
+constexpr OpcodeInfo OpcodeTable[] = {
+#define VAPOR_OPCODE(NAME, MNEMONIC, NOPS, FLAGS)                              \
+  {MNEMONIC, NOPS, static_cast<uint8_t>(FLAGS)},
+#include "ir/Opcode.def"
+};
+
+} // namespace
+
+const char *ir::opcodeMnemonic(Opcode Op) {
+  return OpcodeTable[static_cast<unsigned>(Op)].Mnemonic;
+}
+
+int ir::opcodeNumOperands(Opcode Op) {
+  return OpcodeTable[static_cast<unsigned>(Op)].NumOperands;
+}
+
+uint8_t ir::opcodeFlags(Opcode Op) {
+  return OpcodeTable[static_cast<unsigned>(Op)].Flags;
+}
+
+const char *ir::scalarKindName(ScalarKind K) {
+  switch (K) {
+  case ScalarKind::None:
+    return "none";
+  case ScalarKind::I1:
+    return "i1";
+  case ScalarKind::I8:
+    return "i8";
+  case ScalarKind::U8:
+    return "u8";
+  case ScalarKind::I16:
+    return "i16";
+  case ScalarKind::U16:
+    return "u16";
+  case ScalarKind::I32:
+    return "i32";
+  case ScalarKind::U32:
+    return "u32";
+  case ScalarKind::I64:
+    return "i64";
+  case ScalarKind::U64:
+    return "u64";
+  case ScalarKind::F32:
+    return "f32";
+  case ScalarKind::F64:
+    return "f64";
+  }
+  vapor_unreachable("bad scalar kind");
+}
+
+std::string Type::str() const {
+  if (isNone())
+    return "void";
+  std::string S = scalarKindName(Elem);
+  if (Vector)
+    return "v" + S;
+  return S;
+}
+
+ValueId Function::addParam(const std::string &ParamName, Type Ty) {
+  assert(Ty.isScalar() && "parameters are scalars");
+  ValueId V = makeValue(Ty, ValueDef::Param, 0, 0);
+  Values[V].Name = ParamName;
+  Params.push_back(V);
+  return V;
+}
+
+uint32_t Function::addArray(const std::string &ArrName, ScalarKind Elem,
+                            uint64_t NumElems, uint32_t BaseAlign) {
+  assert(BaseAlign >= scalarSize(Elem) && isPowerOf2(BaseAlign) &&
+         "base alignment must be a power of two >= element size");
+  ArrayInfo AI;
+  AI.Name = ArrName;
+  AI.Elem = Elem;
+  AI.NumElems = NumElems;
+  AI.BaseAlign = BaseAlign;
+  Arrays.push_back(AI);
+  return static_cast<uint32_t>(Arrays.size() - 1);
+}
+
+uint32_t Function::arrayIdByName(const std::string &ArrName) const {
+  for (uint32_t I = 0, E = static_cast<uint32_t>(Arrays.size()); I != E; ++I)
+    if (Arrays[I].Name == ArrName)
+      return I;
+  vapor_unreachable("no array with that name");
+}
+
+ValueId Function::makeValue(Type Ty, ValueDef Def, uint32_t A, uint32_t B) {
+  ValueInfo VI;
+  VI.Ty = Ty;
+  VI.Def = Def;
+  VI.A = A;
+  VI.B = B;
+  Values.push_back(VI);
+  return static_cast<ValueId>(Values.size() - 1);
+}

@@ -1,0 +1,514 @@
+//===- ir/Interp.cpp - Golden-model IR evaluator ---------------------------===//
+//
+// Part of the Vapor SIMD reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Interp.h"
+
+#include "ir/ScalarOps.h"
+#include "support/Support.h"
+
+#include <cstring>
+
+using namespace vapor;
+using namespace vapor::ir;
+
+Evaluator::Evaluator(const Function &Fn, Options Opts)
+    : F(Fn), Opt(Opts) {
+  assert(isPowerOf2(Opt.VSBytes) && Opt.VSBytes >= 1 && Opt.VSBytes <= 32 &&
+         "vector size must be a power of two in [1, 32]");
+  Env.resize(F.Values.size());
+  Mem.resize(F.Arrays.size());
+}
+
+void Evaluator::allocArray(uint32_t Id, uint32_t BaseMisalign) {
+  assert(Id < Mem.size());
+  const ArrayInfo &A = F.Arrays[Id];
+  assert(BaseMisalign < 32 && BaseMisalign % scalarSize(A.Elem) == 0 &&
+         "misalignment must be a multiple of the element size");
+  ArrayMem &M = Mem[Id];
+  uint64_t Bytes = A.NumElems * scalarSize(A.Elem);
+  M.Storage.assign(Bytes + 2 * Pad, 0);
+  M.BaseAddr = alignUp(NextBase, 32) + BaseMisalign;
+  NextBase = M.BaseAddr + Bytes + 2 * Pad;
+  M.Allocated = true;
+}
+
+void Evaluator::allocAllArrays(uint32_t BaseMisalign) {
+  for (uint32_t I = 0, E = static_cast<uint32_t>(Mem.size()); I != E; ++I)
+    allocArray(I, BaseMisalign);
+}
+
+uint64_t Evaluator::arrayBaseAddr(uint32_t Id) const {
+  assert(Mem[Id].Allocated);
+  return Mem[Id].BaseAddr;
+}
+
+uint8_t *Evaluator::memAt(uint32_t Arr, uint64_t Addr, uint64_t Bytes) {
+  return const_cast<uint8_t *>(
+      static_cast<const Evaluator *>(this)->memAt(Arr, Addr, Bytes));
+}
+
+const uint8_t *Evaluator::memAt(uint32_t Arr, uint64_t Addr,
+                                uint64_t Bytes) const {
+  const ArrayMem &M = Mem[Arr];
+  assert(M.Allocated && "access to unallocated array");
+  uint64_t Lo = M.BaseAddr - Pad;
+  uint64_t Hi = M.BaseAddr + (M.Storage.size() - 2 * Pad) + Pad;
+  if (Addr < Lo || Addr + Bytes > Hi)
+    fatalError("out-of-bounds access to array " + F.Arrays[Arr].Name);
+  return M.Storage.data() + (Addr - Lo);
+}
+
+uint64_t Evaluator::readLane(uint32_t Arr, uint64_t Addr,
+                             ScalarKind K) const {
+  unsigned ES = scalarSize(K);
+  const uint8_t *P = memAt(Arr, Addr, ES);
+  uint64_t Raw = 0;
+  std::memcpy(&Raw, P, ES);
+  return Raw;
+}
+
+void Evaluator::writeLane(uint32_t Arr, uint64_t Addr, ScalarKind K,
+                          uint64_t Raw) {
+  unsigned ES = scalarSize(K);
+  uint8_t *P = memAt(Arr, Addr, ES);
+  std::memcpy(P, &Raw, ES);
+}
+
+VVal Evaluator::readVector(uint32_t Arr, uint64_t Addr, ScalarKind K) const {
+  unsigned ES = scalarSize(K);
+  unsigned Lanes = Opt.VSBytes / ES;
+  VVal V;
+  V.Kind = K;
+  V.Lanes.resize(Lanes);
+  for (unsigned L = 0; L < Lanes; ++L)
+    V.Lanes[L] = readLane(Arr, Addr + static_cast<uint64_t>(L) * ES, K);
+  return V;
+}
+
+void Evaluator::writeVector(uint32_t Arr, uint64_t Addr, const VVal &V) {
+  unsigned ES = scalarSize(V.Kind);
+  for (unsigned L = 0; L < V.Lanes.size(); ++L)
+    writeLane(Arr, Addr + static_cast<uint64_t>(L) * ES, V.Kind, V.Lanes[L]);
+}
+
+void Evaluator::pokeInt(uint32_t Id, uint64_t Elem, int64_t V) {
+  ScalarKind K = F.Arrays[Id].Elem;
+  writeLane(Id, Mem[Id].BaseAddr + Elem * scalarSize(K), K, encodeInt(K, V));
+}
+
+void Evaluator::pokeFP(uint32_t Id, uint64_t Elem, double V) {
+  ScalarKind K = F.Arrays[Id].Elem;
+  writeLane(Id, Mem[Id].BaseAddr + Elem * scalarSize(K), K, encodeFP(K, V));
+}
+
+int64_t Evaluator::peekInt(uint32_t Id, uint64_t Elem) const {
+  ScalarKind K = F.Arrays[Id].Elem;
+  return decodeInt(K, readLane(Id, Mem[Id].BaseAddr + Elem * scalarSize(K), K));
+}
+
+double Evaluator::peekFP(uint32_t Id, uint64_t Elem) const {
+  ScalarKind K = F.Arrays[Id].Elem;
+  return decodeFP(K, readLane(Id, Mem[Id].BaseAddr + Elem * scalarSize(K), K));
+}
+
+static ValueId findParam(const Function &F, const std::string &Name) {
+  for (ValueId P : F.Params)
+    if (F.Values[P].Name == Name)
+      return P;
+  fatalError("no parameter named " + Name);
+}
+
+void Evaluator::setParamInt(const std::string &Name, int64_t V) {
+  ValueId P = findParam(F, Name);
+  ScalarKind K = F.typeOf(P).Elem;
+  assert(isIntKind(K));
+  Env[P] = {K, {encodeInt(K, V)}};
+}
+
+void Evaluator::setParamFP(const std::string &Name, double V) {
+  ValueId P = findParam(F, Name);
+  ScalarKind K = F.typeOf(P).Elem;
+  assert(isFloatKind(K));
+  Env[P] = {K, {encodeFP(K, V)}};
+}
+
+int64_t Evaluator::scalarInt(ValueId V) const {
+  const VVal &X = Env[V];
+  assert(X.Lanes.size() == 1 && "expected scalar value");
+  return decodeInt(X.Kind, X.Lanes[0]);
+}
+
+uint64_t Evaluator::elemAddr(const Instr &I, ValueId IdxOp) const {
+  int64_t Idx = scalarInt(IdxOp);
+  const ArrayMem &M = Mem[I.Array];
+  return M.BaseAddr +
+         static_cast<uint64_t>(Idx) * scalarSize(F.Arrays[I.Array].Elem);
+}
+
+void Evaluator::run() {
+  DynOps = 0;
+  execRegion(F.Body);
+}
+
+void Evaluator::execRegion(const Region &R) {
+  for (const NodeRef &N : R.Nodes) {
+    switch (N.Kind) {
+    case NodeKind::Instr:
+      execInstr(F.Instrs[N.Index]);
+      break;
+    case NodeKind::Loop:
+      execLoop(F.Loops[N.Index]);
+      break;
+    case NodeKind::If:
+      execIf(F.Ifs[N.Index]);
+      break;
+    }
+  }
+}
+
+void Evaluator::execLoop(const LoopStmt &L) {
+  int64_t I = scalarInt(L.Lower);
+  int64_t Upper = scalarInt(L.Upper);
+  int64_t Step = scalarInt(L.Step);
+  assert(Step > 0 && "loops must count upward");
+
+  for (const auto &C : L.Carried)
+    Env[C.Phi] = Env[C.Init];
+
+  while (I < Upper) {
+    Env[L.IndVar] = {ScalarKind::I64, {static_cast<uint64_t>(I)}};
+    execRegion(L.Body);
+    for (const auto &C : L.Carried)
+      Env[C.Phi] = Env[C.Next];
+    I += Step;
+  }
+
+  for (const auto &C : L.Carried)
+    Env[C.Result] = Env[C.Phi];
+}
+
+void Evaluator::execIf(const IfStmt &S) {
+  const VVal &C = Env[S.Cond];
+  assert(C.Lanes.size() == 1);
+  execRegion(C.Lanes[0] ? S.Then : S.Else);
+}
+
+VVal Evaluator::evalGuard(const Instr &I) const {
+  bool Result = false;
+  switch (I.Guard) {
+  case GuardKind::BasesAligned: {
+    Result = true;
+    for (uint32_t A : I.GuardArgs)
+      Result &= isAligned(Mem[A].BaseAddr, Opt.VSBytes);
+    break;
+  }
+  case GuardKind::TypeSupported: {
+    Result = true;
+    for (ScalarKind K : Opt.UnsupportedVectorKinds)
+      if (K == I.TyParam)
+        Result = false;
+    break;
+  }
+  case GuardKind::PreferOuterLoop:
+    Result = Opt.PreferOuterLoop;
+    break;
+  case GuardKind::None:
+    vapor_unreachable("guard without kind");
+  }
+  return {ScalarKind::I1, {Result ? 1ULL : 0ULL}};
+}
+
+void Evaluator::execInstr(const Instr &I) {
+  ++DynOps;
+  auto Lanes = [&](ValueId V) -> const std::vector<uint64_t> & {
+    return Env[V].Lanes;
+  };
+  auto Set = [&](VVal V) {
+    assert(I.hasResult());
+    Env[I.Result] = std::move(V);
+  };
+
+  if (isBinArith(I.Op)) {
+    const auto &A = Lanes(I.Ops[0]);
+    const auto &B = Lanes(I.Ops[1]);
+    assert(A.size() == B.size());
+    VVal R{I.Ty.Elem, std::vector<uint64_t>(A.size())};
+    for (size_t L = 0; L < A.size(); ++L)
+      R.Lanes[L] = applyBinop(I.Op, I.Ty.Elem, A[L], B[L]);
+    Set(std::move(R));
+    return;
+  }
+  if (isCompare(I.Op)) {
+    const auto &A = Lanes(I.Ops[0]);
+    const auto &B = Lanes(I.Ops[1]);
+    ScalarKind OpK = F.typeOf(I.Ops[0]).Elem;
+    VVal R{ScalarKind::I1, std::vector<uint64_t>(A.size())};
+    for (size_t L = 0; L < A.size(); ++L)
+      R.Lanes[L] = applyCompare(I.Op, OpK, A[L], B[L]);
+    Set(std::move(R));
+    return;
+  }
+
+  switch (I.Op) {
+  case Opcode::ConstInt:
+    Set({I.Ty.Elem, {encodeInt(I.Ty.Elem, I.IntImm)}});
+    break;
+  case Opcode::ConstFP:
+    Set({I.Ty.Elem, {encodeFP(I.Ty.Elem, I.FPImm)}});
+    break;
+  case Opcode::Neg:
+  case Opcode::Abs:
+  case Opcode::Sqrt: {
+    const auto &A = Lanes(I.Ops[0]);
+    VVal R{I.Ty.Elem, std::vector<uint64_t>(A.size())};
+    for (size_t L = 0; L < A.size(); ++L)
+      R.Lanes[L] = applyUnop(I.Op, I.Ty.Elem, A[L]);
+    Set(std::move(R));
+    break;
+  }
+  case Opcode::Select: {
+    const auto &C = Lanes(I.Ops[0]);
+    const auto &A = Lanes(I.Ops[1]);
+    const auto &B = Lanes(I.Ops[2]);
+    VVal R{I.Ty.Elem, std::vector<uint64_t>(A.size())};
+    for (size_t L = 0; L < A.size(); ++L)
+      R.Lanes[L] = C[L] ? A[L] : B[L];
+    Set(std::move(R));
+    break;
+  }
+  case Opcode::Convert: {
+    ScalarKind Src = F.typeOf(I.Ops[0]).Elem;
+    const auto &A = Lanes(I.Ops[0]);
+    // A scalar->scalar or vector->vector conversion keeps the lane count
+    // of its operand. (Vector conversions between kinds of different
+    // widths are expressed via pack/unpack in the split layer; the
+    // vectorizer only emits same-width vector converts.)
+    VVal R{I.Ty.Elem, std::vector<uint64_t>(A.size())};
+    for (size_t L = 0; L < A.size(); ++L)
+      R.Lanes[L] = applyConvert(Src, I.Ty.Elem, A[L]);
+    Set(std::move(R));
+    break;
+  }
+  case Opcode::Load:
+    Set({I.Ty.Elem, {readLane(I.Array, elemAddr(I, I.Ops[0]), I.Ty.Elem)}});
+    break;
+  case Opcode::Store: {
+    const VVal &V = Env[I.Ops[1]];
+    writeLane(I.Array, elemAddr(I, I.Ops[0]), V.Kind, V.Lanes[0]);
+    break;
+  }
+
+  //===--- Machine-parameter idioms --------------------------------------===//
+  case Opcode::GetVF:
+  case Opcode::GetAlignLimit: {
+    int64_t V = Opt.VSBytes / scalarSize(I.TyParam);
+    Set({ScalarKind::I64, {static_cast<uint64_t>(V)}});
+    break;
+  }
+  case Opcode::GetMisalign: {
+    unsigned ES = scalarSize(F.Arrays[I.Array].Elem);
+    uint64_t AL = Opt.VSBytes / ES;
+    uint64_t BaseElems = Mem[I.Array].BaseAddr / ES;
+    Set({ScalarKind::I64,
+         {(BaseElems + static_cast<uint64_t>(I.IntImm)) % AL}});
+    break;
+  }
+  case Opcode::LoopBound:
+    Set(Env[I.Ops[Opt.UseVectorBound ? 0 : 1]]);
+    break;
+  case Opcode::VersionGuard:
+    Set(evalGuard(I));
+    break;
+
+  //===--- Vector initialization -----------------------------------------===//
+  case Opcode::InitUniform: {
+    unsigned N = lanesOf(I.Ty);
+    Set({I.Ty.Elem, std::vector<uint64_t>(N, Lanes(I.Ops[0])[0])});
+    break;
+  }
+  case Opcode::InitAffine: {
+    unsigned N = lanesOf(I.Ty);
+    VVal R{I.Ty.Elem, std::vector<uint64_t>(N)};
+    uint64_t Val = Lanes(I.Ops[0])[0], Inc = Lanes(I.Ops[1])[0];
+    uint64_t Cur = Val;
+    for (unsigned L = 0; L < N; ++L) {
+      R.Lanes[L] = Cur;
+      Cur = applyBinop(Opcode::Add, I.Ty.Elem, Cur, Inc);
+    }
+    Set(std::move(R));
+    break;
+  }
+  case Opcode::InitReduc: {
+    unsigned N = lanesOf(I.Ty);
+    VVal R{I.Ty.Elem, std::vector<uint64_t>(N, Lanes(I.Ops[1])[0])};
+    R.Lanes[0] = Lanes(I.Ops[0])[0];
+    Set(std::move(R));
+    break;
+  }
+
+  //===--- Reductions and computational idioms ---------------------------===//
+  case Opcode::ReducPlus:
+  case Opcode::ReducMax:
+  case Opcode::ReducMin: {
+    const auto &A = Lanes(I.Ops[0]);
+    Opcode K = I.Op == Opcode::ReducPlus
+                   ? Opcode::Add
+                   : (I.Op == Opcode::ReducMax ? Opcode::Max : Opcode::Min);
+    uint64_t Acc = A[0];
+    for (size_t L = 1; L < A.size(); ++L)
+      Acc = applyBinop(K, I.Ty.Elem, Acc, A[L]);
+    Set({I.Ty.Elem, {Acc}});
+    break;
+  }
+  case Opcode::DotProduct: {
+    ScalarKind Narrow = F.typeOf(I.Ops[0]).Elem;
+    ScalarKind Wide = I.Ty.Elem;
+    const auto &A = Lanes(I.Ops[0]);
+    const auto &B = Lanes(I.Ops[1]);
+    const auto &Acc = Lanes(I.Ops[2]);
+    VVal R{Wide, std::vector<uint64_t>(Acc.size())};
+    for (size_t J = 0; J < Acc.size(); ++J) {
+      uint64_t P0 = applyBinop(Opcode::Mul, Wide,
+                               applyConvert(Narrow, Wide, A[2 * J]),
+                               applyConvert(Narrow, Wide, B[2 * J]));
+      uint64_t P1 = applyBinop(Opcode::Mul, Wide,
+                               applyConvert(Narrow, Wide, A[2 * J + 1]),
+                               applyConvert(Narrow, Wide, B[2 * J + 1]));
+      R.Lanes[J] = applyBinop(Opcode::Add, Wide,
+                              applyBinop(Opcode::Add, Wide, Acc[J], P0), P1);
+    }
+    Set(std::move(R));
+    break;
+  }
+  case Opcode::WidenMultHi:
+  case Opcode::WidenMultLo: {
+    ScalarKind Narrow = F.typeOf(I.Ops[0]).Elem;
+    ScalarKind Wide = I.Ty.Elem;
+    const auto &A = Lanes(I.Ops[0]);
+    const auto &B = Lanes(I.Ops[1]);
+    size_t Half = A.size() / 2;
+    size_t Off = I.Op == Opcode::WidenMultHi ? Half : 0;
+    VVal R{Wide, std::vector<uint64_t>(Half)};
+    for (size_t L = 0; L < Half; ++L)
+      R.Lanes[L] = applyBinop(Opcode::Mul, Wide,
+                              applyConvert(Narrow, Wide, A[Off + L]),
+                              applyConvert(Narrow, Wide, B[Off + L]));
+    Set(std::move(R));
+    break;
+  }
+  case Opcode::Pack: {
+    ScalarKind Wide = F.typeOf(I.Ops[0]).Elem;
+    ScalarKind Narrow = I.Ty.Elem;
+    const auto &A = Lanes(I.Ops[0]);
+    const auto &B = Lanes(I.Ops[1]);
+    VVal R{Narrow, std::vector<uint64_t>(A.size() + B.size())};
+    for (size_t L = 0; L < A.size(); ++L)
+      R.Lanes[L] = applyConvert(Wide, Narrow, A[L]);
+    for (size_t L = 0; L < B.size(); ++L)
+      R.Lanes[A.size() + L] = applyConvert(Wide, Narrow, B[L]);
+    Set(std::move(R));
+    break;
+  }
+  case Opcode::UnpackHi:
+  case Opcode::UnpackLo: {
+    ScalarKind Narrow = F.typeOf(I.Ops[0]).Elem;
+    ScalarKind Wide = I.Ty.Elem;
+    const auto &A = Lanes(I.Ops[0]);
+    size_t Half = A.size() / 2;
+    size_t Off = I.Op == Opcode::UnpackHi ? Half : 0;
+    VVal R{Wide, std::vector<uint64_t>(Half)};
+    for (size_t L = 0; L < Half; ++L)
+      R.Lanes[L] = applyConvert(Narrow, Wide, A[Off + L]);
+    Set(std::move(R));
+    break;
+  }
+
+  //===--- Data reorganization -------------------------------------------===//
+  case Opcode::Extract: {
+    unsigned N = lanesOf(I.Ty);
+    VVal R{I.Ty.Elem, std::vector<uint64_t>(N)};
+    for (unsigned L = 0; L < N; ++L) {
+      uint64_t Pos = static_cast<uint64_t>(I.IntImm) +
+                     static_cast<uint64_t>(L) * I.IntImm2;
+      R.Lanes[L] = Lanes(I.Ops[Pos / N])[Pos % N];
+    }
+    Set(std::move(R));
+    break;
+  }
+  case Opcode::InterleaveHi:
+  case Opcode::InterleaveLo: {
+    const auto &A = Lanes(I.Ops[0]);
+    const auto &B = Lanes(I.Ops[1]);
+    size_t Half = A.size() / 2;
+    size_t Off = I.Op == Opcode::InterleaveHi ? Half : 0;
+    VVal R{I.Ty.Elem, std::vector<uint64_t>(A.size())};
+    for (size_t L = 0; L < Half; ++L) {
+      R.Lanes[2 * L] = A[Off + L];
+      R.Lanes[2 * L + 1] = B[Off + L];
+    }
+    Set(std::move(R));
+    break;
+  }
+
+  //===--- Vector memory and realignment ---------------------------------===//
+  case Opcode::ALoad: {
+    uint64_t Addr = elemAddr(I, I.Ops[0]);
+    if (!isAligned(Addr, Opt.VSBytes))
+      fatalError("aload from misaligned address in " + F.Name);
+    Set(readVector(I.Array, Addr, I.Ty.Elem));
+    break;
+  }
+  case Opcode::ULoad:
+    Set(readVector(I.Array, elemAddr(I, I.Ops[0]), I.Ty.Elem));
+    break;
+  case Opcode::AStore: {
+    uint64_t Addr = elemAddr(I, I.Ops[0]);
+    if (!isAligned(Addr, Opt.VSBytes))
+      fatalError("astore to misaligned address in " + F.Name);
+    writeVector(I.Array, Addr, Env[I.Ops[1]]);
+    break;
+  }
+  case Opcode::UStore:
+    writeVector(I.Array, elemAddr(I, I.Ops[0]), Env[I.Ops[1]]);
+    break;
+  case Opcode::AlignLoad: {
+    uint64_t Addr = alignDown(elemAddr(I, I.Ops[0]), Opt.VSBytes);
+    Set(readVector(I.Array, Addr, I.Ty.Elem));
+    break;
+  }
+  case Opcode::GetRT: {
+    uint64_t Addr = elemAddr(I, I.Ops[0]);
+    Set({ScalarKind::U64, {Addr % Opt.VSBytes}});
+    break;
+  }
+  case Opcode::RealignLoad: {
+    uint64_t Addr = elemAddr(I, I.Ops[3]);
+    VVal Direct = readVector(I.Array, Addr, I.Ty.Elem);
+    if (Opt.CheckRealign) {
+      const auto &V1 = Lanes(I.Ops[0]);
+      const auto &V2 = Lanes(I.Ops[1]);
+      uint64_t RT = Lanes(I.Ops[2])[0];
+      unsigned ES = scalarSize(I.Ty.Elem);
+      assert(RT % ES == 0 && "realignment token not element-granular");
+      uint64_t Off = RT / ES;
+      for (size_t L = 0; L < Direct.Lanes.size(); ++L) {
+        uint64_t Pos = Off + L;
+        uint64_t FromChain =
+            Pos < V1.size() ? V1[Pos] : V2[Pos - V1.size()];
+        if (FromChain != Direct.Lanes[L])
+          fatalError("realign_load chain disagrees with memory in " + F.Name);
+      }
+    }
+    Set(std::move(Direct));
+    break;
+  }
+
+  case Opcode::LibCall:
+    vapor_unreachable("libcall has no golden-model semantics at IR level");
+  default:
+    vapor_unreachable("opcode handled by an earlier dispatch group");
+  }
+}

@@ -1,0 +1,123 @@
+//===- ir/Interp.h - Golden-model IR evaluator -----------------*- C++ -*-===//
+//
+// Part of the Vapor SIMD reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A direct interpreter for IR functions — the golden semantic model.
+///
+/// It executes scalar source functions, and it executes split-layer
+/// bytecode at any chosen vector size VS, resolving the machine-parameter
+/// idioms (get_VF, get_align_limit, get_misalign, version guards,
+/// loop_bound) the way an online compiler would. This lets tests validate
+/// the offline vectorizer's output against the scalar original for several
+/// VS values *before* any JIT or target model is involved, and optionally
+/// cross-checks the optimized realignment chains (paper Fig. 3a) against
+/// direct memory reads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAPOR_IR_INTERP_H
+#define VAPOR_IR_INTERP_H
+
+#include "ir/Function.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vapor {
+namespace ir {
+
+/// A value during evaluation: raw lane payloads of an element kind.
+struct VVal {
+  ScalarKind Kind = ScalarKind::None;
+  std::vector<uint64_t> Lanes;
+};
+
+class Evaluator {
+public:
+  struct Options {
+    /// Vector size in bytes; lane count of a vector of T is
+    /// VSBytes / sizeof(T).
+    unsigned VSBytes = 16;
+    /// loop_bound(vect, scalar): picks the vect argument when true.
+    bool UseVectorBound = true;
+    /// Cross-check realign_load results against a direct read from its
+    /// address operand; aborts on mismatch (catches bad va/vb chains).
+    bool CheckRealign = true;
+    /// Answer for version_guard(PreferOuterLoop).
+    bool PreferOuterLoop = false;
+    /// Element kinds for which version_guard(TypeSupported) answers false.
+    std::vector<ScalarKind> UnsupportedVectorKinds;
+  };
+
+  Evaluator(const Function &Fn, Options Opts);
+
+  /// Allocates backing store for one array with the requested base
+  /// misalignment (bytes modulo 32; must be a multiple of the element
+  /// size). Both ends are padded by 32 bytes so realignment loads that
+  /// peek across the edges stay in bounds.
+  void allocArray(uint32_t Id, uint32_t BaseMisalign = 0);
+  void allocAllArrays(uint32_t BaseMisalign = 0);
+
+  uint64_t arrayBaseAddr(uint32_t Id) const;
+
+  void pokeInt(uint32_t Id, uint64_t Elem, int64_t V);
+  void pokeFP(uint32_t Id, uint64_t Elem, double V);
+  int64_t peekInt(uint32_t Id, uint64_t Elem) const;
+  double peekFP(uint32_t Id, uint64_t Elem) const;
+
+  void setParamInt(const std::string &Name, int64_t V);
+  void setParamFP(const std::string &Name, double V);
+
+  /// Executes the function body. Requires all arrays allocated and all
+  /// parameters set.
+  void run();
+
+  /// Number of instructions executed by the last run (dynamic count).
+  uint64_t dynamicOps() const { return DynOps; }
+
+private:
+  struct ArrayMem {
+    std::vector<uint8_t> Storage; // Pad + data + Pad.
+    uint64_t BaseAddr = 0;        // Virtual address of element 0.
+    bool Allocated = false;
+  };
+  static constexpr uint32_t Pad = 32;
+
+  unsigned lanesOf(Type Ty) const {
+    return Ty.isVector() ? Opt.VSBytes / scalarSize(Ty.Elem) : 1;
+  }
+
+  uint8_t *memAt(uint32_t Arr, uint64_t Addr, uint64_t Bytes);
+  const uint8_t *memAt(uint32_t Arr, uint64_t Addr, uint64_t Bytes) const;
+
+  uint64_t readLane(uint32_t Arr, uint64_t Addr, ScalarKind K) const;
+  void writeLane(uint32_t Arr, uint64_t Addr, ScalarKind K, uint64_t Raw);
+  VVal readVector(uint32_t Arr, uint64_t Addr, ScalarKind K) const;
+  void writeVector(uint32_t Arr, uint64_t Addr, const VVal &V);
+
+  void execRegion(const Region &R);
+  void execLoop(const LoopStmt &L);
+  void execIf(const IfStmt &S);
+  void execInstr(const Instr &I);
+
+  VVal evalGuard(const Instr &I) const;
+
+  int64_t scalarInt(ValueId V) const;
+  uint64_t elemAddr(const Instr &I, ValueId IdxOp) const;
+
+  const Function &F;
+  Options Opt;
+  std::vector<VVal> Env;
+  std::vector<ArrayMem> Mem;
+  uint64_t DynOps = 0;
+  uint64_t NextBase = 1 << 20; // Virtual allocation cursor (32-aligned).
+};
+
+} // namespace ir
+} // namespace vapor
+
+#endif // VAPOR_IR_INTERP_H

@@ -1,0 +1,60 @@
+//===- ir/Opcode.h - Instruction opcodes -----------------------*- C++ -*-===//
+//
+// Part of the Vapor SIMD reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The opcode enumeration and its static property table. Base opcodes are
+/// shared between scalar source IR and the split layer; idiom opcodes
+/// (paper Table 1) may only appear in split-layer bytecode.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAPOR_IR_OPCODE_H
+#define VAPOR_IR_OPCODE_H
+
+#include <cstdint>
+
+namespace vapor {
+namespace ir {
+
+enum OpcodeFlags : uint8_t {
+  OF_None = 0,
+  OF_BinArith = 1 << 0, ///< Two same-type operands, same-type result.
+  OF_Cmp = 1 << 1,      ///< Two same-type operands, I1 result.
+  OF_MemRead = 1 << 2,
+  OF_MemWrite = 1 << 3,
+  OF_Idiom = 1 << 4, ///< Split-layer only; never in scalar source IR.
+};
+
+enum class Opcode : uint8_t {
+#define VAPOR_OPCODE(NAME, MNEMONIC, NOPS, FLAGS) NAME,
+#include "ir/Opcode.def"
+};
+
+/// Number of opcodes; handy for dense tables.
+constexpr unsigned NumOpcodes = 0
+#define VAPOR_OPCODE(NAME, MNEMONIC, NOPS, FLAGS) +1
+#include "ir/Opcode.def"
+    ;
+
+/// \returns the textual mnemonic of \p Op as used by the printer.
+const char *opcodeMnemonic(Opcode Op);
+
+/// \returns the fixed operand count of \p Op, or -1 if variadic.
+int opcodeNumOperands(Opcode Op);
+
+/// \returns the OF_* flags of \p Op.
+uint8_t opcodeFlags(Opcode Op);
+
+inline bool isIdiom(Opcode Op) { return opcodeFlags(Op) & OF_Idiom; }
+inline bool isBinArith(Opcode Op) { return opcodeFlags(Op) & OF_BinArith; }
+inline bool isCompare(Opcode Op) { return opcodeFlags(Op) & OF_Cmp; }
+inline bool readsMemory(Opcode Op) { return opcodeFlags(Op) & OF_MemRead; }
+inline bool writesMemory(Opcode Op) { return opcodeFlags(Op) & OF_MemWrite; }
+
+} // namespace ir
+} // namespace vapor
+
+#endif // VAPOR_IR_OPCODE_H

@@ -1,0 +1,184 @@
+//===- ir/Printer.cpp - Textual IR dump -----------------------------------===//
+//
+// Part of the Vapor SIMD reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Function.h"
+
+#include "support/Support.h"
+
+#include <sstream>
+
+using namespace vapor;
+using namespace vapor::ir;
+
+namespace {
+
+class Printer {
+public:
+  Printer(const Function &Fn, std::ostringstream &Out) : F(Fn), OS(Out) {}
+
+  void print() {
+    OS << "func \"" << F.Name << "\""
+       << (F.IsSplitLayer ? " split-layer" : " scalar-source") << " {\n";
+    OS << "  params:";
+    if (F.Params.empty())
+      OS << " (none)";
+    for (ValueId P : F.Params)
+      OS << " " << valueName(P) << ":" << F.typeOf(P).str();
+    OS << "\n";
+    for (uint32_t I = 0, E = static_cast<uint32_t>(F.Arrays.size()); I != E;
+         ++I) {
+      const ArrayInfo &A = F.Arrays[I];
+      OS << "  array @" << A.Name << ": " << scalarKindName(A.Elem) << "["
+         << A.NumElems << "] align " << A.BaseAlign << "\n";
+    }
+    printRegion(F.Body, 1);
+    OS << "}\n";
+  }
+
+private:
+  std::string valueName(ValueId V) const {
+    if (V == NoValue)
+      return "<none>";
+    const ValueInfo &VI = F.Values[V];
+    if (!VI.Name.empty())
+      return "%" + VI.Name;
+    return "%" + std::to_string(V);
+  }
+
+  void indent(int Depth) {
+    for (int I = 0; I < Depth; ++I)
+      OS << "  ";
+  }
+
+  void printRegion(const Region &R, int Depth) {
+    for (const NodeRef &N : R.Nodes) {
+      switch (N.Kind) {
+      case NodeKind::Instr:
+        printInstr(F.Instrs[N.Index], Depth);
+        break;
+      case NodeKind::Loop:
+        printLoop(F.Loops[N.Index], Depth);
+        break;
+      case NodeKind::If:
+        printIf(F.Ifs[N.Index], Depth);
+        break;
+      }
+    }
+  }
+
+  void printInstr(const Instr &I, int Depth) {
+    indent(Depth);
+    if (I.hasResult())
+      OS << valueName(I.Result) << " = ";
+    OS << opcodeMnemonic(I.Op);
+    if (!I.Ty.isNone())
+      OS << "." << I.Ty.str();
+    else if (I.TyParam != ScalarKind::None)
+      OS << "." << scalarKindName(I.TyParam);
+    if (I.Array != NoArray)
+      OS << " @" << F.Arrays[I.Array].Name;
+    bool First = true;
+    for (ValueId Op : I.Ops) {
+      OS << (First ? " " : ", ") << valueName(Op);
+      First = false;
+    }
+    switch (I.Op) {
+    case Opcode::ConstInt:
+      OS << " " << I.IntImm;
+      break;
+    case Opcode::ConstFP:
+      OS << " " << I.FPImm;
+      break;
+    case Opcode::Extract:
+      OS << " off=" << I.IntImm << " stride=" << I.IntImm2;
+      break;
+    case Opcode::GetMisalign:
+      OS << " off=" << I.IntImm;
+      break;
+    case Opcode::VersionGuard:
+      OS << " " << guardName(I.Guard);
+      for (uint32_t A : I.GuardArgs)
+        OS << " @" << F.Arrays[A].Name;
+      break;
+    default:
+      break;
+    }
+    if (I.Hint.Mod != 0 || I.Hint.Mis >= 0 || I.Hint.IfJitAligns) {
+      OS << " hint(mis=" << I.Hint.Mis << ",mod=" << I.Hint.Mod;
+      if (I.Hint.IfJitAligns)
+        OS << ",if-jit-aligns";
+      OS << ")";
+    }
+    OS << "\n";
+  }
+
+  static const char *guardName(GuardKind G) {
+    switch (G) {
+    case GuardKind::None:
+      return "none";
+    case GuardKind::BasesAligned:
+      return "bases_aligned";
+    case GuardKind::TypeSupported:
+      return "type_supported";
+    case GuardKind::PreferOuterLoop:
+      return "prefer_outer_loop";
+    }
+    vapor_unreachable("bad guard kind");
+  }
+
+  static const char *roleName(LoopRole R) {
+    switch (R) {
+    case LoopRole::Plain:
+      return "plain";
+    case LoopRole::Peel:
+      return "peel";
+    case LoopRole::VecMain:
+      return "vec-main";
+    case LoopRole::Epilogue:
+      return "epilogue";
+    }
+    vapor_unreachable("bad loop role");
+  }
+
+  void printLoop(const LoopStmt &L, int Depth) {
+    indent(Depth);
+    OS << "loop " << valueName(L.IndVar) << " = [" << valueName(L.Lower)
+       << ", " << valueName(L.Upper) << ") step " << valueName(L.Step)
+       << " role=" << roleName(L.Role);
+    if (L.MaxSafeVF > 0)
+      OS << " maxvf=" << L.MaxSafeVF;
+    for (const auto &C : L.Carried)
+      OS << " carried " << valueName(C.Phi) << "(init=" << valueName(C.Init)
+         << ", next=" << valueName(C.Next) << ", out=" << valueName(C.Result)
+         << ")";
+    OS << " {\n";
+    printRegion(L.Body, Depth + 1);
+    indent(Depth);
+    OS << "}\n";
+  }
+
+  void printIf(const IfStmt &S, int Depth) {
+    indent(Depth);
+    OS << "if " << valueName(S.Cond) << " {\n";
+    printRegion(S.Then, Depth + 1);
+    indent(Depth);
+    OS << "} else {\n";
+    printRegion(S.Else, Depth + 1);
+    indent(Depth);
+    OS << "}\n";
+  }
+
+  const Function &F;
+  std::ostringstream &OS;
+};
+
+} // namespace
+
+std::string Function::str() const {
+  std::ostringstream OS;
+  Printer(*this, OS).print();
+  return OS.str();
+}

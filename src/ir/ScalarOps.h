@@ -1,0 +1,243 @@
+//===- ir/ScalarOps.h - Lane-level arithmetic semantics --------*- C++ -*-===//
+//
+// Part of the Vapor SIMD reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single definition of lane-level arithmetic used by both the IR
+/// evaluator (golden model) and the target virtual machines. Lanes are
+/// stored as raw 64-bit payloads; these helpers decode by element kind,
+/// compute with two's-complement wraparound (ints) or IEEE (floats), and
+/// re-encode with masking to the element width.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAPOR_IR_SCALAROPS_H
+#define VAPOR_IR_SCALAROPS_H
+
+#include "ir/Opcode.h"
+#include "ir/Type.h"
+#include "support/Support.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+namespace vapor {
+namespace ir {
+
+/// \returns the lane payload mask for kind \p K.
+constexpr uint64_t laneMask(ScalarKind K) {
+  unsigned Bytes = scalarSize(K);
+  if (K == ScalarKind::I1)
+    return 1;
+  return Bytes >= 8 ? ~0ULL : ((1ULL << (Bytes * 8)) - 1);
+}
+
+/// Decodes \p Raw as a signed 64-bit integer (sign- or zero-extending
+/// according to the signedness of \p K).
+inline int64_t decodeInt(ScalarKind K, uint64_t Raw) {
+  assert(isIntKind(K) || K == ScalarKind::I1);
+  Raw &= laneMask(K);
+  if (!isSignedKind(K))
+    return static_cast<int64_t>(Raw);
+  unsigned Bits = scalarSize(K) * 8;
+  if (Bits == 64)
+    return static_cast<int64_t>(Raw);
+  uint64_t SignBit = 1ULL << (Bits - 1);
+  return static_cast<int64_t>((Raw ^ SignBit)) - static_cast<int64_t>(SignBit);
+}
+
+inline uint64_t encodeInt(ScalarKind K, int64_t V) {
+  return static_cast<uint64_t>(V) & laneMask(K);
+}
+
+inline double decodeFP(ScalarKind K, uint64_t Raw) {
+  assert(isFloatKind(K));
+  if (K == ScalarKind::F32)
+    return std::bit_cast<float>(static_cast<uint32_t>(Raw));
+  return std::bit_cast<double>(Raw);
+}
+
+inline uint64_t encodeFP(ScalarKind K, double V) {
+  assert(isFloatKind(K));
+  if (K == ScalarKind::F32)
+    return std::bit_cast<uint32_t>(static_cast<float>(V));
+  return std::bit_cast<uint64_t>(V);
+}
+
+/// Applies binary arithmetic opcode \p Op on lanes of kind \p K.
+inline uint64_t applyBinop(Opcode Op, ScalarKind K, uint64_t A, uint64_t B) {
+  if (isFloatKind(K)) {
+    double X = decodeFP(K, A), Y = decodeFP(K, B);
+    double R;
+    switch (Op) {
+    case Opcode::Add:
+      R = X + Y;
+      break;
+    case Opcode::Sub:
+      R = X - Y;
+      break;
+    case Opcode::Mul:
+      R = X * Y;
+      break;
+    case Opcode::Div:
+      R = X / Y;
+      break;
+    case Opcode::Min:
+      R = X < Y ? X : Y;
+      break;
+    case Opcode::Max:
+      R = X > Y ? X : Y;
+      break;
+    default:
+      vapor_unreachable("bad float binop");
+    }
+    // Compute in the element precision, not in double, so f32 kernels see
+    // f32 rounding at every step (matches the hardware being modeled).
+    if (K == ScalarKind::F32)
+      R = static_cast<float>(R);
+    return encodeFP(K, R);
+  }
+  int64_t X = decodeInt(K, A), Y = decodeInt(K, B);
+  int64_t R;
+  switch (Op) {
+  case Opcode::Add:
+    R = static_cast<int64_t>(static_cast<uint64_t>(X) +
+                             static_cast<uint64_t>(Y));
+    break;
+  case Opcode::Sub:
+    R = static_cast<int64_t>(static_cast<uint64_t>(X) -
+                             static_cast<uint64_t>(Y));
+    break;
+  case Opcode::Mul:
+    R = static_cast<int64_t>(static_cast<uint64_t>(X) *
+                             static_cast<uint64_t>(Y));
+    break;
+  case Opcode::Div:
+    assert(Y != 0 && "integer division by zero");
+    R = X / Y;
+    break;
+  case Opcode::Rem:
+    assert(Y != 0 && "integer remainder by zero");
+    R = X % Y;
+    break;
+  case Opcode::Min:
+    R = X < Y ? X : Y;
+    break;
+  case Opcode::Max:
+    R = X > Y ? X : Y;
+    break;
+  case Opcode::And:
+    R = X & Y;
+    break;
+  case Opcode::Or:
+    R = X | Y;
+    break;
+  case Opcode::Xor:
+    R = X ^ Y;
+    break;
+  case Opcode::Shl:
+    R = static_cast<int64_t>(static_cast<uint64_t>(X)
+                             << (static_cast<uint64_t>(Y) &
+                                 (scalarSize(K) * 8 - 1)));
+    break;
+  case Opcode::ShrL:
+    R = static_cast<int64_t>((static_cast<uint64_t>(X) & laneMask(K)) >>
+                             (static_cast<uint64_t>(Y) &
+                              (scalarSize(K) * 8 - 1)));
+    break;
+  case Opcode::ShrA:
+    R = X >> (static_cast<uint64_t>(Y) & (scalarSize(K) * 8 - 1));
+    break;
+  default:
+    vapor_unreachable("bad int binop");
+  }
+  return encodeInt(K, R);
+}
+
+inline uint64_t applyUnop(Opcode Op, ScalarKind K, uint64_t A) {
+  if (isFloatKind(K)) {
+    double X = decodeFP(K, A);
+    switch (Op) {
+    case Opcode::Neg:
+      return encodeFP(K, -X);
+    case Opcode::Abs:
+      return encodeFP(K, std::fabs(X));
+    case Opcode::Sqrt:
+      return encodeFP(K, K == ScalarKind::F32
+                             ? static_cast<double>(
+                                   std::sqrt(static_cast<float>(X)))
+                             : std::sqrt(X));
+    default:
+      vapor_unreachable("bad float unop");
+    }
+  }
+  int64_t X = decodeInt(K, A);
+  switch (Op) {
+  case Opcode::Neg:
+    return encodeInt(K, -X);
+  case Opcode::Abs:
+    return encodeInt(K, X < 0 ? -X : X);
+  default:
+    vapor_unreachable("bad int unop");
+  }
+}
+
+/// \returns 1 or 0 for comparison \p Op on lanes of kind \p K. Unsigned
+/// kinds compare unsigned; floats compare IEEE (no NaN ordering games).
+inline uint64_t applyCompare(Opcode Op, ScalarKind K, uint64_t A, uint64_t B) {
+  int Rel; // -1, 0, 1
+  if (isFloatKind(K)) {
+    double X = decodeFP(K, A), Y = decodeFP(K, B);
+    Rel = X < Y ? -1 : (X > Y ? 1 : 0);
+  } else if (isSignedKind(K) || K == ScalarKind::I1) {
+    int64_t X = decodeInt(K, A), Y = decodeInt(K, B);
+    Rel = X < Y ? -1 : (X > Y ? 1 : 0);
+  } else {
+    uint64_t X = A & laneMask(K), Y = B & laneMask(K);
+    Rel = X < Y ? -1 : (X > Y ? 1 : 0);
+  }
+  switch (Op) {
+  case Opcode::CmpEQ:
+    return Rel == 0;
+  case Opcode::CmpNE:
+    return Rel != 0;
+  case Opcode::CmpLT:
+    return Rel < 0;
+  case Opcode::CmpLE:
+    return Rel <= 0;
+  case Opcode::CmpGT:
+    return Rel > 0;
+  case Opcode::CmpGE:
+    return Rel >= 0;
+  default:
+    vapor_unreachable("bad compare opcode");
+  }
+}
+
+/// Converts one lane from kind \p Src to kind \p Dst with C semantics
+/// (truncation, sign/zero extension, int<->fp, fp narrowing).
+inline uint64_t applyConvert(ScalarKind Src, ScalarKind Dst, uint64_t Raw) {
+  if (isFloatKind(Src) && isFloatKind(Dst))
+    return encodeFP(Dst, decodeFP(Src, Raw));
+  if (isFloatKind(Src)) {
+    double X = decodeFP(Src, Raw);
+    return encodeInt(Dst, static_cast<int64_t>(X));
+  }
+  if (isFloatKind(Dst)) {
+    int64_t X = decodeInt(Src, Raw);
+    if (isSignedKind(Src) || Src == ScalarKind::I1 ||
+        Src == ScalarKind::I64)
+      return encodeFP(Dst, static_cast<double>(X));
+    return encodeFP(Dst, static_cast<double>(static_cast<uint64_t>(X) &
+                                             laneMask(Src)));
+  }
+  return encodeInt(Dst, decodeInt(Src, Raw));
+}
+
+} // namespace ir
+} // namespace vapor
+
+#endif // VAPOR_IR_SCALAROPS_H

@@ -1,0 +1,174 @@
+//===- ir/Type.h - Scalar and parametric vector types ----------*- C++ -*-===//
+//
+// Part of the Vapor SIMD reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Element kinds and the Type used throughout the IR. At the split-layer
+/// (bytecode) level vector types are *parametric*: they name an element kind
+/// but no lane count, because the lane count is VS/sizeof(elem) and the
+/// vector size VS is only known to the online (JIT) compiler. See paper
+/// Sec. III-A.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAPOR_IR_TYPE_H
+#define VAPOR_IR_TYPE_H
+
+#include "support/Support.h"
+
+#include <cstdint>
+#include <string>
+
+namespace vapor {
+namespace ir {
+
+/// Element kinds mirror the data types exercised by the paper's kernel
+/// suite (Table 2): signed/unsigned 8..64-bit integers and both float
+/// precisions.
+enum class ScalarKind : uint8_t {
+  None, ///< "void"; the type of stores and other result-less operations.
+  I1,   ///< Booleans produced by comparisons and version guards.
+  I8,
+  U8,
+  I16,
+  U16,
+  I32,
+  U32,
+  I64,
+  U64,
+  F32,
+  F64,
+};
+
+/// \returns the size of \p K in bytes (0 for None, 1 for I1).
+constexpr unsigned scalarSize(ScalarKind K) {
+  switch (K) {
+  case ScalarKind::None:
+    return 0;
+  case ScalarKind::I1:
+  case ScalarKind::I8:
+  case ScalarKind::U8:
+    return 1;
+  case ScalarKind::I16:
+  case ScalarKind::U16:
+    return 2;
+  case ScalarKind::I32:
+  case ScalarKind::U32:
+  case ScalarKind::F32:
+    return 4;
+  case ScalarKind::I64:
+  case ScalarKind::U64:
+  case ScalarKind::F64:
+    return 8;
+  }
+  return 0;
+}
+
+constexpr bool isFloatKind(ScalarKind K) {
+  return K == ScalarKind::F32 || K == ScalarKind::F64;
+}
+
+constexpr bool isIntKind(ScalarKind K) {
+  return K != ScalarKind::None && !isFloatKind(K);
+}
+
+constexpr bool isSignedKind(ScalarKind K) {
+  switch (K) {
+  case ScalarKind::I8:
+  case ScalarKind::I16:
+  case ScalarKind::I32:
+  case ScalarKind::I64:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// \returns the integer kind with twice the width of \p K, preserving
+/// signedness. Widening multiplication and unpack promote to this kind.
+constexpr ScalarKind widenKind(ScalarKind K) {
+  switch (K) {
+  case ScalarKind::I8:
+    return ScalarKind::I16;
+  case ScalarKind::U8:
+    return ScalarKind::U16;
+  case ScalarKind::I16:
+    return ScalarKind::I32;
+  case ScalarKind::U16:
+    return ScalarKind::U32;
+  case ScalarKind::I32:
+    return ScalarKind::I64;
+  case ScalarKind::U32:
+    return ScalarKind::U64;
+  case ScalarKind::F32:
+    return ScalarKind::F64;
+  default:
+    return ScalarKind::None;
+  }
+}
+
+/// \returns the integer kind with half the width of \p K (the pack idiom
+/// demotes to this kind), or None if \p K cannot be narrowed.
+constexpr ScalarKind narrowKind(ScalarKind K) {
+  switch (K) {
+  case ScalarKind::I16:
+    return ScalarKind::I8;
+  case ScalarKind::U16:
+    return ScalarKind::U8;
+  case ScalarKind::I32:
+    return ScalarKind::I16;
+  case ScalarKind::U32:
+    return ScalarKind::U16;
+  case ScalarKind::I64:
+    return ScalarKind::I32;
+  case ScalarKind::U64:
+    return ScalarKind::U32;
+  case ScalarKind::F64:
+    return ScalarKind::F32;
+  default:
+    return ScalarKind::None;
+  }
+}
+
+const char *scalarKindName(ScalarKind K);
+
+/// A value type: either a scalar of kind Elem, or a parametric vector of
+/// Elem whose lane count is VS / sizeof(Elem) for a vector size VS chosen
+/// by the online compiler.
+struct Type {
+  ScalarKind Elem = ScalarKind::None;
+  bool Vector = false;
+
+  constexpr Type() = default;
+  constexpr Type(ScalarKind K, bool Vec) : Elem(K), Vector(Vec) {}
+
+  static constexpr Type scalar(ScalarKind K) { return Type(K, false); }
+  static constexpr Type vector(ScalarKind K) { return Type(K, true); }
+  static constexpr Type none() { return Type(); }
+
+  bool isNone() const { return Elem == ScalarKind::None; }
+  bool isScalar() const { return !Vector && !isNone(); }
+  bool isVector() const { return Vector; }
+
+  /// \returns the lane count of this type for vector size \p VSBytes.
+  unsigned lanes(unsigned VSBytes) const {
+    if (!Vector)
+      return 1;
+    assert(VSBytes % scalarSize(Elem) == 0 && "VS not a multiple of elem");
+    return VSBytes / scalarSize(Elem);
+  }
+
+  bool operator==(const Type &O) const {
+    return Elem == O.Elem && Vector == O.Vector;
+  }
+  bool operator!=(const Type &O) const { return !(*this == O); }
+
+  std::string str() const;
+};
+
+} // namespace ir
+} // namespace vapor
+
+#endif // VAPOR_IR_TYPE_H

@@ -1,0 +1,40 @@
+//===- ir/Verifier.h - IR well-formedness checks ---------------*- C++ -*-===//
+//
+// Part of the Vapor SIMD reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural and type verification for IR functions. The verifier is run
+/// on kernel inputs (scalar source rules: no idioms, no vector types) and
+/// on vectorizer output (split-layer rules), and by the bytecode decoder
+/// on anything it reads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAPOR_IR_VERIFIER_H
+#define VAPOR_IR_VERIFIER_H
+
+#include "ir/Function.h"
+
+#include <string>
+#include <vector>
+
+namespace vapor {
+namespace ir {
+
+/// Verifies \p F. \returns a list of diagnostics; empty means well-formed.
+/// Checks: operand counts and types per opcode, definition-before-use along
+/// the structured walk, region/node consistency (every instruction placed
+/// exactly once), loop carried-variable completeness, and the level rule
+/// (idioms and vector types only in split-layer functions).
+std::vector<std::string> verify(const Function &F);
+
+/// Convenience wrapper: aborts with the first diagnostic if \p F is
+/// malformed. Used at pass boundaries in tests and tools.
+void verifyOrDie(const Function &F);
+
+} // namespace ir
+} // namespace vapor
+
+#endif // VAPOR_IR_VERIFIER_H

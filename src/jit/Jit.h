@@ -1,0 +1,86 @@
+//===- jit/Jit.h - The online (JIT) compilation stage ----------*- C++ -*-===//
+//
+// Part of the Vapor SIMD reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The last, online compilation stage (paper Sec. III-C): translates
+/// split-layer bytecode into target machine code in time linear in the
+/// bytecode size, with no loop-level analysis. All decisions are local:
+///
+///  - realign_load is lowered per the target: explicit realignment
+///    (lvsr/vperm) where supported, a misaligned load where supported, an
+///    aligned load when the mis/mod hints prove alignment, and a scalar
+///    load when scalarizing — the rest of the chain dies as dead code;
+///  - version guards are resolved statically when the runtime base
+///    addresses are known (strong tier), or lowered to runtime checks;
+///  - get_VF / get_align_limit / loop_bound / get_misalign materialize;
+///  - when the target has no (suitable) SIMD, vector code is *scalarized*
+///    by per-lane expansion at the granularity of the widest element type,
+///    producing plain scalar loops with no vector-era overheads.
+///
+/// Two quality tiers reproduce the paper's two online compilers:
+///  - Strong ("gcc4cli"): constant folding of guards and machine
+///    parameters, loop-invariant hoisting, folded addressing, generous
+///    register allocation.
+///  - Weak ("mono"): no guard folding (alignment tests execute where the
+///    bytecode put them — per outer-loop iteration in nested loops), no
+///    hoisting, tight register file with spill traffic, and x87 execution
+///    of scalar floating point on x86.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAPOR_JIT_JIT_H
+#define VAPOR_JIT_JIT_H
+
+#include "ir/Function.h"
+#include "target/MachineIR.h"
+#include "target/MemoryImage.h"
+#include "target/Target.h"
+
+namespace vapor {
+namespace jit {
+
+enum class Tier : uint8_t {
+  Weak,   ///< Mono-like.
+  Strong, ///< gcc4cli-like.
+};
+
+/// What the JIT knows about the runtime environment when it compiles.
+struct RuntimeInfo {
+  struct ArrayRT {
+    bool KnownBase = false; ///< JIT knows the base address (can fold).
+    uint64_t Base = 0;
+  };
+  std::vector<ArrayRT> Arrays;
+
+  /// Runtime info for a fully bound memory image: every base known.
+  static RuntimeInfo fromMemory(const target::MemoryImage &Mem);
+  /// Runtime info for externally supplied arrays: nothing known.
+  static RuntimeInfo unknown(size_t NumArrays);
+};
+
+struct Options {
+  Tier CompilerTier = Tier::Strong;
+  /// Table 3 "legacy" codegen profile (the older GCC used for split AVX):
+  /// no scaled-index addressing and no accumulator register promotion.
+  bool FoldAddressing = true;
+  bool PromoteAccumulators = true;
+};
+
+struct CompileResult {
+  target::MFunction Code;
+  bool Scalarized = false; ///< The whole function was scalar-expanded.
+  std::string ScalarizeReason;
+};
+
+/// Compiles split-layer bytecode \p F for \p T. Never fails: targets that
+/// cannot execute the vector code get scalarized code.
+CompileResult compile(const ir::Function &F, const target::TargetDesc &T,
+                      const RuntimeInfo &RT, const Options &Opt = {});
+
+} // namespace jit
+} // namespace vapor
+
+#endif // VAPOR_JIT_JIT_H

@@ -1,0 +1,505 @@
+//===- kernels/Kernels.cpp - Table 2 kernels --------------------------------===//
+//
+// Part of the Vapor SIMD reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/Kernels.h"
+
+#include "ir/Builder.h"
+#include "ir/Verifier.h"
+#include "support/Support.h"
+
+using namespace vapor;
+using namespace vapor::kernels;
+using namespace vapor::ir;
+
+namespace {
+
+/// Vector length used by the 1-D kernels (paper kernels are app-sized;
+/// see Kernels.h for the scaling note).
+constexpr int64_t VecN = 512;
+/// Extra tail so offset reads like a[i+16] stay in bounds.
+constexpr int64_t Slack = 64;
+/// Matrix dimension for the dense kernels.
+constexpr int64_t MatN = 32;
+
+/// Unknown base alignment: the portable-bytecode assumption.
+uint32_t unknownAlign(ScalarKind K) { return scalarSize(K); }
+
+uint32_t addArr(Function &F, const std::string &Name, ScalarKind K,
+                uint64_t N) {
+  return F.addArray(Name, K, N, unknownAlign(K));
+}
+
+void seal(Kernel &K) { verifyOrDie(K.Source); }
+
+} // namespace
+
+void kernels::defaultFill(FillSink &Sink, const Function &F, uint64_t Seed) {
+  SplitMix64 Rng(Seed);
+  for (uint32_t A = 0; A < F.Arrays.size(); ++A) {
+    const ArrayInfo &AI = F.Arrays[A];
+    if (AI.Name.rfind("__vt", 0) == 0)
+      continue; // Compiler scratch starts zeroed.
+    for (uint64_t I = 0; I < AI.NumElems; ++I) {
+      if (isFloatKind(AI.Elem))
+        Sink.pokeFP(A, I, (Rng.nextUnit() - 0.5) * 8.0);
+      else if (scalarSize(AI.Elem) == 1)
+        Sink.pokeInt(A, I, static_cast<int64_t>(Rng.nextBelow(256)));
+      else
+        Sink.pokeInt(A, I, static_cast<int64_t>(Rng.nextBelow(200)) - 100);
+    }
+  }
+}
+
+namespace {
+
+//===--- Integer kernels --------------------------------------------------===//
+
+/// dissolve_s8: video dissolve with widening multiplication:
+///   o[i] = (u8)((a[i]*w + b[i]*(256-w)) >> 8)
+Kernel dissolveS8() {
+  Kernel K;
+  K.Name = "dissolve_s8";
+  K.Suite = "kernel";
+  K.Features = {"widening-mult", "pack"};
+  Function &F = K.Source;
+  F.Name = K.Name;
+  uint32_t A = addArr(F, "a", ScalarKind::U8, VecN + Slack);
+  uint32_t Bd = addArr(F, "b", ScalarKind::U8, VecN + Slack);
+  uint32_t O = addArr(F, "o", ScalarKind::U8, VecN + Slack);
+  ValueId N = F.addParam("n", Type::scalar(ScalarKind::I64));
+  ValueId W = F.addParam("w", Type::scalar(ScalarKind::U16));
+  IrBuilder B(F);
+  ValueId W2 = B.sub(B.constInt(ScalarKind::U16, 256), W);
+  auto L = B.beginLoop(B.constIdx(0), N, B.constIdx(1));
+  ValueId WA = B.mul(B.convert(ScalarKind::U16, B.load(A, L.indVar())), W);
+  ValueId WB = B.mul(B.convert(ScalarKind::U16, B.load(Bd, L.indVar())), W2);
+  // a*w + b*(256-w) <= 255*256 fits u16 only if the sum is taken shifted;
+  // shift each product first to stay in range.
+  ValueId Eight = B.constInt(ScalarKind::U16, 8);
+  ValueId Mixed = B.add(B.shrl(WA, Eight), B.shrl(WB, Eight));
+  B.store(O, L.indVar(), B.convert(ScalarKind::U8, Mixed));
+  B.endLoop(L);
+  K.IntParams = {{"n", VecN}, {"w", 77}};
+  seal(K);
+  return K;
+}
+
+/// sad_s8: sum of absolute differences (abs pattern + widening reduction):
+///   s += |a[i] - b[i]|   (u8 data, i32 accumulator)
+Kernel sadS8() {
+  Kernel K;
+  K.Name = "sad_s8";
+  K.Suite = "kernel";
+  K.Features = {"abs", "reduction", "unpack"};
+  // SAD operates on externally supplied image blocks: the compiler cannot
+  // force their alignment (drives the paper's sad versioning discussion).
+  K.ExternalArrays = {"a", "b"};
+  Function &F = K.Source;
+  F.Name = K.Name;
+  uint32_t A = addArr(F, "a", ScalarKind::U8, VecN + Slack);
+  uint32_t Bd = addArr(F, "b", ScalarKind::U8, VecN + Slack);
+  uint32_t O = addArr(F, "out", ScalarKind::I32, 4);
+  ValueId N = F.addParam("n", Type::scalar(ScalarKind::I64));
+  IrBuilder B(F);
+  ValueId Zero = B.constInt(ScalarKind::I32, 0);
+  auto L = B.beginLoop(B.constIdx(0), N, B.constIdx(1));
+  ValueId Phi = B.addCarried(L, Zero);
+  ValueId X = B.load(A, L.indVar());
+  ValueId Y = B.load(Bd, L.indVar());
+  ValueId D = B.sub(B.smax(X, Y), B.smin(X, Y)); // |x-y| in u8.
+  B.setCarriedNext(L, Phi, B.add(Phi, B.convert(ScalarKind::I32, D)));
+  B.endLoop(L);
+  B.store(O, B.constIdx(0), B.carriedResult(L, Phi));
+  K.IntParams = {{"n", VecN}};
+  seal(K);
+  return K;
+}
+
+/// sfir_s16: single-sample FIR (dot product):
+///   out = (Σ x[k]*c[k]) with s16 inputs and an i32 accumulator.
+Kernel sfirS16() {
+  Kernel K;
+  K.Name = "sfir_s16";
+  K.Suite = "kernel";
+  K.Features = {"dot-product", "reduction"};
+  Function &F = K.Source;
+  F.Name = K.Name;
+  uint32_t X = addArr(F, "x", ScalarKind::I16, VecN + Slack);
+  uint32_t C = addArr(F, "c", ScalarKind::I16, VecN + Slack);
+  uint32_t O = addArr(F, "out", ScalarKind::I32, 4);
+  ValueId N = F.addParam("n", Type::scalar(ScalarKind::I64));
+  IrBuilder B(F);
+  ValueId Zero = B.constInt(ScalarKind::I32, 0);
+  auto L = B.beginLoop(B.constIdx(0), N, B.constIdx(1));
+  ValueId Phi = B.addCarried(L, Zero);
+  ValueId P = B.mul(B.convert(ScalarKind::I32, B.load(X, L.indVar())),
+                    B.convert(ScalarKind::I32, B.load(C, L.indVar())));
+  B.setCarriedNext(L, Phi, B.add(Phi, P));
+  B.endLoop(L);
+  B.store(O, B.constIdx(0), B.carriedResult(L, Phi));
+  K.IntParams = {{"n", VecN}};
+  seal(K);
+  return K;
+}
+
+/// interp_s16: rate-2 interpolation (strided access + dot product):
+///   out[p] = Σ_k x[k]*c[2k+p]   for p in {0, 1}.
+Kernel interpS16() {
+  Kernel K;
+  K.Name = "interp_s16";
+  K.Suite = "kernel";
+  K.Features = {"strided", "dot-product"};
+  Function &F = K.Source;
+  F.Name = K.Name;
+  uint32_t X = addArr(F, "x", ScalarKind::I16, VecN + Slack);
+  uint32_t C = addArr(F, "c", ScalarKind::I16, 2 * VecN + Slack);
+  uint32_t O = addArr(F, "out", ScalarKind::I32, 4);
+  ValueId N = F.addParam("n", Type::scalar(ScalarKind::I64));
+  IrBuilder B(F);
+  for (int P = 0; P < 2; ++P) {
+    ValueId Zero = B.constInt(ScalarKind::I32, 0);
+    auto L = B.beginLoop(B.constIdx(0), N, B.constIdx(1));
+    ValueId Phi = B.addCarried(L, Zero);
+    ValueId CIdx = B.add(B.mul(L.indVar(), B.constIdx(2)), B.constIdx(P));
+    ValueId Prod = B.mul(B.convert(ScalarKind::I32, B.load(X, L.indVar())),
+                         B.convert(ScalarKind::I32, B.load(C, CIdx)));
+    B.setCarriedNext(L, Phi, B.add(Phi, Prod));
+    B.endLoop(L);
+    B.store(O, B.constIdx(P), B.carriedResult(L, Phi));
+  }
+  K.IntParams = {{"n", VecN}};
+  seal(K);
+  return K;
+}
+
+/// mix_streams_s16: mix four audio channels (SLP over the four unrolled
+/// statements). Audio buffers come from the host: external arrays.
+Kernel mixStreamsS16() {
+  Kernel K;
+  K.Name = "mix_streams_s16";
+  K.Suite = "kernel";
+  K.Features = {"slp"};
+  K.ExternalArrays = {"a", "b", "o"};
+  Function &F = K.Source;
+  F.Name = K.Name;
+  uint32_t A = addArr(F, "a", ScalarKind::I16, 4 * VecN + Slack);
+  uint32_t Bd = addArr(F, "b", ScalarKind::I16, 4 * VecN + Slack);
+  uint32_t O = addArr(F, "o", ScalarKind::I16, 4 * VecN + Slack);
+  ValueId N = F.addParam("n", Type::scalar(ScalarKind::I64));
+  IrBuilder B(F);
+  ValueId One = B.constInt(ScalarKind::I16, 1);
+  auto L = B.beginLoop(B.constIdx(0), N, B.constIdx(1));
+  ValueId I4 = B.mul(L.indVar(), B.constIdx(4));
+  for (int Ch = 0; Ch < 4; ++Ch) {
+    ValueId Idx = Ch == 0 ? I4 : B.add(I4, B.constIdx(Ch));
+    ValueId Mixed =
+        B.shra(B.add(B.load(A, Idx), B.load(Bd, Idx)), One);
+    B.store(O, Idx, Mixed);
+  }
+  B.endLoop(L);
+  K.IntParams = {{"n", VecN}};
+  seal(K);
+  return K;
+}
+
+/// convolve_s32: sliding-window convolution with an inner reduction loop
+/// whose loads are misaligned by a loop-invariant (runtime) amount — the
+/// realignment-with-runtime-token case.
+Kernel convolveS32() {
+  Kernel K;
+  K.Name = "convolve_s32";
+  K.Suite = "kernel";
+  K.Features = {"reduction", "realign"};
+  Function &F = K.Source;
+  F.Name = K.Name;
+  uint32_t In = addArr(F, "in", ScalarKind::I32, VecN + Slack);
+  uint32_t H = addArr(F, "h", ScalarKind::I32, 64);
+  uint32_t O = addArr(F, "o", ScalarKind::I32, VecN + Slack);
+  ValueId N = F.addParam("n", Type::scalar(ScalarKind::I64));
+  ValueId Taps = F.addParam("taps", Type::scalar(ScalarKind::I64));
+  IrBuilder B(F);
+  auto LI = B.beginLoop(B.constIdx(0), N, B.constIdx(1));
+  ValueId Zero = B.constInt(ScalarKind::I32, 0);
+  auto LK = B.beginLoop(B.constIdx(0), Taps, B.constIdx(1));
+  ValueId Phi = B.addCarried(LK, Zero);
+  ValueId Prod = B.mul(B.load(In, B.add(LI.indVar(), LK.indVar())),
+                       B.load(H, LK.indVar()));
+  B.setCarriedNext(LK, Phi, B.add(Phi, Prod));
+  B.endLoop(LK);
+  B.store(O, LI.indVar(), B.carriedResult(LK, Phi));
+  B.endLoop(LI);
+  K.IntParams = {{"n", VecN / 4}, {"taps", 16}};
+  seal(K);
+  return K;
+}
+
+//===--- Mixed int/float kernels ------------------------------------------===//
+
+/// alvinn_s32fp: neural-net hidden-unit accumulation — the paper's
+/// outer-loop vectorization case. The inner loop reduces over inputs
+/// while the weight matrix is walked with stride M, so only the *outer*
+/// (unit) loop vectorizes:
+///   for j: hidden[j] += eta * Σ_i cvt_fp(in[i]) * wT[i*M + j]
+Kernel alvinnS32fp() {
+  Kernel K;
+  K.Name = "alvinn_s32fp";
+  K.Suite = "kernel";
+  K.Features = {"outer-loop", "int-fp"};
+  Function &F = K.Source;
+  F.Name = K.Name;
+  uint32_t WT = addArr(F, "wT", ScalarKind::F32, MatN * MatN + Slack);
+  uint32_t In = addArr(F, "in", ScalarKind::I32, MatN + Slack);
+  uint32_t Hidden = addArr(F, "hidden", ScalarKind::F32, MatN + Slack);
+  ValueId Eta = F.addParam("eta", Type::scalar(ScalarKind::F32));
+  IrBuilder B(F);
+  ValueId MatNV = B.constIdx(MatN);
+  auto LJ = B.beginLoop(B.constIdx(0), MatNV, B.constIdx(1));
+  ValueId Zero = B.constFP(ScalarKind::F32, 0);
+  auto LI = B.beginLoop(B.constIdx(0), MatNV, B.constIdx(1));
+  ValueId Acc = B.addCarried(LI, Zero);
+  ValueId InVal = B.convert(ScalarKind::F32, B.load(In, LI.indVar()));
+  ValueId WIdx = B.add(B.mul(LI.indVar(), MatNV), LJ.indVar());
+  B.setCarriedNext(LI, Acc, B.add(Acc, B.mul(InVal, B.load(WT, WIdx))));
+  B.endLoop(LI);
+  ValueId Upd = B.mul(B.carriedResult(LI, Acc), Eta);
+  B.store(Hidden, LJ.indVar(),
+          B.add(B.load(Hidden, LJ.indVar()), Upd));
+  B.endLoop(LJ);
+  K.FPParams = {{"eta", 0.125}};
+  K.Tolerance = 1e-3;
+  seal(K);
+  return K;
+}
+
+/// dct_s32fp: 8x8 DCT row pass over blocks (UTDSP): integer samples times
+/// float cosine table, inner product unrolled over u.
+Kernel dctS32fp() {
+  Kernel K;
+  K.Name = "dct_s32fp";
+  K.Suite = "kernel";
+  K.Features = {"outer-loop", "int-fp", "convert"};
+  Function &F = K.Source;
+  F.Name = K.Name;
+  constexpr int64_t Blocks = 16;
+  uint32_t In = addArr(F, "in", ScalarKind::I32, Blocks * 64 + Slack);
+  uint32_t Cs = addArr(F, "cs", ScalarKind::F32, 64 + Slack);
+  uint32_t O = addArr(F, "o", ScalarKind::F32, Blocks * 64 + Slack);
+  IrBuilder B(F);
+  ValueId Rows = B.constIdx(Blocks * 8);
+  auto LR = B.beginLoop(B.constIdx(0), Rows, B.constIdx(1));
+  ValueId RowBase = B.mul(LR.indVar(), B.constIdx(8));
+  // Row samples, converted once per row (invariant in the k loop).
+  std::vector<ValueId> Samples;
+  for (int U = 0; U < 8; ++U)
+    Samples.push_back(B.convert(
+        ScalarKind::F32, B.load(In, B.add(RowBase, B.constIdx(U)))));
+  auto LK = B.beginLoop(B.constIdx(0), B.constIdx(8), B.constIdx(1));
+  ValueId Acc = NoValue;
+  for (int U = 0; U < 8; ++U) {
+    ValueId CsIdx = B.add(B.constIdx(U * 8), LK.indVar());
+    ValueId Term = B.mul(Samples[U], B.load(Cs, CsIdx));
+    Acc = U == 0 ? Term : B.add(Acc, Term);
+  }
+  B.store(O, B.add(RowBase, LK.indVar()), Acc);
+  B.endLoop(LK);
+  B.endLoop(LR);
+  K.Tolerance = 1e-3;
+  seal(K);
+  return K;
+}
+
+//===--- Floating-point kernels --------------------------------------------===//
+
+/// dissolve_fp: o[i] = a[i]*w + b[i]*(1-w).
+Kernel dissolveFp() {
+  Kernel K;
+  K.Name = "dissolve_fp";
+  K.Suite = "kernel";
+  K.Features = {"elementwise"};
+  Function &F = K.Source;
+  F.Name = K.Name;
+  uint32_t A = addArr(F, "a", ScalarKind::F32, VecN + Slack);
+  uint32_t Bd = addArr(F, "b", ScalarKind::F32, VecN + Slack);
+  uint32_t O = addArr(F, "o", ScalarKind::F32, VecN + Slack);
+  ValueId N = F.addParam("n", Type::scalar(ScalarKind::I64));
+  ValueId W = F.addParam("w", Type::scalar(ScalarKind::F32));
+  IrBuilder B(F);
+  ValueId W2 = B.sub(B.constFP(ScalarKind::F32, 1.0), W);
+  auto L = B.beginLoop(B.constIdx(0), N, B.constIdx(1));
+  B.store(O, L.indVar(), B.add(B.mul(B.load(A, L.indVar()), W),
+                               B.mul(B.load(Bd, L.indVar()), W2)));
+  B.endLoop(L);
+  K.IntParams = {{"n", VecN}};
+  K.FPParams = {{"w", 0.3}};
+  seal(K);
+  return K;
+}
+
+/// sfir_fp: out = Σ x[k]*c[k] (f32 reduction).
+Kernel sfirFp() {
+  Kernel K;
+  K.Name = "sfir_fp";
+  K.Suite = "kernel";
+  K.Features = {"reduction"};
+  Function &F = K.Source;
+  F.Name = K.Name;
+  uint32_t X = addArr(F, "x", ScalarKind::F32, VecN + Slack);
+  uint32_t C = addArr(F, "c", ScalarKind::F32, VecN + Slack);
+  uint32_t O = addArr(F, "out", ScalarKind::F32, 4);
+  ValueId N = F.addParam("n", Type::scalar(ScalarKind::I64));
+  IrBuilder B(F);
+  ValueId Zero = B.constFP(ScalarKind::F32, 0);
+  auto L = B.beginLoop(B.constIdx(0), N, B.constIdx(1));
+  ValueId Phi = B.addCarried(L, Zero);
+  B.setCarriedNext(
+      L, Phi, B.add(Phi, B.mul(B.load(X, L.indVar()), B.load(C, L.indVar()))));
+  B.endLoop(L);
+  B.store(O, B.constIdx(0), B.carriedResult(L, Phi));
+  K.IntParams = {{"n", VecN}};
+  K.Tolerance = 1e-2;
+  seal(K);
+  return K;
+}
+
+/// interp_fp: strided access + f32 reduction.
+Kernel interpFp() {
+  Kernel K;
+  K.Name = "interp_fp";
+  K.Suite = "kernel";
+  K.Features = {"strided", "reduction"};
+  Function &F = K.Source;
+  F.Name = K.Name;
+  uint32_t X = addArr(F, "x", ScalarKind::F32, VecN + Slack);
+  uint32_t C = addArr(F, "c", ScalarKind::F32, 2 * VecN + Slack);
+  uint32_t O = addArr(F, "out", ScalarKind::F32, 4);
+  ValueId N = F.addParam("n", Type::scalar(ScalarKind::I64));
+  IrBuilder B(F);
+  for (int P = 0; P < 2; ++P) {
+    ValueId Zero = B.constFP(ScalarKind::F32, 0);
+    auto L = B.beginLoop(B.constIdx(0), N, B.constIdx(1));
+    ValueId Phi = B.addCarried(L, Zero);
+    ValueId CIdx = B.add(B.mul(L.indVar(), B.constIdx(2)), B.constIdx(P));
+    B.setCarriedNext(
+        L, Phi, B.add(Phi, B.mul(B.load(X, L.indVar()), B.load(C, CIdx))));
+    B.endLoop(L);
+    B.store(O, B.constIdx(P), B.carriedResult(L, Phi));
+  }
+  K.IntParams = {{"n", VecN}};
+  K.Tolerance = 1e-2;
+  seal(K);
+  return K;
+}
+
+/// mmm_fp: dense matrix multiplication, ikj order (unit-stride inner).
+Kernel mmmFp() {
+  Kernel K;
+  K.Name = "mmm_fp";
+  K.Suite = "kernel";
+  K.Features = {"nested", "elementwise"};
+  Function &F = K.Source;
+  F.Name = K.Name;
+  uint32_t A = addArr(F, "A", ScalarKind::F32, MatN * MatN + Slack);
+  uint32_t Bm = addArr(F, "B", ScalarKind::F32, MatN * MatN + Slack);
+  uint32_t C = addArr(F, "C", ScalarKind::F32, MatN * MatN + Slack);
+  IrBuilder B(F);
+  ValueId NV = B.constIdx(MatN);
+  auto LI = B.beginLoop(B.constIdx(0), NV, B.constIdx(1));
+  auto LK = B.beginLoop(B.constIdx(0), NV, B.constIdx(1));
+  ValueId Aik = B.load(A, B.add(B.mul(LI.indVar(), NV), LK.indVar()));
+  auto LJ = B.beginLoop(B.constIdx(0), NV, B.constIdx(1));
+  ValueId CIdx = B.add(B.mul(LI.indVar(), NV), LJ.indVar());
+  ValueId BIdx = B.add(B.mul(LK.indVar(), NV), LJ.indVar());
+  B.store(C, CIdx,
+          B.add(B.load(C, CIdx), B.mul(Aik, B.load(Bm, BIdx))));
+  B.endLoop(LJ);
+  B.endLoop(LK);
+  B.endLoop(LI);
+  K.Tolerance = 1e-2;
+  seal(K);
+  return K;
+}
+
+/// dscal: x[i] *= alpha (BLAS), f32/f64 variants.
+Kernel dscal(ScalarKind Kind, const std::string &Name) {
+  Kernel K;
+  K.Name = Name;
+  K.Suite = "kernel";
+  K.Features = {"elementwise", "blas"};
+  Function &F = K.Source;
+  F.Name = K.Name;
+  uint32_t X = addArr(F, "x", Kind, VecN + Slack);
+  ValueId N = F.addParam("n", Type::scalar(ScalarKind::I64));
+  ValueId Alpha = F.addParam("alpha", Type::scalar(Kind));
+  IrBuilder B(F);
+  auto L = B.beginLoop(B.constIdx(0), N, B.constIdx(1));
+  B.store(X, L.indVar(), B.mul(B.load(X, L.indVar()), Alpha));
+  B.endLoop(L);
+  K.IntParams = {{"n", VecN}};
+  K.FPParams = {{"alpha", 1.25}};
+  seal(K);
+  return K;
+}
+
+/// saxpy: y[i] += alpha*x[i] (BLAS), f32/f64 variants.
+Kernel saxpy(ScalarKind Kind, const std::string &Name) {
+  Kernel K;
+  K.Name = Name;
+  K.Suite = "kernel";
+  K.Features = {"elementwise", "blas"};
+  Function &F = K.Source;
+  F.Name = K.Name;
+  uint32_t X = addArr(F, "x", Kind, VecN + Slack);
+  uint32_t Y = addArr(F, "y", Kind, VecN + Slack);
+  ValueId N = F.addParam("n", Type::scalar(ScalarKind::I64));
+  ValueId Alpha = F.addParam("alpha", Type::scalar(Kind));
+  IrBuilder B(F);
+  auto L = B.beginLoop(B.constIdx(0), N, B.constIdx(1));
+  B.store(Y, L.indVar(),
+          B.add(B.load(Y, L.indVar()), B.mul(Alpha, B.load(X, L.indVar()))));
+  B.endLoop(L);
+  K.IntParams = {{"n", VecN}};
+  K.FPParams = {{"alpha", 1.25}};
+  seal(K);
+  return K;
+}
+
+} // namespace
+
+std::vector<Kernel> kernels::table2Kernels() {
+  std::vector<Kernel> Ks;
+  Ks.push_back(dissolveS8());
+  Ks.push_back(sadS8());
+  Ks.push_back(sfirS16());
+  Ks.push_back(interpS16());
+  Ks.push_back(mixStreamsS16());
+  Ks.push_back(convolveS32());
+  Ks.push_back(alvinnS32fp());
+  Ks.push_back(dctS32fp());
+  Ks.push_back(dissolveFp());
+  Ks.push_back(sfirFp());
+  Ks.push_back(interpFp());
+  Ks.push_back(mmmFp());
+  Ks.push_back(dscal(ScalarKind::F32, "dscal_fp"));
+  Ks.push_back(saxpy(ScalarKind::F32, "saxpy_fp"));
+  Ks.push_back(dscal(ScalarKind::F64, "dscal_dp"));
+  Ks.push_back(saxpy(ScalarKind::F64, "saxpy_dp"));
+  return Ks;
+}
+
+std::vector<Kernel> kernels::allKernels() {
+  std::vector<Kernel> Ks = table2Kernels();
+  std::vector<Kernel> Poly = polybenchKernels();
+  for (auto &K : Poly)
+    Ks.push_back(std::move(K));
+  return Ks;
+}
+
+Kernel kernels::kernelByName(const std::string &Name) {
+  for (Kernel &K : allKernels())
+    if (K.Name == Name)
+      return std::move(K);
+  fatalError("no kernel named " + Name);
+}

@@ -1,0 +1,93 @@
+//===- kernels/Kernels.h - The paper's benchmark kernels -------*- C++ -*-===//
+//
+// Part of the Vapor SIMD reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scalar-IR builders for every kernel of paper Table 2 and the Polybench
+/// subset of Fig. 6, plus deterministic workload construction.
+///
+/// Arrays are declared with *element-size* base alignment only: when
+/// creating portable bytecode the offline compiler cannot assume the
+/// runtime aligns arrays (paper Sec. III-B(c)), which is what triggers the
+/// alignment-versioning machinery. The native baseline promotes the same
+/// arrays to 32-byte alignment before vectorizing, as native GCC does.
+///
+/// Problem sizes are scaled down from the paper's (vectors 512 instead of
+/// app-sized, matrices 32x32 instead of 128x128) because the targets are
+/// interpreted cycle models rather than silicon; per-iteration behaviour,
+/// which determines every reported ratio, is unchanged.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAPOR_KERNELS_KERNELS_H
+#define VAPOR_KERNELS_KERNELS_H
+
+#include "ir/Function.h"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace vapor {
+namespace kernels {
+
+/// Anything that can receive array element values (the VM's MemoryImage
+/// and the golden evaluator both adapt to this).
+class FillSink {
+public:
+  virtual ~FillSink() = default;
+  virtual void pokeInt(uint32_t Arr, uint64_t Elem, int64_t V) = 0;
+  virtual void pokeFP(uint32_t Arr, uint64_t Elem, double V) = 0;
+};
+
+/// Deterministic default fill: small values, identical across runs and
+/// targets. Integer arrays get values in [-100, 100); float arrays in
+/// [-4, 4).
+void defaultFill(FillSink &Sink, const ir::Function &F, uint64_t Seed = 7);
+
+struct Kernel {
+  std::string Name;
+  std::string Suite; ///< "kernel" (Table 2) or "polybench".
+  ir::Function Source{""};
+  std::vector<std::string> Features;
+  /// Scalar parameter defaults (both maps may be consulted by name).
+  std::map<std::string, int64_t> IntParams;
+  std::map<std::string, double> FPParams;
+  /// Comparison tolerance vs the golden model (0 = bit-exact; floats with
+  /// reassociated reductions need slack).
+  double Tolerance = 0;
+  /// Arrays supplied by the embedding application: neither the native
+  /// compiler nor the JIT runtime may force or assume their alignment.
+  std::set<std::string> ExternalArrays;
+  /// Custom workload construction; empty = defaultFill.
+  std::function<void(FillSink &, const ir::Function &)> Fill;
+
+  void fill(FillSink &Sink) const {
+    if (Fill)
+      Fill(Sink, Source);
+    else
+      defaultFill(Sink, Source);
+  }
+};
+
+/// Table 2 kernels, in the paper's order.
+std::vector<Kernel> table2Kernels();
+
+/// The Polybench subset evaluated in Fig. 6.
+std::vector<Kernel> polybenchKernels();
+
+/// Both suites concatenated (the Fig. 6 x-axis).
+std::vector<Kernel> allKernels();
+
+/// \returns the kernel named \p Name (aborts if absent).
+Kernel kernelByName(const std::string &Name);
+
+} // namespace kernels
+} // namespace vapor
+
+#endif // VAPOR_KERNELS_KERNELS_H

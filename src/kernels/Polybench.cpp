@@ -1,0 +1,647 @@
+//===- kernels/Polybench.cpp - Polybench kernel subset ----------------------===//
+//
+// Part of the Vapor SIMD reproduction.
+//
+// The 16 Polybench kernels of Fig. 6, rebuilt in scalar IR at matrix size
+// 32 (paper: 128). As in the paper, the "manual transformations" that
+// expose vectorization — loop interchange, array layout transposition,
+// scalar promotion — are pre-applied to the source (Sec. IV-B); where our
+// conservative dependence policy would reject the paper's in-place sweeps
+// (adi), the sweep reads from a separate input plane, preserving the
+// access pattern that is being measured. lu, ludcmp and seidel keep their
+// loop-carried recurrences and (like the paper's) largely stay scalar.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/Kernels.h"
+
+#include "ir/Builder.h"
+#include "ir/Verifier.h"
+
+using namespace vapor;
+using namespace vapor::kernels;
+using namespace vapor::ir;
+
+namespace {
+
+constexpr int64_t N = 32;
+constexpr int64_t Slack = 64;
+
+uint32_t mat(Function &F, const std::string &Name) {
+  return F.addArray(Name, ScalarKind::F32, N * N + Slack, 4);
+}
+
+uint32_t vec(Function &F, const std::string &Name) {
+  return F.addArray(Name, ScalarKind::F32, N + Slack, 4);
+}
+
+struct PB {
+  Kernel K;
+  IrBuilder B;
+  ValueId NV;
+
+  explicit PB(const std::string &Name) : B(K.Source) {
+    K.Name = Name;
+    K.Suite = "polybench";
+    K.Source.Name = Name;
+    K.Tolerance = 5e-2;
+    NV = B.constIdx(N);
+  }
+
+  ValueId idx2(ValueId I, ValueId J) { return B.add(B.mul(I, NV), J); }
+
+  Kernel finish() {
+    verifyOrDie(K.Source);
+    return std::move(K);
+  }
+};
+
+/// C[i][j] += s * A[i][k] * B[k][j] over the whole matrix (ikj order).
+void emitMatMulAcc(PB &P, uint32_t C, uint32_t A, uint32_t Bm,
+                   ValueId Scale = NoValue) {
+  IrBuilder &B = P.B;
+  auto LI = B.beginLoop(B.constIdx(0), P.NV, B.constIdx(1));
+  auto LK = B.beginLoop(B.constIdx(0), P.NV, B.constIdx(1));
+  ValueId Aik = B.load(A, P.idx2(LI.indVar(), LK.indVar()));
+  if (Scale != NoValue)
+    Aik = B.mul(Aik, Scale);
+  auto LJ = B.beginLoop(B.constIdx(0), P.NV, B.constIdx(1));
+  ValueId CIdx = P.idx2(LI.indVar(), LJ.indVar());
+  ValueId BIdx = P.idx2(LK.indVar(), LJ.indVar());
+  B.store(C, CIdx, B.add(B.load(C, CIdx), B.mul(Aik, B.load(Bm, BIdx))));
+  B.endLoop(LJ);
+  B.endLoop(LK);
+  B.endLoop(LI);
+}
+
+/// out[i][j] = v for the whole matrix.
+void emitMatFill(PB &P, uint32_t M, ValueId V) {
+  IrBuilder &B = P.B;
+  auto LI = B.beginLoop(B.constIdx(0), P.NV, B.constIdx(1));
+  auto LJ = B.beginLoop(B.constIdx(0), P.NV, B.constIdx(1));
+  B.store(M, P.idx2(LI.indVar(), LJ.indVar()), V);
+  B.endLoop(LJ);
+  B.endLoop(LI);
+}
+
+/// Row-dot: Dst[i] = Σ_j M[i][j] * V[j] for every i.
+void emitMatVec(PB &P, uint32_t Dst, uint32_t M, uint32_t V) {
+  IrBuilder &B = P.B;
+  auto LI = B.beginLoop(B.constIdx(0), P.NV, B.constIdx(1));
+  ValueId Zero = B.constFP(ScalarKind::F32, 0);
+  auto LJ = B.beginLoop(B.constIdx(0), P.NV, B.constIdx(1));
+  ValueId Phi = B.addCarried(LJ, Zero);
+  ValueId Prod = B.mul(B.load(M, P.idx2(LI.indVar(), LJ.indVar())),
+                       B.load(V, LJ.indVar()));
+  B.setCarriedNext(LJ, Phi, B.add(Phi, Prod));
+  B.endLoop(LJ);
+  B.store(Dst, LI.indVar(), B.carriedResult(LJ, Phi));
+  B.endLoop(LI);
+}
+
+Kernel correlation() {
+  PB P("correlation_fp");
+  IrBuilder &B = P.B;
+  Function &F = P.K.Source;
+  uint32_t D = mat(F, "data");
+  uint32_t Mean = vec(F, "mean");
+  uint32_t Std = vec(F, "stddev");
+  uint32_t Corr = mat(F, "corr");
+  ValueId InvN = B.constFP(ScalarKind::F32, 1.0 / N);
+
+  // Per-row mean.
+  {
+    auto LI = B.beginLoop(B.constIdx(0), P.NV, B.constIdx(1));
+    ValueId Zero = B.constFP(ScalarKind::F32, 0);
+    auto LJ = B.beginLoop(B.constIdx(0), P.NV, B.constIdx(1));
+    ValueId Phi = B.addCarried(LJ, Zero);
+    B.setCarriedNext(LJ, Phi,
+                     B.add(Phi, B.load(D, P.idx2(LI.indVar(), LJ.indVar()))));
+    B.endLoop(LJ);
+    B.store(Mean, LI.indVar(), B.mul(B.carriedResult(LJ, Phi), InvN));
+    B.endLoop(LI);
+  }
+  // Per-row stddev (with a stabilizer so random data never divides by 0).
+  {
+    auto LI = B.beginLoop(B.constIdx(0), P.NV, B.constIdx(1));
+    ValueId Mi = B.load(Mean, LI.indVar());
+    ValueId Zero = B.constFP(ScalarKind::F32, 0);
+    auto LJ = B.beginLoop(B.constIdx(0), P.NV, B.constIdx(1));
+    ValueId Phi = B.addCarried(LJ, Zero);
+    ValueId C = B.sub(B.load(D, P.idx2(LI.indVar(), LJ.indVar())), Mi);
+    B.setCarriedNext(LJ, Phi, B.add(Phi, B.mul(C, C)));
+    B.endLoop(LJ);
+    ValueId Var = B.add(B.mul(B.carriedResult(LJ, Phi), InvN),
+                        B.constFP(ScalarKind::F32, 0.1));
+    B.store(Std, LI.indVar(), B.sqrtOp(Var));
+    B.endLoop(LI);
+  }
+  // Normalize in place.
+  {
+    auto LI = B.beginLoop(B.constIdx(0), P.NV, B.constIdx(1));
+    ValueId Mi = B.load(Mean, LI.indVar());
+    ValueId Si = B.load(Std, LI.indVar());
+    auto LJ = B.beginLoop(B.constIdx(0), P.NV, B.constIdx(1));
+    ValueId Idx = P.idx2(LI.indVar(), LJ.indVar());
+    B.store(D, Idx, B.div(B.sub(B.load(D, Idx), Mi), Si));
+    B.endLoop(LJ);
+    B.endLoop(LI);
+  }
+  // corr[i][j] = Σ_k d[i][k]*d[j][k] (row-major after the paper's layout
+  // transposition).
+  {
+    auto LI = B.beginLoop(B.constIdx(0), P.NV, B.constIdx(1));
+    auto LJ = B.beginLoop(B.constIdx(0), P.NV, B.constIdx(1));
+    ValueId Zero = B.constFP(ScalarKind::F32, 0);
+    auto LK = B.beginLoop(B.constIdx(0), P.NV, B.constIdx(1));
+    ValueId Phi = B.addCarried(LK, Zero);
+    ValueId Prod = B.mul(B.load(D, P.idx2(LI.indVar(), LK.indVar())),
+                         B.load(D, P.idx2(LJ.indVar(), LK.indVar())));
+    B.setCarriedNext(LK, Phi, B.add(Phi, Prod));
+    B.endLoop(LK);
+    B.store(Corr, P.idx2(LI.indVar(), LJ.indVar()),
+            B.mul(B.carriedResult(LK, Phi), InvN));
+    B.endLoop(LJ);
+    B.endLoop(LI);
+  }
+  return P.finish();
+}
+
+Kernel covariance() {
+  PB P("covariance_fp");
+  IrBuilder &B = P.B;
+  Function &F = P.K.Source;
+  uint32_t D = mat(F, "data");
+  uint32_t Mean = vec(F, "mean");
+  uint32_t Cov = mat(F, "cov");
+  ValueId InvN = B.constFP(ScalarKind::F32, 1.0 / N);
+
+  {
+    auto LI = B.beginLoop(B.constIdx(0), P.NV, B.constIdx(1));
+    ValueId Zero = B.constFP(ScalarKind::F32, 0);
+    auto LJ = B.beginLoop(B.constIdx(0), P.NV, B.constIdx(1));
+    ValueId Phi = B.addCarried(LJ, Zero);
+    B.setCarriedNext(LJ, Phi,
+                     B.add(Phi, B.load(D, P.idx2(LI.indVar(), LJ.indVar()))));
+    B.endLoop(LJ);
+    B.store(Mean, LI.indVar(), B.mul(B.carriedResult(LJ, Phi), InvN));
+    B.endLoop(LI);
+  }
+  {
+    auto LI = B.beginLoop(B.constIdx(0), P.NV, B.constIdx(1));
+    ValueId Mi = B.load(Mean, LI.indVar());
+    auto LJ = B.beginLoop(B.constIdx(0), P.NV, B.constIdx(1));
+    ValueId Idx = P.idx2(LI.indVar(), LJ.indVar());
+    B.store(D, Idx, B.sub(B.load(D, Idx), Mi));
+    B.endLoop(LJ);
+    B.endLoop(LI);
+  }
+  {
+    auto LI = B.beginLoop(B.constIdx(0), P.NV, B.constIdx(1));
+    auto LJ = B.beginLoop(B.constIdx(0), P.NV, B.constIdx(1));
+    ValueId Zero = B.constFP(ScalarKind::F32, 0);
+    auto LK = B.beginLoop(B.constIdx(0), P.NV, B.constIdx(1));
+    ValueId Phi = B.addCarried(LK, Zero);
+    ValueId Prod = B.mul(B.load(D, P.idx2(LI.indVar(), LK.indVar())),
+                         B.load(D, P.idx2(LJ.indVar(), LK.indVar())));
+    B.setCarriedNext(LK, Phi, B.add(Phi, Prod));
+    B.endLoop(LK);
+    B.store(Cov, P.idx2(LI.indVar(), LJ.indVar()),
+            B.mul(B.carriedResult(LK, Phi), InvN));
+    B.endLoop(LJ);
+    B.endLoop(LI);
+  }
+  return P.finish();
+}
+
+Kernel twoMM() {
+  PB P("2mm_fp");
+  Function &F = P.K.Source;
+  uint32_t A = mat(F, "A"), Bm = mat(F, "B"), C = mat(F, "C");
+  uint32_t Tmp = mat(F, "tmp"), D = mat(F, "D");
+  ValueId Zero = P.B.constFP(ScalarKind::F32, 0);
+  emitMatFill(P, Tmp, Zero);
+  emitMatMulAcc(P, Tmp, A, Bm);
+  emitMatFill(P, D, Zero);
+  emitMatMulAcc(P, D, Tmp, C);
+  return P.finish();
+}
+
+Kernel threeMM() {
+  PB P("3mm_fp");
+  Function &F = P.K.Source;
+  uint32_t A = mat(F, "A"), Bm = mat(F, "B"), C = mat(F, "C"),
+           D = mat(F, "D");
+  uint32_t E = mat(F, "E"), Fm = mat(F, "F"), G = mat(F, "G");
+  ValueId Zero = P.B.constFP(ScalarKind::F32, 0);
+  emitMatFill(P, E, Zero);
+  emitMatMulAcc(P, E, A, Bm);
+  emitMatFill(P, Fm, Zero);
+  emitMatMulAcc(P, Fm, C, D);
+  emitMatFill(P, G, Zero);
+  emitMatMulAcc(P, G, E, Fm);
+  return P.finish();
+}
+
+Kernel atax() {
+  PB P("atax_fp");
+  IrBuilder &B = P.B;
+  Function &F = P.K.Source;
+  uint32_t A = mat(F, "A");
+  uint32_t X = vec(F, "x"), Tmp = vec(F, "tmp"), Y = vec(F, "y");
+  // y = 0.
+  {
+    auto LJ = B.beginLoop(B.constIdx(0), P.NV, B.constIdx(1));
+    B.store(Y, LJ.indVar(), B.constFP(ScalarKind::F32, 0));
+    B.endLoop(LJ);
+  }
+  emitMatVec(P, Tmp, A, X);
+  // y[j] += A[i][j] * tmp[i].
+  {
+    auto LI = B.beginLoop(B.constIdx(0), P.NV, B.constIdx(1));
+    ValueId Ti = B.load(Tmp, LI.indVar());
+    auto LJ = B.beginLoop(B.constIdx(0), P.NV, B.constIdx(1));
+    ValueId YIdx = LJ.indVar();
+    B.store(Y, YIdx,
+            B.add(B.load(Y, YIdx),
+                  B.mul(B.load(A, P.idx2(LI.indVar(), LJ.indVar())), Ti)));
+    B.endLoop(LJ);
+    B.endLoop(LI);
+  }
+  return P.finish();
+}
+
+Kernel gesummv() {
+  PB P("gesummv_fp");
+  IrBuilder &B = P.B;
+  Function &F = P.K.Source;
+  uint32_t A = mat(F, "A"), Bm = mat(F, "B");
+  uint32_t X = vec(F, "x"), Y = vec(F, "y");
+  ValueId Alpha = F.addParam("alpha", Type::scalar(ScalarKind::F32));
+  ValueId Beta = F.addParam("beta", Type::scalar(ScalarKind::F32));
+  auto LI = B.beginLoop(B.constIdx(0), P.NV, B.constIdx(1));
+  ValueId Zero = B.constFP(ScalarKind::F32, 0);
+  auto LJ = B.beginLoop(B.constIdx(0), P.NV, B.constIdx(1));
+  ValueId P1 = B.addCarried(LJ, Zero);
+  ValueId P2 = B.addCarried(LJ, Zero);
+  ValueId Xj = B.load(X, LJ.indVar());
+  B.setCarriedNext(
+      LJ, P1,
+      B.add(P1, B.mul(B.load(A, P.idx2(LI.indVar(), LJ.indVar())), Xj)));
+  B.setCarriedNext(
+      LJ, P2,
+      B.add(P2, B.mul(B.load(Bm, P.idx2(LI.indVar(), LJ.indVar())), Xj)));
+  B.endLoop(LJ);
+  B.store(Y, LI.indVar(),
+          B.add(B.mul(Alpha, B.carriedResult(LJ, P1)),
+                B.mul(Beta, B.carriedResult(LJ, P2))));
+  B.endLoop(LI);
+  P.K.FPParams = {{"alpha", 1.5}, {"beta", 0.5}};
+  return P.finish();
+}
+
+Kernel doitgen() {
+  PB P("doitgen_fp");
+  IrBuilder &B = P.B;
+  Function &F = P.K.Source;
+  constexpr int64_t R = 16;
+  // A[r][q][s], C4T transposed (paper's layout transposition), sum[p].
+  uint32_t A = F.addArray("A", ScalarKind::F32, R * R * R + Slack, 4);
+  uint32_t C4 = F.addArray("C4T", ScalarKind::F32, R * R + Slack, 4);
+  uint32_t Sum = F.addArray("sum", ScalarKind::F32, R + Slack, 4);
+  ValueId RV = B.constIdx(R);
+  auto LR = B.beginLoop(B.constIdx(0), RV, B.constIdx(1));
+  auto LQ = B.beginLoop(B.constIdx(0), RV, B.constIdx(1));
+  ValueId RowBase =
+      B.mul(B.add(B.mul(LR.indVar(), RV), LQ.indVar()), RV);
+  auto LP = B.beginLoop(B.constIdx(0), RV, B.constIdx(1));
+  ValueId Zero = B.constFP(ScalarKind::F32, 0);
+  auto LS = B.beginLoop(B.constIdx(0), RV, B.constIdx(1));
+  ValueId Phi = B.addCarried(LS, Zero);
+  ValueId Prod = B.mul(B.load(A, B.add(RowBase, LS.indVar())),
+                       B.load(C4, B.add(B.mul(LP.indVar(), RV), LS.indVar())));
+  B.setCarriedNext(LS, Phi, B.add(Phi, Prod));
+  B.endLoop(LS);
+  B.store(Sum, LP.indVar(), B.carriedResult(LS, Phi));
+  B.endLoop(LP);
+  auto LP2 = B.beginLoop(B.constIdx(0), RV, B.constIdx(1));
+  B.store(A, B.add(RowBase, LP2.indVar()), B.load(Sum, LP2.indVar()));
+  B.endLoop(LP2);
+  B.endLoop(LQ);
+  B.endLoop(LR);
+  return P.finish();
+}
+
+Kernel gemm() {
+  PB P("gemm_fp");
+  IrBuilder &B = P.B;
+  Function &F = P.K.Source;
+  uint32_t A = mat(F, "A"), Bm = mat(F, "B"), C = mat(F, "C");
+  ValueId Alpha = F.addParam("alpha", Type::scalar(ScalarKind::F32));
+  ValueId Beta = F.addParam("beta", Type::scalar(ScalarKind::F32));
+  // C *= beta.
+  {
+    auto LI = B.beginLoop(B.constIdx(0), P.NV, B.constIdx(1));
+    auto LJ = B.beginLoop(B.constIdx(0), P.NV, B.constIdx(1));
+    ValueId Idx = P.idx2(LI.indVar(), LJ.indVar());
+    B.store(C, Idx, B.mul(B.load(C, Idx), Beta));
+    B.endLoop(LJ);
+    B.endLoop(LI);
+  }
+  emitMatMulAcc(P, C, A, Bm, Alpha);
+  P.K.FPParams = {{"alpha", 1.0}, {"beta", 0.75}};
+  return P.finish();
+}
+
+Kernel gemver() {
+  PB P("gemver_fp");
+  IrBuilder &B = P.B;
+  Function &F = P.K.Source;
+  uint32_t A = mat(F, "A");
+  uint32_t U1 = vec(F, "u1"), V1 = vec(F, "v1");
+  uint32_t U2 = vec(F, "u2"), V2 = vec(F, "v2");
+  uint32_t X = vec(F, "x"), Y = vec(F, "y"), Z = vec(F, "z"),
+           W = vec(F, "w");
+  ValueId Alpha = F.addParam("alpha", Type::scalar(ScalarKind::F32));
+  ValueId Beta = F.addParam("beta", Type::scalar(ScalarKind::F32));
+
+  // A += u1 v1^T + u2 v2^T.
+  {
+    auto LI = B.beginLoop(B.constIdx(0), P.NV, B.constIdx(1));
+    ValueId U1i = B.load(U1, LI.indVar());
+    ValueId U2i = B.load(U2, LI.indVar());
+    auto LJ = B.beginLoop(B.constIdx(0), P.NV, B.constIdx(1));
+    ValueId Idx = P.idx2(LI.indVar(), LJ.indVar());
+    ValueId Upd = B.add(B.mul(U1i, B.load(V1, LJ.indVar())),
+                        B.mul(U2i, B.load(V2, LJ.indVar())));
+    B.store(A, Idx, B.add(B.load(A, Idx), Upd));
+    B.endLoop(LJ);
+    B.endLoop(LI);
+  }
+  // x[i] += beta * Σ_j A[i][j]*y[j] + z[i]  (row-major after transpose).
+  {
+    auto LI = B.beginLoop(B.constIdx(0), P.NV, B.constIdx(1));
+    ValueId Zero = B.constFP(ScalarKind::F32, 0);
+    auto LJ = B.beginLoop(B.constIdx(0), P.NV, B.constIdx(1));
+    ValueId Phi = B.addCarried(LJ, Zero);
+    B.setCarriedNext(LJ, Phi,
+                     B.add(Phi,
+                           B.mul(B.load(A, P.idx2(LI.indVar(), LJ.indVar())),
+                                 B.load(Y, LJ.indVar()))));
+    B.endLoop(LJ);
+    ValueId Acc = B.mul(Beta, B.carriedResult(LJ, Phi));
+    B.store(X, LI.indVar(),
+            B.add(B.load(X, LI.indVar()),
+                  B.add(Acc, B.load(Z, LI.indVar()))));
+    B.endLoop(LI);
+  }
+  // w[i] = alpha * Σ_j A[i][j]*x[j].
+  {
+    auto LI = B.beginLoop(B.constIdx(0), P.NV, B.constIdx(1));
+    ValueId Zero = B.constFP(ScalarKind::F32, 0);
+    auto LJ = B.beginLoop(B.constIdx(0), P.NV, B.constIdx(1));
+    ValueId Phi = B.addCarried(LJ, Zero);
+    B.setCarriedNext(LJ, Phi,
+                     B.add(Phi,
+                           B.mul(B.load(A, P.idx2(LI.indVar(), LJ.indVar())),
+                                 B.load(X, LJ.indVar()))));
+    B.endLoop(LJ);
+    B.store(W, LI.indVar(), B.mul(Alpha, B.carriedResult(LJ, Phi)));
+    B.endLoop(LI);
+  }
+  P.K.FPParams = {{"alpha", 1.2}, {"beta", 0.8}};
+  return P.finish();
+}
+
+Kernel bicg() {
+  PB P("bicg_fp");
+  Function &F = P.K.Source;
+  uint32_t A = mat(F, "A"), AT = mat(F, "AT");
+  uint32_t Rv = vec(F, "r"), Pv = vec(F, "p");
+  uint32_t S = vec(F, "s"), Q = vec(F, "q");
+  emitMatVec(P, S, AT, Rv);
+  emitMatVec(P, Q, A, Pv);
+  return P.finish();
+}
+
+Kernel gramschmidt() {
+  PB P("gramschmidt_fp");
+  IrBuilder &B = P.B;
+  Function &F = P.K.Source;
+  uint32_t A = mat(F, "A"), Q = mat(F, "Q"), R = mat(F, "R");
+
+  auto LK = B.beginLoop(B.constIdx(0), P.NV, B.constIdx(1));
+  // nrm = sqrt(Σ_j A[k][j]^2 + eps); R[k][k] = nrm.
+  ValueId Zero = B.constFP(ScalarKind::F32, 0);
+  auto LJ1 = B.beginLoop(B.constIdx(0), P.NV, B.constIdx(1));
+  ValueId Phi = B.addCarried(LJ1, Zero);
+  ValueId Akj = B.load(A, P.idx2(LK.indVar(), LJ1.indVar()));
+  B.setCarriedNext(LJ1, Phi, B.add(Phi, B.mul(Akj, Akj)));
+  B.endLoop(LJ1);
+  ValueId Nrm = B.sqrtOp(B.add(B.carriedResult(LJ1, Phi),
+                               B.constFP(ScalarKind::F32, 0.5)));
+  B.store(R, P.idx2(LK.indVar(), LK.indVar()), Nrm);
+  // Q[k][j] = A[k][j] / nrm.
+  auto LJ2 = B.beginLoop(B.constIdx(0), P.NV, B.constIdx(1));
+  B.store(Q, P.idx2(LK.indVar(), LJ2.indVar()),
+          B.div(B.load(A, P.idx2(LK.indVar(), LJ2.indVar())), Nrm));
+  B.endLoop(LJ2);
+  // For i > k: R[k][i] = Σ_j Q[k][j]*A[i][j]; A[i][j] -= Q[k][j]*R[k][i].
+  ValueId KPlus1 = B.add(LK.indVar(), B.constIdx(1));
+  auto LI = B.beginLoop(KPlus1, P.NV, B.constIdx(1));
+  ValueId Zero2 = B.constFP(ScalarKind::F32, 0);
+  auto LJ3 = B.beginLoop(B.constIdx(0), P.NV, B.constIdx(1));
+  ValueId Phi2 = B.addCarried(LJ3, Zero2);
+  ValueId Prod = B.mul(B.load(Q, P.idx2(LK.indVar(), LJ3.indVar())),
+                       B.load(A, P.idx2(LI.indVar(), LJ3.indVar())));
+  B.setCarriedNext(LJ3, Phi2, B.add(Phi2, Prod));
+  B.endLoop(LJ3);
+  ValueId Rki = B.carriedResult(LJ3, Phi2);
+  B.store(R, P.idx2(LK.indVar(), LI.indVar()), Rki);
+  auto LJ4 = B.beginLoop(B.constIdx(0), P.NV, B.constIdx(1));
+  ValueId AIdx = P.idx2(LI.indVar(), LJ4.indVar());
+  B.store(A, AIdx,
+          B.sub(B.load(A, AIdx),
+                B.mul(B.load(Q, P.idx2(LK.indVar(), LJ4.indVar())), Rki)));
+  B.endLoop(LJ4);
+  B.endLoop(LI);
+  B.endLoop(LK);
+  P.K.Tolerance = 0.1;
+  return P.finish();
+}
+
+/// Boosts the diagonal so elimination never divides by (near) zero.
+void diagDominantFill(FillSink &S, const Function &F, uint32_t MatArr) {
+  defaultFill(S, F);
+  for (int64_t I = 0; I < N; ++I)
+    S.pokeFP(MatArr, I * N + I, 64.0 + I);
+}
+
+Kernel lu() {
+  PB P("lu_fp");
+  IrBuilder &B = P.B;
+  Function &F = P.K.Source;
+  uint32_t A = mat(F, "A");
+  auto LK = B.beginLoop(B.constIdx(0), P.NV, B.constIdx(1));
+  ValueId Akk = B.load(A, P.idx2(LK.indVar(), LK.indVar()));
+  ValueId KPlus1 = B.add(LK.indVar(), B.constIdx(1));
+  auto LI = B.beginLoop(KPlus1, P.NV, B.constIdx(1));
+  ValueId AikIdx = P.idx2(LI.indVar(), LK.indVar());
+  ValueId Lik = B.div(B.load(A, AikIdx), Akk);
+  B.store(A, AikIdx, Lik);
+  auto LJ = B.beginLoop(KPlus1, P.NV, B.constIdx(1));
+  ValueId AijIdx = P.idx2(LI.indVar(), LJ.indVar());
+  B.store(A, AijIdx,
+          B.sub(B.load(A, AijIdx),
+                B.mul(Lik, B.load(A, P.idx2(LK.indVar(), LJ.indVar())))));
+  B.endLoop(LJ);
+  B.endLoop(LI);
+  B.endLoop(LK);
+  P.K.Tolerance = 0.1;
+  P.K.Fill = [A](FillSink &S, const Function &Fn) {
+    diagDominantFill(S, Fn, A);
+  };
+  return P.finish();
+}
+
+Kernel ludcmp() {
+  PB P("ludcmp_fp");
+  IrBuilder &B = P.B;
+  Function &F = P.K.Source;
+  uint32_t A = mat(F, "A");
+  uint32_t Bv = vec(F, "b"), Y = vec(F, "y"), X = vec(F, "x");
+  // Forward substitution: y[i] = b[i] - Σ_{j<i} A[i][j]*y[j].
+  auto LI = B.beginLoop(B.constIdx(0), P.NV, B.constIdx(1));
+  ValueId Zero = B.constFP(ScalarKind::F32, 0);
+  auto LJ = B.beginLoop(B.constIdx(0), LI.indVar(), B.constIdx(1));
+  ValueId Phi = B.addCarried(LJ, Zero);
+  B.setCarriedNext(LJ, Phi,
+                   B.add(Phi,
+                         B.mul(B.load(A, P.idx2(LI.indVar(), LJ.indVar())),
+                               B.load(Y, LJ.indVar()))));
+  B.endLoop(LJ);
+  B.store(Y, LI.indVar(),
+          B.sub(B.load(Bv, LI.indVar()), B.carriedResult(LJ, Phi)));
+  B.endLoop(LI);
+  // Back substitution with division by the diagonal, iterating rows in
+  // reverse via index arithmetic (loops count upward by IR rule).
+  auto LI2 = B.beginLoop(B.constIdx(0), P.NV, B.constIdx(1));
+  ValueId Row = B.sub(B.constIdx(N - 1), LI2.indVar());
+  ValueId RowP1 = B.add(Row, B.constIdx(1));
+  ValueId Zero2 = B.constFP(ScalarKind::F32, 0);
+  auto LJ2 = B.beginLoop(RowP1, P.NV, B.constIdx(1));
+  ValueId Phi2 = B.addCarried(LJ2, Zero2);
+  B.setCarriedNext(LJ2, Phi2,
+                   B.add(Phi2, B.mul(B.load(A, P.idx2(Row, LJ2.indVar())),
+                                     B.load(X, LJ2.indVar()))));
+  B.endLoop(LJ2);
+  ValueId Num = B.sub(B.load(Y, Row), B.carriedResult(LJ2, Phi2));
+  B.store(X, Row, B.div(Num, B.load(A, P.idx2(Row, Row))));
+  B.endLoop(LI2);
+  P.K.Tolerance = 0.1;
+  P.K.Fill = [A](FillSink &S, const Function &Fn) {
+    diagDominantFill(S, Fn, A);
+  };
+  return P.finish();
+}
+
+Kernel adi() {
+  PB P("adi_fp");
+  IrBuilder &B = P.B;
+  Function &F = P.K.Source;
+  // Sweeps read the previous plane (paper applies skewing/transposition;
+  // our conservative dependence policy needs the planes split).
+  uint32_t X0 = mat(F, "Xprev"), X = mat(F, "X"), A = mat(F, "A");
+  uint32_t Y0 = mat(F, "Yprev"), Y = mat(F, "Y"), Bc = mat(F, "Bc");
+  ValueId One = B.constIdx(1);
+  {
+    auto LI = B.beginLoop(One, P.NV, B.constIdx(1));
+    auto LJ = B.beginLoop(B.constIdx(0), P.NV, B.constIdx(1));
+    ValueId Idx = P.idx2(LI.indVar(), LJ.indVar());
+    ValueId Up = P.idx2(B.sub(LI.indVar(), One), LJ.indVar());
+    B.store(X, Idx,
+            B.sub(B.load(X0, Idx), B.mul(B.load(A, Idx), B.load(X0, Up))));
+    B.endLoop(LJ);
+    B.endLoop(LI);
+  }
+  {
+    auto LI = B.beginLoop(One, P.NV, B.constIdx(1));
+    auto LJ = B.beginLoop(B.constIdx(0), P.NV, B.constIdx(1));
+    ValueId Idx = P.idx2(LI.indVar(), LJ.indVar());
+    ValueId Up = P.idx2(B.sub(LI.indVar(), One), LJ.indVar());
+    B.store(Y, Idx,
+            B.sub(B.load(Y0, Idx), B.mul(B.load(Bc, Idx), B.load(Y0, Up))));
+    B.endLoop(LJ);
+    B.endLoop(LI);
+  }
+  return P.finish();
+}
+
+Kernel jacobi() {
+  PB P("jacobi_fp");
+  IrBuilder &B = P.B;
+  Function &F = P.K.Source;
+  uint32_t A = mat(F, "A"), Bm = mat(F, "B");
+  ValueId One = B.constIdx(1);
+  ValueId NM1 = B.constIdx(N - 1);
+  ValueId Fifth = B.constFP(ScalarKind::F32, 0.2);
+  auto LI = B.beginLoop(One, NM1, B.constIdx(1));
+  auto LJ = B.beginLoop(One, NM1, B.constIdx(1));
+  ValueId Idx = P.idx2(LI.indVar(), LJ.indVar());
+  ValueId Sum = B.load(A, Idx);
+  Sum = B.add(Sum, B.load(A, B.sub(Idx, One)));
+  Sum = B.add(Sum, B.load(A, B.add(Idx, One)));
+  Sum = B.add(Sum, B.load(A, P.idx2(B.sub(LI.indVar(), One), LJ.indVar())));
+  Sum = B.add(Sum, B.load(A, P.idx2(B.add(LI.indVar(), One), LJ.indVar())));
+  B.store(Bm, Idx, B.mul(Sum, Fifth));
+  B.endLoop(LJ);
+  B.endLoop(LI);
+  return P.finish();
+}
+
+Kernel seidel() {
+  PB P("seidel_fp");
+  IrBuilder &B = P.B;
+  Function &F = P.K.Source;
+  uint32_t A = mat(F, "A");
+  ValueId One = B.constIdx(1);
+  ValueId NM1 = B.constIdx(N - 1);
+  ValueId Fifth = B.constFP(ScalarKind::F32, 0.2);
+  // In-place: loop-carried distance 1 — stays scalar (as in the paper,
+  // where seidel needs skewing the vectorizer cannot handle).
+  auto LI = B.beginLoop(One, NM1, B.constIdx(1));
+  auto LJ = B.beginLoop(One, NM1, B.constIdx(1));
+  ValueId Idx = P.idx2(LI.indVar(), LJ.indVar());
+  ValueId Sum = B.load(A, Idx);
+  Sum = B.add(Sum, B.load(A, B.sub(Idx, One)));
+  Sum = B.add(Sum, B.load(A, B.add(Idx, One)));
+  Sum = B.add(Sum, B.load(A, P.idx2(B.sub(LI.indVar(), One), LJ.indVar())));
+  Sum = B.add(Sum, B.load(A, P.idx2(B.add(LI.indVar(), One), LJ.indVar())));
+  B.store(A, Idx, B.mul(Sum, Fifth));
+  B.endLoop(LJ);
+  B.endLoop(LI);
+  return P.finish();
+}
+
+} // namespace
+
+std::vector<Kernel> kernels::polybenchKernels() {
+  std::vector<Kernel> Ks;
+  Ks.push_back(correlation());
+  Ks.push_back(covariance());
+  Ks.push_back(twoMM());
+  Ks.push_back(threeMM());
+  Ks.push_back(atax());
+  Ks.push_back(gesummv());
+  Ks.push_back(doitgen());
+  Ks.push_back(gemm());
+  Ks.push_back(gemver());
+  Ks.push_back(bicg());
+  Ks.push_back(gramschmidt());
+  Ks.push_back(lu());
+  Ks.push_back(ludcmp());
+  Ks.push_back(adi());
+  Ks.push_back(jacobi());
+  Ks.push_back(seidel());
+  return Ks;
+}

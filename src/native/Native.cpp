@@ -1,0 +1,19 @@
+//===- native/Native.cpp - Monolithic offline baseline ----------------------===//
+//
+// Part of the Vapor SIMD reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "native/Native.h"
+
+using namespace vapor;
+using namespace vapor::native;
+
+ir::Function native::forceArrayAlignment(
+    const ir::Function &F, const std::set<std::string> &External) {
+  ir::Function G = F;
+  for (ir::ArrayInfo &A : G.Arrays)
+    if (!External.count(A.Name) && A.BaseAlign < ForcedAlign)
+      A.BaseAlign = ForcedAlign;
+  return G;
+}

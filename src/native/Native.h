@@ -1,0 +1,44 @@
+//===- native/Native.h - Monolithic offline baseline -----------*- C++ -*-===//
+//
+// Part of the Vapor SIMD reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The baseline every figure normalizes against: classic monolithic,
+/// fixed-target compilation. It runs the *same* vectorizer and code
+/// generator as the split flow, but with the privileges a native compiler
+/// has and a JIT does not (paper Sec. III-B(c)):
+///
+///  - it controls data layout, so it forces the alignment of every array
+///    it owns ("GCC indeed forces the alignment of global and local
+///    arrays") — external arrays stay unknown;
+///  - it knows the target, so guards and machine parameters fold at
+///    compile time and a single loop version survives.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAPOR_NATIVE_NATIVE_H
+#define VAPOR_NATIVE_NATIVE_H
+
+#include "ir/Function.h"
+
+#include <set>
+#include <string>
+
+namespace vapor {
+namespace native {
+
+/// Alignment a native compiler forces on arrays it lays out.
+constexpr uint32_t ForcedAlign = 32;
+
+/// \returns a copy of \p F whose arrays are promoted to ForcedAlign,
+/// except those named in \p External (caller-owned buffers the compiler
+/// cannot re-align).
+ir::Function forceArrayAlignment(const ir::Function &F,
+                                 const std::set<std::string> &External);
+
+} // namespace native
+} // namespace vapor
+
+#endif // VAPOR_NATIVE_NATIVE_H

@@ -1,0 +1,85 @@
+//===- vapor/Pipeline.h - End-to-end compilation/execution -----*- C++ -*-===//
+//
+// Part of the Vapor SIMD reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The facade tying everything together: the four measurement points of
+/// paper Fig. 4, executable on any kernel, target, and JIT tier.
+///
+///   SplitVectorized (A/D): offline vectorizer -> split bytecode (encoded
+///       and decoded through the container) -> online JIT -> target VM.
+///   SplitScalar     (C):   scalar bytecode -> online JIT -> target VM.
+///   NativeVectorized(E):   arrays force-aligned, then the same vectorizer
+///       + strong codegen with full compile-time knowledge.
+///   NativeScalar    (F):   force-aligned scalar source -> strong codegen.
+///
+/// Every run reports cycles, compile (lowering) time, bytecode size, and
+/// keeps the memory image so callers can verify outputs against the
+/// golden IR evaluator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAPOR_VAPOR_PIPELINE_H
+#define VAPOR_VAPOR_PIPELINE_H
+
+#include "jit/Jit.h"
+#include "kernels/Kernels.h"
+#include "target/Iaca.h"
+#include "target/MemoryImage.h"
+#include "target/Target.h"
+#include "vectorizer/Vectorizer.h"
+
+#include <memory>
+#include <string>
+
+namespace vapor {
+
+enum class Flow : uint8_t {
+  SplitVectorized,
+  SplitScalar,
+  NativeVectorized,
+  NativeScalar,
+};
+
+const char *flowName(Flow F);
+
+struct RunOptions {
+  target::TargetDesc Target = target::sseTarget();
+  jit::Tier Tier = jit::Tier::Strong;
+  /// Codegen profile knobs (Table 3's legacy split compiler).
+  bool FoldAddressing = true;
+  bool PromoteAccumulators = true;
+  /// Offline-stage options (the alignment ablation switch lives here).
+  vectorizer::Options VecOpts;
+  /// Runtime placement: misalignment (bytes mod 32) of external arrays;
+  /// internal arrays are allocated by our runtime, which aligns them.
+  uint32_t ExternalMisalign = 0;
+  uint64_t FillSeed = 7;
+};
+
+struct RunOutcome {
+  uint64_t Cycles = 0;
+  bool Scalarized = false;
+  bool AnyLoopVectorized = false;
+  double CompileMicros = 0;   ///< Online-stage lowering wall time.
+  size_t BytecodeBytes = 0;   ///< Encoded size of what the JIT consumed.
+  target::MFunction Code;
+  std::unique_ptr<target::MemoryImage> Mem;
+  target::IacaReport Iaca;    ///< Static throughput of the vector loop.
+};
+
+/// Compiles and executes \p K under \p Flow. Aborts on internal errors;
+/// never fails for representable configurations.
+RunOutcome runKernel(const kernels::Kernel &K, Flow F, const RunOptions &O);
+
+/// Runs the golden IR evaluator on the kernel source with the same
+/// workload and compares every array element against \p Out's memory.
+/// \returns true on match; otherwise fills \p Err.
+bool checkAgainstGolden(const kernels::Kernel &K, const RunOutcome &Out,
+                        std::string &Err);
+
+} // namespace vapor
+
+#endif // VAPOR_VAPOR_PIPELINE_H

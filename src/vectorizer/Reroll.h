@@ -1,0 +1,45 @@
+//===- vectorizer/Reroll.h - SLP via loop re-rolling -----------*- C++ -*-===//
+//
+// Part of the Vapor SIMD reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Straight-line (SLP) vectorization, implemented the way loop-aware SLP
+/// behaves in practice: a loop body consisting of G isomorphic statement
+/// groups at consecutive offsets — the hand-unrolled channel code of
+/// mix_streams (paper Table 2) — is *re-rolled* into an equivalent loop of
+/// G times the trip count, which the regular loop vectorizer then handles
+/// at the target's full vector width.
+///
+/// Re-rolling preserves the exact statement execution order, so it needs
+/// no dependence analysis: group c of iteration i runs exactly where it
+/// ran before.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAPOR_VECTORIZER_REROLL_H
+#define VAPOR_VECTORIZER_REROLL_H
+
+#include "ir/Function.h"
+
+#include <set>
+
+namespace vapor {
+namespace vectorizer {
+
+struct RerollResult {
+  ir::Function Output;
+  /// Loop indices *in Output* that were produced by re-rolling (their
+  /// later vectorization is reported as the "slp" strategy).
+  std::set<uint32_t> RerolledLoops;
+};
+
+/// Re-rolls every innermost loop of \p F that matches the unrolled-group
+/// pattern; all other code is cloned unchanged.
+RerollResult rerollUnrolledLoops(const ir::Function &F);
+
+} // namespace vectorizer
+} // namespace vapor
+
+#endif // VAPOR_VECTORIZER_REROLL_H

@@ -1,0 +1,435 @@
+//===- tests/analysis_test.cpp - Analysis suite tests ---------------------===//
+//
+// Part of the Vapor SIMD reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Affine.h"
+#include "analysis/Alignment.h"
+#include "analysis/Dependence.h"
+#include "analysis/LoopAnalysis.h"
+#include "analysis/Reduction.h"
+#include "ir/Builder.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace vapor;
+using namespace vapor::analysis;
+using namespace vapor::ir;
+
+namespace {
+
+//===--- Affine analysis -------------------------------------------------------//
+
+TEST(AffineTest, ConstantsAndArithmetic) {
+  Function F("t");
+  ValueId N = F.addParam("n", Type::scalar(ScalarKind::I64));
+  IrBuilder B(F);
+  ValueId C2 = B.constIdx(2);
+  ValueId C3 = B.constIdx(3);
+  ValueId S = B.add(C2, C3);        // 5
+  ValueId M = B.mul(S, C2);         // 10
+  ValueId X = B.add(B.mul(N, C3), M); // 3n + 10
+
+  AffineAnalysis AA(F);
+  EXPECT_TRUE(AA.of(S).isConstant());
+  EXPECT_EQ(AA.of(S).Const, 5);
+  EXPECT_EQ(AA.of(M).Const, 10);
+  EXPECT_EQ(AA.of(X).Const, 10);
+  EXPECT_EQ(AA.of(X).coeff(N), 3);
+}
+
+TEST(AffineTest, SymbolCancellation) {
+  Function F("t");
+  ValueId N = F.addParam("n", Type::scalar(ScalarKind::I64));
+  IrBuilder B(F);
+  ValueId A = B.add(N, B.constIdx(2)); // n + 2
+  ValueId Bv = B.add(N, B.constIdx(7)); // n + 7
+  AffineAnalysis AA(F);
+  AffineExpr D = AA.of(Bv).sub(AA.of(A));
+  EXPECT_TRUE(D.isConstant());
+  EXPECT_EQ(D.Const, 5);
+}
+
+TEST(AffineTest, ShiftAsMultiply) {
+  Function F("t");
+  ValueId N = F.addParam("n", Type::scalar(ScalarKind::I64));
+  IrBuilder B(F);
+  ValueId X = B.shl(N, B.constIdx(3));
+  AffineAnalysis AA(F);
+  EXPECT_EQ(AA.of(X).coeff(N), 8);
+}
+
+TEST(AffineTest, NonAffineBecomesSymbol) {
+  Function F("t");
+  ValueId N = F.addParam("n", Type::scalar(ScalarKind::I64));
+  IrBuilder B(F);
+  ValueId Q = B.div(N, B.constIdx(3));
+  AffineAnalysis AA(F);
+  EXPECT_EQ(AA.of(Q).coeff(Q), 1); // Its own symbol.
+  // But two uses of the same symbol cancel.
+  EXPECT_TRUE(AA.of(Q).sub(AA.of(Q)).isConstant());
+}
+
+TEST(AffineTest, InductionVariableTerm) {
+  Function F("t");
+  ValueId N = F.addParam("n", Type::scalar(ScalarKind::I64));
+  IrBuilder B(F);
+  auto L = B.beginLoop(B.constIdx(0), N, B.constIdx(1));
+  ValueId Idx = B.add(B.mul(L.indVar(), B.constIdx(4)), B.constIdx(1));
+  B.endLoop(L);
+  AffineAnalysis AA(F);
+  EXPECT_EQ(AA.of(Idx).coeff(L.indVar()), 4);
+  EXPECT_EQ(AA.of(Idx).Const, 1);
+}
+
+//===--- Loop nest info --------------------------------------------------------//
+
+TEST(LoopNestTest, ParentsAndDefinedIn) {
+  Function F("t");
+  uint32_t A = F.addArray("a", ScalarKind::F32, 64, 32);
+  ValueId N = F.addParam("n", Type::scalar(ScalarKind::I64));
+  IrBuilder B(F);
+  auto LI = B.beginLoop(B.constIdx(0), N, B.constIdx(1));
+  ValueId Inner0 = B.constIdx(0);
+  auto LJ = B.beginLoop(Inner0, N, B.constIdx(1));
+  ValueId X = B.load(A, LJ.indVar());
+  B.store(A, LJ.indVar(), X);
+  B.endLoop(LJ);
+  B.endLoop(LI);
+
+  LoopNestInfo Nest(F);
+  EXPECT_EQ(Nest.parent(LJ.LoopIdx), static_cast<int>(LI.LoopIdx));
+  EXPECT_EQ(Nest.parent(LI.LoopIdx), -1);
+  EXPECT_FALSE(Nest.isInnermost(LI.LoopIdx));
+  EXPECT_TRUE(Nest.isInnermost(LJ.LoopIdx));
+  EXPECT_EQ(Nest.depth(LJ.LoopIdx), 1u);
+
+  // The inner load value is defined in both loops; the inner iv likewise;
+  // the outer iv only in the outer loop.
+  EXPECT_TRUE(Nest.definesValue(LI.LoopIdx, X));
+  EXPECT_TRUE(Nest.definesValue(LJ.LoopIdx, X));
+  EXPECT_TRUE(Nest.definesValue(LI.LoopIdx, LJ.indVar()));
+  EXPECT_FALSE(Nest.definesValue(LJ.LoopIdx, LI.indVar()));
+  // Parameters are defined in neither.
+  EXPECT_FALSE(Nest.definesValue(LI.LoopIdx, N));
+}
+
+TEST(LoopNestTest, CollectAccessesRecurses) {
+  Function F("t");
+  uint32_t A = F.addArray("a", ScalarKind::F32, 64, 32);
+  ValueId N = F.addParam("n", Type::scalar(ScalarKind::I64));
+  IrBuilder B(F);
+  auto LI = B.beginLoop(B.constIdx(0), N, B.constIdx(1));
+  ValueId X = B.load(A, LI.indVar());
+  auto LJ = B.beginLoop(B.constIdx(0), N, B.constIdx(1));
+  B.store(A, LJ.indVar(), X);
+  B.endLoop(LJ);
+  B.endLoop(LI);
+
+  auto Accs = collectAccesses(F, F.Loops[LI.LoopIdx].Body);
+  ASSERT_EQ(Accs.size(), 2u);
+  EXPECT_FALSE(Accs[0].IsWrite);
+  EXPECT_TRUE(Accs[1].IsWrite);
+}
+
+//===--- Dependence analysis ---------------------------------------------------//
+
+struct DepFixture {
+  Function F{"dep"};
+  uint32_t A = 0, Out = 0;
+  ValueId N = NoValue;
+  std::unique_ptr<IrBuilder> B;
+
+  DepFixture() {
+    A = F.addArray("a", ScalarKind::I32, 128, 32);
+    Out = F.addArray("out", ScalarKind::I32, 128, 32);
+    N = F.addParam("n", Type::scalar(ScalarKind::I64));
+    B = std::make_unique<IrBuilder>(F);
+  }
+
+  DependenceResult analyze(uint32_t LoopIdx) {
+    AffineAnalysis AA(F);
+    LoopNestInfo Nest(F);
+    return analyzeDependences(F, AA, Nest, LoopIdx);
+  }
+};
+
+TEST(DependenceTest, DisjointArraysAreIndependent) {
+  DepFixture D;
+  auto L = D.B->beginLoop(D.B->constIdx(0), D.N, D.B->constIdx(1));
+  ValueId X = D.B->load(D.A, L.indVar());
+  D.B->store(D.Out, L.indVar(), X);
+  D.B->endLoop(L);
+  EXPECT_TRUE(D.analyze(L.LoopIdx).Vectorizable);
+}
+
+TEST(DependenceTest, SameIterationReadModifyWrite) {
+  DepFixture D;
+  auto L = D.B->beginLoop(D.B->constIdx(0), D.N, D.B->constIdx(1));
+  ValueId X = D.B->load(D.A, L.indVar());
+  D.B->store(D.A, L.indVar(), D.B->add(X, X));
+  D.B->endLoop(L);
+  auto R = D.analyze(L.LoopIdx);
+  EXPECT_TRUE(R.Vectorizable);
+  bool SawSameIter = false;
+  for (const auto &P : R.Pairs)
+    SawSameIter |= P.Kind == DepKind::SameIteration;
+  EXPECT_TRUE(SawSameIter);
+}
+
+TEST(DependenceTest, CarriedDistanceOneBlocks) {
+  // a[i+1] = a[i]: classic flow dependence, distance 1.
+  DepFixture D;
+  auto L = D.B->beginLoop(D.B->constIdx(0), D.N, D.B->constIdx(1));
+  ValueId X = D.B->load(D.A, L.indVar());
+  D.B->store(D.A, D.B->add(L.indVar(), D.B->constIdx(1)), X);
+  D.B->endLoop(L);
+  auto R = D.analyze(L.LoopIdx);
+  EXPECT_FALSE(R.Vectorizable);
+  ASSERT_FALSE(R.Blockers.empty());
+  EXPECT_EQ(R.Blockers[0].Kind, DepKind::Carried);
+  EXPECT_EQ(std::abs(R.Blockers[0].Distance), 1);
+}
+
+TEST(DependenceTest, StridedWritesNeverCollide) {
+  // out[2i] and out[2i+1]: strides cancel, offsets differ by 1, 1 % 2 != 0.
+  DepFixture D;
+  auto L = D.B->beginLoop(D.B->constIdx(0), D.N, D.B->constIdx(1));
+  ValueId I2 = D.B->mul(L.indVar(), D.B->constIdx(2));
+  ValueId X = D.B->load(D.A, L.indVar());
+  D.B->store(D.Out, I2, X);
+  D.B->store(D.Out, D.B->add(I2, D.B->constIdx(1)), X);
+  D.B->endLoop(L);
+  EXPECT_TRUE(D.analyze(L.LoopIdx).Vectorizable);
+}
+
+TEST(DependenceTest, SymbolicOffsetIsUnknown) {
+  // a[i] vs a[i + n]: symbolic distance, conservative.
+  DepFixture D;
+  auto L = D.B->beginLoop(D.B->constIdx(0), D.N, D.B->constIdx(1));
+  ValueId X = D.B->load(D.A, D.B->add(L.indVar(), D.N));
+  D.B->store(D.A, L.indVar(), X);
+  D.B->endLoop(L);
+  auto R = D.analyze(L.LoopIdx);
+  EXPECT_FALSE(R.Vectorizable);
+  EXPECT_EQ(R.Blockers[0].Kind, DepKind::Unknown);
+}
+
+TEST(DependenceTest, InvariantStoreIsCarried) {
+  // out[0] = a[i] every iteration: output dependence on out[0].
+  DepFixture D;
+  auto L = D.B->beginLoop(D.B->constIdx(0), D.N, D.B->constIdx(1));
+  ValueId X = D.B->load(D.A, L.indVar());
+  D.B->store(D.Out, D.B->constIdx(0), X);
+  D.B->endLoop(L);
+  EXPECT_FALSE(D.analyze(L.LoopIdx).Vectorizable);
+}
+
+TEST(DependenceTest, OuterIvTermIsInvariantForInnerLoop) {
+  // c[i*16 + j] = a[i*16 + j] vectorizing j: i-term cancels.
+  DepFixture D;
+  auto LI = D.B->beginLoop(D.B->constIdx(0), D.N, D.B->constIdx(1));
+  auto LJ = D.B->beginLoop(D.B->constIdx(0), D.B->constIdx(16),
+                           D.B->constIdx(1));
+  ValueId Idx = D.B->add(D.B->mul(LI.indVar(), D.B->constIdx(16)),
+                         LJ.indVar());
+  ValueId X = D.B->load(D.A, Idx);
+  D.B->store(D.Out, Idx, X);
+  D.B->endLoop(LJ);
+  D.B->endLoop(LI);
+  EXPECT_TRUE(D.analyze(LJ.LoopIdx).Vectorizable);
+}
+
+//===--- Reduction matching ----------------------------------------------------//
+
+TEST(ReductionTest, MatchesSum) {
+  Function F("red");
+  uint32_t A = F.addArray("a", ScalarKind::F32, 64, 32);
+  ValueId N = F.addParam("n", Type::scalar(ScalarKind::I64));
+  IrBuilder B(F);
+  ValueId Zero = B.constFP(ScalarKind::F32, 0);
+  auto L = B.beginLoop(B.constIdx(0), N, B.constIdx(1));
+  ValueId Phi = B.addCarried(L, Zero);
+  ValueId X = B.load(A, L.indVar());
+  B.setCarriedNext(L, Phi, B.add(Phi, X));
+  B.endLoop(L);
+
+  auto R = matchReduction(F, L.LoopIdx, 0);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->Kind, ReductionKind::Plus);
+  EXPECT_EQ(R->Contribution, X);
+}
+
+TEST(ReductionTest, MatchesMaxWithPhiOnEitherSide) {
+  Function F("red");
+  uint32_t A = F.addArray("a", ScalarKind::I32, 64, 32);
+  ValueId N = F.addParam("n", Type::scalar(ScalarKind::I64));
+  IrBuilder B(F);
+  ValueId Init = B.constInt(ScalarKind::I32, INT32_MIN);
+  auto L = B.beginLoop(B.constIdx(0), N, B.constIdx(1));
+  ValueId Phi = B.addCarried(L, Init);
+  ValueId X = B.load(A, L.indVar());
+  B.setCarriedNext(L, Phi, B.smax(X, Phi)); // Phi in second position.
+  B.endLoop(L);
+  auto R = matchReduction(F, L.LoopIdx, 0);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->Kind, ReductionKind::Max);
+}
+
+TEST(ReductionTest, RejectsPhiWithSecondUse) {
+  // sum is also stored each iteration: partial sums observable.
+  Function F("red");
+  uint32_t A = F.addArray("a", ScalarKind::I32, 64, 32);
+  uint32_t O = F.addArray("o", ScalarKind::I32, 64, 32);
+  ValueId N = F.addParam("n", Type::scalar(ScalarKind::I64));
+  IrBuilder B(F);
+  ValueId Zero = B.constInt(ScalarKind::I32, 0);
+  auto L = B.beginLoop(B.constIdx(0), N, B.constIdx(1));
+  ValueId Phi = B.addCarried(L, Zero);
+  ValueId X = B.load(A, L.indVar());
+  B.store(O, L.indVar(), Phi); // Second use.
+  B.setCarriedNext(L, Phi, B.add(Phi, X));
+  B.endLoop(L);
+  EXPECT_FALSE(matchReduction(F, L.LoopIdx, 0).has_value());
+}
+
+TEST(ReductionTest, RejectsNonReductionOp) {
+  Function F("red");
+  ValueId N = F.addParam("n", Type::scalar(ScalarKind::I64));
+  IrBuilder B(F);
+  ValueId One = B.constInt(ScalarKind::I32, 1);
+  auto L = B.beginLoop(B.constIdx(0), N, B.constIdx(1));
+  ValueId Phi = B.addCarried(L, One);
+  B.setCarriedNext(L, Phi, B.mul(Phi, One)); // Product: not supported.
+  B.endLoop(L);
+  EXPECT_FALSE(matchReduction(F, L.LoopIdx, 0).has_value());
+}
+
+TEST(ReductionTest, RejectsContributionUsingPhi) {
+  Function F("red");
+  ValueId N = F.addParam("n", Type::scalar(ScalarKind::I64));
+  IrBuilder B(F);
+  ValueId One = B.constInt(ScalarKind::I32, 1);
+  auto L = B.beginLoop(B.constIdx(0), N, B.constIdx(1));
+  ValueId Phi = B.addCarried(L, One);
+  ValueId X = B.add(Phi, One); // Contribution depends on phi.
+  B.setCarriedNext(L, Phi, B.add(Phi, X));
+  B.endLoop(L);
+  EXPECT_FALSE(matchReduction(F, L.LoopIdx, 0).has_value());
+}
+
+TEST(ReductionTest, MatchesWideningMul) {
+  Function F("wm");
+  uint32_t A = F.addArray("a", ScalarKind::I16, 64, 32);
+  uint32_t C = F.addArray("c", ScalarKind::I16, 64, 32);
+  ValueId N = F.addParam("n", Type::scalar(ScalarKind::I64));
+  IrBuilder B(F);
+  auto L = B.beginLoop(B.constIdx(0), N, B.constIdx(1));
+  ValueId X = B.load(A, L.indVar());
+  ValueId Y = B.load(C, L.indVar());
+  ValueId P = B.mul(B.convert(ScalarKind::I32, X),
+                    B.convert(ScalarKind::I32, Y));
+  B.endLoop(L);
+
+  auto W = matchWideningMul(F, P);
+  ASSERT_TRUE(W.has_value());
+  EXPECT_EQ(W->NarrowKind, ScalarKind::I16);
+  EXPECT_EQ(W->NarrowA, X);
+  EXPECT_EQ(W->NarrowB, Y);
+}
+
+TEST(ReductionTest, RejectsMixedWidthWideningMul) {
+  Function F("wm");
+  uint32_t A = F.addArray("a", ScalarKind::I16, 64, 32);
+  uint32_t C = F.addArray("c", ScalarKind::I8, 64, 32);
+  ValueId N = F.addParam("n", Type::scalar(ScalarKind::I64));
+  IrBuilder B(F);
+  auto L = B.beginLoop(B.constIdx(0), N, B.constIdx(1));
+  ValueId X = B.load(A, L.indVar());
+  ValueId Y = B.load(C, L.indVar());
+  ValueId P = B.mul(B.convert(ScalarKind::I32, X),
+                    B.convert(ScalarKind::I32, Y));
+  B.endLoop(L);
+  EXPECT_FALSE(matchWideningMul(F, P).has_value());
+}
+
+//===--- Alignment analysis ----------------------------------------------------//
+
+struct AlignFixture {
+  Function F{"al"};
+  std::unique_ptr<IrBuilder> B;
+  ValueId N;
+  AlignFixture() {
+    N = F.addParam("n", Type::scalar(ScalarKind::I64));
+    B = std::make_unique<IrBuilder>(F);
+  }
+};
+
+TEST(AlignmentTest, KnownBaseConstOffset) {
+  AlignFixture Fx;
+  uint32_t A = Fx.F.addArray("a", ScalarKind::F32, 64, 32);
+  auto L = Fx.B->beginLoop(Fx.B->constIdx(0), Fx.N, Fx.B->constIdx(1));
+  ValueId Idx = Fx.B->add(L.indVar(), Fx.B->constIdx(2));
+  Fx.B->endLoop(L);
+
+  AffineAnalysis AA(Fx.F);
+  LoopNestInfo Nest(Fx.F);
+  AccessShape S = accessShape(Fx.F, AA, Nest, L.LoopIdx, Idx);
+  EXPECT_EQ(S.IvCoeff, 1);
+  EXPECT_TRUE(S.OffsetConst);
+  EXPECT_EQ(S.OffsetElems, 2);
+
+  AlignmentInfo AI = alignmentOf(Fx.F, A, S);
+  EXPECT_EQ(AI.Hint.Mis, 8); // 2 elements * 4 bytes, the paper's example.
+  EXPECT_EQ(AI.Hint.Mod, 32);
+  EXPECT_FALSE(AI.Hint.IfJitAligns);
+}
+
+TEST(AlignmentTest, UnknownBaseGetsConditionalHint) {
+  AlignFixture Fx;
+  uint32_t A = Fx.F.addArray("a", ScalarKind::F32, 64, /*BaseAlign=*/4);
+  auto L = Fx.B->beginLoop(Fx.B->constIdx(0), Fx.N, Fx.B->constIdx(1));
+  ValueId Idx = L.indVar();
+  Fx.B->endLoop(L);
+
+  AffineAnalysis AA(Fx.F);
+  LoopNestInfo Nest(Fx.F);
+  AccessShape S = accessShape(Fx.F, AA, Nest, L.LoopIdx, Idx);
+  AlignmentInfo AI = alignmentOf(Fx.F, A, S);
+  EXPECT_EQ(AI.Hint.Mis, 0);
+  EXPECT_EQ(AI.Hint.Mod, 32);
+  EXPECT_TRUE(AI.Hint.IfJitAligns);
+}
+
+TEST(AlignmentTest, SymbolicOffsetNullsHint) {
+  AlignFixture Fx;
+  uint32_t A = Fx.F.addArray("a", ScalarKind::F32, 64, 32);
+  auto L = Fx.B->beginLoop(Fx.B->constIdx(0), Fx.N, Fx.B->constIdx(1));
+  ValueId Idx = Fx.B->add(L.indVar(), Fx.N); // a[i + n]
+  Fx.B->endLoop(L);
+
+  AffineAnalysis AA(Fx.F);
+  LoopNestInfo Nest(Fx.F);
+  AccessShape S = accessShape(Fx.F, AA, Nest, L.LoopIdx, Idx);
+  EXPECT_FALSE(S.OffsetConst);
+  EXPECT_TRUE(S.OffsetInvariant); // n is invariant, just not constant.
+  AlignmentInfo AI = alignmentOf(Fx.F, A, S);
+  EXPECT_EQ(AI.Hint.Mod, 0);
+}
+
+TEST(AlignmentTest, StridedShapeDetected) {
+  AlignFixture Fx;
+  Fx.F.addArray("a", ScalarKind::I16, 64, 32);
+  auto L = Fx.B->beginLoop(Fx.B->constIdx(0), Fx.N, Fx.B->constIdx(1));
+  ValueId Idx = Fx.B->mul(L.indVar(), Fx.B->constIdx(2));
+  Fx.B->endLoop(L);
+
+  AffineAnalysis AA(Fx.F);
+  LoopNestInfo Nest(Fx.F);
+  AccessShape S = accessShape(Fx.F, AA, Nest, L.LoopIdx, Idx);
+  EXPECT_EQ(S.IvCoeff, 2);
+}
+
+} // namespace

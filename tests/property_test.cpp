@@ -1,0 +1,253 @@
+//===- tests/property_test.cpp - Algebraic and fuzz properties ------------===//
+//
+// Part of the Vapor SIMD reproduction.
+//
+// Two layers of property testing:
+//  1. Algebraic identities of the data-reorganization idioms (Table 1),
+//     checked by the golden evaluator at every vector size: unpack∘pack,
+//     extract∘interleave, realignment-vs-direct-load agreement.
+//  2. Full-pipeline fuzz: randomly generated elementwise kernels pushed
+//     through vectorizer -> bytecode round trip -> JIT -> VM on every
+//     target and compared element-wise with the golden evaluator.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/Bytecode.h"
+#include "ir/Builder.h"
+#include "ir/Interp.h"
+#include "ir/Verifier.h"
+#include "jit/Jit.h"
+#include "support/Support.h"
+#include "target/VM.h"
+#include "vectorizer/Vectorizer.h"
+
+#include <gtest/gtest.h>
+
+using namespace vapor;
+using namespace vapor::ir;
+using namespace vapor::target;
+
+namespace {
+
+//===--- Idiom identities ------------------------------------------------------//
+
+/// pack(unpack_lo(v), unpack_hi(v)) == v for integer kinds (promote then
+/// demote is the identity).
+TEST(IdiomIdentityTest, PackUnpackRoundTrip) {
+  for (ScalarKind K : {ScalarKind::U8, ScalarKind::I8, ScalarKind::I16,
+                       ScalarKind::U16}) {
+    Function F("roundtrip");
+    F.IsSplitLayer = true;
+    uint32_t A = F.addArray("a", K, 64, 32);
+    uint32_t O = F.addArray("o", K, 64, 32);
+    ValueId N = F.addParam("n", Type::scalar(ScalarKind::I64));
+    IrBuilder B(F);
+    ValueId VF = B.getVF(K);
+    auto L = B.beginLoop(B.constIdx(0), N, VF);
+    ValueId V = B.aload(A, L.indVar());
+    ValueId Packed = B.pack(B.unpackLo(V), B.unpackHi(V));
+    B.astore(O, L.indVar(), Packed);
+    B.endLoop(L);
+    verifyOrDie(F);
+
+    for (unsigned VS : {8u, 16u, 32u}) {
+      Evaluator::Options EO;
+      EO.VSBytes = VS;
+      Evaluator E(F, EO);
+      E.allocAllArrays();
+      SplitMix64 Rng(K == ScalarKind::U8 ? 1 : 2);
+      for (int I = 0; I < 64; ++I)
+        E.pokeInt(A, I, static_cast<int64_t>(Rng.next()));
+      E.setParamInt("n", 64);
+      E.run();
+      for (int I = 0; I < 64; ++I)
+        EXPECT_EQ(E.peekInt(O, I), E.peekInt(A, I))
+            << scalarKindName(K) << " VS=" << VS << " i=" << I;
+    }
+  }
+}
+
+/// extract(2,0) / extract(2,1) of interleave_lo/hi(v1,v2) recover v1,v2.
+TEST(IdiomIdentityTest, InterleaveExtractRoundTrip) {
+  Function F("ilv");
+  F.IsSplitLayer = true;
+  uint32_t A = F.addArray("a", ScalarKind::I32, 32, 32);
+  uint32_t Bd = F.addArray("b", ScalarKind::I32, 32, 32);
+  uint32_t OA = F.addArray("oa", ScalarKind::I32, 32, 32);
+  uint32_t OB = F.addArray("ob", ScalarKind::I32, 32, 32);
+  ValueId N = F.addParam("n", Type::scalar(ScalarKind::I64));
+  IrBuilder B(F);
+  ValueId VF = B.getVF(ScalarKind::I32);
+  auto L = B.beginLoop(B.constIdx(0), N, VF);
+  ValueId V1 = B.aload(A, L.indVar());
+  ValueId V2 = B.aload(Bd, L.indVar());
+  ValueId Lo = B.interleaveLo(V1, V2);
+  ValueId Hi = B.interleaveHi(V1, V2);
+  B.astore(OA, L.indVar(), B.extract(2, 0, {Lo, Hi}));
+  B.astore(OB, L.indVar(), B.extract(2, 1, {Lo, Hi}));
+  B.endLoop(L);
+  verifyOrDie(F);
+
+  for (unsigned VS : {8u, 16u, 32u}) {
+    Evaluator::Options EO;
+    EO.VSBytes = VS;
+    Evaluator E(F, EO);
+    E.allocAllArrays();
+    for (int I = 0; I < 32; ++I) {
+      E.pokeInt(A, I, I * 3 + 1);
+      E.pokeInt(Bd, I, -I * 7);
+    }
+    E.setParamInt("n", 32);
+    E.run();
+    for (int I = 0; I < 32; ++I) {
+      EXPECT_EQ(E.peekInt(OA, I), I * 3 + 1) << "VS=" << VS;
+      EXPECT_EQ(E.peekInt(OB, I), -I * 7) << "VS=" << VS;
+    }
+  }
+}
+
+/// The evaluator's realign cross-check (chain vs direct load) holds for
+/// every base misalignment an f32 array can have.
+TEST(IdiomIdentityTest, RealignChainAgreesAtEveryMisalignment) {
+  for (uint32_t Mis : {0u, 4u, 8u, 12u, 16u, 20u, 24u, 28u}) {
+    Function F("chain");
+    F.IsSplitLayer = true;
+    uint32_t A = F.addArray("a", ScalarKind::F32, 64, 4);
+    uint32_t O = F.addArray("o", ScalarKind::F32, 64, 32);
+    ValueId N = F.addParam("n", Type::scalar(ScalarKind::I64));
+    IrBuilder B(F);
+    ValueId VF = B.getVF(ScalarKind::F32);
+    AlignHint H{-1, 0, false};
+    ValueId RT = B.getRT(A, B.constIdx(0), H);
+    ValueId VA0 = B.alignLoad(A, B.constIdx(0));
+    auto L = B.beginLoop(B.constIdx(0), N, VF);
+    ValueId VA = B.addCarried(L, VA0);
+    ValueId VB = B.alignLoad(A, B.add(L.indVar(), VF));
+    ValueId VX = B.realignLoad(VA, VB, RT, A, L.indVar(), H);
+    B.astore(O, L.indVar(), VX);
+    B.setCarriedNext(L, VA, VB);
+    B.endLoop(L);
+    verifyOrDie(F);
+
+    Evaluator::Options EO;
+    EO.VSBytes = 16;
+    EO.CheckRealign = true; // Aborts on chain/memory disagreement.
+    Evaluator E(F, EO);
+    E.allocArray(A, Mis);
+    E.allocArray(O, 0);
+    for (int I = 0; I < 64; ++I)
+      E.pokeFP(A, I, I * 1.5);
+    E.setParamInt("n", 32);
+    E.run();
+    for (int I = 0; I < 32; ++I)
+      EXPECT_EQ(E.peekFP(O, I), I * 1.5) << "mis=" << Mis;
+  }
+}
+
+//===--- Full-pipeline fuzz ----------------------------------------------------//
+
+/// Builds a random elementwise kernel over i32 arrays with occasional
+/// offsets (to exercise realignment) and converts.
+Function buildRandomKernel(uint64_t Seed, uint32_t &OutArr) {
+  SplitMix64 Rng(Seed);
+  Function F("fuzz" + std::to_string(Seed));
+  uint32_t A = F.addArray("a", ScalarKind::I32, 128, 4);
+  uint32_t Bd = F.addArray("b", ScalarKind::I32, 128, 4);
+  OutArr = F.addArray("o", ScalarKind::I32, 128, 4);
+  ValueId N = F.addParam("n", Type::scalar(ScalarKind::I64));
+  IrBuilder B(F);
+  auto L = B.beginLoop(B.constIdx(0), N, B.constIdx(1));
+  ValueId Idx0 = L.indVar();
+  ValueId Idx2 = B.add(L.indVar(), B.constIdx(1 + Rng.nextBelow(3)));
+  std::vector<ValueId> Pool = {B.load(A, Idx0), B.load(Bd, Idx0),
+                               B.load(A, Idx2)};
+  for (int Step = 0; Step < 8; ++Step) {
+    ValueId X = Pool[Rng.nextBelow(Pool.size())];
+    ValueId Y = Pool[Rng.nextBelow(Pool.size())];
+    switch (Rng.nextBelow(8)) {
+    case 0:
+      Pool.push_back(B.add(X, Y));
+      break;
+    case 1:
+      Pool.push_back(B.sub(X, Y));
+      break;
+    case 2:
+      Pool.push_back(B.mul(X, B.constInt(ScalarKind::I32, 3)));
+      break;
+    case 3:
+      Pool.push_back(B.smax(X, Y));
+      break;
+    case 4:
+      Pool.push_back(B.abs(X));
+      break;
+    case 5:
+      Pool.push_back(B.select(B.cmp(Opcode::CmpLE, X, Y), Y, X));
+      break;
+    case 6:
+      Pool.push_back(B.binop(Opcode::Xor, X, Y));
+      break;
+    case 7:
+      Pool.push_back(
+          B.shra(X, B.constInt(ScalarKind::I32, 1 + Rng.nextBelow(4))));
+      break;
+    }
+  }
+  B.store(OutArr, Idx0, Pool.back());
+  B.endLoop(L);
+  verifyOrDie(F);
+  return F;
+}
+
+class PipelineFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PipelineFuzzTest, RandomKernelCorrectOnEveryTarget) {
+  uint32_t OutArr;
+  Function F = buildRandomKernel(9000 + GetParam(), OutArr);
+
+  // Golden result once.
+  Evaluator E(F, {});
+  E.allocAllArrays();
+  SplitMix64 Fill(77);
+  std::vector<int64_t> AData(128), BData(128);
+  for (int I = 0; I < 128; ++I) {
+    AData[I] = static_cast<int64_t>(Fill.nextBelow(2000)) - 1000;
+    BData[I] = static_cast<int64_t>(Fill.nextBelow(2000)) - 1000;
+    E.pokeInt(0, I, AData[I]);
+    E.pokeInt(1, I, BData[I]);
+  }
+  E.setParamInt("n", 100);
+  E.run();
+
+  auto VR = vectorizer::vectorize(F);
+  std::vector<uint8_t> Bytes = bytecode::encode(VR.Output);
+  std::string Err;
+  auto Decoded = bytecode::decode(Bytes, Err);
+  ASSERT_TRUE(Decoded.has_value()) << Err;
+
+  for (const TargetDesc &T : allTargets()) {
+    for (jit::Tier Tier : {jit::Tier::Strong, jit::Tier::Weak}) {
+      MemoryImage Mem;
+      for (const auto &Arr : Decoded->Arrays)
+        Mem.addArray(Arr, 0);
+      for (int I = 0; I < 128; ++I) {
+        Mem.pokeInt(0, I, AData[I]);
+        Mem.pokeInt(1, I, BData[I]);
+      }
+      jit::Options JO;
+      JO.CompilerTier = Tier;
+      auto CR = jit::compile(*Decoded, T,
+                             jit::RuntimeInfo::fromMemory(Mem), JO);
+      VM Machine(CR.Code, T, Mem, Tier == jit::Tier::Weak);
+      Machine.setParamInt("n", 100);
+      Machine.run();
+      for (int I = 0; I < 100; ++I)
+        ASSERT_EQ(Mem.peekInt(OutArr, I), E.peekInt(OutArr, I))
+            << "seed=" << GetParam() << " target=" << T.Name
+            << " i=" << I;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineFuzzTest, ::testing::Range(0, 16));
+
+} // namespace
