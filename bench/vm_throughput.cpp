@@ -1,0 +1,143 @@
+//===- bench/vm_throughput.cpp - VM dispatch-speed microbenchmark ----------===//
+//
+// Part of the Vapor SIMD reproduction.
+//
+// Every figure in the repro is produced by replaying kernels through the
+// target VM, so its dispatch speed bounds how fast the whole experiment
+// matrix runs. This binary measures the host-side throughput of the
+// pre-decoded interpreter on the aligned split-vectorized saxpy_fp
+// kernel: machine-ops per second and nanoseconds per dispatched op.
+//
+//   vm_throughput          print the human-readable measurement
+//   vm_throughput --json [PATH]
+//                          also write the machine-readable baseline
+//                          (throughput + Fig. 6 harmonic means for
+//                          sse/altivec/neon) to PATH (default
+//                          BENCH_vm.json in the working directory)
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "target/VM.h"
+#include "vapor/Pipeline.h"
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+
+using namespace vapor;
+using namespace vapor::bench;
+
+namespace {
+
+const kernels::Kernel &findKernel(const std::vector<kernels::Kernel> &All,
+                                  const char *Name) {
+  for (const kernels::Kernel &K : All)
+    if (K.Name == Name)
+      return K;
+  fatalError(std::string("no such kernel: ") + Name);
+}
+
+struct Throughput {
+  double OpsPerSec;
+  double NsPerOp;
+  uint64_t OpsPerRun;
+};
+
+/// Replays one prepared kernel execution until ~0.5s of wall time has
+/// accumulated and \returns machine-ops/sec of the dispatch loop.
+Throughput measure(const RunOutcome &Out, const target::TargetDesc &T,
+                   const kernels::Kernel &K) {
+  target::VM M(Out.Code, T, *Out.Mem);
+  for (const target::MParam &P : Out.Code.Params) {
+    auto IInt = K.IntParams.find(P.Name);
+    if (IInt != K.IntParams.end()) {
+      M.setParamInt(P.Name, IInt->second);
+      continue;
+    }
+    auto IFP = K.FPParams.find(P.Name);
+    if (IFP != K.FPParams.end())
+      M.setParamFP(P.Name, IFP->second);
+  }
+
+  M.run(); // Warm-up; also gives the per-run op count.
+  uint64_t OpsPerRun = M.instrsExecuted();
+
+  using Clock = std::chrono::steady_clock;
+  uint64_t Runs = 0;
+  auto Start = Clock::now();
+  double Elapsed = 0;
+  do {
+    for (int I = 0; I < 64; ++I)
+      M.run();
+    Runs += 64;
+    Elapsed = std::chrono::duration<double>(Clock::now() - Start).count();
+  } while (Elapsed < 0.5);
+
+  double Ops = static_cast<double>(OpsPerRun) * static_cast<double>(Runs);
+  return {Ops / Elapsed, Elapsed * 1e9 / Ops, OpsPerRun};
+}
+
+double figure6HarmonicMean(const target::TargetDesc &T,
+                           const std::vector<kernels::Kernel> &All) {
+  std::vector<double> Ratios;
+  for (const kernels::Kernel &K : All) {
+    RunOptions O;
+    O.Target = T;
+    RunOutcome Split = runKernel(K, Flow::SplitVectorized, O);
+    RunOutcome Native = runKernel(K, Flow::NativeVectorized, O);
+    Ratios.push_back(static_cast<double>(Split.Cycles) /
+                     static_cast<double>(Native.Cycles));
+  }
+  return harmonicMean(Ratios);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Json = argc > 1 && std::strcmp(argv[1], "--json") == 0;
+  const char *JsonPath = argc > 2 ? argv[2] : "BENCH_vm.json";
+
+  std::vector<kernels::Kernel> All = kernels::allKernels();
+  const kernels::Kernel &Saxpy = findKernel(All, "saxpy_fp");
+
+  // Aligned split-vectorized saxpy on SSE: the VM's steady-state diet.
+  RunOptions O;
+  O.Target = target::sseTarget();
+  RunOutcome Out = runKernel(Saxpy, Flow::SplitVectorized, O);
+  Throughput R = measure(Out, O.Target, Saxpy);
+
+  printHeader("VM dispatch throughput (aligned saxpy_fp, sse, strong tier)");
+  std::printf("machine ops / run     %12llu\n",
+              static_cast<unsigned long long>(R.OpsPerRun));
+  std::printf("machine ops / sec     %12.3e\n", R.OpsPerSec);
+  std::printf("ns / dispatched op    %12.2f\n", R.NsPerOp);
+
+  if (!Json)
+    return 0;
+
+  double HM[3] = {figure6HarmonicMean(target::sseTarget(), All),
+                  figure6HarmonicMean(target::altivecTarget(), All),
+                  figure6HarmonicMean(target::neonTarget(), All)};
+  std::ofstream OS(JsonPath);
+  if (!OS)
+    fatalError(std::string("cannot write ") + JsonPath);
+  char Buf[512];
+  std::snprintf(Buf, sizeof(Buf),
+                "{\n"
+                "  \"bench\": \"vm_throughput\",\n"
+                "  \"kernel\": \"saxpy_fp\",\n"
+                "  \"target\": \"sse\",\n"
+                "  \"vm_ops_per_sec\": %.4e,\n"
+                "  \"ns_per_dispatched_op\": %.3f,\n"
+                "  \"fig6_harmonic_mean\": {\n"
+                "    \"sse\": %.4f,\n"
+                "    \"altivec\": %.4f,\n"
+                "    \"neon\": %.4f\n"
+                "  }\n"
+                "}\n",
+                R.OpsPerSec, R.NsPerOp, HM[0], HM[1], HM[2]);
+  OS << Buf;
+  std::printf("wrote %s\n", JsonPath);
+  return 0;
+}

@@ -1,0 +1,154 @@
+//===- target/Iaca.cpp - Static port-model loop throughput ----------------===//
+//
+// Part of the Vapor SIMD reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "target/Iaca.h"
+
+#include <algorithm>
+
+namespace vapor {
+namespace target {
+namespace {
+
+/// Port uops for one memory access of width \p VSBytes: misaligned
+/// 32-byte accesses split in two on the modeled microarchitecture.
+unsigned memUops(bool Unaligned, unsigned VSBytes) {
+  return (Unaligned && VSBytes > 16) ? 2 : 1;
+}
+
+struct PortCounter {
+  const MFunction &F;
+  unsigned VSBytes;
+  IacaReport R;
+
+  void count(const MRegion &Body) {
+    for (const MNodeRef &N : Body.Nodes) {
+      switch (N.Kind) {
+      case MNodeKind::Instr:
+        instr(F.Instrs[N.Index]);
+        break;
+      case MNodeKind::Loop:
+        count(F.Loops[N.Index].Body);
+        break;
+      case MNodeKind::If:
+        count(F.Ifs[N.Index].Then);
+        count(F.Ifs[N.Index].Else);
+        break;
+      }
+    }
+  }
+
+  void instr(const MInstr &I) {
+    switch (I.Op) {
+    case MOp::Load:
+    case MOp::SpillLd:
+      R.Loads += 1;
+      break;
+    case MOp::VLoadA:
+      R.Loads += 1;
+      break;
+    case MOp::VLoadU:
+      R.Loads += memUops(true, VSBytes);
+      break;
+    case MOp::Store:
+    case MOp::SpillSt:
+      R.Stores += 1;
+      break;
+    case MOp::VStoreA:
+      R.Stores += 1;
+      break;
+    case MOp::VStoreU:
+      R.Stores += memUops(true, VSBytes);
+      break;
+    case MOp::LdImm:
+    case MOp::LdFImm:
+    case MOp::Mov:
+    case MOp::LoadBase:
+      break; // Register plumbing; eliminated by renaming.
+    case MOp::Addr:
+      if (!I.Folded)
+        R.AluOps += 1;
+      break;
+    case MOp::CallLib:
+      R.AluOps += 10; // Out-of-line helper; saturates the ALU ports.
+      break;
+    default:
+      R.AluOps += 1; // ALU, shuffles, widening idioms, reductions.
+      break;
+    }
+  }
+};
+
+bool hasVectorInstr(const MFunction &F, const MRegion &Body) {
+  for (const MNodeRef &N : Body.Nodes) {
+    switch (N.Kind) {
+    case MNodeKind::Instr: {
+      const MInstr &I = F.Instrs[N.Index];
+      if (I.Vector || (I.Op >= MOp::VLoadA && I.Op <= MOp::Reduce))
+        return true;
+      break;
+    }
+    case MNodeKind::Loop:
+      if (hasVectorInstr(F, F.Loops[N.Index].Body))
+        return true;
+      break;
+    case MNodeKind::If:
+      if (hasVectorInstr(F, F.Ifs[N.Index].Then) ||
+          hasVectorInstr(F, F.Ifs[N.Index].Else))
+        return true;
+      break;
+    }
+  }
+  return false;
+}
+
+/// Pre-order search for the first vectorized main loop.
+const MLoop *findVectorMain(const MFunction &F, const MRegion &R) {
+  for (const MNodeRef &N : R.Nodes) {
+    switch (N.Kind) {
+    case MNodeKind::Loop: {
+      const MLoop &L = F.Loops[N.Index];
+      if (L.IsVectorMain && hasVectorInstr(F, L.Body))
+        return &L;
+      if (const MLoop *Inner = findVectorMain(F, L.Body))
+        return Inner;
+      break;
+    }
+    case MNodeKind::If: {
+      const MIf &S = F.Ifs[N.Index];
+      if (const MLoop *Inner = findVectorMain(F, S.Then))
+        return Inner;
+      if (const MLoop *Inner = findVectorMain(F, S.Else))
+        return Inner;
+      break;
+    }
+    case MNodeKind::Instr:
+      break;
+    }
+  }
+  return nullptr;
+}
+
+unsigned ceilDiv(unsigned A, unsigned B) { return (A + B - 1) / B; }
+
+} // namespace
+
+IacaReport analyzeVectorLoop(const MFunction &F, const TargetDesc &T) {
+  IacaReport R;
+  const MLoop *L = findVectorMain(F, F.Body);
+  if (!L)
+    return R;
+
+  PortCounter PC{F, T.VSBytes ? T.VSBytes : F.VSBytes, {}};
+  PC.count(L->Body);
+  R = PC.R;
+  R.Found = true;
+  R.Cycles =
+      std::max({1u, R.Stores + ceilDiv(R.Loads, 2), ceilDiv(R.AluOps, 3)});
+  return R;
+}
+
+} // namespace target
+} // namespace vapor

@@ -1,0 +1,49 @@
+//===- target/Iaca.h - Static port-model loop throughput -------*- C++ -*-===//
+//
+// Part of the Vapor SIMD reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A miniature IACA: a static throughput analysis of the vectorized main
+/// loop in the style of Intel's Architecture Code Analyzer, which the
+/// paper uses to report cycles-per-iteration for the AVX kernels
+/// (Table 3). The model issues the loop body onto three port groups --
+/// two load ports, one store port (which shares address generation with
+/// the load pipes), three ALU/shuffle ports -- and reports the
+/// steady-state bottleneck:
+///
+///   Cycles = max(1, Stores + ceil(Loads / 2), ceil(AluOps / 3))
+///
+/// Unaligned 32-byte accesses split into two port uops (as on Sandy
+/// Bridge); 16-byte-or-narrower accesses occupy one port each.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAPOR_TARGET_IACA_H
+#define VAPOR_TARGET_IACA_H
+
+#include "target/MachineIR.h"
+#include "target/Target.h"
+
+namespace vapor {
+namespace target {
+
+/// Static throughput report for the vectorized main loop.
+struct IacaReport {
+  bool Found = false;   ///< A vector main loop was located.
+  unsigned Cycles = 0;  ///< Bottleneck cycles per loop iteration.
+  unsigned Loads = 0;   ///< Load-port uops per iteration.
+  unsigned Stores = 0;  ///< Store-port uops per iteration.
+  unsigned AluOps = 0;  ///< ALU/shuffle-port uops per iteration.
+};
+
+/// Analyzes the first vectorized main loop of \p F (pre-order) under
+/// target \p T's port widths. \returns Found=false when \p F has no
+/// vector main loop.
+IacaReport analyzeVectorLoop(const MFunction &F, const TargetDesc &T);
+
+} // namespace target
+} // namespace vapor
+
+#endif // VAPOR_TARGET_IACA_H

@@ -1,0 +1,92 @@
+//===- target/MemoryImage.cpp - Byte-addressable runtime memory -----------===//
+//
+// Part of the Vapor SIMD reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "target/MemoryImage.h"
+
+#include "ir/ScalarOps.h"
+#include "support/Support.h"
+
+#include <cstring>
+
+using namespace vapor;
+using namespace vapor::ir;
+using namespace vapor::target;
+
+uint32_t MemoryImage::addArray(const ArrayInfo &AI, uint32_t BaseMisalign) {
+  uint64_t Mis = BaseMisalign % 32;
+  // Skip the guard pad, then land on the requested residue mod 32.
+  uint64_t BaseAddr = alignUp(AddrBase + Bytes.size() + Pad, 32) + Mis;
+  uint64_t BaseOff = BaseAddr - AddrBase;
+  uint64_t DataBytes = AI.NumElems * scalarSize(AI.Elem);
+  Bytes.resize(BaseOff + DataBytes + Pad, 0);
+  Arrays.push_back({AI, BaseOff});
+  return static_cast<uint32_t>(Arrays.size() - 1);
+}
+
+uint64_t MemoryImage::base(uint32_t Id) const {
+  assert(Id < Arrays.size() && "bad array id");
+  return AddrBase + Arrays[Id].BaseOff;
+}
+
+const ArrayInfo &MemoryImage::info(uint32_t Id) const {
+  assert(Id < Arrays.size() && "bad array id");
+  return Arrays[Id].Info;
+}
+
+const uint8_t *MemoryImage::at(uint64_t Addr, uint64_t Size) const {
+  if (Addr < AddrBase || Addr - AddrBase + Size > Bytes.size())
+    fatalError("memory access out of image bounds at address " +
+               std::to_string(Addr));
+  return Bytes.data() + (Addr - AddrBase);
+}
+
+uint8_t *MemoryImage::at(uint64_t Addr, uint64_t Size) {
+  return const_cast<uint8_t *>(
+      static_cast<const MemoryImage *>(this)->at(Addr, Size));
+}
+
+uint64_t MemoryImage::readLane(uint64_t Addr, ScalarKind K) const {
+  unsigned ES = scalarSize(K);
+  const uint8_t *P = at(Addr, ES);
+  uint64_t Raw = 0;
+  std::memcpy(&Raw, P, ES);
+  return Raw;
+}
+
+void MemoryImage::writeLane(uint64_t Addr, ScalarKind K, uint64_t Raw) {
+  unsigned ES = scalarSize(K);
+  std::memcpy(at(Addr, ES), &Raw, ES);
+}
+
+void MemoryImage::pokeInt(uint32_t Arr, uint64_t Elem, int64_t V) {
+  const Entry &E = Arrays[Arr];
+  assert(Elem < E.Info.NumElems && "element out of range");
+  writeLane(base(Arr) + Elem * scalarSize(E.Info.Elem), E.Info.Elem,
+            encodeInt(E.Info.Elem, V));
+}
+
+void MemoryImage::pokeFP(uint32_t Arr, uint64_t Elem, double V) {
+  const Entry &E = Arrays[Arr];
+  assert(Elem < E.Info.NumElems && "element out of range");
+  writeLane(base(Arr) + Elem * scalarSize(E.Info.Elem), E.Info.Elem,
+            encodeFP(E.Info.Elem, V));
+}
+
+int64_t MemoryImage::peekInt(uint32_t Arr, uint64_t Elem) const {
+  const Entry &E = Arrays[Arr];
+  assert(Elem < E.Info.NumElems && "element out of range");
+  return decodeInt(E.Info.Elem,
+                   readLane(base(Arr) + Elem * scalarSize(E.Info.Elem),
+                            E.Info.Elem));
+}
+
+double MemoryImage::peekFP(uint32_t Arr, uint64_t Elem) const {
+  const Entry &E = Arrays[Arr];
+  assert(Elem < E.Info.NumElems && "element out of range");
+  return decodeFP(E.Info.Elem,
+                  readLane(base(Arr) + Elem * scalarSize(E.Info.Elem),
+                           E.Info.Elem));
+}

@@ -1,0 +1,96 @@
+//===- target/MemoryImage.h - Byte-addressable runtime memory --*- C++ -*-===//
+//
+// Part of the Vapor SIMD reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The memory the VM executes against: one flat byte-addressable image
+/// holding every array of a kernel at a *controlled* placement. The
+/// placement knob is what makes the paper's alignment experiments
+/// possible -- each array is placed at a chosen misalignment (bytes mod
+/// 32), so the same machine code can be run against aligned and
+/// misaligned layouts and an aligned vector access to a misaligned
+/// address is a hard error, not a silent slowdown.
+///
+/// Every array is padded by a full maximum vector (32 bytes) on both
+/// sides so the realignment scheme's flooring aligned loads may read up
+/// to a vector before the base or past the end without faulting, exactly
+/// like lvx on real AltiVec.
+///
+/// Addresses are virtual: they start at a fixed 32-byte-aligned base and
+/// index the image directly, so the VM's address arithmetic is one
+/// subtraction away from a host pointer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAPOR_TARGET_MEMORYIMAGE_H
+#define VAPOR_TARGET_MEMORYIMAGE_H
+
+#include "ir/Function.h"
+#include "ir/Type.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace vapor {
+namespace target {
+
+class MemoryImage {
+public:
+  /// First virtual address of the image (32-byte aligned, nonzero so a
+  /// null-ish address is always out of bounds).
+  static constexpr uint64_t AddrBase = 1024;
+  /// Guard padding before and after every array's data.
+  static constexpr uint64_t Pad = 32;
+
+  /// Allocates \p AI at a base address congruent to \p BaseMisalign
+  /// modulo 32. \returns the array id (ids are assigned in call order).
+  uint32_t addArray(const ir::ArrayInfo &AI, uint32_t BaseMisalign);
+
+  size_t arrayCount() const { return Arrays.size(); }
+
+  /// \returns the virtual base address of array \p Id.
+  uint64_t base(uint32_t Id) const;
+
+  const ir::ArrayInfo &info(uint32_t Id) const;
+
+  /// Element accessors (by array id and element index).
+  void pokeInt(uint32_t Arr, uint64_t Elem, int64_t V);
+  void pokeFP(uint32_t Arr, uint64_t Elem, double V);
+  int64_t peekInt(uint32_t Arr, uint64_t Elem) const;
+  double peekFP(uint32_t Arr, uint64_t Elem) const;
+
+  /// Raw lane accessors (by virtual address). The returned/stored value
+  /// is the canonical lane encoding of kind \p K (zero-extended raw
+  /// bits). Out-of-image accesses abort.
+  uint64_t readLane(uint64_t Addr, ir::ScalarKind K) const;
+  void writeLane(uint64_t Addr, ir::ScalarKind K, uint64_t Raw);
+
+  //===--- VM fast path ----------------------------------------------------===//
+  // The VM caches these once per run; the image must not grow while
+  // machine code executes (arrays are added before the VM is built).
+
+  uint8_t *data() { return Bytes.data(); }
+  const uint8_t *data() const { return Bytes.data(); }
+  uint64_t lowAddr() const { return AddrBase; }
+  uint64_t highAddr() const { return AddrBase + Bytes.size(); }
+
+private:
+  /// \returns a host pointer for [Addr, Addr+Size), aborting when the
+  /// range leaves the image.
+  const uint8_t *at(uint64_t Addr, uint64_t Size) const;
+  uint8_t *at(uint64_t Addr, uint64_t Size);
+
+  struct Entry {
+    ir::ArrayInfo Info;
+    uint64_t BaseOff; ///< Offset of element 0 inside Bytes.
+  };
+  std::vector<Entry> Arrays;
+  std::vector<uint8_t> Bytes;
+};
+
+} // namespace target
+} // namespace vapor
+
+#endif // VAPOR_TARGET_MEMORYIMAGE_H

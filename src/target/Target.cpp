@@ -1,0 +1,169 @@
+//===- target/Target.cpp - Per-target machine models ----------------------===//
+//
+// Part of the Vapor SIMD reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "target/Target.h"
+
+#include "support/Support.h"
+
+using namespace vapor;
+using namespace vapor::ir;
+using namespace vapor::target;
+
+static_assert(static_cast<unsigned>(Opcode::LibCall) < 64,
+              "UnsupportedOpMask needs one bit per opcode");
+
+namespace {
+
+constexpr uint16_t kindBit(ScalarKind K) {
+  return static_cast<uint16_t>(1u << static_cast<unsigned>(K));
+}
+
+constexpr uint64_t opBit(Opcode Op) {
+  return 1ull << static_cast<unsigned>(Op);
+}
+
+} // namespace
+
+TargetDesc target::sseTarget() {
+  TargetDesc T;
+  T.Name = "sse";
+  T.VSBytes = 16;
+  T.HasMisaligned = true;
+  T.HasPermRealign = false;
+  T.X87ScalarFP = true;
+  // x86: a small integer file (reuse keeps the effective count above the
+  // architectural eight) and eight xmm registers.
+  T.ScalarRegs = 12;
+  T.VectorRegs = 8;
+  return T;
+}
+
+TargetDesc target::altivecTarget() {
+  TargetDesc T;
+  T.Name = "altivec";
+  T.VSBytes = 16;
+  T.HasMisaligned = false;
+  T.HasPermRealign = true;
+  T.ScalarRegs = 32;
+  T.VectorRegs = 32;
+  T.UnsupportedKindMask = kindBit(ScalarKind::F64); // No vector doubles.
+  return T;
+}
+
+TargetDesc target::neonTarget() {
+  TargetDesc T;
+  T.Name = "neon";
+  T.VSBytes = 8; // 64-bit NEON, the paper's EfikaMX-era configuration.
+  T.HasMisaligned = true;
+  T.HasPermRealign = false;
+  T.LibFallbackForOps = true; // dissolve/dct idioms via library support.
+  T.ScalarRegs = 16;
+  T.VectorRegs = 16;
+  T.UnsupportedKindMask = kindBit(ScalarKind::F64);
+  T.UnsupportedOpMask = opBit(Opcode::WidenMultLo) |
+                        opBit(Opcode::WidenMultHi) |
+                        opBit(Opcode::Convert);
+  return T;
+}
+
+TargetDesc target::avxTarget() {
+  TargetDesc T;
+  T.Name = "avx";
+  T.VSBytes = 32;
+  T.HasMisaligned = true;
+  T.HasPermRealign = false;
+  T.X87ScalarFP = true;
+  T.ScalarRegs = 16;
+  T.VectorRegs = 16;
+  return T;
+}
+
+TargetDesc target::scalarTarget() {
+  TargetDesc T;
+  T.Name = "scalar";
+  T.VSBytes = 0;
+  // A full modern integer file: scalar-expanded vector bytecode keeps a
+  // whole virtual vector in scalar registers, and the paper's scalar
+  // baselines (x86-64, PPC) have 16+ GPRs to hold it.
+  T.ScalarRegs = 16;
+  T.VectorRegs = 0;
+  return T;
+}
+
+std::vector<TargetDesc> target::allTargets() {
+  return {sseTarget(), altivecTarget(), neonTarget(), avxTarget(),
+          scalarTarget()};
+}
+
+unsigned target::instrCost(const TargetDesc &T, const MInstr &I,
+                           bool WeakTier) {
+  const CostTable &C = T.Costs;
+  switch (I.Op) {
+  case MOp::LdImm:
+  case MOp::LdFImm:
+  case MOp::Mov:
+  case MOp::LoadBase:
+    return C.RegOp;
+  case MOp::Addr:
+    return I.Folded ? 0 : C.AddrOp;
+  case MOp::Alu:
+    switch (I.SubOp) {
+    case Opcode::Div:
+    case Opcode::Rem:
+    case Opcode::Sqrt:
+      return C.DivOp;
+    case Opcode::Convert:
+      return C.ConvertOp;
+    default:
+      break;
+    }
+    if (isCompare(I.SubOp) || !isFloatKind(I.Kind))
+      return C.IntOp;
+    // Scalar FP on the weak tier runs on the x87 stack on x86 targets;
+    // vector FP always uses the SIMD unit.
+    if (!I.Vector && WeakTier && T.X87ScalarFP)
+      return C.X87Op;
+    return C.FpOp;
+  case MOp::Load:
+    return C.ScalarLoad;
+  case MOp::Store:
+    return C.ScalarStore;
+  case MOp::VLoadA:
+    return C.VecLoadA;
+  case MOp::VLoadU:
+    return C.VecLoadU;
+  case MOp::VStoreA:
+    return C.VecStoreA;
+  case MOp::VStoreU:
+    return C.VecStoreU;
+  case MOp::GetPerm:
+    return C.IntOp;
+  case MOp::VPerm:
+  case MOp::VSplat:
+  case MOp::VAffine:
+  case MOp::VSetLane0:
+  case MOp::VExtract:
+  case MOp::VIlvLo:
+  case MOp::VIlvHi:
+  case MOp::VPack:
+  case MOp::VUnpackLo:
+  case MOp::VUnpackHi:
+    return C.Shuffle;
+  case MOp::VWMulLo:
+  case MOp::VWMulHi:
+    return C.WideMul;
+  case MOp::VDot:
+    return C.DotOp;
+  case MOp::Reduce:
+    return C.ReduceOp;
+  case MOp::CallLib:
+    return C.LibCall;
+  case MOp::SpillLd:
+  case MOp::SpillSt:
+    return C.SpillOp;
+  }
+  vapor_unreachable("bad machine opcode");
+}

@@ -1,0 +1,113 @@
+//===- target/Target.h - Per-target machine models -------------*- C++ -*-===//
+//
+// Part of the Vapor SIMD reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Descriptions of the paper's evaluation targets (Sec. IV): SSE and AVX
+/// on x86, AltiVec on PowerPC, 64-bit NEON on ARM, and a SIMD-less
+/// scalar machine. A TargetDesc carries what the *online* compiler is
+/// allowed to know -- vector width, misalignment support, the
+/// permute-based realignment unit, vector type/op legality, register
+/// file size -- plus the cycle cost table the VM charges per executed
+/// instruction.
+///
+/// The cost model is calibrated qualitatively, not against silicon:
+/// aligned < misaligned < realigned accesses, vector op ~ scalar op
+/// (that is the whole point of vectorizing), folded addressing is free,
+/// spill traffic is expensive, and the weak tier pays an x87 penalty for
+/// scalar floating point on x86 targets (paper Sec. IV-C: Mono's FP
+/// code runs on the x87 stack).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAPOR_TARGET_TARGET_H
+#define VAPOR_TARGET_TARGET_H
+
+#include "ir/Opcode.h"
+#include "ir/Type.h"
+#include "target/MachineIR.h"
+
+#include <string>
+#include <vector>
+
+namespace vapor {
+namespace target {
+
+/// Per-instruction-class cycle costs. Values are cycles per executed
+/// machine instruction (vector instructions cost per *instruction*, not
+/// per lane -- the vector speedup comes from doing VF lanes at once).
+struct CostTable {
+  unsigned RegOp = 1;      ///< ldimm/ldfimm/mov/loadbase.
+  unsigned AddrOp = 1;     ///< Unfolded address arithmetic.
+  unsigned IntOp = 1;      ///< Integer ALU, compares, selects.
+  unsigned FpOp = 3;       ///< FP add/sub/mul (SIMD or FPU unit).
+  unsigned X87Op = 9;      ///< Scalar FP on the x87 stack (weak tier).
+  unsigned DivOp = 12;     ///< Divide/remainder/sqrt, any unit.
+  unsigned ConvertOp = 1;  ///< Scalar or in-register vector converts.
+  unsigned ScalarLoad = 3; ///< Scalar memory read.
+  unsigned ScalarStore = 3;
+  unsigned VecLoadA = 3;  ///< Aligned vector load.
+  unsigned VecLoadU = 5;  ///< Misaligned vector load.
+  unsigned VecStoreA = 3; ///< Aligned vector store.
+  unsigned VecStoreU = 6; ///< Misaligned vector store.
+  unsigned Shuffle = 2;   ///< Permute/splat/pack/unpack/interleave.
+  unsigned WideMul = 3;   ///< Widening multiply halves.
+  unsigned DotOp = 4;     ///< Fused dot-product step.
+  unsigned ReduceOp = 4;  ///< Horizontal reduction.
+  unsigned SpillOp = 4;   ///< One spill store or reload.
+  unsigned LibCall = 24;  ///< Out-of-line library fallback.
+  unsigned LoopIter = 1;  ///< Per-iteration loop control overhead.
+};
+
+/// Static description of one execution target.
+struct TargetDesc {
+  std::string Name;
+  unsigned VSBytes = 0;          ///< Vector size in bytes (0 = no SIMD).
+  bool HasMisaligned = false;    ///< Misaligned vector loads/stores exist.
+  bool HasPermRealign = false;   ///< lvsr/vperm realignment unit exists.
+  bool LibFallbackForOps = false; ///< Unsupported idioms call a library.
+  bool X87ScalarFP = false;      ///< Weak-tier scalar FP runs on x87.
+  unsigned ScalarRegs = 16;      ///< Allocatable scalar registers.
+  unsigned VectorRegs = 16;      ///< Allocatable vector registers.
+  uint16_t UnsupportedKindMask = 0; ///< Bit per ScalarKind value.
+  uint64_t UnsupportedOpMask = 0;   ///< Bit per Opcode value.
+  CostTable Costs;
+
+  bool hasSimd() const { return VSBytes != 0; }
+
+  /// \returns true if vectors of element kind \p K exist on this target.
+  bool supportsVecKind(ir::ScalarKind K) const {
+    if (!hasSimd() || K == ir::ScalarKind::None)
+      return false;
+    return (UnsupportedKindMask >> static_cast<unsigned>(K) & 1) == 0;
+  }
+
+  /// \returns true if \p Op has a direct vector lowering on this target.
+  bool supportsVecOp(ir::Opcode Op) const {
+    if (!hasSimd())
+      return false;
+    return (UnsupportedOpMask >> static_cast<unsigned>(Op) & 1) == 0;
+  }
+};
+
+/// The five paper targets.
+TargetDesc sseTarget();     ///< x86 SSE: 16B, misaligned ok, x87 legacy.
+TargetDesc altivecTarget(); ///< PowerPC AltiVec: 16B, perm realign, no f64.
+TargetDesc neonTarget();    ///< ARM NEON (64-bit): 8B, library fallbacks.
+TargetDesc avxTarget();     ///< x86 AVX: 32B.
+TargetDesc scalarTarget();  ///< No SIMD at all.
+
+/// All five, in the order above.
+std::vector<TargetDesc> allTargets();
+
+/// \returns the cycle cost of one dynamic execution of \p I on \p T.
+/// \p WeakTier selects the weak online compiler's execution environment
+/// (x87 scalar FP on x86 targets).
+unsigned instrCost(const TargetDesc &T, const MInstr &I, bool WeakTier);
+
+} // namespace target
+} // namespace vapor
+
+#endif // VAPOR_TARGET_TARGET_H

@@ -1,0 +1,900 @@
+//===- target/VM.cpp - Cycle-model machine interpreter --------------------===//
+//
+// Part of the Vapor SIMD reproduction.
+//
+//===----------------------------------------------------------------------===//
+//
+// Two pieces live here:
+//
+//  VMDecoder -- walks the structured MFunction once and flattens it into
+//      VM::Code, a dense array of DOps. Loops become
+//        [iv=lower] [phi=init]... HEAD body... [phi=next]... IV+=STEP,goto HEAD
+//      with absolute, patched jump targets; every op gets its handler
+//      pointer, its registers resolved to lane-file offsets, and its
+//      cycle cost from the target cost table.
+//
+//  VMOps -- the handler table. Handlers are function templates
+//      instantiated per element size / sub-opcode so the per-step work
+//      is a direct call with no inner dispatch. Lane arithmetic is
+//      ir::applyBinop and friends: the exact same lane semantics as the
+//      golden evaluator, which is what makes bit-exact cross-checking of
+//      integer kernels possible.
+//
+//===----------------------------------------------------------------------===//
+
+#include "target/VM.h"
+
+#include "ir/ScalarOps.h"
+#include "support/Support.h"
+
+#include <cstring>
+
+using namespace vapor;
+using namespace vapor::ir;
+using namespace vapor::target;
+
+namespace vapor {
+namespace target {
+
+//===--- Handlers ---------------------------------------------------------===//
+
+struct VMOps {
+  using DOp = VM::DOp;
+
+  static ScalarKind kindOf(const DOp &O) {
+    return static_cast<ScalarKind>(O.Kind);
+  }
+  static ScalarKind srcKindOf(const DOp &O) {
+    return static_cast<ScalarKind>(O.SrcKind);
+  }
+
+  /// Bounds-checked host pointer for [Addr, Addr+Size).
+  static uint8_t *mem(VM &Vm, uint64_t Addr, uint64_t Size) {
+    if (Addr < Vm.MemLo || Addr + Size > Vm.MemHi)
+      Vm.memFault(Addr);
+    return Vm.MemPtr + (Addr - Vm.MemLo);
+  }
+
+  template <unsigned ES> static uint64_t ld(const uint8_t *P) {
+    if constexpr (ES == 1) {
+      return *P;
+    } else if constexpr (ES == 2) {
+      uint16_t V;
+      std::memcpy(&V, P, 2);
+      return V;
+    } else if constexpr (ES == 4) {
+      uint32_t V;
+      std::memcpy(&V, P, 4);
+      return V;
+    } else {
+      uint64_t V;
+      std::memcpy(&V, P, 8);
+      return V;
+    }
+  }
+
+  template <unsigned ES> static void st(uint8_t *P, uint64_t V) {
+    std::memcpy(P, &V, ES);
+  }
+
+  //===--- Register setup -------------------------------------------------===//
+
+  static uint32_t setImm(VM &Vm, const DOp &O, uint32_t PC) {
+    Vm.R[O.A] = static_cast<uint64_t>(O.Imm);
+    return PC + 1;
+  }
+
+  static uint32_t copyLanes(VM &Vm, const DOp &O, uint32_t PC) {
+    std::memcpy(Vm.R + O.A, Vm.R + O.B, O.Lanes * sizeof(uint64_t));
+    return PC + 1;
+  }
+
+  static uint32_t addr(VM &Vm, const DOp &O, uint32_t PC) {
+    Vm.R[O.A] = Vm.R[O.B] + (Vm.R[O.C] << O.Imm);
+    return PC + 1;
+  }
+
+  //===--- Control flow (synthetic; no instr count) -----------------------===//
+
+  static uint32_t loopHead(VM &Vm, const DOp &O, uint32_t PC) {
+    if (static_cast<int64_t>(Vm.R[O.A]) >= static_cast<int64_t>(Vm.R[O.B]))
+      return static_cast<uint32_t>(O.Imm);
+    return PC + 1;
+  }
+
+  static uint32_t ivAddJump(VM &Vm, const DOp &O, uint32_t) {
+    Vm.R[O.A] += Vm.R[O.B];
+    return static_cast<uint32_t>(O.Imm);
+  }
+
+  static uint32_t jump(VM &, const DOp &O, uint32_t) {
+    return static_cast<uint32_t>(O.Imm);
+  }
+
+  static uint32_t branchIfZero(VM &Vm, const DOp &O, uint32_t PC) {
+    if ((Vm.R[O.A] & 1) == 0)
+      return static_cast<uint32_t>(O.Imm);
+    return PC + 1;
+  }
+
+  static uint32_t nop(VM &, const DOp &, uint32_t PC) { return PC + 1; }
+
+  //===--- Scalar and vector memory ---------------------------------------===//
+
+  template <unsigned ES>
+  static uint32_t loadScalar(VM &Vm, const DOp &O, uint32_t PC) {
+    Vm.R[O.A] = ld<ES>(mem(Vm, Vm.R[O.B], ES));
+    return PC + 1;
+  }
+
+  template <unsigned ES>
+  static uint32_t storeScalar(VM &Vm, const DOp &O, uint32_t PC) {
+    st<ES>(mem(Vm, Vm.R[O.A], ES), Vm.R[O.B]);
+    return PC + 1;
+  }
+
+  template <unsigned ES, bool Checked>
+  static uint32_t vload(VM &Vm, const DOp &O, uint32_t PC) {
+    uint64_t Addr = Vm.R[O.B];
+    if constexpr (Checked)
+      if (Addr & static_cast<uint64_t>(O.Imm))
+        fatalError("alignment trap: aligned vector load at misaligned "
+                   "address " +
+                   std::to_string(Addr));
+    const uint8_t *P = mem(Vm, Addr, O.Lanes * uint64_t(ES));
+    for (unsigned L = 0; L < O.Lanes; ++L)
+      Vm.R[O.A + L] = ld<ES>(P + L * ES);
+    return PC + 1;
+  }
+
+  template <unsigned ES, bool Checked>
+  static uint32_t vstore(VM &Vm, const DOp &O, uint32_t PC) {
+    uint64_t Addr = Vm.R[O.A];
+    if constexpr (Checked)
+      if (Addr & static_cast<uint64_t>(O.Imm))
+        fatalError("alignment trap: aligned vector store at misaligned "
+                   "address " +
+                   std::to_string(Addr));
+    uint8_t *P = mem(Vm, Addr, O.Lanes * uint64_t(ES));
+    for (unsigned L = 0; L < O.Lanes; ++L)
+      st<ES>(P + L * ES, Vm.R[O.B + L]);
+    return PC + 1;
+  }
+
+  //===--- ALU -------------------------------------------------------------===//
+
+  template <Opcode Sub>
+  static uint32_t binS(VM &Vm, const DOp &O, uint32_t PC) {
+    Vm.R[O.A] = applyBinop(Sub, kindOf(O), Vm.R[O.B], Vm.R[O.C]);
+    return PC + 1;
+  }
+
+  template <Opcode Sub>
+  static uint32_t binV(VM &Vm, const DOp &O, uint32_t PC) {
+    ScalarKind K = kindOf(O);
+    for (unsigned L = 0; L < O.Lanes; ++L)
+      Vm.R[O.A + L] = applyBinop(Sub, K, Vm.R[O.B + L], Vm.R[O.C + L]);
+    return PC + 1;
+  }
+
+  template <Opcode Sub>
+  static uint32_t unS(VM &Vm, const DOp &O, uint32_t PC) {
+    Vm.R[O.A] = applyUnop(Sub, kindOf(O), Vm.R[O.B]);
+    return PC + 1;
+  }
+
+  template <Opcode Sub>
+  static uint32_t unV(VM &Vm, const DOp &O, uint32_t PC) {
+    ScalarKind K = kindOf(O);
+    for (unsigned L = 0; L < O.Lanes; ++L)
+      Vm.R[O.A + L] = applyUnop(Sub, K, Vm.R[O.B + L]);
+    return PC + 1;
+  }
+
+  // Compares carry the I1 result kind in Kind; the comparison itself
+  // runs at the operand kind (SrcKind), exactly like the evaluator.
+  template <Opcode Sub>
+  static uint32_t cmpS(VM &Vm, const DOp &O, uint32_t PC) {
+    Vm.R[O.A] = applyCompare(Sub, srcKindOf(O), Vm.R[O.B], Vm.R[O.C]);
+    return PC + 1;
+  }
+
+  template <Opcode Sub>
+  static uint32_t cmpV(VM &Vm, const DOp &O, uint32_t PC) {
+    ScalarKind K = srcKindOf(O);
+    for (unsigned L = 0; L < O.Lanes; ++L)
+      Vm.R[O.A + L] = applyCompare(Sub, K, Vm.R[O.B + L], Vm.R[O.C + L]);
+    return PC + 1;
+  }
+
+  static uint32_t selS(VM &Vm, const DOp &O, uint32_t PC) {
+    Vm.R[O.A] = (Vm.R[O.B] & 1) ? Vm.R[O.C] : Vm.R[O.D];
+    return PC + 1;
+  }
+
+  static uint32_t selV(VM &Vm, const DOp &O, uint32_t PC) {
+    for (unsigned L = 0; L < O.Lanes; ++L)
+      Vm.R[O.A + L] =
+          (Vm.R[O.B + L] & 1) ? Vm.R[O.C + L] : Vm.R[O.D + L];
+    return PC + 1;
+  }
+
+  static uint32_t cvtS(VM &Vm, const DOp &O, uint32_t PC) {
+    Vm.R[O.A] = applyConvert(srcKindOf(O), kindOf(O), Vm.R[O.B]);
+    return PC + 1;
+  }
+
+  static uint32_t cvtV(VM &Vm, const DOp &O, uint32_t PC) {
+    ScalarKind SK = srcKindOf(O), DK = kindOf(O);
+    for (unsigned L = 0; L < O.Lanes; ++L)
+      Vm.R[O.A + L] = applyConvert(SK, DK, Vm.R[O.B + L]);
+    return PC + 1;
+  }
+
+  //===--- Vector initialization and realignment --------------------------===//
+
+  static uint32_t splat(VM &Vm, const DOp &O, uint32_t PC) {
+    uint64_t V = Vm.R[O.B];
+    for (unsigned L = 0; L < O.Lanes; ++L)
+      Vm.R[O.A + L] = V;
+    return PC + 1;
+  }
+
+  static uint32_t affine(VM &Vm, const DOp &O, uint32_t PC) {
+    ScalarKind K = kindOf(O);
+    uint64_t Cur = Vm.R[O.B], Inc = Vm.R[O.C];
+    for (unsigned L = 0; L < O.Lanes; ++L) {
+      Vm.R[O.A + L] = Cur;
+      Cur = applyBinop(Opcode::Add, K, Cur, Inc);
+    }
+    return PC + 1;
+  }
+
+  static uint32_t setLane0(VM &Vm, const DOp &O, uint32_t PC) {
+    uint64_t Scalar = Vm.R[O.C];
+    std::memcpy(Vm.R + O.A, Vm.R + O.B, O.Lanes * sizeof(uint64_t));
+    Vm.R[O.A] = Scalar;
+    return PC + 1;
+  }
+
+  static uint32_t getPerm(VM &Vm, const DOp &O, uint32_t PC) {
+    Vm.R[O.A] = Vm.R[O.B] & static_cast<uint64_t>(O.Imm);
+    return PC + 1;
+  }
+
+  /// Imm holds log2(element size); lanes select from the concatenation
+  /// of the two source vectors starting at the realignment token.
+  static uint32_t vperm(VM &Vm, const DOp &O, uint32_t PC) {
+    uint64_t Off = Vm.R[O.D] >> O.Imm;
+    for (unsigned L = 0; L < O.Lanes; ++L) {
+      uint64_t Pos = Off + L;
+      Vm.R[O.A + L] = Pos < O.Lanes ? Vm.R[O.B + Pos]
+                                    : Vm.R[O.C + Pos - O.Lanes];
+    }
+    return PC + 1;
+  }
+
+  //===--- Reorganization and widening idioms ------------------------------===//
+
+  static uint32_t extract(VM &Vm, const DOp &O, uint32_t PC) {
+    const uint32_t *Aux = Vm.AuxLanes.data() + O.Aux;
+    for (unsigned L = 0; L < O.Lanes; ++L)
+      Vm.R[O.A + L] = Vm.R[Aux[L]];
+    return PC + 1;
+  }
+
+  /// Imm holds the source half offset (0 for Lo, Lanes/2 for Hi).
+  static uint32_t ilv(VM &Vm, const DOp &O, uint32_t PC) {
+    unsigned Half = O.Lanes / 2;
+    uint64_t Off = static_cast<uint64_t>(O.Imm);
+    for (unsigned L = 0; L < Half; ++L) {
+      Vm.R[O.A + 2 * L] = Vm.R[O.B + Off + L];
+      Vm.R[O.A + 2 * L + 1] = Vm.R[O.C + Off + L];
+    }
+    return PC + 1;
+  }
+
+  static uint32_t wmul(VM &Vm, const DOp &O, uint32_t PC) {
+    ScalarKind NK = srcKindOf(O), WK = kindOf(O);
+    uint64_t Off = static_cast<uint64_t>(O.Imm);
+    for (unsigned J = 0; J < O.Lanes; ++J)
+      Vm.R[O.A + J] =
+          applyBinop(Opcode::Mul, WK,
+                     applyConvert(NK, WK, Vm.R[O.B + Off + J]),
+                     applyConvert(NK, WK, Vm.R[O.C + Off + J]));
+    return PC + 1;
+  }
+
+  static uint32_t pack(VM &Vm, const DOp &O, uint32_t PC) {
+    ScalarKind WK = srcKindOf(O), NK = kindOf(O);
+    unsigned Half = O.Lanes / 2;
+    for (unsigned L = 0; L < Half; ++L) {
+      Vm.R[O.A + L] = applyConvert(WK, NK, Vm.R[O.B + L]);
+      Vm.R[O.A + Half + L] = applyConvert(WK, NK, Vm.R[O.C + L]);
+    }
+    return PC + 1;
+  }
+
+  static uint32_t unpack(VM &Vm, const DOp &O, uint32_t PC) {
+    ScalarKind NK = srcKindOf(O), WK = kindOf(O);
+    uint64_t Off = static_cast<uint64_t>(O.Imm);
+    for (unsigned J = 0; J < O.Lanes; ++J)
+      Vm.R[O.A + J] = applyConvert(NK, WK, Vm.R[O.B + Off + J]);
+    return PC + 1;
+  }
+
+  static uint32_t dot(VM &Vm, const DOp &O, uint32_t PC) {
+    ScalarKind NK = srcKindOf(O), WK = kindOf(O);
+    for (unsigned J = 0; J < O.Lanes; ++J) {
+      uint64_t P0 =
+          applyBinop(Opcode::Mul, WK,
+                     applyConvert(NK, WK, Vm.R[O.B + 2 * J]),
+                     applyConvert(NK, WK, Vm.R[O.C + 2 * J]));
+      uint64_t P1 =
+          applyBinop(Opcode::Mul, WK,
+                     applyConvert(NK, WK, Vm.R[O.B + 2 * J + 1]),
+                     applyConvert(NK, WK, Vm.R[O.C + 2 * J + 1]));
+      Vm.R[O.A + J] = applyBinop(
+          Opcode::Add, WK,
+          applyBinop(Opcode::Add, WK, Vm.R[O.D + J], P0), P1);
+    }
+    return PC + 1;
+  }
+
+  template <Opcode Sub>
+  static uint32_t reduce(VM &Vm, const DOp &O, uint32_t PC) {
+    ScalarKind K = kindOf(O);
+    uint64_t Acc = Vm.R[O.B];
+    for (unsigned L = 1; L < O.Lanes; ++L)
+      Acc = applyBinop(Sub, K, Acc, Vm.R[O.B + L]);
+    Vm.R[O.A] = Acc;
+    return PC + 1;
+  }
+};
+
+//===--- Decoder ----------------------------------------------------------===//
+
+struct VMDecoder {
+  VM &Vm;
+  const MFunction &F;
+  const TargetDesc &T;
+  bool Weak;
+  std::vector<uint32_t> Off;     ///< Lane-file offset per register.
+  std::vector<uint16_t> RegLanes; ///< Lane count per register.
+
+  using DOp = VM::DOp;
+  using Handler = VM::Handler;
+
+  VMDecoder(VM &TheVm, const MFunction &Fn, const TargetDesc &Target,
+            bool WeakTier)
+      : Vm(TheVm), F(Fn), T(Target), Weak(WeakTier) {}
+
+  void decode() {
+    // Lay out the flat lane file: vector registers get VS/ES lanes.
+    Off.resize(F.Regs.size());
+    RegLanes.resize(F.Regs.size());
+    uint32_t Total = 0;
+    for (size_t R = 0; R < F.Regs.size(); ++R) {
+      unsigned Lanes = 1;
+      if (F.Regs[R].Vector && F.VSBytes)
+        Lanes = std::max(1u, F.VSBytes / scalarSize(F.Regs[R].Kind));
+      Off[R] = Total;
+      RegLanes[R] = static_cast<uint16_t>(Lanes);
+      Total += Lanes;
+    }
+    Vm.RegStore.assign(Total + 1, 0);
+    Vm.R = Vm.RegStore.data();
+    if (reinterpret_cast<uintptr_t>(Vm.R) % 16 != 0)
+      ++Vm.R; // 16-byte-align the lane file inside the padded store.
+
+    for (const MParam &P : F.Params) {
+      assert(P.Reg < F.Regs.size() && "bad param register");
+      Vm.Params.push_back({P.Name, Off[P.Reg], F.Regs[P.Reg].Kind});
+    }
+
+    region(F.Body);
+  }
+
+  uint32_t emit(const DOp &O) {
+    Vm.Code.push_back(O);
+    return static_cast<uint32_t>(Vm.Code.size() - 1);
+  }
+
+  uint32_t here() const { return static_cast<uint32_t>(Vm.Code.size()); }
+
+  void region(const MRegion &R) {
+    for (const MNodeRef &N : R.Nodes) {
+      switch (N.Kind) {
+      case MNodeKind::Instr:
+        instr(F.Instrs[N.Index]);
+        break;
+      case MNodeKind::Loop:
+        loop(F.Loops[N.Index]);
+        break;
+      case MNodeKind::If:
+        ifStmt(F.Ifs[N.Index]);
+        break;
+      }
+    }
+  }
+
+  void loop(const MLoop &L) {
+    // iv = lower; phi = init...
+    emitCopy(L.IndVar, L.Lower);
+    for (const MLoop::CarriedVar &C : L.Carried)
+      emitCopy(C.Phi, C.Init);
+    // HEAD: if (iv >= upper) goto END.
+    DOp Head;
+    Head.Fn = &VMOps::loopHead;
+    Head.A = Off[L.IndVar];
+    Head.B = Off[L.Upper];
+    Head.Cost = T.Costs.LoopIter;
+    uint32_t HeadPC = emit(Head);
+
+    region(L.Body);
+
+    // phi = next...; iv += step; goto HEAD.
+    for (const MLoop::CarriedVar &C : L.Carried)
+      if (C.Next != NoReg)
+        emitCopy(C.Phi, C.Next);
+    DOp Latch;
+    Latch.Fn = &VMOps::ivAddJump;
+    Latch.A = Off[L.IndVar];
+    Latch.B = Off[L.Step];
+    Latch.Imm = HeadPC;
+    emit(Latch);
+
+    Vm.Code[HeadPC].Imm = here();
+  }
+
+  void ifStmt(const MIf &S) {
+    DOp Br;
+    Br.Fn = &VMOps::branchIfZero;
+    Br.A = Off[S.Cond];
+    Br.Cost = T.Costs.LoopIter; // One compare-and-branch.
+    uint32_t BrPC = emit(Br);
+    region(S.Then);
+    DOp J;
+    J.Fn = &VMOps::jump;
+    uint32_t JumpPC = emit(J);
+    Vm.Code[BrPC].Imm = here();
+    region(S.Else);
+    Vm.Code[JumpPC].Imm = here();
+  }
+
+  /// Synthetic full-register copy (loop plumbing): free, uncounted.
+  void emitCopy(MReg Dst, MReg Src) {
+    if (Dst == Src)
+      return;
+    DOp O;
+    O.Fn = &VMOps::copyLanes;
+    O.A = Off[Dst];
+    O.B = Off[Src];
+    O.Lanes = RegLanes[Dst];
+    emit(O);
+  }
+
+  static unsigned log2Size(unsigned Bytes) {
+    assert(isPowerOf2(Bytes) && "element size must be a power of two");
+    return static_cast<unsigned>(__builtin_ctz(Bytes));
+  }
+
+  template <template <unsigned> class Pick>
+  static Handler bySize(unsigned ES);
+
+  void instr(const MInstr &I) {
+    DOp O;
+    O.Cost = instrCost(T, I, Weak);
+    O.Counts = 1;
+    O.Kind = static_cast<uint8_t>(I.Kind);
+    if (I.Dst != NoReg) {
+      O.A = Off[I.Dst];
+      O.Lanes = RegLanes[I.Dst];
+    }
+
+    switch (I.Op) {
+    case MOp::LdImm: {
+      ScalarKind K = I.Kind == ScalarKind::None ? ScalarKind::I64 : I.Kind;
+      O.Fn = &VMOps::setImm;
+      O.Imm = static_cast<int64_t>(encodeInt(K, I.Imm));
+      break;
+    }
+    case MOp::LdFImm:
+      O.Fn = &VMOps::setImm;
+      O.Imm = static_cast<int64_t>(encodeFP(I.Kind, I.FImm));
+      break;
+    case MOp::LoadBase:
+      assert(I.Array < Vm.Mem.arrayCount() &&
+             "loadbase of an array missing from the memory image");
+      O.Fn = &VMOps::setImm;
+      O.Imm = static_cast<int64_t>(Vm.Mem.base(I.Array));
+      break;
+    case MOp::Mov:
+      O.Fn = &VMOps::copyLanes;
+      O.B = Off[I.Srcs[0]];
+      break;
+    case MOp::Addr:
+      O.Fn = &VMOps::addr;
+      O.B = Off[I.Srcs[0]];
+      O.C = Off[I.Srcs[1]];
+      O.Imm = log2Size(I.Scale);
+      break;
+    case MOp::Alu:
+      decodeAlu(I, O);
+      break;
+    case MOp::Load:
+      O.Fn = pickLoad(scalarSize(I.Kind));
+      O.B = Off[I.Srcs[0]];
+      break;
+    case MOp::Store:
+      O.Fn = pickStore(scalarSize(I.Kind));
+      O.A = Off[I.Srcs[0]];
+      O.B = Off[I.Srcs[1]];
+      O.Lanes = 1;
+      break;
+    case MOp::VLoadA:
+    case MOp::VLoadU:
+      O.Fn = pickVLoad(scalarSize(I.Kind), I.Op == MOp::VLoadA);
+      O.B = Off[I.Srcs[0]];
+      O.Imm = static_cast<int64_t>(F.VSBytes - 1);
+      break;
+    case MOp::VStoreA:
+    case MOp::VStoreU:
+      O.Fn = pickVStore(scalarSize(I.Kind), I.Op == MOp::VStoreA);
+      O.A = Off[I.Srcs[0]];
+      O.B = Off[I.Srcs[1]];
+      O.Lanes = RegLanes[I.Srcs[1]];
+      O.Imm = static_cast<int64_t>(F.VSBytes - 1);
+      break;
+    case MOp::GetPerm:
+      O.Fn = &VMOps::getPerm;
+      O.B = Off[I.Srcs[0]];
+      O.Imm = static_cast<int64_t>(F.VSBytes - 1);
+      break;
+    case MOp::VPerm:
+      O.Fn = &VMOps::vperm;
+      O.B = Off[I.Srcs[0]];
+      O.C = Off[I.Srcs[1]];
+      O.D = Off[I.Srcs[2]];
+      O.Imm = log2Size(scalarSize(I.Kind));
+      break;
+    case MOp::VSplat:
+      O.Fn = &VMOps::splat;
+      O.B = Off[I.Srcs[0]];
+      break;
+    case MOp::VAffine:
+      O.Fn = &VMOps::affine;
+      O.B = Off[I.Srcs[0]];
+      O.C = Off[I.Srcs[1]];
+      break;
+    case MOp::VSetLane0:
+      O.Fn = &VMOps::setLane0;
+      O.B = Off[I.Srcs[0]];
+      O.C = Off[I.Srcs[1]];
+      break;
+    case MOp::VExtract: {
+      O.Fn = &VMOps::extract;
+      O.Aux = static_cast<uint32_t>(Vm.AuxLanes.size());
+      unsigned LC = RegLanes[I.Srcs[0]];
+      for (unsigned L = 0; L < O.Lanes; ++L) {
+        uint64_t Pos = static_cast<uint64_t>(I.Imm) +
+                       static_cast<uint64_t>(L) * I.Imm2;
+        assert(Pos / LC < I.Srcs.size() && "extract out of concat range");
+        Vm.AuxLanes.push_back(Off[I.Srcs[Pos / LC]] +
+                              static_cast<uint32_t>(Pos % LC));
+      }
+      break;
+    }
+    case MOp::VIlvLo:
+    case MOp::VIlvHi:
+      O.Fn = &VMOps::ilv;
+      O.B = Off[I.Srcs[0]];
+      O.C = Off[I.Srcs[1]];
+      O.Imm = I.Op == MOp::VIlvHi ? O.Lanes / 2 : 0;
+      break;
+    case MOp::VWMulLo:
+    case MOp::VWMulHi:
+      decodeWMul(I, O, I.Op == MOp::VWMulHi);
+      break;
+    case MOp::VPack:
+      O.Fn = &VMOps::pack;
+      O.B = Off[I.Srcs[0]];
+      O.C = Off[I.Srcs[1]];
+      O.SrcKind = static_cast<uint8_t>(F.Regs[I.Srcs[0]].Kind);
+      break;
+    case MOp::VUnpackLo:
+    case MOp::VUnpackHi:
+      O.Fn = &VMOps::unpack;
+      O.B = Off[I.Srcs[0]];
+      O.SrcKind = static_cast<uint8_t>(F.Regs[I.Srcs[0]].Kind);
+      O.Imm = I.Op == MOp::VUnpackHi ? O.Lanes : 0;
+      break;
+    case MOp::VDot:
+      O.Fn = &VMOps::dot;
+      O.B = Off[I.Srcs[0]];
+      O.C = Off[I.Srcs[1]];
+      O.D = Off[I.Srcs[2]];
+      O.SrcKind = static_cast<uint8_t>(F.Regs[I.Srcs[0]].Kind);
+      break;
+    case MOp::Reduce:
+      O.Fn = pickReduce(I.SubOp);
+      O.B = Off[I.Srcs[0]];
+      O.Lanes = RegLanes[I.Srcs[0]];
+      break;
+    case MOp::CallLib:
+      // The library implements the idiom out of line; semantics match
+      // the inline lowering, only the cost differs.
+      switch (I.SubOp) {
+      case Opcode::WidenMultLo:
+        decodeWMul(I, O, false);
+        break;
+      case Opcode::WidenMultHi:
+        decodeWMul(I, O, true);
+        break;
+      case Opcode::Convert:
+        O.Fn = &VMOps::cvtV;
+        O.B = Off[I.Srcs[0]];
+        O.SrcKind = static_cast<uint8_t>(F.Regs[I.Srcs[0]].Kind);
+        break;
+      default:
+        vapor_unreachable("unsupported library call");
+      }
+      break;
+    case MOp::SpillLd:
+    case MOp::SpillSt:
+      O.Fn = &VMOps::nop;
+      break;
+    }
+    emit(O);
+  }
+
+  void decodeWMul(const MInstr &I, DOp &O, bool Hi) {
+    O.Fn = &VMOps::wmul;
+    O.B = Off[I.Srcs[0]];
+    O.C = Off[I.Srcs[1]];
+    O.SrcKind = static_cast<uint8_t>(F.Regs[I.Srcs[0]].Kind);
+    O.Imm = Hi ? O.Lanes : 0;
+  }
+
+  void decodeAlu(const MInstr &I, DOp &O) {
+    bool V = I.Vector;
+    if (isCompare(I.SubOp)) {
+      O.Fn = pickCmp(I.SubOp, V);
+      O.B = Off[I.Srcs[0]];
+      O.C = Off[I.Srcs[1]];
+      // Compares produce I1 but iterate at the operand lane count and
+      // compare at the operand kind.
+      O.Lanes = RegLanes[I.Srcs[0]];
+      O.SrcKind = static_cast<uint8_t>(F.Regs[I.Srcs[0]].Kind);
+      return;
+    }
+    switch (I.SubOp) {
+    case Opcode::Select:
+      O.Fn = V ? &VMOps::selV : &VMOps::selS;
+      O.B = Off[I.Srcs[0]];
+      O.C = Off[I.Srcs[1]];
+      O.D = Off[I.Srcs[2]];
+      return;
+    case Opcode::Convert:
+      O.Fn = V ? &VMOps::cvtV : &VMOps::cvtS;
+      O.B = Off[I.Srcs[0]];
+      O.SrcKind = static_cast<uint8_t>(F.Regs[I.Srcs[0]].Kind);
+      assert((!V || RegLanes[I.Srcs[0]] == O.Lanes) &&
+             "vector converts keep the lane count");
+      return;
+    case Opcode::Neg:
+    case Opcode::Abs:
+    case Opcode::Sqrt:
+      O.Fn = pickUnop(I.SubOp, V);
+      O.B = Off[I.Srcs[0]];
+      return;
+    default:
+      O.Fn = pickBinop(I.SubOp, V);
+      O.B = Off[I.Srcs[0]];
+      O.C = Off[I.Srcs[1]];
+      return;
+    }
+  }
+
+  static Handler pickLoad(unsigned ES) {
+    switch (ES) {
+    case 1:
+      return &VMOps::loadScalar<1>;
+    case 2:
+      return &VMOps::loadScalar<2>;
+    case 4:
+      return &VMOps::loadScalar<4>;
+    default:
+      return &VMOps::loadScalar<8>;
+    }
+  }
+
+  static Handler pickStore(unsigned ES) {
+    switch (ES) {
+    case 1:
+      return &VMOps::storeScalar<1>;
+    case 2:
+      return &VMOps::storeScalar<2>;
+    case 4:
+      return &VMOps::storeScalar<4>;
+    default:
+      return &VMOps::storeScalar<8>;
+    }
+  }
+
+  static Handler pickVLoad(unsigned ES, bool Checked) {
+    if (Checked)
+      switch (ES) {
+      case 1:
+        return &VMOps::vload<1, true>;
+      case 2:
+        return &VMOps::vload<2, true>;
+      case 4:
+        return &VMOps::vload<4, true>;
+      default:
+        return &VMOps::vload<8, true>;
+      }
+    switch (ES) {
+    case 1:
+      return &VMOps::vload<1, false>;
+    case 2:
+      return &VMOps::vload<2, false>;
+    case 4:
+      return &VMOps::vload<4, false>;
+    default:
+      return &VMOps::vload<8, false>;
+    }
+  }
+
+  static Handler pickVStore(unsigned ES, bool Checked) {
+    if (Checked)
+      switch (ES) {
+      case 1:
+        return &VMOps::vstore<1, true>;
+      case 2:
+        return &VMOps::vstore<2, true>;
+      case 4:
+        return &VMOps::vstore<4, true>;
+      default:
+        return &VMOps::vstore<8, true>;
+      }
+    switch (ES) {
+    case 1:
+      return &VMOps::vstore<1, false>;
+    case 2:
+      return &VMOps::vstore<2, false>;
+    case 4:
+      return &VMOps::vstore<4, false>;
+    default:
+      return &VMOps::vstore<8, false>;
+    }
+  }
+
+  static Handler pickBinop(Opcode Sub, bool V) {
+    switch (Sub) {
+#define BINOP_CASE(OP)                                                    \
+  case Opcode::OP:                                                        \
+    return V ? static_cast<Handler>(&VMOps::binV<Opcode::OP>)             \
+             : static_cast<Handler>(&VMOps::binS<Opcode::OP>);
+      BINOP_CASE(Add)
+      BINOP_CASE(Sub)
+      BINOP_CASE(Mul)
+      BINOP_CASE(Div)
+      BINOP_CASE(Rem)
+      BINOP_CASE(Min)
+      BINOP_CASE(Max)
+      BINOP_CASE(And)
+      BINOP_CASE(Or)
+      BINOP_CASE(Xor)
+      BINOP_CASE(Shl)
+      BINOP_CASE(ShrL)
+      BINOP_CASE(ShrA)
+#undef BINOP_CASE
+    default:
+      vapor_unreachable("bad ALU binop");
+    }
+  }
+
+  static Handler pickUnop(Opcode Sub, bool V) {
+    switch (Sub) {
+#define UNOP_CASE(OP)                                                     \
+  case Opcode::OP:                                                        \
+    return V ? static_cast<Handler>(&VMOps::unV<Opcode::OP>)              \
+             : static_cast<Handler>(&VMOps::unS<Opcode::OP>);
+      UNOP_CASE(Neg)
+      UNOP_CASE(Abs)
+      UNOP_CASE(Sqrt)
+#undef UNOP_CASE
+    default:
+      vapor_unreachable("bad ALU unop");
+    }
+  }
+
+  static Handler pickCmp(Opcode Sub, bool V) {
+    switch (Sub) {
+#define CMP_CASE(OP)                                                      \
+  case Opcode::OP:                                                        \
+    return V ? static_cast<Handler>(&VMOps::cmpV<Opcode::OP>)             \
+             : static_cast<Handler>(&VMOps::cmpS<Opcode::OP>);
+      CMP_CASE(CmpEQ)
+      CMP_CASE(CmpNE)
+      CMP_CASE(CmpLT)
+      CMP_CASE(CmpLE)
+      CMP_CASE(CmpGT)
+      CMP_CASE(CmpGE)
+#undef CMP_CASE
+    default:
+      vapor_unreachable("bad compare");
+    }
+  }
+
+  static Handler pickReduce(Opcode Sub) {
+    switch (Sub) {
+    case Opcode::Add:
+      return &VMOps::reduce<Opcode::Add>;
+    case Opcode::Max:
+      return &VMOps::reduce<Opcode::Max>;
+    case Opcode::Min:
+      return &VMOps::reduce<Opcode::Min>;
+    default:
+      vapor_unreachable("bad reduction operator");
+    }
+  }
+};
+
+} // namespace target
+} // namespace vapor
+
+//===--- VM ---------------------------------------------------------------===//
+
+VM::VM(const MFunction &F, const TargetDesc &T, MemoryImage &Image,
+       bool Weak)
+    : Mem(Image) {
+  VMDecoder(*this, F, T, Weak).decode();
+}
+
+void VM::memFault(uint64_t Addr) const {
+  fatalError("memory access out of image bounds at address " +
+             std::to_string(Addr));
+}
+
+void VM::setParamInt(const std::string &Name, int64_t V) {
+  for (const ParamSlot &P : Params) {
+    if (P.Name != Name)
+      continue;
+    R[P.Off] = isFloatKind(P.Kind) ? encodeFP(P.Kind, static_cast<double>(V))
+                                   : encodeInt(P.Kind, V);
+    return;
+  }
+  fatalError("unknown integer parameter '" + Name + "'");
+}
+
+void VM::setParamFP(const std::string &Name, double V) {
+  for (const ParamSlot &P : Params) {
+    if (P.Name != Name)
+      continue;
+    R[P.Off] = isFloatKind(P.Kind) ? encodeFP(P.Kind, V)
+                                   : encodeInt(P.Kind, static_cast<int64_t>(V));
+    return;
+  }
+  fatalError("unknown float parameter '" + Name + "'");
+}
+
+void VM::run() {
+  MemPtr = Mem.data();
+  MemLo = Mem.lowAddr();
+  MemHi = Mem.highAddr();
+
+  const DOp *Ops = Code.data();
+  const uint32_t N = static_cast<uint32_t>(Code.size());
+  uint64_t Cyc = 0, Ins = 0;
+  uint32_t PC = 0;
+  while (PC < N) {
+    const DOp &O = Ops[PC];
+    Cyc += O.Cost;
+    Ins += O.Counts;
+    PC = O.Fn(*this, O, PC);
+  }
+  Cycles += Cyc;
+  Instrs += Ins;
+}

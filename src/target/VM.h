@@ -1,0 +1,121 @@
+//===- target/VM.h - Cycle-model machine interpreter -----------*- C++ -*-===//
+//
+// Part of the Vapor SIMD reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The execution engine behind every measured number in the repro: runs
+/// a jit-compiled MFunction against a MemoryImage on one of the target
+/// machine models and reports modeled cycles plus executed-instruction
+/// counts. Executing 32 kernels x 4 flows x 5 targets per bench sweep
+/// makes this the hot path of the repository, so it is built as a
+/// pre-decoded threaded interpreter:
+///
+///  - construction decodes the structured machine code ONCE into a flat
+///    array of fixed-size ops with resolved handler pointers, resolved
+///    register-lane offsets, pre-encoded immediates, and the cycle cost
+///    of each op baked in (loops and ifs become head/branch ops with
+///    absolute jump targets);
+///  - the dispatch loop is `pc = op.Fn(vm, op, pc)` over that array --
+///    no per-step name lookups, no maps, no allocation;
+///  - all registers live in one flat preallocated file of 16-byte-
+///    aligned 64-bit lanes; an op addresses lanes by precomputed offset;
+///  - cycles and instruction counts accumulate as running integer adds.
+///
+/// Aligned vector accesses (VLoadA/VStoreA) to a misaligned address are
+/// a hard "alignment trap" abort: the machine models fault exactly where
+/// real SSE movdqa / AltiVec lvx semantics would silently corrupt the
+/// experiment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAPOR_TARGET_VM_H
+#define VAPOR_TARGET_VM_H
+
+#include "ir/Type.h"
+#include "target/MachineIR.h"
+#include "target/MemoryImage.h"
+#include "target/Target.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vapor {
+namespace target {
+
+class VM {
+public:
+  /// Decodes \p F for execution on \p T against \p Image. \p Weak models
+  /// the weak online tier's execution environment (x87 scalar FP).
+  /// Arrays must already be placed in \p Image; bases are resolved here.
+  VM(const MFunction &F, const TargetDesc &T, MemoryImage &Image,
+     bool Weak = false);
+
+  /// Binds scalar parameter \p Name (aborts on unknown names).
+  void setParamInt(const std::string &Name, int64_t V);
+  void setParamFP(const std::string &Name, double V);
+
+  /// Executes the function once. May be called repeatedly; cycle and
+  /// instruction counters accumulate across runs.
+  void run();
+
+  /// Modeled cycles consumed so far.
+  uint64_t cycles() const { return Cycles; }
+  /// Machine instructions executed so far (control flow not included).
+  uint64_t instrsExecuted() const { return Instrs; }
+
+private:
+  struct DOp;
+  /// Executes one decoded op and \returns the next program counter.
+  using Handler = uint32_t (*)(VM &, const DOp &, uint32_t);
+
+  /// One pre-decoded op: handler, register-lane offsets (A..D), an
+  /// immediate (pre-encoded constant, jump target, align mask, or lane
+  /// offset depending on the handler), cost, and lane count.
+  struct DOp {
+    Handler Fn = nullptr;
+    uint32_t A = 0;
+    uint32_t B = 0;
+    uint32_t C = 0;
+    uint32_t D = 0;
+    int64_t Imm = 0;
+    uint32_t Cost = 0;
+    uint32_t Aux = 0;    ///< Start index in AuxLanes (variadic ops).
+    uint16_t Lanes = 1;  ///< Lanes this op operates on.
+    uint8_t Kind = 0;    ///< ir::ScalarKind of the operation.
+    uint8_t SrcKind = 0; ///< Source kind for converts/widenings.
+    uint8_t Counts = 0;  ///< Contributes to instrsExecuted().
+  };
+
+  friend struct VMOps;     ///< Handler implementations (VM.cpp).
+  friend struct VMDecoder; ///< MFunction -> DOp translation (VM.cpp).
+
+  [[noreturn]] void memFault(uint64_t Addr) const;
+
+  std::vector<DOp> Code;
+  std::vector<uint64_t> RegStore; ///< Backing store for the lane file.
+  uint64_t *R = nullptr;          ///< 16-byte-aligned lane file.
+  std::vector<uint32_t> AuxLanes; ///< Resolved lane offsets (VExtract).
+
+  struct ParamSlot {
+    std::string Name;
+    uint32_t Off;
+    ir::ScalarKind Kind;
+  };
+  std::vector<ParamSlot> Params;
+
+  MemoryImage &Mem;
+  uint8_t *MemPtr = nullptr; ///< Cached image pointer during run().
+  uint64_t MemLo = 0;
+  uint64_t MemHi = 0;
+
+  uint64_t Cycles = 0;
+  uint64_t Instrs = 0;
+};
+
+} // namespace target
+} // namespace vapor
+
+#endif // VAPOR_TARGET_VM_H

@@ -212,6 +212,76 @@ TEST(VMTest, AlignedLoadTrapsOnMisalignedBase) {
   EXPECT_DEATH(M.run(), "alignment trap");
 }
 
+TEST(VMTest, AlignedTrapHonorsEachTargetVectorWidth) {
+  // The trap boundary is the *function's* vector size: 16 bytes for an
+  // AltiVec build, 32 for AVX. A base at +16 is fine for lvx but must
+  // trap a 256-bit aligned load.
+  auto BuildAndRun = [](unsigned VS, const TargetDesc &T, uint32_t Mis) {
+    MFunction F = buildVecAddMachine(VS, MOp::VLoadA, MOp::VStoreA);
+    MemoryImage Mem;
+    Mem.addArray(F.Arrays[0], Mis);
+    Mem.addArray(F.Arrays[1], 0);
+    Mem.addArray(F.Arrays[2], 0);
+    VM M(F, T, Mem);
+    M.setParamInt("n", 16);
+    M.run();
+  };
+  EXPECT_DEATH(BuildAndRun(16, altivecTarget(), 8), "alignment trap");
+  EXPECT_DEATH(BuildAndRun(32, avxTarget(), 16), "alignment trap");
+  // +16 is a legal 128-bit boundary: the same misalignment must NOT trap
+  // a 16-byte build.
+  BuildAndRun(16, sseTarget(), 16);
+}
+
+TEST(VMTest, AlignedStoreTrapsOnMisalignedOutput) {
+  // Store-side dual of the load trap: only the output array is moved, so
+  // both aligned loads succeed and the first vstore.a faults.
+  MFunction F = buildVecAddMachine(16, MOp::VLoadA, MOp::VStoreA);
+  TargetDesc T = sseTarget();
+  MemoryImage Mem;
+  Mem.addArray(F.Arrays[0], 0);
+  Mem.addArray(F.Arrays[1], 0);
+  Mem.addArray(F.Arrays[2], /*BaseMisalign=*/8);
+  VM M(F, T, Mem);
+  M.setParamInt("n", 16);
+  EXPECT_DEATH(M.run(), "alignment trap");
+
+  // The unaligned store form handles the same layout.
+  MFunction FU = buildVecAddMachine(16, MOp::VLoadA, MOp::VStoreU);
+  MemoryImage MemU;
+  MemU.addArray(FU.Arrays[0], 0);
+  MemU.addArray(FU.Arrays[1], 0);
+  MemU.addArray(FU.Arrays[2], 8);
+  for (int I = 0; I < 64; ++I) {
+    MemU.pokeFP(0, I, I * 1.0);
+    MemU.pokeFP(1, I, 100.0 - I);
+  }
+  VM MU(FU, T, MemU);
+  MU.setParamInt("n", 16);
+  MU.run();
+  for (int I = 0; I < 16; ++I)
+    EXPECT_EQ(MemU.peekFP(2, I), 100.0);
+}
+
+TEST(VMTest, UnalignedLoadSucceedsAtEveryMisalignment) {
+  TargetDesc T = avxTarget();
+  for (uint32_t Mis : {4u, 8u, 12u, 20u, 28u}) {
+    MFunction F = buildVecAddMachine(32, MOp::VLoadU, MOp::VStoreU);
+    MemoryImage Mem;
+    for (const auto &A : F.Arrays)
+      Mem.addArray(A, Mis);
+    for (int I = 0; I < 64; ++I) {
+      Mem.pokeFP(0, I, I * 0.5);
+      Mem.pokeFP(1, I, 64.0 - I * 0.5);
+    }
+    VM M(F, T, Mem);
+    M.setParamInt("n", 64);
+    M.run();
+    for (int I = 0; I < 64; ++I)
+      EXPECT_EQ(Mem.peekFP(2, I), 64.0) << "mis=" << Mis << " i=" << I;
+  }
+}
+
 TEST(VMTest, UnalignedLoadsWorkButCostMore) {
   TargetDesc T = sseTarget();
   auto Run = [&](MOp LoadOp, uint32_t Mis) {
