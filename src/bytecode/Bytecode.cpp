@@ -23,9 +23,19 @@ void encodeType(ByteWriter &W, Type T) {
   W.writeU8(static_cast<uint8_t>(T.Elem) | (T.Vector ? 0x80 : 0));
 }
 
-Type decodeType(ByteReader &R) {
+bool validKind(uint8_t K) {
+  return K <= static_cast<uint8_t>(ScalarKind::F64);
+}
+
+/// \returns false on an out-of-range element kind: a garbage kind must be
+/// rejected here, before it can reach kind-dispatched code (widening
+/// tables, size computations) downstream.
+bool decodeType(ByteReader &R, Type &Out) {
   uint8_t B = R.readU8();
-  return Type(static_cast<ScalarKind>(B & 0x7f), (B & 0x80) != 0);
+  if (!validKind(B & 0x7f))
+    return false;
+  Out = Type(static_cast<ScalarKind>(B & 0x7f), (B & 0x80) != 0);
+  return !R.failed();
 }
 
 void encodeRegion(ByteWriter &W, const Region &R) {
@@ -104,7 +114,8 @@ bool decodeInstr(ByteReader &R, Instr &I) {
   if (Op >= NumOpcodes)
     return false;
   I.Op = static_cast<Opcode>(Op);
-  I.Ty = decodeType(R);
+  if (!decodeType(R, I.Ty))
+    return false;
   uint64_t Res = R.readU64();
   I.Result = Res == 0 ? NoValue : static_cast<ValueId>(Res - 1);
   uint64_t NOps = R.readU64();
@@ -123,12 +134,21 @@ bool decodeInstr(ByteReader &R, Instr &I) {
     I.FPImm = R.readF64();
   if (Flags & 8)
     I.Array = static_cast<uint32_t>(R.readU64());
-  if (Flags & 16)
-    I.TyParam = static_cast<ScalarKind>(R.readU8());
+  if (Flags & 16) {
+    uint8_t K = R.readU8();
+    if (!validKind(K))
+      return false;
+    I.TyParam = static_cast<ScalarKind>(K);
+  }
   if (Flags & 32) {
     I.Hint.Mis = static_cast<int32_t>(R.readI64());
     I.Hint.Mod = static_cast<int32_t>(R.readI64());
     I.Hint.IfJitAligns = R.readU8() != 0;
+    // A hint is a claim, not an instruction: garbage values must not be
+    // able to smuggle negative or absurd moduli past the consumer.
+    if (I.Hint.Mis < -1 || I.Hint.Mod < 0 || I.Hint.Mod > (1 << 20) ||
+        I.Hint.Mis > (1 << 20))
+      return false;
   }
   if (Flags & 64) {
     uint8_t G = R.readU8();
@@ -232,12 +252,17 @@ std::optional<Function> bytecode::decode(const std::vector<uint8_t> &Bytes,
   for (uint64_t I = 0; I < NArrays; ++I) {
     ArrayInfo A;
     A.Name = R.readString();
-    A.Elem = static_cast<ScalarKind>(R.readU8());
+    uint8_t Elem = R.readU8();
+    if (!validKind(Elem))
+      return Fail("bad element kind for array " + A.Name);
+    A.Elem = static_cast<ScalarKind>(Elem);
     A.NumElems = R.readU64();
     A.BaseAlign = static_cast<uint32_t>(R.readU64());
     if (scalarSize(A.Elem) == 0 || !isPowerOf2(A.BaseAlign) ||
         A.BaseAlign < scalarSize(A.Elem))
       return Fail("malformed array declaration for " + A.Name);
+    if (A.NumElems == 0 || A.NumElems > (1u << 28))
+      return Fail("implausible element count for array " + A.Name);
     F.Arrays.push_back(std::move(A));
   }
 
@@ -246,7 +271,8 @@ std::optional<Function> bytecode::decode(const std::vector<uint8_t> &Bytes,
     return Fail("truncated value table");
   for (uint64_t I = 0; I < NValues; ++I) {
     ValueInfo V;
-    V.Ty = decodeType(R);
+    if (!decodeType(R, V.Ty))
+      return Fail("bad type for value #" + std::to_string(I));
     uint8_t D = R.readU8();
     if (D > static_cast<uint8_t>(ValueDef::LoopResult))
       return Fail("bad value definition kind");
@@ -291,6 +317,10 @@ std::optional<Function> bytecode::decode(const std::vector<uint8_t> &Bytes,
       return Fail("bad loop role");
     L.Role = static_cast<LoopRole>(Role);
     L.MaxSafeVF = R.readI64();
+    // A negative limit would read as "unconstrained" to every consumer
+    // that checks MaxSafeVF > 0 before clamping.
+    if (L.MaxSafeVF < 0)
+      return Fail("negative dependence-distance limit");
     uint64_t NCarried = R.readU64();
     if (R.failed() || NCarried > (1u << 16))
       return Fail("truncated carried-variable list");

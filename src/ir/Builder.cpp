@@ -331,8 +331,10 @@ static Instr makeVecMem(Function &F, Opcode Op, uint32_t Arr, ValueId Idx) {
   return I;
 }
 
-ValueId IrBuilder::aload(uint32_t Arr, ValueId Idx) {
-  return emit(makeVecMem(F, Opcode::ALoad, Arr, Idx));
+ValueId IrBuilder::aload(uint32_t Arr, ValueId Idx, AlignHint Hint) {
+  Instr I = makeVecMem(F, Opcode::ALoad, Arr, Idx);
+  I.Hint = Hint;
+  return emit(std::move(I));
 }
 
 ValueId IrBuilder::uload(uint32_t Arr, ValueId Idx, AlignHint Hint) {
@@ -341,13 +343,15 @@ ValueId IrBuilder::uload(uint32_t Arr, ValueId Idx, AlignHint Hint) {
   return emit(std::move(I));
 }
 
-void IrBuilder::astore(uint32_t Arr, ValueId Idx, ValueId V) {
+void IrBuilder::astore(uint32_t Arr, ValueId Idx, ValueId V,
+                       AlignHint Hint) {
   assert(F.typeOf(V) == Type::vector(F.Arrays[Arr].Elem));
   Instr I;
   I.Op = Opcode::AStore;
   I.Ops = {Idx, V};
   I.Array = Arr;
   I.TyParam = F.Arrays[Arr].Elem;
+  I.Hint = Hint;
   emit(std::move(I));
 }
 

@@ -94,9 +94,11 @@ public:
   ValueId interleaveHi(ValueId V1, ValueId V2);
   ValueId interleaveLo(ValueId V1, ValueId V2);
 
-  ValueId aload(uint32_t Arr, ValueId Idx);
+  /// Aligned accesses may carry the provenance hint that justified them
+  /// (mis == 0 claims); the JIT ignores it, the static verifier checks it.
+  ValueId aload(uint32_t Arr, ValueId Idx, AlignHint Hint = {});
   ValueId uload(uint32_t Arr, ValueId Idx, AlignHint Hint);
-  void astore(uint32_t Arr, ValueId Idx, ValueId V);
+  void astore(uint32_t Arr, ValueId Idx, ValueId V, AlignHint Hint = {});
   void ustore(uint32_t Arr, ValueId Idx, ValueId V, AlignHint Hint);
   ValueId alignLoad(uint32_t Arr, ValueId Idx);
   ValueId getRT(uint32_t Arr, ValueId Idx, AlignHint Hint);

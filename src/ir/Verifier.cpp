@@ -25,8 +25,19 @@ public:
   }
 
   std::vector<std::string> run() {
-    for (ValueId P : F.Params)
+    checkTables();
+    for (ValueId P : F.Params) {
+      if (P >= F.Values.size()) {
+        error("parameter value id out of range");
+        continue;
+      }
+      if (F.Values[P].Def != ValueDef::Param)
+        error("parameter %" + std::to_string(P) +
+              " not defined as a parameter");
+      if (!F.Values[P].Ty.isScalar())
+        error("parameter %" + std::to_string(P) + " must be scalar");
       Defined[P] = true;
+    }
     walkRegion(F.Body);
     for (size_t I = 0, E = F.Instrs.size(); I != E; ++I)
       if (InstrPlaced[I] != 1)
@@ -45,6 +56,34 @@ public:
 
 private:
   void error(const std::string &Msg) { Errors.push_back(Msg); }
+
+  static bool validKind(ScalarKind K) {
+    return static_cast<uint8_t>(K) <= static_cast<uint8_t>(ScalarKind::F64);
+  }
+
+  /// Field-level sanity of the value/array tables. These can arrive from
+  /// a decoder or hand-assembly, so nothing about them is trusted; the
+  /// kind checks in particular keep garbage element kinds out of every
+  /// kind-dispatched switch downstream.
+  void checkTables() {
+    for (size_t V = 0; V < F.Values.size(); ++V)
+      if (!validKind(F.Values[V].Ty.Elem))
+        error("value %" + std::to_string(V) + " has invalid element kind");
+    for (size_t A = 0; A < F.Arrays.size(); ++A) {
+      const ArrayInfo &AI = F.Arrays[A];
+      std::string Where = "array '" + AI.Name + "'";
+      if (!validKind(AI.Elem) || scalarSize(AI.Elem) == 0) {
+        error(Where + ": invalid element kind");
+        continue;
+      }
+      if (AI.NumElems == 0)
+        error(Where + ": zero elements");
+      if (AI.BaseAlign < scalarSize(AI.Elem) ||
+          (AI.BaseAlign & (AI.BaseAlign - 1)) != 0)
+        error(Where + ": base alignment must be a power of two >= "
+                      "element size");
+    }
+  }
 
   bool checkUse(ValueId V, const char *What) {
     if (V == NoValue || V >= F.Values.size()) {
@@ -92,9 +131,12 @@ private:
 
   void checkLoop(const LoopStmt &L) {
     const char *Ctx = "loop";
-    checkUse(L.Lower, Ctx);
-    checkUse(L.Upper, Ctx);
-    checkUse(L.Step, Ctx);
+    for (ValueId Bound : {L.Lower, L.Upper, L.Step})
+      if (checkUse(Bound, Ctx) &&
+          F.typeOf(Bound) != Type::scalar(ScalarKind::I64))
+        error("loop bounds and step must be scalar i64");
+    if (L.MaxSafeVF < 0)
+      error("loop dependence-distance limit must be non-negative");
     for (const auto &C : L.Carried) {
       bool InitOk = checkUse(C.Init, "loop carried init");
       if (C.Next == NoValue)
@@ -161,6 +203,11 @@ private:
       if (I.Ty.isVector())
         error(Where + ": vector type in scalar-source function");
     }
+
+    if (I.Hint.Mod < 0 || I.Hint.Mis < -1)
+      error(Where + ": malformed alignment hint");
+    if (!validKind(I.TyParam))
+      error(Where + ": invalid element-kind parameter");
 
     if (I.hasResult()) {
       if (I.Result >= F.Values.size() ||

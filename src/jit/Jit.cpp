@@ -51,15 +51,161 @@ RuntimeInfo RuntimeInfo::unknown(size_t NumArrays) {
   return RT;
 }
 
+//===--- The per-target strategy model ------------------------------------===//
+
+const char *jit::memStrategyName(MemStrategy S) {
+  switch (S) {
+  case MemStrategy::Aligned:
+    return "aligned";
+  case MemStrategy::Unaligned:
+    return "unaligned";
+  case MemStrategy::Perm:
+    return "perm-realign";
+  case MemStrategy::Scalar:
+    return "scalarized";
+  }
+  vapor_unreachable("bad strategy");
+}
+
+bool jit::hintProvesAligned(const AlignHint &H, uint32_t Array,
+                            const TargetDesc &T, const RuntimeInfo &RT) {
+  if (!H.known() || T.VSBytes == 0 ||
+      H.Mis % static_cast<int32_t>(T.VSBytes) != 0)
+    return false;
+  if (!H.IfJitAligns)
+    return true;
+  return Array < RT.Arrays.size() && RT.Arrays[Array].KnownBase &&
+         isAligned(RT.Arrays[Array].Base, T.VSBytes);
+}
+
+bool jit::hintCouldProveAligned(const AlignHint &H, const TargetDesc &T) {
+  return H.known() && T.VSBytes != 0 &&
+         H.Mis % static_cast<int32_t>(T.VSBytes) == 0;
+}
+
+MemStrategy jit::memStrategy(Opcode Op, bool ScalarRegion, bool HintAligned,
+                             const TargetDesc &T) {
+  switch (Op) {
+  case Opcode::ALoad:
+  case Opcode::AStore:
+    return ScalarRegion ? MemStrategy::Scalar : MemStrategy::Aligned;
+  case Opcode::ULoad:
+  case Opcode::UStore:
+    if (ScalarRegion)
+      return MemStrategy::Scalar;
+    return HintAligned ? MemStrategy::Aligned : MemStrategy::Unaligned;
+  case Opcode::RealignLoad:
+    if (ScalarRegion)
+      return MemStrategy::Scalar;
+    if (HintAligned)
+      return MemStrategy::Aligned;
+    return T.HasMisaligned ? MemStrategy::Unaligned : MemStrategy::Perm;
+  default:
+    vapor_unreachable("opcode has no memory strategy");
+  }
+}
+
+bool jit::isLibCallable(Opcode Op) {
+  return Op == Opcode::WidenMultHi || Op == Opcode::WidenMultLo ||
+         Op == Opcode::Convert;
+}
+
+std::string jit::vectorBlockReason(const Function &F, const Instr &I,
+                                   const TargetDesc &T, bool HintAligned) {
+  bool VectorInstr = I.Ty.isVector();
+  for (ValueId Op : I.Ops)
+    VectorInstr |= F.typeOf(Op).isVector();
+  if (!VectorInstr)
+    return "";
+  ScalarKind K = I.Ty.isVector() ? I.Ty.Elem : ScalarKind::None;
+  if (K != ScalarKind::None && K != ScalarKind::I1 && !T.supportsVecKind(K))
+    return std::string("no vector support for ") + scalarKindName(K);
+  if (!T.supportsVecOp(I.Op) &&
+      !(T.LibFallbackForOps && isLibCallable(I.Op)))
+    return std::string("no vector support for ") + opcodeMnemonic(I.Op);
+  if ((I.Op == Opcode::ULoad || I.Op == Opcode::UStore) &&
+      !T.HasMisaligned && !HintAligned)
+    return "misaligned access unsupported";
+  if (I.Op == Opcode::RealignLoad && !T.HasMisaligned &&
+      !T.HasPermRealign && !HintAligned)
+    return "no realignment mechanism";
+  return "";
+}
+
 namespace {
 
-/// How one memory idiom will be lowered.
-enum class MemStrategy : uint8_t {
-  Aligned,   ///< VLoadA / VStoreA.
-  Unaligned, ///< VLoadU / VStoreU.
-  Perm,      ///< Keep the explicit realignment chain (lvsr + vperm).
-  Scalar,    ///< Per-lane scalar accesses (scalar-expansion region).
-};
+void scanMinVecElemSize(const Function &F, const Region &R,
+                        unsigned &MinSize) {
+  for (const NodeRef &N : R.Nodes) {
+    switch (N.Kind) {
+    case NodeKind::Instr: {
+      const Instr &I = F.Instrs[N.Index];
+      if (I.Ty.isVector() && I.Ty.Elem != ScalarKind::I1)
+        MinSize = std::min(MinSize, scalarSize(I.Ty.Elem));
+      break;
+    }
+    case NodeKind::Loop:
+      scanMinVecElemSize(F, F.Loops[N.Index].Body, MinSize);
+      break;
+    case NodeKind::If:
+      scanMinVecElemSize(F, F.Ifs[N.Index].Then, MinSize);
+      scanMinVecElemSize(F, F.Ifs[N.Index].Else, MinSize);
+      break;
+    }
+  }
+}
+
+} // namespace
+
+unsigned jit::minVectorElemSize(const Function &F, const Region &R) {
+  unsigned MinSize = 16;
+  scanMinVecElemSize(F, R, MinSize);
+  return MinSize;
+}
+
+int64_t jit::loopVF(const Function &F, const LoopStmt &L,
+                    const TargetDesc &T) {
+  unsigned MinSize = minVectorElemSize(F, L.Body);
+  if (MinSize == 16 || T.VSBytes == 0)
+    return 1;
+  return T.VSBytes / MinSize;
+}
+
+std::optional<bool> jit::foldGuardStatic(const Instr &I, const TargetDesc &T,
+                                         const RuntimeInfo &RT,
+                                         Tier CompilerTier,
+                                         bool NestedInLoop) {
+  assert(I.Op == Opcode::VersionGuard && "not a guard");
+  switch (I.Guard) {
+  case GuardKind::TypeSupported:
+    // Static target capability; every online compiler folds this.
+    return T.supportsVecKind(I.TyParam);
+  case GuardKind::PreferOuterLoop:
+    // Cost-model answer: short-SIMD in-order targets prefer outer-loop
+    // vectorization of reduction nests (paper [18]).
+    return T.VSBytes != 0 && T.VSBytes <= 16;
+  case GuardKind::BasesAligned: {
+    // The weak tier folds what simple local constant propagation can:
+    // top-level guards. Nested ones (MMM's alignment test inside the
+    // outer loop) stay as runtime checks — paper Sec. V-A(a).
+    if (CompilerTier != Tier::Strong && NestedInLoop)
+      return std::nullopt;
+    bool AllAligned = true;
+    for (uint32_t A : I.GuardArgs) {
+      if (A >= RT.Arrays.size() || !RT.Arrays[A].KnownBase)
+        return std::nullopt;
+      AllAligned &=
+          T.VSBytes == 0 || isAligned(RT.Arrays[A].Base, T.VSBytes);
+    }
+    return AllAligned;
+  }
+  case GuardKind::None:
+    break;
+  }
+  return std::nullopt;
+}
+
+namespace {
 
 class JitCompiler {
 public:
@@ -138,40 +284,10 @@ private:
       const Instr &I = F.Instrs[Idx];
       if (I.Op != Opcode::VersionGuard)
         continue;
-      bool Nested = NestedGuards.count(Idx) != 0;
-      switch (I.Guard) {
-      case GuardKind::TypeSupported:
-        // Static target capability; every online compiler folds this.
-        FoldedGuards[I.Result] = T.supportsVecKind(I.TyParam);
-        break;
-      case GuardKind::PreferOuterLoop:
-        // Cost-model answer: short-SIMD in-order targets prefer outer-loop
-        // vectorization of reduction nests (paper [18]).
-        FoldedGuards[I.Result] = T.VSBytes != 0 && T.VSBytes <= 16;
-        break;
-      case GuardKind::BasesAligned: {
-        // The weak tier folds what simple local constant propagation can:
-        // top-level guards. Nested ones (MMM's alignment test inside the
-        // outer loop) stay as runtime checks — paper Sec. V-A(a).
-        if (Opt.CompilerTier != Tier::Strong && Nested)
-          break;
-        bool AllKnown = true;
-        bool AllAligned = true;
-        for (uint32_t A : I.GuardArgs) {
-          if (!RT.Arrays[A].KnownBase) {
-            AllKnown = false;
-            break;
-          }
-          AllAligned &= T.VSBytes == 0 ||
-                        isAligned(RT.Arrays[A].Base, T.VSBytes);
-        }
-        if (AllKnown)
-          FoldedGuards[I.Result] = AllAligned;
-        break;
-      }
-      case GuardKind::None:
-        break;
-      }
+      auto Folded = foldGuardStatic(I, T, RT, Opt.CompilerTier,
+                                    NestedGuards.count(Idx) != 0);
+      if (Folded)
+        FoldedGuards[I.Result] = *Folded;
     }
   }
 
@@ -212,24 +328,10 @@ private:
       switch (N.Kind) {
       case NodeKind::Instr: {
         const Instr &I = F.Instrs[N.Index];
-        bool VectorInstr = I.Ty.isVector();
-        for (ValueId Op : I.Ops)
-          VectorInstr |= F.typeOf(Op).isVector();
-        if (!VectorInstr)
-          break;
-        ScalarKind K = I.Ty.isVector() ? I.Ty.Elem : ScalarKind::None;
-        if (K != ScalarKind::None && K != ScalarKind::I1 &&
-            !T.supportsVecKind(K))
-          return std::string("no vector support for ") + scalarKindName(K);
-        if (!T.supportsVecOp(I.Op) &&
-            !(T.LibFallbackForOps && isLibCallable(I.Op)))
-          return std::string("no vector support for ") + opcodeMnemonic(I.Op);
-        if ((I.Op == Opcode::ULoad || I.Op == Opcode::UStore) &&
-            !T.HasMisaligned && !hintAligned(I.Hint, I.Array))
-          return "misaligned access unsupported";
-        if (I.Op == Opcode::RealignLoad && !T.HasMisaligned &&
-            !T.HasPermRealign && !hintAligned(I.Hint, I.Array))
-          return "no realignment mechanism";
+        std::string S =
+            vectorBlockReason(F, I, T, hintAligned(I.Hint, I.Array));
+        if (!S.empty())
+          return S;
         break;
       }
       case NodeKind::Loop: {
@@ -247,23 +349,10 @@ private:
     return "";
   }
 
-  static bool isLibCallable(Opcode Op) {
-    return Op == Opcode::WidenMultHi || Op == Opcode::WidenMultLo ||
-           Op == Opcode::Convert;
-  }
-
-  /// Whether the hint proves VS-alignment of the access. A hint marked
-  /// IfJitAligns is only valid when this compiler knows the runtime base
-  /// and that base is vector-aligned (paper Sec. III-B(c), the
-  /// single-version alternative to guard-based versioning).
+  /// Whether the hint proves VS-alignment of the access (paper
+  /// Sec. III-B(c), the single-version alternative to versioning).
   bool hintAligned(const AlignHint &H, uint32_t Array) const {
-    if (!H.known() || T.VSBytes == 0 ||
-        H.Mis % static_cast<int32_t>(T.VSBytes) != 0)
-      return false;
-    if (!H.IfJitAligns)
-      return true;
-    return Array < RT.Arrays.size() && RT.Arrays[Array].KnownBase &&
-           isAligned(RT.Arrays[Array].Base, T.VSBytes);
+    return hintProvesAligned(H, Array, T, RT);
   }
 
   /// Decides the lowering mode of \p R and the strategy of every memory
@@ -323,60 +412,18 @@ private:
     }
   }
 
-  /// This target's vectorization factor for loop \p L: vector size over
-  /// the smallest vector element kind used inside.
-  int64_t loopVF(const LoopStmt &L) const {
-    unsigned MinSize = 16;
-    scanMinKind(L.Body, MinSize);
-    if (MinSize == 16 || T.VSBytes == 0)
-      return 1;
-    return T.VSBytes / MinSize;
-  }
-
-  void scanMinKind(const Region &R, unsigned &MinSize) const {
-    for (const NodeRef &N : R.Nodes) {
-      switch (N.Kind) {
-      case NodeKind::Instr: {
-        const Instr &I = F.Instrs[N.Index];
-        if (I.Ty.isVector() && I.Ty.Elem != ScalarKind::I1)
-          MinSize = std::min(MinSize, scalarSize(I.Ty.Elem));
-        break;
-      }
-      case NodeKind::Loop:
-        scanMinKind(F.Loops[N.Index].Body, MinSize);
-        break;
-      case NodeKind::If:
-        scanMinKind(F.Ifs[N.Index].Then, MinSize);
-        scanMinKind(F.Ifs[N.Index].Else, MinSize);
-        break;
-      }
-    }
-  }
+  /// This target's vectorization factor for loop \p L.
+  int64_t loopVF(const LoopStmt &L) const { return jit::loopVF(F, L, T); }
 
   void planInstr(const Instr &I, uint32_t Idx, bool Scalar) {
     switch (I.Op) {
     case Opcode::ALoad:
     case Opcode::AStore:
-      Strat[Idx] = Scalar ? MemStrategy::Scalar : MemStrategy::Aligned;
-      break;
     case Opcode::ULoad:
     case Opcode::UStore:
-      if (Scalar)
-        Strat[Idx] = MemStrategy::Scalar;
-      else if (hintAligned(I.Hint, I.Array))
-        Strat[Idx] = MemStrategy::Aligned;
-      else
-        Strat[Idx] = MemStrategy::Unaligned;
-      break;
     case Opcode::RealignLoad:
-      if (Scalar)
-        Strat[Idx] = MemStrategy::Scalar;
-      else if (hintAligned(I.Hint, I.Array))
-        Strat[Idx] = MemStrategy::Aligned;
-      else if (T.HasMisaligned)
-        Strat[Idx] = MemStrategy::Unaligned;
-      else
-        Strat[Idx] = MemStrategy::Perm;
+      Strat[Idx] =
+          memStrategy(I.Op, Scalar, hintAligned(I.Hint, I.Array), T);
       break;
     default:
       break;
@@ -680,8 +727,7 @@ private:
     // the precomputed main bound stays exact.
     MReg StepReg = lanesOf(L.Step)[0];
     if (Scalar && L.Role == LoopRole::VecMain) {
-      unsigned MinSize = 16;
-      scanMinKind(L.Body, MinSize);
+      unsigned MinSize = minVectorElemSize(F, L.Body);
       int64_t ScalarStep =
           MinSize == 16 ? 1
                         : std::max<int64_t>(1, VSEff / MinSize);

@@ -39,6 +39,9 @@
 #include "target/MemoryImage.h"
 #include "target/Target.h"
 
+#include <optional>
+#include <string>
+
 namespace vapor {
 namespace jit {
 
@@ -74,6 +77,68 @@ struct CompileResult {
   bool Scalarized = false; ///< The whole function was scalar-expanded.
   std::string ScalarizeReason;
 };
+
+//===--- The per-target strategy model ------------------------------------===//
+//
+// Every decision the online compiler takes locally is exposed here as a
+// pure function of (instruction, target, runtime knowledge), so that the
+// offline verifier can enumerate exactly the lowerings this JIT could
+// materialize. The compiler itself calls the same functions; there is a
+// single source of truth for the strategy table.
+
+/// How one memory idiom will be lowered.
+enum class MemStrategy : uint8_t {
+  Aligned,   ///< VLoadA / VStoreA.
+  Unaligned, ///< VLoadU / VStoreU.
+  Perm,      ///< Keep the explicit realignment chain (lvsr + vperm).
+  Scalar,    ///< Per-lane scalar accesses (scalar-expansion region).
+};
+
+const char *memStrategyName(MemStrategy S);
+
+/// Whether the hint proves T.VSBytes-alignment of the access. A hint
+/// marked IfJitAligns is only valid when this compiler knows the runtime
+/// base and that base is vector-aligned (paper Sec. III-B(c)).
+bool hintProvesAligned(const ir::AlignHint &H, uint32_t Array,
+                       const target::TargetDesc &T, const RuntimeInfo &RT);
+
+/// Whether \p H could prove alignment in *some* runtime world: like
+/// hintProvesAligned but optimistic about IfJitAligns bases. The verifier
+/// uses this to make its region modes a superset of any actual run.
+bool hintCouldProveAligned(const ir::AlignHint &H,
+                           const target::TargetDesc &T);
+
+/// The strategy chosen for memory idiom \p Op given the region lowering
+/// mode and the hint decision. Non-memory opcodes have no strategy.
+MemStrategy memStrategy(ir::Opcode Op, bool ScalarRegion, bool HintAligned,
+                        const target::TargetDesc &T);
+
+/// Idioms a LibFallbackForOps target can route to a library call.
+bool isLibCallable(ir::Opcode Op);
+
+/// \returns a reason string if instruction \p I (assumed to sit in a
+/// vector-mode region) cannot be lowered vectorially on \p T, given the
+/// hint-alignment decision for its access; "" when it can.
+std::string vectorBlockReason(const ir::Function &F, const ir::Instr &I,
+                              const target::TargetDesc &T, bool HintAligned);
+
+/// The smallest vector element size (bytes) used inside \p R, or 16 when
+/// the region holds no vector code.
+unsigned minVectorElemSize(const ir::Function &F, const ir::Region &R);
+
+/// This target's vectorization factor for loop \p L: vector size over the
+/// smallest vector element kind used inside (1 when not vectorizable).
+int64_t loopVF(const ir::Function &F, const ir::LoopStmt &L,
+               const target::TargetDesc &T);
+
+/// Statically folds the version_guard \p I the way tier \p CompilerTier
+/// with knowledge \p RT does. \p NestedInLoop marks guards inside loops,
+/// which the weak tier leaves as runtime checks (paper Sec. V-A(a)).
+/// \returns nullopt when the guard stays a runtime check.
+std::optional<bool> foldGuardStatic(const ir::Instr &I,
+                                    const target::TargetDesc &T,
+                                    const RuntimeInfo &RT, Tier CompilerTier,
+                                    bool NestedInLoop);
 
 /// Compiles split-layer bytecode \p F for \p T. Never fails: targets that
 /// cannot execute the vector code get scalarized code.

@@ -138,9 +138,8 @@ struct VMOps {
     uint64_t Addr = Vm.R[O.B];
     if constexpr (Checked)
       if (Addr & static_cast<uint64_t>(O.Imm))
-        fatalError("alignment trap: aligned vector load at misaligned "
-                   "address " +
-                   std::to_string(Addr));
+        return Vm.alignTrap("aligned vector load at misaligned address " +
+                            std::to_string(Addr));
     const uint8_t *P = mem(Vm, Addr, O.Lanes * uint64_t(ES));
     for (unsigned L = 0; L < O.Lanes; ++L)
       Vm.R[O.A + L] = ld<ES>(P + L * ES);
@@ -152,9 +151,8 @@ struct VMOps {
     uint64_t Addr = Vm.R[O.A];
     if constexpr (Checked)
       if (Addr & static_cast<uint64_t>(O.Imm))
-        fatalError("alignment trap: aligned vector store at misaligned "
-                   "address " +
-                   std::to_string(Addr));
+        return Vm.alignTrap("aligned vector store at misaligned address " +
+                            std::to_string(Addr));
     uint8_t *P = mem(Vm, Addr, O.Lanes * uint64_t(ES));
     for (unsigned L = 0; L < O.Lanes; ++L)
       st<ES>(P + L * ES, Vm.R[O.B + L]);
@@ -856,6 +854,14 @@ VM::VM(const MFunction &F, const TargetDesc &T, MemoryImage &Image,
 void VM::memFault(uint64_t Addr) const {
   fatalError("memory access out of image bounds at address " +
              std::to_string(Addr));
+}
+
+uint32_t VM::alignTrap(const std::string &Msg) {
+  if (!TrapRecording)
+    fatalError("alignment trap: " + Msg);
+  Trapped = true;
+  TrapMsg = Msg;
+  return static_cast<uint32_t>(Code.size()); // Halt the run loop.
 }
 
 void VM::setParamInt(const std::string &Name, int64_t V) {

@@ -66,6 +66,14 @@ public:
   /// Machine instructions executed so far (control flow not included).
   uint64_t instrsExecuted() const { return Instrs; }
 
+  /// In trap-recording mode an alignment trap halts the current run()
+  /// and is reported through trapped() instead of aborting the process.
+  /// The static verifier's tests use this as ground truth: a recorded
+  /// trap is exactly the fault the verifier must have predicted.
+  void setTrapRecording(bool On) { TrapRecording = On; }
+  bool trapped() const { return Trapped; }
+  const std::string &trapMessage() const { return TrapMsg; }
+
 private:
   struct DOp;
   /// Executes one decoded op and \returns the next program counter.
@@ -94,6 +102,10 @@ private:
 
   [[noreturn]] void memFault(uint64_t Addr) const;
 
+  /// Alignment-trap site: aborts, or in trap-recording mode records the
+  /// fault and \returns a past-the-end PC that halts the run loop.
+  uint32_t alignTrap(const std::string &Msg);
+
   std::vector<DOp> Code;
   std::vector<uint64_t> RegStore; ///< Backing store for the lane file.
   uint64_t *R = nullptr;          ///< 16-byte-aligned lane file.
@@ -113,6 +125,10 @@ private:
 
   uint64_t Cycles = 0;
   uint64_t Instrs = 0;
+
+  bool TrapRecording = false;
+  bool Trapped = false;
+  std::string TrapMsg;
 };
 
 } // namespace target

@@ -13,6 +13,7 @@
 #include "native/Native.h"
 #include "support/Support.h"
 #include "target/VM.h"
+#include "verify/Verify.h"
 
 #include <chrono>
 #include <cmath>
@@ -119,6 +120,17 @@ RunOutcome vapor::runKernel(const kernels::Kernel &K, Flow F,
     if (!Decoded)
       fatalError("bytecode round trip failed for " + K.Name + ": " + Err);
     Bytecode = std::move(*Decoded);
+
+    // The split layer's contract: what crosses it must be provably safe
+    // for every lowering the online compiler may pick on this target.
+    if (O.VerifyBytecode) {
+      verify::VerifyOptions VO;
+      VO.Targets = {O.Target};
+      verify::Report VR = verify::verifyModule(Bytecode, VO);
+      if (!VR.ok())
+        fatalError("bytecode verification failed for " + K.Name + ":\n" +
+                   VR.str());
+    }
   }
 
   // --- Runtime layout ---

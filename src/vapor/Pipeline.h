@@ -57,6 +57,10 @@ struct RunOptions {
   /// internal arrays are allocated by our runtime, which aligns them.
   uint32_t ExternalMisalign = 0;
   uint64_t FillSeed = 7;
+  /// Statically verify the decoded bytecode for the run's target before
+  /// handing it to the JIT; aborts on verification errors. Split flows
+  /// only (native flows bypass the interchange format).
+  bool VerifyBytecode = true;
 };
 
 struct RunOutcome {

@@ -955,8 +955,9 @@ private:
       AlignHint H = effectiveHint(C, AP.Hint);
       std::vector<ValueId> Parts;
       if (isKnownAligned(C, AP)) {
+        // Carry the proving hint as provenance for the static verifier.
         for (unsigned PIdx = 0; PIdx < NParts; ++PIdx)
-          Parts.push_back(B.aload(I.Array, partIndex(C, Idx, K, PIdx)));
+          Parts.push_back(B.aload(I.Array, partIndex(C, Idx, K, PIdx), H));
         return Parts;
       }
       // Optimized realignment (Fig. 3a): carried chunk + align_load(next)
@@ -1015,7 +1016,8 @@ private:
     for (int64_t J = 0; J < AP.Stride; ++J) {
       ValueId Idx = J == 0 ? Base : B.add(Base, B.mul(B.constIdx(J), VFK));
       Chunks.push_back(Aligned
-                           ? B.aload(Array, Idx)
+                           ? B.aload(Array, Idx,
+                                     AlignHint{0, AlignModBytes, false})
                            : B.uload(Array, Idx, AlignHint{-1, 0, false}));
     }
     return C.StridedChunks[Key] = Chunks;
@@ -1030,13 +1032,18 @@ private:
     if (AP.K == AccessPlan::Kind::Contig) {
       ValueId Idx = mapped(I.Ops[0]);
       AlignHint H = effectiveHint(C, AP.Hint);
-      bool Aligned = isKnownAligned(C, AP) ||
+      // Statically known-aligned stores carry the proving hint as
+      // provenance; peel-made-aligned stores carry none (their alignment
+      // is a dynamic fact about the peel bound, not a static residue).
+      bool Known = isKnownAligned(C, AP);
+      bool Aligned = Known ||
                      (C.PeelActive && I.Array == Plan.PeelArr &&
                       AP.OffConst && AP.OffElems == Plan.PeelOff);
       for (unsigned PIdx = 0; PIdx < Vals.size(); ++PIdx) {
         ValueId PartIdx = partIndex(C, Idx, K, PIdx);
         if (Aligned)
-          B.astore(I.Array, PartIdx, Vals[PIdx]);
+          B.astore(I.Array, PartIdx, Vals[PIdx],
+                   Known ? H : AlignHint{});
         else
           B.ustore(I.Array, PartIdx, Vals[PIdx], H);
       }
@@ -1063,8 +1070,9 @@ private:
                 AlignModBytes ==
             0;
     if (Aligned) {
-      B.astore(I.Array, Base, Lo);
-      B.astore(I.Array, B.add(Base, VFK), Hi);
+      AlignHint H{0, AlignModBytes, false};
+      B.astore(I.Array, Base, Lo, H);
+      B.astore(I.Array, B.add(Base, VFK), Hi, H);
     } else {
       AlignHint H{-1, 0, false};
       B.ustore(I.Array, Base, Lo, H);

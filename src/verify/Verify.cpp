@@ -1,0 +1,1207 @@
+//===- verify/Verify.cpp - Static verifier for split bytecode -------------===//
+//
+// Part of the Vapor SIMD reproduction.
+//
+//===----------------------------------------------------------------------===//
+//
+// The verifier runs after the offline vectorizer and before any online
+// compiler. It abstract-interprets the module once per target over a
+// symbolic residue domain (affine forms over symbols with congruence
+// facts) and discharges one proof obligation per aligned access the JIT
+// could materialize: the address is provably 0 mod VS in every scenario.
+//
+// Scenarios: min/max over non-constant scalars fork the abstract state
+// (the peel-count clamp is a min/max chain); the fork's sign choice is
+// memoized per state so later splits over the same quantity agree —
+// otherwise infeasible paths (e.g. "peel loop empty" combined with "main
+// loop not empty") would produce false alarms.
+//
+// Region lowering modes mirror the JIT's planner through the shared
+// strategy model in jit/Jit.h, with two sound over-approximations: hints
+// are treated optimistically (hintCouldProveAligned), so the verifier's
+// vector-mode regions are a superset of any real run's, and alignment
+// version guards are never folded — both arms are walked, the guarded arm
+// under the guard's base-alignment assumption. That covers both compiler
+// tiers and every runtime base assignment at once.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/Verify.h"
+
+#include "analysis/Affine.h"
+#include "analysis/Alignment.h"
+#include "ir/Verifier.h"
+#include "jit/Jit.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+
+using namespace vapor;
+using namespace vapor::ir;
+using vapor::target::TargetDesc;
+
+namespace vapor {
+namespace verify {
+
+const char *checkName(Check C) {
+  switch (C) {
+  case Check::Structure:
+    return "structure";
+  case Check::Alignment:
+    return "alignment";
+  case Check::HintConsistency:
+    return "hint-consistency";
+  case Check::Guards:
+    return "guards";
+  case Check::IdiomChains:
+    return "idiom-chains";
+  }
+  return "?";
+}
+
+const char *severityName(Severity S) {
+  switch (S) {
+  case Severity::Error:
+    return "error";
+  case Severity::Warning:
+    return "warning";
+  case Severity::Note:
+    return "note";
+  }
+  return "?";
+}
+
+std::string Diagnostic::str() const {
+  std::ostringstream OS;
+  OS << severityName(Sev) << " [" << checkName(Analysis) << "]";
+  if (!Target.empty())
+    OS << " (" << Target << ")";
+  if (InstrIdx != NoInstr)
+    OS << " instr #" << InstrIdx;
+  OS << ": " << Why;
+  return OS.str();
+}
+
+bool Report::ok() const { return count(Severity::Error) == 0; }
+
+size_t Report::count(Severity S) const {
+  size_t N = 0;
+  for (const Diagnostic &D : Diags)
+    N += D.Sev == S;
+  return N;
+}
+
+std::string Report::str(bool IncludeNotes) const {
+  std::ostringstream OS;
+  OS << "verify: " << ObligationsProved << "/"
+     << (ObligationsProved + ObligationsFailed)
+     << " alignment obligations proved across " << TargetsChecked
+     << " targets; " << count(Severity::Error) << " errors, "
+     << count(Severity::Warning) << " warnings\n";
+  for (const Diagnostic &D : Diags) {
+    if (D.Sev == Severity::Note && !IncludeNotes)
+      continue;
+    OS << "  " << D.str() << "\n";
+  }
+  return OS.str();
+}
+
+} // namespace verify
+} // namespace vapor
+
+namespace {
+
+using verify::Check;
+using verify::Diagnostic;
+using verify::NoInstr;
+using verify::Report;
+using verify::Severity;
+using verify::VerifyOptions;
+
+int64_t floorMod(int64_t X, int64_t M) {
+  assert(M > 0);
+  int64_t R = X % M;
+  return R < 0 ? R + M : R;
+}
+
+bool isPow2(int64_t X) { return X > 0 && (X & (X - 1)) == 0; }
+
+//===--- The abstract domain ----------------------------------------------===//
+
+/// An affine form c0 + sum(ci * Sym_i) over verifier symbols.
+struct Aff {
+  int64_t C = 0;
+  std::map<uint32_t, int64_t> T;
+
+  bool isConst() const { return T.empty(); }
+};
+
+Aff affConst(int64_t C) {
+  Aff A;
+  A.C = C;
+  return A;
+}
+
+Aff affSym(uint32_t S) {
+  Aff A;
+  A.T[S] = 1;
+  return A;
+}
+
+Aff affAdd(const Aff &A, const Aff &B) {
+  Aff R = A;
+  R.C += B.C;
+  for (const auto &[S, Co] : B.T) {
+    auto It = R.T.find(S);
+    int64_t N = (It == R.T.end() ? 0 : It->second) + Co;
+    if (N)
+      R.T[S] = N;
+    else if (It != R.T.end())
+      R.T.erase(It);
+  }
+  return R;
+}
+
+Aff affMulC(const Aff &A, int64_t K) {
+  Aff R;
+  if (K == 0)
+    return R;
+  R.C = A.C * K;
+  for (const auto &[S, Co] : A.T)
+    R.T[S] = Co * K;
+  return R;
+}
+
+Aff affNeg(const Aff &A) { return affMulC(A, -1); }
+Aff affSub(const Aff &A, const Aff &B) { return affAdd(A, affNeg(B)); }
+bool affEq(const Aff &A, const Aff &B) { return A.C == B.C && A.T == B.T; }
+
+/// What is known about one symbol.
+struct SymInfo {
+  enum class Kind : uint8_t {
+    Opaque,    ///< Nothing.
+    ArrayBase, ///< Base element index of Array; ≡ 0 mod its alignment.
+    Congruent, ///< ≡ Rhs (mod Mod).
+  };
+  Kind K = Kind::Opaque;
+  uint32_t Array = NoArray;
+  int64_t Mod = 0;
+  Aff Rhs;
+};
+
+/// One scenario of the abstract walk.
+struct WalkState {
+  std::map<ValueId, Aff> Env;
+  /// Base alignment (bytes) assumed beyond the declared minimum, from the
+  /// arm of an alignment version guard.
+  std::map<uint32_t, uint32_t> AssumedAlign;
+  /// Branch choices of min/max scenario splits: (A - B, sign), sign = +1
+  /// meaning "A - B >= 0 on this path". Later splits over an equal (or
+  /// negated) quantity reuse the choice, keeping scenarios feasible.
+  std::vector<std::pair<Aff, int>> Signs;
+  std::string Path; ///< Human-readable scenario path for diagnostics.
+};
+
+//===--- The verifier -----------------------------------------------------===//
+
+class ModuleVerifier {
+public:
+  ModuleVerifier(const Function &Fn, const VerifyOptions &Options)
+      : F(Fn), Opt(Options) {}
+
+  Report run() {
+    std::vector<std::string> StructErrs = ir::verify(F);
+    for (const std::string &E : StructErrs)
+      diag(Check::Structure, Severity::Error, "", NoInstr, E);
+    if (!StructErrs.empty())
+      return Rep; // Deeper analyses assume a well-formed module.
+
+    buildUsers();
+    hintSanity();
+    checkLoopBounds();
+    checkIdiomChains();
+    checkMaxSafeVF();
+
+    std::vector<TargetDesc> Targets =
+        Opt.Targets.empty() ? target::allTargets() : Opt.Targets;
+    checkGuardReachability(Targets);
+    for (const TargetDesc &Td : Targets)
+      targetPass(Td);
+    Rep.TargetsChecked = (unsigned)Targets.size();
+    return Rep;
+  }
+
+private:
+  const Function &F;
+  const VerifyOptions &Opt;
+  Report Rep;
+
+  std::map<ValueId, std::vector<uint32_t>> Users;
+  std::set<std::tuple<int, int, std::string, uint32_t, std::string>> SeenDiag;
+
+  // Per-target pass state.
+  const TargetDesc *T = nullptr;
+  std::map<ValueId, bool> DetFold; ///< Guards folding identically everywhere.
+  std::map<const Region *, bool> RegionScalar;
+  std::vector<SymInfo> Syms;
+  std::vector<uint32_t> BaseSym; ///< Array -> its ArrayBase symbol.
+  std::set<uint32_t> ObSeen, ObFail, ConsFail;
+  bool BudgetNoted = false;
+
+  //===--- Infrastructure -------------------------------------------------===//
+
+  void diag(Check A, Severity S, const std::string &Tgt, uint32_t Idx,
+            const std::string &Why) {
+    auto Key = std::make_tuple((int)A, (int)S, Tgt, Idx, Why.substr(0, 48));
+    if (!SeenDiag.insert(Key).second)
+      return;
+    Diagnostic D;
+    D.Analysis = A;
+    D.Sev = S;
+    D.Target = Tgt;
+    D.InstrIdx = Idx;
+    D.Why = Why;
+    Rep.Diags.push_back(std::move(D));
+  }
+
+  void buildUsers() {
+    for (uint32_t Idx = 0; Idx < F.Instrs.size(); ++Idx)
+      for (ValueId V : F.Instrs[Idx].Ops)
+        Users[V].push_back(Idx);
+  }
+
+  const Instr *definingInstr(ValueId V) const {
+    if (V >= F.Values.size() || F.Values[V].Def != ValueDef::Instr)
+      return nullptr;
+    return &F.Instrs[F.Values[V].A];
+  }
+
+  const Instr *guardOf(ValueId V) const {
+    const Instr *I = definingInstr(V);
+    return I && I->Op == Opcode::VersionGuard ? I : nullptr;
+  }
+
+  static bool takesHint(Opcode Op) {
+    switch (Op) {
+    case Opcode::ALoad:
+    case Opcode::ULoad:
+    case Opcode::AStore:
+    case Opcode::UStore:
+    case Opcode::AlignLoad:
+    case Opcode::RealignLoad:
+    case Opcode::GetRT:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  /// Index operand of a memory idiom.
+  static ValueId memIndex(const Instr &I) {
+    return I.Op == Opcode::RealignLoad ? I.Ops[3] : I.Ops[0];
+  }
+
+  std::string instrLabel(uint32_t Idx) const {
+    return std::string(opcodeMnemonic(F.Instrs[Idx].Op)) + " #" +
+           std::to_string(Idx);
+  }
+
+  std::string arrayLabel(uint32_t A) const {
+    return A < F.Arrays.size() ? "'" + F.Arrays[A].Name + "'" : "<bad array>";
+  }
+
+  //===--- Target-independent structural checks ---------------------------===//
+
+  /// mis/mod claims must use the reference modulus and an element-granular,
+  /// in-range misalignment (paper Sec. III-B(c)).
+  void hintSanity() {
+    for (uint32_t Idx = 0; Idx < F.Instrs.size(); ++Idx) {
+      const Instr &I = F.Instrs[Idx];
+      if (!takesHint(I.Op))
+        continue;
+      const AlignHint &H = I.Hint;
+      if (H.Mod == 0)
+        continue; // Null hint: always admissible.
+      if (H.Mod != analysis::AlignModBytes) {
+        diag(Check::HintConsistency, Severity::Error, "", Idx,
+             "hint modulus " + std::to_string(H.Mod) +
+                 " is not the reference modulus " +
+                 std::to_string(analysis::AlignModBytes));
+        continue;
+      }
+      if (H.Mis < 0 || H.Mis >= H.Mod) {
+        diag(Check::HintConsistency, Severity::Error, "", Idx,
+             "hint misalignment " + std::to_string(H.Mis) +
+                 " outside [0, " + std::to_string(H.Mod) + ")");
+        continue;
+      }
+      if (I.Array < F.Arrays.size()) {
+        int64_t ES = scalarSize(F.Arrays[I.Array].Elem);
+        if (ES > 0 && H.Mis % ES != 0)
+          diag(Check::HintConsistency, Severity::Error, "", Idx,
+               "hint misalignment " + std::to_string(H.Mis) +
+                   " is not a multiple of the element size " +
+                   std::to_string(ES));
+      }
+    }
+  }
+
+  /// loop_bound pairs a vector-version trip count with the scalar-version
+  /// count; the vectorizer always pairs with the literal 0 because scalar
+  /// versions never peel.
+  void checkLoopBounds() {
+    for (uint32_t Idx = 0; Idx < F.Instrs.size(); ++Idx) {
+      const Instr &I = F.Instrs[Idx];
+      if (I.Op != Opcode::LoopBound)
+        continue;
+      const Instr *D = definingInstr(I.Ops[1]);
+      if (!D || D->Op != Opcode::ConstInt || D->IntImm != 0)
+        diag(Check::HintConsistency, Severity::Warning, "", Idx,
+             "loop_bound scalar-version count is not the constant 0 "
+             "(scalar versions must not peel)");
+    }
+  }
+
+  //===--- max_safe_vf re-derivation --------------------------------------===//
+
+  struct VecAccess {
+    uint32_t Array = NoArray;
+    ValueId Idx = NoValue;
+    bool IsStore = false;
+    uint32_t Instr = 0;
+  };
+
+  void collectVecAccesses(const Region &R, std::vector<VecAccess> &Out) const {
+    for (const NodeRef &N : R.Nodes) {
+      switch (N.Kind) {
+      case NodeKind::Instr: {
+        const Instr &I = F.Instrs[N.Index];
+        switch (I.Op) {
+        case Opcode::ALoad:
+        case Opcode::ULoad:
+        case Opcode::AlignLoad:
+        case Opcode::RealignLoad:
+          Out.push_back({I.Array, memIndex(I), false, N.Index});
+          break;
+        case Opcode::AStore:
+        case Opcode::UStore:
+          Out.push_back({I.Array, memIndex(I), true, N.Index});
+          break;
+        default:
+          break;
+        }
+        break;
+      }
+      case NodeKind::Loop:
+        collectVecAccesses(F.Loops[N.Index].Body, Out);
+        break;
+      case NodeKind::If:
+        collectVecAccesses(F.Ifs[N.Index].Then, Out);
+        collectVecAccesses(F.Ifs[N.Index].Else, Out);
+        break;
+      }
+    }
+  }
+
+  /// Re-derives the dependence-distance claim of every vector main loop
+  /// from the bytecode: same-array (store, access) pairs whose index
+  /// difference is a nonzero constant bound the safe VF exactly the way
+  /// the offline analysis bounded it (min |distance|). Pairs whose
+  /// difference carries symbolic terms (e.g. multi-part offsets of
+  /// get_VF) are VF-spaced by construction and don't constrain.
+  void checkMaxSafeVF() {
+    analysis::AffineAnalysis AA(F);
+    for (uint32_t LI = 0; LI < F.Loops.size(); ++LI) {
+      const LoopStmt &L = F.Loops[LI];
+      if (L.Role != LoopRole::VecMain) {
+        if (L.MaxSafeVF != 0)
+          diag(Check::HintConsistency, Severity::Warning, "", NoInstr,
+               "loop " + std::to_string(LI) +
+                   ": dependence-distance hint on a non-vectorized loop");
+        continue;
+      }
+      std::vector<VecAccess> Acc;
+      collectVecAccesses(L.Body, Acc);
+      int64_t MinDist = 0;
+      bool Any = false;
+      for (const VecAccess &S : Acc) {
+        if (!S.IsStore)
+          continue;
+        for (const VecAccess &A : Acc) {
+          if (A.Instr == S.Instr || A.Array != S.Array)
+            continue;
+          analysis::AffineExpr D = AA.of(S.Idx).sub(AA.of(A.Idx));
+          if (!D.isConstant() || D.Const == 0)
+            continue;
+          int64_t Dist = D.Const < 0 ? -D.Const : D.Const;
+          MinDist = Any ? std::min(MinDist, Dist) : Dist;
+          Any = true;
+        }
+      }
+      std::string Loop = "loop " + std::to_string(LI);
+      if (Any) {
+        if (L.MaxSafeVF == 0)
+          diag(Check::HintConsistency, Severity::Error, "", NoInstr,
+               Loop + ": claims an unconstrained VF but carries a "
+                      "same-array dependence at distance " +
+                   std::to_string(MinDist));
+        else if (L.MaxSafeVF > MinDist)
+          diag(Check::HintConsistency, Severity::Error, "", NoInstr,
+               Loop + ": claims max_safe_vf " + std::to_string(L.MaxSafeVF) +
+                   " but a same-array dependence has distance " +
+                   std::to_string(MinDist));
+        else if (L.MaxSafeVF < MinDist)
+          diag(Check::HintConsistency, Severity::Warning, "", NoInstr,
+               Loop + ": max_safe_vf " + std::to_string(L.MaxSafeVF) +
+                   " is more conservative than the derived distance " +
+                   std::to_string(MinDist));
+      } else if (L.MaxSafeVF != 0) {
+        diag(Check::HintConsistency, Severity::Warning, "", NoInstr,
+             Loop + ": claims max_safe_vf " + std::to_string(L.MaxSafeVF) +
+                 " but no constant-distance dependence pair is derivable");
+      }
+    }
+  }
+
+  //===--- Idiom-chain discipline -----------------------------------------===//
+
+  void checkIdiomChains() {
+    for (uint32_t Idx = 0; Idx < F.Instrs.size(); ++Idx) {
+      const Instr &I = F.Instrs[Idx];
+      switch (I.Op) {
+      case Opcode::RealignLoad:
+        checkRealignChain(Idx, I);
+        break;
+      case Opcode::InitReduc:
+        checkReductionChain(Idx, I);
+        break;
+      case Opcode::WidenMultLo:
+        checkWidenPair(Idx, I, Opcode::WidenMultHi);
+        break;
+      case Opcode::WidenMultHi:
+        checkWidenPair(Idx, I, Opcode::WidenMultLo);
+        break;
+      case Opcode::VersionGuard:
+        checkGuardUses(Idx, I);
+        break;
+      default:
+        break;
+      }
+    }
+  }
+
+  void checkRealignChain(uint32_t Idx, const Instr &I) {
+    const Instr *RT = definingInstr(I.Ops[2]);
+    if (!RT || RT->Op != Opcode::GetRT || RT->Array != I.Array)
+      diag(Check::IdiomChains, Severity::Error, "", Idx,
+           "realign_load realignment token is not a get_rt of array " +
+               arrayLabel(I.Array));
+    for (unsigned K = 0; K < 2; ++K) {
+      ValueId P = I.Ops[K];
+      if (P < F.Values.size() &&
+          F.Values[P].Def == ValueDef::LoopCarried)
+        continue; // The carried "previous chunk" of a software pipeline.
+      const Instr *D = definingInstr(P);
+      if (D && D->Op == Opcode::AlignLoad && D->Array == I.Array)
+        continue;
+      diag(Check::IdiomChains, Severity::Error, "", Idx,
+           std::string("realign_load ") + (K == 0 ? "prev" : "next") +
+               "-chunk operand is neither an align_load of array " +
+               arrayLabel(I.Array) + " nor a loop-carried chunk");
+    }
+  }
+
+  void checkReductionChain(uint32_t Idx, const Instr &I) {
+    const LoopStmt::CarriedVar *CV = nullptr;
+    for (const LoopStmt &L : F.Loops)
+      for (const LoopStmt::CarriedVar &C : L.Carried)
+        if (C.Init == I.Result)
+          CV = &C;
+    if (!CV) {
+      diag(Check::IdiomChains, Severity::Warning, "", Idx,
+           "init_reduc result does not initialize a loop-carried "
+           "accumulator");
+      return;
+    }
+    // Follow the accumulator's post-loop value through part-combining ops
+    // until a collapsing idiom; the combiner family must agree with it.
+    std::set<ValueId> Visited{CV->Result};
+    std::deque<ValueId> Work{CV->Result};
+    bool SawAdd = false, SawMin = false, SawMax = false;
+    bool Reached = false, Mismatch = false;
+    while (!Work.empty()) {
+      ValueId V = Work.front();
+      Work.pop_front();
+      auto It = Users.find(V);
+      if (It == Users.end())
+        continue;
+      for (uint32_t U : It->second) {
+        const Instr &UI = F.Instrs[U];
+        switch (UI.Op) {
+        case Opcode::Add:
+          SawAdd = true;
+          if (UI.hasResult() && Visited.insert(UI.Result).second)
+            Work.push_back(UI.Result);
+          break;
+        case Opcode::Min:
+          SawMin = true;
+          if (UI.hasResult() && Visited.insert(UI.Result).second)
+            Work.push_back(UI.Result);
+          break;
+        case Opcode::Max:
+          SawMax = true;
+          if (UI.hasResult() && Visited.insert(UI.Result).second)
+            Work.push_back(UI.Result);
+          break;
+        case Opcode::ReducPlus:
+        case Opcode::DotProduct:
+          Reached = true;
+          Mismatch |= SawMin || SawMax;
+          break;
+        case Opcode::ReducMax:
+          Reached = true;
+          Mismatch |= SawAdd || SawMin;
+          break;
+        case Opcode::ReducMin:
+          Reached = true;
+          Mismatch |= SawAdd || SawMax;
+          break;
+        default:
+          break;
+        }
+      }
+    }
+    if (!Reached)
+      diag(Check::IdiomChains, Severity::Warning, "", Idx,
+           "init_reduc accumulator is never collapsed by a reduc_* or "
+           "dot_product idiom");
+    else if (Mismatch)
+      diag(Check::IdiomChains, Severity::Warning, "", Idx,
+           "part-combining operations disagree with the final reduction "
+           "idiom");
+  }
+
+  void checkWidenPair(uint32_t Idx, const Instr &I, Opcode Partner) {
+    for (const Instr &J : F.Instrs)
+      if (J.Op == Partner && J.Ops == I.Ops)
+        return;
+    diag(Check::IdiomChains, Severity::Warning, "", Idx,
+         std::string(opcodeMnemonic(I.Op)) + " has no matching " +
+             opcodeMnemonic(Partner) +
+             " over the same operands (half the lanes are dropped)");
+  }
+
+  void checkGuardUses(uint32_t Idx, const Instr &I) {
+    bool UsedAsCond = false;
+    for (const IfStmt &S : F.Ifs)
+      UsedAsCond |= S.Cond == I.Result;
+    if (!UsedAsCond)
+      diag(Check::Guards, Severity::Warning, "", Idx,
+           "version_guard result is never an if condition (dangling "
+           "version guard)");
+    if (Users.count(I.Result))
+      diag(Check::Guards, Severity::Warning, "", Idx,
+           "version_guard result is used as a data operand");
+  }
+
+  //===--- Guard analysis -------------------------------------------------===//
+
+  std::optional<bool> detFoldOf(const Instr &G, const TargetDesc &Td) const {
+    // Weak tier + treated-as-nested + unknown bases: exactly the folds
+    // that happen identically in every tier and runtime world.
+    jit::RuntimeInfo RT = jit::RuntimeInfo::unknown(F.Arrays.size());
+    return jit::foldGuardStatic(G, Td, RT, jit::Tier::Weak,
+                                /*NestedInLoop=*/true);
+  }
+
+  /// Warns when a versioned body can never be compiled on any verified
+  /// target (the guard folds the same way everywhere).
+  void checkGuardReachability(const std::vector<TargetDesc> &Targets) {
+    for (uint32_t IfIdx = 0; IfIdx < F.Ifs.size(); ++IfIdx) {
+      const Instr *G = guardOf(F.Ifs[IfIdx].Cond);
+      if (!G || (G->Guard != GuardKind::TypeSupported &&
+                 G->Guard != GuardKind::PreferOuterLoop))
+        continue;
+      bool ThenLive = false, ElseLive = false;
+      for (const TargetDesc &Td : Targets) {
+        std::optional<bool> Fd = detFoldOf(*G, Td);
+        if (!Fd) {
+          ThenLive = ElseLive = true;
+          break;
+        }
+        (*Fd ? ThenLive : ElseLive) = true;
+      }
+      if (!ThenLive)
+        diag(Check::Guards, Severity::Warning, "", NoInstr,
+             "if " + std::to_string(IfIdx) +
+                 ": guarded version is unreachable on every verified "
+                 "target");
+      if (!ElseLive)
+        diag(Check::Guards, Severity::Warning, "", NoInstr,
+             "if " + std::to_string(IfIdx) +
+                 ": fall-back version is unreachable on every verified "
+                 "target");
+    }
+  }
+
+  void guardNotes() {
+    DetFold.clear();
+    for (uint32_t Idx = 0; Idx < F.Instrs.size(); ++Idx) {
+      const Instr &I = F.Instrs[Idx];
+      if (I.Op != Opcode::VersionGuard)
+        continue;
+      if (std::optional<bool> Fd = detFoldOf(I, *T)) {
+        DetFold[I.Result] = *Fd;
+        diag(Check::Guards, Severity::Note, T->Name, Idx,
+             std::string("version_guard folds to ") +
+                 (*Fd ? "true" : "false") + " in every lowering");
+        continue;
+      }
+      if (I.Guard == GuardKind::BasesAligned && T->VSBytes > 0 &&
+          !I.GuardArgs.empty()) {
+        bool AllStatic = true;
+        for (uint32_t A : I.GuardArgs)
+          AllStatic &= A < F.Arrays.size() &&
+                       F.Arrays[A].BaseAlign >= T->VSBytes;
+        if (AllStatic)
+          diag(Check::Guards, Severity::Note, T->Name, Idx,
+               "alignment guard is statically true (declared base "
+               "alignments already satisfy it); fall-back version is "
+               "dead");
+      }
+    }
+  }
+
+  //===--- Per-target region-mode planning --------------------------------===//
+  //
+  // Mirror of the JIT's planner (jit/Jit.cpp planRegion/planNodes) through
+  // the shared strategy model, with optimistic hint decisions.
+
+  bool regionScalar(const Region &R) const {
+    auto It = RegionScalar.find(&R);
+    return It == RegionScalar.end() ? true : It->second;
+  }
+
+  std::string vectorBlockerOpt(const Region &R) const {
+    for (const NodeRef &N : R.Nodes) {
+      switch (N.Kind) {
+      case NodeKind::Instr: {
+        const Instr &I = F.Instrs[N.Index];
+        std::string S = jit::vectorBlockReason(
+            F, I, *T, jit::hintCouldProveAligned(I.Hint, *T));
+        if (!S.empty())
+          return S;
+        break;
+      }
+      case NodeKind::Loop: {
+        std::string S = vectorBlockerOpt(F.Loops[N.Index].Body);
+        if (!S.empty())
+          return S;
+        break;
+      }
+      case NodeKind::If:
+        break; // Arms decide for themselves.
+      }
+    }
+    return "";
+  }
+
+  void planRegion(const Region &R, bool ParentScalar) {
+    bool Scalar = ParentScalar;
+    if (!Scalar && !vectorBlockerOpt(R).empty())
+      Scalar = true;
+    RegionScalar[&R] = Scalar;
+    planNodes(R, Scalar);
+  }
+
+  void planNodes(const Region &R, bool Scalar) {
+    for (const NodeRef &N : R.Nodes) {
+      switch (N.Kind) {
+      case NodeKind::Instr:
+        break;
+      case NodeKind::Loop: {
+        const LoopStmt &L = F.Loops[N.Index];
+        bool LoopScalar = Scalar;
+        if (!LoopScalar && L.MaxSafeVF > 0 &&
+            jit::loopVF(F, L, *T) > L.MaxSafeVF)
+          LoopScalar = true;
+        if (!LoopScalar && !vectorBlockerOpt(L.Body).empty())
+          LoopScalar = true;
+        RegionScalar[&L.Body] = LoopScalar;
+        planNodes(L.Body, LoopScalar);
+        break;
+      }
+      case NodeKind::If: {
+        const IfStmt &S = F.Ifs[N.Index];
+        auto Folded = DetFold.find(S.Cond);
+        if (Folded != DetFold.end()) {
+          planRegion(Folded->second ? S.Then : S.Else, Scalar);
+          RegionScalar[&(Folded->second ? S.Else : S.Then)] = Scalar;
+        } else {
+          planRegion(S.Then, Scalar);
+          planRegion(S.Else, Scalar);
+        }
+        break;
+      }
+      }
+    }
+  }
+
+  //===--- The abstract walk ----------------------------------------------===//
+
+  uint32_t newSym(SymInfo::Kind K = SymInfo::Kind::Opaque,
+                  uint32_t Array = NoArray) {
+    SymInfo S;
+    S.K = K;
+    S.Array = Array;
+    Syms.push_back(std::move(S));
+    return (uint32_t)Syms.size() - 1;
+  }
+
+  Aff affOf(WalkState &S, ValueId V) {
+    auto It = S.Env.find(V);
+    if (It != S.Env.end())
+      return It->second;
+    Aff A = affSym(newSym());
+    S.Env.emplace(V, A);
+    return A;
+  }
+
+  int64_t assumedAlignBytes(const WalkState &S, uint32_t A,
+                            uint32_t Bump32Array) const {
+    int64_t Bytes = F.Arrays[A].BaseAlign;
+    auto It = S.AssumedAlign.find(A);
+    if (It != S.AssumedAlign.end())
+      Bytes = std::max<int64_t>(Bytes, It->second);
+    if (A == Bump32Array)
+      Bytes = std::max<int64_t>(Bytes, analysis::AlignModBytes);
+    return Bytes;
+  }
+
+  int64_t alignElems(const WalkState &S, uint32_t A,
+                     uint32_t Bump32Array) const {
+    int64_t ES = scalarSize(F.Arrays[A].Elem);
+    if (ES <= 0)
+      return 1;
+    return std::max<int64_t>(assumedAlignBytes(S, A, Bump32Array) / ES, 1);
+  }
+
+  /// Reduces \p A modulo \p W by substituting congruence facts, highest
+  /// symbol first (facts only reference older symbols, so this
+  /// terminates). \returns the constant residue, or nullopt when some
+  /// symbol without a usable fact survives. \p Bump32Array names an array
+  /// whose base may additionally be assumed 32-byte aligned (the premise
+  /// of an if-jit-aligns hint).
+  std::optional<int64_t> residueMod(const WalkState &S, Aff A, int64_t W,
+                                    uint32_t Bump32Array) const {
+    if (W <= 1)
+      return 0;
+    for (int Iter = 0; Iter < 64; ++Iter) {
+      uint32_t Sid = ~0u;
+      int64_t Coef = 0;
+      for (auto It = A.T.rbegin(); It != A.T.rend(); ++It)
+        if (floorMod(It->second, W) != 0) {
+          Sid = It->first;
+          Coef = It->second;
+          break;
+        }
+      if (Sid == ~0u)
+        return floorMod(A.C, W);
+      const SymInfo &SI = Syms[Sid];
+      Aff Zero;
+      int64_t M = 0;
+      const Aff *Rhs = nullptr;
+      if (SI.K == SymInfo::Kind::ArrayBase) {
+        M = alignElems(S, SI.Array, Bump32Array);
+        Rhs = &Zero;
+      } else if (SI.K == SymInfo::Kind::Congruent) {
+        M = SI.Mod;
+        Rhs = &SI.Rhs;
+      } else {
+        return std::nullopt;
+      }
+      // Coef*Sym = Coef*Rhs + Coef*M*t; the t part must vanish mod W.
+      if (M <= 0 || floorMod(Coef * M, W) != 0)
+        return std::nullopt;
+      A.T.erase(Sid);
+      A = affAdd(A, affMulC(*Rhs, Coef));
+    }
+    return std::nullopt;
+  }
+
+  void targetPass(const TargetDesc &Td) {
+    T = &Td;
+    guardNotes(); // Also computes DetFold for the planner and walk.
+    if (!Td.hasSimd())
+      return; // Fully scalarized: scalar accesses never trap.
+    RegionScalar.clear();
+    planRegion(F.Body, /*ParentScalar=*/false);
+
+    Syms.clear();
+    ObSeen.clear();
+    ObFail.clear();
+    ConsFail.clear();
+    BudgetNoted = false;
+    BaseSym.assign(F.Arrays.size(), 0);
+    WalkState S0;
+    for (uint32_t A = 0; A < F.Arrays.size(); ++A)
+      BaseSym[A] = newSym(SymInfo::Kind::ArrayBase, A);
+    for (ValueId P : F.Params)
+      S0.Env[P] = affSym(newSym());
+    if (!regionScalar(F.Body)) {
+      std::vector<WalkState> States{std::move(S0)};
+      walkRegionNodes(F.Body, States);
+    }
+    Rep.ObligationsFailed += ObFail.size();
+    Rep.ObligationsProved += ObSeen.size() - ObFail.size();
+  }
+
+  void walkRegionNodes(const Region &R, std::vector<WalkState> &States) {
+    for (const NodeRef &N : R.Nodes) {
+      switch (N.Kind) {
+      case NodeKind::Instr:
+        // evalInstr may fork States; forks already carry this
+        // instruction's binding and join the walk at the next node.
+        for (size_t SI = 0; SI < States.size(); ++SI)
+          evalInstr(N.Index, States, SI);
+        break;
+      case NodeKind::Loop:
+        for (WalkState &S : States)
+          walkLoop(N.Index, S);
+        break;
+      case NodeKind::If:
+        for (WalkState &S : States)
+          walkIf(N.Index, S);
+        break;
+      }
+    }
+  }
+
+  void walkLoop(uint32_t LoopIdx, WalkState &S) {
+    const LoopStmt &L = F.Loops[LoopIdx];
+    Aff Lo = affOf(S, L.Lower);
+    Aff Up = affOf(S, L.Upper);
+    Aff St = affOf(S, L.Step);
+    Aff Span = affSub(Up, Lo);
+    bool KnownEmpty = Span.isConst() && Span.C <= 0;
+    if (!KnownEmpty && !regionScalar(L.Body)) {
+      WalkState B = S;
+      B.Path += "/L" + std::to_string(LoopIdx);
+      // iv = Lower + Step * k for an opaque iteration count k.
+      if (St.isConst() && St.C != 0)
+        B.Env[L.IndVar] = affAdd(Lo, affMulC(affSym(newSym()), St.C));
+      else
+        B.Env[L.IndVar] = affSym(newSym());
+      for (const LoopStmt::CarriedVar &CV : L.Carried)
+        B.Env[CV.Phi] = affSym(newSym());
+      std::vector<WalkState> Body{std::move(B)};
+      walkRegionNodes(L.Body, Body);
+      // Body-local scenario splits die here: nothing escapes a loop but
+      // its carried results, and those are opaque below.
+    }
+    for (const LoopStmt::CarriedVar &CV : L.Carried)
+      S.Env[CV.Result] = affSym(newSym());
+  }
+
+  void walkIf(uint32_t IfIdx, WalkState &S) {
+    const IfStmt &If = F.Ifs[IfIdx];
+    auto DF = DetFold.find(If.Cond);
+    if (DF != DetFold.end()) {
+      // The dead arm is never compiled on this target.
+      walkArm(DF->second ? If.Then : If.Else, S,
+              S.Path + (DF->second ? "/then" : "/else") +
+                  std::to_string(IfIdx),
+              nullptr);
+      return;
+    }
+    const Instr *G = guardOf(If.Cond);
+    if (G && G->Guard == GuardKind::BasesAligned) {
+      // Both arms are reachable depending on tier and runtime bases; the
+      // guarded arm may assume VS-aligned bases for the guarded arrays.
+      walkArm(If.Then, S, S.Path + "/aligned" + std::to_string(IfIdx),
+              &G->GuardArgs);
+      walkArm(If.Else, S, S.Path + "/fallback" + std::to_string(IfIdx),
+              nullptr);
+      return;
+    }
+    walkArm(If.Then, S, S.Path + "/then" + std::to_string(IfIdx), nullptr);
+    walkArm(If.Else, S, S.Path + "/else" + std::to_string(IfIdx), nullptr);
+  }
+
+  void walkArm(const Region &Arm, const WalkState &S, std::string Path,
+               const std::vector<uint32_t> *AlignedArrays) {
+    if (regionScalar(Arm))
+      return; // Scalar lowering: per-lane accesses cannot trap.
+    WalkState A = S;
+    A.Path = std::move(Path);
+    if (AlignedArrays)
+      for (uint32_t Arr : *AlignedArrays) {
+        uint32_t &Cur = A.AssumedAlign[Arr];
+        Cur = std::max(Cur, T->VSBytes);
+      }
+    std::vector<WalkState> States{std::move(A)};
+    walkRegionNodes(Arm, States);
+  }
+
+  int64_t machineConst(ScalarKind K) const {
+    int64_t ES = scalarSize(K);
+    return ES > 0 ? (int64_t)T->VSBytes / ES : 0;
+  }
+
+  void evalInstr(uint32_t Idx, std::vector<WalkState> &States, size_t SI) {
+    const Instr &I = F.Instrs[Idx];
+    checkMemoryInstr(Idx, I, States[SI]);
+    if (!I.hasResult())
+      return;
+    WalkState &S = States[SI];
+    switch (I.Op) {
+    case Opcode::ConstInt:
+      S.Env[I.Result] = affConst(I.IntImm);
+      return;
+    case Opcode::Add:
+      S.Env[I.Result] = affAdd(affOf(S, I.Ops[0]), affOf(S, I.Ops[1]));
+      return;
+    case Opcode::Sub:
+      S.Env[I.Result] = affSub(affOf(S, I.Ops[0]), affOf(S, I.Ops[1]));
+      return;
+    case Opcode::Neg:
+      S.Env[I.Result] = affNeg(affOf(S, I.Ops[0]));
+      return;
+    case Opcode::Mul: {
+      Aff A = affOf(S, I.Ops[0]), B = affOf(S, I.Ops[1]);
+      if (A.isConst())
+        S.Env[I.Result] = affMulC(B, A.C);
+      else if (B.isConst())
+        S.Env[I.Result] = affMulC(A, B.C);
+      else
+        S.Env[I.Result] = affSym(newSym());
+      return;
+    }
+    case Opcode::Shl: {
+      Aff A = affOf(S, I.Ops[0]), B = affOf(S, I.Ops[1]);
+      if (B.isConst() && B.C >= 0 && B.C < 62)
+        S.Env[I.Result] = affMulC(A, (int64_t)1 << B.C);
+      else
+        S.Env[I.Result] = affSym(newSym());
+      return;
+    }
+    case Opcode::Div: {
+      Aff A = affOf(S, I.Ops[0]), B = affOf(S, I.Ops[1]);
+      if (B.isConst() && B.C != 0 && A.C % B.C == 0) {
+        bool Exact = true;
+        for (const auto &[Sy, Co] : A.T)
+          Exact &= Co % B.C == 0;
+        if (Exact) {
+          Aff R;
+          R.C = A.C / B.C;
+          for (const auto &[Sy, Co] : A.T)
+            R.T[Sy] = Co / B.C;
+          S.Env[I.Result] = std::move(R);
+          return;
+        }
+      }
+      S.Env[I.Result] = affSym(newSym());
+      return;
+    }
+    case Opcode::Rem: {
+      Aff A = affOf(S, I.Ops[0]), B = affOf(S, I.Ops[1]);
+      // Truncated C remainder still satisfies r ≡ x (mod m); keep only
+      // power-of-two moduli so wrap-around cannot break the fact.
+      if (B.isConst() && isPow2(B.C)) {
+        uint32_t Sy = newSym(SymInfo::Kind::Congruent);
+        Syms[Sy].Mod = B.C;
+        Syms[Sy].Rhs = A;
+        S.Env[I.Result] = affSym(Sy);
+      } else {
+        S.Env[I.Result] = affSym(newSym());
+      }
+      return;
+    }
+    case Opcode::Min:
+    case Opcode::Max:
+      evalMinMax(Idx, I, States, SI);
+      return;
+    case Opcode::GetVF:
+    case Opcode::GetAlignLimit:
+      // This instruction is only walked in vector-mode regions, where the
+      // JIT materializes VS / sizeof(T).
+      S.Env[I.Result] = affConst(machineConst(I.TyParam));
+      return;
+    case Opcode::GetMisalign: {
+      int64_t AL = I.Array < F.Arrays.size()
+                       ? machineConst(F.Arrays[I.Array].Elem)
+                       : 0;
+      if (AL <= 1) {
+        S.Env[I.Result] = affConst(0);
+      } else {
+        // (base/ES + off) mod AL: congruent to BaseElems + off.
+        uint32_t Sy = newSym(SymInfo::Kind::Congruent);
+        Syms[Sy].Mod = AL;
+        Syms[Sy].Rhs =
+            affAdd(affSym(BaseSym[I.Array]), affConst(I.IntImm));
+        S.Env[I.Result] = affSym(Sy);
+      }
+      return;
+    }
+    case Opcode::LoopBound:
+      // Vector-mode lowering keeps the vector-version count.
+      S.Env[I.Result] = affOf(S, I.Ops[0]);
+      return;
+    default:
+      S.Env[I.Result] = affSym(newSym());
+      return;
+    }
+  }
+
+  void evalMinMax(uint32_t Idx, const Instr &I,
+                  std::vector<WalkState> &States, size_t SI) {
+    WalkState &S = States[SI];
+    if (!I.Ty.isScalar() || !isIntKind(I.Ty.Elem)) {
+      S.Env[I.Result] = affSym(newSym());
+      return;
+    }
+    Aff A = affOf(S, I.Ops[0]);
+    Aff B = affOf(S, I.Ops[1]);
+    Aff D = affSub(A, B);
+    bool IsMax = I.Op == Opcode::Max;
+    int Sign = 0;
+    if (D.isConst()) {
+      Sign = D.C >= 0 ? 1 : -1;
+    } else {
+      for (const auto &[FD, FS] : S.Signs) {
+        if (affEq(FD, D)) {
+          Sign = FS;
+          break;
+        }
+        if (affEq(FD, affNeg(D))) {
+          Sign = -FS;
+          break;
+        }
+      }
+    }
+    if (Sign != 0) {
+      S.Env[I.Result] = (Sign > 0) == IsMax ? A : B;
+      return;
+    }
+    if (States.size() >= Opt.ScenarioBudget) {
+      if (!BudgetNoted) {
+        BudgetNoted = true;
+        diag(Check::Alignment, Severity::Note, T->Name, Idx,
+             "scenario budget exhausted; min/max result treated as "
+             "opaque (sound: proofs may fail, never pass wrongly)");
+      }
+      S.Env[I.Result] = affSym(newSym());
+      return;
+    }
+    WalkState Other = S;
+    S.Signs.push_back({D, 1});
+    S.Env[I.Result] = IsMax ? A : B;
+    S.Path += "/i" + std::to_string(Idx) + "+";
+    Other.Signs.push_back({D, -1});
+    Other.Env[I.Result] = IsMax ? B : A;
+    Other.Path += "/i" + std::to_string(Idx) + "-";
+    States.push_back(std::move(Other)); // Invalidates S; must be last.
+  }
+
+  //===--- Proof obligations and hint consistency -------------------------===//
+
+  void checkMemoryInstr(uint32_t Idx, const Instr &I, WalkState &S) {
+    switch (I.Op) {
+    case Opcode::ALoad:
+    case Opcode::AStore:
+      // Always lowered aligned in vector-mode regions.
+      obligation(Idx, I, S);
+      hintConsistency(Idx, I, S);
+      break;
+    case Opcode::ULoad:
+    case Opcode::UStore:
+    case Opcode::RealignLoad:
+      // Obligated only in the worlds where the hint promotes the access
+      // to an aligned one.
+      if (jit::hintCouldProveAligned(I.Hint, *T))
+        obligation(Idx, I, S);
+      hintConsistency(Idx, I, S);
+      break;
+    case Opcode::AlignLoad:
+      // The JIT floors the address to a VS boundary: discharged by
+      // construction.
+      ObSeen.insert(Idx);
+      break;
+    case Opcode::GetRT:
+      hintConsistency(Idx, I, S);
+      break;
+    default:
+      break;
+    }
+  }
+
+  void obligation(uint32_t Idx, const Instr &I, WalkState &S) {
+    ObSeen.insert(Idx);
+    if (I.Array >= F.Arrays.size())
+      return; // ir::verify already rejected the module shape.
+    int64_t ES = scalarSize(F.Arrays[I.Array].Elem);
+    int64_t W = ES > 0 ? (int64_t)T->VSBytes / ES : 0;
+    uint32_t Bump = I.Hint.known() && I.Hint.IfJitAligns ? I.Array : NoArray;
+    Aff Addr = affAdd(affSym(BaseSym[I.Array]), affOf(S, memIndex(I)));
+    std::optional<int64_t> R = residueMod(S, Addr, W, Bump);
+    if (R && *R == 0)
+      return;
+    if (!ObFail.insert(Idx).second)
+      return;
+    std::string Why = "cannot prove " + std::to_string(T->VSBytes) +
+                      "B alignment of " + instrLabel(Idx) + " on array " +
+                      arrayLabel(I.Array);
+    if (R)
+      Why += " (derived residue " + std::to_string(*R) + " of " +
+             std::to_string(W) + " elements)";
+    Why += "; scenario " + (S.Path.empty() ? std::string("<top>") : S.Path);
+    diag(Check::Alignment, Severity::Error, T->Name, Idx, Why);
+  }
+
+  void hintConsistency(uint32_t Idx, const Instr &I, WalkState &S) {
+    const AlignHint &H = I.Hint;
+    if (!H.known() || I.Array >= F.Arrays.size())
+      return;
+    int64_t ES = scalarSize(F.Arrays[I.Array].Elem);
+    if (ES <= 0 || H.Mod != analysis::AlignModBytes || H.Mis % ES != 0)
+      return; // hintSanity already reported the malformed claim.
+    int64_t W = (int64_t)T->VSBytes / ES;
+    if (W <= 1)
+      return;
+    uint32_t Bump = H.IfJitAligns ? I.Array : NoArray;
+    Aff Addr = affAdd(affSym(BaseSym[I.Array]), affOf(S, memIndex(I)));
+    std::optional<int64_t> R = residueMod(S, Addr, W, Bump);
+    int64_t Claim = floorMod(H.Mis / ES, W);
+    if (R && *R == Claim)
+      return;
+    if (!ConsFail.insert(Idx).second)
+      return;
+    std::string Why;
+    if (!R)
+      Why = "mis/mod claim (mis=" + std::to_string(H.Mis) +
+            "B) cannot be re-derived from the bytecode";
+    else
+      Why = "hint claims mis ≡ " + std::to_string(Claim * ES) + "B (mod " +
+            std::to_string(T->VSBytes) + "B) but the derived residue is " +
+            std::to_string(*R * ES) + "B";
+    Why += "; scenario " + (S.Path.empty() ? std::string("<top>") : S.Path);
+    diag(Check::HintConsistency, Severity::Error, T->Name, Idx, Why);
+  }
+};
+
+} // namespace
+
+namespace vapor {
+namespace verify {
+
+Report verifyModule(const ir::Function &F, const VerifyOptions &O) {
+  return ModuleVerifier(F, O).run();
+}
+
+} // namespace verify
+} // namespace vapor

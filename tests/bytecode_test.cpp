@@ -200,6 +200,84 @@ TEST(BytecodeTest, FuzzRandomBytesNeverCrash) {
   }
 }
 
+//===--- Decoder hardening regressions ----------------------------------------//
+//
+// Each test plants one class of field-level garbage that a bit flip (or a
+// hostile producer) could introduce and checks the decoder rejects it
+// cleanly instead of letting it reach kind-dispatched consumer code.
+
+TEST(BytecodeTest, RejectsOutOfRangeArrayElementKind) {
+  Function F = buildRich();
+  F.Arrays[0].Elem = static_cast<ScalarKind>(99);
+  std::string Err;
+  EXPECT_FALSE(bytecode::decode(bytecode::encode(F), Err).has_value());
+  EXPECT_NE(Err.find("element kind"), std::string::npos) << Err;
+}
+
+TEST(BytecodeTest, RejectsOutOfRangeValueTypeKind) {
+  Function F = buildRich();
+  F.Values[0].Ty = Type(static_cast<ScalarKind>(0x55), false);
+  std::string Err;
+  EXPECT_FALSE(bytecode::decode(bytecode::encode(F), Err).has_value());
+}
+
+TEST(BytecodeTest, RejectsOutOfRangeTyParam) {
+  Function F = buildRich();
+  for (Instr &I : F.Instrs)
+    if (I.Op == Opcode::GetVF)
+      I.TyParam = static_cast<ScalarKind>(0x7f);
+  std::string Err;
+  EXPECT_FALSE(bytecode::decode(bytecode::encode(F), Err).has_value());
+}
+
+TEST(BytecodeTest, RejectsImplausibleElementCounts) {
+  for (uint64_t N : {uint64_t(0), uint64_t(1) << 40}) {
+    Function F = buildRich();
+    F.Arrays[0].NumElems = N;
+    std::string Err;
+    EXPECT_FALSE(bytecode::decode(bytecode::encode(F), Err).has_value())
+        << "NumElems=" << N;
+    EXPECT_NE(Err.find("element count"), std::string::npos) << Err;
+  }
+}
+
+TEST(BytecodeTest, RejectsNegativeMaxSafeVF) {
+  Function F = buildRich();
+  F.Loops[0].MaxSafeVF = -1; // Reads as "unconstrained" to VF clamps.
+  std::string Err;
+  EXPECT_FALSE(bytecode::decode(bytecode::encode(F), Err).has_value());
+  EXPECT_NE(Err.find("negative"), std::string::npos) << Err;
+}
+
+TEST(BytecodeTest, RejectsGarbageAlignHints) {
+  Function F = buildRich();
+  for (Instr &I : F.Instrs)
+    if (I.Op == Opcode::UStore)
+      I.Hint = AlignHint{-7, -32, false};
+  std::string Err;
+  EXPECT_FALSE(bytecode::decode(bytecode::encode(F), Err).has_value());
+}
+
+/// Multi-byte corruption over the richer instruction surface of real
+/// vectorizer output (hints, realign chains, version guards): the decoder
+/// must fail cleanly or produce something the verifier still accepts.
+TEST(BytecodeTest, FuzzMultiByteCorruptionNeverCrashes) {
+  Function F = buildRich();
+  std::vector<uint8_t> Bytes = bytecode::encode(F);
+  SplitMix64 Rng(2026);
+  for (int Trial = 0; Trial < 2000; ++Trial) {
+    std::vector<uint8_t> Mut = Bytes;
+    unsigned Flips = 2 + Rng.nextBelow(7);
+    for (unsigned I = 0; I < Flips; ++I)
+      Mut[Rng.nextBelow(Mut.size())] ^=
+          static_cast<uint8_t>(1 + Rng.nextBelow(255));
+    std::string Err;
+    auto G = bytecode::decode(Mut, Err);
+    if (G.has_value())
+      EXPECT_TRUE(ir::verify(*G).empty());
+  }
+}
+
 /// The paper measures bytecode growth of vectorized vs scalar code; the
 /// container must at minimum keep scalar encodings lean. Sanity-check that
 /// a tiny function stays under 200 bytes.

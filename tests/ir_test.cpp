@@ -166,6 +166,113 @@ TEST(VerifierTest, CarriedWithoutNextIsRejected) {
   EXPECT_FALSE(verify(F).empty());
 }
 
+TEST(VerifierTest, RejectsInvalidValueKind) {
+  Function F("bad");
+  IrBuilder B(F);
+  ValueId X = B.constInt(ScalarKind::I32, 1);
+  F.Values[X].Ty = Type(static_cast<ScalarKind>(77), false);
+  EXPECT_FALSE(verify(F).empty());
+}
+
+TEST(VerifierTest, RejectsMalformedArrayTable) {
+  {
+    Function F("bad");
+    F.addArray("a", ScalarKind::F32, 8, 32);
+    F.Arrays[0].NumElems = 0;
+    EXPECT_FALSE(verify(F).empty());
+  }
+  {
+    Function F("bad");
+    F.addArray("a", ScalarKind::F32, 8, 32);
+    F.Arrays[0].BaseAlign = 24; // Not a power of two.
+    EXPECT_FALSE(verify(F).empty());
+  }
+  {
+    Function F("bad");
+    F.addArray("a", ScalarKind::F64, 8, 32);
+    F.Arrays[0].BaseAlign = 4; // Below the element size.
+    EXPECT_FALSE(verify(F).empty());
+  }
+  {
+    Function F("bad");
+    F.addArray("a", ScalarKind::F32, 8, 32);
+    F.Arrays[0].Elem = static_cast<ScalarKind>(42);
+    EXPECT_FALSE(verify(F).empty());
+  }
+}
+
+TEST(VerifierTest, RejectsNonScalarParam) {
+  Function F("bad");
+  ValueId P = F.addParam("p", Type::scalar(ScalarKind::I64));
+  F.Values[P].Ty = Type::vector(ScalarKind::F32);
+  EXPECT_FALSE(verify(F).empty());
+}
+
+TEST(VerifierTest, RejectsParamWithWrongDefinitionKind) {
+  Function F("bad");
+  ValueId P = F.addParam("p", Type::scalar(ScalarKind::I64));
+  F.Values[P].Def = ValueDef::LoopInd;
+  EXPECT_FALSE(verify(F).empty());
+}
+
+TEST(VerifierTest, RejectsNonI64LoopBounds) {
+  Function F("bad");
+  ValueId N = F.addParam("n", Type::scalar(ScalarKind::I32));
+  IrBuilder B(F);
+  auto L = B.beginLoop(B.constIdx(0), B.constIdx(8), B.constIdx(1));
+  B.endLoop(L);
+  F.Loops[L.LoopIdx].Upper = N; // i32 bound behind the builder's back.
+  EXPECT_FALSE(verify(F).empty());
+}
+
+TEST(VerifierTest, RejectsNegativeMaxSafeVF) {
+  Function F("bad");
+  ValueId N = F.addParam("n", Type::scalar(ScalarKind::I64));
+  IrBuilder B(F);
+  auto L = B.beginLoop(B.constIdx(0), N, B.constIdx(1));
+  B.endLoop(L);
+  F.Loops[L.LoopIdx].MaxSafeVF = -4;
+  EXPECT_FALSE(verify(F).empty());
+}
+
+TEST(VerifierTest, RejectsMalformedAlignHint) {
+  Function F("bad");
+  F.IsSplitLayer = true;
+  uint32_t A = F.addArray("a", ScalarKind::F32, 64, 32);
+  IrBuilder B(F);
+  B.aload(A, B.constIdx(0));
+  F.Instrs[1].Hint.Mod = -32;
+  EXPECT_FALSE(verify(F).empty());
+}
+
+TEST(VerifierTest, RejectsInvalidTyParam) {
+  Function F("bad");
+  F.IsSplitLayer = true;
+  IrBuilder B(F);
+  B.getVF(ScalarKind::F32);
+  F.Instrs[0].TyParam = static_cast<ScalarKind>(0x70);
+  EXPECT_FALSE(verify(F).empty());
+}
+
+TEST(VerifierTest, RejectsNonI1IfCondition) {
+  Function F("bad");
+  ValueId N = F.addParam("n", Type::scalar(ScalarKind::I64));
+  ValueId C = F.addParam("c", Type::scalar(ScalarKind::I1));
+  IrBuilder B(F);
+  uint32_t If = B.beginIf(C);
+  B.endIf(If);
+  F.Ifs[If].Cond = N; // i64 condition behind the builder's back.
+  EXPECT_FALSE(verify(F).empty());
+}
+
+TEST(VerifierTest, RejectsBrokenResultBookkeeping) {
+  Function F("bad");
+  IrBuilder B(F);
+  ValueId X = B.constInt(ScalarKind::I32, 1);
+  F.Values[X].A = 99; // Points at a non-existent defining instruction.
+  EXPECT_FALSE(verify(F).empty());
+}
+
 //===--- Evaluator tests ------------------------------------------------------//
 
 TEST(EvaluatorTest, ScalarVecAdd) {
