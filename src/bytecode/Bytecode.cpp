@@ -8,6 +8,7 @@
 
 #include "bytecode/Encoding.h"
 #include "ir/Verifier.h"
+#include "support/FaultInject.h"
 #include "support/Support.h"
 
 using namespace vapor;
@@ -230,52 +231,62 @@ std::vector<uint8_t> bytecode::encode(const Function &F) {
 
 size_t bytecode::encodedSize(const Function &F) { return encode(F).size(); }
 
-std::optional<Function> bytecode::decode(const std::vector<uint8_t> &Bytes,
-                                         std::string &Err) {
+Expected<Function> bytecode::decode(const std::vector<uint8_t> &Bytes) {
+  using status::Code;
+  using status::Layer;
+
+  if (faultinject::shouldFire(faultinject::SiteClass::Decode))
+    return Status::error(Code::MalformedModule, Layer::Bytecode,
+                         "fault-injection: forced decode failure");
+
   ByteReader R(Bytes);
-  auto Fail = [&](const std::string &Msg) -> std::optional<Function> {
-    Err = Msg;
-    return std::nullopt;
+  // Running out of bytes dominates any site-level diagnosis: a truncated
+  // stream reports TruncatedModule even when the zero a failed read
+  // returned would also have flunked a structural check.
+  auto Fail = [&](Code C, const std::string &Msg) -> Expected<Function> {
+    if (R.failed())
+      C = Code::TruncatedModule;
+    return Status::error(C, Layer::Bytecode, Msg);
   };
 
   if (R.readU64() != Magic)
-    return Fail("bad magic number; not a vapor bytecode module");
+    return Fail(Code::BadMagic, "bad magic number; not a vapor bytecode module");
   if (R.readU64() != Version)
-    return Fail("unsupported bytecode version");
+    return Fail(Code::BadVersion, "unsupported bytecode version");
 
   Function F(R.readString());
   F.IsSplitLayer = R.readU8() != 0;
 
   uint64_t NArrays = R.readU64();
   if (R.failed() || NArrays > (1u << 16))
-    return Fail("truncated array table");
+    return Fail(Code::MalformedModule, "truncated array table");
   for (uint64_t I = 0; I < NArrays; ++I) {
     ArrayInfo A;
     A.Name = R.readString();
     uint8_t Elem = R.readU8();
     if (!validKind(Elem))
-      return Fail("bad element kind for array " + A.Name);
+      return Fail(Code::MalformedModule, "bad element kind for array " + A.Name);
     A.Elem = static_cast<ScalarKind>(Elem);
     A.NumElems = R.readU64();
     A.BaseAlign = static_cast<uint32_t>(R.readU64());
     if (scalarSize(A.Elem) == 0 || !isPowerOf2(A.BaseAlign) ||
         A.BaseAlign < scalarSize(A.Elem))
-      return Fail("malformed array declaration for " + A.Name);
+      return Fail(Code::MalformedModule, "malformed array declaration for " + A.Name);
     if (A.NumElems == 0 || A.NumElems > (1u << 28))
-      return Fail("implausible element count for array " + A.Name);
+      return Fail(Code::MalformedModule, "implausible element count for array " + A.Name);
     F.Arrays.push_back(std::move(A));
   }
 
   uint64_t NValues = R.readU64();
   if (R.failed() || NValues > (1u << 24))
-    return Fail("truncated value table");
+    return Fail(Code::MalformedModule, "truncated value table");
   for (uint64_t I = 0; I < NValues; ++I) {
     ValueInfo V;
     if (!decodeType(R, V.Ty))
-      return Fail("bad type for value #" + std::to_string(I));
+      return Fail(Code::MalformedModule, "bad type for value #" + std::to_string(I));
     uint8_t D = R.readU8();
     if (D > static_cast<uint8_t>(ValueDef::LoopResult))
-      return Fail("bad value definition kind");
+      return Fail(Code::MalformedModule, "bad value definition kind");
     V.Def = static_cast<ValueDef>(D);
     V.A = static_cast<uint32_t>(R.readU64());
     V.B = static_cast<uint32_t>(R.readU64());
@@ -285,27 +296,27 @@ std::optional<Function> bytecode::decode(const std::vector<uint8_t> &Bytes,
 
   uint64_t NParams = R.readU64();
   if (R.failed() || NParams > NValues)
-    return Fail("truncated parameter list");
+    return Fail(Code::MalformedModule, "truncated parameter list");
   for (uint64_t I = 0; I < NParams; ++I) {
     ValueId P = static_cast<ValueId>(R.readU64());
     if (P >= F.Values.size())
-      return Fail("parameter references out-of-range value");
+      return Fail(Code::MalformedModule, "parameter references out-of-range value");
     F.Params.push_back(P);
   }
 
   uint64_t NInstrs = R.readU64();
   if (R.failed() || NInstrs > (1u << 24))
-    return Fail("truncated instruction stream");
+    return Fail(Code::MalformedModule, "truncated instruction stream");
   for (uint64_t I = 0; I < NInstrs; ++I) {
     Instr In;
     if (!decodeInstr(R, In))
-      return Fail("malformed instruction #" + std::to_string(I));
+      return Fail(Code::MalformedModule, "malformed instruction #" + std::to_string(I));
     F.Instrs.push_back(std::move(In));
   }
 
   uint64_t NLoops = R.readU64();
   if (R.failed() || NLoops > (1u << 20))
-    return Fail("truncated loop table");
+    return Fail(Code::MalformedModule, "truncated loop table");
   for (uint64_t I = 0; I < NLoops; ++I) {
     LoopStmt L;
     L.IndVar = static_cast<ValueId>(R.readU64());
@@ -314,16 +325,16 @@ std::optional<Function> bytecode::decode(const std::vector<uint8_t> &Bytes,
     L.Step = static_cast<ValueId>(R.readU64());
     uint8_t Role = R.readU8();
     if (Role > static_cast<uint8_t>(LoopRole::Epilogue))
-      return Fail("bad loop role");
+      return Fail(Code::MalformedModule, "bad loop role");
     L.Role = static_cast<LoopRole>(Role);
     L.MaxSafeVF = R.readI64();
     // A negative limit would read as "unconstrained" to every consumer
     // that checks MaxSafeVF > 0 before clamping.
     if (L.MaxSafeVF < 0)
-      return Fail("negative dependence-distance limit");
+      return Fail(Code::MalformedModule, "negative dependence-distance limit");
     uint64_t NCarried = R.readU64();
     if (R.failed() || NCarried > (1u << 16))
-      return Fail("truncated carried-variable list");
+      return Fail(Code::MalformedModule, "truncated carried-variable list");
     for (uint64_t J = 0; J < NCarried; ++J) {
       LoopStmt::CarriedVar C;
       C.Phi = static_cast<ValueId>(R.readU64());
@@ -333,32 +344,43 @@ std::optional<Function> bytecode::decode(const std::vector<uint8_t> &Bytes,
       L.Carried.push_back(C);
     }
     if (!decodeRegion(R, L.Body))
-      return Fail("malformed loop body");
+      return Fail(Code::MalformedModule, "malformed loop body");
     F.Loops.push_back(std::move(L));
   }
 
   uint64_t NIfs = R.readU64();
   if (R.failed() || NIfs > (1u << 20))
-    return Fail("truncated if table");
+    return Fail(Code::MalformedModule, "truncated if table");
   for (uint64_t I = 0; I < NIfs; ++I) {
     IfStmt S;
     S.Cond = static_cast<ValueId>(R.readU64());
     if (!decodeRegion(R, S.Then) || !decodeRegion(R, S.Else))
-      return Fail("malformed if arms");
+      return Fail(Code::MalformedModule, "malformed if arms");
     F.Ifs.push_back(std::move(S));
   }
 
   if (!decodeRegion(R, F.Body))
-    return Fail("malformed function body");
+    return Fail(Code::MalformedModule, "malformed function body");
   if (R.failed())
-    return Fail("truncated module");
+    return Fail(Code::TruncatedModule, "truncated module");
   if (!R.atEnd())
-    return Fail("trailing garbage after function");
+    return Fail(Code::TrailingGarbage, "trailing garbage after function");
 
   // Everything structural decoded; semantic well-formedness is the
   // verifier's job. Decoded code must never crash the consumer.
   std::vector<std::string> Diags = ir::verify(F);
   if (!Diags.empty())
-    return Fail("verifier rejected decoded function: " + Diags.front());
+    return Fail(Code::RejectedByVerifier,
+                "verifier rejected decoded function: " + Diags.front());
   return F;
+}
+
+std::optional<Function> bytecode::decode(const std::vector<uint8_t> &Bytes,
+                                         std::string &Err) {
+  Expected<Function> R = decode(Bytes);
+  if (!R.ok()) {
+    Err = R.status().str();
+    return std::nullopt;
+  }
+  return R.take();
 }

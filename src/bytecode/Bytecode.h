@@ -20,6 +20,7 @@
 #define VAPOR_BYTECODE_BYTECODE_H
 
 #include "ir/Function.h"
+#include "support/Status.h"
 
 #include <cstdint>
 #include <optional>
@@ -35,9 +36,14 @@ std::vector<uint8_t> encode(const ir::Function &F);
 /// Size in bytes \p F would encode to, without materializing the buffer.
 size_t encodedSize(const ir::Function &F);
 
-/// Decodes a function. \returns std::nullopt and sets \p Err on malformed
-/// input; a successfully decoded function is additionally run through the
-/// IR verifier, and verifier diagnostics are also reported through \p Err.
+/// Decodes a function. Never aborts: malformed input yields a Bytecode-layer
+/// Status whose code distinguishes bad magic/version, truncation, structural
+/// garbage, trailing bytes, and IR-verifier rejection of a structurally
+/// valid module. A successfully decoded function has passed the IR verifier.
+Expected<ir::Function> decode(const std::vector<uint8_t> &Bytes);
+
+/// Back-compat shim over the Status-returning decode: \returns std::nullopt
+/// and fills \p Err with Status::str() on failure.
 std::optional<ir::Function> decode(const std::vector<uint8_t> &Bytes,
                                    std::string &Err);
 

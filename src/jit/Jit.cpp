@@ -27,6 +27,7 @@
 #include "jit/Jit.h"
 
 #include "ir/ScalarOps.h"
+#include "support/FaultInject.h"
 #include "support/Support.h"
 
 #include <algorithm>
@@ -313,6 +314,11 @@ private:
   //===--- Pass 2: region modes and memory strategies ---------------------===//
 
   bool decideTopLevelMode() {
+    if (Opt.ForceScalarize) {
+      TopLevelScalar = true;
+      ScalarizeReason = "scalarization forced (executor deoptimization)";
+      return true;
+    }
     if (!T.hasSimd()) {
       TopLevelScalar = true;
       ScalarizeReason = "target has no SIMD support";
@@ -1551,4 +1557,15 @@ std::vector<MReg> JitCompiler::lowerGuardRuntime(const Instr &I) {
 CompileResult jit::compile(const Function &F, const TargetDesc &T,
                            const RuntimeInfo &RT, const Options &Opt) {
   return JitCompiler(F, T, RT, Opt).run();
+}
+
+Expected<CompileResult> jit::compileChecked(const Function &F,
+                                            const TargetDesc &T,
+                                            const RuntimeInfo &RT,
+                                            const Options &Opt) {
+  if (faultinject::shouldFire(faultinject::SiteClass::JitLower))
+    return Status::error(status::Code::UnsupportedIdiom, status::Layer::Jit,
+                         "fault-injection: forced unsupported-idiom failure "
+                         "lowering " + F.Name + " for " + T.Name);
+  return compile(F, T, RT, Opt);
 }

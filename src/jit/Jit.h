@@ -35,6 +35,7 @@
 #define VAPOR_JIT_JIT_H
 
 #include "ir/Function.h"
+#include "support/Status.h"
 #include "target/MachineIR.h"
 #include "target/MemoryImage.h"
 #include "target/Target.h"
@@ -70,6 +71,12 @@ struct Options {
   /// no scaled-index addressing and no accumulator register promotion.
   bool FoldAddressing = true;
   bool PromoteAccumulators = true;
+  /// Lower the whole function scalar regardless of target SIMD support.
+  /// The executor's deoptimization path uses this to re-enter at the
+  /// scalar tier after a runtime alignment trap or a verifier rejection:
+  /// scalar lowering emits no checked vector accesses, so no alignment
+  /// lie in the bytecode can trap it.
+  bool ForceScalarize = false;
 };
 
 struct CompileResult {
@@ -144,6 +151,17 @@ std::optional<bool> foldGuardStatic(const ir::Instr &I,
 /// cannot execute the vector code get scalarized code.
 CompileResult compile(const ir::Function &F, const target::TargetDesc &T,
                       const RuntimeInfo &RT, const Options &Opt = {});
+
+/// The fault-tolerant pipeline's lowering surface: like compile(), but
+/// lowering failures are *representable* — a Jit-layer Status comes back
+/// instead of an abort. Organic failures cannot currently occur (every
+/// idiom has at least a scalar expansion), so errors surface only under
+/// fault injection (SiteClass::JitLower) — which is exactly what keeps the
+/// executor's JIT-demotion edge honest and tested.
+Expected<CompileResult> compileChecked(const ir::Function &F,
+                                       const target::TargetDesc &T,
+                                       const RuntimeInfo &RT,
+                                       const Options &Opt = {});
 
 } // namespace jit
 } // namespace vapor

@@ -1,0 +1,151 @@
+//===- support/FaultInject.h - Deterministic fault injection ---*- C++ -*-===//
+//
+// Part of the Vapor SIMD reproduction. See src/support/README.md for the
+// site-class inventory and the crashtest sweep built on top of this.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic, site-counted fault-injection controller for the online
+/// stage, in the spirit of the verifier's mutation test: instead of
+/// corrupting the artifact, it forces the *consumer-side* failure paths —
+/// decode errors, verifier findings, JIT "unsupported idiom" failures, and
+/// VM alignment traps — at a chosen dynamic occurrence ("site") of each
+/// class. The executor's degradation chain is validated by sweeping every
+/// class and asserting that each run still completes with a correct,
+/// honestly-tiered answer (tools/vapor-crashtest).
+///
+/// Hooks are compiled in unconditionally but gated behind one `Active`
+/// bool, so uninstrumented runs pay a single predictable branch per hook
+/// (only the VM's checked-access hook is on a hot path).
+///
+/// The controller is intentionally process-global and not thread-safe:
+/// it is a test harness, driven by single-threaded sweeps.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAPOR_SUPPORT_FAULTINJECT_H
+#define VAPOR_SUPPORT_FAULTINJECT_H
+
+#include <cstdint>
+
+namespace vapor {
+namespace faultinject {
+
+/// The injectable failure classes, one per fallible online-stage surface.
+enum class SiteClass : uint8_t {
+  Decode = 0, ///< bytecode::decode returns a malformed-module Status.
+  Verify,     ///< verify::verifyModule reports a fabricated Error finding.
+  JitLower,   ///< jit::compileChecked returns unsupported-idiom.
+  VmAlign,    ///< The VM's next checked vector access alignment-traps.
+};
+constexpr unsigned NumSiteClasses = 4;
+
+inline const char *siteClassName(SiteClass S) {
+  switch (S) {
+  case SiteClass::Decode:
+    return "decode";
+  case SiteClass::Verify:
+    return "verify";
+  case SiteClass::JitLower:
+    return "jit-lower";
+  case SiteClass::VmAlign:
+    return "vm-align";
+  }
+  return "unknown";
+}
+
+struct Controller {
+  bool Active = false;  ///< Master gate: counters/firing only when set.
+  bool Armed = false;   ///< A fault is scheduled.
+  bool Sticky = false;  ///< Fire at every hit from FireAt on, not just once.
+  SiteClass Target = SiteClass::Decode;
+  uint64_t FireAt = 0;  ///< Dynamic hit index (per class) that fires.
+  uint64_t Hits[NumSiteClasses] = {};
+  uint64_t Fired = 0;   ///< Faults actually delivered since last reset.
+};
+
+namespace detail {
+/// Constant-initialized (all members are trivial), so controller() has no
+/// function-local-static init guard — the VM's checked-access hook reduces
+/// to one global bool load on the uninstrumented path.
+inline Controller GlobalController;
+} // namespace detail
+
+inline Controller &controller() { return detail::GlobalController; }
+
+/// Starts counting site hits without firing (dry run for site discovery).
+inline void startCounting() {
+  Controller &C = controller();
+  C.Active = true;
+  C.Armed = false;
+}
+
+/// Schedules one fault: class \p S fires at its \p FireAt-th dynamic hit
+/// (0-based), once — or at every hit from there on when \p Sticky.
+inline void arm(SiteClass S, uint64_t FireAt = 0, bool Sticky = false) {
+  Controller &C = controller();
+  C.Active = true;
+  C.Armed = true;
+  C.Sticky = Sticky;
+  C.Target = S;
+  C.FireAt = FireAt;
+}
+
+/// Deactivates the controller entirely (hooks return to the 1-branch fast
+/// path). Counters keep their values until resetHits().
+inline void disarm() {
+  Controller &C = controller();
+  C.Active = false;
+  C.Armed = false;
+}
+
+inline void resetHits() {
+  Controller &C = controller();
+  for (uint64_t &H : C.Hits)
+    H = 0;
+  C.Fired = 0;
+}
+
+inline uint64_t hits(SiteClass S) {
+  return controller().Hits[static_cast<unsigned>(S)];
+}
+
+inline uint64_t fired() { return controller().Fired; }
+
+/// The hook: call at a potential fault site of class \p S. \returns true
+/// when the scheduled fault should be delivered here.
+inline bool shouldFire(SiteClass S) {
+  Controller &C = controller();
+  if (!C.Active)
+    return false;
+  uint64_t H = C.Hits[static_cast<unsigned>(S)]++;
+  if (!C.Armed || C.Target != S)
+    return false;
+  if (H == C.FireAt || (C.Sticky && H > C.FireAt)) {
+    ++C.Fired;
+    return true;
+  }
+  return false;
+}
+
+/// RAII arming for tests: arms in the constructor, disarms and clears
+/// counters on destruction.
+class ScopedFault {
+public:
+  explicit ScopedFault(SiteClass S, uint64_t FireAt = 0, bool Sticky = false) {
+    resetHits();
+    arm(S, FireAt, Sticky);
+  }
+  ~ScopedFault() {
+    disarm();
+    resetHits();
+  }
+  ScopedFault(const ScopedFault &) = delete;
+  ScopedFault &operator=(const ScopedFault &) = delete;
+};
+
+} // namespace faultinject
+} // namespace vapor
+
+#endif // VAPOR_SUPPORT_FAULTINJECT_H

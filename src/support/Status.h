@@ -1,0 +1,199 @@
+//===- support/Status.h - Structured error propagation ---------*- C++ -*-===//
+//
+// Part of the Vapor SIMD reproduction. See src/support/README.md for the
+// error-code taxonomy and the degradation contract built on top of it.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// vapor::status — the structured error type carried through the online
+/// stage. The pipeline's fault-tolerance contract ("never fail to produce
+/// a correct answer") requires every representable failure to be *returned*
+/// rather than aborted on, so the executor can demote the run to the next
+/// cheaper tier. A Status names the failing layer, an error code from the
+/// taxonomy below, and a human-readable context string; Expected<T> is the
+/// value-or-Status carrier used by fallible factory surfaces (bytecode
+/// decode, JIT lowering).
+///
+/// Aborts remain legal only for offline-stage internal invariants
+/// (vapor_unreachable / assert in the vectorizer and analyses): reaching
+/// one means the *producer* is broken, which no consumer-side tier can
+/// recover from honestly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAPOR_SUPPORT_STATUS_H
+#define VAPOR_SUPPORT_STATUS_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace vapor {
+namespace status {
+
+/// What went wrong. Codes are grouped by the layer that raises them; the
+/// generic codes at the end may be raised anywhere.
+enum class Code : uint8_t {
+  Ok = 0,
+  // Bytecode container (decode-time).
+  BadMagic,           ///< Not a vapor bytecode module at all.
+  BadVersion,         ///< Container version this consumer cannot read.
+  TruncatedModule,    ///< Byte stream ended mid-field.
+  MalformedModule,    ///< Structurally invalid field values.
+  TrailingGarbage,    ///< Well-formed module followed by extra bytes.
+  RejectedByVerifier, ///< Decoded, but the IR verifier refused it.
+  // Static verifier gate.
+  VerificationFailed, ///< A lowering exists that could trap/miscompile.
+  // Online compiler.
+  UnsupportedIdiom,   ///< No lowering (not even scalar) for an idiom.
+  // VM execution.
+  AlignmentTrap,      ///< Aligned vector access at a misaligned address.
+  OutOfBoundsAccess,  ///< Access outside the memory image.
+  // Generic.
+  InvalidArgument,
+  Internal,
+};
+
+/// The pipeline layer a Status originated in.
+enum class Layer : uint8_t {
+  None = 0,
+  Bytecode, ///< Split-layer container decode.
+  Verify,   ///< Static bytecode verifier gate.
+  Jit,      ///< Online lowering.
+  Vm,       ///< Target-model execution.
+  Pipeline, ///< Driver-level (executor) conditions.
+};
+
+inline const char *codeName(Code C) {
+  switch (C) {
+  case Code::Ok:
+    return "ok";
+  case Code::BadMagic:
+    return "bad-magic";
+  case Code::BadVersion:
+    return "bad-version";
+  case Code::TruncatedModule:
+    return "truncated-module";
+  case Code::MalformedModule:
+    return "malformed-module";
+  case Code::TrailingGarbage:
+    return "trailing-garbage";
+  case Code::RejectedByVerifier:
+    return "rejected-by-verifier";
+  case Code::VerificationFailed:
+    return "verification-failed";
+  case Code::UnsupportedIdiom:
+    return "unsupported-idiom";
+  case Code::AlignmentTrap:
+    return "alignment-trap";
+  case Code::OutOfBoundsAccess:
+    return "out-of-bounds-access";
+  case Code::InvalidArgument:
+    return "invalid-argument";
+  case Code::Internal:
+    return "internal";
+  }
+  return "unknown";
+}
+
+inline const char *layerName(Layer L) {
+  switch (L) {
+  case Layer::None:
+    return "none";
+  case Layer::Bytecode:
+    return "bytecode";
+  case Layer::Verify:
+    return "verify";
+  case Layer::Jit:
+    return "jit";
+  case Layer::Vm:
+    return "vm";
+  case Layer::Pipeline:
+    return "pipeline";
+  }
+  return "unknown";
+}
+
+/// One structured error (or success). Default-constructed = Ok.
+class Status {
+public:
+  Status() = default;
+
+  static Status okStatus() { return Status(); }
+
+  static Status error(Code C, Layer L, std::string Context) {
+    assert(C != Code::Ok && "error() requires a non-Ok code");
+    Status S;
+    S.C = C;
+    S.L = L;
+    S.Context = std::move(Context);
+    return S;
+  }
+
+  bool ok() const { return C == Code::Ok; }
+  Code code() const { return C; }
+  Layer layer() const { return L; }
+  const std::string &context() const { return Context; }
+
+  /// "layer: code: context" (or "ok").
+  std::string str() const {
+    if (ok())
+      return "ok";
+    std::string S = std::string(layerName(L)) + ": " + codeName(C);
+    if (!Context.empty())
+      S += ": " + Context;
+    return S;
+  }
+
+private:
+  Code C = Code::Ok;
+  Layer L = Layer::None;
+  std::string Context;
+};
+
+/// Value-or-Status. Construct from a T (success) or a non-Ok Status.
+template <typename T> class [[nodiscard]] Expected {
+public:
+  Expected(T Value) : Val(std::move(Value)) {}
+  Expected(Status S) : St(std::move(S)) {
+    assert(!St.ok() && "Expected error construction needs a non-Ok Status");
+  }
+
+  bool ok() const { return Val.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  /// The Status: Ok when a value is present.
+  const Status &status() const { return St; }
+
+  T &operator*() {
+    assert(ok() && "dereferencing an errored Expected");
+    return *Val;
+  }
+  const T &operator*() const {
+    assert(ok() && "dereferencing an errored Expected");
+    return *Val;
+  }
+  T *operator->() { return &**this; }
+  const T *operator->() const { return &**this; }
+
+  /// Moves the value out (must be ok()).
+  T take() {
+    assert(ok() && "taking from an errored Expected");
+    return std::move(*Val);
+  }
+
+private:
+  std::optional<T> Val;
+  Status St; // Ok iff Val holds a value.
+};
+
+} // namespace status
+
+using status::Status;
+template <typename T> using Expected = status::Expected<T>;
+
+} // namespace vapor
+
+#endif // VAPOR_SUPPORT_STATUS_H

@@ -25,6 +25,7 @@
 #include "target/VM.h"
 
 #include "ir/ScalarOps.h"
+#include "support/FaultInject.h"
 #include "support/Support.h"
 
 #include <cstring>
@@ -48,10 +49,12 @@ struct VMOps {
     return static_cast<ScalarKind>(O.SrcKind);
   }
 
-  /// Bounds-checked host pointer for [Addr, Addr+Size).
+  /// Bounds-checked host pointer for [Addr, Addr+Size). An out-of-image
+  /// access faults: abort, or (trap-recording) a recorded trap plus a
+  /// scratch pointer so the op completes harmlessly before the halt.
   static uint8_t *mem(VM &Vm, uint64_t Addr, uint64_t Size) {
     if (Addr < Vm.MemLo || Addr + Size > Vm.MemHi)
-      Vm.memFault(Addr);
+      return Vm.memFault(Addr);
     return Vm.MemPtr + (Addr - Vm.MemLo);
   }
 
@@ -137,9 +140,10 @@ struct VMOps {
   static uint32_t vload(VM &Vm, const DOp &O, uint32_t PC) {
     uint64_t Addr = Vm.R[O.B];
     if constexpr (Checked)
-      if (Addr & static_cast<uint64_t>(O.Imm))
-        return Vm.alignTrap("aligned vector load at misaligned address " +
-                            std::to_string(Addr));
+      if ((Addr & static_cast<uint64_t>(O.Imm)) ||
+          faultinject::shouldFire(faultinject::SiteClass::VmAlign))
+        return Vm.alignTrap(PC, Addr, static_cast<uint32_t>(O.Imm) + 1,
+                            /*IsStore=*/false);
     const uint8_t *P = mem(Vm, Addr, O.Lanes * uint64_t(ES));
     for (unsigned L = 0; L < O.Lanes; ++L)
       Vm.R[O.A + L] = ld<ES>(P + L * ES);
@@ -150,9 +154,10 @@ struct VMOps {
   static uint32_t vstore(VM &Vm, const DOp &O, uint32_t PC) {
     uint64_t Addr = Vm.R[O.A];
     if constexpr (Checked)
-      if (Addr & static_cast<uint64_t>(O.Imm))
-        return Vm.alignTrap("aligned vector store at misaligned address " +
-                            std::to_string(Addr));
+      if ((Addr & static_cast<uint64_t>(O.Imm)) ||
+          faultinject::shouldFire(faultinject::SiteClass::VmAlign))
+        return Vm.alignTrap(PC, Addr, static_cast<uint32_t>(O.Imm) + 1,
+                            /*IsStore=*/true);
     uint8_t *P = mem(Vm, Addr, O.Lanes * uint64_t(ES));
     for (unsigned L = 0; L < O.Lanes; ++L)
       st<ES>(P + L * ES, Vm.R[O.B + L]);
@@ -843,24 +848,62 @@ struct VMDecoder {
 } // namespace target
 } // namespace vapor
 
+//===--- TrapInfo ---------------------------------------------------------===//
+
+std::string TrapInfo::str() const {
+  switch (TrapKind) {
+  case Kind::None:
+    return "no trap";
+  case Kind::Alignment:
+    return "alignment trap: aligned vector " +
+           std::string(IsStore ? "store" : "load") +
+           " at misaligned address " + std::to_string(Address) +
+           " (requires " + std::to_string(RequiredAlign) + "B) on " + Target +
+           ", op #" + std::to_string(OpIndex);
+  case Kind::OutOfBounds:
+    return "memory access out of image bounds at address " +
+           std::to_string(Address) + " on " + Target;
+  }
+  vapor_unreachable("bad trap kind");
+}
+
 //===--- VM ---------------------------------------------------------------===//
 
 VM::VM(const MFunction &F, const TargetDesc &T, MemoryImage &Image,
        bool Weak)
-    : Mem(Image) {
+    : Mem(Image), TargetName(T.Name) {
   VMDecoder(*this, F, T, Weak).decode();
 }
 
-void VM::memFault(uint64_t Addr) const {
-  fatalError("memory access out of image bounds at address " +
-             std::to_string(Addr));
+uint8_t *VM::memFault(uint64_t Addr) {
+  if (!TrapRecording)
+    fatalError("memory access out of image bounds at address " +
+               std::to_string(Addr));
+  if (!Trapped) { // First trap wins: it is the one the executor acts on.
+    Trapped = true;
+    Trap = TrapInfo{TrapInfo::Kind::OutOfBounds, ~0u, Addr, 0, false,
+                    TargetName};
+    TrapMsg = Trap.str();
+  }
+  // Hand the faulting op a zeroed sink so it completes harmlessly. The
+  // run continues to normal termination (loop control is register-based,
+  // never loaded from memory) so the dispatch loop stays branch-free; the
+  // recorded trap surfaces in run()'s Status.
+  std::memset(Scratch, 0, sizeof(Scratch));
+  return Scratch;
 }
 
-uint32_t VM::alignTrap(const std::string &Msg) {
+uint32_t VM::alignTrap(uint32_t PC, uint64_t Addr, uint32_t RequiredAlign,
+                       bool IsStore) {
+  TrapInfo TI{TrapInfo::Kind::Alignment, PC, Addr, RequiredAlign, IsStore,
+              TargetName};
   if (!TrapRecording)
-    fatalError("alignment trap: " + Msg);
-  Trapped = true;
-  TrapMsg = Msg;
+    fatalError(TI.str());
+  if (!Trapped) { // First trap wins.
+    Trapped = true;
+    Trap = TI;
+    TrapMsg = Trap.str();
+  }
   return static_cast<uint32_t>(Code.size()); // Halt the run loop.
 }
 
@@ -886,13 +929,26 @@ void VM::setParamFP(const std::string &Name, double V) {
   fatalError("unknown float parameter '" + Name + "'");
 }
 
-void VM::run() {
+status::Status VM::run() {
+  using status::Code;
+  using status::Layer;
+  if (Trapped) // A previous run already faulted; don't resume.
+    return status::Status::error(Trap.TrapKind == TrapInfo::Kind::Alignment
+                                     ? Code::AlignmentTrap
+                                     : Code::OutOfBoundsAccess,
+                                 Layer::Vm, Trap.str());
+
   MemPtr = Mem.data();
   MemLo = Mem.lowAddr();
   MemHi = Mem.highAddr();
 
-  const DOp *Ops = Code.data();
-  const uint32_t N = static_cast<uint32_t>(Code.size());
+  // The dispatch loop carries no trap check: an alignment trap halts by
+  // returning a past-the-end PC, and a recorded bounds fault lets the run
+  // finish against the scratch sink (termination is register-driven), so
+  // the uninstrumented hot path is byte-for-byte the pre-fault-tolerance
+  // loop.
+  const DOp *Ops = this->Code.data();
+  const uint32_t N = static_cast<uint32_t>(this->Code.size());
   uint64_t Cyc = 0, Ins = 0;
   uint32_t PC = 0;
   while (PC < N) {
@@ -903,4 +959,10 @@ void VM::run() {
   }
   Cycles += Cyc;
   Instrs += Ins;
+  if (Trapped)
+    return status::Status::error(Trap.TrapKind == TrapInfo::Kind::Alignment
+                                     ? Code::AlignmentTrap
+                                     : Code::OutOfBoundsAccess,
+                                 Layer::Vm, Trap.str());
+  return status::Status::okStatus();
 }

@@ -34,6 +34,7 @@
 #define VAPOR_TARGET_VM_H
 
 #include "ir/Type.h"
+#include "support/Status.h"
 #include "target/MachineIR.h"
 #include "target/MemoryImage.h"
 #include "target/Target.h"
@@ -44,6 +45,28 @@
 
 namespace vapor {
 namespace target {
+
+/// Structured description of a recorded runtime trap. The executor's
+/// deoptimization path and the verifier's mutation test assert on these
+/// fields (op index, address, required alignment, target) instead of
+/// parsing message strings.
+struct TrapInfo {
+  enum class Kind : uint8_t {
+    None = 0,
+    Alignment,   ///< Aligned vector access at a misaligned address.
+    OutOfBounds, ///< Access outside the memory image.
+  };
+  Kind TrapKind = Kind::None;
+  uint32_t OpIndex = ~0u;     ///< Faulting decoded-op PC (~0u if unknown).
+  uint64_t Address = 0;       ///< Faulting virtual address.
+  uint32_t RequiredAlign = 0; ///< Bytes the access required (0 for bounds).
+  bool IsStore = false;       ///< Store-side (vs load-side) fault.
+  std::string Target;         ///< Name of the target model that trapped.
+
+  /// One-line rendering, e.g. "alignment trap: aligned vector load at
+  /// misaligned address 1048584 (requires 16B) on sse, op #12".
+  std::string str() const;
+};
 
 class VM {
 public:
@@ -58,20 +81,28 @@ public:
   void setParamFP(const std::string &Name, double V);
 
   /// Executes the function once. May be called repeatedly; cycle and
-  /// instruction counters accumulate across runs.
-  void run();
+  /// instruction counters accumulate across runs. In trap-recording mode
+  /// a runtime fault ends the run and comes back as a Vm-layer Status
+  /// (with the structured details in trapInfo()); otherwise a fault is a
+  /// hard abort, exactly where real movdqa/lvx semantics would corrupt
+  /// the experiment. A successful run returns Ok either way.
+  status::Status run();
 
   /// Modeled cycles consumed so far.
   uint64_t cycles() const { return Cycles; }
   /// Machine instructions executed so far (control flow not included).
   uint64_t instrsExecuted() const { return Instrs; }
 
-  /// In trap-recording mode an alignment trap halts the current run()
-  /// and is reported through trapped() instead of aborting the process.
-  /// The static verifier's tests use this as ground truth: a recorded
-  /// trap is exactly the fault the verifier must have predicted.
+  /// In trap-recording mode a runtime trap halts the current run()
+  /// and is reported through trapped()/trapInfo() instead of aborting
+  /// the process. The static verifier's tests use this as ground truth:
+  /// a recorded trap is exactly the fault the verifier must have
+  /// predicted. The executor's degradation chain runs every split-flow
+  /// VM in this mode so it can deoptimize instead of dying.
   void setTrapRecording(bool On) { TrapRecording = On; }
   bool trapped() const { return Trapped; }
+  /// Structured details of the recorded trap (TrapKind None if none).
+  const TrapInfo &trapInfo() const { return Trap; }
   const std::string &trapMessage() const { return TrapMsg; }
 
 private:
@@ -100,11 +131,17 @@ private:
   friend struct VMOps;     ///< Handler implementations (VM.cpp).
   friend struct VMDecoder; ///< MFunction -> DOp translation (VM.cpp).
 
-  [[noreturn]] void memFault(uint64_t Addr) const;
+  /// Bounds-fault site: aborts, or in trap-recording mode records the
+  /// fault and \returns a zeroed scratch buffer the faulting op harmlessly
+  /// operates on. The run then continues to its normal (register-driven)
+  /// termination so the dispatch loop needs no per-op trap check; the
+  /// recorded fault surfaces in run()'s Status.
+  uint8_t *memFault(uint64_t Addr);
 
   /// Alignment-trap site: aborts, or in trap-recording mode records the
   /// fault and \returns a past-the-end PC that halts the run loop.
-  uint32_t alignTrap(const std::string &Msg);
+  uint32_t alignTrap(uint32_t PC, uint64_t Addr, uint32_t RequiredAlign,
+                     bool IsStore);
 
   std::vector<DOp> Code;
   std::vector<uint64_t> RegStore; ///< Backing store for the lane file.
@@ -126,9 +163,13 @@ private:
   uint64_t Cycles = 0;
   uint64_t Instrs = 0;
 
+  std::string TargetName; ///< For TrapInfo reporting.
+
   bool TrapRecording = false;
   bool Trapped = false;
+  TrapInfo Trap;
   std::string TrapMsg;
+  alignas(16) uint8_t Scratch[64] = {}; ///< Sink for faulted accesses.
 };
 
 } // namespace target

@@ -1,0 +1,228 @@
+//===- vapor/Executor.cpp - Fault-tolerant tiered execution -----------------===//
+//
+// Part of the Vapor SIMD reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vapor/Executor.h"
+
+#include "bytecode/Bytecode.h"
+#include "ir/Interp.h"
+#include "support/Support.h"
+#include "target/VM.h"
+#include "vapor/FillAdapters.h"
+#include "verify/Verify.h"
+
+#include <chrono>
+
+using namespace vapor;
+using namespace vapor::ir;
+using namespace vapor::status;
+using namespace vapor::target;
+
+RunOutcome Executor::run(ExecTier Entry) {
+  RunOutcome Out;
+  ExecTier T = Entry;
+  while (true) {
+    switch (T) {
+    case ExecTier::Vectorized: {
+      Status St = attemptVectorized(Out);
+      if (St.ok()) {
+        Out.Tier = ExecTier::Vectorized;
+        return Out;
+      }
+      Out.Demotions.push_back(St);
+      if (St.layer() == Layer::Verify) {
+        T = ExecTier::ScalarJit; // Forced-scalar code is safe to run.
+      } else if (St.layer() == Layer::Vm) {
+        ++Out.Retries; // Deoptimize: recompile scalar after the trap.
+        T = ExecTier::ScalarJit;
+      } else {
+        // Decode failures leave no module to re-JIT; JIT failures demote
+        // past the vector bytecode entirely.
+        T = ExecTier::ScalarBytecode;
+      }
+      break;
+    }
+    case ExecTier::ScalarJit: {
+      if (!HaveVecModule) { // Nothing decoded to scalarize.
+        T = ExecTier::ScalarBytecode;
+        break;
+      }
+      Status St = attemptScalarJit(Out);
+      if (St.ok()) {
+        Out.Tier = ExecTier::ScalarJit;
+        return Out;
+      }
+      Out.Demotions.push_back(St);
+      T = ExecTier::ScalarBytecode;
+      break;
+    }
+    case ExecTier::ScalarBytecode: {
+      Status St = attemptScalarBytecode(Out);
+      if (St.ok()) {
+        Out.Tier = ExecTier::ScalarBytecode;
+        return Out;
+      }
+      Out.Demotions.push_back(St);
+      T = ExecTier::Interpreter;
+      break;
+    }
+    case ExecTier::Interpreter:
+      runInterpreter(Out);
+      Out.Tier = ExecTier::Interpreter;
+      return Out;
+    }
+  }
+}
+
+Status Executor::attemptVectorized(RunOutcome &Out) {
+  // --- Offline stage (trusted: keeps its internal asserts) ---
+  auto VR = vectorizer::vectorize(K.Source, O.VecOpts);
+  Out.AnyLoopVectorized = VR.anyVectorized();
+
+  // The split layer is a real interchange format: encode and decode what
+  // the online compiler consumes (also yields the size statistic).
+  std::vector<uint8_t> Encoded = bytecode::encode(VR.Output);
+  Out.BytecodeBytes = Encoded.size();
+  auto Decoded = bytecode::decode(Encoded);
+  if (!Decoded)
+    return Decoded.status();
+  VecModule = Decoded.take();
+  HaveVecModule = true;
+
+  // The split layer's contract: what crosses it must be provably safe
+  // for every lowering the online compiler may pick on this target.
+  if (O.VerifyBytecode) {
+    verify::VerifyOptions VO;
+    VO.Targets = {O.Target};
+    verify::Report Rep = verify::verifyModule(VecModule, VO);
+    if (!Rep.ok())
+      return Status::error(Code::VerificationFailed, Layer::Verify,
+                           "bytecode verification failed for " + K.Name +
+                               ":\n" + Rep.str());
+  }
+
+  return runModule(Out, VecModule, /*ForceScalarize=*/false);
+}
+
+Status Executor::attemptScalarJit(RunOutcome &Out) {
+  return runModule(Out, VecModule, /*ForceScalarize=*/true);
+}
+
+Status Executor::attemptScalarBytecode(RunOutcome &Out) {
+  std::vector<uint8_t> Encoded = bytecode::encode(K.Source);
+  Out.BytecodeBytes = Encoded.size();
+  auto Decoded = bytecode::decode(Encoded);
+  if (!Decoded)
+    return Decoded.status();
+  ir::Function ScalarModule = Decoded.take();
+
+  if (O.VerifyBytecode) {
+    verify::VerifyOptions VO;
+    VO.Targets = {O.Target};
+    verify::Report Rep = verify::verifyModule(ScalarModule, VO);
+    if (!Rep.ok())
+      return Status::error(Code::VerificationFailed, Layer::Verify,
+                           "scalar bytecode verification failed for " +
+                               K.Name + ":\n" + Rep.str());
+  }
+
+  return runModule(Out, ScalarModule, /*ForceScalarize=*/false);
+}
+
+Status Executor::runModule(RunOutcome &Out, const ir::Function &Module,
+                           bool ForceScalarize) {
+  // --- Runtime layout: a fresh image per attempt, because a trapped run
+  // may have partially written arrays. ---
+  Out.Mem = std::make_unique<MemoryImage>();
+  for (uint32_t A = 0; A < Module.Arrays.size(); ++A) {
+    const ArrayInfo &AI = Module.Arrays[A];
+    bool External = K.ExternalArrays.count(AI.Name) != 0;
+    Out.Mem->addArray(AI, External ? O.ExternalMisalign : 0);
+  }
+
+  // --- What the compiler knows about the runtime ---
+  jit::RuntimeInfo RT;
+  for (uint32_t A = 0; A < Module.Arrays.size(); ++A) {
+    const ArrayInfo &AI = Module.Arrays[A];
+    bool External = K.ExternalArrays.count(AI.Name) != 0;
+    if (External)
+      RT.Arrays.push_back({false, 0});
+    else
+      RT.Arrays.push_back({true, Out.Mem->base(A)});
+  }
+
+  // --- Online stage (timed; CompileMicros sums across retries) ---
+  jit::Options JO;
+  JO.CompilerTier = O.Tier;
+  JO.FoldAddressing = O.FoldAddressing;
+  JO.PromoteAccumulators = O.PromoteAccumulators;
+  JO.ForceScalarize = ForceScalarize;
+  auto T0 = std::chrono::steady_clock::now();
+  auto CR = jit::compileChecked(Module, O.Target, RT, JO);
+  auto T1 = std::chrono::steady_clock::now();
+  Out.CompileMicros +=
+      std::chrono::duration<double, std::micro>(T1 - T0).count();
+  if (!CR)
+    return CR.status();
+  jit::CompileResult R = CR.take();
+  Out.Scalarized = R.Scalarized;
+  Out.Code = std::move(R.Code);
+  Out.Iaca = analyzeVectorLoop(Out.Code, O.Target);
+
+  // --- Workload and execution ---
+  detail::MemFill Fill(*Out.Mem);
+  K.fill(Fill);
+
+  VM Machine(Out.Code, O.Target, *Out.Mem,
+             JO.CompilerTier == jit::Tier::Weak);
+  Machine.setTrapRecording(true);
+  detail::setParams(
+      K, Module,
+      [&](const std::string &N, int64_t V) { Machine.setParamInt(N, V); },
+      [&](const std::string &N, double V) { Machine.setParamFP(N, V); });
+  Status St = Machine.run();
+  if (!St.ok())
+    return St;
+  Out.Cycles = Machine.cycles();
+  return Status::okStatus();
+}
+
+void Executor::runInterpreter(RunOutcome &Out) {
+  Evaluator E(K.Source, {});
+  E.allocAllArrays();
+  detail::EvalFill Fill(E);
+  K.fill(Fill);
+  detail::setParams(
+      K, K.Source,
+      [&](const std::string &N, int64_t V) { E.setParamInt(N, V); },
+      [&](const std::string &N, double V) { E.setParamFP(N, V); });
+  E.run();
+
+  // Materialize the evaluator's results into a fresh memory image so
+  // checkAgainstGolden inspects every tier the same way.
+  Out.Mem = std::make_unique<MemoryImage>();
+  for (uint32_t A = 0; A < K.Source.Arrays.size(); ++A) {
+    const ArrayInfo &AI = K.Source.Arrays[A];
+    bool External = K.ExternalArrays.count(AI.Name) != 0;
+    Out.Mem->addArray(AI, External ? O.ExternalMisalign : 0);
+  }
+  for (uint32_t A = 0; A < K.Source.Arrays.size(); ++A) {
+    const ArrayInfo &AI = K.Source.Arrays[A];
+    for (uint64_t I = 0; I < AI.NumElems; ++I) {
+      if (isFloatKind(AI.Elem))
+        Out.Mem->pokeFP(A, I, E.peekFP(A, I));
+      else
+        Out.Mem->pokeInt(A, I, E.peekInt(A, I));
+    }
+  }
+
+  // No machine code ran: cost is the evaluator's dynamic-op count (a
+  // cycle proxy), and the JIT consumed no bytecode.
+  Out.Cycles = E.dynamicOps();
+  Out.Scalarized = true;
+  Out.BytecodeBytes = 0;
+  Out.Code = MFunction();
+  Out.Iaca = IacaReport();
+}

@@ -1,0 +1,83 @@
+//===- vapor/Executor.h - Fault-tolerant tiered execution ------*- C++ -*-===//
+//
+// Part of the Vapor SIMD reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fault-tolerant driver behind the split flows: instead of aborting
+/// when an online stage fails, it walks a degradation chain until some
+/// tier completes, and reports honestly which one did:
+///
+///   Vectorized      split bytecode -> decode -> verify gate -> JIT ->
+///                   target VM in trap-recording mode;
+///   ScalarJit       the same decoded bytecode re-JITted with forced
+///                   scalarization (no checked vector accesses can be
+///                   emitted, so no alignment lie in the bytecode can
+///                   trap it) -- also the *deoptimization* target when
+///                   the vectorized tier takes a runtime alignment trap;
+///   ScalarBytecode  freshly encoded scalar bytecode through the normal
+///                   decode/verify/JIT/VM path;
+///   Interpreter     the golden IR evaluator on the kernel source. This
+///                   tier cannot fail: it shares no code with the stages
+///                   that can.
+///
+/// Demotion edges (each carries the demoting Status into the outcome):
+///   decode fail     -> ScalarBytecode (-> Interpreter if decode fails
+///                      again: the fault is in the interchange layer);
+///   verify fail     -> ScalarJit (the gate rejected a vector lowering;
+///                      forced-scalar code is safe by construction);
+///   JIT lower fail  -> ScalarBytecode;
+///   VM runtime trap -> ScalarJit, counted as a Retry (deoptimization).
+///
+/// Every VM at this level runs in trap-recording mode, so a runtime
+/// fault comes back as a Vm-layer Status with structured TrapInfo rather
+/// than killing the process. The offline stage (vectorizer, encoder) is
+/// trusted and keeps its internal asserts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAPOR_VAPOR_EXECUTOR_H
+#define VAPOR_VAPOR_EXECUTOR_H
+
+#include "vapor/Pipeline.h"
+
+namespace vapor {
+
+class Executor {
+public:
+  Executor(const kernels::Kernel &K, const RunOptions &O) : K(K), O(O) {}
+
+  /// Walks the chain starting at \p Entry (Vectorized for the
+  /// SplitVectorized flow, ScalarBytecode for SplitScalar) until a tier
+  /// completes. Never aborts for representable configurations -- also
+  /// not under fault injection; the outcome records the executed tier,
+  /// every demoting Status, and the retry count.
+  RunOutcome run(ExecTier Entry = ExecTier::Vectorized);
+
+private:
+  /// Offline vectorize + encode/decode/verify + vector JIT + VM.
+  status::Status attemptVectorized(RunOutcome &Out);
+  /// Re-JIT the already-decoded module with Options::ForceScalarize.
+  status::Status attemptScalarJit(RunOutcome &Out);
+  /// Scalar source through the full split path (encode/decode/JIT/VM).
+  status::Status attemptScalarBytecode(RunOutcome &Out);
+  /// Golden evaluator; materializes results into a fresh MemoryImage so
+  /// checkAgainstGolden works uniformly across tiers.
+  void runInterpreter(RunOutcome &Out);
+
+  /// The shared online tail of the JIT tiers: layout, compileChecked,
+  /// fill, VM run (trap-recording). On success fills the outcome's
+  /// Cycles/Code/Mem; on failure \returns the Jit- or Vm-layer Status.
+  status::Status runModule(RunOutcome &Out, const ir::Function &Module,
+                           bool ForceScalarize);
+
+  const kernels::Kernel &K;
+  const RunOptions &O;
+  ir::Function VecModule{""}; ///< Decoded vectorized module, if any.
+  bool HaveVecModule = false;
+};
+
+} // namespace vapor
+
+#endif // VAPOR_VAPOR_EXECUTOR_H

@@ -1,0 +1,78 @@
+//===- vapor/FillAdapters.h - Shared workload-binding helpers --*- C++ -*-===//
+//
+// Part of the Vapor SIMD reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small adapters shared by the pipeline facade and the fault-tolerant
+/// executor: FillSink bindings for the VM memory image and the golden
+/// evaluator, and parameter binding from a kernel's workload.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAPOR_VAPOR_FILLADAPTERS_H
+#define VAPOR_VAPOR_FILLADAPTERS_H
+
+#include "ir/Interp.h"
+#include "kernels/Kernels.h"
+#include "target/MemoryImage.h"
+
+#include <functional>
+#include <string>
+
+namespace vapor {
+namespace detail {
+
+/// FillSink adapter for the VM's memory image.
+class MemFill : public kernels::FillSink {
+public:
+  explicit MemFill(target::MemoryImage &Image) : Mem(Image) {}
+  void pokeInt(uint32_t Arr, uint64_t Elem, int64_t V) override {
+    Mem.pokeInt(Arr, Elem, V);
+  }
+  void pokeFP(uint32_t Arr, uint64_t Elem, double V) override {
+    Mem.pokeFP(Arr, Elem, V);
+  }
+
+private:
+  target::MemoryImage &Mem;
+};
+
+/// FillSink adapter for the golden evaluator.
+class EvalFill : public kernels::FillSink {
+public:
+  explicit EvalFill(ir::Evaluator &Ev) : E(Ev) {}
+  void pokeInt(uint32_t Arr, uint64_t Elem, int64_t V) override {
+    E.pokeInt(Arr, Elem, V);
+  }
+  void pokeFP(uint32_t Arr, uint64_t Elem, double V) override {
+    E.pokeFP(Arr, Elem, V);
+  }
+
+private:
+  ir::Evaluator &E;
+};
+
+/// Binds every parameter of \p F from the kernel's workload tables
+/// (defaults: 0 for ints, 1.0 for floats).
+inline void
+setParams(const kernels::Kernel &K, const ir::Function &F,
+          const std::function<void(const std::string &, int64_t)> &SetI,
+          const std::function<void(const std::string &, double)> &SetF) {
+  for (ir::ValueId P : F.Params) {
+    const std::string &Name = F.Values[P].Name;
+    if (ir::isFloatKind(F.typeOf(P).Elem)) {
+      auto It = K.FPParams.find(Name);
+      SetF(Name, It == K.FPParams.end() ? 1.0 : It->second);
+    } else {
+      auto It = K.IntParams.find(Name);
+      SetI(Name, It == K.IntParams.end() ? 0 : It->second);
+    }
+  }
+}
+
+} // namespace detail
+} // namespace vapor
+
+#endif // VAPOR_VAPOR_FILLADAPTERS_H

@@ -13,7 +13,8 @@
 #include "native/Native.h"
 #include "support/Support.h"
 #include "target/VM.h"
-#include "verify/Verify.h"
+#include "vapor/Executor.h"
+#include "vapor/FillAdapters.h"
 
 #include <chrono>
 #include <cmath>
@@ -36,132 +37,70 @@ const char *vapor::flowName(Flow F) {
   vapor_unreachable("bad flow");
 }
 
-namespace {
-
-/// FillSink adapter for the VM's memory image.
-class MemFill : public kernels::FillSink {
-public:
-  explicit MemFill(MemoryImage &Image) : Mem(Image) {}
-  void pokeInt(uint32_t Arr, uint64_t Elem, int64_t V) override {
-    Mem.pokeInt(Arr, Elem, V);
+const char *vapor::tierName(ExecTier T) {
+  switch (T) {
+  case ExecTier::Vectorized:
+    return "vectorized";
+  case ExecTier::ScalarJit:
+    return "scalar-jit";
+  case ExecTier::ScalarBytecode:
+    return "scalar-bytecode";
+  case ExecTier::Interpreter:
+    return "interpreter";
   }
-  void pokeFP(uint32_t Arr, uint64_t Elem, double V) override {
-    Mem.pokeFP(Arr, Elem, V);
-  }
-
-private:
-  MemoryImage &Mem;
-};
-
-/// FillSink adapter for the golden evaluator.
-class EvalFill : public kernels::FillSink {
-public:
-  explicit EvalFill(Evaluator &Ev) : E(Ev) {}
-  void pokeInt(uint32_t Arr, uint64_t Elem, int64_t V) override {
-    E.pokeInt(Arr, Elem, V);
-  }
-  void pokeFP(uint32_t Arr, uint64_t Elem, double V) override {
-    E.pokeFP(Arr, Elem, V);
-  }
-
-private:
-  Evaluator &E;
-};
-
-void setParams(const kernels::Kernel &K, const Function &F,
-               const std::function<void(const std::string &, int64_t)> &SetI,
-               const std::function<void(const std::string &, double)> &SetF) {
-  for (ValueId P : F.Params) {
-    const std::string &Name = F.Values[P].Name;
-    if (isFloatKind(F.typeOf(P).Elem)) {
-      auto It = K.FPParams.find(Name);
-      SetF(Name, It == K.FPParams.end() ? 1.0 : It->second);
-    } else {
-      auto It = K.IntParams.find(Name);
-      SetI(Name, It == K.IntParams.end() ? 0 : It->second);
-    }
-  }
+  vapor_unreachable("bad tier");
 }
 
-} // namespace
-
-RunOutcome vapor::runKernel(const kernels::Kernel &K, Flow F,
+/// The native flows: trusted offline compilation with full knowledge, no
+/// interchange format, hard asserts. The split flows take the
+/// fault-tolerant path through the Executor's degradation chain.
+static RunOutcome runNative(const kernels::Kernel &K, Flow F,
                             const RunOptions &O) {
   RunOutcome Out;
 
   // --- Offline stage ---
-  bool Native = F == Flow::NativeVectorized || F == Flow::NativeScalar;
-  bool Vectorize =
-      F == Flow::SplitVectorized || F == Flow::NativeVectorized;
+  Function Source = native::forceArrayAlignment(K.Source, K.ExternalArrays);
 
-  Function Source =
-      Native ? native::forceArrayAlignment(K.Source, K.ExternalArrays)
-             : K.Source;
-
-  Function Bytecode("");
-  if (Vectorize) {
+  Function Compiled("");
+  if (F == Flow::NativeVectorized) {
     vectorizer::Options VO = O.VecOpts;
-    if (Native)
-      VO.SLPAlignmentVersioning = false; // Era-accurate native SLP.
+    VO.SLPAlignmentVersioning = false; // Era-accurate native SLP.
     auto VR = vectorizer::vectorize(Source, VO);
     Out.AnyLoopVectorized = VR.anyVectorized();
-    Bytecode = std::move(VR.Output);
+    Compiled = std::move(VR.Output);
   } else {
-    Bytecode = Source;
+    Compiled = Source;
   }
 
-  // The split layer is a real interchange format: encode and decode what
-  // the online compiler consumes (also yields the size statistic).
-  std::vector<uint8_t> Encoded = bytecode::encode(Bytecode);
-  Out.BytecodeBytes = Encoded.size();
-  if (!Native) {
-    std::string Err;
-    auto Decoded = bytecode::decode(Encoded, Err);
-    if (!Decoded)
-      fatalError("bytecode round trip failed for " + K.Name + ": " + Err);
-    Bytecode = std::move(*Decoded);
-
-    // The split layer's contract: what crosses it must be provably safe
-    // for every lowering the online compiler may pick on this target.
-    if (O.VerifyBytecode) {
-      verify::VerifyOptions VO;
-      VO.Targets = {O.Target};
-      verify::Report VR = verify::verifyModule(Bytecode, VO);
-      if (!VR.ok())
-        fatalError("bytecode verification failed for " + K.Name + ":\n" +
-                   VR.str());
-    }
-  }
+  // Size statistic only: native flows don't cross the interchange format.
+  Out.BytecodeBytes = bytecode::encode(Compiled).size();
 
   // --- Runtime layout ---
   Out.Mem = std::make_unique<MemoryImage>();
-  for (uint32_t A = 0; A < Bytecode.Arrays.size(); ++A) {
-    const ArrayInfo &AI = Bytecode.Arrays[A];
+  for (uint32_t A = 0; A < Compiled.Arrays.size(); ++A) {
+    const ArrayInfo &AI = Compiled.Arrays[A];
     bool External = K.ExternalArrays.count(AI.Name) != 0;
     Out.Mem->addArray(AI, External ? O.ExternalMisalign : 0);
   }
 
   // --- What the compiler knows about the runtime ---
   jit::RuntimeInfo RT;
-  for (uint32_t A = 0; A < Bytecode.Arrays.size(); ++A) {
-    const ArrayInfo &AI = Bytecode.Arrays[A];
+  for (uint32_t A = 0; A < Compiled.Arrays.size(); ++A) {
+    const ArrayInfo &AI = Compiled.Arrays[A];
     bool External = K.ExternalArrays.count(AI.Name) != 0;
-    // The JIT (and the native compiler for its own layout) knows the
-    // bases of the arrays the runtime allocates; external buffers arrive
-    // through pointers whose value is unknown at compile time.
     if (External)
       RT.Arrays.push_back({false, 0});
     else
       RT.Arrays.push_back({true, Out.Mem->base(A)});
   }
 
-  // --- Online stage (timed: the paper's JIT-compile-time metric) ---
+  // --- Codegen (timed for parity with the split flows) ---
   jit::Options JO;
-  JO.CompilerTier = Native ? jit::Tier::Strong : O.Tier;
+  JO.CompilerTier = jit::Tier::Strong;
   JO.FoldAddressing = O.FoldAddressing;
   JO.PromoteAccumulators = O.PromoteAccumulators;
   auto T0 = std::chrono::steady_clock::now();
-  auto CR = jit::compile(Bytecode, O.Target, RT, JO);
+  auto CR = jit::compile(Compiled, O.Target, RT, JO);
   auto T1 = std::chrono::steady_clock::now();
   Out.CompileMicros =
       std::chrono::duration<double, std::micro>(T1 - T0).count();
@@ -169,35 +108,51 @@ RunOutcome vapor::runKernel(const kernels::Kernel &K, Flow F,
   Out.Code = std::move(CR.Code);
   Out.Iaca = analyzeVectorLoop(Out.Code, O.Target);
 
-  // --- Workload and execution ---
-  MemFill Fill(*Out.Mem);
+  // --- Workload and execution (a native trap is a hard abort) ---
+  detail::MemFill Fill(*Out.Mem);
   K.fill(Fill);
 
-  VM Machine(Out.Code, O.Target, *Out.Mem,
-             JO.CompilerTier == jit::Tier::Weak);
-  setParams(K, Bytecode,
-            [&](const std::string &N, int64_t V) {
-              Machine.setParamInt(N, V);
-            },
-            [&](const std::string &N, double V) {
-              Machine.setParamFP(N, V);
-            });
+  VM Machine(Out.Code, O.Target, *Out.Mem, /*Weak=*/false);
+  detail::setParams(
+      K, Compiled,
+      [&](const std::string &N, int64_t V) { Machine.setParamInt(N, V); },
+      [&](const std::string &N, double V) { Machine.setParamFP(N, V); });
   Machine.run();
   Out.Cycles = Machine.cycles();
+  Out.Tier = ExecTier::Vectorized;
   return Out;
+}
+
+RunOutcome vapor::runKernel(const kernels::Kernel &K, Flow F,
+                            const RunOptions &O) {
+  switch (F) {
+  case Flow::SplitVectorized:
+    return Executor(K, O).run(ExecTier::Vectorized);
+  case Flow::SplitScalar:
+    return Executor(K, O).run(ExecTier::ScalarBytecode);
+  case Flow::NativeVectorized:
+  case Flow::NativeScalar:
+    return runNative(K, F, O);
+  }
+  vapor_unreachable("bad flow");
 }
 
 bool vapor::checkAgainstGolden(const kernels::Kernel &K,
                                const RunOutcome &Out, std::string &Err) {
   Evaluator E(K.Source, {});
   E.allocAllArrays();
-  EvalFill Fill(E);
+  detail::EvalFill Fill(E);
   K.fill(Fill);
-  setParams(K, K.Source,
-            [&](const std::string &N, int64_t V) { E.setParamInt(N, V); },
-            [&](const std::string &N, double V) { E.setParamFP(N, V); });
+  detail::setParams(
+      K, K.Source,
+      [&](const std::string &N, int64_t V) { E.setParamInt(N, V); },
+      [&](const std::string &N, double V) { E.setParamFP(N, V); });
   E.run();
 
+  // Name the producing tier in every mismatch so degraded runs can't
+  // masquerade as vectorized ones in failure reports.
+  const std::string Where =
+      K.Name + " [tier " + tierName(Out.Tier) + "]: ";
   for (uint32_t A = 0; A < K.Source.Arrays.size(); ++A) {
     const ArrayInfo &AI = K.Source.Arrays[A];
     for (uint64_t I = 0; I < AI.NumElems; ++I) {
@@ -207,7 +162,7 @@ bool vapor::checkAgainstGolden(const kernels::Kernel &K,
         double Tol = K.Tolerance * std::max(1.0, std::fabs(Want));
         if (std::fabs(Want - Got) > Tol &&
             !(std::isnan(Want) && std::isnan(Got))) {
-          Err = K.Name + ": " + AI.Name + "[" + std::to_string(I) +
+          Err = Where + AI.Name + "[" + std::to_string(I) +
                 "] = " + std::to_string(Got) + ", golden " +
                 std::to_string(Want);
           return false;
@@ -216,7 +171,7 @@ bool vapor::checkAgainstGolden(const kernels::Kernel &K,
         int64_t Want = E.peekInt(A, I);
         int64_t Got = Out.Mem->peekInt(A, I);
         if (Want != Got) {
-          Err = K.Name + ": " + AI.Name + "[" + std::to_string(I) +
+          Err = Where + AI.Name + "[" + std::to_string(I) +
                 "] = " + std::to_string(Got) + ", golden " +
                 std::to_string(Want);
           return false;

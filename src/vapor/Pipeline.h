@@ -26,6 +26,7 @@
 
 #include "jit/Jit.h"
 #include "kernels/Kernels.h"
+#include "support/Status.h"
 #include "target/Iaca.h"
 #include "target/MemoryImage.h"
 #include "target/Target.h"
@@ -33,6 +34,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 namespace vapor {
 
@@ -44,6 +46,18 @@ enum class Flow : uint8_t {
 };
 
 const char *flowName(Flow F);
+
+/// The tiers of the fault-tolerant executor's degradation chain, best
+/// first. Every online-stage failure demotes one run down this chain;
+/// the bottom tier (the golden IR interpreter) cannot fail.
+enum class ExecTier : uint8_t {
+  Vectorized,     ///< Split bytecode, vector lowering, target VM.
+  ScalarJit,      ///< Same bytecode re-JITted with forced scalarization.
+  ScalarBytecode, ///< Scalar split bytecode through the normal JIT + VM.
+  Interpreter,    ///< Golden IR evaluator on the kernel source.
+};
+
+const char *tierName(ExecTier T);
 
 struct RunOptions {
   target::TargetDesc Target = target::sseTarget();
@@ -58,8 +72,11 @@ struct RunOptions {
   uint32_t ExternalMisalign = 0;
   uint64_t FillSeed = 7;
   /// Statically verify the decoded bytecode for the run's target before
-  /// handing it to the JIT; aborts on verification errors. Split flows
-  /// only (native flows bypass the interchange format).
+  /// handing it to the JIT. A verification failure is not fatal: the
+  /// executor records a Verify-layer Status in RunOutcome::Demotions and
+  /// demotes the run to the forced-scalar JIT tier (scalar lowering emits
+  /// no checked vector accesses, so no alignment lie can trap it). Split
+  /// flows only (native flows bypass the interchange format).
   bool VerifyBytecode = true;
 };
 
@@ -67,20 +84,35 @@ struct RunOutcome {
   uint64_t Cycles = 0;
   bool Scalarized = false;
   bool AnyLoopVectorized = false;
-  double CompileMicros = 0;   ///< Online-stage lowering wall time.
-  size_t BytecodeBytes = 0;   ///< Encoded size of what the JIT consumed.
+  double CompileMicros = 0;   ///< Lowering wall time, summed over retries.
+  size_t BytecodeBytes = 0;   ///< Encoded size of what the JIT consumed
+                              ///< at the executed tier (0 for Interpreter).
   target::MFunction Code;
   std::unique_ptr<target::MemoryImage> Mem;
   target::IacaReport Iaca;    ///< Static throughput of the vector loop.
+
+  /// Tier of the degradation chain that actually produced the results in
+  /// Mem. Split flows only; native flows always report Vectorized.
+  ExecTier Tier = ExecTier::Vectorized;
+  /// Every Status that demoted this run down the chain, in order. Empty
+  /// for a clean run.
+  std::vector<status::Status> Demotions;
+  /// Deoptimizing re-JIT attempts (runtime trap -> forced-scalar recompile).
+  uint32_t Retries = 0;
 };
 
-/// Compiles and executes \p K under \p Flow. Aborts on internal errors;
-/// never fails for representable configurations.
+/// Compiles and executes \p K under \p Flow. Split flows run under the
+/// fault-tolerant Executor (Executor.h): an online-stage failure demotes
+/// the run down the tier chain instead of aborting, and the outcome
+/// records the executed tier, every demoting Status, and the retry count.
+/// Native flows bypass the interchange format and keep hard asserts for
+/// their (offline, trusted) stages.
 RunOutcome runKernel(const kernels::Kernel &K, Flow F, const RunOptions &O);
 
 /// Runs the golden IR evaluator on the kernel source with the same
 /// workload and compares every array element against \p Out's memory.
-/// \returns true on match; otherwise fills \p Err.
+/// \returns true on match; otherwise fills \p Err, which names the tier
+/// that produced the mismatching results.
 bool checkAgainstGolden(const kernels::Kernel &K, const RunOutcome &Out,
                         std::string &Err);
 

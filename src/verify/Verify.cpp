@@ -32,6 +32,7 @@
 #include "analysis/Alignment.h"
 #include "ir/Verifier.h"
 #include "jit/Jit.h"
+#include "support/FaultInject.h"
 
 #include <algorithm>
 #include <cassert>
@@ -1200,7 +1201,15 @@ namespace vapor {
 namespace verify {
 
 Report verifyModule(const ir::Function &F, const VerifyOptions &O) {
-  return ModuleVerifier(F, O).run();
+  Report R = ModuleVerifier(F, O).run();
+  if (faultinject::shouldFire(faultinject::SiteClass::Verify)) {
+    Diagnostic D;
+    D.Analysis = Check::Structure;
+    D.Sev = Severity::Error;
+    D.Why = "fault-injection: forced verification finding";
+    R.Diags.push_back(std::move(D));
+  }
+  return R;
 }
 
 } // namespace verify

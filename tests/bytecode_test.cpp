@@ -294,4 +294,80 @@ TEST(BytecodeTest, ScalarEncodingIsCompact) {
   EXPECT_LT(bytecode::encodedSize(F), 200u);
 }
 
+//===--- Structured-status negative paths --------------------------------------//
+//
+// The fault-tolerant executor keys its demotion decisions off the decoder's
+// Status codes, so the mapping from malformation class to code is contract,
+// not detail.
+
+TEST(BytecodeStatusTest, TruncationAtEveryOffsetYieldsTruncatedModule) {
+  std::vector<uint8_t> Bytes = bytecode::encode(buildRich());
+  for (size_t Cut = 0; Cut < Bytes.size(); ++Cut) {
+    std::vector<uint8_t> Short(Bytes.begin(), Bytes.begin() + Cut);
+    auto R = bytecode::decode(Short);
+    ASSERT_FALSE(R.ok()) << "cut at " << Cut << " decoded";
+    EXPECT_EQ(R.status().layer(), status::Layer::Bytecode) << "cut " << Cut;
+    // Truncation removes bytes without altering any: every successfully
+    // read field holds its original (valid) value, so the first failure
+    // is always an exhausted reader.
+    EXPECT_EQ(R.status().code(), status::Code::TruncatedModule)
+        << "cut " << Cut << ": " << R.status().str();
+  }
+}
+
+TEST(BytecodeStatusTest, OversizedModuleAtEveryTailYieldsTrailingGarbage) {
+  std::vector<uint8_t> Bytes = bytecode::encode(buildRich());
+  for (uint8_t Tail : {uint8_t(0x00), uint8_t(0x01), uint8_t(0xff)}) {
+    for (size_t Extra = 1; Extra <= 8; ++Extra) {
+      std::vector<uint8_t> Long = Bytes;
+      Long.insert(Long.end(), Extra, Tail);
+      auto R = bytecode::decode(Long);
+      ASSERT_FALSE(R.ok()) << Extra << " x " << unsigned(Tail);
+      EXPECT_EQ(R.status().code(), status::Code::TrailingGarbage)
+          << R.status().str();
+      EXPECT_EQ(R.status().layer(), status::Layer::Bytecode);
+    }
+  }
+}
+
+TEST(BytecodeStatusTest, BadMagicYieldsBadMagicStatus) {
+  std::vector<uint8_t> Bytes = bytecode::encode(buildRich());
+  Bytes[0] ^= 0xff;
+  auto R = bytecode::decode(Bytes);
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.status().code(), status::Code::BadMagic);
+  EXPECT_EQ(R.status().layer(), status::Layer::Bytecode);
+}
+
+TEST(BytecodeStatusTest, FutureVersionYieldsBadVersionStatus) {
+  bytecode::ByteWriter W;
+  W.writeU64(0x56534d44); // The container magic ("VSMD").
+  W.writeU64(99);         // A version this consumer cannot read.
+  auto R = bytecode::decode(W.bytes());
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.status().code(), status::Code::BadVersion);
+}
+
+TEST(BytecodeStatusTest, StructuralCorruptionYieldsMalformedModule) {
+  Function F("bad");
+  F.addArray("a", ScalarKind::F32, 64, 32);
+  F.Arrays[0].Elem = static_cast<ScalarKind>(200); // Out-of-range kind.
+  auto R = bytecode::decode(bytecode::encode(F));
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.status().code(), status::Code::MalformedModule);
+  EXPECT_NE(R.status().context().find("element kind"), std::string::npos)
+      << R.status().str();
+}
+
+TEST(BytecodeStatusTest, CompatOverloadAgreesWithStatusApi) {
+  std::vector<uint8_t> Bytes = bytecode::encode(buildRich());
+  Bytes.push_back(0);
+  auto R = bytecode::decode(Bytes);
+  std::string Err;
+  auto Legacy = bytecode::decode(Bytes, Err);
+  ASSERT_FALSE(R.ok());
+  EXPECT_FALSE(Legacy.has_value());
+  EXPECT_EQ(Err, R.status().str()); // One rendering, two surfaces.
+}
+
 } // namespace

@@ -150,8 +150,29 @@ bool trapsAtRuntime(const kernels::Kernel &K, const Function &Mod,
       Vm.setParamInt(Name, It == K.IntParams.end() ? 0 : It->second);
     }
   }
-  Vm.run();
-  return Vm.trapped();
+  status::Status St = Vm.run();
+  EXPECT_EQ(St.ok(), !Vm.trapped()); // Status and flag must agree.
+  if (!Vm.trapped())
+    return false;
+
+  // The recorded trap must be structurally coherent: the executor's
+  // deoptimization decision and these tests key off the fields, not the
+  // message string.
+  const target::TrapInfo &TI = Vm.trapInfo();
+  EXPECT_EQ(TI.TrapKind, target::TrapInfo::Kind::Alignment);
+  EXPECT_NE(TI.OpIndex, ~0u) << "alignment trap without a faulting op";
+  EXPECT_GE(TI.RequiredAlign, 2u);
+  EXPECT_EQ(TI.RequiredAlign & (TI.RequiredAlign - 1), 0u)
+      << "required alignment must be a power of two";
+  EXPECT_NE(TI.Address % TI.RequiredAlign, 0u)
+      << "recorded address is actually aligned";
+  EXPECT_EQ(TI.Target, T.Name);
+  EXPECT_EQ(St.code(), status::Code::AlignmentTrap);
+  EXPECT_EQ(St.layer(), status::Layer::Vm);
+  // The human rendering stays derived from the same structure.
+  EXPECT_EQ(Vm.trapMessage(), TI.str());
+  EXPECT_NE(TI.str().find("alignment trap"), std::string::npos);
+  return true;
 }
 
 class MutationTest : public ::testing::TestWithParam<std::string> {};

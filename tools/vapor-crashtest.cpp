@@ -1,0 +1,275 @@
+//===- tools/vapor-crashtest.cpp - Fault-injection sweep CLI --------------===//
+//
+// Part of the Vapor SIMD reproduction.
+//
+// Usage:
+//   vapor-crashtest --all-kernels [--json <path>] [--verbose]
+//   vapor-crashtest <kernel-name> [target-name] [--verbose]
+//
+// Drives the fault-tolerant executor (vapor::Executor) through the
+// split-vectorized flow for every kernel x target x injected fault and
+// asserts the degradation contract:
+//
+//   - every run completes: no process abort, under any injected fault;
+//   - every run's results match the golden IR evaluator;
+//   - the reported tier is honest: exactly the chain position the fired
+//     fault class demotes to (and Vectorized with no demotions when no
+//     fault fired);
+//   - a runtime alignment trap is counted as a deoptimizing retry.
+//
+// Injected cases per kernel x target: for each site class, a one-shot
+// fault at sampled dynamic sites (first / middle / last occurrence) plus
+// a sticky fault that fires at every occurrence — the sticky decode and
+// JIT faults are what push runs all the way down to the interpreter.
+//
+// Exit status is the number of failed cases (0 = contract holds).
+// --json writes a machine-readable summary (BENCH_crashtest.json).
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/Kernels.h"
+#include "support/FaultInject.h"
+#include "target/Target.h"
+#include "vapor/Pipeline.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace vapor;
+using faultinject::SiteClass;
+
+namespace {
+
+struct Stats {
+  uint64_t Cases = 0;
+  uint64_t Failures = 0;
+  uint64_t Fired = 0;
+  uint64_t Retries = 0;
+  uint64_t Demotions = 0;
+  uint64_t TierCount[4] = {}; ///< Indexed by ExecTier.
+};
+
+/// The tier each fault class must demote the split-vectorized flow to
+/// when it actually fires (the crashtest's honesty oracle; mirrors the
+/// chain documented in vapor/Executor.h).
+ExecTier expectedTier(SiteClass S, bool Sticky) {
+  switch (S) {
+  case SiteClass::Decode:
+    // One-shot: the scalar re-encode decodes fine. Sticky: the
+    // interchange layer itself is broken; only the interpreter is left.
+    return Sticky ? ExecTier::Interpreter : ExecTier::ScalarBytecode;
+  case SiteClass::Verify:
+    // The gate rejected a vector lowering; forced-scalar JIT is safe.
+    return ExecTier::ScalarJit;
+  case SiteClass::JitLower:
+    return Sticky ? ExecTier::Interpreter : ExecTier::ScalarBytecode;
+  case SiteClass::VmAlign:
+    // Runtime trap -> deoptimizing re-JIT. Scalar code has no checked
+    // accesses, so even a sticky fault cannot re-fire.
+    return ExecTier::ScalarJit;
+  }
+  return ExecTier::Interpreter;
+}
+
+bool runCase(const kernels::Kernel &K, const target::TargetDesc &T,
+             const std::string &Desc, const ExecTier *Expect, Stats &S,
+             bool Verbose) {
+  ++S.Cases;
+  RunOptions O;
+  O.Target = T;
+  RunOutcome Out = runKernel(K, Flow::SplitVectorized, O);
+  uint64_t Fired = faultinject::fired();
+
+  std::string Err;
+  bool Ok = true;
+  if (!checkAgainstGolden(K, Out, Err)) {
+    Err = "golden mismatch: " + Err;
+    Ok = false;
+  } else if (Fired == 0) {
+    if (Out.Tier != ExecTier::Vectorized || !Out.Demotions.empty()) {
+      Err = "no fault fired but tier is " +
+            std::string(tierName(Out.Tier)) + " with " +
+            std::to_string(Out.Demotions.size()) + " demotions";
+      Ok = false;
+    }
+  } else {
+    if (Out.Demotions.empty()) {
+      Err = "fault fired but no demotion was recorded";
+      Ok = false;
+    } else if (Expect && Out.Tier != *Expect) {
+      Err = "fault fired but tier is " + std::string(tierName(Out.Tier)) +
+            ", expected " + tierName(*Expect);
+      Ok = false;
+    }
+  }
+
+  S.Fired += Fired;
+  S.Retries += Out.Retries;
+  S.Demotions += Out.Demotions.size();
+  ++S.TierCount[static_cast<unsigned>(Out.Tier)];
+  if (!Ok) {
+    ++S.Failures;
+    std::printf("FAIL %-16s %-8s %-28s %s\n", K.Name.c_str(), T.Name.c_str(),
+                Desc.c_str(), Err.c_str());
+  } else if (Verbose) {
+    std::printf("ok   %-16s %-8s %-28s tier=%s demotions=%zu retries=%u\n",
+                K.Name.c_str(), T.Name.c_str(), Desc.c_str(),
+                tierName(Out.Tier), Out.Demotions.size(), Out.Retries);
+  }
+  return Ok;
+}
+
+/// Dynamic hit counts per class for one clean run (site discovery).
+void countSites(const kernels::Kernel &K, const target::TargetDesc &T,
+                uint64_t Hits[faultinject::NumSiteClasses]) {
+  faultinject::resetHits();
+  faultinject::startCounting();
+  RunOptions O;
+  O.Target = T;
+  runKernel(K, Flow::SplitVectorized, O);
+  for (unsigned C = 0; C < faultinject::NumSiteClasses; ++C)
+    Hits[C] = faultinject::hits(static_cast<SiteClass>(C));
+  faultinject::disarm();
+  faultinject::resetHits();
+}
+
+void sweepOne(const kernels::Kernel &K, const target::TargetDesc &T,
+              Stats &S, bool Verbose) {
+  // Baseline: no injection active at all (the 1-branch fast path).
+  runCase(K, T, "clean", nullptr, S, Verbose);
+
+  uint64_t Hits[faultinject::NumSiteClasses];
+  countSites(K, T, Hits);
+
+  constexpr SiteClass Classes[] = {SiteClass::Decode, SiteClass::Verify,
+                                   SiteClass::JitLower, SiteClass::VmAlign};
+  for (SiteClass C : Classes) {
+    uint64_t N = Hits[static_cast<unsigned>(C)];
+    if (N == 0)
+      continue; // This surface never runs here (e.g. no checked vector
+                // accesses on an all-scalar lowering).
+
+    // One-shot faults at sampled dynamic sites: first, middle, last.
+    std::vector<uint64_t> Sites = {0, N / 2, N - 1};
+    Sites.erase(std::unique(Sites.begin(), Sites.end()), Sites.end());
+    for (uint64_t Site : Sites) {
+      ExecTier Expect = expectedTier(C, /*Sticky=*/false);
+      faultinject::ScopedFault F(C, Site, /*Sticky=*/false);
+      runCase(K, T,
+              std::string(siteClassName(C)) + "@" + std::to_string(Site),
+              &Expect, S, Verbose);
+    }
+
+    // Sticky fault: fires at every occurrence from the first on.
+    {
+      ExecTier Expect = expectedTier(C, /*Sticky=*/true);
+      faultinject::ScopedFault F(C, 0, /*Sticky=*/true);
+      runCase(K, T, std::string(siteClassName(C)) + " sticky", &Expect, S,
+              Verbose);
+    }
+  }
+}
+
+void writeJson(const char *Path, const Stats &S, size_t Kernels,
+               size_t Targets) {
+  std::FILE *F = std::fopen(Path, "w");
+  if (!F) {
+    std::printf("cannot write %s\n", Path);
+    return;
+  }
+  std::fprintf(F, "{\n");
+  std::fprintf(F, "  \"suite\": \"vapor-crashtest\",\n");
+  std::fprintf(F, "  \"flow\": \"split-vectorized\",\n");
+  std::fprintf(F, "  \"kernels\": %zu,\n", Kernels);
+  std::fprintf(F, "  \"targets\": %zu,\n", Targets);
+  std::fprintf(F, "  \"cases\": %llu,\n", (unsigned long long)S.Cases);
+  std::fprintf(F, "  \"aborts\": 0,\n");
+  std::fprintf(F, "  \"failures\": %llu,\n", (unsigned long long)S.Failures);
+  std::fprintf(F, "  \"faults_fired\": %llu,\n",
+               (unsigned long long)S.Fired);
+  std::fprintf(F, "  \"demotions\": %llu,\n",
+               (unsigned long long)S.Demotions);
+  std::fprintf(F, "  \"deopt_retries\": %llu,\n",
+               (unsigned long long)S.Retries);
+  std::fprintf(F, "  \"tier_distribution\": {\n");
+  const char *Names[4] = {"vectorized", "scalar-jit", "scalar-bytecode",
+                          "interpreter"};
+  for (unsigned I = 0; I < 4; ++I)
+    std::fprintf(F, "    \"%s\": %llu%s\n", Names[I],
+                 (unsigned long long)S.TierCount[I], I + 1 < 4 ? "," : "");
+  std::fprintf(F, "  }\n}\n");
+  std::fclose(F);
+  std::printf("wrote %s\n", Path);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool All = false, Verbose = false;
+  const char *JsonPath = nullptr;
+  std::string KernelName, TargetName;
+  for (int I = 1; I < argc; ++I) {
+    if (!std::strcmp(argv[I], "--all-kernels"))
+      All = true;
+    else if (!std::strcmp(argv[I], "--verbose"))
+      Verbose = true;
+    else if (!std::strcmp(argv[I], "--json") && I + 1 < argc)
+      JsonPath = argv[++I];
+    else if (KernelName.empty())
+      KernelName = argv[I];
+    else
+      TargetName = argv[I];
+  }
+  if (!All && KernelName.empty()) {
+    std::printf("usage: vapor-crashtest --all-kernels [--json <path>] "
+                "[--verbose]\n"
+                "       vapor-crashtest <kernel> [target] [--verbose]\n");
+    return 2;
+  }
+
+  std::vector<kernels::Kernel> Ks = kernels::allKernels();
+  std::vector<target::TargetDesc> Ts = target::allTargets();
+  if (!All) {
+    auto It = std::find_if(Ks.begin(), Ks.end(), [&](const auto &K) {
+      return K.Name == KernelName;
+    });
+    if (It == Ks.end()) {
+      std::printf("unknown kernel '%s'\n", KernelName.c_str());
+      return 2;
+    }
+    Ks = {*It};
+    if (!TargetName.empty()) {
+      auto TI = std::find_if(Ts.begin(), Ts.end(), [&](const auto &T) {
+        return T.Name == TargetName;
+      });
+      if (TI == Ts.end()) {
+        std::printf("unknown target '%s'\n", TargetName.c_str());
+        return 2;
+      }
+      Ts = {*TI};
+    }
+  }
+
+  Stats S;
+  for (const kernels::Kernel &K : Ks)
+    for (const target::TargetDesc &T : Ts)
+      sweepOne(K, T, S, Verbose);
+
+  std::printf("crashtest: %llu cases, %llu faults fired, %llu demotions, "
+              "%llu deopt retries, %llu failures, 0 aborts\n",
+              (unsigned long long)S.Cases, (unsigned long long)S.Fired,
+              (unsigned long long)S.Demotions, (unsigned long long)S.Retries,
+              (unsigned long long)S.Failures);
+  std::printf("tiers: vectorized=%llu scalar-jit=%llu scalar-bytecode=%llu "
+              "interpreter=%llu\n",
+              (unsigned long long)S.TierCount[0],
+              (unsigned long long)S.TierCount[1],
+              (unsigned long long)S.TierCount[2],
+              (unsigned long long)S.TierCount[3]);
+  if (JsonPath)
+    writeJson(JsonPath, S, Ks.size(), Ts.size());
+  return static_cast<int>(S.Failures);
+}
