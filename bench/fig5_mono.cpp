@@ -8,12 +8,15 @@
 // yields under native compilation, per kernel, on SSE and AltiVec.
 //
 // The binary prints both sub-figures; pass "sse" or "altivec" to print
-// just one.
+// just one. Per-kernel cells run across the sweep pool (VAPOR_JOBS
+// overrides the worker count); the modeled cycles are deterministic, so
+// the printed numbers match a serial run.
 //
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchUtil.h"
 #include "vapor/Pipeline.h"
+#include "vapor/Sweep.h"
 
 #include <cstring>
 
@@ -34,11 +37,26 @@ double vectorizationImpact(const kernels::Kernel &K,
   return static_cast<double>(Sca) / static_cast<double>(Vec);
 }
 
-void figure5(const target::TargetDesc &T, const char *Caption) {
+void figure5(const target::TargetDesc &T, const char *Caption,
+             unsigned Jobs) {
   printHeader(std::string("Figure 5") + Caption +
               ": Mono JIT, normalized vectorization impact "
               "(split speedup / native speedup, higher is better)");
   printColumnLabels({"split-spdp", "native-spdp", "normalized"});
+
+  std::vector<kernels::Kernel> Table2 = kernels::table2Kernels();
+  std::vector<kernels::Kernel> Poly = kernels::polybenchKernels();
+  struct Impact {
+    double Split = 0, Native = 0;
+  };
+  std::vector<Impact> T2(Table2.size()), P(Poly.size());
+  sweep::forEachCell(Jobs, Table2.size() + Poly.size(), [&](size_t I) {
+    const kernels::Kernel &K =
+        I < Table2.size() ? Table2[I] : Poly[I - Table2.size()];
+    Impact &R = I < Table2.size() ? T2[I] : P[I - Table2.size()];
+    R.Split = vectorizationImpact(K, T, /*Weak=*/true);
+    R.Native = vectorizationImpact(K, T, /*Weak=*/false);
+  });
 
   std::vector<double> Normalized;
   auto Emit = [&](const std::string &Name, double SplitImpact,
@@ -48,16 +66,13 @@ void figure5(const target::TargetDesc &T, const char *Caption) {
     printRow(Name, {{"s", SplitImpact}, {"n", NativeImpact}, {"r", Norm}});
   };
 
-  for (const kernels::Kernel &K : kernels::table2Kernels()) {
-    double S = vectorizationImpact(K, T, /*Weak=*/true);
-    double N = vectorizationImpact(K, T, /*Weak=*/false);
-    Emit(K.Name, S, N);
-  }
+  for (size_t I = 0; I < Table2.size(); ++I)
+    Emit(Table2[I].Name, T2[I].Split, T2[I].Native);
   // The paper plots one bar for the Polybench suite average.
   std::vector<double> PolyS, PolyN;
-  for (const kernels::Kernel &K : kernels::polybenchKernels()) {
-    PolyS.push_back(vectorizationImpact(K, T, true));
-    PolyN.push_back(vectorizationImpact(K, T, false));
+  for (const Impact &R : P) {
+    PolyS.push_back(R.Split);
+    PolyN.push_back(R.Native);
   }
   Emit("polybench_avg", arithMean(PolyS), arithMean(PolyN));
 
@@ -73,9 +88,10 @@ int main(int argc, char **argv) {
     DoSse = std::strcmp(argv[1], "sse") == 0;
     DoAltivec = std::strcmp(argv[1], "altivec") == 0;
   }
+  unsigned Jobs = sweep::defaultJobs();
   if (DoSse)
-    figure5(target::sseTarget(), "(a) SSE (128-bit)");
+    figure5(target::sseTarget(), "(a) SSE (128-bit)", Jobs);
   if (DoAltivec)
-    figure5(target::altivecTarget(), "(b) AltiVec (128-bit)");
+    figure5(target::altivecTarget(), "(b) AltiVec (128-bit)", Jobs);
   return 0;
 }

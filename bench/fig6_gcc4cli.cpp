@@ -8,12 +8,16 @@
 // 32 kernels on SSE, AltiVec, and NEON, with the harmonic mean the paper
 // reports (0.8x..1x).
 //
-// Pass "sse", "altivec" or "neon" to print one sub-figure.
+// Pass "sse", "altivec" or "neon" to print one sub-figure. Cells are
+// evaluated across the sweep pool (VAPOR_JOBS overrides the worker
+// count); the modeled cycles are deterministic counters, so the printed
+// numbers are identical to a serial run.
 //
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchUtil.h"
 #include "vapor/Pipeline.h"
+#include "vapor/Sweep.h"
 
 #include <cstring>
 
@@ -22,28 +26,29 @@ using namespace vapor::bench;
 
 namespace {
 
-void figure6(const target::TargetDesc &T, const char *Caption) {
+void figure6(const target::TargetDesc &T, const char *Caption,
+             unsigned Jobs) {
   printHeader(std::string("Figure 6") + Caption +
               ": gcc4cli, normalized execution time "
               "(split / native, lower is better)");
   printColumnLabels({"split-cyc", "native-cyc", "normalized"});
 
+  std::vector<kernels::Kernel> All = kernels::allKernels();
+  std::vector<sweep::SplitNativeCell> Cells(All.size());
+  sweep::forEachCell(Jobs, All.size(), [&](size_t I) {
+    Cells[I] = sweep::splitOverNativeCell(All[I], T);
+  });
+
   std::vector<double> Ratios;
-  for (const kernels::Kernel &K : kernels::allKernels()) {
-    RunOptions O;
-    O.Target = T;
-    O.Tier = jit::Tier::Strong;
-    RunOutcome Split = runKernel(K, Flow::SplitVectorized, O);
-    RunOutcome Native = runKernel(K, Flow::NativeVectorized, O);
-    double Ratio = static_cast<double>(Split.Cycles) /
-                   static_cast<double>(Native.Cycles);
-    Ratios.push_back(Ratio);
-    std::string Name = K.Name;
-    if (Split.Scalarized)
+  for (size_t I = 0; I < All.size(); ++I) {
+    const sweep::SplitNativeCell &C = Cells[I];
+    Ratios.push_back(C.ratio());
+    std::string Name = All[I].Name;
+    if (C.Scalarized)
       Name += "*"; // Scalarized on this target (e.g. f64 on AltiVec).
-    printRow(Name, {{"s", static_cast<double>(Split.Cycles)},
-                    {"n", static_cast<double>(Native.Cycles)},
-                    {"r", Ratio}});
+    printRow(Name, {{"s", static_cast<double>(C.SplitCycles)},
+                    {"n", static_cast<double>(C.NativeCycles)},
+                    {"r", C.ratio()}});
   }
   std::printf("%-18s  %10s  %10s  %10.3f\n", "Har.Mean", "", "",
               harmonicMean(Ratios));
@@ -57,11 +62,12 @@ int main(int argc, char **argv) {
   auto Want = [&](const char *Name) {
     return All || std::strcmp(argv[1], Name) == 0;
   };
+  unsigned Jobs = sweep::defaultJobs();
   if (Want("sse"))
-    figure6(target::sseTarget(), "(a) SSE (128-bit)");
+    figure6(target::sseTarget(), "(a) SSE (128-bit)", Jobs);
   if (Want("altivec"))
-    figure6(target::altivecTarget(), "(b) AltiVec (128-bit)");
+    figure6(target::altivecTarget(), "(b) AltiVec (128-bit)", Jobs);
   if (Want("neon"))
-    figure6(target::neonTarget(), "(c) NEON (64-bit)");
+    figure6(target::neonTarget(), "(c) NEON (64-bit)", Jobs);
   return 0;
 }

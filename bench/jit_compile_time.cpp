@@ -8,20 +8,32 @@
 // remained negligible ... in the microsecond range."
 //
 // Built on google-benchmark: wall-clock time of the online compiler on
-// scalar vs vectorized bytecode, followed by a printed ratio summary.
+// scalar vs vectorized bytecode, followed by a printed ratio summary and
+// a cold-vs-warm measurement of the content-addressed code cache on the
+// executor's integrated compile path.
+//
+//   jit_compile_time [--json [PATH]] [google-benchmark flags]
+//
+// --json writes the machine-readable cache baseline (BENCH_jit.json by
+// default). Use --benchmark_filter=NONE to skip the timed micro-runs
+// and only produce the summaries.
 //
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchUtil.h"
 #include "bytecode/Bytecode.h"
+#include "jit/CodeCache.h"
 #include "jit/Jit.h"
 #include "kernels/Kernels.h"
+#include "vapor/Pipeline.h"
 #include "vectorizer/Vectorizer.h"
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
+#include <fstream>
 
 using namespace vapor;
 
@@ -143,13 +155,102 @@ void printRatioSummary() {
   }
 }
 
+/// Cold-vs-warm measurement of the content-addressed code cache on the
+/// executor's integrated compile path (Pipeline::runKernel). Cold runs
+/// start from a cleared cache and pay hash + verify + compile + decode;
+/// warm runs repeat the identical request and pay only the hash and
+/// lookup. Optionally writes the machine-readable baseline to
+/// \p JsonPath.
+void printCacheSummary(const char *JsonPath) {
+  bench::printHeader(
+      "Online-stage code cache: compile path cold (empty cache) vs warm "
+      "(content hit), split-vectorized on sse");
+  std::printf("%-14s %10s %10s %10s\n", "kernel", "cold-us", "warm-us",
+              "speedup");
+
+  struct Row {
+    const char *Kernel;
+    double ColdUs = 0, WarmUs = 0;
+  };
+  std::vector<Row> Rows;
+  const bool WasEnabled = jit::cache::setEnabled(true);
+  for (const char *Name : SampleKernels) {
+    kernels::Kernel K = kernels::kernelByName(Name);
+    RunOptions O;
+    O.Target = target::sseTarget();
+    // Median of repeated cold/warm pairs; each pair starts from a
+    // cleared cache so "cold" really compiles.
+    std::vector<double> Cold, Warm;
+    for (int Rep = 0; Rep < 7; ++Rep) {
+      jit::cache::clear();
+      Cold.push_back(runKernel(K, Flow::SplitVectorized, O).CompileMicros);
+      Warm.push_back(runKernel(K, Flow::SplitVectorized, O).CompileMicros);
+    }
+    std::sort(Cold.begin(), Cold.end());
+    std::sort(Warm.begin(), Warm.end());
+    Row R{Name, Cold[Cold.size() / 2], Warm[Warm.size() / 2]};
+    std::printf("%-14s %10.2f %10.3f %9.0fx\n", R.Kernel, R.ColdUs, R.WarmUs,
+                R.ColdUs / R.WarmUs);
+    Rows.push_back(R);
+  }
+  jit::cache::setEnabled(WasEnabled);
+  jit::cache::clear();
+
+  if (!JsonPath)
+    return;
+  std::ofstream OS(JsonPath);
+  if (!OS) {
+    std::fprintf(stderr, "cannot write %s\n", JsonPath);
+    std::exit(1);
+  }
+  double SumCold = 0, SumWarm = 0;
+  for (const Row &R : Rows) {
+    SumCold += R.ColdUs;
+    SumWarm += R.WarmUs;
+  }
+  char Buf[256];
+  OS << "{\n  \"bench\": \"jit_compile_time\",\n"
+        "  \"flow\": \"split_vectorized\",\n  \"target\": \"sse\",\n";
+  std::snprintf(Buf, sizeof(Buf),
+                "  \"cache_speedup_avg\": %.1f,\n  \"kernels\": [\n",
+                SumCold / SumWarm);
+  OS << Buf;
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "    {\"kernel\": \"%s\", \"cold_compile_us\": %.2f, "
+                  "\"warm_compile_us\": %.3f}%s\n",
+                  Rows[I].Kernel, Rows[I].ColdUs, Rows[I].WarmUs,
+                  I + 1 < Rows.size() ? "," : "");
+    OS << Buf;
+  }
+  OS << "  ]\n}\n";
+  std::printf("wrote %s\n", JsonPath);
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
+  // Peel off our own --json [PATH] before google-benchmark sees argv --
+  // it rejects flags it does not recognize.
+  const char *JsonPath = nullptr;
+  std::vector<char *> Args;
+  Args.push_back(argv[0]);
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--json") == 0) {
+      JsonPath = "BENCH_jit.json";
+      if (I + 1 < argc && argv[I + 1][0] != '-')
+        JsonPath = argv[++I];
+    } else {
+      Args.push_back(argv[I]);
+    }
+  }
+  int BenchArgc = static_cast<int>(Args.size());
+
   registerAll();
-  benchmark::Initialize(&argc, argv);
+  benchmark::Initialize(&BenchArgc, Args.data());
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   printRatioSummary();
+  printCacheSummary(JsonPath);
   return 0;
 }

@@ -13,6 +13,7 @@
 
 #include "bench/BenchUtil.h"
 #include "vapor/Pipeline.h"
+#include "vapor/Sweep.h"
 
 #include <cstdio>
 #include <map>
@@ -32,11 +33,16 @@ int main() {
   };
   const char *Order[] = {"dissolve_fp", "sfir_fp",  "interp_fp", "mmm_fp",
                          "saxpy_fp",    "dscal_fp", "saxpy_dp",  "dscal_dp"};
+  constexpr size_t NumRows = sizeof(Order) / sizeof(Order[0]);
 
-  std::printf("%-14s %8s %8s   %14s\n", "kernel", "native", "split",
-              "(paper: n/s)");
-  for (const char *Name : Order) {
-    kernels::Kernel K = kernels::kernelByName(Name);
+  // Rows run across the sweep pool; IACA cycles are static and
+  // deterministic, so the table matches a serial run.
+  struct Row {
+    uint64_t Native = 0, Split = 0;
+  };
+  Row Rows[NumRows];
+  sweep::forEachCell(sweep::defaultJobs(), NumRows, [&](size_t I) {
+    kernels::Kernel K = kernels::kernelByName(Order[I]);
     RunOptions Native;
     Native.Target = target::avxTarget();
     RunOutcome NativeOut = runKernel(K, Flow::NativeVectorized, Native);
@@ -45,11 +51,16 @@ int main() {
     Split.FoldAddressing = false;     // Older GCC codegen profile.
     Split.PromoteAccumulators = false;
     RunOutcome SplitOut = runKernel(K, Flow::SplitVectorized, Split);
+    Rows[I] = {NativeOut.Iaca.Cycles, SplitOut.Iaca.Cycles};
+  });
 
-    auto P = Paper.at(Name);
-    std::printf("%-14s %8llu %8llu   %10d/%d\n", Name,
-                static_cast<unsigned long long>(NativeOut.Iaca.Cycles),
-                static_cast<unsigned long long>(SplitOut.Iaca.Cycles), P.first,
+  std::printf("%-14s %8s %8s   %14s\n", "kernel", "native", "split",
+              "(paper: n/s)");
+  for (size_t I = 0; I < NumRows; ++I) {
+    auto P = Paper.at(Order[I]);
+    std::printf("%-14s %8llu %8llu   %10d/%d\n", Order[I],
+                static_cast<unsigned long long>(Rows[I].Native),
+                static_cast<unsigned long long>(Rows[I].Split), P.first,
                 P.second);
   }
   std::printf("\nShape check: split >= native per kernel; deltas come from\n"

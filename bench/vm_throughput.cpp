@@ -5,21 +5,32 @@
 // Every figure in the repro is produced by replaying kernels through the
 // target VM, so its dispatch speed bounds how fast the whole experiment
 // matrix runs. This binary measures the host-side throughput of the
-// pre-decoded interpreter on the aligned split-vectorized saxpy_fp
-// kernel: machine-ops per second and nanoseconds per dispatched op.
+// pre-decoded interpreter -- with and without the macro-op fusion
+// peephole -- on a small kernel basket (streaming saxpy_fp, the
+// compute-dense dct_s32fp, and the reduction-carrying sfir_fp) across
+// the sse, neon, and avx models.
 //
-//   vm_throughput          print the human-readable measurement
+//   vm_throughput          print the human-readable measurements
 //   vm_throughput --json [PATH]
 //                          also write the machine-readable baseline
-//                          (throughput + Fig. 6 harmonic means for
+//                          (headline throughput, per-cell fused/unfused
+//                          rows, and Fig. 6 harmonic means for
 //                          sse/altivec/neon) to PATH (default
 //                          BENCH_vm.json in the working directory)
+//
+// The headline ns_per_dispatched_op (the perf gate's metric,
+// scripts/perf_gate.py) is aligned split-vectorized saxpy_fp on sse with
+// fusion ON -- the configuration every sweep actually runs. Timing runs
+// are serial on purpose (wall-clock timing under an oversubscribed pool
+// measures contention, not dispatch); only the deterministic Fig. 6
+// cycle sweep uses the thread pool.
 //
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchUtil.h"
 #include "target/VM.h"
 #include "vapor/Pipeline.h"
+#include "vapor/Sweep.h"
 
 #include <chrono>
 #include <cstring>
@@ -30,35 +41,27 @@ using namespace vapor::bench;
 
 namespace {
 
-const kernels::Kernel &findKernel(const std::vector<kernels::Kernel> &All,
-                                  const char *Name) {
-  for (const kernels::Kernel &K : All)
-    if (K.Name == Name)
-      return K;
-  fatalError(std::string("no such kernel: ") + Name);
-}
-
 struct Throughput {
-  double OpsPerSec;
-  double NsPerOp;
-  uint64_t OpsPerRun;
+  double OpsPerSec = 0;
+  double NsPerOp = 0;
+  uint64_t OpsPerRun = 0;
+  uint32_t PreFusionOps = 0; ///< Static ops before the peephole.
+  uint32_t SuperOps = 0;     ///< Superops the peephole emitted.
 };
 
-/// Replays one prepared kernel execution until ~0.5s of wall time has
-/// accumulated and \returns machine-ops/sec of the dispatch loop.
+/// Replays one prepared kernel execution until \p Seconds of wall time
+/// has accumulated and \returns dispatch-loop throughput. \p Fuse
+/// selects whether the measured program ran the fusion peephole.
 Throughput measure(const RunOutcome &Out, const target::TargetDesc &T,
-                   const kernels::Kernel &K) {
-  target::VM M(Out.Code, T, *Out.Mem);
-  for (const target::MParam &P : Out.Code.Params) {
-    auto IInt = K.IntParams.find(P.Name);
-    if (IInt != K.IntParams.end()) {
-      M.setParamInt(P.Name, IInt->second);
-      continue;
-    }
-    auto IFP = K.FPParams.find(P.Name);
-    if (IFP != K.FPParams.end())
-      M.setParamFP(P.Name, IFP->second);
-  }
+                   const kernels::Kernel &K, bool Fuse,
+                   double Seconds = 0.5) {
+  auto Prog =
+      target::DecodedProgram::build(Out.Code, T, *Out.Mem, false, Fuse);
+  target::VM M(Prog, *Out.Mem);
+  for (const auto &P : K.IntParams)
+    M.setParamInt(P.first, P.second);
+  for (const auto &P : K.FPParams)
+    M.setParamFP(P.first, P.second);
 
   M.run(); // Warm-up; also gives the per-run op count.
   uint64_t OpsPerRun = M.instrsExecuted();
@@ -68,27 +71,35 @@ Throughput measure(const RunOutcome &Out, const target::TargetDesc &T,
   auto Start = Clock::now();
   double Elapsed = 0;
   do {
-    for (int I = 0; I < 64; ++I)
+    for (int I = 0; I < 16; ++I)
       M.run();
-    Runs += 64;
+    Runs += 16;
     Elapsed = std::chrono::duration<double>(Clock::now() - Start).count();
-  } while (Elapsed < 0.5);
+  } while (Elapsed < Seconds);
 
   double Ops = static_cast<double>(OpsPerRun) * static_cast<double>(Runs);
-  return {Ops / Elapsed, Elapsed * 1e9 / Ops, OpsPerRun};
+  return {Ops / Elapsed, Elapsed * 1e9 / Ops, OpsPerRun,
+          Prog->PreFusionOps, Prog->FusedOps};
 }
 
+/// One benchmark cell: kernel x target, measured fused and unfused.
+struct Cell {
+  std::string Kernel;
+  std::string Target;
+  Throughput Fused;
+  Throughput Unfused;
+};
+
 double figure6HarmonicMean(const target::TargetDesc &T,
-                           const std::vector<kernels::Kernel> &All) {
+                           const std::vector<kernels::Kernel> &All,
+                           unsigned Jobs) {
+  std::vector<sweep::SplitNativeCell> Cells(All.size());
+  sweep::forEachCell(Jobs, All.size(), [&](size_t I) {
+    Cells[I] = sweep::splitOverNativeCell(All[I], T);
+  });
   std::vector<double> Ratios;
-  for (const kernels::Kernel &K : All) {
-    RunOptions O;
-    O.Target = T;
-    RunOutcome Split = runKernel(K, Flow::SplitVectorized, O);
-    RunOutcome Native = runKernel(K, Flow::NativeVectorized, O);
-    Ratios.push_back(static_cast<double>(Split.Cycles) /
-                     static_cast<double>(Native.Cycles));
-  }
+  for (const sweep::SplitNativeCell &C : Cells)
+    Ratios.push_back(C.ratio());
   return harmonicMean(Ratios);
 }
 
@@ -99,26 +110,63 @@ int main(int argc, char **argv) {
   const char *JsonPath = argc > 2 ? argv[2] : "BENCH_vm.json";
 
   std::vector<kernels::Kernel> All = kernels::allKernels();
-  const kernels::Kernel &Saxpy = findKernel(All, "saxpy_fp");
 
-  // Aligned split-vectorized saxpy on SSE: the VM's steady-state diet.
-  RunOptions O;
-  O.Target = target::sseTarget();
-  RunOutcome Out = runKernel(Saxpy, Flow::SplitVectorized, O);
-  Throughput R = measure(Out, O.Target, Saxpy);
+  // The measured basket: a streaming FP kernel, a compute-dense integer/
+  // FP transform, and a reduction (carried accumulator) kernel, on the
+  // three SIMD widths the repro models.
+  const char *KernelNames[] = {"saxpy_fp", "dct_s32fp", "sfir_fp"};
+  const std::pair<const char *, target::TargetDesc> Targets[] = {
+      {"sse", target::sseTarget()},
+      {"neon", target::neonTarget()},
+      {"avx", target::avxTarget()}};
 
-  printHeader("VM dispatch throughput (aligned saxpy_fp, sse, strong tier)");
-  std::printf("machine ops / run     %12llu\n",
-              static_cast<unsigned long long>(R.OpsPerRun));
-  std::printf("machine ops / sec     %12.3e\n", R.OpsPerSec);
-  std::printf("ns / dispatched op    %12.2f\n", R.NsPerOp);
+  std::vector<Cell> Cells;
+  for (const char *KName : KernelNames) {
+    const kernels::Kernel *K = sweep::kernelByNameOrNull(All, KName);
+    if (!K)
+      fatalError(std::string("no such kernel: ") + KName);
+    for (const auto &[TName, T] : Targets) {
+      RunOptions O;
+      O.Target = T;
+      RunOutcome Out = runKernel(*K, Flow::SplitVectorized, O);
+      Cell C;
+      C.Kernel = KName;
+      C.Target = TName;
+      // The headline cell gets the long window; the matrix rows use a
+      // shorter one to keep the binary's wall time reasonable.
+      bool Headline = !std::strcmp(KName, "saxpy_fp") && !std::strcmp(TName, "sse");
+      double Secs = Headline ? 0.5 : 0.2;
+      C.Unfused = measure(Out, T, *K, /*Fuse=*/false, Secs);
+      C.Fused = measure(Out, T, *K, /*Fuse=*/true, Secs);
+      Cells.push_back(std::move(C));
+    }
+  }
+
+  const Cell &Headline = Cells.front(); // saxpy_fp x sse.
+
+  printHeader("VM dispatch throughput (split-vectorized, strong tier, "
+              "fused vs unfused)");
+  std::printf("%-12s %-6s %10s %12s %12s %9s %9s\n", "kernel", "target",
+              "ops/run", "ns/op-unf", "ns/op-fus", "superops", "speedup");
+  for (const Cell &C : Cells)
+    std::printf("%-12s %-6s %10llu %12.3f %12.3f %4u/%-4u %8.1f%%\n",
+                C.Kernel.c_str(), C.Target.c_str(),
+                static_cast<unsigned long long>(C.Fused.OpsPerRun),
+                C.Unfused.NsPerOp, C.Fused.NsPerOp, C.Fused.SuperOps,
+                C.Fused.PreFusionOps,
+                100.0 * (C.Unfused.NsPerOp - C.Fused.NsPerOp) /
+                    C.Unfused.NsPerOp);
+  std::printf("\nheadline (saxpy_fp, sse, fused):\n");
+  std::printf("machine ops / sec     %12.3e\n", Headline.Fused.OpsPerSec);
+  std::printf("ns / dispatched op    %12.2f\n", Headline.Fused.NsPerOp);
 
   if (!Json)
     return 0;
 
-  double HM[3] = {figure6HarmonicMean(target::sseTarget(), All),
-                  figure6HarmonicMean(target::altivecTarget(), All),
-                  figure6HarmonicMean(target::neonTarget(), All)};
+  unsigned Jobs = sweep::defaultJobs();
+  double HM[3] = {figure6HarmonicMean(target::sseTarget(), All, Jobs),
+                  figure6HarmonicMean(target::altivecTarget(), All, Jobs),
+                  figure6HarmonicMean(target::neonTarget(), All, Jobs)};
   std::ofstream OS(JsonPath);
   if (!OS)
     fatalError(std::string("cannot write ") + JsonPath);
@@ -128,15 +176,32 @@ int main(int argc, char **argv) {
                 "  \"bench\": \"vm_throughput\",\n"
                 "  \"kernel\": \"saxpy_fp\",\n"
                 "  \"target\": \"sse\",\n"
+                "  \"fused\": true,\n"
                 "  \"vm_ops_per_sec\": %.4e,\n"
                 "  \"ns_per_dispatched_op\": %.3f,\n"
+                "  \"cells\": [\n",
+                Headline.Fused.OpsPerSec, Headline.Fused.NsPerOp);
+  OS << Buf;
+  for (size_t I = 0; I < Cells.size(); ++I) {
+    const Cell &C = Cells[I];
+    std::snprintf(Buf, sizeof(Buf),
+                  "    {\"kernel\": \"%s\", \"target\": \"%s\", "
+                  "\"ns_per_op_unfused\": %.3f, \"ns_per_op_fused\": %.3f, "
+                  "\"static_ops\": %u, \"superops\": %u}%s\n",
+                  C.Kernel.c_str(), C.Target.c_str(), C.Unfused.NsPerOp,
+                  C.Fused.NsPerOp, C.Fused.PreFusionOps, C.Fused.SuperOps,
+                  I + 1 < Cells.size() ? "," : "");
+    OS << Buf;
+  }
+  std::snprintf(Buf, sizeof(Buf),
+                "  ],\n"
                 "  \"fig6_harmonic_mean\": {\n"
                 "    \"sse\": %.4f,\n"
                 "    \"altivec\": %.4f,\n"
                 "    \"neon\": %.4f\n"
                 "  }\n"
                 "}\n",
-                R.OpsPerSec, R.NsPerOp, HM[0], HM[1], HM[2]);
+                HM[0], HM[1], HM[2]);
   OS << Buf;
   std::printf("wrote %s\n", JsonPath);
   return 0;

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""CI perf gate for the VM dispatch-throughput baseline.
+
+Compares a freshly measured ``vm_throughput --json`` report against the
+committed baseline (BENCH_vm.json) and fails when the headline
+``ns_per_dispatched_op`` regressed by more than the allowed fraction
+(default 15%). Improvements always pass; the committed baseline is only
+refreshed deliberately, by re-running the bench and checking the JSON in.
+
+Two modes:
+
+  absolute (default)   current.ns_per_dispatched_op must be at most
+                       baseline.ns_per_dispatched_op * (1 + --max-regress).
+                       Meaningful on runners comparable to the one that
+                       produced the baseline.
+
+  --relative           ignores the baseline's absolute nanoseconds and
+                       instead checks an internal invariant of the current
+                       report: the fused headline cell must not be slower
+                       than its own unfused measurement by more than
+                       --max-regress. This is stable under uniform slowdown
+                       (sanitizer instrumentation, emulation), which is why
+                       the sanitize CI job uses it.
+
+Exit status: 0 pass, 1 regression, 2 bad input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"perf_gate: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def headline_cell(report):
+    """The cell the headline metric is measured on (kernel+target keys)."""
+    kernel, target = report.get("kernel"), report.get("target")
+    for cell in report.get("cells", []):
+        if cell.get("kernel") == kernel and cell.get("target") == target:
+            return cell
+    return None
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", help="committed BENCH_vm.json")
+    ap.add_argument("current", help="freshly measured vm_throughput --json")
+    ap.add_argument("--max-regress", type=float, default=0.15,
+                    help="allowed fractional regression (default 0.15)")
+    ap.add_argument("--relative", action="store_true",
+                    help="gate fused-vs-unfused within the current report "
+                         "instead of against the baseline's nanoseconds")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    for report, path in ((base, args.baseline), (cur, args.current)):
+        if report.get("bench") != "vm_throughput":
+            print(f"perf_gate: {path} is not a vm_throughput report",
+                  file=sys.stderr)
+            sys.exit(2)
+
+    cur_ns = cur.get("ns_per_dispatched_op")
+    if not isinstance(cur_ns, (int, float)) or cur_ns <= 0:
+        print("perf_gate: current report has no ns_per_dispatched_op",
+              file=sys.stderr)
+        sys.exit(2)
+
+    if args.relative:
+        cell = headline_cell(cur)
+        if cell is None:
+            print("perf_gate: current report has no headline cell",
+                  file=sys.stderr)
+            sys.exit(2)
+        ref_ns = cell["ns_per_op_unfused"]
+        what = (f"fused {cell['ns_per_op_fused']:.3f} vs unfused "
+                f"{ref_ns:.3f} ns/op (relative mode)")
+        measured = cell["ns_per_op_fused"]
+    else:
+        ref_ns = base.get("ns_per_dispatched_op")
+        if not isinstance(ref_ns, (int, float)) or ref_ns <= 0:
+            print("perf_gate: baseline has no ns_per_dispatched_op",
+                  file=sys.stderr)
+            sys.exit(2)
+        what = (f"current {cur_ns:.3f} vs baseline {ref_ns:.3f} "
+                f"ns/dispatched-op")
+        measured = cur_ns
+
+    limit = ref_ns * (1.0 + args.max_regress)
+    delta = (measured - ref_ns) / ref_ns
+    verdict = "PASS" if measured <= limit else "FAIL"
+    print(f"perf_gate: {verdict}: {what}, delta {delta:+.1%} "
+          f"(limit +{args.max_regress:.0%})")
+    if measured > limit:
+        print("perf_gate: dispatch throughput regressed past the gate; "
+              "either fix the regression or deliberately refresh "
+              "BENCH_vm.json with the bench's --json output",
+              file=sys.stderr)
+        sys.exit(1)
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()

@@ -8,6 +8,8 @@
 
 #include "support/Support.h"
 
+#include <bit>
+
 using namespace vapor;
 using namespace vapor::ir;
 
@@ -114,4 +116,110 @@ ValueId Function::makeValue(Type Ty, ValueDef Def, uint32_t A, uint32_t B) {
   VI.B = B;
   Values.push_back(VI);
   return static_cast<ValueId>(Values.size() - 1);
+}
+
+namespace {
+
+/// FNV-1a accumulator with a 64-bit word feed. Strings feed length first
+/// so "ab","c" and "a","bc" cannot collide by concatenation.
+struct StructHash {
+  uint64_t H = 0xcbf29ce484222325ULL;
+
+  void word(uint64_t W) {
+    for (int I = 0; I < 8; ++I) {
+      H ^= (W >> (I * 8)) & 0xff;
+      H *= 0x100000001b3ULL;
+    }
+  }
+  void str(const std::string &S) {
+    word(S.size());
+    for (char C : S) {
+      H ^= static_cast<uint8_t>(C);
+      H *= 0x100000001b3ULL;
+    }
+  }
+  void type(Type T) {
+    word((static_cast<uint64_t>(T.Elem) << 1) | (T.Vector ? 1 : 0));
+  }
+  void region(const Region &R) {
+    word(R.Nodes.size());
+    for (const NodeRef &N : R.Nodes)
+      word((static_cast<uint64_t>(N.Kind) << 32) | N.Index);
+  }
+};
+
+} // namespace
+
+uint64_t ir::hashFunction(const Function &F) {
+  StructHash S;
+  S.str(F.Name);
+  S.word(F.IsSplitLayer);
+
+  S.word(F.Values.size());
+  for (const ValueInfo &V : F.Values) {
+    S.type(V.Ty);
+    S.word((static_cast<uint64_t>(V.Def) << 32) | V.A);
+    S.word(V.B);
+    S.str(V.Name);
+  }
+
+  S.word(F.Instrs.size());
+  for (const Instr &I : F.Instrs) {
+    S.word(static_cast<uint64_t>(I.Op));
+    S.type(I.Ty);
+    S.word(I.Result);
+    S.word(I.Ops.size());
+    for (ValueId V : I.Ops)
+      S.word(V);
+    S.word(static_cast<uint64_t>(I.IntImm));
+    S.word(static_cast<uint64_t>(I.IntImm2));
+    S.word(std::bit_cast<uint64_t>(I.FPImm));
+    S.word(I.Array);
+    S.word(static_cast<uint64_t>(I.TyParam));
+    S.word((static_cast<uint64_t>(static_cast<uint32_t>(I.Hint.Mis)) << 32) |
+           static_cast<uint32_t>(I.Hint.Mod));
+    S.word((static_cast<uint64_t>(I.Hint.IfJitAligns) << 8) |
+           static_cast<uint64_t>(I.Guard));
+    S.word(I.GuardArgs.size());
+    for (uint32_t A : I.GuardArgs)
+      S.word(A);
+  }
+
+  S.word(F.Loops.size());
+  for (const LoopStmt &L : F.Loops) {
+    S.word(L.IndVar);
+    S.word(L.Lower);
+    S.word(L.Upper);
+    S.word(L.Step);
+    S.word(L.Carried.size());
+    for (const LoopStmt::CarriedVar &C : L.Carried) {
+      S.word((static_cast<uint64_t>(C.Phi) << 32) | C.Init);
+      S.word((static_cast<uint64_t>(C.Next) << 32) | C.Result);
+    }
+    S.region(L.Body);
+    S.word(static_cast<uint64_t>(L.Role));
+    S.word(static_cast<uint64_t>(L.MaxSafeVF));
+  }
+
+  S.word(F.Ifs.size());
+  for (const IfStmt &I : F.Ifs) {
+    S.word(I.Cond);
+    S.region(I.Then);
+    S.region(I.Else);
+  }
+
+  S.word(F.Arrays.size());
+  for (const ArrayInfo &A : F.Arrays) {
+    S.str(A.Name);
+    S.word(static_cast<uint64_t>(A.Elem));
+    S.word(A.NumElems);
+    S.word(A.BaseAlign);
+  }
+
+  S.word(F.Params.size());
+  for (ValueId P : F.Params)
+    S.word(P);
+
+  S.region(F.Body);
+  return S.H;
 }

@@ -216,6 +216,14 @@ public:
   std::string str() const;
 };
 
+/// \returns a 64-bit structural content hash of \p F: every value,
+/// instruction, loop, if, array, parameter, and region edge contributes,
+/// so two functions hash equal iff they are structurally identical. This
+/// is the function half of the content-addressed code cache's keys
+/// (jit/CodeCache.h); it must stay deterministic across processes, so it
+/// hashes field values only -- no pointers, no addresses.
+uint64_t hashFunction(const Function &F);
+
 } // namespace ir
 } // namespace vapor
 

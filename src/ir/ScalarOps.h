@@ -157,6 +157,42 @@ inline uint64_t applyBinop(Opcode Op, ScalarKind K, uint64_t A, uint64_t B) {
   return encodeInt(K, R);
 }
 
+/// Compile-time-kind variant of applyBinop for hot interpreter loops.
+/// Bit-identical to applyBinop(Op, K, A, B) for every input: the f32
+/// arithmetic cases compute directly in float instead of taking the
+/// float->double->float round trip. That is exact, not approximate --
+/// f32 sums/products are exact in double (<= 48 significant bits), and
+/// for sub/div the 53-bit intermediate is wide enough (>= 2p+2 = 50
+/// bits) that the double rounding is innocuous [Figueroa 1995], so the
+/// final float equals the one the double path produces. min/max select
+/// an operand unchanged. Everything else forwards to applyBinop.
+template <Opcode Op, ScalarKind K>
+inline uint64_t applyBinopT(uint64_t A, uint64_t B) {
+  if constexpr (K == ScalarKind::F32 &&
+                (Op == Opcode::Add || Op == Opcode::Sub ||
+                 Op == Opcode::Mul || Op == Opcode::Div ||
+                 Op == Opcode::Min || Op == Opcode::Max)) {
+    float X = std::bit_cast<float>(static_cast<uint32_t>(A));
+    float Y = std::bit_cast<float>(static_cast<uint32_t>(B));
+    float R;
+    if constexpr (Op == Opcode::Add)
+      R = X + Y;
+    else if constexpr (Op == Opcode::Sub)
+      R = X - Y;
+    else if constexpr (Op == Opcode::Mul)
+      R = X * Y;
+    else if constexpr (Op == Opcode::Div)
+      R = X / Y;
+    else if constexpr (Op == Opcode::Min)
+      R = X < Y ? X : Y;
+    else
+      R = X > Y ? X : Y;
+    return std::bit_cast<uint32_t>(R);
+  } else {
+    return applyBinop(Op, K, A, B);
+  }
+}
+
 inline uint64_t applyUnop(Opcode Op, ScalarKind K, uint64_t A) {
   if (isFloatKind(K)) {
     double X = decodeFP(K, A);

@@ -1,0 +1,239 @@
+//===- jit/CodeCache.cpp - Content-addressed online-stage cache -------------===//
+//
+// Part of the Vapor SIMD reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/CodeCache.h"
+
+#include "support/FaultInject.h"
+
+#include <atomic>
+#include <mutex>
+#include <unordered_map>
+
+using namespace vapor;
+using namespace vapor::jit;
+using namespace vapor::jit::cache;
+
+namespace {
+
+constexpr uint64_t FnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t FnvPrime = 0x100000001b3ULL;
+
+/// One mutex-guarded store for all four maps: lookups are a hash plus a
+/// map probe, far off any per-dispatch hot path, so a single lock is
+/// simpler than four and contention is irrelevant at sweep granularity.
+struct Store {
+  std::mutex Mu;
+  std::unordered_map<uint64_t, std::shared_ptr<const ir::Function>> Modules;
+  std::unordered_map<uint64_t, VerifyResult> Verifies;
+  std::unordered_map<uint64_t, std::shared_ptr<const CompileResult>> Compiles;
+  std::unordered_map<uint64_t, std::shared_ptr<const target::DecodedProgram>>
+      Programs;
+  Stats Counts;
+};
+
+Store &store() {
+  static Store S;
+  return S;
+}
+
+std::atomic<bool> GlobalSwitch{true};
+
+} // namespace
+
+bool cache::enabled() {
+  return GlobalSwitch.load(std::memory_order_relaxed) &&
+         !faultinject::controller().Active;
+}
+
+bool cache::setEnabled(bool On) {
+  return GlobalSwitch.exchange(On, std::memory_order_relaxed);
+}
+
+void cache::clear() {
+  Store &S = store();
+  std::lock_guard<std::mutex> L(S.Mu);
+  S.Modules.clear();
+  S.Verifies.clear();
+  S.Compiles.clear();
+  S.Programs.clear();
+}
+
+Stats cache::stats() {
+  Store &S = store();
+  std::lock_guard<std::mutex> L(S.Mu);
+  return S.Counts;
+}
+
+void cache::resetStats() {
+  Store &S = store();
+  std::lock_guard<std::mutex> L(S.Mu);
+  S.Counts = Stats();
+}
+
+uint64_t cache::hashBytes(const void *Data, size_t Len, uint64_t Seed) {
+  uint64_t H = Seed ^ FnvOffset;
+  const uint8_t *P = static_cast<const uint8_t *>(Data);
+  for (size_t I = 0; I < Len; ++I) {
+    H ^= P[I];
+    H *= FnvPrime;
+  }
+  return H;
+}
+
+uint64_t cache::hashCombine(uint64_t Seed, uint64_t W) {
+  uint64_t H = Seed;
+  for (int I = 0; I < 8; ++I) {
+    H ^= (W >> (I * 8)) & 0xff;
+    H *= FnvPrime;
+  }
+  return H;
+}
+
+uint64_t cache::hashTarget(const target::TargetDesc &T) {
+  uint64_t H = hashBytes(T.Name.data(), T.Name.size(), 0x7a67);
+  H = hashCombine(H, T.VSBytes);
+  H = hashCombine(H, (uint64_t(T.HasMisaligned) << 3) |
+                         (uint64_t(T.HasPermRealign) << 2) |
+                         (uint64_t(T.LibFallbackForOps) << 1) |
+                         uint64_t(T.X87ScalarFP));
+  H = hashCombine(H, (uint64_t(T.ScalarRegs) << 32) | T.VectorRegs);
+  H = hashCombine(H, T.UnsupportedKindMask);
+  H = hashCombine(H, T.UnsupportedOpMask);
+  const target::CostTable &C = T.Costs;
+  const unsigned Cs[] = {C.RegOp,      C.AddrOp,    C.IntOp,     C.FpOp,
+                         C.X87Op,      C.DivOp,     C.ConvertOp, C.ScalarLoad,
+                         C.ScalarStore, C.VecLoadA, C.VecLoadU,  C.VecStoreA,
+                         C.VecStoreU,  C.Shuffle,   C.WideMul,   C.DotOp,
+                         C.ReduceOp,   C.SpillOp,   C.LibCall,   C.LoopIter};
+  for (unsigned V : Cs)
+    H = hashCombine(H, V);
+  return H;
+}
+
+uint64_t cache::hashOptions(const Options &O) {
+  return hashCombine(0x6f70, (uint64_t(O.CompilerTier == Tier::Weak) << 3) |
+                                 (uint64_t(O.FoldAddressing) << 2) |
+                                 (uint64_t(O.PromoteAccumulators) << 1) |
+                                 uint64_t(O.ForceScalarize));
+}
+
+uint64_t cache::hashRuntime(const RuntimeInfo &RT) {
+  uint64_t H = hashCombine(0x7274, RT.Arrays.size());
+  for (const RuntimeInfo::ArrayRT &A : RT.Arrays) {
+    H = hashCombine(H, A.KnownBase);
+    H = hashCombine(H, A.Base);
+  }
+  return H;
+}
+
+uint64_t cache::hashPlacement(const target::MemoryImage &Image) {
+  uint64_t H = hashCombine(0x706c, Image.arrayCount());
+  for (uint32_t A = 0; A < Image.arrayCount(); ++A) {
+    const ir::ArrayInfo &AI = Image.info(A);
+    H = hashCombine(H, static_cast<uint64_t>(AI.Elem));
+    H = hashCombine(H, AI.NumElems);
+    H = hashCombine(H, Image.base(A));
+  }
+  H = hashCombine(H, Image.highAddr());
+  return H;
+}
+
+uint64_t cache::compileKey(uint64_t FnHash, const target::TargetDesc &T,
+                           const Options &O, const RuntimeInfo &RT) {
+  uint64_t H = hashCombine(0x636b, FnHash);
+  H = hashCombine(H, hashTarget(T));
+  H = hashCombine(H, hashOptions(O));
+  H = hashCombine(H, hashRuntime(RT));
+  return H;
+}
+
+std::shared_ptr<const ir::Function> cache::findModule(uint64_t BytesHash) {
+  Store &S = store();
+  std::lock_guard<std::mutex> L(S.Mu);
+  auto It = S.Modules.find(BytesHash);
+  if (It == S.Modules.end()) {
+    ++S.Counts.ModuleMisses;
+    return nullptr;
+  }
+  ++S.Counts.ModuleHits;
+  return It->second;
+}
+
+std::shared_ptr<const ir::Function> cache::putModule(uint64_t BytesHash,
+                                                     ir::Function Module) {
+  auto P = std::make_shared<const ir::Function>(std::move(Module));
+  Store &S = store();
+  std::lock_guard<std::mutex> L(S.Mu);
+  // First writer wins: under the thread pool two workers may decode the
+  // same bytes concurrently; both results are identical, keep one.
+  return S.Modules.emplace(BytesHash, std::move(P)).first->second;
+}
+
+std::optional<VerifyResult> cache::findVerify(uint64_t FnHash,
+                                              uint64_t TargetHash) {
+  uint64_t Key = hashCombine(hashCombine(0x7666, FnHash), TargetHash);
+  Store &S = store();
+  std::lock_guard<std::mutex> L(S.Mu);
+  auto It = S.Verifies.find(Key);
+  if (It == S.Verifies.end()) {
+    ++S.Counts.VerifyMisses;
+    return std::nullopt;
+  }
+  ++S.Counts.VerifyHits;
+  return It->second;
+}
+
+void cache::putVerify(uint64_t FnHash, uint64_t TargetHash, VerifyResult R) {
+  uint64_t Key = hashCombine(hashCombine(0x7666, FnHash), TargetHash);
+  Store &S = store();
+  std::lock_guard<std::mutex> L(S.Mu);
+  S.Verifies.emplace(Key, std::move(R));
+}
+
+std::shared_ptr<const CompileResult> cache::findCompile(uint64_t Key) {
+  Store &S = store();
+  std::lock_guard<std::mutex> L(S.Mu);
+  auto It = S.Compiles.find(Key);
+  if (It == S.Compiles.end()) {
+    ++S.Counts.CompileMisses;
+    return nullptr;
+  }
+  ++S.Counts.CompileHits;
+  return It->second;
+}
+
+std::shared_ptr<const CompileResult> cache::putCompile(uint64_t Key,
+                                                       CompileResult R) {
+  auto P = std::make_shared<const CompileResult>(std::move(R));
+  Store &S = store();
+  std::lock_guard<std::mutex> L(S.Mu);
+  return S.Compiles.emplace(Key, std::move(P)).first->second;
+}
+
+std::shared_ptr<const target::DecodedProgram>
+cache::programFor(uint64_t CompKey, const target::MFunction &Code,
+                  const target::TargetDesc &T,
+                  const target::MemoryImage &Image, bool Weak, bool Fuse) {
+  uint64_t Key = hashCombine(0x7067, CompKey);
+  Key = hashCombine(Key, hashPlacement(Image));
+  Key = hashCombine(Key, (uint64_t(Weak) << 1) | uint64_t(Fuse));
+  Store &S = store();
+  {
+    std::lock_guard<std::mutex> L(S.Mu);
+    auto It = S.Programs.find(Key);
+    if (It != S.Programs.end()) {
+      ++S.Counts.ProgramHits;
+      return It->second;
+    }
+    ++S.Counts.ProgramMisses;
+  }
+  // Build outside the lock (decode+fusion is the expensive part); ties
+  // between concurrent builders of the same key resolve first-writer-wins
+  // and the artifacts are identical anyway.
+  auto P = target::DecodedProgram::build(Code, T, Image, Weak, Fuse);
+  std::lock_guard<std::mutex> L(S.Mu);
+  return S.Programs.emplace(Key, std::move(P)).first->second;
+}

@@ -1,0 +1,145 @@
+//===- jit/CodeCache.h - Content-addressed online-stage cache --*- C++ -*-===//
+//
+// Part of the Vapor SIMD reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-wide content-addressed cache for every deterministic product
+/// of the online stage. The bench sweeps and the parallel crashtest
+/// driver run the same (kernel, target, placement) cell over and over;
+/// each cell's decode, verify, JIT lowering, and VM pre-decode+fusion are
+/// pure functions of their inputs, so the cache memoizes all four:
+///
+///   module   key = hash(encoded bytecode bytes)
+///            -> the decoded ir::Function;
+///   verify   key = (ir::hashFunction, target hash)
+///            -> the verifier's verdict and rendered report;
+///   compile  key = (ir::hashFunction, target hash, jit::Options hash,
+///                   RuntimeInfo hash)
+///            -> the CompileResult (machine code + scalarization info);
+///   program  key = (compile key, placement hash, weak-tier, fuse)
+///            -> the VM's immutable DecodedProgram, shared by every VM
+///               that runs that code against that placement.
+///
+/// Keys are structural hashes of VALUES only -- no pointers -- so a hit
+/// is exactly "same bytes in, same artifact out", and results are
+/// identical whether the sweep runs serial or across the thread pool.
+///
+/// The cache stands down (enabled() == false) whenever this thread's
+/// fault-injection controller is active: instrumented runs must actually
+/// execute every stage so site counters stay deterministic, and a result
+/// produced under an injected fault must never be memoized. This keeps
+/// the crashtest's fault counts bit-identical with the cache compiled in.
+///
+/// All entries are immutable once inserted and handed out as
+/// shared_ptr-to-const; a mutex guards the maps, so sweep workers share
+/// one cache safely.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAPOR_JIT_CODECACHE_H
+#define VAPOR_JIT_CODECACHE_H
+
+#include "jit/Jit.h"
+#include "target/VM.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace vapor {
+namespace jit {
+namespace cache {
+
+/// Whether lookups/insertions are live: the global switch (on by
+/// default) AND no active fault-injection controller on this thread.
+bool enabled();
+
+/// Flips the global switch. \returns the previous value. Benches use
+/// this to measure cold compiles; tests use it to force both paths.
+bool setEnabled(bool On);
+
+/// Drops every entry (all four maps). Entries already handed out stay
+/// alive through their shared_ptrs.
+void clear();
+
+struct Stats {
+  uint64_t ModuleHits = 0, ModuleMisses = 0;
+  uint64_t VerifyHits = 0, VerifyMisses = 0;
+  uint64_t CompileHits = 0, CompileMisses = 0;
+  uint64_t ProgramHits = 0, ProgramMisses = 0;
+};
+Stats stats();
+void resetStats();
+
+//===--- Key ingredients --------------------------------------------------===//
+// Combine with ir::hashFunction(F) (Function.h). Every hash covers all
+// semantically relevant fields of its input; none reads a pointer.
+
+/// FNV-1a over \p Len raw bytes, folded into \p Seed.
+uint64_t hashBytes(const void *Data, size_t Len, uint64_t Seed = 0);
+
+/// Hash of everything the JIT and VM read from a TargetDesc (name,
+/// widths, feature flags, register counts, legality masks, cost table).
+uint64_t hashTarget(const target::TargetDesc &T);
+
+/// Hash of the jit::Options knobs (tier, codegen profile, forced
+/// scalarization).
+uint64_t hashOptions(const Options &O);
+
+/// Hash of what the JIT knows about the runtime (per-array known-base
+/// flag and base address).
+uint64_t hashRuntime(const RuntimeInfo &RT);
+
+/// Hash of \p Image's placement: per-array element kind, length, and
+/// resolved base address, plus the image bounds. Two images with equal
+/// placement hashes can share one DecodedProgram (its baked bases are
+/// valid for both).
+uint64_t hashPlacement(const target::MemoryImage &Image);
+
+/// Folds \p W into \p Seed (same mixing as hashBytes).
+uint64_t hashCombine(uint64_t Seed, uint64_t W);
+
+//===--- Module (decode) memo ---------------------------------------------===//
+
+std::shared_ptr<const ir::Function> findModule(uint64_t BytesHash);
+/// Inserts (first writer wins) and \returns the cached module.
+std::shared_ptr<const ir::Function> putModule(uint64_t BytesHash,
+                                              ir::Function Module);
+
+//===--- Verify memo ------------------------------------------------------===//
+
+struct VerifyResult {
+  bool Ok = false;
+  std::string Report; ///< Rendered findings (empty when Ok).
+};
+std::optional<VerifyResult> findVerify(uint64_t FnHash, uint64_t TargetHash);
+void putVerify(uint64_t FnHash, uint64_t TargetHash, VerifyResult R);
+
+//===--- Compile memo -----------------------------------------------------===//
+
+/// The full compile key for (\p FnHash, target \p T, options \p O,
+/// runtime \p RT). Also the prefix of the program key.
+uint64_t compileKey(uint64_t FnHash, const target::TargetDesc &T,
+                    const Options &O, const RuntimeInfo &RT);
+
+std::shared_ptr<const CompileResult> findCompile(uint64_t Key);
+std::shared_ptr<const CompileResult> putCompile(uint64_t Key,
+                                                CompileResult R);
+
+//===--- Decoded-program memo ---------------------------------------------===//
+
+/// Looks up the pre-decoded (and fused) program for \p CompKey's machine
+/// code at \p Image's placement; on miss builds it with
+/// target::DecodedProgram::build and memoizes. Never returns null.
+std::shared_ptr<const target::DecodedProgram>
+programFor(uint64_t CompKey, const target::MFunction &Code,
+           const target::TargetDesc &T, const target::MemoryImage &Image,
+           bool Weak, bool Fuse);
+
+} // namespace cache
+} // namespace jit
+} // namespace vapor
+
+#endif // VAPOR_JIT_CODECACHE_H

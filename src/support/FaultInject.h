@@ -19,13 +19,18 @@
 /// bool, so uninstrumented runs pay a single predictable branch per hook
 /// (only the VM's checked-access hook is on a hot path).
 ///
-/// The controller is intentionally process-global and not thread-safe:
-/// it is a test harness, driven by single-threaded sweeps.
+/// The controller is intentionally thread-local: every sweep thread owns
+/// an independent controller, so the parallel crashtest driver can arm a
+/// fault on one worker without perturbing the site counters of any other.
+/// Arming and counting therefore stay exactly as deterministic as the
+/// single-threaded sweeps were, regardless of how cells are scheduled.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef VAPOR_SUPPORT_FAULTINJECT_H
 #define VAPOR_SUPPORT_FAULTINJECT_H
+
+#include "support/Support.h"
 
 #include <cstdint>
 
@@ -68,8 +73,11 @@ struct Controller {
 namespace detail {
 /// Constant-initialized (all members are trivial), so controller() has no
 /// function-local-static init guard — the VM's checked-access hook reduces
-/// to one global bool load on the uninstrumented path.
-inline Controller GlobalController;
+/// to one thread-local bool load on the uninstrumented path. thread_local
+/// gives every sweep worker its own deterministic counters (see file
+/// comment); the code cache keys off the same flag to stay out of the way
+/// of instrumented runs (jit/CodeCache.h).
+inline thread_local Controller GlobalController;
 } // namespace detail
 
 inline Controller &controller() { return detail::GlobalController; }
@@ -113,12 +121,13 @@ inline uint64_t hits(SiteClass S) {
 
 inline uint64_t fired() { return controller().Fired; }
 
-/// The hook: call at a potential fault site of class \p S. \returns true
-/// when the scheduled fault should be delivered here.
-inline bool shouldFire(SiteClass S) {
+namespace detail {
+/// The counting-and-firing slow path, deliberately out of line: it only
+/// runs under an active controller (crashtest sweeps), so instrumented
+/// runs pay the call and uninstrumented hot loops keep a two-instruction
+/// gate.
+VAPOR_NOINLINE inline bool shouldFireSlow(SiteClass S) {
   Controller &C = controller();
-  if (!C.Active)
-    return false;
   uint64_t H = C.Hits[static_cast<unsigned>(S)]++;
   if (!C.Armed || C.Target != S)
     return false;
@@ -127,6 +136,19 @@ inline bool shouldFire(SiteClass S) {
     return true;
   }
   return false;
+}
+} // namespace detail
+
+/// The hook: call at a potential fault site of class \p S. \returns true
+/// when the scheduled fault should be delivered here. Always inlined so
+/// the uninstrumented path is just a thread-local bool load and a
+/// predictable branch -- this sits on the VM's checked-access hot path,
+/// once per aligned vector access.
+VAPOR_ALWAYS_INLINE bool shouldFire(SiteClass S) {
+  Controller &C = controller();
+  if (__builtin_expect(!C.Active, 1))
+    return false;
+  return detail::shouldFireSlow(S);
 }
 
 /// RAII arming for tests: arms in the constructor, disarms and clears

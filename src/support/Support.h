@@ -33,6 +33,18 @@ namespace vapor {
 
 #define vapor_unreachable(MSG) ::vapor::unreachable(MSG, __FILE__, __LINE__)
 
+/// Inlining controls for hot interpreter paths. The dispatch loop leans on
+/// small always-inline gates in front of out-of-line slow paths; without
+/// the attribute, GCC leaves e.g. the fault-injection hook as a real call
+/// on every checked vector access.
+#if defined(__GNUC__) || defined(__clang__)
+#define VAPOR_ALWAYS_INLINE inline __attribute__((always_inline))
+#define VAPOR_NOINLINE __attribute__((noinline))
+#else
+#define VAPOR_ALWAYS_INLINE inline
+#define VAPOR_NOINLINE
+#endif
+
 /// Reports a fatal usage error (malformed input to a tool-level API) and
 /// aborts. Library code prefers returning diagnostics; this is the backstop.
 [[noreturn]] inline void fatalError(const std::string &Msg) {

@@ -1,0 +1,167 @@
+//===- support/ThreadPool.h - Work-stealing task pool ----------*- C++ -*-===//
+//
+// Part of the Vapor SIMD reproduction. See src/support/README.md for the
+// sweep-engine design notes.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small work-stealing thread pool for the parallel sweep engine: the
+/// crashtest and the fig5/fig6/table3 benches run kernel x target cells
+/// concurrently, each cell on its own MemoryImage (and, via the
+/// thread-local fault-injection controller, its own site counters).
+///
+/// Design:
+///  - each worker owns a deque; submit() distributes jobs round-robin;
+///  - a worker pops from the *back* of its own deque (LIFO, cache-warm)
+///    and steals from the *front* of a victim's deque (FIFO, the oldest
+///    job, which minimizes contention with the victim's own popping);
+///  - sleeping workers are woken through one shared condition variable;
+///  - wait() blocks until every submitted job has finished (queued and
+///    running), so pools are reusable across submission waves.
+///
+/// Jobs must not throw (the repo builds without exceptions in mind);
+/// determinism of results is the *caller's* job: sweep cells write to
+/// per-cell state and merge order-independently.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAPOR_SUPPORT_THREADPOOL_H
+#define VAPOR_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vapor {
+namespace support {
+
+class ThreadPool {
+public:
+  /// Spawns \p Workers threads (at least one).
+  explicit ThreadPool(unsigned Workers) {
+    if (Workers == 0)
+      Workers = 1;
+    Queues.resize(Workers);
+    Threads.reserve(Workers);
+    for (unsigned W = 0; W < Workers; ++W)
+      Threads.emplace_back([this, W] { workerLoop(W); });
+  }
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      Stop = true;
+    }
+    WorkCV.notify_all();
+    for (std::thread &T : Threads)
+      T.join();
+  }
+
+  unsigned workerCount() const {
+    return static_cast<unsigned>(Threads.size());
+  }
+
+  /// \returns the host's hardware concurrency (at least 1). The sweep
+  /// drivers use this as the default --jobs value.
+  static unsigned defaultWorkerCount() {
+    unsigned N = std::thread::hardware_concurrency();
+    return N == 0 ? 1 : N;
+  }
+
+  /// Enqueues \p Job on the next worker's deque (round-robin).
+  void submit(std::function<void()> Job) {
+    unsigned Q = NextQueue.fetch_add(1, std::memory_order_relaxed) %
+                 Queues.size();
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      ++Pending;
+      Queues[Q].push_back(std::move(Job));
+    }
+    WorkCV.notify_one();
+  }
+
+  /// Blocks until every job submitted so far has *finished* running.
+  void wait() {
+    std::unique_lock<std::mutex> Lock(Mu);
+    IdleCV.wait(Lock, [this] { return Pending == 0; });
+  }
+
+private:
+  /// Pops a job: own deque's back first, then steal the oldest job from
+  /// another worker's deque front. Caller holds Mu.
+  bool dequeue(unsigned Self, std::function<void()> &Out) {
+    if (!Queues[Self].empty()) {
+      Out = std::move(Queues[Self].back());
+      Queues[Self].pop_back();
+      return true;
+    }
+    for (size_t I = 1; I < Queues.size(); ++I) {
+      size_t Victim = (Self + I) % Queues.size();
+      if (!Queues[Victim].empty()) {
+        Out = std::move(Queues[Victim].front());
+        Queues[Victim].pop_front();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void workerLoop(unsigned Self) {
+    std::unique_lock<std::mutex> Lock(Mu);
+    while (true) {
+      std::function<void()> Job;
+      if (dequeue(Self, Job)) {
+        Lock.unlock();
+        Job();
+        Lock.lock();
+        if (--Pending == 0)
+          IdleCV.notify_all();
+        continue;
+      }
+      if (Stop)
+        return;
+      WorkCV.wait(Lock);
+    }
+  }
+
+  std::vector<std::deque<std::function<void()>>> Queues;
+  std::vector<std::thread> Threads;
+  std::mutex Mu;
+  std::condition_variable WorkCV; ///< Signals new work or shutdown.
+  std::condition_variable IdleCV; ///< Signals Pending reaching zero.
+  uint64_t Pending = 0;           ///< Jobs queued or running.
+  std::atomic<unsigned> NextQueue{0};
+  bool Stop = false;
+};
+
+/// Runs Fn(0..N-1) across \p Jobs workers and returns when all calls have
+/// finished. Jobs <= 1 (or a single item) runs inline on the caller's
+/// thread with no pool at all -- the serial path stays byte-identical to
+/// the pre-pool drivers, which is what keeps single-threaded sweeps (and
+/// their fault-injection counters) trivially deterministic.
+inline void parallelFor(unsigned Jobs, size_t N,
+                        const std::function<void(size_t)> &Fn) {
+  if (Jobs <= 1 || N <= 1) {
+    for (size_t I = 0; I < N; ++I)
+      Fn(I);
+    return;
+  }
+  ThreadPool Pool(Jobs < N ? Jobs : static_cast<unsigned>(N));
+  for (size_t I = 0; I < N; ++I)
+    Pool.submit([&Fn, I] { Fn(I); });
+  Pool.wait();
+}
+
+} // namespace support
+} // namespace vapor
+
+#endif // VAPOR_SUPPORT_THREADPOOL_H

@@ -4,21 +4,39 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// Two pieces live here:
+// Three pieces live here:
 //
 //  VMDecoder -- walks the structured MFunction once and flattens it into
-//      VM::Code, a dense array of DOps. Loops become
+//      DecodedProgram::Code, a dense array of DOps. Loops become
 //        [iv=lower] [phi=init]... HEAD body... [phi=next]... IV+=STEP,goto HEAD
 //      with absolute, patched jump targets; every op gets its handler
-//      pointer, its registers resolved to lane-file offsets, and its
-//      cycle cost from the target cost table.
+//      pointer, its registers resolved to lane-file offsets, its cycle
+//      cost from the target cost table, and an OpCls structural tag for
+//      the fuser.
+//
+//  VMFuser -- the macro-op fusion peephole. One greedy left-to-right
+//      pass over the decoded array rewrites adjacent pairs into superops
+//      (address+load, load+arith, arith+arith, arith+store, compare+
+//      branch, load+realign-permute, copy+latch, costed-nop absorption),
+//      remaps jump targets through an old->new index table, and records
+//      the pre-fusion index of each superop's trappable constituent so
+//      TrapInfo attribution stays exact. Fusion never fires into an op
+//      that is a branch target, so control flow is preserved; Cost and
+//      Counts are summed, so modeled cycles and instrsExecuted() are
+//      fusion-invariant on non-trapping runs.
 //
 //  VMOps -- the handler table. Handlers are function templates
-//      instantiated per element size / sub-opcode so the per-step work
-//      is a direct call with no inner dispatch. Lane arithmetic is
-//      ir::applyBinop and friends: the exact same lane semantics as the
-//      golden evaluator, which is what makes bit-exact cross-checking of
-//      integer kernels possible.
+//      instantiated per element size / sub-opcode / scalar kind so the
+//      per-step work is a direct call with no inner dispatch: with the
+//      kind a template constant, ir::applyBinop's per-lane kind switches
+//      (float-vs-int, lane mask, sign extension) constant-fold away.
+//      Lane arithmetic is still textually ir::applyBinop and friends:
+//      the exact same lane semantics as the golden evaluator, which is
+//      what makes bit-exact cross-checking of integer kernels possible. Every fused handler executes its two
+//      constituents' semantics verbatim in original order (sequential
+//      loops, never interleaved), so the machine state after a superop
+//      is bit-identical to the state after the pair it replaced for
+//      every register-aliasing pattern.
 //
 //===----------------------------------------------------------------------===//
 
@@ -37,10 +55,19 @@ using namespace vapor::target;
 namespace vapor {
 namespace target {
 
+static_assert(sizeof(DecodedProgram::DOp) == 48,
+              "DOp grew past its 48-byte dispatch-friendly footprint");
+
+// The scalar kinds worth a per-kind handler instantiation: every lane kind
+// the kernel suite touches. Ops on anything else (I1, None) fall back to
+// the runtime-kind handlers, and the fuser simply declines to fuse them.
+#define VAPOR_VM_FOREACH_KIND(X)                                          \
+  X(I8) X(U8) X(I16) X(U16) X(I32) X(U32) X(I64) X(U64) X(F32) X(F64)
+
 //===--- Handlers ---------------------------------------------------------===//
 
 struct VMOps {
-  using DOp = VM::DOp;
+  using DOp = DecodedProgram::DOp;
 
   static ScalarKind kindOf(const DOp &O) {
     return static_cast<ScalarKind>(O.Kind);
@@ -52,8 +79,11 @@ struct VMOps {
   /// Bounds-checked host pointer for [Addr, Addr+Size). An out-of-image
   /// access faults: abort, or (trap-recording) a recorded trap plus a
   /// scratch pointer so the op completes harmlessly before the halt.
-  static uint8_t *mem(VM &Vm, uint64_t Addr, uint64_t Size) {
-    if (Addr < Vm.MemLo || Addr + Size > Vm.MemHi)
+  /// Always inlined: this runs once per memory op, and the fault branch
+  /// (an out-of-line call) never executes on healthy runs.
+  VAPOR_ALWAYS_INLINE static uint8_t *mem(VM &Vm, uint64_t Addr,
+                                          uint64_t Size) {
+    if (__builtin_expect(Addr < Vm.MemLo || Addr + Size > Vm.MemHi, 0))
       return Vm.memFault(Addr);
     return Vm.MemPtr + (Addr - Vm.MemLo);
   }
@@ -166,6 +196,8 @@ struct VMOps {
 
   //===--- ALU -------------------------------------------------------------===//
 
+  // Runtime-kind ALU handlers: fallbacks for kinds outside the
+  // instantiated set (see VAPOR_VM_FOREACH_KIND).
   template <Opcode Sub>
   static uint32_t binS(VM &Vm, const DOp &O, uint32_t PC) {
     Vm.R[O.A] = applyBinop(Sub, kindOf(O), Vm.R[O.B], Vm.R[O.C]);
@@ -177,6 +209,22 @@ struct VMOps {
     ScalarKind K = kindOf(O);
     for (unsigned L = 0; L < O.Lanes; ++L)
       Vm.R[O.A + L] = applyBinop(Sub, K, Vm.R[O.B + L], Vm.R[O.C + L]);
+    return PC + 1;
+  }
+
+  // Kind-templated ALU handlers: with K a constant, applyBinop's kind
+  // switches (float-vs-int dispatch, lane masking, sign extension) fold
+  // at compile time and each lane becomes straight-line arithmetic.
+  template <Opcode Sub, ScalarKind K>
+  static uint32_t binSK(VM &Vm, const DOp &O, uint32_t PC) {
+    Vm.R[O.A] = applyBinopT<Sub, K>(Vm.R[O.B], Vm.R[O.C]);
+    return PC + 1;
+  }
+
+  template <Opcode Sub, ScalarKind K>
+  static uint32_t binVK(VM &Vm, const DOp &O, uint32_t PC) {
+    for (unsigned L = 0; L < O.Lanes; ++L)
+      Vm.R[O.A + L] = applyBinopT<Sub, K>(Vm.R[O.B + L], Vm.R[O.C + L]);
     return PC + 1;
   }
 
@@ -194,6 +242,19 @@ struct VMOps {
     return PC + 1;
   }
 
+  template <Opcode Sub, ScalarKind K>
+  static uint32_t unSK(VM &Vm, const DOp &O, uint32_t PC) {
+    Vm.R[O.A] = applyUnop(Sub, K, Vm.R[O.B]);
+    return PC + 1;
+  }
+
+  template <Opcode Sub, ScalarKind K>
+  static uint32_t unVK(VM &Vm, const DOp &O, uint32_t PC) {
+    for (unsigned L = 0; L < O.Lanes; ++L)
+      Vm.R[O.A + L] = applyUnop(Sub, K, Vm.R[O.B + L]);
+    return PC + 1;
+  }
+
   // Compares carry the I1 result kind in Kind; the comparison itself
   // runs at the operand kind (SrcKind), exactly like the evaluator.
   template <Opcode Sub>
@@ -205,6 +266,19 @@ struct VMOps {
   template <Opcode Sub>
   static uint32_t cmpV(VM &Vm, const DOp &O, uint32_t PC) {
     ScalarKind K = srcKindOf(O);
+    for (unsigned L = 0; L < O.Lanes; ++L)
+      Vm.R[O.A + L] = applyCompare(Sub, K, Vm.R[O.B + L], Vm.R[O.C + L]);
+    return PC + 1;
+  }
+
+  template <Opcode Sub, ScalarKind K>
+  static uint32_t cmpSK(VM &Vm, const DOp &O, uint32_t PC) {
+    Vm.R[O.A] = applyCompare(Sub, K, Vm.R[O.B], Vm.R[O.C]);
+    return PC + 1;
+  }
+
+  template <Opcode Sub, ScalarKind K>
+  static uint32_t cmpVK(VM &Vm, const DOp &O, uint32_t PC) {
     for (unsigned L = 0; L < O.Lanes; ++L)
       Vm.R[O.A + L] = applyCompare(Sub, K, Vm.R[O.B + L], Vm.R[O.C + L]);
     return PC + 1;
@@ -229,6 +303,19 @@ struct VMOps {
 
   static uint32_t cvtV(VM &Vm, const DOp &O, uint32_t PC) {
     ScalarKind SK = srcKindOf(O), DK = kindOf(O);
+    for (unsigned L = 0; L < O.Lanes; ++L)
+      Vm.R[O.A + L] = applyConvert(SK, DK, Vm.R[O.B + L]);
+    return PC + 1;
+  }
+
+  template <ScalarKind SK, ScalarKind DK>
+  static uint32_t cvtSK(VM &Vm, const DOp &O, uint32_t PC) {
+    Vm.R[O.A] = applyConvert(SK, DK, Vm.R[O.B]);
+    return PC + 1;
+  }
+
+  template <ScalarKind SK, ScalarKind DK>
+  static uint32_t cvtVK(VM &Vm, const DOp &O, uint32_t PC) {
     for (unsigned L = 0; L < O.Lanes; ++L)
       Vm.R[O.A + L] = applyConvert(SK, DK, Vm.R[O.B + L]);
     return PC + 1;
@@ -280,7 +367,7 @@ struct VMOps {
   //===--- Reorganization and widening idioms ------------------------------===//
 
   static uint32_t extract(VM &Vm, const DOp &O, uint32_t PC) {
-    const uint32_t *Aux = Vm.AuxLanes.data() + O.Aux;
+    const uint32_t *Aux = Vm.AuxBase + O.Aux;
     for (unsigned L = 0; L < O.Lanes; ++L)
       Vm.R[O.A + L] = Vm.R[Aux[L]];
     return PC + 1;
@@ -353,24 +440,207 @@ struct VMOps {
     Vm.R[O.A] = Acc;
     return PC + 1;
   }
+
+  template <Opcode Sub, ScalarKind K>
+  static uint32_t reduceK(VM &Vm, const DOp &O, uint32_t PC) {
+    uint64_t Acc = Vm.R[O.B];
+    for (unsigned L = 1; L < O.Lanes; ++L)
+      Acc = applyBinopT<Sub, K>(Acc, Vm.R[O.B + L]);
+    Vm.R[O.A] = Acc;
+    return PC + 1;
+  }
+
+  //===--- Fused superops --------------------------------------------------===//
+  //
+  // Each superop executes its constituents' semantics verbatim, in the
+  // original order, as two sequential steps -- never interleaved. That
+  // makes bit-exactness trivial for every aliasing pattern (in-place
+  // binops, value==address registers, permutes reading their own
+  // destination): the intermediate machine state is the same one the
+  // unfused pair produced. The win is one eliminated dispatch iteration
+  // per superop plus template-folded sub-opcodes and scalar kinds.
+  //
+  // Alignment checks replicate the unfused predicate exactly, including
+  // the `(Addr & Mask) || shouldFire(...)` short-circuit -- the fault-
+  // injection site counter must advance only when the address itself is
+  // aligned, or the crashtest's deterministic site numbering would
+  // shift. The mask is recomputed as Lanes*ES-1; the fuser only fuses
+  // checked accesses whose decoded Imm mask equals that value.
+
+  /// addr+load: A = load dst, B = base, C = index, D = addr dst,
+  /// Imm = scale shift.
+  template <unsigned ES, bool Checked>
+  static uint32_t addrLoad(VM &Vm, const DOp &O, uint32_t PC) {
+    uint64_t Addr = Vm.R[O.B] + (Vm.R[O.C] << O.Imm);
+    Vm.R[O.D] = Addr;
+    if constexpr (Checked) {
+      const uint64_t Mask = uint64_t(O.Lanes) * ES - 1;
+      if ((Addr & Mask) ||
+          faultinject::shouldFire(faultinject::SiteClass::VmAlign))
+        return Vm.alignTrap(PC, Addr, static_cast<uint32_t>(Mask) + 1,
+                            /*IsStore=*/false);
+    }
+    const uint8_t *P = mem(Vm, Addr, O.Lanes * uint64_t(ES));
+    for (unsigned L = 0; L < O.Lanes; ++L)
+      Vm.R[O.A + L] = ld<ES>(P + L * ES);
+    return PC + 1;
+  }
+
+  /// addr+store: A = addr dst, B = base, C = index, D = value,
+  /// Imm = scale shift.
+  template <unsigned ES, bool Checked>
+  static uint32_t addrStore(VM &Vm, const DOp &O, uint32_t PC) {
+    uint64_t Addr = Vm.R[O.B] + (Vm.R[O.C] << O.Imm);
+    Vm.R[O.A] = Addr;
+    if constexpr (Checked) {
+      const uint64_t Mask = uint64_t(O.Lanes) * ES - 1;
+      if ((Addr & Mask) ||
+          faultinject::shouldFire(faultinject::SiteClass::VmAlign))
+        return Vm.alignTrap(PC, Addr, static_cast<uint32_t>(Mask) + 1,
+                            /*IsStore=*/true);
+    }
+    uint8_t *P = mem(Vm, Addr, O.Lanes * uint64_t(ES));
+    for (unsigned L = 0; L < O.Lanes; ++L)
+      st<ES>(P + L * ES, Vm.R[O.D + L]);
+    return PC + 1;
+  }
+
+  /// load+binop: A = load dst, B = address reg, C = other operand,
+  /// D = binop dst; SrcKind = 1 when the loaded value is the RHS. The
+  /// element size is derived from the kind template (the fuser only
+  /// fuses pairs whose load element size equals scalarSize(bin kind)).
+  template <Opcode Sub, ScalarKind K, bool Checked>
+  static uint32_t loadBin(VM &Vm, const DOp &O, uint32_t PC) {
+    constexpr unsigned ES = scalarSize(K);
+    uint64_t Addr = Vm.R[O.B];
+    if constexpr (Checked) {
+      const uint64_t Mask = uint64_t(O.Lanes) * ES - 1;
+      if ((Addr & Mask) ||
+          faultinject::shouldFire(faultinject::SiteClass::VmAlign))
+        return Vm.alignTrap(PC, Addr, static_cast<uint32_t>(Mask) + 1,
+                            /*IsStore=*/false);
+    }
+    const uint8_t *P = mem(Vm, Addr, O.Lanes * uint64_t(ES));
+    for (unsigned L = 0; L < O.Lanes; ++L)
+      Vm.R[O.A + L] = ld<ES>(P + L * ES);
+    if (O.SrcKind) {
+      for (unsigned L = 0; L < O.Lanes; ++L)
+        Vm.R[O.D + L] = applyBinopT<Sub, K>(Vm.R[O.C + L], Vm.R[O.A + L]);
+    } else {
+      for (unsigned L = 0; L < O.Lanes; ++L)
+        Vm.R[O.D + L] = applyBinopT<Sub, K>(Vm.R[O.A + L], Vm.R[O.C + L]);
+    }
+    return PC + 1;
+  }
+
+  /// binop+store: A = binop dst, B/C = binop operands, D = address reg.
+  /// The address register is read *after* the binop, matching the pair.
+  /// The store element size is scalarSize(K) (fuser-checked).
+  template <Opcode Sub, ScalarKind K, bool Checked>
+  static uint32_t binStore(VM &Vm, const DOp &O, uint32_t PC) {
+    constexpr unsigned ES = scalarSize(K);
+    for (unsigned L = 0; L < O.Lanes; ++L)
+      Vm.R[O.A + L] = applyBinopT<Sub, K>(Vm.R[O.B + L], Vm.R[O.C + L]);
+    uint64_t Addr = Vm.R[O.D];
+    if constexpr (Checked) {
+      const uint64_t Mask = uint64_t(O.Lanes) * ES - 1;
+      if ((Addr & Mask) ||
+          faultinject::shouldFire(faultinject::SiteClass::VmAlign))
+        return Vm.alignTrap(PC, Addr, static_cast<uint32_t>(Mask) + 1,
+                            /*IsStore=*/true);
+    }
+    uint8_t *P = mem(Vm, Addr, O.Lanes * uint64_t(ES));
+    for (unsigned L = 0; L < O.Lanes; ++L)
+      st<ES>(P + L * ES, Vm.R[O.A + L]);
+    return PC + 1;
+  }
+
+  /// binop+binop: A = first dst, B/C = first operands, D = second dst,
+  /// Aux = second op's other operand; SrcKind = 1 when the first dst is
+  /// the second op's RHS. Both ops share Kind and Lanes (fuser checks).
+  template <Opcode S1, Opcode S2, ScalarKind K>
+  static uint32_t binBin(VM &Vm, const DOp &O, uint32_t PC) {
+    for (unsigned L = 0; L < O.Lanes; ++L)
+      Vm.R[O.A + L] = applyBinopT<S1, K>(Vm.R[O.B + L], Vm.R[O.C + L]);
+    const uint32_t Other = O.Aux;
+    if (O.SrcKind) {
+      for (unsigned L = 0; L < O.Lanes; ++L)
+        Vm.R[O.D + L] = applyBinopT<S2, K>(Vm.R[Other + L], Vm.R[O.A + L]);
+    } else {
+      for (unsigned L = 0; L < O.Lanes; ++L)
+        Vm.R[O.D + L] = applyBinopT<S2, K>(Vm.R[O.A + L], Vm.R[Other + L]);
+    }
+    return PC + 1;
+  }
+
+  /// compare+branch-if-zero: A = compare dst (still written -- later ops
+  /// may read it), B/C = compare operands, Imm = branch target. K is the
+  /// operand (source) kind.
+  template <Opcode Sub, ScalarKind K>
+  static uint32_t cmpBranch(VM &Vm, const DOp &O, uint32_t PC) {
+    uint64_t V = applyCompare(Sub, K, Vm.R[O.B], Vm.R[O.C]);
+    Vm.R[O.A] = V;
+    if ((V & 1) == 0)
+      return static_cast<uint32_t>(O.Imm);
+    return PC + 1;
+  }
+
+  /// load+realign-permute: A = permute dst, B = address reg, C = the
+  /// permute source that is not the loaded vector, D = realign token,
+  /// Aux = load dst lane offset; SrcKind = 1 when the loaded vector is
+  /// the second permute source. The element-size shift is folded into
+  /// the template (fuser checks it matches the permute's decoded Imm).
+  template <unsigned ES, bool Checked>
+  static uint32_t loadPerm(VM &Vm, const DOp &O, uint32_t PC) {
+    uint64_t Addr = Vm.R[O.B];
+    if constexpr (Checked) {
+      const uint64_t Mask = uint64_t(O.Lanes) * ES - 1;
+      if ((Addr & Mask) ||
+          faultinject::shouldFire(faultinject::SiteClass::VmAlign))
+        return Vm.alignTrap(PC, Addr, static_cast<uint32_t>(Mask) + 1,
+                            /*IsStore=*/false);
+    }
+    const uint8_t *P = mem(Vm, Addr, O.Lanes * uint64_t(ES));
+    for (unsigned L = 0; L < O.Lanes; ++L)
+      Vm.R[O.Aux + L] = ld<ES>(P + L * ES);
+    constexpr unsigned Shift = ES == 1 ? 0 : ES == 2 ? 1 : ES == 4 ? 2 : 3;
+    const uint32_t F0 = O.SrcKind ? O.C : O.Aux;
+    const uint32_t F1 = O.SrcKind ? O.Aux : O.C;
+    uint64_t Off = Vm.R[O.D] >> Shift;
+    for (unsigned L = 0; L < O.Lanes; ++L) {
+      uint64_t Pos = Off + L;
+      Vm.R[O.A + L] =
+          Pos < O.Lanes ? Vm.R[F0 + Pos] : Vm.R[F1 + Pos - O.Lanes];
+    }
+    return PC + 1;
+  }
+
+  /// phi-copy+latch: A/B = copy dst/src (Lanes wide), C = induction
+  /// variable, D = step, Imm = loop-head target.
+  static uint32_t copyLatch(VM &Vm, const DOp &O, uint32_t) {
+    std::memcpy(Vm.R + O.A, Vm.R + O.B, O.Lanes * sizeof(uint64_t));
+    Vm.R[O.C] += Vm.R[O.D];
+    return static_cast<uint32_t>(O.Imm);
+  }
 };
 
 //===--- Decoder ----------------------------------------------------------===//
 
 struct VMDecoder {
-  VM &Vm;
+  DecodedProgram &P;
   const MFunction &F;
   const TargetDesc &T;
+  const MemoryImage &Mem;
   bool Weak;
-  std::vector<uint32_t> Off;     ///< Lane-file offset per register.
+  std::vector<uint32_t> Off;      ///< Lane-file offset per register.
   std::vector<uint16_t> RegLanes; ///< Lane count per register.
 
-  using DOp = VM::DOp;
-  using Handler = VM::Handler;
+  using DOp = DecodedProgram::DOp;
+  using Handler = DecodedProgram::Handler;
 
-  VMDecoder(VM &TheVm, const MFunction &Fn, const TargetDesc &Target,
-            bool WeakTier)
-      : Vm(TheVm), F(Fn), T(Target), Weak(WeakTier) {}
+  VMDecoder(DecodedProgram &Prog, const MFunction &Fn, const TargetDesc &Target,
+            const MemoryImage &Image, bool WeakTier)
+      : P(Prog), F(Fn), T(Target), Mem(Image), Weak(WeakTier) {}
 
   void decode() {
     // Lay out the flat lane file: vector registers get VS/ES lanes.
@@ -385,25 +655,22 @@ struct VMDecoder {
       RegLanes[R] = static_cast<uint16_t>(Lanes);
       Total += Lanes;
     }
-    Vm.RegStore.assign(Total + 1, 0);
-    Vm.R = Vm.RegStore.data();
-    if (reinterpret_cast<uintptr_t>(Vm.R) % 16 != 0)
-      ++Vm.R; // 16-byte-align the lane file inside the padded store.
+    P.LaneCount = Total;
 
-    for (const MParam &P : F.Params) {
-      assert(P.Reg < F.Regs.size() && "bad param register");
-      Vm.Params.push_back({P.Name, Off[P.Reg], F.Regs[P.Reg].Kind});
+    for (const MParam &Prm : F.Params) {
+      assert(Prm.Reg < F.Regs.size() && "bad param register");
+      P.Params.push_back({Prm.Name, Off[Prm.Reg], F.Regs[Prm.Reg].Kind});
     }
 
     region(F.Body);
   }
 
   uint32_t emit(const DOp &O) {
-    Vm.Code.push_back(O);
-    return static_cast<uint32_t>(Vm.Code.size() - 1);
+    P.Code.push_back(O);
+    return static_cast<uint32_t>(P.Code.size() - 1);
   }
 
-  uint32_t here() const { return static_cast<uint32_t>(Vm.Code.size()); }
+  uint32_t here() const { return static_cast<uint32_t>(P.Code.size()); }
 
   void region(const MRegion &R) {
     for (const MNodeRef &N : R.Nodes) {
@@ -432,6 +699,7 @@ struct VMDecoder {
     Head.A = Off[L.IndVar];
     Head.B = Off[L.Upper];
     Head.Cost = T.Costs.LoopIter;
+    Head.Cls = OpCls::LoopHead;
     uint32_t HeadPC = emit(Head);
 
     region(L.Body);
@@ -445,9 +713,10 @@ struct VMDecoder {
     Latch.A = Off[L.IndVar];
     Latch.B = Off[L.Step];
     Latch.Imm = HeadPC;
+    Latch.Cls = OpCls::Latch;
     emit(Latch);
 
-    Vm.Code[HeadPC].Imm = here();
+    P.Code[HeadPC].Imm = here();
   }
 
   void ifStmt(const MIf &S) {
@@ -455,14 +724,16 @@ struct VMDecoder {
     Br.Fn = &VMOps::branchIfZero;
     Br.A = Off[S.Cond];
     Br.Cost = T.Costs.LoopIter; // One compare-and-branch.
+    Br.Cls = OpCls::Branch;
     uint32_t BrPC = emit(Br);
     region(S.Then);
     DOp J;
     J.Fn = &VMOps::jump;
+    J.Cls = OpCls::Jump;
     uint32_t JumpPC = emit(J);
-    Vm.Code[BrPC].Imm = here();
+    P.Code[BrPC].Imm = here();
     region(S.Else);
-    Vm.Code[JumpPC].Imm = here();
+    P.Code[JumpPC].Imm = here();
   }
 
   /// Synthetic full-register copy (loop plumbing): free, uncounted.
@@ -474,6 +745,7 @@ struct VMDecoder {
     O.A = Off[Dst];
     O.B = Off[Src];
     O.Lanes = RegLanes[Dst];
+    O.Cls = OpCls::Copy;
     emit(O);
   }
 
@@ -481,9 +753,6 @@ struct VMDecoder {
     assert(isPowerOf2(Bytes) && "element size must be a power of two");
     return static_cast<unsigned>(__builtin_ctz(Bytes));
   }
-
-  template <template <unsigned> class Pick>
-  static Handler bySize(unsigned ES);
 
   void instr(const MInstr &I) {
     DOp O;
@@ -507,10 +776,10 @@ struct VMDecoder {
       O.Imm = static_cast<int64_t>(encodeFP(I.Kind, I.FImm));
       break;
     case MOp::LoadBase:
-      assert(I.Array < Vm.Mem.arrayCount() &&
+      assert(I.Array < Mem.arrayCount() &&
              "loadbase of an array missing from the memory image");
       O.Fn = &VMOps::setImm;
-      O.Imm = static_cast<int64_t>(Vm.Mem.base(I.Array));
+      O.Imm = static_cast<int64_t>(Mem.base(I.Array));
       break;
     case MOp::Mov:
       O.Fn = &VMOps::copyLanes;
@@ -521,6 +790,7 @@ struct VMDecoder {
       O.B = Off[I.Srcs[0]];
       O.C = Off[I.Srcs[1]];
       O.Imm = log2Size(I.Scale);
+      O.Cls = OpCls::Addr;
       break;
     case MOp::Alu:
       decodeAlu(I, O);
@@ -528,18 +798,22 @@ struct VMDecoder {
     case MOp::Load:
       O.Fn = pickLoad(scalarSize(I.Kind));
       O.B = Off[I.Srcs[0]];
+      O.Cls = OpCls::LoadS;
       break;
     case MOp::Store:
       O.Fn = pickStore(scalarSize(I.Kind));
       O.A = Off[I.Srcs[0]];
       O.B = Off[I.Srcs[1]];
       O.Lanes = 1;
+      O.Cls = OpCls::StoreS;
       break;
     case MOp::VLoadA:
     case MOp::VLoadU:
       O.Fn = pickVLoad(scalarSize(I.Kind), I.Op == MOp::VLoadA);
       O.B = Off[I.Srcs[0]];
       O.Imm = static_cast<int64_t>(F.VSBytes - 1);
+      O.Cls = OpCls::VLoad;
+      O.Sub = I.Op == MOp::VLoadA;
       break;
     case MOp::VStoreA:
     case MOp::VStoreU:
@@ -548,6 +822,8 @@ struct VMDecoder {
       O.B = Off[I.Srcs[1]];
       O.Lanes = RegLanes[I.Srcs[1]];
       O.Imm = static_cast<int64_t>(F.VSBytes - 1);
+      O.Cls = OpCls::VStore;
+      O.Sub = I.Op == MOp::VStoreA;
       break;
     case MOp::GetPerm:
       O.Fn = &VMOps::getPerm;
@@ -560,6 +836,7 @@ struct VMDecoder {
       O.C = Off[I.Srcs[1]];
       O.D = Off[I.Srcs[2]];
       O.Imm = log2Size(scalarSize(I.Kind));
+      O.Cls = OpCls::VPerm;
       break;
     case MOp::VSplat:
       O.Fn = &VMOps::splat;
@@ -577,14 +854,14 @@ struct VMDecoder {
       break;
     case MOp::VExtract: {
       O.Fn = &VMOps::extract;
-      O.Aux = static_cast<uint32_t>(Vm.AuxLanes.size());
+      O.Aux = static_cast<uint32_t>(P.AuxLanes.size());
       unsigned LC = RegLanes[I.Srcs[0]];
       for (unsigned L = 0; L < O.Lanes; ++L) {
         uint64_t Pos = static_cast<uint64_t>(I.Imm) +
                        static_cast<uint64_t>(L) * I.Imm2;
         assert(Pos / LC < I.Srcs.size() && "extract out of concat range");
-        Vm.AuxLanes.push_back(Off[I.Srcs[Pos / LC]] +
-                              static_cast<uint32_t>(Pos % LC));
+        P.AuxLanes.push_back(Off[I.Srcs[Pos / LC]] +
+                             static_cast<uint32_t>(Pos % LC));
       }
       break;
     }
@@ -620,7 +897,7 @@ struct VMDecoder {
       O.SrcKind = static_cast<uint8_t>(F.Regs[I.Srcs[0]].Kind);
       break;
     case MOp::Reduce:
-      O.Fn = pickReduce(I.SubOp);
+      O.Fn = pickReduce(I.SubOp, I.Kind);
       O.B = Off[I.Srcs[0]];
       O.Lanes = RegLanes[I.Srcs[0]];
       break;
@@ -635,7 +912,7 @@ struct VMDecoder {
         decodeWMul(I, O, true);
         break;
       case Opcode::Convert:
-        O.Fn = &VMOps::cvtV;
+        O.Fn = pickCvt(F.Regs[I.Srcs[0]].Kind, I.Kind, /*V=*/true);
         O.B = Off[I.Srcs[0]];
         O.SrcKind = static_cast<uint8_t>(F.Regs[I.Srcs[0]].Kind);
         break;
@@ -646,6 +923,7 @@ struct VMDecoder {
     case MOp::SpillLd:
     case MOp::SpillSt:
       O.Fn = &VMOps::nop;
+      O.Cls = OpCls::Nop;
       break;
     }
     emit(O);
@@ -662,13 +940,17 @@ struct VMDecoder {
   void decodeAlu(const MInstr &I, DOp &O) {
     bool V = I.Vector;
     if (isCompare(I.SubOp)) {
-      O.Fn = pickCmp(I.SubOp, V);
+      O.Fn = pickCmp(I.SubOp, V, F.Regs[I.Srcs[0]].Kind);
       O.B = Off[I.Srcs[0]];
       O.C = Off[I.Srcs[1]];
       // Compares produce I1 but iterate at the operand lane count and
       // compare at the operand kind.
       O.Lanes = RegLanes[I.Srcs[0]];
       O.SrcKind = static_cast<uint8_t>(F.Regs[I.Srcs[0]].Kind);
+      if (!V) {
+        O.Cls = OpCls::CmpS;
+        O.Sub = static_cast<uint8_t>(I.SubOp);
+      }
       return;
     }
     switch (I.SubOp) {
@@ -679,7 +961,7 @@ struct VMDecoder {
       O.D = Off[I.Srcs[2]];
       return;
     case Opcode::Convert:
-      O.Fn = V ? &VMOps::cvtV : &VMOps::cvtS;
+      O.Fn = pickCvt(F.Regs[I.Srcs[0]].Kind, I.Kind, V);
       O.B = Off[I.Srcs[0]];
       O.SrcKind = static_cast<uint8_t>(F.Regs[I.Srcs[0]].Kind);
       assert((!V || RegLanes[I.Srcs[0]] == O.Lanes) &&
@@ -688,13 +970,15 @@ struct VMDecoder {
     case Opcode::Neg:
     case Opcode::Abs:
     case Opcode::Sqrt:
-      O.Fn = pickUnop(I.SubOp, V);
+      O.Fn = pickUnop(I.SubOp, V, I.Kind);
       O.B = Off[I.Srcs[0]];
       return;
     default:
-      O.Fn = pickBinop(I.SubOp, V);
+      O.Fn = pickBinop(I.SubOp, V, I.Kind);
       O.B = Off[I.Srcs[0]];
       O.C = Off[I.Srcs[1]];
+      O.Cls = V ? OpCls::BinV : OpCls::BinS;
+      O.Sub = static_cast<uint8_t>(I.SubOp);
       return;
     }
   }
@@ -773,12 +1057,29 @@ struct VMDecoder {
     }
   }
 
-  static Handler pickBinop(Opcode Sub, bool V) {
+  // Each pick* resolves (sub-opcode, scalar kind) to a fully templated
+  // handler; kinds outside VAPOR_VM_FOREACH_KIND get the runtime-kind
+  // fallback, so every decodable op still has a handler.
+
+  template <Opcode Sub> static Handler pickBinK(ScalarKind K, bool V) {
+    switch (K) {
+#define KIND_CASE(KK)                                                     \
+  case ScalarKind::KK:                                                    \
+    return V ? static_cast<Handler>(&VMOps::binVK<Sub, ScalarKind::KK>)   \
+             : static_cast<Handler>(&VMOps::binSK<Sub, ScalarKind::KK>);
+      VAPOR_VM_FOREACH_KIND(KIND_CASE)
+#undef KIND_CASE
+    default:
+      return V ? static_cast<Handler>(&VMOps::binV<Sub>)
+               : static_cast<Handler>(&VMOps::binS<Sub>);
+    }
+  }
+
+  static Handler pickBinop(Opcode Sub, bool V, ScalarKind K) {
     switch (Sub) {
 #define BINOP_CASE(OP)                                                    \
   case Opcode::OP:                                                        \
-    return V ? static_cast<Handler>(&VMOps::binV<Opcode::OP>)             \
-             : static_cast<Handler>(&VMOps::binS<Opcode::OP>);
+    return pickBinK<Opcode::OP>(K, V);
       BINOP_CASE(Add)
       BINOP_CASE(Sub)
       BINOP_CASE(Mul)
@@ -798,27 +1099,53 @@ struct VMDecoder {
     }
   }
 
-  static Handler pickUnop(Opcode Sub, bool V) {
+  template <Opcode Sub> static Handler pickUnK(ScalarKind K, bool V) {
+    switch (K) {
+#define KIND_CASE(KK)                                                     \
+  case ScalarKind::KK:                                                    \
+    return V ? static_cast<Handler>(&VMOps::unVK<Sub, ScalarKind::KK>)    \
+             : static_cast<Handler>(&VMOps::unSK<Sub, ScalarKind::KK>);
+      VAPOR_VM_FOREACH_KIND(KIND_CASE)
+#undef KIND_CASE
+    default:
+      return V ? static_cast<Handler>(&VMOps::unV<Sub>)
+               : static_cast<Handler>(&VMOps::unS<Sub>);
+    }
+  }
+
+  static Handler pickUnop(Opcode Sub, bool V, ScalarKind K) {
     switch (Sub) {
-#define UNOP_CASE(OP)                                                     \
-  case Opcode::OP:                                                        \
-    return V ? static_cast<Handler>(&VMOps::unV<Opcode::OP>)              \
-             : static_cast<Handler>(&VMOps::unS<Opcode::OP>);
-      UNOP_CASE(Neg)
-      UNOP_CASE(Abs)
-      UNOP_CASE(Sqrt)
-#undef UNOP_CASE
+    case Opcode::Neg:
+      return pickUnK<Opcode::Neg>(K, V);
+    case Opcode::Abs:
+      return pickUnK<Opcode::Abs>(K, V);
+    case Opcode::Sqrt:
+      return pickUnK<Opcode::Sqrt>(K, V);
     default:
       vapor_unreachable("bad ALU unop");
     }
   }
 
-  static Handler pickCmp(Opcode Sub, bool V) {
+  template <Opcode Sub> static Handler pickCmpK(ScalarKind K, bool V) {
+    switch (K) {
+#define KIND_CASE(KK)                                                     \
+  case ScalarKind::KK:                                                    \
+    return V ? static_cast<Handler>(&VMOps::cmpVK<Sub, ScalarKind::KK>)   \
+             : static_cast<Handler>(&VMOps::cmpSK<Sub, ScalarKind::KK>);
+      VAPOR_VM_FOREACH_KIND(KIND_CASE)
+#undef KIND_CASE
+    default:
+      return V ? static_cast<Handler>(&VMOps::cmpV<Sub>)
+               : static_cast<Handler>(&VMOps::cmpS<Sub>);
+    }
+  }
+
+  /// \p K is the operand (source) kind the comparison runs at.
+  static Handler pickCmp(Opcode Sub, bool V, ScalarKind K) {
     switch (Sub) {
 #define CMP_CASE(OP)                                                      \
   case Opcode::OP:                                                        \
-    return V ? static_cast<Handler>(&VMOps::cmpV<Opcode::OP>)             \
-             : static_cast<Handler>(&VMOps::cmpS<Opcode::OP>);
+    return pickCmpK<Opcode::OP>(K, V);
       CMP_CASE(CmpEQ)
       CMP_CASE(CmpNE)
       CMP_CASE(CmpLT)
@@ -831,19 +1158,575 @@ struct VMDecoder {
     }
   }
 
-  static Handler pickReduce(Opcode Sub) {
+  template <ScalarKind SK> static Handler pickCvtDst(ScalarKind DK, bool V) {
+    switch (DK) {
+#define KIND_CASE(KK)                                                     \
+  case ScalarKind::KK:                                                    \
+    return V ? static_cast<Handler>(&VMOps::cvtVK<SK, ScalarKind::KK>)    \
+             : static_cast<Handler>(&VMOps::cvtSK<SK, ScalarKind::KK>);
+      VAPOR_VM_FOREACH_KIND(KIND_CASE)
+#undef KIND_CASE
+    default:
+      return V ? static_cast<Handler>(&VMOps::cvtV)
+               : static_cast<Handler>(&VMOps::cvtS);
+    }
+  }
+
+  static Handler pickCvt(ScalarKind SK, ScalarKind DK, bool V) {
+    switch (SK) {
+#define KIND_CASE(KK)                                                     \
+  case ScalarKind::KK:                                                    \
+    return pickCvtDst<ScalarKind::KK>(DK, V);
+      VAPOR_VM_FOREACH_KIND(KIND_CASE)
+#undef KIND_CASE
+    default:
+      return V ? static_cast<Handler>(&VMOps::cvtV)
+               : static_cast<Handler>(&VMOps::cvtS);
+    }
+  }
+
+  template <Opcode Sub> static Handler pickReduceK(ScalarKind K) {
+    switch (K) {
+#define KIND_CASE(KK)                                                     \
+  case ScalarKind::KK:                                                    \
+    return &VMOps::reduceK<Sub, ScalarKind::KK>;
+      VAPOR_VM_FOREACH_KIND(KIND_CASE)
+#undef KIND_CASE
+    default:
+      return &VMOps::reduce<Sub>;
+    }
+  }
+
+  static Handler pickReduce(Opcode Sub, ScalarKind K) {
     switch (Sub) {
     case Opcode::Add:
-      return &VMOps::reduce<Opcode::Add>;
+      return pickReduceK<Opcode::Add>(K);
     case Opcode::Max:
-      return &VMOps::reduce<Opcode::Max>;
+      return pickReduceK<Opcode::Max>(K);
     case Opcode::Min:
-      return &VMOps::reduce<Opcode::Min>;
+      return pickReduceK<Opcode::Min>(K);
     default:
       vapor_unreachable("bad reduction operator");
     }
   }
 };
+
+//===--- Fuser ------------------------------------------------------------===//
+
+struct VMFuser {
+  using DOp = DecodedProgram::DOp;
+  using Handler = DecodedProgram::Handler;
+
+  static bool isControl(OpCls C) {
+    return C == OpCls::LoopHead || C == OpCls::Latch || C == OpCls::Jump ||
+           C == OpCls::Branch;
+  }
+
+  /// The binop sub-opcodes worth a template instantiation: the ones that
+  /// dominate the kernel suite's dynamic op mix. Everything else stays
+  /// unfused (still correct, just two dispatches).
+  static bool fusibleBin(uint8_t Sub) {
+    switch (static_cast<Opcode>(Sub)) {
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::Min:
+    case Opcode::Max:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  static bool validES(unsigned ES) {
+    return ES == 1 || ES == 2 || ES == 4 || ES == 8;
+  }
+
+  /// A checked access only fuses when its decoded alignment mask is the
+  /// access footprint Lanes*ES-1 -- the fused handlers recompute the
+  /// mask from Lanes and the template ES instead of carrying Imm.
+  static bool maskMatches(const DOp &M, unsigned ES) {
+    return uint64_t(M.Lanes) * ES == static_cast<uint64_t>(M.Imm) + 1;
+  }
+
+  //===--- Fused-handler pickers ------------------------------------------===//
+
+  template <template <unsigned, bool> class H>
+  static Handler pickByES(unsigned ES, bool Checked) {
+    if (Checked)
+      switch (ES) {
+      case 1:
+        return &H<1, true>::get;
+      case 2:
+        return &H<2, true>::get;
+      case 4:
+        return &H<4, true>::get;
+      default:
+        return &H<8, true>::get;
+      }
+    switch (ES) {
+    case 1:
+      return &H<1, false>::get;
+    case 2:
+      return &H<2, false>::get;
+    case 4:
+      return &H<4, false>::get;
+    default:
+      return &H<8, false>::get;
+    }
+  }
+
+// Wrapping the fused function templates in picker structs keeps the
+// ES x Checked (x Sub) instantiation fan-out to one switch each.
+#define FUSED_ES_PICKER(NAME, FN)                                         \
+  template <unsigned ES, bool Checked> struct NAME##Wrap {                \
+    static uint32_t get(VM &Vm, const DOp &O, uint32_t PC) {              \
+      return VMOps::FN<ES, Checked>(Vm, O, PC);                           \
+    }                                                                     \
+  };                                                                      \
+  static Handler NAME(unsigned ES, bool Checked) {                        \
+    return pickByES<NAME##Wrap>(ES, Checked);                             \
+  }
+
+  FUSED_ES_PICKER(pickAddrLoad, addrLoad)
+  FUSED_ES_PICKER(pickAddrStore, addrStore)
+  FUSED_ES_PICKER(pickLoadPerm, loadPerm)
+#undef FUSED_ES_PICKER
+
+  // Kind-resolving pickers for the ALU-carrying superops. All of them
+  // return nullptr for kinds outside VAPOR_VM_FOREACH_KIND (or for
+  // non-dominant sub-opcodes): the pair simply stays unfused.
+
+  template <Opcode Sub>
+  static Handler pickLoadBinK(ScalarKind K, bool Checked) {
+    switch (K) {
+#define KIND_CASE(KK)                                                     \
+  case ScalarKind::KK:                                                    \
+    return Checked                                                        \
+               ? static_cast<Handler>(                                    \
+                     &VMOps::loadBin<Sub, ScalarKind::KK, true>)          \
+               : static_cast<Handler>(                                    \
+                     &VMOps::loadBin<Sub, ScalarKind::KK, false>);
+      VAPOR_VM_FOREACH_KIND(KIND_CASE)
+#undef KIND_CASE
+    default:
+      return nullptr;
+    }
+  }
+
+  template <Opcode Sub>
+  static Handler pickBinStoreK(ScalarKind K, bool Checked) {
+    switch (K) {
+#define KIND_CASE(KK)                                                     \
+  case ScalarKind::KK:                                                    \
+    return Checked                                                        \
+               ? static_cast<Handler>(                                    \
+                     &VMOps::binStore<Sub, ScalarKind::KK, true>)         \
+               : static_cast<Handler>(                                    \
+                     &VMOps::binStore<Sub, ScalarKind::KK, false>);
+      VAPOR_VM_FOREACH_KIND(KIND_CASE)
+#undef KIND_CASE
+    default:
+      return nullptr;
+    }
+  }
+
+#define FUSED_SUB_SWITCH(PICK, ...)                                       \
+  switch (static_cast<Opcode>(Sub)) {                                     \
+  case Opcode::Add:                                                       \
+    return PICK<Opcode::Add>(__VA_ARGS__);                                \
+  case Opcode::Sub:                                                       \
+    return PICK<Opcode::Sub>(__VA_ARGS__);                                \
+  case Opcode::Mul:                                                       \
+    return PICK<Opcode::Mul>(__VA_ARGS__);                                \
+  case Opcode::Min:                                                       \
+    return PICK<Opcode::Min>(__VA_ARGS__);                                \
+  case Opcode::Max:                                                       \
+    return PICK<Opcode::Max>(__VA_ARGS__);                                \
+  default:                                                                \
+    return nullptr;                                                       \
+  }
+
+  static Handler pickLoadBin(uint8_t Sub, ScalarKind K, bool Checked) {
+    FUSED_SUB_SWITCH(pickLoadBinK, K, Checked)
+  }
+
+  static Handler pickBinStore(uint8_t Sub, ScalarKind K, bool Checked) {
+    FUSED_SUB_SWITCH(pickBinStoreK, K, Checked)
+  }
+
+  template <Opcode S1, Opcode S2>
+  static Handler pickBinBinK(ScalarKind K) {
+    switch (K) {
+#define KIND_CASE(KK)                                                     \
+  case ScalarKind::KK:                                                    \
+    return &VMOps::binBin<S1, S2, ScalarKind::KK>;
+      VAPOR_VM_FOREACH_KIND(KIND_CASE)
+#undef KIND_CASE
+    default:
+      return nullptr;
+    }
+  }
+
+  template <Opcode S1>
+  static Handler pickBinBin2(uint8_t S2, ScalarKind K) {
+    switch (static_cast<Opcode>(S2)) {
+    case Opcode::Add:
+      return pickBinBinK<S1, Opcode::Add>(K);
+    case Opcode::Sub:
+      return pickBinBinK<S1, Opcode::Sub>(K);
+    case Opcode::Mul:
+      return pickBinBinK<S1, Opcode::Mul>(K);
+    case Opcode::Min:
+      return pickBinBinK<S1, Opcode::Min>(K);
+    case Opcode::Max:
+      return pickBinBinK<S1, Opcode::Max>(K);
+    default:
+      return nullptr;
+    }
+  }
+
+  static Handler pickBinBin(uint8_t Sub, uint8_t S2, ScalarKind K) {
+    FUSED_SUB_SWITCH(pickBinBin2, S2, K)
+  }
+#undef FUSED_SUB_SWITCH
+
+  template <Opcode Sub> static Handler pickCmpBranchK(ScalarKind K) {
+    switch (K) {
+#define KIND_CASE(KK)                                                     \
+  case ScalarKind::KK:                                                    \
+    return &VMOps::cmpBranch<Sub, ScalarKind::KK>;
+      VAPOR_VM_FOREACH_KIND(KIND_CASE)
+#undef KIND_CASE
+    default:
+      return nullptr;
+    }
+  }
+
+  static Handler pickCmpBranch(uint8_t Sub, ScalarKind K) {
+    switch (static_cast<Opcode>(Sub)) {
+    case Opcode::CmpEQ:
+      return pickCmpBranchK<Opcode::CmpEQ>(K);
+    case Opcode::CmpNE:
+      return pickCmpBranchK<Opcode::CmpNE>(K);
+    case Opcode::CmpLT:
+      return pickCmpBranchK<Opcode::CmpLT>(K);
+    case Opcode::CmpLE:
+      return pickCmpBranchK<Opcode::CmpLE>(K);
+    case Opcode::CmpGT:
+      return pickCmpBranchK<Opcode::CmpGT>(K);
+    case Opcode::CmpGE:
+      return pickCmpBranchK<Opcode::CmpGE>(K);
+    default:
+      return nullptr;
+    }
+  }
+
+  //===--- Pair matching --------------------------------------------------===//
+
+  /// Seeds a superop from the pair (X, Y): summed cost/counts, class
+  /// Fused unless a pattern overrides it to FusedBr.
+  static DOp seed(const DOp &X, const DOp &Y) {
+    DOp F;
+    F.Cost = X.Cost + Y.Cost;
+    F.Counts = static_cast<uint8_t>(X.Counts + Y.Counts);
+    F.Cls = OpCls::Fused;
+    return F;
+  }
+
+  /// Tries to fuse adjacent ops \p X then \p Y into \p F. \p TrapConst
+  /// receives the index (0 or 1) of the constituent whose pre-fusion op
+  /// index alignment traps must report; each pattern has at most one
+  /// trappable constituent. \returns false to leave the pair unfused.
+  static bool tryFuse(const DOp &X, const DOp &Y, DOp &F,
+                      unsigned &TrapConst) {
+    TrapConst = 0;
+
+    // Costed-nop absorption (spill placeholders): the nop's cost and
+    // count ride along on the neighbor. A nop after a control op is NOT
+    // absorbed -- a taken branch would skip it, and its cost with it.
+    if (X.Cls == OpCls::Nop) {
+      F = Y;
+      F.Cost = X.Cost + Y.Cost;
+      F.Counts = static_cast<uint8_t>(X.Counts + Y.Counts);
+      TrapConst = 1;
+      return true;
+    }
+    if (Y.Cls == OpCls::Nop && !isControl(X.Cls)) {
+      F = X;
+      F.Cost = X.Cost + Y.Cost;
+      F.Counts = static_cast<uint8_t>(X.Counts + Y.Counts);
+      return true;
+    }
+
+    switch (X.Cls) {
+    case OpCls::Addr: {
+      // addr dst feeding a load's address -> addr+load.
+      if ((Y.Cls == OpCls::VLoad || Y.Cls == OpCls::LoadS) && Y.B == X.A) {
+        bool Checked = Y.Cls == OpCls::VLoad && Y.Sub;
+        unsigned ES = scalarSize(static_cast<ScalarKind>(Y.Kind));
+        if (!validES(ES) || (Checked && !maskMatches(Y, ES)))
+          return false;
+        F = seed(X, Y);
+        F.Fn = pickAddrLoad(ES, Checked);
+        F.A = Y.A;
+        F.B = X.B;
+        F.C = X.C;
+        F.D = X.A;
+        F.Imm = X.Imm;
+        F.Lanes = Y.Lanes;
+        F.Kind = Y.Kind;
+        TrapConst = 1;
+        return true;
+      }
+      // addr dst feeding a store's address -> addr+store.
+      if ((Y.Cls == OpCls::VStore || Y.Cls == OpCls::StoreS) && Y.A == X.A) {
+        bool Checked = Y.Cls == OpCls::VStore && Y.Sub;
+        unsigned ES = scalarSize(static_cast<ScalarKind>(Y.Kind));
+        if (!validES(ES) || (Checked && !maskMatches(Y, ES)))
+          return false;
+        F = seed(X, Y);
+        F.Fn = pickAddrStore(ES, Checked);
+        F.A = X.A;
+        F.B = X.B;
+        F.C = X.C;
+        F.D = Y.B;
+        F.Imm = X.Imm;
+        F.Lanes = Y.Lanes;
+        F.Kind = Y.Kind;
+        TrapConst = 1;
+        return true;
+      }
+      return false;
+    }
+
+    case OpCls::VLoad:
+    case OpCls::LoadS: {
+      bool Checked = X.Cls == OpCls::VLoad && X.Sub;
+      unsigned ES = scalarSize(static_cast<ScalarKind>(X.Kind));
+      if (!validES(ES) || (Checked && !maskMatches(X, ES)))
+        return false;
+      // load dst feeding one side of a binop -> load+binop. The fused
+      // handler derives the element size from the binop kind, so the
+      // load's element size must match it.
+      OpCls WantBin = X.Cls == OpCls::VLoad ? OpCls::BinV : OpCls::BinS;
+      if (Y.Cls == WantBin && fusibleBin(Y.Sub) && Y.Lanes == X.Lanes &&
+          scalarSize(static_cast<ScalarKind>(Y.Kind)) == ES &&
+          (Y.B == X.A || Y.C == X.A)) {
+        Handler H =
+            pickLoadBin(Y.Sub, static_cast<ScalarKind>(Y.Kind), Checked);
+        if (!H)
+          return false;
+        F = seed(X, Y);
+        F.Fn = H;
+        F.A = X.A;
+        F.B = X.B;
+        F.D = Y.A;
+        if (Y.B == X.A) {
+          F.C = Y.C;
+          F.SrcKind = 0;
+        } else {
+          F.C = Y.B;
+          F.SrcKind = 1;
+        }
+        F.Lanes = X.Lanes;
+        F.Kind = Y.Kind;
+        return true;
+      }
+      // load dst feeding a realign permute -> load+permute (the fused
+      // handler folds the element-size shift into its template).
+      if (X.Cls == OpCls::VLoad && Y.Cls == OpCls::VPerm &&
+          Y.Lanes == X.Lanes && (Y.B == X.A || Y.C == X.A) &&
+          static_cast<uint64_t>(Y.Imm) == VMDecoder::log2Size(ES)) {
+        F = seed(X, Y);
+        F.Fn = pickLoadPerm(ES, Checked);
+        F.A = Y.A;
+        F.B = X.B;
+        F.Aux = X.A;
+        F.D = Y.D;
+        if (Y.B == X.A) {
+          F.C = Y.C;
+          F.SrcKind = 0;
+        } else {
+          F.C = Y.B;
+          F.SrcKind = 1;
+        }
+        F.Lanes = X.Lanes;
+        F.Kind = X.Kind;
+        return true;
+      }
+      return false;
+    }
+
+    case OpCls::BinV:
+    case OpCls::BinS: {
+      if (!fusibleBin(X.Sub))
+        return false;
+      // binop dst feeding one side of a same-kind binop -> binop+binop.
+      if (Y.Cls == X.Cls && fusibleBin(Y.Sub) && Y.Lanes == X.Lanes &&
+          Y.Kind == X.Kind && (Y.B == X.A || Y.C == X.A)) {
+        Handler H =
+            pickBinBin(X.Sub, Y.Sub, static_cast<ScalarKind>(X.Kind));
+        if (!H)
+          return false;
+        F = seed(X, Y);
+        F.Fn = H;
+        F.A = X.A;
+        F.B = X.B;
+        F.C = X.C;
+        F.D = Y.A;
+        if (Y.B == X.A) {
+          F.Aux = Y.C;
+          F.SrcKind = 0;
+        } else {
+          F.Aux = Y.B;
+          F.SrcKind = 1;
+        }
+        F.Lanes = X.Lanes;
+        F.Kind = X.Kind;
+        return true;
+      }
+      // binop dst feeding a store's value -> binop+store. The fused
+      // handler derives the store element size from the binop kind, so
+      // the store's element size must match it.
+      OpCls WantSt = X.Cls == OpCls::BinV ? OpCls::VStore : OpCls::StoreS;
+      if (Y.Cls == WantSt && Y.B == X.A && Y.Lanes == X.Lanes) {
+        bool Checked = Y.Cls == OpCls::VStore && Y.Sub;
+        unsigned ES = scalarSize(static_cast<ScalarKind>(Y.Kind));
+        if (!validES(ES) || (Checked && !maskMatches(Y, ES)) ||
+            scalarSize(static_cast<ScalarKind>(X.Kind)) != ES)
+          return false;
+        Handler H =
+            pickBinStore(X.Sub, static_cast<ScalarKind>(X.Kind), Checked);
+        if (!H)
+          return false;
+        F = seed(X, Y);
+        F.Fn = H;
+        F.A = X.A;
+        F.B = X.B;
+        F.C = X.C;
+        F.D = Y.A;
+        F.Lanes = X.Lanes;
+        F.Kind = X.Kind;
+        TrapConst = 1;
+        return true;
+      }
+      return false;
+    }
+
+    case OpCls::CmpS: {
+      // scalar compare feeding a branch-if-zero -> compare+branch.
+      if (Y.Cls == OpCls::Branch && Y.A == X.A) {
+        Handler H =
+            pickCmpBranch(X.Sub, static_cast<ScalarKind>(X.SrcKind));
+        if (!H)
+          return false;
+        F = seed(X, Y);
+        F.Fn = H;
+        F.A = X.A;
+        F.B = X.B;
+        F.C = X.C;
+        F.SrcKind = X.SrcKind;
+        F.Imm = Y.Imm; // Old-index target; remapped after the pass.
+        F.Cls = OpCls::FusedBr;
+        return true;
+      }
+      return false;
+    }
+
+    case OpCls::Copy: {
+      // last phi copy + loop latch -> copy+latch.
+      if (Y.Cls == OpCls::Latch) {
+        F = seed(X, Y);
+        F.Fn = &VMOps::copyLatch;
+        F.A = X.A;
+        F.B = X.B;
+        F.Lanes = X.Lanes;
+        F.C = Y.A;
+        F.D = Y.B;
+        F.Imm = Y.Imm; // Old-index target; remapped after the pass.
+        F.Cls = OpCls::FusedBr;
+        return true;
+      }
+      return false;
+    }
+
+    default:
+      return false;
+    }
+  }
+
+  /// One greedy left-to-right pass: fuse (i, i+1) whenever i+1 is not a
+  /// branch target and a pattern matches, then remap every absolute jump
+  /// target through the old->new index table. i itself MAY be a branch
+  /// target -- jumps land on the superop, which starts with i's
+  /// semantics.
+  static void run(DecodedProgram &P) {
+    const std::vector<DOp> Old = std::move(P.Code);
+    P.Code.clear();
+    const uint32_t N = static_cast<uint32_t>(Old.size());
+    if (N == 0)
+      return;
+
+    // Branch targets (absolute Imm of every control op; loop heads can
+    // target one past the end).
+    std::vector<bool> IsTarget(N + 1, false);
+    for (const DOp &O : Old)
+      if (isControl(O.Cls)) {
+        assert(O.Imm >= 0 && static_cast<uint64_t>(O.Imm) <= N &&
+               "control op with unpatched target");
+        IsTarget[static_cast<uint32_t>(O.Imm)] = true;
+      }
+
+    std::vector<uint32_t> OldToNew(N + 1, 0);
+    std::vector<DOp> New;
+    New.reserve(N);
+    std::vector<uint32_t> Orig;
+    Orig.reserve(N);
+
+    uint32_t I = 0;
+    while (I < N) {
+      DOp F;
+      unsigned TrapConst = 0;
+      if (I + 1 < N && !IsTarget[I + 1] &&
+          tryFuse(Old[I], Old[I + 1], F, TrapConst)) {
+        uint32_t NewIdx = static_cast<uint32_t>(New.size());
+        OldToNew[I] = OldToNew[I + 1] = NewIdx;
+        New.push_back(F);
+        Orig.push_back(I + TrapConst);
+        ++P.FusedOps;
+        I += 2;
+        continue;
+      }
+      OldToNew[I] = static_cast<uint32_t>(New.size());
+      Orig.push_back(I);
+      New.push_back(Old[I]);
+      ++I;
+    }
+    OldToNew[N] = static_cast<uint32_t>(New.size());
+
+    for (DOp &O : New)
+      if (isControl(O.Cls) || O.Cls == OpCls::FusedBr)
+        O.Imm = OldToNew[static_cast<uint32_t>(O.Imm)];
+
+    P.Code = std::move(New);
+    P.OrigIndex = std::move(Orig);
+  }
+};
+
+//===--- DecodedProgram ---------------------------------------------------===//
+
+std::shared_ptr<const DecodedProgram>
+DecodedProgram::build(const MFunction &F, const TargetDesc &T,
+                      const MemoryImage &Image, bool Weak, bool Fuse) {
+  auto P = std::make_shared<DecodedProgram>();
+  P->TargetName = T.Name;
+  VMDecoder(*P, F, T, Image, Weak).decode();
+  P->PreFusionOps = static_cast<uint32_t>(P->Code.size());
+  if (Fuse)
+    VMFuser::run(*P);
+  return P;
+}
 
 } // namespace target
 } // namespace vapor
@@ -869,10 +1752,23 @@ std::string TrapInfo::str() const {
 
 //===--- VM ---------------------------------------------------------------===//
 
-VM::VM(const MFunction &F, const TargetDesc &T, MemoryImage &Image,
-       bool Weak)
-    : Mem(Image), TargetName(T.Name) {
-  VMDecoder(*this, F, T, Weak).decode();
+VM::VM(const MFunction &F, const TargetDesc &T, MemoryImage &Image, bool Weak,
+       bool Fuse)
+    : Prog(DecodedProgram::build(F, T, Image, Weak, Fuse)), Mem(Image) {
+  bindProgram();
+}
+
+VM::VM(std::shared_ptr<const DecodedProgram> Program, MemoryImage &Image)
+    : Prog(std::move(Program)), Mem(Image) {
+  bindProgram();
+}
+
+void VM::bindProgram() {
+  RegStore.assign(Prog->LaneCount + 1, 0);
+  R = RegStore.data();
+  if (reinterpret_cast<uintptr_t>(R) % 16 != 0)
+    ++R; // 16-byte-align the lane file inside the padded store.
+  AuxBase = Prog->AuxLanes.data();
 }
 
 uint8_t *VM::memFault(uint64_t Addr) {
@@ -882,7 +1778,7 @@ uint8_t *VM::memFault(uint64_t Addr) {
   if (!Trapped) { // First trap wins: it is the one the executor acts on.
     Trapped = true;
     Trap = TrapInfo{TrapInfo::Kind::OutOfBounds, ~0u, Addr, 0, false,
-                    TargetName};
+                    Prog->TargetName};
     TrapMsg = Trap.str();
   }
   // Hand the faulting op a zeroed sink so it completes harmlessly. The
@@ -895,8 +1791,8 @@ uint8_t *VM::memFault(uint64_t Addr) {
 
 uint32_t VM::alignTrap(uint32_t PC, uint64_t Addr, uint32_t RequiredAlign,
                        bool IsStore) {
-  TrapInfo TI{TrapInfo::Kind::Alignment, PC, Addr, RequiredAlign, IsStore,
-              TargetName};
+  TrapInfo TI{TrapInfo::Kind::Alignment, Prog->origIndex(PC), Addr,
+              RequiredAlign, IsStore, Prog->TargetName};
   if (!TrapRecording)
     fatalError(TI.str());
   if (!Trapped) { // First trap wins.
@@ -904,11 +1800,11 @@ uint32_t VM::alignTrap(uint32_t PC, uint64_t Addr, uint32_t RequiredAlign,
     Trap = TI;
     TrapMsg = Trap.str();
   }
-  return static_cast<uint32_t>(Code.size()); // Halt the run loop.
+  return static_cast<uint32_t>(Prog->Code.size()); // Halt the run loop.
 }
 
 void VM::setParamInt(const std::string &Name, int64_t V) {
-  for (const ParamSlot &P : Params) {
+  for (const DecodedProgram::ParamSlot &P : Prog->Params) {
     if (P.Name != Name)
       continue;
     R[P.Off] = isFloatKind(P.Kind) ? encodeFP(P.Kind, static_cast<double>(V))
@@ -919,7 +1815,7 @@ void VM::setParamInt(const std::string &Name, int64_t V) {
 }
 
 void VM::setParamFP(const std::string &Name, double V) {
-  for (const ParamSlot &P : Params) {
+  for (const DecodedProgram::ParamSlot &P : Prog->Params) {
     if (P.Name != Name)
       continue;
     R[P.Off] = isFloatKind(P.Kind) ? encodeFP(P.Kind, V)
@@ -947,8 +1843,8 @@ status::Status VM::run() {
   // finish against the scratch sink (termination is register-driven), so
   // the uninstrumented hot path is byte-for-byte the pre-fault-tolerance
   // loop.
-  const DOp *Ops = this->Code.data();
-  const uint32_t N = static_cast<uint32_t>(this->Code.size());
+  const DOp *Ops = Prog->Code.data();
+  const uint32_t N = static_cast<uint32_t>(Prog->Code.size());
   uint64_t Cyc = 0, Ins = 0;
   uint32_t PC = 0;
   while (PC < N) {

@@ -9,24 +9,40 @@
 /// a jit-compiled MFunction against a MemoryImage on one of the target
 /// machine models and reports modeled cycles plus executed-instruction
 /// counts. Executing 32 kernels x 4 flows x 5 targets per bench sweep
-/// makes this the hot path of the repository, so it is built as a
-/// pre-decoded threaded interpreter:
+/// (counts verified against Pipeline.h's Flow enum and the kernel and
+/// target registries) makes this the hot path of the repository, so it
+/// is built as a pre-decoded threaded interpreter:
 ///
 ///  - construction decodes the structured machine code ONCE into a flat
 ///    array of fixed-size ops with resolved handler pointers, resolved
 ///    register-lane offsets, pre-encoded immediates, and the cycle cost
 ///    of each op baked in (loops and ifs become head/branch ops with
 ///    absolute jump targets);
+///  - a post-decode macro-op fusion peephole (VMFuser, VM.cpp) rewrites
+///    the dominant dynamic pairs -- address+load, load+arith, arith+
+///    arith, arith+store, compare+branch, load+realign-permute, loop
+///    plumbing copy+latch -- into single superops with summed cycle
+///    costs and instruction counts, so the fused program models the
+///    exact same cycles and instrsExecuted() in half the dispatches;
 ///  - the dispatch loop is `pc = op.Fn(vm, op, pc)` over that array --
 ///    no per-step name lookups, no maps, no allocation;
 ///  - all registers live in one flat preallocated file of 16-byte-
 ///    aligned 64-bit lanes; an op addresses lanes by precomputed offset;
 ///  - cycles and instruction counts accumulate as running integer adds.
 ///
+/// The decoded (and fused) program is an immutable DecodedProgram that
+/// many VMs can share: the content-addressed code cache (jit/CodeCache)
+/// hands the same shared program to every sweep cell that compiles the
+/// same function for the same target and placement, so repeated sweeps
+/// skip decode+fuse entirely.
+///
 /// Aligned vector accesses (VLoadA/VStoreA) to a misaligned address are
 /// a hard "alignment trap" abort: the machine models fault exactly where
 /// real SSE movdqa / AltiVec lvx semantics would silently corrupt the
-/// experiment.
+/// experiment. Traps report *pre-fusion* op indices: fusion keeps a side
+/// table mapping each superop back to the original index of its (single)
+/// trappable constituent, so TrapInfo attribution and the verifier's
+/// mutation test stay exact with fusion on.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -40,6 +56,7 @@
 #include "target/Target.h"
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -57,7 +74,7 @@ struct TrapInfo {
     OutOfBounds, ///< Access outside the memory image.
   };
   Kind TrapKind = Kind::None;
-  uint32_t OpIndex = ~0u;     ///< Faulting decoded-op PC (~0u if unknown).
+  uint32_t OpIndex = ~0u;     ///< Faulting *pre-fusion* op PC (~0u unknown).
   uint64_t Address = 0;       ///< Faulting virtual address.
   uint32_t RequiredAlign = 0; ///< Bytes the access required (0 for bounds).
   bool IsStore = false;       ///< Store-side (vs load-side) fault.
@@ -68,13 +85,118 @@ struct TrapInfo {
   std::string str() const;
 };
 
+class VM;
+
+/// Structural class of a decoded op, written by the decoder so the
+/// fusion peephole can pattern-match pairs without reverse-mapping
+/// handler pointers. Runtime dispatch never reads it.
+enum class OpCls : uint8_t {
+  Other = 0,
+  LoopHead, ///< Guarded loop entry; Imm = absolute exit target.
+  Latch,    ///< iv += step; goto Imm (loop back-edge).
+  Jump,     ///< Unconditional; Imm = absolute target.
+  Branch,   ///< branch-if-zero; Imm = absolute target.
+  Addr,     ///< base + (index << scale) address computation.
+  LoadS,    ///< Scalar load.
+  StoreS,   ///< Scalar store.
+  VLoad,    ///< Vector load; Sub = 1 when alignment-checked (VLoadA).
+  VStore,   ///< Vector store; Sub = 1 when alignment-checked (VStoreA).
+  BinS,     ///< Scalar ALU binop; Sub = ir::Opcode.
+  BinV,     ///< Vector ALU binop; Sub = ir::Opcode.
+  CmpS,     ///< Scalar compare; Sub = ir::Opcode.
+  VPerm,    ///< Two-source realignment permute.
+  Copy,     ///< Synthetic whole-register copy (loop plumbing).
+  Nop,      ///< Costed no-op (spill placeholder).
+  Fused,    ///< Straight-line superop (fall-through).
+  FusedBr,  ///< Control superop (cmp+branch, copy+latch); Imm = target.
+};
+
+/// An immutable decoded (and optionally fused) program: everything the
+/// VM's dispatch loop needs except the mutable machine state (register
+/// file, memory image, counters). Built once per (function, target,
+/// placement, weak-tier) and shareable across any number of VMs running
+/// concurrently -- the parallel sweep engine and the code cache rely on
+/// that const-ness.
+class DecodedProgram {
+public:
+  struct DOp;
+  /// Executes one decoded op and \returns the next program counter.
+  using Handler = uint32_t (*)(VM &, const DOp &, uint32_t);
+
+  /// One pre-decoded op: handler, register-lane offsets (A..D), an
+  /// immediate (pre-encoded constant, jump target, align mask, or shift
+  /// depending on the handler), cost, and lane count. Superops pack both
+  /// constituents' fields; their Cost/Counts are the pair's sums, so
+  /// modeled cycles and instruction counts are fusion-invariant.
+  struct DOp {
+    Handler Fn = nullptr;
+    uint32_t A = 0;
+    uint32_t B = 0;
+    uint32_t C = 0;
+    uint32_t D = 0;
+    int64_t Imm = 0;
+    uint32_t Cost = 0;
+    uint32_t Aux = 0;      ///< AuxLanes start (VExtract); superop lane off.
+    uint16_t Lanes = 1;    ///< Lanes this op operates on.
+    uint8_t Kind = 0;      ///< ir::ScalarKind of the operation.
+    uint8_t SrcKind = 0;   ///< Source kind (converts); operand-order flag
+                           ///< for superops (1 = fused value is the RHS).
+    uint8_t Counts = 0;    ///< Contribution to instrsExecuted().
+    OpCls Cls = OpCls::Other; ///< Structural class (fusion matching).
+    uint8_t Sub = 0;       ///< Sub-opcode / checked flag (see OpCls).
+  };
+
+  /// Decodes \p F for target \p T with array bases resolved against
+  /// \p Image's placement, then (when \p Fuse) runs the macro-op fusion
+  /// peephole. \p Weak models the weak online tier (x87 scalar FP).
+  static std::shared_ptr<const DecodedProgram>
+  build(const MFunction &F, const TargetDesc &T, const MemoryImage &Image,
+        bool Weak = false, bool Fuse = true);
+
+  /// Maps a decoded-op PC back to the pre-fusion op index reported in
+  /// TrapInfo::OpIndex: for a superop, the original index of its single
+  /// trappable constituent. Identity when no fusion ran.
+  uint32_t origIndex(uint32_t PC) const {
+    return OrigIndex.empty() ? PC : OrigIndex[PC];
+  }
+
+  std::vector<DOp> Code;
+  std::vector<uint32_t> AuxLanes; ///< Resolved lane offsets (VExtract).
+
+  struct ParamSlot {
+    std::string Name;
+    uint32_t Off;
+    ir::ScalarKind Kind;
+  };
+  std::vector<ParamSlot> Params;
+
+  uint32_t LaneCount = 0; ///< 64-bit lanes in the register file.
+  std::string TargetName; ///< For TrapInfo reporting.
+
+  /// Per-superop original pre-fusion index (trappable constituent).
+  /// Empty means identity (fusion off or nothing fused).
+  std::vector<uint32_t> OrigIndex;
+  uint32_t PreFusionOps = 0; ///< Op count before the peephole.
+  uint32_t FusedOps = 0;     ///< Superops emitted by the peephole.
+};
+
 class VM {
 public:
   /// Decodes \p F for execution on \p T against \p Image. \p Weak models
-  /// the weak online tier's execution environment (x87 scalar FP).
-  /// Arrays must already be placed in \p Image; bases are resolved here.
+  /// the weak online tier's execution environment (x87 scalar FP);
+  /// \p Fuse runs the macro-op fusion peephole (identical results, fewer
+  /// dispatches). Arrays must already be placed in \p Image; bases are
+  /// resolved here.
   VM(const MFunction &F, const TargetDesc &T, MemoryImage &Image,
-     bool Weak = false);
+     bool Weak = false, bool Fuse = true);
+
+  /// Runs a prebuilt (typically cache-shared) program against \p Image.
+  /// \p Image must use the placement the program's bases were resolved
+  /// against.
+  VM(std::shared_ptr<const DecodedProgram> Program, MemoryImage &Image);
+
+  /// The immutable program this VM executes.
+  const DecodedProgram &program() const { return *Prog; }
 
   /// Binds scalar parameter \p Name (aborts on unknown names).
   void setParamInt(const std::string &Name, int64_t V);
@@ -106,30 +228,13 @@ public:
   const std::string &trapMessage() const { return TrapMsg; }
 
 private:
-  struct DOp;
-  /// Executes one decoded op and \returns the next program counter.
-  using Handler = uint32_t (*)(VM &, const DOp &, uint32_t);
+  using DOp = DecodedProgram::DOp;
 
-  /// One pre-decoded op: handler, register-lane offsets (A..D), an
-  /// immediate (pre-encoded constant, jump target, align mask, or lane
-  /// offset depending on the handler), cost, and lane count.
-  struct DOp {
-    Handler Fn = nullptr;
-    uint32_t A = 0;
-    uint32_t B = 0;
-    uint32_t C = 0;
-    uint32_t D = 0;
-    int64_t Imm = 0;
-    uint32_t Cost = 0;
-    uint32_t Aux = 0;    ///< Start index in AuxLanes (variadic ops).
-    uint16_t Lanes = 1;  ///< Lanes this op operates on.
-    uint8_t Kind = 0;    ///< ir::ScalarKind of the operation.
-    uint8_t SrcKind = 0; ///< Source kind for converts/widenings.
-    uint8_t Counts = 0;  ///< Contributes to instrsExecuted().
-  };
+  friend struct VMOps; ///< Handler implementations (VM.cpp).
 
-  friend struct VMOps;     ///< Handler implementations (VM.cpp).
-  friend struct VMDecoder; ///< MFunction -> DOp translation (VM.cpp).
+  /// Sizes and aligns the register file for Prog and caches the aux-lane
+  /// base pointer.
+  void bindProgram();
 
   /// Bounds-fault site: aborts, or in trap-recording mode records the
   /// fault and \returns a zeroed scratch buffer the faulting op harmlessly
@@ -139,21 +244,15 @@ private:
   uint8_t *memFault(uint64_t Addr);
 
   /// Alignment-trap site: aborts, or in trap-recording mode records the
-  /// fault and \returns a past-the-end PC that halts the run loop.
+  /// fault (with \p PC mapped to its pre-fusion op index) and \returns a
+  /// past-the-end PC that halts the run loop.
   uint32_t alignTrap(uint32_t PC, uint64_t Addr, uint32_t RequiredAlign,
                      bool IsStore);
 
-  std::vector<DOp> Code;
+  std::shared_ptr<const DecodedProgram> Prog;
   std::vector<uint64_t> RegStore; ///< Backing store for the lane file.
   uint64_t *R = nullptr;          ///< 16-byte-aligned lane file.
-  std::vector<uint32_t> AuxLanes; ///< Resolved lane offsets (VExtract).
-
-  struct ParamSlot {
-    std::string Name;
-    uint32_t Off;
-    ir::ScalarKind Kind;
-  };
-  std::vector<ParamSlot> Params;
+  const uint32_t *AuxBase = nullptr; ///< Prog->AuxLanes.data().
 
   MemoryImage &Mem;
   uint8_t *MemPtr = nullptr; ///< Cached image pointer during run().
@@ -162,8 +261,6 @@ private:
 
   uint64_t Cycles = 0;
   uint64_t Instrs = 0;
-
-  std::string TargetName; ///< For TrapInfo reporting.
 
   bool TrapRecording = false;
   bool Trapped = false;

@@ -8,6 +8,7 @@
 
 #include "bytecode/Bytecode.h"
 #include "ir/Interp.h"
+#include "jit/CodeCache.h"
 #include "support/Support.h"
 #include "target/VM.h"
 #include "vapor/FillAdapters.h"
@@ -45,7 +46,7 @@ RunOutcome Executor::run(ExecTier Entry) {
       break;
     }
     case ExecTier::ScalarJit: {
-      if (!HaveVecModule) { // Nothing decoded to scalarize.
+      if (!VecModule) { // Nothing decoded to scalarize.
         T = ExecTier::ScalarBytecode;
         break;
       }
@@ -82,57 +83,97 @@ Status Executor::attemptVectorized(RunOutcome &Out) {
   Out.AnyLoopVectorized = VR.anyVectorized();
 
   // The split layer is a real interchange format: encode and decode what
-  // the online compiler consumes (also yields the size statistic).
+  // the online compiler consumes (also yields the size statistic). The
+  // decode and verification verdicts are pure functions of the encoded
+  // bytes (and target), so sweep re-runs take them from the cache.
   std::vector<uint8_t> Encoded = bytecode::encode(VR.Output);
   Out.BytecodeBytes = Encoded.size();
-  auto Decoded = bytecode::decode(Encoded);
-  if (!Decoded)
-    return Decoded.status();
-  VecModule = Decoded.take();
-  HaveVecModule = true;
+  const bool Cached = O.UseCodeCache && jit::cache::enabled();
+  uint64_t BytesHash = 0;
+  std::shared_ptr<const ir::Function> Module;
+  if (Cached) {
+    BytesHash = jit::cache::hashBytes(Encoded.data(), Encoded.size());
+    Module = jit::cache::findModule(BytesHash);
+  }
+  if (!Module) {
+    auto Decoded = bytecode::decode(Encoded);
+    if (!Decoded)
+      return Decoded.status();
+    Module = Cached
+                 ? jit::cache::putModule(BytesHash, Decoded.take())
+                 : std::make_shared<const ir::Function>(Decoded.take());
+  }
+  VecModule = Module;
+  VecModuleHash = Cached ? ir::hashFunction(*VecModule) : 0;
 
   // The split layer's contract: what crosses it must be provably safe
   // for every lowering the online compiler may pick on this target.
   if (O.VerifyBytecode) {
-    verify::VerifyOptions VO;
-    VO.Targets = {O.Target};
-    verify::Report Rep = verify::verifyModule(VecModule, VO);
-    if (!Rep.ok())
-      return Status::error(Code::VerificationFailed, Layer::Verify,
-                           "bytecode verification failed for " + K.Name +
-                               ":\n" + Rep.str());
+    Status St = verifyCached(*VecModule, VecModuleHash, Cached,
+                             "bytecode verification failed for ");
+    if (!St.ok())
+      return St;
   }
 
-  return runModule(Out, VecModule, /*ForceScalarize=*/false);
+  return runModule(Out, *VecModule, VecModuleHash, /*ForceScalarize=*/false);
 }
 
 Status Executor::attemptScalarJit(RunOutcome &Out) {
-  return runModule(Out, VecModule, /*ForceScalarize=*/true);
+  return runModule(Out, *VecModule, VecModuleHash, /*ForceScalarize=*/true);
 }
 
 Status Executor::attemptScalarBytecode(RunOutcome &Out) {
   std::vector<uint8_t> Encoded = bytecode::encode(K.Source);
   Out.BytecodeBytes = Encoded.size();
-  auto Decoded = bytecode::decode(Encoded);
-  if (!Decoded)
-    return Decoded.status();
-  ir::Function ScalarModule = Decoded.take();
+  const bool Cached = O.UseCodeCache && jit::cache::enabled();
+  uint64_t BytesHash = 0;
+  std::shared_ptr<const ir::Function> Module;
+  if (Cached) {
+    BytesHash = jit::cache::hashBytes(Encoded.data(), Encoded.size());
+    Module = jit::cache::findModule(BytesHash);
+  }
+  if (!Module) {
+    auto Decoded = bytecode::decode(Encoded);
+    if (!Decoded)
+      return Decoded.status();
+    Module = Cached
+                 ? jit::cache::putModule(BytesHash, Decoded.take())
+                 : std::make_shared<const ir::Function>(Decoded.take());
+  }
+  uint64_t FnHash = Cached ? ir::hashFunction(*Module) : 0;
 
   if (O.VerifyBytecode) {
-    verify::VerifyOptions VO;
-    VO.Targets = {O.Target};
-    verify::Report Rep = verify::verifyModule(ScalarModule, VO);
-    if (!Rep.ok())
-      return Status::error(Code::VerificationFailed, Layer::Verify,
-                           "scalar bytecode verification failed for " +
-                               K.Name + ":\n" + Rep.str());
+    Status St = verifyCached(*Module, FnHash, Cached,
+                             "scalar bytecode verification failed for ");
+    if (!St.ok())
+      return St;
   }
 
-  return runModule(Out, ScalarModule, /*ForceScalarize=*/false);
+  return runModule(Out, *Module, FnHash, /*ForceScalarize=*/false);
+}
+
+Status Executor::verifyCached(const ir::Function &Module, uint64_t FnHash,
+                              bool Cached, const char *FailPrefix) {
+  uint64_t TargetHash = Cached ? jit::cache::hashTarget(O.Target) : 0;
+  std::optional<jit::cache::VerifyResult> VRes;
+  if (Cached)
+    VRes = jit::cache::findVerify(FnHash, TargetHash);
+  if (!VRes) {
+    verify::VerifyOptions VO;
+    VO.Targets = {O.Target};
+    verify::Report Rep = verify::verifyModule(Module, VO);
+    VRes = jit::cache::VerifyResult{Rep.ok(), Rep.ok() ? "" : Rep.str()};
+    if (Cached)
+      jit::cache::putVerify(FnHash, TargetHash, *VRes);
+  }
+  if (!VRes->Ok)
+    return Status::error(Code::VerificationFailed, Layer::Verify,
+                         FailPrefix + K.Name + ":\n" + VRes->Report);
+  return Status::okStatus();
 }
 
 Status Executor::runModule(RunOutcome &Out, const ir::Function &Module,
-                           bool ForceScalarize) {
+                           uint64_t FnHash, bool ForceScalarize) {
   // --- Runtime layout: a fresh image per attempt, because a trapped run
   // may have partially written arrays. ---
   Out.Mem = std::make_unique<MemoryImage>();
@@ -153,30 +194,56 @@ Status Executor::runModule(RunOutcome &Out, const ir::Function &Module,
       RT.Arrays.push_back({true, Out.Mem->base(A)});
   }
 
-  // --- Online stage (timed; CompileMicros sums across retries) ---
+  // --- Online stage (timed; CompileMicros sums across retries, and a
+  // warm cache hit reports the [near-zero] lookup time -- that is the
+  // measurement, not an accounting gap) ---
   jit::Options JO;
   JO.CompilerTier = O.Tier;
   JO.FoldAddressing = O.FoldAddressing;
   JO.PromoteAccumulators = O.PromoteAccumulators;
   JO.ForceScalarize = ForceScalarize;
+  const bool Cached = O.UseCodeCache && jit::cache::enabled();
+  uint64_t CompKey = 0;
+  std::shared_ptr<const jit::CompileResult> R;
   auto T0 = std::chrono::steady_clock::now();
-  auto CR = jit::compileChecked(Module, O.Target, RT, JO);
-  auto T1 = std::chrono::steady_clock::now();
-  Out.CompileMicros +=
-      std::chrono::duration<double, std::micro>(T1 - T0).count();
-  if (!CR)
-    return CR.status();
-  jit::CompileResult R = CR.take();
-  Out.Scalarized = R.Scalarized;
-  Out.Code = std::move(R.Code);
+  if (Cached) {
+    if (!FnHash)
+      FnHash = ir::hashFunction(Module);
+    CompKey = jit::cache::compileKey(FnHash, O.Target, JO, RT);
+    R = jit::cache::findCompile(CompKey);
+  }
+  if (!R) {
+    auto CR = jit::compileChecked(Module, O.Target, RT, JO);
+    if (!CR) {
+      Out.CompileMicros += std::chrono::duration<double, std::micro>(
+                               std::chrono::steady_clock::now() - T0)
+                               .count();
+      return CR.status();
+    }
+    R = Cached ? jit::cache::putCompile(CompKey, CR.take())
+               : std::make_shared<const jit::CompileResult>(CR.take());
+  }
+  Out.CompileMicros += std::chrono::duration<double, std::micro>(
+                           std::chrono::steady_clock::now() - T0)
+                           .count();
+  Out.Scalarized = R->Scalarized;
+  Out.Code = R->Code;
   Out.Iaca = analyzeVectorLoop(Out.Code, O.Target);
 
   // --- Workload and execution ---
   detail::MemFill Fill(*Out.Mem);
   K.fill(Fill);
 
-  VM Machine(Out.Code, O.Target, *Out.Mem,
-             JO.CompilerTier == jit::Tier::Weak);
+  // The pre-decoded (and fused) program is immutable and placement-keyed,
+  // so every cell of a sweep that compiles the same code for the same
+  // layout shares one program.
+  const bool Weak = JO.CompilerTier == jit::Tier::Weak;
+  std::shared_ptr<const DecodedProgram> Prog =
+      Cached ? jit::cache::programFor(CompKey, R->Code, O.Target, *Out.Mem,
+                                      Weak, O.FuseOps)
+             : DecodedProgram::build(R->Code, O.Target, *Out.Mem, Weak,
+                                     O.FuseOps);
+  VM Machine(Prog, *Out.Mem);
   Machine.setTrapRecording(true);
   detail::setParams(
       K, Module,

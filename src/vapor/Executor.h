@@ -66,16 +66,27 @@ private:
   /// checkAgainstGolden works uniformly across tiers.
   void runInterpreter(RunOutcome &Out);
 
-  /// The shared online tail of the JIT tiers: layout, compileChecked,
-  /// fill, VM run (trap-recording). On success fills the outcome's
-  /// Cycles/Code/Mem; on failure \returns the Jit- or Vm-layer Status.
+  /// The shared online tail of the JIT tiers: layout, compileChecked
+  /// (through the code cache when enabled), fill, VM run
+  /// (trap-recording). \p FnHash is ir::hashFunction(Module) when the
+  /// caller already computed it, 0 to compute on demand. On success
+  /// fills the outcome's Cycles/Code/Mem; on failure \returns the Jit-
+  /// or Vm-layer Status.
   status::Status runModule(RunOutcome &Out, const ir::Function &Module,
-                           bool ForceScalarize);
+                           uint64_t FnHash, bool ForceScalarize);
+
+  /// Verification with the verdict memoized in the code cache (keyed on
+  /// \p FnHash and the run's target). \p Cached gates cache use; the
+  /// failure Status message starts with \p FailPrefix.
+  status::Status verifyCached(const ir::Function &Module, uint64_t FnHash,
+                              bool Cached, const char *FailPrefix);
 
   const kernels::Kernel &K;
   const RunOptions &O;
-  ir::Function VecModule{""}; ///< Decoded vectorized module, if any.
-  bool HaveVecModule = false;
+  /// Decoded vectorized module, if any; possibly shared with the code
+  /// cache (immutable either way).
+  std::shared_ptr<const ir::Function> VecModule;
+  uint64_t VecModuleHash = 0; ///< ir::hashFunction(*VecModule), if cached.
 };
 
 } // namespace vapor

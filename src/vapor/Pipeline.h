@@ -78,6 +78,15 @@ struct RunOptions {
   /// no checked vector accesses, so no alignment lie can trap it). Split
   /// flows only (native flows bypass the interchange format).
   bool VerifyBytecode = true;
+  /// Online-stage performance layer. FuseOps runs the VM's macro-op
+  /// fusion peephole (bit-identical results and modeled cycles, fewer
+  /// dispatches). UseCodeCache memoizes decode, verification, JIT
+  /// lowering, and VM pre-decode through the content-addressed cache
+  /// (jit/CodeCache.h); the cache stands down automatically while a
+  /// fault-injection controller is active, so instrumented runs always
+  /// execute every stage.
+  bool FuseOps = true;
+  bool UseCodeCache = true;
 };
 
 struct RunOutcome {

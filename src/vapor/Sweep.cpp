@@ -1,0 +1,61 @@
+//===- vapor/Sweep.cpp - Shared kernel x target sweep driver ----------------===//
+//
+// Part of the Vapor SIMD reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vapor/Sweep.h"
+
+#include "support/ThreadPool.h"
+#include "vapor/Pipeline.h"
+
+#include <cstdlib>
+
+using namespace vapor;
+
+unsigned sweep::defaultJobs() {
+  if (const char *Env = std::getenv("VAPOR_JOBS")) {
+    long N = std::strtol(Env, nullptr, 10);
+    if (N >= 1)
+      return static_cast<unsigned>(N);
+  }
+  return support::ThreadPool::defaultWorkerCount();
+}
+
+const kernels::Kernel *
+sweep::kernelByNameOrNull(const std::vector<kernels::Kernel> &All,
+                          const std::string &Name) {
+  for (const kernels::Kernel &K : All)
+    if (K.Name == Name)
+      return &K;
+  return nullptr;
+}
+
+const target::TargetDesc *
+sweep::targetByNameOrNull(const std::vector<target::TargetDesc> &All,
+                          const std::string &Name) {
+  for (const target::TargetDesc &T : All)
+    if (T.Name == Name)
+      return &T;
+  return nullptr;
+}
+
+sweep::SplitNativeCell
+sweep::splitOverNativeCell(const kernels::Kernel &K,
+                           const target::TargetDesc &T) {
+  RunOptions O;
+  O.Target = T;
+  O.Tier = jit::Tier::Strong;
+  RunOutcome Split = runKernel(K, Flow::SplitVectorized, O);
+  RunOutcome Native = runKernel(K, Flow::NativeVectorized, O);
+  SplitNativeCell C;
+  C.SplitCycles = Split.Cycles;
+  C.NativeCycles = Native.Cycles;
+  C.Scalarized = Split.Scalarized;
+  return C;
+}
+
+void sweep::forEachCell(unsigned Jobs, size_t N,
+                        const std::function<void(size_t)> &Fn) {
+  support::parallelFor(Jobs, N, Fn);
+}

@@ -1,0 +1,78 @@
+//===- vapor/Sweep.h - Shared kernel x target sweep driver -----*- C++ -*-===//
+//
+// Part of the Vapor SIMD reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The helpers shared by every driver that walks the kernel x target
+/// matrix (the fig5/fig6/table3/vm_throughput benches and the crashtest
+/// tool): registry lookups, the Fig. 6 split-over-native cell, and the
+/// parallel cell map on top of the work-stealing pool
+/// (support/ThreadPool.h).
+///
+/// Cells are independent by construction -- each evaluation builds its
+/// own MemoryImage, the fault-injection controller is thread-local, and
+/// the code cache is content-addressed -- so a parallel sweep computes
+/// exactly the numbers the serial sweep does; only the merge order
+/// differs, and every driver merges order-independently (sums, or
+/// index-addressed result slots printed in registry order).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAPOR_VAPOR_SWEEP_H
+#define VAPOR_VAPOR_SWEEP_H
+
+#include "kernels/Kernels.h"
+#include "target/Target.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace vapor {
+namespace sweep {
+
+/// Worker count for the sweep drivers: the VAPOR_JOBS environment
+/// variable when set (and >= 1; 1 forces serial), else the host's
+/// hardware concurrency.
+unsigned defaultJobs();
+
+/// \returns the kernel named \p Name in \p All, or nullptr.
+const kernels::Kernel *
+kernelByNameOrNull(const std::vector<kernels::Kernel> &All,
+                   const std::string &Name);
+
+/// \returns the target named \p Name in \p All, or nullptr.
+const target::TargetDesc *
+targetByNameOrNull(const std::vector<target::TargetDesc> &All,
+                   const std::string &Name);
+
+/// One Fig. 6 cell: modeled cycles of the split-vectorized flow and the
+/// natively-vectorized flow for (kernel, target) at the strong tier.
+struct SplitNativeCell {
+  uint64_t SplitCycles = 0;
+  uint64_t NativeCycles = 0;
+  bool Scalarized = false; ///< The online compiler scalarized the split
+                           ///< code on this target.
+  double ratio() const {
+    return static_cast<double>(SplitCycles) /
+           static_cast<double>(NativeCycles);
+  }
+};
+
+/// Evaluates one Fig. 6 cell (each call on its own MemoryImage; safe to
+/// run concurrently across cells).
+SplitNativeCell splitOverNativeCell(const kernels::Kernel &K,
+                                    const target::TargetDesc &T);
+
+/// Runs \p Fn(0..N-1) across \p Jobs pool workers and returns when all
+/// calls finished. Jobs <= 1 runs inline, byte-identical to the serial
+/// drivers.
+void forEachCell(unsigned Jobs, size_t N,
+                 const std::function<void(size_t)> &Fn);
+
+} // namespace sweep
+} // namespace vapor
+
+#endif // VAPOR_VAPOR_SWEEP_H

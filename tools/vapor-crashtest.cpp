@@ -3,8 +3,8 @@
 // Part of the Vapor SIMD reproduction.
 //
 // Usage:
-//   vapor-crashtest --all-kernels [--json <path>] [--verbose]
-//   vapor-crashtest <kernel-name> [target-name] [--verbose]
+//   vapor-crashtest --all-kernels [--json <path>] [--jobs N] [--verbose]
+//   vapor-crashtest <kernel-name> [target-name] [--jobs N] [--verbose]
 //
 // Drives the fault-tolerant executor (vapor::Executor) through the
 // split-vectorized flow for every kernel x target x injected fault and
@@ -25,16 +25,25 @@
 // Exit status is the number of failed cases (0 = contract holds).
 // --json writes a machine-readable summary (BENCH_crashtest.json).
 //
+// The kernel x target cells run across the work-stealing sweep pool
+// (--jobs N, default VAPOR_JOBS or the hardware concurrency; 1 forces
+// the serial driver). The fault-injection controller is thread-local,
+// so each worker arms and counts sites on its own runs only, and every
+// per-cell statistic is identical to a serial sweep -- only the merge
+// order (and FAIL-line interleaving) can differ.
+//
 //===----------------------------------------------------------------------===//
 
 #include "kernels/Kernels.h"
 #include "support/FaultInject.h"
 #include "target/Target.h"
 #include "vapor/Pipeline.h"
+#include "vapor/Sweep.h"
 
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -210,6 +219,7 @@ void writeJson(const char *Path, const Stats &S, size_t Kernels,
 int main(int argc, char **argv) {
   bool All = false, Verbose = false;
   const char *JsonPath = nullptr;
+  unsigned Jobs = sweep::defaultJobs();
   std::string KernelName, TargetName;
   for (int I = 1; I < argc; ++I) {
     if (!std::strcmp(argv[I], "--all-kernels"))
@@ -218,6 +228,8 @@ int main(int argc, char **argv) {
       Verbose = true;
     else if (!std::strcmp(argv[I], "--json") && I + 1 < argc)
       JsonPath = argv[++I];
+    else if (!std::strcmp(argv[I], "--jobs") && I + 1 < argc)
+      Jobs = static_cast<unsigned>(std::atoi(argv[++I]));
     else if (KernelName.empty())
       KernelName = argv[I];
     else
@@ -225,38 +237,51 @@ int main(int argc, char **argv) {
   }
   if (!All && KernelName.empty()) {
     std::printf("usage: vapor-crashtest --all-kernels [--json <path>] "
-                "[--verbose]\n"
-                "       vapor-crashtest <kernel> [target] [--verbose]\n");
+                "[--jobs N] [--verbose]\n"
+                "       vapor-crashtest <kernel> [target] [--jobs N] "
+                "[--verbose]\n");
     return 2;
   }
 
   std::vector<kernels::Kernel> Ks = kernels::allKernels();
   std::vector<target::TargetDesc> Ts = target::allTargets();
   if (!All) {
-    auto It = std::find_if(Ks.begin(), Ks.end(), [&](const auto &K) {
-      return K.Name == KernelName;
-    });
-    if (It == Ks.end()) {
+    const kernels::Kernel *K = sweep::kernelByNameOrNull(Ks, KernelName);
+    if (!K) {
       std::printf("unknown kernel '%s'\n", KernelName.c_str());
       return 2;
     }
-    Ks = {*It};
+    Ks = {*K};
     if (!TargetName.empty()) {
-      auto TI = std::find_if(Ts.begin(), Ts.end(), [&](const auto &T) {
-        return T.Name == TargetName;
-      });
-      if (TI == Ts.end()) {
+      const target::TargetDesc *T = sweep::targetByNameOrNull(Ts, TargetName);
+      if (!T) {
         std::printf("unknown target '%s'\n", TargetName.c_str());
         return 2;
       }
-      Ts = {*TI};
+      Ts = {*T};
     }
   }
 
+  // One cell per kernel x target; each runs on its own pool worker with
+  // its own thread-local fault controller, and merges its per-cell Stats
+  // (pure sums) under one mutex.
   Stats S;
-  for (const kernels::Kernel &K : Ks)
-    for (const target::TargetDesc &T : Ts)
-      sweepOne(K, T, S, Verbose);
+  std::mutex MergeMu;
+  size_t NumCells = Ks.size() * Ts.size();
+  sweep::forEachCell(Jobs, NumCells, [&](size_t Cell) {
+    const kernels::Kernel &K = Ks[Cell / Ts.size()];
+    const target::TargetDesc &T = Ts[Cell % Ts.size()];
+    Stats Local;
+    sweepOne(K, T, Local, Verbose);
+    std::lock_guard<std::mutex> Lock(MergeMu);
+    S.Cases += Local.Cases;
+    S.Failures += Local.Failures;
+    S.Fired += Local.Fired;
+    S.Retries += Local.Retries;
+    S.Demotions += Local.Demotions;
+    for (unsigned I = 0; I < 4; ++I)
+      S.TierCount[I] += Local.TierCount[I];
+  });
 
   std::printf("crashtest: %llu cases, %llu faults fired, %llu demotions, "
               "%llu deopt retries, %llu failures, 0 aborts\n",
