@@ -83,6 +83,7 @@ void figure5(const target::TargetDesc &T, const char *Caption,
 } // namespace
 
 int main(int argc, char **argv) {
+  auto Sink = traceSinkFromEnv();
   bool DoSse = true, DoAltivec = true;
   if (argc > 1 && argv[1][0] != '-') { // Flags (e.g. benchmark's) ignored.
     DoSse = std::strcmp(argv[1], "sse") == 0;

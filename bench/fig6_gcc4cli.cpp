@@ -58,6 +58,7 @@ void figure6(const target::TargetDesc &T, const char *Caption,
 } // namespace
 
 int main(int argc, char **argv) {
+  auto Sink = traceSinkFromEnv();
   bool All = argc <= 1 || argv[1][0] == '-';
   auto Want = [&](const char *Name) {
     return All || std::strcmp(argv[1], Name) == 0;

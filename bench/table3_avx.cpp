@@ -22,6 +22,7 @@ using namespace vapor;
 using namespace vapor::bench;
 
 int main() {
+  auto Sink = traceSinkFromEnv();
   printHeader("Table 3: IACA-style static throughput for AVX "
               "(cycles per vectorized-loop iteration)");
 

@@ -32,6 +32,8 @@
 #include "vapor/Pipeline.h"
 #include "vapor/Sweep.h"
 
+#include <algorithm>
+#include <tuple>
 #include <chrono>
 #include <cstring>
 #include <fstream>
@@ -82,6 +84,54 @@ Throughput measure(const RunOutcome &Out, const target::TargetDesc &T,
           Prog->PreFusionOps, Prog->FusedOps};
 }
 
+/// Measures the fused program's dispatch cost in the default observability
+/// state (compiled in, no sink installed: "ON-but-idle") and with the
+/// master switch dark, alternating 16-run batches between the two modes
+/// and keeping each mode's *fastest* batch. Host noise (frequency steps,
+/// neighbors, interrupts) only ever adds time, so the per-mode minimum
+/// over thousands of interleaved ~50us batches converges on the true
+/// dispatch cost for both modes; a mode-per-window mean at this overhead
+/// scale measures only noise and would flap the perf gate's 2% check
+/// (scripts/perf_gate.py --obs-overhead).
+std::pair<double, double> measureObsOverhead(const RunOutcome &Out,
+                                             const target::TargetDesc &T,
+                                             const kernels::Kernel &K,
+                                             double Seconds = 0.6) {
+  auto Prog =
+      target::DecodedProgram::build(Out.Code, T, *Out.Mem, false, true);
+  target::VM M(Prog, *Out.Mem);
+  for (const auto &P : K.IntParams)
+    M.setParamInt(P.first, P.second);
+  for (const auto &P : K.FPParams)
+    M.setParamFP(P.first, P.second);
+  M.run(); // Warm-up.
+  uint64_t OpsPerRun = M.instrsExecuted();
+
+  using Clock = std::chrono::steady_clock;
+  double Total = 0;
+  double MinIdle = 1e30, MinOff = 1e30;
+  do {
+    auto T0 = Clock::now();
+    for (int I = 0; I < 16; ++I)
+      M.run();
+    auto T1 = Clock::now();
+    bool Prev = obs::setEnabled(false);
+    auto T2 = Clock::now();
+    for (int I = 0; I < 16; ++I)
+      M.run();
+    auto T3 = Clock::now();
+    obs::setEnabled(Prev);
+    double DIdle = std::chrono::duration<double>(T1 - T0).count();
+    double DOff = std::chrono::duration<double>(T3 - T2).count();
+    MinIdle = std::min(MinIdle, DIdle);
+    MinOff = std::min(MinOff, DOff);
+    Total += DIdle + DOff;
+  } while (Total < Seconds);
+
+  double BatchOps = static_cast<double>(OpsPerRun) * 16.0;
+  return {MinIdle * 1e9 / BatchOps, MinOff * 1e9 / BatchOps};
+}
+
 /// One benchmark cell: kernel x target, measured fused and unfused.
 struct Cell {
   std::string Kernel;
@@ -109,6 +159,7 @@ int main(int argc, char **argv) {
   bool Json = argc > 1 && std::strcmp(argv[1], "--json") == 0;
   const char *JsonPath = argc > 2 ? argv[2] : "BENCH_vm.json";
 
+  auto Sink = traceSinkFromEnv();
   std::vector<kernels::Kernel> All = kernels::allKernels();
 
   // The measured basket: a streaming FP kernel, a compute-dense integer/
@@ -121,6 +172,11 @@ int main(int argc, char **argv) {
       {"avx", target::avxTarget()}};
 
   std::vector<Cell> Cells;
+  // Headline obs overhead: the fused headline measurement runs in the
+  // default state (obs compiled in, no per-dispatch cost, counters live
+  // = "ON-but-idle"); NsObsOff re-measures with the master switch dark.
+  // scripts/perf_gate.py --obs-overhead holds idle <= off * 1.02.
+  double NsObsIdle = 0, NsObsOff = 0;
   for (const char *KName : KernelNames) {
     const kernels::Kernel *K = sweep::kernelByNameOrNull(All, KName);
     if (!K)
@@ -138,6 +194,8 @@ int main(int argc, char **argv) {
       double Secs = Headline ? 0.5 : 0.2;
       C.Unfused = measure(Out, T, *K, /*Fuse=*/false, Secs);
       C.Fused = measure(Out, T, *K, /*Fuse=*/true, Secs);
+      if (Headline)
+        std::tie(NsObsIdle, NsObsOff) = measureObsOverhead(Out, T, *K);
       Cells.push_back(std::move(C));
     }
   }
@@ -159,6 +217,9 @@ int main(int argc, char **argv) {
   std::printf("\nheadline (saxpy_fp, sse, fused):\n");
   std::printf("machine ops / sec     %12.3e\n", Headline.Fused.OpsPerSec);
   std::printf("ns / dispatched op    %12.2f\n", Headline.Fused.NsPerOp);
+  std::printf("ns / op, obs idle     %12.2f\n", NsObsIdle);
+  std::printf("ns / op, obs off      %12.2f  (tracing overhead %+.2f%%)\n",
+              NsObsOff, 100.0 * (NsObsIdle - NsObsOff) / NsObsOff);
 
   if (!Json)
     return 0;
@@ -179,8 +240,11 @@ int main(int argc, char **argv) {
                 "  \"fused\": true,\n"
                 "  \"vm_ops_per_sec\": %.4e,\n"
                 "  \"ns_per_dispatched_op\": %.3f,\n"
+                "  \"ns_per_op_obs_idle\": %.3f,\n"
+                "  \"ns_per_op_obs_off\": %.3f,\n"
                 "  \"cells\": [\n",
-                Headline.Fused.OpsPerSec, Headline.Fused.NsPerOp);
+                Headline.Fused.OpsPerSec, Headline.Fused.NsPerOp, NsObsIdle,
+                NsObsOff);
   OS << Buf;
   for (size_t I = 0; I < Cells.size(); ++I) {
     const Cell &C = Cells[I];

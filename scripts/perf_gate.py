@@ -7,7 +7,7 @@ committed baseline (BENCH_vm.json) and fails when the headline
 (default 15%). Improvements always pass; the committed baseline is only
 refreshed deliberately, by re-running the bench and checking the JSON in.
 
-Two modes:
+Three modes:
 
   absolute (default)   current.ns_per_dispatched_op must be at most
                        baseline.ns_per_dispatched_op * (1 + --max-regress).
@@ -21,6 +21,16 @@ Two modes:
                        --max-regress. This is stable under uniform slowdown
                        (sanitizer instrumentation, emulation), which is why
                        the sanitize CI job uses it.
+
+  --obs-overhead       gates the observability layer's ON-but-idle cost:
+                       the report's ns_per_op_obs_idle (obs compiled in,
+                       no sink installed — the default configuration every
+                       run pays) must be at most ns_per_op_obs_off (master
+                       switch dark) * (1 + --max-obs-overhead, default 2%).
+                       Both numbers come from one interleaved measurement
+                       inside the current report, so this mode needs only
+                       one report and no baseline:
+                       perf_gate.py --obs-overhead vm_current.json
 
 Exit status: 0 pass, 1 regression, 2 bad input.
 """
@@ -50,14 +60,56 @@ def headline_cell(report):
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("baseline", help="committed BENCH_vm.json")
-    ap.add_argument("current", help="freshly measured vm_throughput --json")
+    ap.add_argument("baseline", help="committed BENCH_vm.json (or, with "
+                                     "--obs-overhead, the only report)")
+    ap.add_argument("current", nargs="?", default=None,
+                    help="freshly measured vm_throughput --json (unused "
+                         "with --obs-overhead)")
     ap.add_argument("--max-regress", type=float, default=0.15,
                     help="allowed fractional regression (default 0.15)")
     ap.add_argument("--relative", action="store_true",
                     help="gate fused-vs-unfused within the current report "
                          "instead of against the baseline's nanoseconds")
+    ap.add_argument("--obs-overhead", action="store_true",
+                    help="gate ON-but-idle tracing cost against the dark "
+                         "measurement inside one report")
+    ap.add_argument("--max-obs-overhead", type=float, default=0.02,
+                    help="allowed idle-tracing overhead (default 0.02)")
     args = ap.parse_args()
+
+    if args.obs_overhead:
+        path = args.current or args.baseline
+        report = load(path)
+        if report.get("bench") != "vm_throughput":
+            print(f"perf_gate: {path} is not a vm_throughput report",
+                  file=sys.stderr)
+            sys.exit(2)
+        idle = report.get("ns_per_op_obs_idle")
+        off = report.get("ns_per_op_obs_off")
+        for name, v in (("ns_per_op_obs_idle", idle),
+                        ("ns_per_op_obs_off", off)):
+            if not isinstance(v, (int, float)) or v <= 0:
+                print(f"perf_gate: {path} has no usable {name} "
+                      f"(built with -DVAPOR_OBS=OFF?)", file=sys.stderr)
+                sys.exit(2)
+        limit = off * (1.0 + args.max_obs_overhead)
+        delta = (idle - off) / off
+        verdict = "PASS" if idle <= limit else "FAIL"
+        print(f"perf_gate: {verdict}: obs idle {idle:.3f} vs dark "
+              f"{off:.3f} ns/op, overhead {delta:+.2%} "
+              f"(limit +{args.max_obs_overhead:.0%})")
+        if idle > limit:
+            print("perf_gate: ON-but-idle tracing overhead exceeds the "
+                  "budget; a recording site is probably doing work before "
+                  "checking obs::tracingActive()/enabled()",
+                  file=sys.stderr)
+            sys.exit(1)
+        sys.exit(0)
+
+    if args.current is None:
+        print("perf_gate: baseline and current reports are both required "
+              "outside --obs-overhead mode", file=sys.stderr)
+        sys.exit(2)
 
     base = load(args.baseline)
     cur = load(args.current)

@@ -6,6 +6,7 @@
 
 #include "jit/CodeCache.h"
 
+#include "obs/Obs.h"
 #include "support/FaultInject.h"
 
 #include <atomic>
@@ -31,12 +32,33 @@ struct Store {
   std::unordered_map<uint64_t, std::shared_ptr<const CompileResult>> Compiles;
   std::unordered_map<uint64_t, std::shared_ptr<const target::DecodedProgram>>
       Programs;
-  Stats Counts;
 };
 
 Store &store() {
   static Store S;
   return S;
+}
+
+/// Hit/miss tallies live outside the store mutex as relaxed atomics:
+/// they feed obs::Counter-style metrics and stats() must be readable
+/// without taking the cache lock. A stats() snapshot concurrent with
+/// lookups may be mid-update across fields; per-field totals are exact.
+struct AtomicStats {
+  std::atomic<uint64_t> ModuleHits{0}, ModuleMisses{0};
+  std::atomic<uint64_t> VerifyHits{0}, VerifyMisses{0};
+  std::atomic<uint64_t> CompileHits{0}, CompileMisses{0};
+  std::atomic<uint64_t> ProgramHits{0}, ProgramMisses{0};
+};
+
+AtomicStats &counts() {
+  static AtomicStats C;
+  return C;
+}
+
+/// Bumps one cache tally and mirrors it into the named obs counter.
+void bump(std::atomic<uint64_t> &Slot, obs::Counter &Obs) {
+  Slot.fetch_add(1, std::memory_order_relaxed);
+  Obs.add(1);
 }
 
 std::atomic<bool> GlobalSwitch{true};
@@ -62,15 +84,29 @@ void cache::clear() {
 }
 
 Stats cache::stats() {
-  Store &S = store();
-  std::lock_guard<std::mutex> L(S.Mu);
-  return S.Counts;
+  AtomicStats &C = counts();
+  Stats S;
+  S.ModuleHits = C.ModuleHits.load(std::memory_order_relaxed);
+  S.ModuleMisses = C.ModuleMisses.load(std::memory_order_relaxed);
+  S.VerifyHits = C.VerifyHits.load(std::memory_order_relaxed);
+  S.VerifyMisses = C.VerifyMisses.load(std::memory_order_relaxed);
+  S.CompileHits = C.CompileHits.load(std::memory_order_relaxed);
+  S.CompileMisses = C.CompileMisses.load(std::memory_order_relaxed);
+  S.ProgramHits = C.ProgramHits.load(std::memory_order_relaxed);
+  S.ProgramMisses = C.ProgramMisses.load(std::memory_order_relaxed);
+  return S;
 }
 
 void cache::resetStats() {
-  Store &S = store();
-  std::lock_guard<std::mutex> L(S.Mu);
-  S.Counts = Stats();
+  AtomicStats &C = counts();
+  C.ModuleHits = 0;
+  C.ModuleMisses = 0;
+  C.VerifyHits = 0;
+  C.VerifyMisses = 0;
+  C.CompileHits = 0;
+  C.CompileMisses = 0;
+  C.ProgramHits = 0;
+  C.ProgramMisses = 0;
 }
 
 uint64_t cache::hashBytes(const void *Data, size_t Len, uint64_t Seed) {
@@ -151,14 +187,16 @@ uint64_t cache::compileKey(uint64_t FnHash, const target::TargetDesc &T,
 }
 
 std::shared_ptr<const ir::Function> cache::findModule(uint64_t BytesHash) {
+  static obs::Counter Hits("cache.module_hits"),
+      Misses("cache.module_misses");
   Store &S = store();
   std::lock_guard<std::mutex> L(S.Mu);
   auto It = S.Modules.find(BytesHash);
   if (It == S.Modules.end()) {
-    ++S.Counts.ModuleMisses;
+    bump(counts().ModuleMisses, Misses);
     return nullptr;
   }
-  ++S.Counts.ModuleHits;
+  bump(counts().ModuleHits, Hits);
   return It->second;
 }
 
@@ -177,12 +215,14 @@ std::optional<VerifyResult> cache::findVerify(uint64_t FnHash,
   uint64_t Key = hashCombine(hashCombine(0x7666, FnHash), TargetHash);
   Store &S = store();
   std::lock_guard<std::mutex> L(S.Mu);
+  static obs::Counter Hits("cache.verify_hits"),
+      Misses("cache.verify_misses");
   auto It = S.Verifies.find(Key);
   if (It == S.Verifies.end()) {
-    ++S.Counts.VerifyMisses;
+    bump(counts().VerifyMisses, Misses);
     return std::nullopt;
   }
-  ++S.Counts.VerifyHits;
+  bump(counts().VerifyHits, Hits);
   return It->second;
 }
 
@@ -196,12 +236,14 @@ void cache::putVerify(uint64_t FnHash, uint64_t TargetHash, VerifyResult R) {
 std::shared_ptr<const CompileResult> cache::findCompile(uint64_t Key) {
   Store &S = store();
   std::lock_guard<std::mutex> L(S.Mu);
+  static obs::Counter Hits("cache.compile_hits"),
+      Misses("cache.compile_misses");
   auto It = S.Compiles.find(Key);
   if (It == S.Compiles.end()) {
-    ++S.Counts.CompileMisses;
+    bump(counts().CompileMisses, Misses);
     return nullptr;
   }
-  ++S.Counts.CompileHits;
+  bump(counts().CompileHits, Hits);
   return It->second;
 }
 
@@ -220,15 +262,17 @@ cache::programFor(uint64_t CompKey, const target::MFunction &Code,
   uint64_t Key = hashCombine(0x7067, CompKey);
   Key = hashCombine(Key, hashPlacement(Image));
   Key = hashCombine(Key, (uint64_t(Weak) << 1) | uint64_t(Fuse));
+  static obs::Counter Hits("cache.program_hits"),
+      Misses("cache.program_misses");
   Store &S = store();
   {
     std::lock_guard<std::mutex> L(S.Mu);
     auto It = S.Programs.find(Key);
     if (It != S.Programs.end()) {
-      ++S.Counts.ProgramHits;
+      bump(counts().ProgramHits, Hits);
       return It->second;
     }
-    ++S.Counts.ProgramMisses;
+    bump(counts().ProgramMisses, Misses);
   }
   // Build outside the lock (decode+fusion is the expensive part); ties
   // between concurrent builders of the same key resolve first-writer-wins

@@ -27,6 +27,7 @@
 #include "jit/Jit.h"
 
 #include "ir/ScalarOps.h"
+#include "obs/Obs.h"
 #include "support/FaultInject.h"
 #include "support/Support.h"
 
@@ -244,6 +245,7 @@ public:
     R.Code = std::move(M);
     R.Scalarized = TopLevelScalar;
     R.ScalarizeReason = ScalarizeReason;
+    R.Strategy = tallyStrategy();
     return R;
   }
 
@@ -267,6 +269,34 @@ private:
 
   std::map<ValueId, std::vector<MReg>> Map; ///< IR value -> lane registers.
   std::map<uint32_t, MReg> BaseReg;         ///< Array -> base-address reg.
+
+  /// Summarizes the per-access and per-guard decisions this compile took
+  /// (the observability layer's strategy record).
+  StrategyStats tallyStrategy() const {
+    StrategyStats S;
+    for (const auto &Entry : Strat) {
+      switch (Entry.second) {
+      case MemStrategy::Aligned:
+        ++S.MemAligned;
+        break;
+      case MemStrategy::Unaligned:
+        ++S.MemUnaligned;
+        break;
+      case MemStrategy::Perm:
+        ++S.MemPerm;
+        break;
+      case MemStrategy::Scalar:
+        ++S.MemScalar;
+        break;
+      }
+    }
+    for (const auto &Entry : FoldedGuards)
+      (Entry.second ? S.GuardsFoldedTrue : S.GuardsFoldedFalse) += 1;
+    for (const Instr &I : F.Instrs)
+      if (I.Op == Opcode::VersionGuard && !FoldedGuards.count(I.Result))
+        ++S.GuardsRuntime;
+    return S;
+  }
 
   //===--- Pass 0: scalar-expansion granularity ---------------------------===//
 
@@ -1556,7 +1586,23 @@ std::vector<MReg> JitCompiler::lowerGuardRuntime(const Instr &I) {
 
 CompileResult jit::compile(const Function &F, const TargetDesc &T,
                            const RuntimeInfo &RT, const Options &Opt) {
-  return JitCompiler(F, T, RT, Opt).run();
+  obs::Span S("jit", "compile");
+  S.arg("function", F.Name);
+  S.arg("target", T.Name);
+  S.arg("tier", Opt.CompilerTier == Tier::Strong ? "strong" : "weak");
+  CompileResult R = JitCompiler(F, T, RT, Opt).run();
+  static obs::Counter Compiles("jit.compiles");
+  static obs::Counter Scalarized("jit.scalarized");
+  Compiles.add(1);
+  if (R.Scalarized)
+    Scalarized.add(1);
+  S.arg("scalarized", R.Scalarized);
+  S.arg("mem_aligned", static_cast<uint64_t>(R.Strategy.MemAligned));
+  S.arg("mem_unaligned", static_cast<uint64_t>(R.Strategy.MemUnaligned));
+  S.arg("mem_perm", static_cast<uint64_t>(R.Strategy.MemPerm));
+  S.arg("mem_scalar", static_cast<uint64_t>(R.Strategy.MemScalar));
+  S.arg("guards_runtime", static_cast<uint64_t>(R.Strategy.GuardsRuntime));
+  return R;
 }
 
 Expected<CompileResult> jit::compileChecked(const Function &F,

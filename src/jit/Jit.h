@@ -79,10 +79,24 @@ struct Options {
   bool ForceScalarize = false;
 };
 
+/// Tally of the local strategy decisions one compile() took — the
+/// observability layer's per-target record (vapor-explain prints it, the
+/// executor forwards it through RunOutcome).
+struct StrategyStats {
+  uint32_t MemAligned = 0;   ///< Accesses lowered VLoadA/VStoreA.
+  uint32_t MemUnaligned = 0; ///< Accesses lowered VLoadU/VStoreU.
+  uint32_t MemPerm = 0;      ///< Explicit realignment chains kept.
+  uint32_t MemScalar = 0;    ///< Accesses in scalar-expansion regions.
+  uint32_t GuardsFoldedTrue = 0;  ///< version_guards folded to taken.
+  uint32_t GuardsFoldedFalse = 0; ///< ... folded to not-taken.
+  uint32_t GuardsRuntime = 0;     ///< ... left as runtime checks.
+};
+
 struct CompileResult {
   target::MFunction Code;
   bool Scalarized = false; ///< The whole function was scalar-expanded.
   std::string ScalarizeReason;
+  StrategyStats Strategy;
 };
 
 //===--- The per-target strategy model ------------------------------------===//

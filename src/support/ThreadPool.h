@@ -41,6 +41,18 @@
 namespace vapor {
 namespace support {
 
+namespace detail {
+/// Thread-local worker id: 0 for the main (or any non-pool) thread,
+/// W+1 for pool worker W. Assigned once per worker thread at spawn.
+inline thread_local unsigned WorkerId = 0;
+} // namespace detail
+
+/// The calling thread's sweep-pool worker id (0 = not a pool worker).
+/// The observability layer (obs/Obs.h) uses this as the trace thread id,
+/// so parallel sweep cells land on their worker's timeline. Ids repeat
+/// across pool instances; at most one sweep pool is live at a time.
+inline unsigned currentWorkerId() { return detail::WorkerId; }
+
 class ThreadPool {
 public:
   /// Spawns \p Workers threads (at least one).
@@ -116,6 +128,7 @@ private:
   }
 
   void workerLoop(unsigned Self) {
+    detail::WorkerId = Self + 1;
     std::unique_lock<std::mutex> Lock(Mu);
     while (true) {
       std::function<void()> Job;

@@ -43,6 +43,7 @@
 #include "target/VM.h"
 
 #include "ir/ScalarOps.h"
+#include "obs/Obs.h"
 #include "support/FaultInject.h"
 #include "support/Support.h"
 
@@ -1719,12 +1720,23 @@ struct VMFuser {
 std::shared_ptr<const DecodedProgram>
 DecodedProgram::build(const MFunction &F, const TargetDesc &T,
                       const MemoryImage &Image, bool Weak, bool Fuse) {
+  obs::Span S("vm", "decode+fuse");
+  S.arg("function", F.Name);
+  S.arg("target", T.Name);
   auto P = std::make_shared<DecodedProgram>();
   P->TargetName = T.Name;
   VMDecoder(*P, F, T, Image, Weak).decode();
   P->PreFusionOps = static_cast<uint32_t>(P->Code.size());
   if (Fuse)
     VMFuser::run(*P);
+  static obs::Counter Built("vm.programs_built");
+  static obs::Counter PreOps("vm.ops_prefusion");
+  static obs::Counter Fused("vm.ops_fused");
+  Built.add(1);
+  PreOps.add(P->PreFusionOps);
+  Fused.add(P->FusedOps);
+  S.arg("ops_prefusion", static_cast<uint64_t>(P->PreFusionOps));
+  S.arg("ops_fused", static_cast<uint64_t>(P->FusedOps));
   return P;
 }
 
@@ -1780,6 +1792,12 @@ uint8_t *VM::memFault(uint64_t Addr) {
     Trap = TrapInfo{TrapInfo::Kind::OutOfBounds, ~0u, Addr, 0, false,
                     Prog->TargetName};
     TrapMsg = Trap.str();
+    static obs::Counter Faults("vm.mem_faults");
+    Faults.add(1);
+    if (obs::tracingActive())
+      obs::event("vm", "mem_fault",
+                 {{"target", obs::argStr(Prog->TargetName)},
+                  {"address", obs::argStr(Addr)}});
   }
   // Hand the faulting op a zeroed sink so it completes harmlessly. The
   // run continues to normal termination (loop control is register-based,
@@ -1799,6 +1817,16 @@ uint32_t VM::alignTrap(uint32_t PC, uint64_t Addr, uint32_t RequiredAlign,
     Trapped = true;
     Trap = TI;
     TrapMsg = Trap.str();
+    static obs::Counter Traps("vm.align_traps");
+    Traps.add(1);
+    if (obs::tracingActive())
+      obs::event("vm", "align_trap",
+                 {{"target", obs::argStr(Prog->TargetName)},
+                  {"op", obs::argStr(static_cast<uint64_t>(TI.OpIndex))},
+                  {"address", obs::argStr(TI.Address)},
+                  {"required_align",
+                   obs::argStr(static_cast<uint64_t>(TI.RequiredAlign))},
+                  {"is_store", obs::argStr(TI.IsStore)}});
   }
   return static_cast<uint32_t>(Prog->Code.size()); // Halt the run loop.
 }
@@ -1855,6 +1883,13 @@ status::Status VM::run() {
   }
   Cycles += Cyc;
   Instrs += Ins;
+  // One relaxed add per *run*, never per dispatched op: the dispatch loop
+  // above stays untouched, which is what keeps the ON-but-idle tracing
+  // overhead inside the perf gate's 2% budget.
+  static obs::Counter Runs("vm.runs");
+  static obs::Counter Dispatched("vm.ops_dispatched");
+  Runs.add(1);
+  Dispatched.add(Ins);
   if (Trapped)
     return status::Status::error(Trap.TrapKind == TrapInfo::Kind::Alignment
                                      ? Code::AlignmentTrap

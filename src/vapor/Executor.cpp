@@ -9,6 +9,7 @@
 #include "bytecode/Bytecode.h"
 #include "ir/Interp.h"
 #include "jit/CodeCache.h"
+#include "obs/Obs.h"
 #include "support/Support.h"
 #include "target/VM.h"
 #include "vapor/FillAdapters.h"
@@ -21,7 +22,30 @@ using namespace vapor::ir;
 using namespace vapor::status;
 using namespace vapor::target;
 
+namespace {
+
+/// Every demoting Status becomes one trace event and one counter tick:
+/// the degradation chain is exactly the thing a trace reader wants to see.
+void recordDemotion(const kernels::Kernel &K, const RunOptions &O,
+                    const Status &St, ExecTier From, ExecTier To) {
+  static obs::Counter Demotions("executor.demotions");
+  Demotions.add(1);
+  if (!obs::tracingActive())
+    return;
+  obs::event("executor", "demote",
+             {{"kernel", obs::argStr(K.Name)},
+              {"target", obs::argStr(O.Target.Name)},
+              {"from", obs::argStr(tierName(From))},
+              {"to", obs::argStr(tierName(To))},
+              {"status", obs::argStr(St.str())}});
+}
+
+} // namespace
+
 RunOutcome Executor::run(ExecTier Entry) {
+  obs::Span S("executor", "run");
+  S.arg("kernel", K.Name);
+  S.arg("target", O.Target.Name);
   RunOutcome Out;
   ExecTier T = Entry;
   while (true) {
@@ -30,50 +54,62 @@ RunOutcome Executor::run(ExecTier Entry) {
       Status St = attemptVectorized(Out);
       if (St.ok()) {
         Out.Tier = ExecTier::Vectorized;
-        return Out;
+        break;
       }
-      Out.Demotions.push_back(St);
+      ExecTier Next;
       if (St.layer() == Layer::Verify) {
-        T = ExecTier::ScalarJit; // Forced-scalar code is safe to run.
+        Next = ExecTier::ScalarJit; // Forced-scalar code is safe to run.
       } else if (St.layer() == Layer::Vm) {
         ++Out.Retries; // Deoptimize: recompile scalar after the trap.
-        T = ExecTier::ScalarJit;
+        Next = ExecTier::ScalarJit;
       } else {
         // Decode failures leave no module to re-JIT; JIT failures demote
         // past the vector bytecode entirely.
-        T = ExecTier::ScalarBytecode;
+        Next = ExecTier::ScalarBytecode;
       }
-      break;
+      Out.Demotions.push_back(St);
+      recordDemotion(K, O, St, T, Next);
+      T = Next;
+      continue;
     }
     case ExecTier::ScalarJit: {
       if (!VecModule) { // Nothing decoded to scalarize.
         T = ExecTier::ScalarBytecode;
-        break;
+        continue;
       }
       Status St = attemptScalarJit(Out);
       if (St.ok()) {
         Out.Tier = ExecTier::ScalarJit;
-        return Out;
+        break;
       }
       Out.Demotions.push_back(St);
+      recordDemotion(K, O, St, T, ExecTier::ScalarBytecode);
       T = ExecTier::ScalarBytecode;
-      break;
+      continue;
     }
     case ExecTier::ScalarBytecode: {
       Status St = attemptScalarBytecode(Out);
       if (St.ok()) {
         Out.Tier = ExecTier::ScalarBytecode;
-        return Out;
+        break;
       }
       Out.Demotions.push_back(St);
+      recordDemotion(K, O, St, T, ExecTier::Interpreter);
       T = ExecTier::Interpreter;
-      break;
+      continue;
     }
     case ExecTier::Interpreter:
       runInterpreter(Out);
       Out.Tier = ExecTier::Interpreter;
-      return Out;
+      break;
     }
+    static obs::Counter Runs("executor.runs");
+    Runs.add(1);
+    S.arg("tier", tierName(Out.Tier));
+    S.arg("demotions", static_cast<uint64_t>(Out.Demotions.size()));
+    S.arg("retries", static_cast<uint64_t>(Out.Retries));
+    S.arg("cycles", Out.Cycles);
+    return Out;
   }
 }
 
@@ -81,6 +117,7 @@ Status Executor::attemptVectorized(RunOutcome &Out) {
   // --- Offline stage (trusted: keeps its internal asserts) ---
   auto VR = vectorizer::vectorize(K.Source, O.VecOpts);
   Out.AnyLoopVectorized = VR.anyVectorized();
+  Out.LoopDecisions = VR.Loops;
 
   // The split layer is a real interchange format: encode and decode what
   // the online compiler consumes (also yields the size statistic). The
@@ -88,6 +125,10 @@ Status Executor::attemptVectorized(RunOutcome &Out) {
   // bytes (and target), so sweep re-runs take them from the cache.
   std::vector<uint8_t> Encoded = bytecode::encode(VR.Output);
   Out.BytecodeBytes = Encoded.size();
+  if (obs::tracingActive())
+    obs::event("bytecode", "encode",
+               {{"kernel", obs::argStr(K.Name)},
+                {"bytes", obs::argStr(static_cast<uint64_t>(Encoded.size()))}});
   const bool Cached = O.UseCodeCache && jit::cache::enabled();
   uint64_t BytesHash = 0;
   std::shared_ptr<const ir::Function> Module;
@@ -159,9 +200,21 @@ Status Executor::verifyCached(const ir::Function &Module, uint64_t FnHash,
   if (Cached)
     VRes = jit::cache::findVerify(FnHash, TargetHash);
   if (!VRes) {
+    obs::Span S("verify", "verifyModule");
+    S.arg("kernel", K.Name);
+    S.arg("target", O.Target.Name);
     verify::VerifyOptions VO;
     VO.Targets = {O.Target};
     verify::Report Rep = verify::verifyModule(Module, VO);
+    static obs::Counter Proved("verify.obligations_proved");
+    static obs::Counter Failed("verify.obligations_failed");
+    Proved.add(Rep.ObligationsProved);
+    Failed.add(Rep.ObligationsFailed);
+    S.arg("ok", Rep.ok());
+    S.arg("obligations_proved",
+          static_cast<uint64_t>(Rep.ObligationsProved));
+    S.arg("obligations_failed",
+          static_cast<uint64_t>(Rep.ObligationsFailed));
     VRes = jit::cache::VerifyResult{Rep.ok(), Rep.ok() ? "" : Rep.str()};
     if (Cached)
       jit::cache::putVerify(FnHash, TargetHash, *VRes);
@@ -228,6 +281,7 @@ Status Executor::runModule(RunOutcome &Out, const ir::Function &Module,
                            .count();
   Out.Scalarized = R->Scalarized;
   Out.Code = R->Code;
+  Out.Strategy = R->Strategy;
   Out.Iaca = analyzeVectorLoop(Out.Code, O.Target);
 
   // --- Workload and execution ---

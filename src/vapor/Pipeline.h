@@ -99,6 +99,12 @@ struct RunOutcome {
   target::MFunction Code;
   std::unique_ptr<target::MemoryImage> Mem;
   target::IacaReport Iaca;    ///< Static throughput of the vector loop.
+  /// Per-target strategy decisions of the compile that produced Code
+  /// (vapor-explain's online-stage record).
+  jit::StrategyStats Strategy;
+  /// The offline vectorizer's per-loop decision records for the bytecode
+  /// the executed tier consumed. Split flows only; empty for Interpreter.
+  std::vector<vectorizer::LoopReport> LoopDecisions;
 
   /// Tier of the degradation chain that actually produced the results in
   /// Mem. Split flows only; native flows always report Vectorized.

@@ -9,15 +9,36 @@
 #include "support/ThreadPool.h"
 #include "vapor/Pipeline.h"
 
+#include <cctype>
+#include <cerrno>
+#include <climits>
 #include <cstdlib>
 
 using namespace vapor;
 
+bool sweep::parseJobs(const char *Text, unsigned &Out) {
+  if (!Text || !*Text)
+    return false;
+  // strtol accepts leading whitespace and a sign; neither is a jobs
+  // count. Reject everything but plain digits up front so "-1", " 4",
+  // and "abc" all fail instead of folding to something surprising.
+  for (const char *P = Text; *P; ++P)
+    if (!std::isdigit(static_cast<unsigned char>(*P)))
+      return false;
+  errno = 0;
+  char *End = nullptr;
+  long N = std::strtol(Text, &End, 10);
+  if (End == Text || *End != '\0' || errno == ERANGE || N < 0 || N > INT_MAX)
+    return false;
+  Out = N == 0 ? 1u : static_cast<unsigned>(N);
+  return true;
+}
+
 unsigned sweep::defaultJobs() {
   if (const char *Env = std::getenv("VAPOR_JOBS")) {
-    long N = std::strtol(Env, nullptr, 10);
-    if (N >= 1)
-      return static_cast<unsigned>(N);
+    unsigned N = 0;
+    if (parseJobs(Env, N))
+      return N;
   }
   return support::ThreadPool::defaultWorkerCount();
 }

@@ -33,9 +33,17 @@
 namespace vapor {
 namespace sweep {
 
+/// Parses a --jobs/VAPOR_JOBS value. \returns false when \p Text is not
+/// a plain decimal number (empty, trailing junk, out of range) — the
+/// caller rejects it; silently treating garbage as 0 is how a zero-worker
+/// pool request happens. On success \p Out is the parsed value clamped
+/// to >= 1 (0 means "serial", which one worker is).
+bool parseJobs(const char *Text, unsigned &Out);
+
 /// Worker count for the sweep drivers: the VAPOR_JOBS environment
-/// variable when set (and >= 1; 1 forces serial), else the host's
-/// hardware concurrency.
+/// variable when it parses cleanly (clamped to >= 1; 1 forces serial),
+/// else the host's hardware concurrency. A garbage or zero VAPOR_JOBS
+/// never produces a zero-worker pool.
 unsigned defaultJobs();
 
 /// \returns the kernel named \p Name in \p All, or nullptr.

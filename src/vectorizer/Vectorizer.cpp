@@ -47,6 +47,7 @@
 #include "ir/Builder.h"
 #include "ir/ScalarOps.h"
 #include "ir/Verifier.h"
+#include "obs/Obs.h"
 #include "support/Support.h"
 
 #include <algorithm>
@@ -280,7 +281,18 @@ private:
     emitVectorizedLoop(LoopIdx, Plan);
     Report.Vectorized = true;
     Report.Strategy = Rerolled.count(LoopIdx) ? "slp" : "inner";
+    recordPlan(Report, Plan);
     Reports.push_back(Report);
+  }
+
+  /// Copies the plan's decisions into the loop's decision record.
+  static void recordPlan(LoopReport &Report, const LoopPlan &Plan) {
+    Report.Versioned = Plan.Versioned;
+    Report.Peeled = Plan.Peel;
+    Report.MaxSafeVF = Plan.MaxSafeVF;
+    Report.Reductions = static_cast<uint32_t>(Plan.Reds.size());
+    Report.MinElemBytes =
+        Plan.MinKind == ScalarKind::None ? 0 : scalarSize(Plan.MinKind);
   }
 
   LoopPlan planInnerLoop(uint32_t LoopIdx) {
@@ -1417,6 +1429,9 @@ private:
       Report.Strategy = "outer";
     }
     Report.Vectorized = true;
+    recordPlan(Report, OPlan);
+    // The outer strategy versions on the cost model, not on alignment.
+    Report.Versioned = Report.Strategy == "outer+inner versioned";
     return true;
   }
 
@@ -1547,8 +1562,35 @@ private:
 } // namespace
 
 Result vectorizer::vectorize(const Function &Src, const Options &Opt) {
-  if (!Opt.EnableSLP)
-    return VectorizerImpl(Src, Opt).run();
-  RerollResult RR = rerollUnrolledLoops(Src);
-  return VectorizerImpl(RR.Output, Opt, RR.RerolledLoops).run();
+  obs::Span S("vectorizer", "vectorize");
+  S.arg("function", Src.Name);
+  Result R = [&] {
+    if (!Opt.EnableSLP)
+      return VectorizerImpl(Src, Opt).run();
+    RerollResult RR = rerollUnrolledLoops(Src);
+    return VectorizerImpl(RR.Output, Opt, RR.RerolledLoops).run();
+  }();
+  static obs::Counter Vectorized("vectorizer.loops_vectorized");
+  static obs::Counter Declined("vectorizer.loops_declined");
+  for (const LoopReport &LR : R.Loops) {
+    (LR.Vectorized ? Vectorized : Declined).add(1);
+    if (!obs::tracingActive())
+      continue;
+    obs::event(
+        "vectorizer", "loop_decision",
+        {{"function", obs::argStr(Src.Name)},
+         {"loop", obs::argStr(static_cast<uint64_t>(LR.SrcLoop))},
+         {"vectorized", obs::argStr(LR.Vectorized)},
+         {"strategy", obs::argStr(LR.Strategy)},
+         {"reason", obs::argStr(LR.Reason)},
+         {"versioned", obs::argStr(LR.Versioned)},
+         {"peeled", obs::argStr(LR.Peeled)},
+         {"max_safe_vf", obs::argStr(LR.MaxSafeVF)},
+         {"reductions", obs::argStr(static_cast<uint64_t>(LR.Reductions))},
+         {"min_elem_bytes",
+          obs::argStr(static_cast<uint64_t>(LR.MinElemBytes))}});
+  }
+  S.arg("loops", static_cast<uint64_t>(R.Loops.size()));
+  S.arg("any_vectorized", R.anyVectorized());
+  return R;
 }

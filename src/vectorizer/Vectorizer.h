@@ -61,6 +61,17 @@ struct LoopReport {
   bool Vectorized = false;
   std::string Strategy; ///< "inner", "outer", "slp" or empty.
   std::string Reason;   ///< Why vectorization was declined.
+
+  /// Decision record (observability layer / vapor-explain): why the
+  /// emitted shape looks the way it does. Valid when Vectorized.
+  bool Versioned = false;    ///< Alignment-versioned: guarded aligned fast
+                             ///< path plus a fall-back with nulled hints.
+  bool Peeled = false;       ///< Fall-back path peels to align the store.
+  int64_t MaxSafeVF = 0;     ///< Dependence-distance VF cap (0 = none).
+  uint32_t Reductions = 0;   ///< Carried reductions vectorized.
+  /// Smallest vector element size in bytes. The split VF is symbolic;
+  /// each target resolves it to VSBytes / MinElemBytes (jit::loopVF).
+  unsigned MinElemBytes = 0;
 };
 
 struct Result {

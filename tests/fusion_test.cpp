@@ -20,8 +20,10 @@
 
 #include "vapor/Pipeline.h"
 
+#include "jit/CodeCache.h"
 #include "jit/Jit.h"
 #include "support/FaultInject.h"
+#include "vapor/Sweep.h"
 #include "target/MemoryImage.h"
 #include "target/VM.h"
 #include "vectorizer/Vectorizer.h"
@@ -87,6 +89,46 @@ std::vector<std::string> allKernelNames() {
 INSTANTIATE_TEST_SUITE_P(AllKernels, FusionGoldenTest,
                          ::testing::ValuesIn(allKernelNames()),
                          [](const auto &Info) { return Info.param; });
+
+/// The code cache's hit/miss tallies are now relaxed atomics bumped
+/// outside the store mutex, so a parallel sweep must tally exactly what
+/// the serial sweep does — lost updates under contention would show up
+/// as a parallel count falling short. Warm the cache first: against a
+/// warm cache every sweep is pure hits with a deterministic per-cell
+/// lookup pattern, so the serial and parallel deltas must be equal
+/// field-for-field, not merely in total.
+TEST(FusionSweep, CacheStatsSerialAndParallelTallyEqually) {
+  std::vector<kernels::Kernel> All = kernels::allKernels();
+  const TargetDesc T = target::sseTarget();
+  auto SweepOnce = [&](unsigned Jobs) {
+    sweep::forEachCell(Jobs, All.size(), [&](size_t I) {
+      (void)sweep::splitOverNativeCell(All[I], T);
+    });
+  };
+
+  SweepOnce(1); // Warm: populate every cell's entries.
+
+  jit::cache::resetStats();
+  SweepOnce(1);
+  jit::cache::Stats Serial = jit::cache::stats();
+
+  jit::cache::resetStats();
+  SweepOnce(4);
+  jit::cache::Stats Parallel = jit::cache::stats();
+
+  EXPECT_EQ(Serial.ModuleHits, Parallel.ModuleHits);
+  EXPECT_EQ(Serial.ModuleMisses, Parallel.ModuleMisses);
+  EXPECT_EQ(Serial.VerifyHits, Parallel.VerifyHits);
+  EXPECT_EQ(Serial.VerifyMisses, Parallel.VerifyMisses);
+  EXPECT_EQ(Serial.CompileHits, Parallel.CompileHits);
+  EXPECT_EQ(Serial.CompileMisses, Parallel.CompileMisses);
+  EXPECT_EQ(Serial.ProgramHits, Parallel.ProgramHits);
+  EXPECT_EQ(Serial.ProgramMisses, Parallel.ProgramMisses);
+  EXPECT_GT(Serial.ModuleHits + Serial.VerifyHits + Serial.CompileHits +
+                Serial.ProgramHits,
+            0u)
+      << "warm sweep recorded no hits; the comparison is vacuous";
+}
 
 /// The peephole actually fires, and its static accounting is invariant:
 /// superop Cost/Counts are the constituents' sums, so the whole-program

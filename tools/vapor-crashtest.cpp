@@ -3,8 +3,15 @@
 // Part of the Vapor SIMD reproduction.
 //
 // Usage:
-//   vapor-crashtest --all-kernels [--json <path>] [--jobs N] [--verbose]
-//   vapor-crashtest <kernel-name> [target-name] [--jobs N] [--verbose]
+//   vapor-crashtest --all-kernels [--json <path>] [--trace <path>]
+//                   [--jobs N] [--verbose]
+//   vapor-crashtest <kernel-name> [target-name] [--trace <path>]
+//                   [--jobs N] [--verbose]
+//
+// --trace (or VAPOR_TRACE=<path>) writes a Chrome-trace JSON of the whole
+// sweep: executor tier spans, demotion events, JIT/verify/VM stage spans,
+// one timeline per pool worker. Unrecognized options and non-numeric
+// --jobs values exit 2 with the usage message.
 //
 // Drives the fault-tolerant executor (vapor::Executor) through the
 // split-vectorized flow for every kernel x target x injected fault and
@@ -35,6 +42,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "kernels/Kernels.h"
+#include "obs/Obs.h"
 #include "support/FaultInject.h"
 #include "target/Target.h"
 #include "vapor/Pipeline.h"
@@ -43,6 +51,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -216,9 +225,18 @@ void writeJson(const char *Path, const Stats &S, size_t Kernels,
 
 } // namespace
 
+static int usage() {
+  std::printf("usage: vapor-crashtest --all-kernels [--json <path>] "
+              "[--trace <path>] [--jobs N] [--verbose]\n"
+              "       vapor-crashtest <kernel> [target] [--trace <path>] "
+              "[--jobs N] [--verbose]\n");
+  return 2;
+}
+
 int main(int argc, char **argv) {
   bool All = false, Verbose = false;
   const char *JsonPath = nullptr;
+  const char *TracePath = nullptr;
   unsigned Jobs = sweep::defaultJobs();
   std::string KernelName, TargetName;
   for (int I = 1; I < argc; ++I) {
@@ -228,20 +246,35 @@ int main(int argc, char **argv) {
       Verbose = true;
     else if (!std::strcmp(argv[I], "--json") && I + 1 < argc)
       JsonPath = argv[++I];
-    else if (!std::strcmp(argv[I], "--jobs") && I + 1 < argc)
-      Jobs = static_cast<unsigned>(std::atoi(argv[++I]));
-    else if (KernelName.empty())
+    else if (!std::strcmp(argv[I], "--trace") && I + 1 < argc)
+      TracePath = argv[++I];
+    else if (!std::strcmp(argv[I], "--jobs") && I + 1 < argc) {
+      // atoi would fold garbage (and "0") to a zero-worker pool request;
+      // validate and clamp instead.
+      if (!sweep::parseJobs(argv[++I], Jobs)) {
+        std::printf("invalid --jobs value '%s' (expected a number >= 1)\n",
+                    argv[I]);
+        return usage();
+      }
+    } else if (argv[I][0] == '-') {
+      // A mistyped flag must not be silently swallowed as a kernel name.
+      std::printf("unknown option '%s'\n", argv[I]);
+      return usage();
+    } else if (KernelName.empty())
       KernelName = argv[I];
     else
       TargetName = argv[I];
   }
-  if (!All && KernelName.empty()) {
-    std::printf("usage: vapor-crashtest --all-kernels [--json <path>] "
-                "[--jobs N] [--verbose]\n"
-                "       vapor-crashtest <kernel> [target] [--jobs N] "
-                "[--verbose]\n");
-    return 2;
-  }
+  if (!All && KernelName.empty())
+    return usage();
+
+  // --trace wins over the VAPOR_TRACE environment variable; the sink's
+  // destructor writes the Chrome-trace JSON when main returns.
+  std::unique_ptr<obs::TraceSink> Sink;
+  if (TracePath)
+    Sink = std::make_unique<obs::TraceSink>(TracePath);
+  else
+    Sink.reset(obs::TraceSink::fromEnv("VAPOR_TRACE"));
 
   std::vector<kernels::Kernel> Ks = kernels::allKernels();
   std::vector<target::TargetDesc> Ts = target::allTargets();

@@ -1,0 +1,228 @@
+//===- tools/vapor-explain.cpp - End-to-end decision report CLI -----------===//
+//
+// Part of the Vapor SIMD reproduction.
+//
+// Usage:
+//   vapor-explain <kernel> [target] [--tier weak|strong] [--trace <path>]
+//
+// Prints the human-readable end-to-end decision report for one kernel:
+// what the offline vectorizer decided per loop and why (strategy,
+// versioning, peeling, reductions, dependence VF cap), the bytecode
+// interchange sizes, the verifier's proof-obligation summary, and — per
+// target — the online compiler's strategy record (memory lowering mix,
+// guard folds, resolved VF), the code-cache traffic, the executed tier of
+// the fault-tolerant chain, and the modeled cycle cost. Everything comes
+// from the same structured records the pipeline itself acts on
+// (vectorizer::LoopReport, verify::Report, jit::StrategyStats,
+// RunOutcome), not from parsing logs, so the report cannot drift from the
+// implementation.
+//
+// --trace additionally writes a Chrome-trace JSON of the explained runs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/Bytecode.h"
+#include "jit/CodeCache.h"
+#include "kernels/Kernels.h"
+#include "obs/Obs.h"
+#include "target/Target.h"
+#include "vapor/Pipeline.h"
+#include "vapor/Sweep.h"
+#include "vectorizer/Vectorizer.h"
+#include "verify/Verify.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace vapor;
+
+namespace {
+
+int usage() {
+  std::printf("usage: vapor-explain <kernel> [target] [--tier weak|strong] "
+              "[--trace <path>]\n");
+  return 2;
+}
+
+void printLoopDecision(const vectorizer::LoopReport &L) {
+  if (!L.Vectorized) {
+    std::printf("  loop %u: NOT vectorized — %s\n", L.SrcLoop,
+                L.Reason.c_str());
+    return;
+  }
+  std::printf("  loop %u: vectorized (%s)\n", L.SrcLoop, L.Strategy.c_str());
+  if (L.MinElemBytes)
+    std::printf("    VF: symbolic — each target resolves VSBytes / %uB "
+                "(smallest vector element)\n",
+                L.MinElemBytes);
+  std::printf("    alignment versioning: %s\n",
+              L.Versioned ? "yes (guarded aligned fast path + fall-back)"
+                          : "no");
+  std::printf("    loop peeling: %s\n",
+              L.Peeled ? "yes (fall-back peels to align the store)" : "no");
+  if (L.Reductions)
+    std::printf("    reductions vectorized: %u\n", L.Reductions);
+  if (L.MaxSafeVF)
+    std::printf("    dependence limit: VF <= %lld (maxvf hint)\n",
+                static_cast<long long>(L.MaxSafeVF));
+}
+
+void explainOnTarget(const kernels::Kernel &K, const target::TargetDesc &T,
+                     jit::Tier Tier) {
+  std::printf("\n== Online stage: %s (%s tier) ==\n", T.Name.c_str(),
+              Tier == jit::Tier::Strong ? "strong" : "weak");
+  if (T.VSBytes)
+    std::printf("  target: %uB vectors, misaligned loads %s, permute "
+                "realignment %s\n",
+                T.VSBytes, T.HasMisaligned ? "yes" : "no",
+                T.HasPermRealign ? "yes" : "no");
+  else
+    std::printf("  target: no SIMD (vector bytecode is scalar-expanded)\n");
+
+  jit::cache::Stats Before = jit::cache::stats();
+  RunOptions O;
+  O.Target = T;
+  O.Tier = Tier;
+  RunOutcome Out = runKernel(K, Flow::SplitVectorized, O);
+  jit::cache::Stats After = jit::cache::stats();
+
+  const jit::StrategyStats &S = Out.Strategy;
+  std::printf("  JIT strategy: %u aligned, %u unaligned, %u permute, "
+              "%u scalar memory accesses\n",
+              S.MemAligned, S.MemUnaligned, S.MemPerm, S.MemScalar);
+  std::printf("  version guards: %u folded taken, %u folded not-taken, "
+              "%u left as runtime checks\n",
+              S.GuardsFoldedTrue, S.GuardsFoldedFalse, S.GuardsRuntime);
+  for (const vectorizer::LoopReport &L : Out.LoopDecisions)
+    if (L.Vectorized && L.MinElemBytes && T.VSBytes)
+      std::printf("  loop %u resolved VF: %u lanes (%uB / %uB)\n", L.SrcLoop,
+                  T.VSBytes / L.MinElemBytes, T.VSBytes, L.MinElemBytes);
+  if (Out.Scalarized)
+    std::printf("  lowering: scalarized end-to-end on this target\n");
+  std::printf("  compile time: %.1f us; code cache this run: %llu hits, "
+              "%llu misses\n",
+              Out.CompileMicros,
+              static_cast<unsigned long long>(
+                  (After.ModuleHits - Before.ModuleHits) +
+                  (After.VerifyHits - Before.VerifyHits) +
+                  (After.CompileHits - Before.CompileHits) +
+                  (After.ProgramHits - Before.ProgramHits)),
+              static_cast<unsigned long long>(
+                  (After.ModuleMisses - Before.ModuleMisses) +
+                  (After.VerifyMisses - Before.VerifyMisses) +
+                  (After.CompileMisses - Before.CompileMisses) +
+                  (After.ProgramMisses - Before.ProgramMisses)));
+
+  std::printf("\n== Execution: %s ==\n", T.Name.c_str());
+  std::printf("  executed tier: %s%s\n", tierName(Out.Tier),
+              Out.Demotions.empty() ? " (no demotions)" : "");
+  for (const status::Status &D : Out.Demotions)
+    std::printf("  demotion: %s\n", D.str().c_str());
+  if (Out.Retries)
+    std::printf("  deoptimizing retries: %u\n", Out.Retries);
+  std::printf("  modeled cycles: %llu\n",
+              static_cast<unsigned long long>(Out.Cycles));
+  if (Out.Iaca.Found)
+    std::printf("  vector loop (IACA-style): %llu cycles/iter, %u loads, "
+                "%u stores, %u ALU ops\n",
+                static_cast<unsigned long long>(Out.Iaca.Cycles),
+                Out.Iaca.Loads, Out.Iaca.Stores, Out.Iaca.AluOps);
+
+  std::string Err;
+  std::printf("  golden check: %s\n",
+              checkAgainstGolden(K, Out, Err) ? "match" : Err.c_str());
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string KernelName, TargetName;
+  jit::Tier Tier = jit::Tier::Strong;
+  const char *TracePath = nullptr;
+  for (int I = 1; I < argc; ++I) {
+    if (!std::strcmp(argv[I], "--tier") && I + 1 < argc) {
+      ++I;
+      if (!std::strcmp(argv[I], "weak"))
+        Tier = jit::Tier::Weak;
+      else if (!std::strcmp(argv[I], "strong"))
+        Tier = jit::Tier::Strong;
+      else {
+        std::printf("unknown tier '%s'\n", argv[I]);
+        return usage();
+      }
+    } else if (!std::strcmp(argv[I], "--trace") && I + 1 < argc)
+      TracePath = argv[++I];
+    else if (argv[I][0] == '-') {
+      std::printf("unknown option '%s'\n", argv[I]);
+      return usage();
+    } else if (KernelName.empty())
+      KernelName = argv[I];
+    else if (TargetName.empty())
+      TargetName = argv[I];
+    else
+      return usage();
+  }
+  if (KernelName.empty())
+    return usage();
+
+  std::vector<kernels::Kernel> Ks = kernels::allKernels();
+  std::vector<target::TargetDesc> Ts = target::allTargets();
+  const kernels::Kernel *K = sweep::kernelByNameOrNull(Ks, KernelName);
+  if (!K) {
+    std::printf("unknown kernel '%s'\n", KernelName.c_str());
+    return 2;
+  }
+  if (!TargetName.empty()) {
+    const target::TargetDesc *T = sweep::targetByNameOrNull(Ts, TargetName);
+    if (!T) {
+      std::printf("unknown target '%s'\n", TargetName.c_str());
+      return 2;
+    }
+    Ts = {*T};
+  }
+
+  std::unique_ptr<obs::TraceSink> Sink;
+  if (TracePath)
+    Sink = std::make_unique<obs::TraceSink>(TracePath);
+
+  std::printf("vapor-explain: %s (suite: %s)\n", K->Name.c_str(),
+              K->Suite.c_str());
+
+  // --- Offline stage: target-independent, runs once. ---
+  std::printf("\n== Offline stage (vectorize once) ==\n");
+  vectorizer::Result VR = vectorizer::vectorize(K->Source);
+  for (const vectorizer::LoopReport &L : VR.Loops)
+    printLoopDecision(L);
+  if (VR.Loops.empty())
+    std::printf("  (no loops)\n");
+
+  std::vector<uint8_t> Encoded = bytecode::encode(VR.Output);
+  std::printf("  split bytecode: %zu bytes encoded\n", Encoded.size());
+  auto Decoded = bytecode::decode(Encoded);
+  if (!Decoded) {
+    std::printf("  decode FAILED: %s\n", Decoded.status().str().c_str());
+    return 1;
+  }
+
+  // --- Verifier gate: obligations for every explained target at once. ---
+  std::printf("\n== Verifier gate ==\n");
+  verify::VerifyOptions VO;
+  VO.Targets = Ts;
+  verify::Report Rep = verify::verifyModule(*Decoded, VO);
+  std::printf("  %s: %llu proof obligations proved, %llu failed "
+              "(%u target%s checked)\n",
+              Rep.ok() ? "ok" : "REJECTED",
+              static_cast<unsigned long long>(Rep.ObligationsProved),
+              static_cast<unsigned long long>(Rep.ObligationsFailed),
+              Rep.TargetsChecked, Rep.TargetsChecked == 1 ? "" : "s");
+  if (!Rep.ok())
+    std::printf("%s\n", Rep.str().c_str());
+
+  // --- Online stage + execution, per target. ---
+  for (const target::TargetDesc &T : Ts)
+    explainOnTarget(*K, T, Tier);
+  return 0;
+}
