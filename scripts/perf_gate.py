@@ -32,6 +32,17 @@ Three modes:
                        one report and no baseline:
                        perf_gate.py --obs-overhead vm_current.json
 
+  --native-floor       gates the native tier's payoff from one
+                       ``native_throughput --json`` report: the headline
+                       cell's native_ns_per_op must be at most
+                       vm_ns_per_op * --native-floor-ratio (default 0.5,
+                       i.e. native must at least halve the VM's fused
+                       dispatch cost). Reports written on hosts without
+                       the native tier carry "native_supported": false
+                       and pass with a notice -- the executor demotes
+                       cleanly there, so there is nothing to gate:
+                       perf_gate.py --native-floor native_current.json
+
 Exit status: 0 pass, 1 regression, 2 bad input.
 """
 
@@ -75,7 +86,46 @@ def main():
                          "measurement inside one report")
     ap.add_argument("--max-obs-overhead", type=float, default=0.02,
                     help="allowed idle-tracing overhead (default 0.02)")
+    ap.add_argument("--native-floor", action="store_true",
+                    help="gate the native tier's headline ns/op against "
+                         "the VM's fused ns/op inside one "
+                         "native_throughput report")
+    ap.add_argument("--native-floor-ratio", type=float, default=0.5,
+                    help="maximum native/VM ns-per-op ratio (default 0.5)")
     args = ap.parse_args()
+
+    if args.native_floor:
+        path = args.current or args.baseline
+        report = load(path)
+        if report.get("bench") != "native_throughput":
+            print(f"perf_gate: {path} is not a native_throughput report",
+                  file=sys.stderr)
+            sys.exit(2)
+        if not report.get("native_supported", False):
+            print("perf_gate: PASS (notice): native tier unsupported on "
+                  f"the measuring host (features: "
+                  f"{report.get('cpu_features', '?')}); nothing to gate")
+            sys.exit(0)
+        native = report.get("native_ns_per_op")
+        vm = report.get("vm_ns_per_op")
+        for name, v in (("native_ns_per_op", native), ("vm_ns_per_op", vm)):
+            if not isinstance(v, (int, float)) or v <= 0:
+                print(f"perf_gate: {path} has no usable {name}",
+                      file=sys.stderr)
+                sys.exit(2)
+        limit = vm * args.native_floor_ratio
+        ratio = native / vm
+        verdict = "PASS" if native <= limit else "FAIL"
+        print(f"perf_gate: {verdict}: native {native:.4f} vs VM fused "
+              f"{vm:.3f} ns/op, ratio {ratio:.2f} "
+              f"(limit {args.native_floor_ratio:.2f})")
+        if native > limit:
+            print("perf_gate: the native tier no longer clears its payoff "
+                  "floor against the VM; check the emitter for lost inline "
+                  "coverage (ops falling back to ScalarOps shims)",
+                  file=sys.stderr)
+            sys.exit(1)
+        sys.exit(0)
 
     if args.obs_overhead:
         path = args.current or args.baseline

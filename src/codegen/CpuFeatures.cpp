@@ -1,0 +1,83 @@
+//===- codegen/CpuFeatures.cpp - Runtime host-ISA detection ----------------===//
+//
+// Part of the Vapor SIMD reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/CpuFeatures.h"
+
+#ifndef VAPOR_NATIVE_ENABLED
+#define VAPOR_NATIVE_ENABLED 1
+#endif
+
+#if VAPOR_NATIVE_ENABLED && defined(__x86_64__)
+#include <cpuid.h>
+#endif
+
+using namespace vapor;
+using namespace vapor::codegen;
+
+std::string CpuFeatures::str() const {
+  std::string S;
+  auto Tag = [&](bool On, const char *Name) {
+    if (!On)
+      return;
+    if (!S.empty())
+      S += ' ';
+    S += Name;
+  };
+  Tag(X64, "x86-64");
+  Tag(SSE2, "sse2");
+  Tag(SSE41, "sse4.1");
+  Tag(AVX, "avx");
+  Tag(AVX2, "avx2");
+  return S.empty() ? "none" : S;
+}
+
+#if VAPOR_NATIVE_ENABLED && defined(__x86_64__)
+
+static CpuFeatures probe() {
+  CpuFeatures FX;
+  FX.X64 = true;
+  unsigned A = 0, B = 0, C = 0, D = 0;
+  if (!__get_cpuid(1, &A, &B, &C, &D))
+    return FX;
+  FX.SSE2 = (D >> 26) & 1;
+  FX.SSE41 = (C >> 19) & 1;
+
+  // AVX needs the feature bit AND the OS to have enabled xmm+ymm XSAVE
+  // state (OSXSAVE set, XCR0 bits 1 and 2).
+  bool OsXsave = (C >> 27) & 1;
+  bool AvxBit = (C >> 28) & 1;
+  if (OsXsave && AvxBit) {
+    unsigned Lo, Hi;
+    __asm__ __volatile__("xgetbv" : "=a"(Lo), "=d"(Hi) : "c"(0));
+    if ((Lo & 0x6) == 0x6) {
+      FX.AVX = true;
+      unsigned A7 = 0, B7 = 0, C7 = 0, D7 = 0;
+      if (__get_cpuid_count(7, 0, &A7, &B7, &C7, &D7))
+        FX.AVX2 = (B7 >> 5) & 1;
+    }
+  }
+  return FX;
+}
+
+const CpuFeatures &vapor::codegen::hostFeatures() {
+  static const CpuFeatures FX = probe();
+  return FX;
+}
+
+#else // !VAPOR_NATIVE_ENABLED || !__x86_64__
+
+const CpuFeatures &vapor::codegen::hostFeatures() {
+  static const CpuFeatures FX; // All false: native tier stands down.
+  return FX;
+}
+
+#endif
+
+bool vapor::codegen::supported(const CpuFeatures &FX) {
+  return FX.X64 && FX.SSE2;
+}
+
+bool vapor::codegen::supported() { return supported(hostFeatures()); }

@@ -1,0 +1,62 @@
+//===- codegen/CpuFeatures.h - Runtime host-ISA detection ------*- C++ -*-===//
+//
+// Part of the Vapor SIMD reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime CPU capability detection for the native x86-64 tier: one CPUID
+/// probe at first use decides which encoding set the binary emitter may
+/// write (legacy SSE2, VEX-128, VEX-256). This is the "compile once,
+/// dispatch on the host ISA at run time" discipline the paper's split
+/// compilation enables -- the same MachineIR produced by the online JIT
+/// lowers to AVX forms on an AVX host and to plain SSE2 pairs elsewhere,
+/// with the cycle-model VM remaining the portable fallback.
+///
+/// AVX reporting requires more than the CPUID feature bit: the OS must
+/// have enabled XSAVE state for the ymm registers (OSXSAVE + XCR0[2:1]),
+/// exactly the check real dispatchers perform.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAPOR_CODEGEN_CPUFEATURES_H
+#define VAPOR_CODEGEN_CPUFEATURES_H
+
+#include <string>
+
+namespace vapor {
+namespace codegen {
+
+/// The ISA subsets the emitter can target. X64 is a compile-time fact
+/// (this binary runs on x86-64); the rest come from CPUID.
+struct CpuFeatures {
+  bool X64 = false;
+  bool SSE2 = false;
+  bool SSE41 = false;
+  bool AVX = false;  ///< VEX encodings + 256-bit float ops, OS-enabled.
+  bool AVX2 = false; ///< 256-bit integer ops.
+
+  /// "x86-64 sse2 sse4.1 avx avx2" (or "none" when nothing usable).
+  std::string str() const;
+
+  /// A canonical bitmask for cache keys: two hosts (or two forced test
+  /// configurations) with equal masks produce identical machine code.
+  unsigned bits() const {
+    return (X64 ? 1u : 0u) | (SSE2 ? 2u : 0u) | (SSE41 ? 4u : 0u) |
+           (AVX ? 8u : 0u) | (AVX2 ? 16u : 0u);
+  }
+};
+
+/// The probed features of this host (CPUID, cached after the first call).
+/// All-false on non-x86-64 builds or when VAPOR_NATIVE is compiled out.
+const CpuFeatures &hostFeatures();
+
+/// Whether the native tier can run at all with \p FX: requires an x86-64
+/// host with SSE2 (the x86-64 baseline) and the emitter compiled in.
+bool supported(const CpuFeatures &FX);
+bool supported(); // hostFeatures() convenience.
+
+} // namespace codegen
+} // namespace vapor
+
+#endif // VAPOR_CODEGEN_CPUFEATURES_H

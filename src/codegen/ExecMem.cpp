@@ -1,0 +1,71 @@
+//===- codegen/ExecMem.cpp - W^X executable page management ----------------===//
+//
+// Part of the Vapor SIMD reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/ExecMem.h"
+
+#ifndef VAPOR_NATIVE_ENABLED
+#define VAPOR_NATIVE_ENABLED 1
+#endif
+
+#if VAPOR_NATIVE_ENABLED && defined(__unix__)
+#include <sys/mman.h>
+#include <unistd.h>
+#define VAPOR_EXECMEM_LIVE 1
+#else
+#define VAPOR_EXECMEM_LIVE 0
+#endif
+
+using namespace vapor::codegen;
+
+#if VAPOR_EXECMEM_LIVE
+
+bool ExecMem::allocate(size_t Size) {
+  if (Ptr || Size == 0)
+    return false;
+  size_t Page = static_cast<size_t>(sysconf(_SC_PAGESIZE));
+  size_t Rounded = (Size + Page - 1) & ~(Page - 1);
+  void *P = mmap(nullptr, Rounded, PROT_READ | PROT_WRITE,
+                 MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (P == MAP_FAILED)
+    return false;
+  Ptr = P;
+  Len = Size;
+  Cap = Rounded;
+  Sealed = false;
+  return true;
+}
+
+bool ExecMem::seal() {
+  if (!Ptr || Sealed)
+    return false;
+  if (mprotect(Ptr, Cap, PROT_READ | PROT_EXEC) != 0) {
+    release(); // Never keep writable code around after a failed seal.
+    return false;
+  }
+  Sealed = true;
+  return true;
+}
+
+void ExecMem::release() {
+  if (Ptr) {
+    munmap(Ptr, Cap);
+    Ptr = nullptr;
+  }
+  Len = Cap = 0;
+  Sealed = false;
+}
+
+#else // Portable stub: the native tier stands down on these hosts.
+
+bool ExecMem::allocate(size_t) { return false; }
+bool ExecMem::seal() { return false; }
+void ExecMem::release() {
+  Ptr = nullptr;
+  Len = Cap = 0;
+  Sealed = false;
+}
+
+#endif

@@ -1,0 +1,80 @@
+//===- codegen/ExecMem.h - W^X executable page management ------*- C++ -*-===//
+//
+// Part of the Vapor SIMD reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// mmap-backed executable memory with a strict W^X lifecycle: a region is
+/// allocated read-write, filled with emitted machine code, then *sealed*
+/// read-execute. No mapping is ever writable and executable at the same
+/// time, and sealing is one-way -- there is no API to make a sealed
+/// region writable again. Release is idempotent (double-free safe) and
+/// runs on destruction, so a unit that fails mid-build cannot leak a
+/// mapping.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAPOR_CODEGEN_EXECMEM_H
+#define VAPOR_CODEGEN_EXECMEM_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace vapor {
+namespace codegen {
+
+class ExecMem {
+public:
+  ExecMem() = default;
+  ~ExecMem() { release(); }
+
+  ExecMem(const ExecMem &) = delete;
+  ExecMem &operator=(const ExecMem &) = delete;
+  ExecMem(ExecMem &&O) noexcept { moveFrom(O); }
+  ExecMem &operator=(ExecMem &&O) noexcept {
+    if (this != &O) {
+      release();
+      moveFrom(O);
+    }
+    return *this;
+  }
+
+  /// Maps \p Size bytes read-write (rounded up to whole pages).
+  /// \returns false when the mapping fails or one is already held.
+  bool allocate(size_t Size);
+
+  /// Flips the mapping read-execute. \returns false when nothing is
+  /// mapped, the region is already sealed, or mprotect fails (the
+  /// mapping is released in that last case: never leave RW code around).
+  bool seal();
+
+  /// Unmaps. Safe to call repeatedly and with nothing mapped.
+  void release();
+
+  void *base() const { return Ptr; }
+  size_t size() const { return Len; }       ///< Requested code bytes.
+  size_t mappedSize() const { return Cap; } ///< Whole-page mapping size.
+  bool sealed() const { return Sealed; }
+
+private:
+  void moveFrom(ExecMem &O) {
+    Ptr = O.Ptr;
+    Len = O.Len;
+    Cap = O.Cap;
+    Sealed = O.Sealed;
+    O.Ptr = nullptr;
+    O.Len = O.Cap = 0;
+    O.Sealed = false;
+  }
+
+  void *Ptr = nullptr;
+  size_t Len = 0;
+  size_t Cap = 0;
+  bool Sealed = false;
+};
+
+} // namespace codegen
+} // namespace vapor
+
+#endif // VAPOR_CODEGEN_EXECMEM_H

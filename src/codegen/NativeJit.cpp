@@ -1,0 +1,1276 @@
+//===- codegen/NativeJit.cpp - MachineIR -> x86-64 binary emitter ----------===//
+//
+// Part of the Vapor SIMD reproduction.
+//
+//===----------------------------------------------------------------------===//
+//
+// Bit-exactness strategy: the builder below is a line-for-line mirror of
+// the VM decoder's flattening walk (VM.cpp, VMDecoder). It lays out the
+// same lane file, visits the region tree in the same order, and keeps an
+// op *ordinal* that advances exactly when the decoder would emit a DOp,
+// so trap attribution (pre-fusion PC) matches the VM without a mapping
+// table. Each op is either lowered to x86-64 whose result provably
+// equals the ScalarOps semantics, or compiled to a call into a shim that
+// *runs* ScalarOps on the same lane file.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/NativeJit.h"
+
+#include "codegen/Emitter.h"
+#include "ir/ScalarOps.h"
+#include "support/Support.h"
+
+#include <algorithm>
+#include <cstring>
+
+using namespace vapor;
+using namespace vapor::ir;
+using namespace vapor::target;
+using namespace vapor::codegen;
+
+//===----------------------------------------------------------------------===//
+// The deferred-op shim: replays the exact VM handler lane loops over
+// ScalarOps. Lane-file only -- never touches guest memory, never traps.
+//===----------------------------------------------------------------------===//
+
+namespace vapor {
+namespace codegen {
+extern "C" void vapor_codegen_shim(NativeContext *Ctx, const NOp *Op) {
+  uint64_t *R = Ctx->Lanes;
+  const NOp &O = *Op;
+  switch (O.F) {
+  case NOp::Fn::Bin:
+    for (uint32_t L = 0; L < O.Lanes; ++L)
+      R[O.A + L] = applyBinop(O.Sub, O.Kind, R[O.B + L], R[O.C + L]);
+    break;
+  case NOp::Fn::Un:
+    for (uint32_t L = 0; L < O.Lanes; ++L)
+      R[O.A + L] = applyUnop(O.Sub, O.Kind, R[O.B + L]);
+    break;
+  case NOp::Fn::Cmp:
+    for (uint32_t L = 0; L < O.Lanes; ++L)
+      R[O.A + L] = applyCompare(O.Sub, O.SrcKind, R[O.B + L], R[O.C + L]);
+    break;
+  case NOp::Fn::Sel:
+    for (uint32_t L = 0; L < O.Lanes; ++L)
+      R[O.A + L] = (R[O.B + L] & 1) ? R[O.C + L] : R[O.D + L];
+    break;
+  case NOp::Fn::Cvt:
+    for (uint32_t L = 0; L < O.Lanes; ++L)
+      R[O.A + L] = applyConvert(O.SrcKind, O.Kind, R[O.B + L]);
+    break;
+  case NOp::Fn::WMul: {
+    uint64_t Off = O.Imm;
+    for (uint32_t J = 0; J < O.Lanes; ++J)
+      R[O.A + J] =
+          applyBinop(Opcode::Mul, O.Kind,
+                     applyConvert(O.SrcKind, O.Kind, R[O.B + Off + J]),
+                     applyConvert(O.SrcKind, O.Kind, R[O.C + Off + J]));
+    break;
+  }
+  case NOp::Fn::Pack: {
+    uint32_t Half = O.Lanes / 2;
+    for (uint32_t L = 0; L < Half; ++L) {
+      R[O.A + L] = applyConvert(O.SrcKind, O.Kind, R[O.B + L]);
+      R[O.A + Half + L] = applyConvert(O.SrcKind, O.Kind, R[O.C + L]);
+    }
+    break;
+  }
+  case NOp::Fn::Unpack: {
+    uint64_t Off = O.Imm;
+    for (uint32_t J = 0; J < O.Lanes; ++J)
+      R[O.A + J] = applyConvert(O.SrcKind, O.Kind, R[O.B + Off + J]);
+    break;
+  }
+  case NOp::Fn::Dot:
+    for (uint32_t J = 0; J < O.Lanes; ++J) {
+      uint64_t P0 =
+          applyBinop(Opcode::Mul, O.Kind,
+                     applyConvert(O.SrcKind, O.Kind, R[O.B + 2 * J]),
+                     applyConvert(O.SrcKind, O.Kind, R[O.C + 2 * J]));
+      uint64_t P1 =
+          applyBinop(Opcode::Mul, O.Kind,
+                     applyConvert(O.SrcKind, O.Kind, R[O.B + 2 * J + 1]),
+                     applyConvert(O.SrcKind, O.Kind, R[O.C + 2 * J + 1]));
+      R[O.A + J] = applyBinop(Opcode::Add, O.Kind,
+                              applyBinop(Opcode::Add, O.Kind, R[O.D + J], P0),
+                              P1);
+    }
+    break;
+  case NOp::Fn::Affine: {
+    uint64_t Cur = R[O.B], Inc = R[O.C];
+    for (uint32_t L = 0; L < O.Lanes; ++L) {
+      R[O.A + L] = Cur;
+      Cur = applyBinop(Opcode::Add, O.Kind, Cur, Inc);
+    }
+    break;
+  }
+  case NOp::Fn::Reduce: {
+    uint64_t Acc = R[O.B];
+    for (uint32_t L = 1; L < O.Lanes; ++L)
+      Acc = applyBinop(O.Sub, O.Kind, Acc, R[O.B + L]);
+    R[O.A] = Acc;
+    break;
+  }
+  }
+}
+} // namespace codegen
+} // namespace vapor
+
+//===----------------------------------------------------------------------===//
+// The builder.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A pending jcc into a not-yet-emitted trap stub.
+struct TrapFix {
+  size_t Pos = 0;      ///< rel32 fixup position.
+  uint32_t OpIdx = 0;  ///< Pre-fusion ordinal (~0u for bounds, as VM).
+  uint32_t Align = 0;  ///< Required alignment (0 for bounds).
+  bool IsStore = false;
+  uint32_t Code = 0; ///< Entry return value: 1 align, 2 OOB.
+};
+
+class NativeBuilder {
+public:
+  NativeBuilder(const MFunction &Fn, const MemoryImage &Image,
+                const CpuFeatures &Features, NativeUnit &Unit)
+      : F(Fn), Mem(Image), FX(Features), U(Unit) {
+    E.UseVEX = FX.AVX;
+  }
+
+  void build() {
+    layout();
+    prologue();
+    region(F.Body);
+    E.aluRR(0x31, RAX, RAX, false); // xor eax, eax: clean completion.
+    size_t LDone = E.here();
+    epilogue();
+
+    // Trap stubs live after the ret; each jcc above lands on its own.
+    for (const TrapFix &T : TrapFixes) {
+      E.patch32(T.Pos, E.here());
+      E.movMR64(RBP, 32, RAX); // TrapAddr (rax holds the address).
+      E.movMImm32(RBP, 40, T.OpIdx);
+      E.movMImm32(RBP, 44, T.Align);
+      E.movMImm8(RBP, 48, T.IsStore ? 1 : 0);
+      E.movImm32(RAX, T.Code);
+      E.jmpTo(LDone);
+    }
+
+    U.OpCount = Ordinal;
+    U.Stats.CodeBytes = E.code().size();
+    U.Stats.FeaturesUsed = FX.str();
+    U.TargetName = F.Name; // Replaced by the target name in compileNative.
+  }
+
+  const std::vector<uint8_t> &code() const { return E.code(); }
+
+private:
+  const MFunction &F;
+  const MemoryImage &Mem;
+  const CpuFeatures &FX;
+  NativeUnit &U;
+  Emitter E;
+
+  std::vector<uint32_t> Off;      ///< Lane-file offset per register.
+  std::vector<uint32_t> RegLanes; ///< Lane count per register.
+  uint32_t Ordinal = 0;           ///< Pre-fusion PC, lockstep with the VM.
+  uint32_t ScratchLane = 0;       ///< Reduction accumulator lane.
+  std::vector<TrapFix> TrapFixes;
+
+  static int32_t d(uint32_t Lane) { return static_cast<int32_t>(Lane * 8); }
+
+  //===--- Layout and frame -----------------------------------------------===//
+
+  void layout() {
+    // Identical to VMDecoder::decode(): vector registers get VS/ES lanes.
+    Off.resize(F.Regs.size());
+    RegLanes.resize(F.Regs.size());
+    uint32_t Total = 0;
+    for (size_t R = 0; R < F.Regs.size(); ++R) {
+      unsigned Lanes = 1;
+      if (F.Regs[R].Vector && F.VSBytes)
+        Lanes = std::max(1u, F.VSBytes / scalarSize(F.Regs[R].Kind));
+      Off[R] = Total;
+      RegLanes[R] = Lanes;
+      Total += Lanes;
+    }
+    U.LaneCount = Total;
+    ScratchLane = Total; // One spare lane for inline reductions.
+    U.LaneTotal = Total + 2;
+    for (const MParam &P : F.Params) {
+      assert(P.Reg < F.Regs.size() && "bad param register");
+      U.Params.push_back({P.Name, Off[P.Reg], F.Regs[P.Reg].Kind});
+    }
+  }
+
+  void prologue() {
+    // Entry: rdi = NativeContext*. Pin the hot state in callee-saved
+    // registers: rbx = lane base, rbp = ctx, r12 = MemBias, r13 = MemLo,
+    // r14 = MemHi. Six pushes + 8 keeps rsp 16-aligned at call sites.
+    E.push(RBX);
+    E.push(RBP);
+    E.push(R12);
+    E.push(R13);
+    E.push(R14);
+    E.push(R15);
+    E.subImm64(RSP, 8);
+    E.movRR64(RBP, RDI);
+    E.movRM64(RBX, RDI, 0);
+    E.movRM64(R12, RDI, 8);
+    E.movRM64(R13, RDI, 16);
+    E.movRM64(R14, RDI, 24);
+  }
+
+  void epilogue() {
+    if (E.UseVEX)
+      E.vzeroupper();
+    E.addImm64(RSP, 8);
+    E.pop(R15);
+    E.pop(R14);
+    E.pop(R13);
+    E.pop(R12);
+    E.pop(RBP);
+    E.pop(RBX);
+    E.ret();
+  }
+
+  //===--- Trap checks ----------------------------------------------------===//
+  // The faulting address must be in rax when the jcc fires.
+
+  void alignCheck(uint32_t Mask, uint32_t Ord, bool IsStore) {
+    if (!Mask)
+      return; // Scalar-width "vectors" are always aligned.
+    E.testImm(RAX, Mask);
+    TrapFixes.push_back({E.jcc(CC::NE), Ord, Mask + 1, IsStore, 1});
+  }
+
+  void boundsCheck(uint64_t Size) {
+    // VM: Addr < MemLo || Addr + Size > MemHi, with uint64 wraparound.
+    E.cmpRR64(RAX, R13);
+    TrapFixes.push_back({E.jcc(CC::B), ~0u, 0, false, 2});
+    E.lea(RCX, RAX, static_cast<int32_t>(Size));
+    E.cmpRR64(RCX, R14);
+    TrapFixes.push_back({E.jcc(CC::A), ~0u, 0, false, 2});
+  }
+
+  //===--- Region walk (mirrors VMDecoder) --------------------------------===//
+
+  void region(const MRegion &R) {
+    for (const MNodeRef &N : R.Nodes) {
+      switch (N.Kind) {
+      case MNodeKind::Instr:
+        instr(F.Instrs[N.Index]);
+        break;
+      case MNodeKind::Loop:
+        loop(F.Loops[N.Index]);
+        break;
+      case MNodeKind::If:
+        ifStmt(F.Ifs[N.Index]);
+        break;
+      }
+    }
+  }
+
+  /// Synthetic full-register copy (loop plumbing). One ordinal, exactly
+  /// like the decoder's emitCopy -- skipped entirely when Dst == Src.
+  void emitCopy(MReg Dst, MReg Src) {
+    if (Dst == Src)
+      return;
+    copyLanes(Off[Dst], Off[Src], RegLanes[Dst]);
+    ++Ordinal;
+  }
+
+  void loop(const MLoop &L) {
+    emitCopy(L.IndVar, L.Lower);
+    for (const MLoop::CarriedVar &C : L.Carried)
+      emitCopy(C.Phi, C.Init);
+    // HEAD: if ((int64)iv >= (int64)upper) goto END.
+    size_t HeadPos = E.here();
+    E.movRM64(RAX, RBX, d(Off[L.IndVar]));
+    E.cmpRM64(RAX, RBX, d(Off[L.Upper]));
+    size_t ExitFix = E.jcc(CC::GE);
+    ++Ordinal; // The head DOp.
+
+    region(L.Body);
+
+    for (const MLoop::CarriedVar &C : L.Carried)
+      if (C.Next != NoReg)
+        emitCopy(C.Phi, C.Next);
+    // LATCH: iv += step; goto HEAD.
+    E.movRM64(RAX, RBX, d(Off[L.Step]));
+    E.aluMR64(0x01, RBX, d(Off[L.IndVar]), RAX);
+    ++Ordinal; // The latch DOp.
+    E.jmpTo(HeadPos);
+    E.patch32(ExitFix, E.here());
+  }
+
+  void ifStmt(const MIf &S) {
+    E.testM8(RBX, d(Off[S.Cond]), 1);
+    size_t ElseFix = E.jcc(CC::E);
+    ++Ordinal; // The branch DOp.
+    region(S.Then);
+    size_t EndFix = E.jmp();
+    ++Ordinal; // The jump DOp.
+    E.patch32(ElseFix, E.here());
+    region(S.Else);
+    E.patch32(EndFix, E.here());
+  }
+
+  //===--- Lane-level code patterns ---------------------------------------===//
+
+  /// Loads lane \p Lane decoded per \p K: sign-extended for signed
+  /// sub-64 kinds, canonical (zero-extended) otherwise.
+  void loadDecoded(unsigned Dst, uint32_t Lane, ScalarKind K) {
+    unsigned ES = scalarSize(K);
+    if (isSignedKind(K) && ES < 8)
+      E.movsxRM(Dst, RBX, d(Lane), ES);
+    else
+      E.movRM64(Dst, RBX, d(Lane));
+  }
+
+  /// Masks \p Reg back to the canonical encoding of \p K.
+  void maskTo(unsigned Reg, ScalarKind K) {
+    unsigned ES = scalarSize(K);
+    if (ES >= 8)
+      return;
+    if (ES == 4)
+      E.movRR32(Reg, Reg); // mov r32, r32 zero-extends.
+    else
+      E.andImm32(Reg, static_cast<uint32_t>(laneMask(K)));
+  }
+
+  /// Stores xmm0 to lane \p Lane canonically (F32 zero-extends the
+  /// 32-bit pattern through a GPR; a movss store would leave stale
+  /// high bytes in the slot).
+  void storeF(ScalarKind K, uint32_t Lane) {
+    if (K == ScalarKind::F64) {
+      E.sseMemDisp(3, 0x11, 0, RBX, d(Lane)); // movsd [lane], xmm0
+    } else {
+      E.movdFromXmm(RAX, 0); // movd eax, xmm0 (zero-extends).
+      E.movMR64(RBX, d(Lane), RAX);
+    }
+  }
+
+  static bool fpOpc(Opcode Op, uint8_t &Opc) {
+    switch (Op) {
+    case Opcode::Add:
+      Opc = 0x58;
+      return true;
+    case Opcode::Sub:
+      Opc = 0x5C;
+      return true;
+    case Opcode::Mul:
+      Opc = 0x59;
+      return true;
+    case Opcode::Div:
+      Opc = 0x5E;
+      return true;
+    case Opcode::Min:
+      Opc = 0x5D; // minsd(X, Y) == X < Y ? X : Y, NaN -> Y: exact match.
+      return true;
+    case Opcode::Max:
+      Opc = 0x5F; // maxsd(X, Y) == X > Y ? X : Y, NaN -> Y: exact match.
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  /// Legacy-SSE packed integer opcodes usable on canonical 64-bit lanes.
+  static bool intPackedOpc(Opcode Op, uint8_t &Opc) {
+    switch (Op) {
+    case Opcode::Add:
+      Opc = 0xD4; // paddq
+      return true;
+    case Opcode::Sub:
+      Opc = 0xFB; // psubq
+      return true;
+    case Opcode::And:
+      Opc = 0xDB; // pand
+      return true;
+    case Opcode::Or:
+      Opc = 0xEB; // por
+      return true;
+    case Opcode::Xor:
+      Opc = 0xEF; // pxor
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  static bool inlinableBin(Opcode Op, ScalarKind K) {
+    if (K == ScalarKind::None || K == ScalarKind::I1)
+      return false; // ScalarOps' kind dispatch is subtle there: shim.
+    if (isFloatKind(K)) {
+      uint8_t Opc;
+      return fpOpc(Op, Opc);
+    }
+    switch (Op) {
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Xor:
+    case Opcode::Min:
+    case Opcode::Max:
+    case Opcode::Shl:
+    case Opcode::ShrL:
+    case Opcode::ShrA:
+      return true;
+    default:
+      return false; // Div/Rem keep the VM's assert-on-zero via the shim.
+    }
+  }
+
+  static bool inlinableUn(Opcode Op, ScalarKind K) {
+    if (K == ScalarKind::None || K == ScalarKind::I1)
+      return false;
+    if (isFloatKind(K))
+      return Op == Opcode::Neg || Op == Opcode::Abs || Op == Opcode::Sqrt;
+    return Op == Opcode::Neg || Op == Opcode::Abs;
+  }
+
+  /// One scalar lane of applyBinop, lane-file in, lane-file out.
+  void binLane(Opcode Sub, ScalarKind K, uint32_t A, uint32_t B, uint32_t C) {
+    unsigned ES = scalarSize(K);
+    if (isFloatKind(K)) {
+      unsigned PP = K == ScalarKind::F64 ? 3 : 2; // F2 sd / F3 ss.
+      uint8_t Opc = 0;
+      fpOpc(Sub, Opc);
+      E.sseMemDisp(PP, 0x10, 0, RBX, d(B)); // movs[sd] xmm0, [B]
+      E.sseRM(PP, Opc, 0, RBX, d(C));       // op xmm0, [C]
+      storeF(K, A);
+      return;
+    }
+    switch (Sub) {
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Xor: {
+      // Canonical-in, canonical-out: 64-bit ops for ES==8, 32-bit ops
+      // (auto zero-extending) for ES==4, 32-bit + mask below that.
+      uint8_t Opc = Sub == Opcode::Add   ? 0x03
+                    : Sub == Opcode::Sub ? 0x2B
+                    : Sub == Opcode::And ? 0x23
+                    : Sub == Opcode::Or  ? 0x0B
+                                         : 0x33;
+      E.movRM64(RAX, RBX, d(B));
+      E.aluRM(Opc, RAX, RBX, d(C), /*W=*/ES == 8);
+      if (ES < 4)
+        E.andImm32(RAX, static_cast<uint32_t>(laneMask(K)));
+      break;
+    }
+    case Opcode::Mul:
+      E.movRM64(RAX, RBX, d(B));
+      E.imulRM(RAX, RBX, d(C), /*W=*/ES == 8);
+      if (ES < 4)
+        E.andImm32(RAX, static_cast<uint32_t>(laneMask(K)));
+      break;
+    case Opcode::Min:
+    case Opcode::Max: {
+      loadDecoded(RAX, B, K);
+      loadDecoded(RCX, C, K);
+      E.cmpRR64(RAX, RCX);
+      bool S = isSignedKind(K);
+      CC C2 = Sub == Opcode::Min ? (S ? CC::G : CC::A)  // replace if X > Y
+                                 : (S ? CC::L : CC::B); // replace if X < Y
+      E.cmov(C2, RAX, RCX);
+      if (S)
+        maskTo(RAX, K);
+      break;
+    }
+    case Opcode::Shl:
+      E.movRM64(RCX, RBX, d(C));
+      E.andImm32(RCX, ES * 8 - 1);
+      E.movRM64(RAX, RBX, d(B));
+      E.shiftCl(4, RAX, /*W=*/ES == 8);
+      if (ES < 4)
+        E.andImm32(RAX, static_cast<uint32_t>(laneMask(K)));
+      break;
+    case Opcode::ShrL:
+      E.movRM64(RCX, RBX, d(C));
+      E.andImm32(RCX, ES * 8 - 1);
+      E.movRM64(RAX, RBX, d(B)); // Canonical >> amt stays canonical.
+      E.shiftCl(5, RAX, /*W=*/true);
+      break;
+    case Opcode::ShrA:
+      E.movRM64(RCX, RBX, d(C));
+      E.andImm32(RCX, ES * 8 - 1);
+      loadDecoded(RAX, B, K); // sar of the sign-extended value...
+      E.shiftCl(7, RAX, /*W=*/true);
+      if (isSignedKind(K))
+        maskTo(RAX, K); // ...re-encoded. Unsigned decode is nonneg: exact.
+      break;
+    default:
+      vapor_unreachable("binLane on a non-inlinable opcode");
+    }
+    E.movMR64(RBX, d(A), RAX);
+  }
+
+  /// One scalar lane of applyCompare at operand kind \p SK. I1 operands
+  /// decode to 0/1 either way, so the unsigned path covers them.
+  void cmpLane(Opcode Sub, ScalarKind SK, uint32_t A, uint32_t B, uint32_t C) {
+    CC Cond;
+    if (isFloatKind(SK)) {
+      bool F64 = SK == ScalarKind::F64;
+      unsigned PP = F64 ? 3 : 2;
+      E.sseMemDisp(PP, 0x10, 0, RBX, d(B));
+      E.sseMemDisp(PP, 0x10, 1, RBX, d(C));
+      // The VM compares through a 3-way Rel with NaN -> 0 ("equal"), so
+      // EQ/LE/GE are *true* on NaN and LT/GT/NE false. ucomis flags on
+      // unordered (ZF=CF=1) give exactly that with the codes below.
+      switch (Sub) {
+      case Opcode::CmpEQ:
+        E.ucomis(F64, 0, 1);
+        Cond = CC::E;
+        break;
+      case Opcode::CmpNE:
+        E.ucomis(F64, 0, 1);
+        Cond = CC::NE;
+        break;
+      case Opcode::CmpGT:
+        E.ucomis(F64, 0, 1);
+        Cond = CC::A;
+        break;
+      case Opcode::CmpLE:
+        E.ucomis(F64, 0, 1);
+        Cond = CC::BE;
+        break;
+      case Opcode::CmpLT: // X < Y  ==  Y > X with swapped operands.
+        E.ucomis(F64, 1, 0);
+        Cond = CC::A;
+        break;
+      default: // CmpGE == Y <= X swapped.
+        E.ucomis(F64, 1, 0);
+        Cond = CC::BE;
+        break;
+      }
+    } else {
+      bool S = isSignedKind(SK);
+      if (S) {
+        loadDecoded(RAX, B, SK);
+        loadDecoded(RCX, C, SK);
+      } else {
+        E.movRM64(RAX, RBX, d(B));
+        E.movRM64(RCX, RBX, d(C));
+      }
+      E.cmpRR64(RAX, RCX);
+      switch (Sub) {
+      case Opcode::CmpEQ:
+        Cond = CC::E;
+        break;
+      case Opcode::CmpNE:
+        Cond = CC::NE;
+        break;
+      case Opcode::CmpLT:
+        Cond = S ? CC::L : CC::B;
+        break;
+      case Opcode::CmpLE:
+        Cond = S ? CC::LE : CC::BE;
+        break;
+      case Opcode::CmpGT:
+        Cond = S ? CC::G : CC::A;
+        break;
+      default:
+        Cond = S ? CC::GE : CC::AE;
+        break;
+      }
+    }
+    E.setcc(Cond, RAX);
+    E.movzxR8(RAX, RAX);
+    E.movMR64(RBX, d(A), RAX);
+  }
+
+  void selLane(uint32_t A, uint32_t B, uint32_t C, uint32_t Dl) {
+    E.movRM64(RCX, RBX, d(C));
+    E.movRM64(RDX, RBX, d(Dl));
+    E.testM8(RBX, d(B), 1);
+    E.cmov(CC::E, RCX, RDX); // Bit clear -> take the else value.
+    E.movMR64(RBX, d(A), RCX);
+  }
+
+  void unLane(Opcode Sub, ScalarKind K, uint32_t A, uint32_t B) {
+    if (isFloatKind(K)) {
+      bool F64 = K == ScalarKind::F64;
+      if (Sub == Opcode::Sqrt) {
+        unsigned PP = F64 ? 3 : 2;
+        E.sseMemDisp(PP, 0x10, 0, RBX, d(B));
+        E.sseRR(PP, 0x51, 0, 0); // sqrts[sd] xmm0, xmm0
+        storeF(K, A);
+        return;
+      }
+      // Neg/Abs are sign-bit games on the raw encoding.
+      E.movRM64(RAX, RBX, d(B));
+      if (F64) {
+        E.movImm64(RCX, Sub == Opcode::Neg ? 0x8000000000000000ULL
+                                           : 0x7FFFFFFFFFFFFFFFULL);
+        if (Sub == Opcode::Neg)
+          E.xorRR64(RAX, RCX);
+        else
+          E.andRR64(RAX, RCX);
+      } else {
+        if (Sub == Opcode::Neg)
+          E.aluImm32(6, RAX, static_cast<int32_t>(0x80000000u), false);
+        else
+          E.andImm32(RAX, 0x7FFFFFFFu);
+      }
+      E.movMR64(RBX, d(A), RAX);
+      return;
+    }
+    // Integer Neg/Abs on the decoded value, re-encoded. Abs follows
+    // decodeInt exactly, including U64's wrap-through-signed behavior.
+    loadDecoded(RAX, B, K);
+    if (Sub == Opcode::Neg) {
+      E.negR(RAX, true);
+    } else {
+      E.movRR64(RCX, RAX);
+      E.negR(RCX, true);
+      E.testRR64(RAX, RAX);
+      E.cmov(CC::S, RAX, RCX);
+    }
+    maskTo(RAX, K);
+    E.movMR64(RBX, d(A), RAX);
+  }
+
+  //===--- Vector helpers -------------------------------------------------===//
+
+  /// Lane-file block copy; SIMD-chunked (addresses are 16B-aligned only
+  /// by luck, so always the unaligned encodings).
+  void copyLanes(uint32_t Dst, uint32_t Src, uint32_t Lanes) {
+    if (Dst == Src)
+      return;
+    uint32_t L = 0;
+    while (FX.AVX && Lanes - L >= 4) {
+      E.sseMemDisp(2, 0x6F, 0, RBX, d(Src + L), /*L256=*/true);
+      E.sseMemDisp(2, 0x7F, 0, RBX, d(Dst + L), /*L256=*/true);
+      ++U.Stats.VexChunks;
+      L += 4;
+    }
+    while (Lanes - L >= 2) {
+      E.sseMemDisp(2, 0x6F, 0, RBX, d(Src + L));
+      E.sseMemDisp(2, 0x7F, 0, RBX, d(Dst + L));
+      L += 2;
+    }
+    for (; L < Lanes; ++L) {
+      E.movRM64(RAX, RBX, d(Src + L));
+      E.movMR64(RBX, d(Dst + L), RAX);
+    }
+  }
+
+  /// Lane-wise binop over a register; packs canonical 64-bit lanes with
+  /// SSE2/VEX where an exact packed form exists, scalar otherwise.
+  void vecBin(Opcode Sub, ScalarKind K, uint32_t A, uint32_t B, uint32_t C,
+              uint32_t Lanes) {
+    uint8_t Opc = 0;
+    unsigned LoadPP = 0, OpPP = 0;
+    uint8_t LoadOpc = 0, StoreOpc = 0;
+    bool Packed = false, YmmOk = false;
+    if (scalarSize(K) == 8) {
+      if (K == ScalarKind::F64 && fpOpc(Sub, Opc)) {
+        // movupd + packed-double arithmetic; IEEE ops are lane-exact.
+        Packed = true;
+        LoadPP = 1;
+        OpPP = 1;
+        LoadOpc = 0x10;
+        StoreOpc = 0x11;
+        YmmOk = FX.AVX;
+      } else if (isIntKind(K) && intPackedOpc(Sub, Opc)) {
+        // movdqu + 64-bit packed int; wraparound is lane-exact.
+        Packed = true;
+        LoadPP = 2;
+        OpPP = 1;
+        LoadOpc = 0x6F;
+        StoreOpc = 0x7F;
+        YmmOk = FX.AVX2; // 256-bit integer ALU needs AVX2, not AVX.
+      }
+    }
+    // Both operands go through unaligned loads and the arithmetic is
+    // register-register: lane-file vectors start at arbitrary 8-byte
+    // offsets, and legacy-SSE packed ops with memory operands #GP on
+    // anything not 16-aligned (VEX forms tolerate it, but the code must
+    // be correct on the SSE2 baseline too).
+    uint32_t L = 0;
+    if (Packed) {
+      while (YmmOk && Lanes - L >= 4) {
+        E.sseMemDisp(LoadPP, LoadOpc, 0, RBX, d(B + L), /*L256=*/true);
+        E.sseMemDisp(LoadPP, LoadOpc, 1, RBX, d(C + L), /*L256=*/true);
+        E.sseRR(OpPP, Opc, 0, 1, /*L256=*/true);
+        E.sseMemDisp(LoadPP, StoreOpc, 0, RBX, d(A + L), /*L256=*/true);
+        ++U.Stats.PackedOps;
+        ++U.Stats.VexChunks;
+        L += 4;
+      }
+      while (Lanes - L >= 2) {
+        E.sseMemDisp(LoadPP, LoadOpc, 0, RBX, d(B + L));
+        E.sseMemDisp(LoadPP, LoadOpc, 1, RBX, d(C + L));
+        E.sseRR(OpPP, Opc, 0, 1);
+        E.sseMemDisp(LoadPP, StoreOpc, 0, RBX, d(A + L));
+        ++U.Stats.PackedOps;
+        L += 2;
+      }
+    }
+    for (; L < Lanes; ++L)
+      binLane(Sub, K, A + L, B + L, C + L);
+  }
+
+  //===--- Guest memory ---------------------------------------------------===//
+  // Guest virtual address in rax; host pointer is [rax + r12 (+ disp)].
+  // Guest buffers carry no alignment promise to *us*, so every host
+  // access uses unaligned encodings; the architectural alignment trap
+  // is the explicit check, exactly like the VM.
+
+  void vload(const MInstr &I, bool Aligned, uint32_t Ord) {
+    uint32_t A = Off[I.Dst], Lanes = RegLanes[I.Dst];
+    unsigned ES = scalarSize(I.Kind);
+    E.movRM64(RAX, RBX, d(Off[I.Srcs[0]]));
+    if (Aligned)
+      alignCheck(F.VSBytes - 1, Ord, /*IsStore=*/false);
+    boundsCheck(static_cast<uint64_t>(Lanes) * ES);
+    if (ES == 8) {
+      uint32_t L = 0;
+      while (FX.AVX && Lanes - L >= 4) {
+        E.sseMemSib(2, 0x6F, 0, RAX, R12, d(L), /*L256=*/true);
+        E.sseMemDisp(2, 0x7F, 0, RBX, d(A + L), /*L256=*/true);
+        ++U.Stats.PackedOps;
+        ++U.Stats.VexChunks;
+        L += 4;
+      }
+      while (Lanes - L >= 2) {
+        E.sseMemSib(2, 0x6F, 0, RAX, R12, d(L));
+        E.sseMemDisp(2, 0x7F, 0, RBX, d(A + L));
+        ++U.Stats.PackedOps;
+        L += 2;
+      }
+      for (; L < Lanes; ++L) {
+        E.movRMSib(RCX, RAX, R12, d(L), 8);
+        E.movMR64(RBX, d(A + L), RCX);
+      }
+    } else {
+      // Sub-64 lanes: per-lane zero-extending loads (ld<ES> semantics).
+      for (uint32_t L = 0; L < Lanes; ++L) {
+        E.movRMSib(RCX, RAX, R12, static_cast<int32_t>(L * ES), ES);
+        E.movMR64(RBX, d(A + L), RCX);
+      }
+    }
+  }
+
+  void vstore(const MInstr &I, bool Aligned, uint32_t Ord) {
+    uint32_t B = Off[I.Srcs[1]], Lanes = RegLanes[I.Srcs[1]];
+    unsigned ES = scalarSize(I.Kind);
+    E.movRM64(RAX, RBX, d(Off[I.Srcs[0]]));
+    if (Aligned)
+      alignCheck(F.VSBytes - 1, Ord, /*IsStore=*/true);
+    boundsCheck(static_cast<uint64_t>(Lanes) * ES);
+    if (ES == 8) {
+      uint32_t L = 0;
+      while (FX.AVX && Lanes - L >= 4) {
+        E.sseMemDisp(2, 0x6F, 0, RBX, d(B + L), /*L256=*/true);
+        E.sseMemSib(2, 0x7F, 0, RAX, R12, d(L), /*L256=*/true);
+        ++U.Stats.PackedOps;
+        ++U.Stats.VexChunks;
+        L += 4;
+      }
+      while (Lanes - L >= 2) {
+        E.sseMemDisp(2, 0x6F, 0, RBX, d(B + L));
+        E.sseMemSib(2, 0x7F, 0, RAX, R12, d(L));
+        ++U.Stats.PackedOps;
+        L += 2;
+      }
+      for (; L < Lanes; ++L) {
+        E.movRM64(RCX, RBX, d(B + L));
+        E.movMRSib(RAX, R12, d(L), RCX, 8);
+      }
+    } else {
+      // st<ES>: the low ES bytes of each lane.
+      for (uint32_t L = 0; L < Lanes; ++L) {
+        E.movRM64(RCX, RBX, d(B + L));
+        E.movMRSib(RAX, R12, static_cast<int32_t>(L * ES), RCX, ES);
+      }
+    }
+  }
+
+  //===--- Shim plumbing --------------------------------------------------===//
+
+  void emitShim(MOp Op, const NOp &N) {
+    U.Shims.push_back(N);
+    const NOp *P = &U.Shims.back(); // deque: stable across growth.
+    if (E.UseVEX)
+      E.vzeroupper(); // Don't make the C++ shim pay SSE-transition costs.
+    E.movRR64(RDI, RBP);
+    E.movImm64(RSI, reinterpret_cast<uintptr_t>(P));
+    E.movImm64(RAX, reinterpret_cast<uintptr_t>(&vapor_codegen_shim));
+    E.callR(RAX);
+    ++U.Stats.HelperOps;
+    ++U.Stats.HelperByOp[static_cast<unsigned>(Op)];
+  }
+
+  void countInline(MOp Op) {
+    ++U.Stats.InlineOps;
+    ++U.Stats.InlineByOp[static_cast<unsigned>(Op)];
+  }
+
+  //===--- Instruction lowering (mirrors VMDecoder::instr) ----------------===//
+
+  void setImm(uint32_t A, uint64_t V) {
+    E.movImm64(RAX, V);
+    E.movMR64(RBX, d(A), RAX);
+  }
+
+  static unsigned log2Size(unsigned Bytes) {
+    return static_cast<unsigned>(__builtin_ctz(Bytes));
+  }
+
+  void alu(const MInstr &I, uint32_t Ord) {
+    (void)Ord;
+    if (isCompare(I.SubOp)) {
+      ScalarKind SK = F.Regs[I.Srcs[0]].Kind;
+      uint32_t Lanes = RegLanes[I.Srcs[0]];
+      if (SK == ScalarKind::None) {
+        NOp N;
+        N.F = NOp::Fn::Cmp;
+        N.Sub = I.SubOp;
+        N.SrcKind = SK;
+        N.A = Off[I.Dst];
+        N.B = Off[I.Srcs[0]];
+        N.C = Off[I.Srcs[1]];
+        N.Lanes = Lanes;
+        emitShim(MOp::Alu, N);
+        return;
+      }
+      for (uint32_t L = 0; L < Lanes; ++L)
+        cmpLane(I.SubOp, SK, Off[I.Dst] + L, Off[I.Srcs[0]] + L,
+                Off[I.Srcs[1]] + L);
+      countInline(MOp::Alu);
+      return;
+    }
+    switch (I.SubOp) {
+    case Opcode::Select: {
+      uint32_t Lanes = RegLanes[I.Dst];
+      for (uint32_t L = 0; L < Lanes; ++L)
+        selLane(Off[I.Dst] + L, Off[I.Srcs[0]] + L, Off[I.Srcs[1]] + L,
+                Off[I.Srcs[2]] + L);
+      countInline(MOp::Alu);
+      return;
+    }
+    case Opcode::Convert: {
+      NOp N;
+      N.F = NOp::Fn::Cvt;
+      N.Kind = I.Kind;
+      N.SrcKind = F.Regs[I.Srcs[0]].Kind;
+      N.A = Off[I.Dst];
+      N.B = Off[I.Srcs[0]];
+      N.Lanes = RegLanes[I.Dst];
+      emitShim(MOp::Alu, N);
+      return;
+    }
+    case Opcode::Neg:
+    case Opcode::Abs:
+    case Opcode::Sqrt: {
+      uint32_t Lanes = RegLanes[I.Dst];
+      if (!inlinableUn(I.SubOp, I.Kind)) {
+        NOp N;
+        N.F = NOp::Fn::Un;
+        N.Sub = I.SubOp;
+        N.Kind = I.Kind;
+        N.A = Off[I.Dst];
+        N.B = Off[I.Srcs[0]];
+        N.Lanes = Lanes;
+        emitShim(MOp::Alu, N);
+        return;
+      }
+      for (uint32_t L = 0; L < Lanes; ++L)
+        unLane(I.SubOp, I.Kind, Off[I.Dst] + L, Off[I.Srcs[0]] + L);
+      countInline(MOp::Alu);
+      return;
+    }
+    default: {
+      uint32_t Lanes = RegLanes[I.Dst];
+      if (!inlinableBin(I.SubOp, I.Kind)) {
+        NOp N;
+        N.F = NOp::Fn::Bin;
+        N.Sub = I.SubOp;
+        N.Kind = I.Kind;
+        N.A = Off[I.Dst];
+        N.B = Off[I.Srcs[0]];
+        N.C = Off[I.Srcs[1]];
+        N.Lanes = Lanes;
+        emitShim(MOp::Alu, N);
+        return;
+      }
+      vecBin(I.SubOp, I.Kind, Off[I.Dst], Off[I.Srcs[0]], Off[I.Srcs[1]],
+             Lanes);
+      countInline(MOp::Alu);
+      return;
+    }
+    }
+  }
+
+  void instr(const MInstr &I) {
+    uint32_t Ord = Ordinal; // This op's pre-fusion PC.
+    switch (I.Op) {
+    case MOp::LdImm: {
+      ScalarKind K = I.Kind == ScalarKind::None ? ScalarKind::I64 : I.Kind;
+      setImm(Off[I.Dst], encodeInt(K, I.Imm));
+      countInline(I.Op);
+      break;
+    }
+    case MOp::LdFImm:
+      setImm(Off[I.Dst], encodeFP(I.Kind, I.FImm));
+      countInline(I.Op);
+      break;
+    case MOp::LoadBase:
+      assert(I.Array < Mem.arrayCount() &&
+             "loadbase of an array missing from the memory image");
+      setImm(Off[I.Dst], Mem.base(I.Array));
+      countInline(I.Op);
+      break;
+    case MOp::Mov:
+      copyLanes(Off[I.Dst], Off[I.Srcs[0]], RegLanes[I.Dst]);
+      countInline(I.Op);
+      break;
+    case MOp::Addr:
+      E.movRM64(RAX, RBX, d(Off[I.Srcs[0]]));
+      E.movRM64(RCX, RBX, d(Off[I.Srcs[1]]));
+      if (unsigned Sh = log2Size(I.Scale))
+        E.shiftImm(4, RCX, static_cast<uint8_t>(Sh), true);
+      E.addRR64(RAX, RCX);
+      E.movMR64(RBX, d(Off[I.Dst]), RAX);
+      countInline(I.Op);
+      break;
+    case MOp::Alu:
+      alu(I, Ord);
+      break;
+    case MOp::Load: {
+      unsigned ES = scalarSize(I.Kind);
+      E.movRM64(RAX, RBX, d(Off[I.Srcs[0]]));
+      boundsCheck(ES);
+      E.movRMSib(RCX, RAX, R12, 0, ES); // Zero-extends: ld<ES>.
+      E.movMR64(RBX, d(Off[I.Dst]), RCX);
+      countInline(I.Op);
+      break;
+    }
+    case MOp::Store: {
+      unsigned ES = scalarSize(I.Kind);
+      E.movRM64(RAX, RBX, d(Off[I.Srcs[0]]));
+      boundsCheck(ES);
+      E.movRM64(RCX, RBX, d(Off[I.Srcs[1]]));
+      E.movMRSib(RAX, R12, 0, RCX, ES);
+      countInline(I.Op);
+      break;
+    }
+    case MOp::VLoadA:
+    case MOp::VLoadU:
+      vload(I, I.Op == MOp::VLoadA, Ord);
+      countInline(I.Op);
+      break;
+    case MOp::VStoreA:
+    case MOp::VStoreU:
+      vstore(I, I.Op == MOp::VStoreA, Ord);
+      countInline(I.Op);
+      break;
+    case MOp::GetPerm:
+      E.movRM64(RAX, RBX, d(Off[I.Srcs[0]]));
+      E.andImm32(RAX, F.VSBytes - 1);
+      E.movMR64(RBX, d(Off[I.Dst]), RAX);
+      countInline(I.Op);
+      break;
+    case MOp::VPerm: {
+      uint32_t A = Off[I.Dst], Lanes = RegLanes[I.Dst];
+      uint32_t B = Off[I.Srcs[0]], C = Off[I.Srcs[1]];
+      unsigned Sh = log2Size(scalarSize(I.Kind));
+      E.movRM64(RDX, RBX, d(Off[I.Srcs[2]])); // Token, read once.
+      if (Sh)
+        E.shiftImm(5, RDX, static_cast<uint8_t>(Sh), true);
+      for (uint32_t L = 0; L < Lanes; ++L) {
+        // Pos = token + L; pick from B when Pos < Lanes, else C. Only
+        // the selected side is *read* -- lane-by-lane like the VM, so
+        // permutes that alias their own destination stay bit-exact.
+        E.lea(RCX, RDX, static_cast<int32_t>(L));
+        E.aluImm32(7, RCX, static_cast<int32_t>(Lanes), true); // cmp
+        size_t FromB = E.jcc(CC::B);
+        E.movRM64Scale8(RSI, RBX, RCX,
+                        d(C) - static_cast<int32_t>(Lanes * 8));
+        size_t Done = E.jmp();
+        E.patch32(FromB, E.here());
+        E.movRM64Scale8(RSI, RBX, RCX, d(B));
+        E.patch32(Done, E.here());
+        E.movMR64(RBX, d(A + L), RSI);
+      }
+      countInline(I.Op);
+      break;
+    }
+    case MOp::VSplat: {
+      E.movRM64(RAX, RBX, d(Off[I.Srcs[0]]));
+      uint32_t A = Off[I.Dst], Lanes = RegLanes[I.Dst];
+      for (uint32_t L = 0; L < Lanes; ++L)
+        E.movMR64(RBX, d(A + L), RAX);
+      countInline(I.Op);
+      break;
+    }
+    case MOp::VAffine: {
+      NOp N;
+      N.F = NOp::Fn::Affine;
+      N.Kind = I.Kind;
+      N.A = Off[I.Dst];
+      N.B = Off[I.Srcs[0]];
+      N.C = Off[I.Srcs[1]];
+      N.Lanes = RegLanes[I.Dst];
+      emitShim(I.Op, N);
+      break;
+    }
+    case MOp::VSetLane0:
+      // Scalar first: it may be overwritten by the copy (VM reads it
+      // into a local before its memcpy).
+      E.movRM64(RDX, RBX, d(Off[I.Srcs[1]]));
+      copyLanes(Off[I.Dst], Off[I.Srcs[0]], RegLanes[I.Dst]);
+      E.movMR64(RBX, d(Off[I.Dst]), RDX);
+      countInline(I.Op);
+      break;
+    case MOp::VExtract: {
+      // Source lanes resolve at build time, exactly like the decoder's
+      // aux table.
+      uint32_t A = Off[I.Dst], Lanes = RegLanes[I.Dst];
+      unsigned LC = RegLanes[I.Srcs[0]];
+      for (uint32_t L = 0; L < Lanes; ++L) {
+        uint64_t Pos = static_cast<uint64_t>(I.Imm) +
+                       static_cast<uint64_t>(L) * I.Imm2;
+        assert(Pos / LC < I.Srcs.size() && "extract out of concat range");
+        uint32_t Src = Off[I.Srcs[Pos / LC]] + static_cast<uint32_t>(Pos % LC);
+        E.movRM64(RAX, RBX, d(Src));
+        E.movMR64(RBX, d(A + L), RAX);
+      }
+      countInline(I.Op);
+      break;
+    }
+    case MOp::VIlvLo:
+    case MOp::VIlvHi: {
+      uint32_t A = Off[I.Dst], Lanes = RegLanes[I.Dst];
+      uint32_t B = Off[I.Srcs[0]], C = Off[I.Srcs[1]];
+      uint32_t Half = Lanes / 2;
+      uint32_t Base = I.Op == MOp::VIlvHi ? Half : 0;
+      // Keep the VM handler's exact load/store interleaving: sources
+      // may alias the destination.
+      for (uint32_t L = 0; L < Half; ++L) {
+        E.movRM64(RAX, RBX, d(B + Base + L));
+        E.movMR64(RBX, d(A + 2 * L), RAX);
+        E.movRM64(RAX, RBX, d(C + Base + L));
+        E.movMR64(RBX, d(A + 2 * L + 1), RAX);
+      }
+      countInline(I.Op);
+      break;
+    }
+    case MOp::VWMulLo:
+    case MOp::VWMulHi:
+      emitShim(I.Op, wmulOp(I, I.Op == MOp::VWMulHi));
+      break;
+    case MOp::VPack: {
+      NOp N;
+      N.F = NOp::Fn::Pack;
+      N.Kind = I.Kind;
+      N.SrcKind = F.Regs[I.Srcs[0]].Kind;
+      N.A = Off[I.Dst];
+      N.B = Off[I.Srcs[0]];
+      N.C = Off[I.Srcs[1]];
+      N.Lanes = RegLanes[I.Dst];
+      emitShim(I.Op, N);
+      break;
+    }
+    case MOp::VUnpackLo:
+    case MOp::VUnpackHi: {
+      NOp N;
+      N.F = NOp::Fn::Unpack;
+      N.Kind = I.Kind;
+      N.SrcKind = F.Regs[I.Srcs[0]].Kind;
+      N.A = Off[I.Dst];
+      N.B = Off[I.Srcs[0]];
+      N.Lanes = RegLanes[I.Dst];
+      N.Imm = I.Op == MOp::VUnpackHi ? N.Lanes : 0;
+      emitShim(I.Op, N);
+      break;
+    }
+    case MOp::VDot: {
+      NOp N;
+      N.F = NOp::Fn::Dot;
+      N.Kind = I.Kind;
+      N.SrcKind = F.Regs[I.Srcs[0]].Kind;
+      N.A = Off[I.Dst];
+      N.B = Off[I.Srcs[0]];
+      N.C = Off[I.Srcs[1]];
+      N.D = Off[I.Srcs[2]];
+      N.Lanes = RegLanes[I.Dst];
+      emitShim(I.Op, N);
+      break;
+    }
+    case MOp::Reduce: {
+      uint32_t Lanes = RegLanes[I.Srcs[0]];
+      if (inlinableBin(I.SubOp, I.Kind)) {
+        // Accumulate in the scratch lane (the VM accumulates in a
+        // local), then write the destination once.
+        E.movRM64(RAX, RBX, d(Off[I.Srcs[0]]));
+        E.movMR64(RBX, d(ScratchLane), RAX);
+        for (uint32_t L = 1; L < Lanes; ++L)
+          binLane(I.SubOp, I.Kind, ScratchLane, ScratchLane,
+                  Off[I.Srcs[0]] + L);
+        E.movRM64(RAX, RBX, d(ScratchLane));
+        E.movMR64(RBX, d(Off[I.Dst]), RAX);
+        countInline(I.Op);
+      } else {
+        NOp N;
+        N.F = NOp::Fn::Reduce;
+        N.Sub = I.SubOp;
+        N.Kind = I.Kind;
+        N.A = Off[I.Dst];
+        N.B = Off[I.Srcs[0]];
+        N.Lanes = Lanes;
+        emitShim(I.Op, N);
+      }
+      break;
+    }
+    case MOp::CallLib:
+      switch (I.SubOp) {
+      case Opcode::WidenMultLo:
+        emitShim(I.Op, wmulOp(I, false));
+        break;
+      case Opcode::WidenMultHi:
+        emitShim(I.Op, wmulOp(I, true));
+        break;
+      case Opcode::Convert: {
+        NOp N;
+        N.F = NOp::Fn::Cvt;
+        N.Kind = I.Kind;
+        N.SrcKind = F.Regs[I.Srcs[0]].Kind;
+        N.A = Off[I.Dst];
+        N.B = Off[I.Srcs[0]];
+        N.Lanes = RegLanes[I.Dst];
+        emitShim(I.Op, N);
+        break;
+      }
+      default:
+        vapor_unreachable("unsupported library call");
+      }
+      break;
+    case MOp::SpillLd:
+    case MOp::SpillSt:
+      // Cost-model traffic: no machine state, but one VM PC slot.
+      countInline(I.Op);
+      break;
+    }
+    ++Ordinal;
+    ++U.Stats.MInstrs;
+  }
+
+  NOp wmulOp(const MInstr &I, bool Hi) const {
+    NOp N;
+    N.F = NOp::Fn::WMul;
+    N.Kind = I.Kind;
+    N.SrcKind = F.Regs[I.Srcs[0]].Kind;
+    N.A = Off[I.Dst];
+    N.B = Off[I.Srcs[0]];
+    N.C = Off[I.Srcs[1]];
+    N.Lanes = RegLanes[I.Dst];
+    N.Imm = Hi ? N.Lanes : 0;
+    return N;
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Public API.
+//===----------------------------------------------------------------------===//
+
+Expected<std::shared_ptr<const NativeUnit>>
+vapor::codegen::compileNative(const MFunction &F, const TargetDesc &T,
+                              const MemoryImage &Image,
+                              const NativeOptions &Opts) {
+  if (!supported(Opts.Features))
+    return Status::error(status::Code::UnsupportedIdiom, status::Layer::Jit,
+                         "native tier unsupported on this host (needs "
+                         "x86-64 + sse2; have '" +
+                             Opts.Features.str() + "')");
+
+  auto U = std::make_shared<NativeUnit>();
+  NativeBuilder B(F, Image, Opts.Features, *U);
+  B.build();
+  U->TargetName = T.Name;
+  U->Stats.FeaturesUsed = Opts.Features.str();
+
+  const std::vector<uint8_t> &Code = B.code();
+  if (!U->Code.allocate(Code.size()))
+    return Status::error(status::Code::Internal, status::Layer::Jit,
+                         "executable page allocation failed");
+  std::memcpy(U->Code.base(), Code.data(), Code.size());
+  if (!U->Code.seal())
+    return Status::error(status::Code::Internal, status::Layer::Jit,
+                         "W^X seal of generated code failed");
+  return std::shared_ptr<const NativeUnit>(std::move(U));
+}
+
+NativeExec::NativeExec(std::shared_ptr<const NativeUnit> U,
+                       MemoryImage &Image)
+    : Unit(std::move(U)), Mem(Image), RegStore(Unit->LaneTotal, 0) {
+  Trap.Target = Unit->TargetName;
+}
+
+void NativeExec::setParamInt(const std::string &Name, int64_t V) {
+  for (const DecodedProgram::ParamSlot &P : Unit->Params) {
+    if (P.Name != Name)
+      continue;
+    RegStore[P.Off] = isFloatKind(P.Kind)
+                          ? encodeFP(P.Kind, static_cast<double>(V))
+                          : encodeInt(P.Kind, V);
+    return;
+  }
+  fatalError("unknown integer parameter '" + Name + "'");
+}
+
+void NativeExec::setParamFP(const std::string &Name, double V) {
+  for (const DecodedProgram::ParamSlot &P : Unit->Params) {
+    if (P.Name != Name)
+      continue;
+    RegStore[P.Off] = isFloatKind(P.Kind)
+                          ? encodeFP(P.Kind, V)
+                          : encodeInt(P.Kind, static_cast<int64_t>(V));
+    return;
+  }
+  fatalError("unknown float parameter '" + Name + "'");
+}
+
+Status NativeExec::run() {
+  using status::Code;
+  using status::Layer;
+  if (Trapped) // A previous run already faulted; don't resume.
+    return Status::error(Trap.TrapKind == TrapInfo::Kind::Alignment
+                             ? Code::AlignmentTrap
+                             : Code::OutOfBoundsAccess,
+                         Layer::Vm, Trap.str());
+
+  NativeContext Ctx;
+  Ctx.Lanes = RegStore.data();
+  Ctx.MemBias = static_cast<uint64_t>(reinterpret_cast<uintptr_t>(Mem.data())) -
+                Mem.lowAddr();
+  Ctx.MemLo = Mem.lowAddr();
+  Ctx.MemHi = Mem.highAddr();
+
+  uint64_t Rc = Unit->entry()(&Ctx);
+  if (Rc == 0)
+    return Status::okStatus();
+
+  Trapped = true;
+  Trap.TrapKind =
+      Rc == 1 ? TrapInfo::Kind::Alignment : TrapInfo::Kind::OutOfBounds;
+  Trap.OpIndex = Ctx.TrapOp;
+  Trap.Address = Ctx.TrapAddr;
+  Trap.RequiredAlign = Ctx.TrapAlign;
+  Trap.IsStore = Ctx.TrapIsStore != 0;
+  Trap.Target = Unit->TargetName;
+  return Status::error(Rc == 1 ? Code::AlignmentTrap : Code::OutOfBoundsAccess,
+                       Layer::Vm, Trap.str());
+}

@@ -1,0 +1,185 @@
+//===- codegen/NativeJit.h - MachineIR -> x86-64 binary emitter -*- C++ -*-===//
+//
+// Part of the Vapor SIMD reproduction. See src/codegen/README.md for the
+// ABI, the encoding table, and the demotion contract.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The native execution tier: compiles the online JIT's MachineIR straight
+/// to x86-64 machine code in mmap'd W^X pages, bypassing the cycle-model
+/// VM entirely. The VM stays the golden, portable tier -- native output
+/// must be bit-exact against it, including trap attribution, so the
+/// emitter mirrors the VM decoder's flattening walk statement for
+/// statement and keeps a running *ordinal* in lockstep with the VM's
+/// pre-fusion PC.
+///
+/// Ops with a proven x86 equivalence (Table 1 idiom memory ops, lane-wise
+/// int/fp arithmetic, compares, selects, permute/realign moves,
+/// reductions) are emitted inline -- packed SSE2/VEX forms where the lane
+/// layout allows, scalar x86-64 otherwise. Everything else (divides,
+/// converts, widening multiplies, packs, dots, I1-kind ALU) calls a tiny
+/// C++ shim that reuses the exact ScalarOps helpers the VM runs, making
+/// bit-equality true by construction rather than by re-derivation.
+///
+/// The encoding set (legacy SSE2 vs VEX-128 vs VEX-256) is chosen at
+/// compile time from a CpuFeatures mask, normally the host CPUID probe.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAPOR_CODEGEN_NATIVEJIT_H
+#define VAPOR_CODEGEN_NATIVEJIT_H
+
+#include "codegen/CpuFeatures.h"
+#include "codegen/ExecMem.h"
+#include "ir/Opcode.h"
+#include "ir/Type.h"
+#include "support/Status.h"
+#include "target/MachineIR.h"
+#include "target/MemoryImage.h"
+#include "target/Target.h"
+#include "target/VM.h"
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace vapor {
+namespace codegen {
+
+/// The runtime state block the generated function receives (in rdi). The
+/// prologue pins Lanes/MemBias/MemLo/MemHi in callee-saved registers; the
+/// Trap* fields are written by the trap stubs before the early return.
+/// Field offsets are part of the generated-code ABI, hence the asserts.
+struct NativeContext {
+  uint64_t *Lanes = nullptr; ///< Lane file base (same layout as the VM's).
+  uint64_t MemBias = 0;      ///< host pointer == virtual addr + MemBias.
+  uint64_t MemLo = 0;        ///< First valid virtual address.
+  uint64_t MemHi = 0;        ///< One past the last valid virtual address.
+  uint64_t TrapAddr = 0;     ///< Faulting virtual address.
+  uint32_t TrapOp = ~0u;     ///< Pre-fusion op ordinal (~0u for OOB, as VM).
+  uint32_t TrapAlign = 0;    ///< Required alignment (0 for OOB).
+  uint8_t TrapIsStore = 0;
+};
+static_assert(offsetof(NativeContext, Lanes) == 0, "codegen ABI");
+static_assert(offsetof(NativeContext, MemBias) == 8, "codegen ABI");
+static_assert(offsetof(NativeContext, MemLo) == 16, "codegen ABI");
+static_assert(offsetof(NativeContext, MemHi) == 24, "codegen ABI");
+static_assert(offsetof(NativeContext, TrapAddr) == 32, "codegen ABI");
+static_assert(offsetof(NativeContext, TrapOp) == 40, "codegen ABI");
+static_assert(offsetof(NativeContext, TrapAlign) == 44, "codegen ABI");
+static_assert(offsetof(NativeContext, TrapIsStore) == 48, "codegen ABI");
+
+/// One deferred operation: the generated code calls vapor_codegen_shim
+/// with a pointer to its NOp, and the shim replays the VM handler's exact
+/// lane loop over ScalarOps. Shims only touch the lane file -- never
+/// memory -- so they cannot trap.
+struct NOp {
+  enum class Fn : uint8_t {
+    Bin,    ///< applyBinop lane loop (div/rem and I1/None kinds).
+    Un,     ///< applyUnop lane loop.
+    Cmp,    ///< applyCompare lane loop.
+    Sel,    ///< select lane loop.
+    Cvt,    ///< applyConvert lane loop.
+    WMul,   ///< widening-multiply half (VWMulLo/Hi, CallLib WidenMult).
+    Pack,   ///< VPack narrowing interleave.
+    Unpack, ///< VUnpackLo/Hi widening half.
+    Dot,    ///< VDot fused dot-product step.
+    Affine, ///< VAffine lane ramp.
+    Reduce, ///< Horizontal reduction.
+  };
+  Fn F = Fn::Bin;
+  ir::Opcode Sub = ir::Opcode::Add;
+  ir::ScalarKind Kind = ir::ScalarKind::None;
+  ir::ScalarKind SrcKind = ir::ScalarKind::None;
+  uint32_t A = 0, B = 0, C = 0, D = 0; ///< Lane-file offsets (lane units).
+  uint32_t Lanes = 1;
+  uint64_t Imm = 0;
+};
+
+extern "C" void vapor_codegen_shim(NativeContext *Ctx, const NOp *Op);
+
+/// One slot per MOp value, for the per-op inline/helper breakdown.
+constexpr unsigned NumMOps = static_cast<unsigned>(target::MOp::SpillSt) + 1;
+
+struct NativeStats {
+  uint64_t MInstrs = 0;   ///< MachineIR instructions walked.
+  uint64_t InlineOps = 0; ///< Ops lowered to inline x86-64.
+  uint64_t HelperOps = 0; ///< Ops lowered to ScalarOps shim calls.
+  uint64_t PackedOps = 0; ///< SIMD-packed chunks emitted.
+  uint64_t VexChunks = 0; ///< 256-bit VEX chunks among those.
+  uint64_t CodeBytes = 0;
+  std::string FeaturesUsed; ///< CpuFeatures::str() of the encoding set.
+  std::array<uint32_t, NumMOps> InlineByOp{};
+  std::array<uint32_t, NumMOps> HelperByOp{};
+};
+
+struct NativeOptions {
+  /// Encoding set. Defaults to the host probe; tests force subsets to
+  /// check feature-gated selection.
+  CpuFeatures Features = hostFeatures();
+};
+
+/// An immutable compiled unit: sealed executable pages plus the shim
+/// table the code points into and the parameter layout mirrored from the
+/// VM decoder. Placement-specific (LoadBase bakes array bases), so cache
+/// keys must include the memory-image placement hash.
+class NativeUnit {
+public:
+  using EntryFn = uint64_t (*)(NativeContext *);
+
+  ExecMem Code;
+  std::deque<NOp> Shims; ///< deque: addresses are baked into the code.
+  std::vector<target::DecodedProgram::ParamSlot> Params;
+  uint32_t LaneCount = 0; ///< Register-file lanes (excl. scratch).
+  uint32_t LaneTotal = 0; ///< Allocation size incl. scratch lanes.
+  uint32_t OpCount = 0;   ///< Pre-fusion op ordinals emitted.
+  std::string TargetName;
+  NativeStats Stats;
+
+  EntryFn entry() const {
+    return reinterpret_cast<EntryFn>(Code.base());
+  }
+};
+
+/// Binds a compiled unit to one MemoryImage and runs it, mirroring the
+/// VM's execution API (setParam*, run, trapped, trapInfo).
+class NativeExec {
+public:
+  NativeExec(std::shared_ptr<const NativeUnit> U, target::MemoryImage &Mem);
+
+  void setParamInt(const std::string &Name, int64_t V);
+  void setParamFP(const std::string &Name, double V);
+
+  /// Executes. On a trap, returns the same Status the VM would
+  /// (AlignmentTrap/OutOfBoundsAccess at Layer::Vm) with trapInfo()
+  /// carrying VM-identical attribution.
+  Status run();
+
+  bool trapped() const { return Trapped; }
+  const target::TrapInfo &trapInfo() const { return Trap; }
+
+private:
+  std::shared_ptr<const NativeUnit> Unit;
+  target::MemoryImage &Mem;
+  std::vector<uint64_t> RegStore;
+  target::TrapInfo Trap;
+  bool Trapped = false;
+};
+
+/// Compiles \p F (as lowered for \p T) to native x86-64 bound to the
+/// array placement of \p Image. Fails with UnsupportedIdiom when the
+/// feature set cannot host the tier at all, and Internal when executable
+/// pages cannot be obtained -- both demote cleanly to the VM.
+Expected<std::shared_ptr<const NativeUnit>>
+compileNative(const target::MFunction &F, const target::TargetDesc &T,
+              const target::MemoryImage &Image, const NativeOptions &Opts);
+
+} // namespace codegen
+} // namespace vapor
+
+#endif // VAPOR_CODEGEN_NATIVEJIT_H

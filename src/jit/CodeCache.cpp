@@ -32,6 +32,8 @@ struct Store {
   std::unordered_map<uint64_t, std::shared_ptr<const CompileResult>> Compiles;
   std::unordered_map<uint64_t, std::shared_ptr<const target::DecodedProgram>>
       Programs;
+  std::unordered_map<uint64_t, std::shared_ptr<const codegen::NativeUnit>>
+      Natives;
 };
 
 Store &store() {
@@ -48,6 +50,7 @@ struct AtomicStats {
   std::atomic<uint64_t> VerifyHits{0}, VerifyMisses{0};
   std::atomic<uint64_t> CompileHits{0}, CompileMisses{0};
   std::atomic<uint64_t> ProgramHits{0}, ProgramMisses{0};
+  std::atomic<uint64_t> NativeHits{0}, NativeMisses{0};
 };
 
 AtomicStats &counts() {
@@ -81,6 +84,7 @@ void cache::clear() {
   S.Verifies.clear();
   S.Compiles.clear();
   S.Programs.clear();
+  S.Natives.clear();
 }
 
 Stats cache::stats() {
@@ -94,6 +98,8 @@ Stats cache::stats() {
   S.CompileMisses = C.CompileMisses.load(std::memory_order_relaxed);
   S.ProgramHits = C.ProgramHits.load(std::memory_order_relaxed);
   S.ProgramMisses = C.ProgramMisses.load(std::memory_order_relaxed);
+  S.NativeHits = C.NativeHits.load(std::memory_order_relaxed);
+  S.NativeMisses = C.NativeMisses.load(std::memory_order_relaxed);
   return S;
 }
 
@@ -107,6 +113,8 @@ void cache::resetStats() {
   C.CompileMisses = 0;
   C.ProgramHits = 0;
   C.ProgramMisses = 0;
+  C.NativeHits = 0;
+  C.NativeMisses = 0;
 }
 
 uint64_t cache::hashBytes(const void *Data, size_t Len, uint64_t Seed) {
@@ -280,4 +288,36 @@ cache::programFor(uint64_t CompKey, const target::MFunction &Code,
   auto P = target::DecodedProgram::build(Code, T, Image, Weak, Fuse);
   std::lock_guard<std::mutex> L(S.Mu);
   return S.Programs.emplace(Key, std::move(P)).first->second;
+}
+
+Expected<std::shared_ptr<const codegen::NativeUnit>>
+cache::nativeFor(uint64_t CompKey, const target::MFunction &Code,
+                 const target::TargetDesc &T,
+                 const target::MemoryImage &Image,
+                 const codegen::NativeOptions &NO) {
+  // The unit bakes array base addresses (placement) and its encodings
+  // depend on the feature mask, so both join the key alongside the
+  // compile key that already covers function/target/options/runtime.
+  uint64_t Key = hashCombine(0x6e76, CompKey);
+  Key = hashCombine(Key, hashPlacement(Image));
+  Key = hashCombine(Key, NO.Features.bits());
+  static obs::Counter Hits("cache.native_hits"),
+      Misses("cache.native_misses");
+  Store &S = store();
+  {
+    std::lock_guard<std::mutex> L(S.Mu);
+    auto It = S.Natives.find(Key);
+    if (It != S.Natives.end()) {
+      bump(counts().NativeHits, Hits);
+      return Expected<std::shared_ptr<const codegen::NativeUnit>>(It->second);
+    }
+    bump(counts().NativeMisses, Misses);
+  }
+  // Compile outside the lock; first writer wins as with programFor.
+  auto R = codegen::compileNative(Code, T, Image, NO);
+  if (!R.ok())
+    return R;
+  std::lock_guard<std::mutex> L(S.Mu);
+  return Expected<std::shared_ptr<const codegen::NativeUnit>>(
+      S.Natives.emplace(Key, R.take()).first->second);
 }

@@ -41,6 +41,7 @@
 #ifndef VAPOR_JIT_CODECACHE_H
 #define VAPOR_JIT_CODECACHE_H
 
+#include "codegen/NativeJit.h"
 #include "jit/Jit.h"
 #include "target/VM.h"
 
@@ -69,6 +70,7 @@ struct Stats {
   uint64_t VerifyHits = 0, VerifyMisses = 0;
   uint64_t CompileHits = 0, CompileMisses = 0;
   uint64_t ProgramHits = 0, ProgramMisses = 0;
+  uint64_t NativeHits = 0, NativeMisses = 0;
 };
 Stats stats();
 void resetStats();
@@ -137,6 +139,19 @@ std::shared_ptr<const target::DecodedProgram>
 programFor(uint64_t CompKey, const target::MFunction &Code,
            const target::TargetDesc &T, const target::MemoryImage &Image,
            bool Weak, bool Fuse);
+
+//===--- Native-unit memo -------------------------------------------------===//
+
+/// Looks up the native compilation of \p CompKey's machine code for \p
+/// Image's placement under \p NO's encoding set; on miss runs
+/// codegen::compileNative and memoizes the unit. Only successful compiles
+/// are cached -- a failing Status is returned uncached so the executor's
+/// demotion path re-evaluates it every attempt (the failure may be
+/// environmental, e.g. page allocation).
+Expected<std::shared_ptr<const codegen::NativeUnit>>
+nativeFor(uint64_t CompKey, const target::MFunction &Code,
+          const target::TargetDesc &T, const target::MemoryImage &Image,
+          const codegen::NativeOptions &NO);
 
 } // namespace cache
 } // namespace jit

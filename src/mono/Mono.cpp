@@ -1,15 +1,15 @@
-//===- native/Native.cpp - Monolithic offline baseline ----------------------===//
+//===- mono/Mono.cpp - Monolithic offline baseline --------------------------===//
 //
 // Part of the Vapor SIMD reproduction.
 //
 //===----------------------------------------------------------------------===//
 
-#include "native/Native.h"
+#include "mono/Mono.h"
 
 using namespace vapor;
-using namespace vapor::native;
+using namespace vapor::mono;
 
-ir::Function native::forceArrayAlignment(
+ir::Function mono::forceArrayAlignment(
     const ir::Function &F, const std::set<std::string> &External) {
   ir::Function G = F;
   for (ir::ArrayInfo &A : G.Arrays)

@@ -1,4 +1,4 @@
-//===- native/Native.h - Monolithic offline baseline -----------*- C++ -*-===//
+//===- mono/Mono.h - Monolithic offline baseline ---------------*- C++ -*-===//
 //
 // Part of the Vapor SIMD reproduction.
 //
@@ -7,8 +7,8 @@
 /// \file
 /// The baseline every figure normalizes against: classic monolithic,
 /// fixed-target compilation. It runs the *same* vectorizer and code
-/// generator as the split flow, but with the privileges a native compiler
-/// has and a JIT does not (paper Sec. III-B(c)):
+/// generator as the split flow, but with the privileges a monolithic offline
+/// compiler has and a JIT does not (paper Sec. III-B(c)):
 ///
 ///  - it controls data layout, so it forces the alignment of every array
 ///    it owns ("GCC indeed forces the alignment of global and local
@@ -18,8 +18,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#ifndef VAPOR_NATIVE_NATIVE_H
-#define VAPOR_NATIVE_NATIVE_H
+#ifndef VAPOR_MONO_MONO_H
+#define VAPOR_MONO_MONO_H
 
 #include "ir/Function.h"
 
@@ -27,9 +27,9 @@
 #include <string>
 
 namespace vapor {
-namespace native {
+namespace mono {
 
-/// Alignment a native compiler forces on arrays it lays out.
+/// Alignment a monolithic compiler forces on arrays it lays out.
 constexpr uint32_t ForcedAlign = 32;
 
 /// \returns a copy of \p F whose arrays are promoted to ForcedAlign,
@@ -38,7 +38,7 @@ constexpr uint32_t ForcedAlign = 32;
 ir::Function forceArrayAlignment(const ir::Function &F,
                                  const std::set<std::string> &External);
 
-} // namespace native
+} // namespace mono
 } // namespace vapor
 
-#endif // VAPOR_NATIVE_NATIVE_H
+#endif // VAPOR_MONO_MONO_H

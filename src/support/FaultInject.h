@@ -43,8 +43,9 @@ enum class SiteClass : uint8_t {
   Verify,     ///< verify::verifyModule reports a fabricated Error finding.
   JitLower,   ///< jit::compileChecked returns unsupported-idiom.
   VmAlign,    ///< The VM's next checked vector access alignment-traps.
+  NativeTrap, ///< The native tier's next run reports an alignment trap.
 };
-constexpr unsigned NumSiteClasses = 4;
+constexpr unsigned NumSiteClasses = 5;
 
 inline const char *siteClassName(SiteClass S) {
   switch (S) {
@@ -56,6 +57,8 @@ inline const char *siteClassName(SiteClass S) {
     return "jit-lower";
   case SiteClass::VmAlign:
     return "vm-align";
+  case SiteClass::NativeTrap:
+    return "native-trap";
   }
   return "unknown";
 }

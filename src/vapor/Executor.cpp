@@ -10,6 +10,7 @@
 #include "ir/Interp.h"
 #include "jit/CodeCache.h"
 #include "obs/Obs.h"
+#include "support/FaultInject.h"
 #include "support/Support.h"
 #include "target/VM.h"
 #include "vapor/FillAdapters.h"
@@ -50,6 +51,21 @@ RunOutcome Executor::run(ExecTier Entry) {
   ExecTier T = Entry;
   while (true) {
     switch (T) {
+    case ExecTier::Native: {
+      Status St = attemptNative(Out);
+      if (St.ok()) {
+        Out.Tier = ExecTier::Native;
+        break;
+      }
+      // Every native failure -- unsupported host, page allocation,
+      // runtime trap -- demotes to the VM running the exact same
+      // lowering. Not a Retry: the vector code is not suspect, only its
+      // native binding, so no deoptimizing recompile happens.
+      Out.Demotions.push_back(St);
+      recordDemotion(K, O, St, T, ExecTier::Vectorized);
+      T = ExecTier::Vectorized;
+      continue;
+    }
     case ExecTier::Vectorized: {
       Status St = attemptVectorized(Out);
       if (St.ok()) {
@@ -113,7 +129,7 @@ RunOutcome Executor::run(ExecTier Entry) {
   }
 }
 
-Status Executor::attemptVectorized(RunOutcome &Out) {
+Status Executor::prepareVectorized(RunOutcome &Out) {
   // --- Offline stage (trusted: keeps its internal asserts) ---
   auto VR = vectorizer::vectorize(K.Source, O.VecOpts);
   Out.AnyLoopVectorized = VR.anyVectorized();
@@ -156,6 +172,30 @@ Status Executor::attemptVectorized(RunOutcome &Out) {
       return St;
   }
 
+  return Status::okStatus();
+}
+
+Status Executor::attemptNative(RunOutcome &Out) {
+  // One gate for the whole tier: the encoding set (normally the host
+  // CPUID probe, a forced subset in tests) must clear the x86-64 + SSE2
+  // baseline. Jit-layer because it is a lowering capability, and the
+  // demotion edge lands on the tier that can always lower: the VM.
+  if (!codegen::supported(O.Native.Features))
+    return Status::error(
+        Code::UnsupportedIdiom, Layer::Jit,
+        "native tier unsupported on this host (needs x86-64 + sse2; have '" +
+            O.Native.Features.str() + "')");
+  Status St = prepareVectorized(Out);
+  if (!St.ok())
+    return St;
+  return runModule(Out, *VecModule, VecModuleHash, /*ForceScalarize=*/false,
+                   RunEngine::Native);
+}
+
+Status Executor::attemptVectorized(RunOutcome &Out) {
+  Status St = prepareVectorized(Out);
+  if (!St.ok())
+    return St;
   return runModule(Out, *VecModule, VecModuleHash, /*ForceScalarize=*/false);
 }
 
@@ -226,7 +266,8 @@ Status Executor::verifyCached(const ir::Function &Module, uint64_t FnHash,
 }
 
 Status Executor::runModule(RunOutcome &Out, const ir::Function &Module,
-                           uint64_t FnHash, bool ForceScalarize) {
+                           uint64_t FnHash, bool ForceScalarize,
+                           RunEngine Engine) {
   // --- Runtime layout: a fresh image per attempt, because a trapped run
   // may have partially written arrays. ---
   Out.Mem = std::make_unique<MemoryImage>();
@@ -287,6 +328,43 @@ Status Executor::runModule(RunOutcome &Out, const ir::Function &Module,
   // --- Workload and execution ---
   detail::MemFill Fill(*Out.Mem);
   K.fill(Fill);
+
+  if (Engine == RunEngine::Native) {
+    // Fault-injection site: pretend the native run took an alignment
+    // trap, so the crashtest can sweep the Native -> Vectorized edge
+    // without depending on a placement that actually traps.
+    if (faultinject::shouldFire(faultinject::SiteClass::NativeTrap))
+      return Status::error(Code::AlignmentTrap, Layer::Vm,
+                           "injected fault: native trap");
+
+    // The unit is placement- and feature-keyed in the cache; compile
+    // time joins CompileMicros like the JIT lowering above.
+    auto N0 = std::chrono::steady_clock::now();
+    auto NU = Cached ? jit::cache::nativeFor(CompKey, R->Code, O.Target,
+                                             *Out.Mem, O.Native)
+                     : codegen::compileNative(R->Code, O.Target, *Out.Mem,
+                                              O.Native);
+    Out.CompileMicros += std::chrono::duration<double, std::micro>(
+                             std::chrono::steady_clock::now() - N0)
+                             .count();
+    if (!NU.ok())
+      return NU.status();
+    std::shared_ptr<const codegen::NativeUnit> Unit = NU.take();
+
+    codegen::NativeExec Exec(Unit, *Out.Mem);
+    detail::setParams(
+        K, Module,
+        [&](const std::string &N, int64_t V) { Exec.setParamInt(N, V); },
+        [&](const std::string &N, double V) { Exec.setParamFP(N, V); });
+    Status St = Exec.run();
+    if (!St.ok())
+      return St;
+    // No cycle model ran: the native tier is measured in wall time by
+    // the benches, not in modeled cycles.
+    Out.Cycles = 0;
+    Out.NativeCode = Unit->Stats;
+    return Status::okStatus();
+  }
 
   // The pre-decoded (and fused) program is immutable and placement-keyed,
   // so every cell of a sweep that compiles the same code for the same

@@ -9,6 +9,10 @@
 /// when an online stage fails, it walks a degradation chain until some
 /// tier completes, and reports honestly which one did:
 ///
+///   Native          the same split bytecode, decode, verify gate, and
+///                   JIT lowering as Vectorized, but the MachineIR is
+///                   compiled to host x86-64 (src/codegen) instead of
+///                   running on the cycle-model VM;
 ///   Vectorized      split bytecode -> decode -> verify gate -> JIT ->
 ///                   target VM in trap-recording mode;
 ///   ScalarJit       the same decoded bytecode re-JITted with forced
@@ -23,6 +27,11 @@
 ///                   that can.
 ///
 /// Demotion edges (each carries the demoting Status into the outcome):
+///   native fail     -> Vectorized (any failure: unsupported host, page
+///                      allocation, runtime trap. The VM is the golden
+///                      execution of the exact same lowering, so this
+///                      edge is NOT a retry -- the vector code is not
+///                      suspect, only its native binding);
 ///   decode fail     -> ScalarBytecode (-> Interpreter if decode fails
 ///                      again: the fault is in the interchange layer);
 ///   verify fail     -> ScalarJit (the gate rejected a vector lowering;
@@ -56,7 +65,22 @@ public:
   RunOutcome run(ExecTier Entry = ExecTier::Vectorized);
 
 private:
-  /// Offline vectorize + encode/decode/verify + vector JIT + VM.
+  /// Which engine runModule hands the compiled MachineIR to.
+  enum class RunEngine : uint8_t {
+    Vm,     ///< Cycle-model target VM (trap-recording).
+    Native, ///< Host x86-64 via codegen::compileNative.
+  };
+
+  /// The shared front of the Native and Vectorized tiers: offline
+  /// vectorize, encode/decode through the interchange format, verify
+  /// gate. On success VecModule/VecModuleHash are set. Re-running it is
+  /// deterministic, so a Native -> Vectorized demotion simply prepares
+  /// again (warm-cache runs memoize every stage anyway).
+  status::Status prepareVectorized(RunOutcome &Out);
+
+  /// prepareVectorized + vector JIT + native x86-64 execution.
+  status::Status attemptNative(RunOutcome &Out);
+  /// prepareVectorized + vector JIT + VM.
   status::Status attemptVectorized(RunOutcome &Out);
   /// Re-JIT the already-decoded module with Options::ForceScalarize.
   status::Status attemptScalarJit(RunOutcome &Out);
@@ -73,7 +97,8 @@ private:
   /// fills the outcome's Cycles/Code/Mem; on failure \returns the Jit-
   /// or Vm-layer Status.
   status::Status runModule(RunOutcome &Out, const ir::Function &Module,
-                           uint64_t FnHash, bool ForceScalarize);
+                           uint64_t FnHash, bool ForceScalarize,
+                           RunEngine Engine = RunEngine::Vm);
 
   /// Verification with the verdict memoized in the code cache (keyed on
   /// \p FnHash and the run's target). \p Cached gates cache use; the

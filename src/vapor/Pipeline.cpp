@@ -10,7 +10,7 @@
 #include "ir/Interp.h"
 #include "ir/ScalarOps.h"
 #include "ir/Verifier.h"
-#include "native/Native.h"
+#include "mono/Mono.h"
 #include "support/Support.h"
 #include "target/VM.h"
 #include "vapor/Executor.h"
@@ -39,6 +39,8 @@ const char *vapor::flowName(Flow F) {
 
 const char *vapor::tierName(ExecTier T) {
   switch (T) {
+  case ExecTier::Native:
+    return "native";
   case ExecTier::Vectorized:
     return "vectorized";
   case ExecTier::ScalarJit:
@@ -59,7 +61,7 @@ static RunOutcome runNative(const kernels::Kernel &K, Flow F,
   RunOutcome Out;
 
   // --- Offline stage ---
-  Function Source = native::forceArrayAlignment(K.Source, K.ExternalArrays);
+  Function Source = mono::forceArrayAlignment(K.Source, K.ExternalArrays);
 
   Function Compiled("");
   if (F == Flow::NativeVectorized) {
@@ -127,7 +129,8 @@ RunOutcome vapor::runKernel(const kernels::Kernel &K, Flow F,
                             const RunOptions &O) {
   switch (F) {
   case Flow::SplitVectorized:
-    return Executor(K, O).run(ExecTier::Vectorized);
+    return Executor(K, O).run(O.UseNative ? ExecTier::Native
+                                          : ExecTier::Vectorized);
   case Flow::SplitScalar:
     return Executor(K, O).run(ExecTier::ScalarBytecode);
   case Flow::NativeVectorized:

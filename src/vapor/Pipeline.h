@@ -24,6 +24,7 @@
 #ifndef VAPOR_VAPOR_PIPELINE_H
 #define VAPOR_VAPOR_PIPELINE_H
 
+#include "codegen/NativeJit.h"
 #include "jit/Jit.h"
 #include "kernels/Kernels.h"
 #include "support/Status.h"
@@ -51,6 +52,7 @@ const char *flowName(Flow F);
 /// first. Every online-stage failure demotes one run down this chain;
 /// the bottom tier (the golden IR interpreter) cannot fail.
 enum class ExecTier : uint8_t {
+  Native,         ///< Vector lowering compiled to host x86-64 (W^X pages).
   Vectorized,     ///< Split bytecode, vector lowering, target VM.
   ScalarJit,      ///< Same bytecode re-JITted with forced scalarization.
   ScalarBytecode, ///< Scalar split bytecode through the normal JIT + VM.
@@ -87,6 +89,15 @@ struct RunOptions {
   /// execute every stage.
   bool FuseOps = true;
   bool UseCodeCache = true;
+  /// Native execution tier: compile the vector lowering to host x86-64
+  /// (src/codegen) instead of running the cycle-model VM. Bit-exact
+  /// against the VM by contract; any native failure (unsupported host,
+  /// page allocation, runtime trap) demotes cleanly to the Vectorized
+  /// tier. The encoding set is chosen by a runtime CPUID probe.
+  bool UseNative = false;
+  /// Encoding-set override for the native tier (tests force SSE2-only
+  /// subsets to check feature-gated selection). Defaults to the host.
+  codegen::NativeOptions Native;
 };
 
 struct RunOutcome {
@@ -106,8 +117,13 @@ struct RunOutcome {
   /// the executed tier consumed. Split flows only; empty for Interpreter.
   std::vector<vectorizer::LoopReport> LoopDecisions;
 
+  /// The native tier's code-shape record (per-op inline/helper counts,
+  /// packed/VEX chunks, encoding set). Filled only when the executed
+  /// tier is Native.
+  codegen::NativeStats NativeCode;
+
   /// Tier of the degradation chain that actually produced the results in
-  /// Mem. Split flows only; native flows always report Vectorized.
+  /// Mem. Split flows only; mono flows always report Vectorized.
   ExecTier Tier = ExecTier::Vectorized;
   /// Every Status that demoted this run down the chain, in order. Empty
   /// for a clean run.

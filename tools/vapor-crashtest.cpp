@@ -3,9 +3,9 @@
 // Part of the Vapor SIMD reproduction.
 //
 // Usage:
-//   vapor-crashtest --all-kernels [--json <path>] [--trace <path>]
+//   vapor-crashtest --all-kernels [--native] [--json <path>] [--trace <path>]
 //                   [--jobs N] [--verbose]
-//   vapor-crashtest <kernel-name> [target-name] [--trace <path>]
+//   vapor-crashtest <kernel-name> [target-name] [--native] [--trace <path>]
 //                   [--jobs N] [--verbose]
 //
 // --trace (or VAPOR_TRACE=<path>) writes a Chrome-trace JSON of the whole
@@ -15,7 +15,14 @@
 //
 // Drives the fault-tolerant executor (vapor::Executor) through the
 // split-vectorized flow for every kernel x target x injected fault and
-// asserts the degradation contract:
+// asserts the degradation contract. With --native the chain is entered
+// at the Native tier instead (host x86-64 codegen above the VM); a
+// native failure demotes to Vectorized without counting as a retry, so
+// the oracle for every fault class shifts accordingly, and the
+// interpreter still terminates the chain. On hosts where the native
+// tier is unsupported (non-x86-64 or -DVAPOR_NATIVE=OFF) --native
+// prints a notice and sweeps the ordinary chain instead, so CI stays
+// green everywhere. The contract asserted:
 //
 //   - every run completes: no process abort, under any injected fault;
 //   - every run's results match the golden IR evaluator;
@@ -41,6 +48,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "codegen/NativeJit.h"
 #include "kernels/Kernels.h"
 #include "obs/Obs.h"
 #include "support/FaultInject.h"
@@ -67,13 +75,39 @@ struct Stats {
   uint64_t Fired = 0;
   uint64_t Retries = 0;
   uint64_t Demotions = 0;
-  uint64_t TierCount[4] = {}; ///< Indexed by ExecTier.
+  uint64_t TierCount[5] = {}; ///< Indexed by ExecTier.
 };
 
 /// The tier each fault class must demote the split-vectorized flow to
 /// when it actually fires (the crashtest's honesty oracle; mirrors the
 /// chain documented in vapor/Executor.h).
-ExecTier expectedTier(SiteClass S, bool Sticky) {
+ExecTier expectedTier(SiteClass S, bool Sticky, bool Native) {
+  if (Native) {
+    // Entering at the Native tier adds one demotion hop: any failure
+    // during the native attempt (including its shared prepare and JIT
+    // stages) falls back to Vectorized, which re-runs those stages
+    // deterministically. A one-shot fault is spent by then, so the
+    // chain settles one tier higher than the classic oracle; a sticky
+    // fault keeps firing and lands exactly where it always did.
+    switch (S) {
+    case SiteClass::Decode:
+      return Sticky ? ExecTier::Interpreter : ExecTier::Vectorized;
+    case SiteClass::Verify:
+      return Sticky ? ExecTier::ScalarJit : ExecTier::Vectorized;
+    case SiteClass::JitLower:
+      return Sticky ? ExecTier::Interpreter : ExecTier::Vectorized;
+    case SiteClass::VmAlign:
+      // Unreachable from the native entry: the cycle-model VM's checked
+      // accesses never execute unless something else already demoted.
+      return ExecTier::ScalarJit;
+    case SiteClass::NativeTrap:
+      // The trap is in the native binding only; the VM re-runs the same
+      // vector lowering cleanly, and sticky does not matter because the
+      // site class never fires again below Native.
+      return ExecTier::Vectorized;
+    }
+    return ExecTier::Interpreter;
+  }
   switch (S) {
   case SiteClass::Decode:
     // One-shot: the scalar re-encode decodes fine. Sticky: the
@@ -88,18 +122,24 @@ ExecTier expectedTier(SiteClass S, bool Sticky) {
     // Runtime trap -> deoptimizing re-JIT. Scalar code has no checked
     // accesses, so even a sticky fault cannot re-fire.
     return ExecTier::ScalarJit;
+  case SiteClass::NativeTrap:
+    // The native engine never runs in the classic sweep; hit counts for
+    // this class are always zero and the case is skipped.
+    return ExecTier::Vectorized;
   }
   return ExecTier::Interpreter;
 }
 
 bool runCase(const kernels::Kernel &K, const target::TargetDesc &T,
              const std::string &Desc, const ExecTier *Expect, Stats &S,
-             bool Verbose) {
+             bool Native, bool Verbose) {
   ++S.Cases;
   RunOptions O;
   O.Target = T;
+  O.UseNative = Native;
   RunOutcome Out = runKernel(K, Flow::SplitVectorized, O);
   uint64_t Fired = faultinject::fired();
+  ExecTier CleanTier = Native ? ExecTier::Native : ExecTier::Vectorized;
 
   std::string Err;
   bool Ok = true;
@@ -107,7 +147,7 @@ bool runCase(const kernels::Kernel &K, const target::TargetDesc &T,
     Err = "golden mismatch: " + Err;
     Ok = false;
   } else if (Fired == 0) {
-    if (Out.Tier != ExecTier::Vectorized || !Out.Demotions.empty()) {
+    if (Out.Tier != CleanTier || !Out.Demotions.empty()) {
       Err = "no fault fired but tier is " +
             std::string(tierName(Out.Tier)) + " with " +
             std::to_string(Out.Demotions.size()) + " demotions";
@@ -142,11 +182,12 @@ bool runCase(const kernels::Kernel &K, const target::TargetDesc &T,
 
 /// Dynamic hit counts per class for one clean run (site discovery).
 void countSites(const kernels::Kernel &K, const target::TargetDesc &T,
-                uint64_t Hits[faultinject::NumSiteClasses]) {
+                bool Native, uint64_t Hits[faultinject::NumSiteClasses]) {
   faultinject::resetHits();
   faultinject::startCounting();
   RunOptions O;
   O.Target = T;
+  O.UseNative = Native;
   runKernel(K, Flow::SplitVectorized, O);
   for (unsigned C = 0; C < faultinject::NumSiteClasses; ++C)
     Hits[C] = faultinject::hits(static_cast<SiteClass>(C));
@@ -155,15 +196,16 @@ void countSites(const kernels::Kernel &K, const target::TargetDesc &T,
 }
 
 void sweepOne(const kernels::Kernel &K, const target::TargetDesc &T,
-              Stats &S, bool Verbose) {
+              Stats &S, bool Native, bool Verbose) {
   // Baseline: no injection active at all (the 1-branch fast path).
-  runCase(K, T, "clean", nullptr, S, Verbose);
+  runCase(K, T, "clean", nullptr, S, Native, Verbose);
 
   uint64_t Hits[faultinject::NumSiteClasses];
-  countSites(K, T, Hits);
+  countSites(K, T, Native, Hits);
 
   constexpr SiteClass Classes[] = {SiteClass::Decode, SiteClass::Verify,
-                                   SiteClass::JitLower, SiteClass::VmAlign};
+                                   SiteClass::JitLower, SiteClass::VmAlign,
+                                   SiteClass::NativeTrap};
   for (SiteClass C : Classes) {
     uint64_t N = Hits[static_cast<unsigned>(C)];
     if (N == 0)
@@ -174,25 +216,25 @@ void sweepOne(const kernels::Kernel &K, const target::TargetDesc &T,
     std::vector<uint64_t> Sites = {0, N / 2, N - 1};
     Sites.erase(std::unique(Sites.begin(), Sites.end()), Sites.end());
     for (uint64_t Site : Sites) {
-      ExecTier Expect = expectedTier(C, /*Sticky=*/false);
+      ExecTier Expect = expectedTier(C, /*Sticky=*/false, Native);
       faultinject::ScopedFault F(C, Site, /*Sticky=*/false);
       runCase(K, T,
               std::string(siteClassName(C)) + "@" + std::to_string(Site),
-              &Expect, S, Verbose);
+              &Expect, S, Native, Verbose);
     }
 
     // Sticky fault: fires at every occurrence from the first on.
     {
-      ExecTier Expect = expectedTier(C, /*Sticky=*/true);
+      ExecTier Expect = expectedTier(C, /*Sticky=*/true, Native);
       faultinject::ScopedFault F(C, 0, /*Sticky=*/true);
       runCase(K, T, std::string(siteClassName(C)) + " sticky", &Expect, S,
-              Verbose);
+              Native, Verbose);
     }
   }
 }
 
 void writeJson(const char *Path, const Stats &S, size_t Kernels,
-               size_t Targets) {
+               size_t Targets, bool Native) {
   std::FILE *F = std::fopen(Path, "w");
   if (!F) {
     std::printf("cannot write %s\n", Path);
@@ -201,6 +243,7 @@ void writeJson(const char *Path, const Stats &S, size_t Kernels,
   std::fprintf(F, "{\n");
   std::fprintf(F, "  \"suite\": \"vapor-crashtest\",\n");
   std::fprintf(F, "  \"flow\": \"split-vectorized\",\n");
+  std::fprintf(F, "  \"native_entry\": %s,\n", Native ? "true" : "false");
   std::fprintf(F, "  \"kernels\": %zu,\n", Kernels);
   std::fprintf(F, "  \"targets\": %zu,\n", Targets);
   std::fprintf(F, "  \"cases\": %llu,\n", (unsigned long long)S.Cases);
@@ -213,11 +256,11 @@ void writeJson(const char *Path, const Stats &S, size_t Kernels,
   std::fprintf(F, "  \"deopt_retries\": %llu,\n",
                (unsigned long long)S.Retries);
   std::fprintf(F, "  \"tier_distribution\": {\n");
-  const char *Names[4] = {"vectorized", "scalar-jit", "scalar-bytecode",
-                          "interpreter"};
-  for (unsigned I = 0; I < 4; ++I)
+  const char *Names[5] = {"native", "vectorized", "scalar-jit",
+                          "scalar-bytecode", "interpreter"};
+  for (unsigned I = 0; I < 5; ++I)
     std::fprintf(F, "    \"%s\": %llu%s\n", Names[I],
-                 (unsigned long long)S.TierCount[I], I + 1 < 4 ? "," : "");
+                 (unsigned long long)S.TierCount[I], I + 1 < 5 ? "," : "");
   std::fprintf(F, "  }\n}\n");
   std::fclose(F);
   std::printf("wrote %s\n", Path);
@@ -226,15 +269,15 @@ void writeJson(const char *Path, const Stats &S, size_t Kernels,
 } // namespace
 
 static int usage() {
-  std::printf("usage: vapor-crashtest --all-kernels [--json <path>] "
-              "[--trace <path>] [--jobs N] [--verbose]\n"
-              "       vapor-crashtest <kernel> [target] [--trace <path>] "
-              "[--jobs N] [--verbose]\n");
+  std::printf("usage: vapor-crashtest --all-kernels [--native] "
+              "[--json <path>] [--trace <path>] [--jobs N] [--verbose]\n"
+              "       vapor-crashtest <kernel> [target] [--native] "
+              "[--trace <path>] [--jobs N] [--verbose]\n");
   return 2;
 }
 
 int main(int argc, char **argv) {
-  bool All = false, Verbose = false;
+  bool All = false, Verbose = false, Native = false;
   const char *JsonPath = nullptr;
   const char *TracePath = nullptr;
   unsigned Jobs = sweep::defaultJobs();
@@ -242,6 +285,8 @@ int main(int argc, char **argv) {
   for (int I = 1; I < argc; ++I) {
     if (!std::strcmp(argv[I], "--all-kernels"))
       All = true;
+    else if (!std::strcmp(argv[I], "--native"))
+      Native = true;
     else if (!std::strcmp(argv[I], "--verbose"))
       Verbose = true;
     else if (!std::strcmp(argv[I], "--json") && I + 1 < argc)
@@ -267,6 +312,12 @@ int main(int argc, char **argv) {
   }
   if (!All && KernelName.empty())
     return usage();
+  if (Native && !codegen::supported()) {
+    std::printf("native tier unsupported on this host (features: %s); "
+                "sweeping the classic chain instead\n",
+                codegen::hostFeatures().str().c_str());
+    Native = false;
+  }
 
   // --trace wins over the VAPOR_TRACE environment variable; the sink's
   // destructor writes the Chrome-trace JSON when main returns.
@@ -305,14 +356,14 @@ int main(int argc, char **argv) {
     const kernels::Kernel &K = Ks[Cell / Ts.size()];
     const target::TargetDesc &T = Ts[Cell % Ts.size()];
     Stats Local;
-    sweepOne(K, T, Local, Verbose);
+    sweepOne(K, T, Local, Native, Verbose);
     std::lock_guard<std::mutex> Lock(MergeMu);
     S.Cases += Local.Cases;
     S.Failures += Local.Failures;
     S.Fired += Local.Fired;
     S.Retries += Local.Retries;
     S.Demotions += Local.Demotions;
-    for (unsigned I = 0; I < 4; ++I)
+    for (unsigned I = 0; I < 5; ++I)
       S.TierCount[I] += Local.TierCount[I];
   });
 
@@ -321,13 +372,14 @@ int main(int argc, char **argv) {
               (unsigned long long)S.Cases, (unsigned long long)S.Fired,
               (unsigned long long)S.Demotions, (unsigned long long)S.Retries,
               (unsigned long long)S.Failures);
-  std::printf("tiers: vectorized=%llu scalar-jit=%llu scalar-bytecode=%llu "
-              "interpreter=%llu\n",
+  std::printf("tiers: native=%llu vectorized=%llu scalar-jit=%llu "
+              "scalar-bytecode=%llu interpreter=%llu\n",
               (unsigned long long)S.TierCount[0],
               (unsigned long long)S.TierCount[1],
               (unsigned long long)S.TierCount[2],
-              (unsigned long long)S.TierCount[3]);
+              (unsigned long long)S.TierCount[3],
+              (unsigned long long)S.TierCount[4]);
   if (JsonPath)
-    writeJson(JsonPath, S, Ks.size(), Ts.size());
+    writeJson(JsonPath, S, Ks.size(), Ts.size(), Native);
   return static_cast<int>(S.Failures);
 }

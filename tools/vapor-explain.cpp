@@ -3,7 +3,8 @@
 // Part of the Vapor SIMD reproduction.
 //
 // Usage:
-//   vapor-explain <kernel> [target] [--tier weak|strong] [--trace <path>]
+//   vapor-explain <kernel> [target] [--tier weak|strong] [--native]
+//                 [--trace <path>]
 //
 // Prints the human-readable end-to-end decision report for one kernel:
 // what the offline vectorizer decided per loop and why (strategy,
@@ -11,7 +12,11 @@
 // interchange sizes, the verifier's proof-obligation summary, and — per
 // target — the online compiler's strategy record (memory lowering mix,
 // guard folds, resolved VF), the code-cache traffic, the executed tier of
-// the fault-tolerant chain, and the modeled cycle cost. Everything comes
+// the fault-tolerant chain, and the modeled cycle cost. With --native the
+// chain enters at the Native tier and the report adds the host CPU
+// feature probe, the encoding set the emitter actually used, and the
+// per-MachineIR-op split between inline x86-64 and ScalarOps shim calls
+// (from RunOutcome::NativeCode). Everything comes
 // from the same structured records the pipeline itself acts on
 // (vectorizer::LoopReport, verify::Report, jit::StrategyStats,
 // RunOutcome), not from parsing logs, so the report cannot drift from the
@@ -22,6 +27,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "bytecode/Bytecode.h"
+#include "codegen/NativeJit.h"
 #include "jit/CodeCache.h"
 #include "kernels/Kernels.h"
 #include "obs/Obs.h"
@@ -43,8 +49,36 @@ namespace {
 
 int usage() {
   std::printf("usage: vapor-explain <kernel> [target] [--tier weak|strong] "
-              "[--trace <path>]\n");
+              "[--native] [--trace <path>]\n");
   return 2;
+}
+
+/// The --native addendum: which encodings the emitter picked and how much
+/// of the MachineIR stayed inline vs fell back to the ScalarOps shims.
+void printNativeReport(const RunOutcome &Out) {
+  if (Out.Tier != ExecTier::Native) {
+    std::printf("  native code: none (tier demoted before native ran)\n");
+    return;
+  }
+  const codegen::NativeStats &N = Out.NativeCode;
+  std::printf("  native code: %llu bytes for %llu MachineIR instrs "
+              "(encoding set: %s)\n",
+              static_cast<unsigned long long>(N.CodeBytes),
+              static_cast<unsigned long long>(N.MInstrs),
+              N.FeaturesUsed.c_str());
+  std::printf("  lowering split: %llu inline x86-64, %llu ScalarOps shim "
+              "calls, %llu packed SIMD chunks (%llu 256-bit VEX)\n",
+              static_cast<unsigned long long>(N.InlineOps),
+              static_cast<unsigned long long>(N.HelperOps),
+              static_cast<unsigned long long>(N.PackedOps),
+              static_cast<unsigned long long>(N.VexChunks));
+  for (unsigned I = 0; I < codegen::NumMOps; ++I) {
+    uint32_t Inl = N.InlineByOp[I], Hlp = N.HelperByOp[I];
+    if (!Inl && !Hlp)
+      continue;
+    std::printf("    %-10s %5u inline, %5u shim\n",
+                target::mopMnemonic(static_cast<target::MOp>(I)), Inl, Hlp);
+  }
 }
 
 void printLoopDecision(const vectorizer::LoopReport &L) {
@@ -71,7 +105,7 @@ void printLoopDecision(const vectorizer::LoopReport &L) {
 }
 
 void explainOnTarget(const kernels::Kernel &K, const target::TargetDesc &T,
-                     jit::Tier Tier) {
+                     jit::Tier Tier, bool Native) {
   std::printf("\n== Online stage: %s (%s tier) ==\n", T.Name.c_str(),
               Tier == jit::Tier::Strong ? "strong" : "weak");
   if (T.VSBytes)
@@ -86,6 +120,7 @@ void explainOnTarget(const kernels::Kernel &K, const target::TargetDesc &T,
   RunOptions O;
   O.Target = T;
   O.Tier = Tier;
+  O.UseNative = Native;
   RunOutcome Out = runKernel(K, Flow::SplitVectorized, O);
   jit::cache::Stats After = jit::cache::stats();
 
@@ -123,6 +158,8 @@ void explainOnTarget(const kernels::Kernel &K, const target::TargetDesc &T,
     std::printf("  demotion: %s\n", D.str().c_str());
   if (Out.Retries)
     std::printf("  deoptimizing retries: %u\n", Out.Retries);
+  if (Native)
+    printNativeReport(Out);
   std::printf("  modeled cycles: %llu\n",
               static_cast<unsigned long long>(Out.Cycles));
   if (Out.Iaca.Found)
@@ -141,6 +178,7 @@ void explainOnTarget(const kernels::Kernel &K, const target::TargetDesc &T,
 int main(int argc, char **argv) {
   std::string KernelName, TargetName;
   jit::Tier Tier = jit::Tier::Strong;
+  bool Native = false;
   const char *TracePath = nullptr;
   for (int I = 1; I < argc; ++I) {
     if (!std::strcmp(argv[I], "--tier") && I + 1 < argc) {
@@ -153,7 +191,9 @@ int main(int argc, char **argv) {
         std::printf("unknown tier '%s'\n", argv[I]);
         return usage();
       }
-    } else if (!std::strcmp(argv[I], "--trace") && I + 1 < argc)
+    } else if (!std::strcmp(argv[I], "--native"))
+      Native = true;
+    else if (!std::strcmp(argv[I], "--trace") && I + 1 < argc)
       TracePath = argv[++I];
     else if (argv[I][0] == '-') {
       std::printf("unknown option '%s'\n", argv[I]);
@@ -190,6 +230,11 @@ int main(int argc, char **argv) {
 
   std::printf("vapor-explain: %s (suite: %s)\n", K->Name.c_str(),
               K->Suite.c_str());
+  if (Native)
+    std::printf("native tier requested: host CPU features %s (%s)\n",
+                codegen::hostFeatures().str().c_str(),
+                codegen::supported() ? "supported"
+                                     : "unsupported; will demote to the VM");
 
   // --- Offline stage: target-independent, runs once. ---
   std::printf("\n== Offline stage (vectorize once) ==\n");
@@ -223,6 +268,6 @@ int main(int argc, char **argv) {
 
   // --- Online stage + execution, per target. ---
   for (const target::TargetDesc &T : Ts)
-    explainOnTarget(*K, T, Tier);
+    explainOnTarget(*K, T, Tier, Native);
   return 0;
 }
