@@ -11,11 +11,19 @@
 //
 //   native_throughput [--json [PATH]] [--seconds S]
 //
+// Each cell is also measured with proof-carrying check elision applied
+// (the verifier's certificate replayed through the independent checker,
+// jit::buildElisionPlan): the elided native ns/op and the elision-ON-vs-
+// OFF speedup quantify what dropping the certified align/bounds check
+// sequences buys on real hardware.
+//
 // --json writes the machine-readable report (BENCH_native.json by
 // default): cpu_features, the headline cell (saxpy_fp x sse, the same
 // cell BENCH_vm.json gates on), every kernel x target cell, and the
-// geometric-mean speedup. scripts/perf_gate.py --native-floor holds the
-// headline's native ns/op at or below half the VM's fused ns/op.
+// geometric-mean speedups. scripts/perf_gate.py --native-floor holds the
+// headline's native ns/op at or below half the VM's fused ns/op;
+// --elision-floor holds the headline's elided ns/op at or below the
+// unelided measurement in the same report.
 //
 // On hosts without the native tier (non-x86-64 or -DVAPOR_NATIVE=OFF)
 // the binary prints a notice and writes "native_supported": false; the
@@ -24,15 +32,21 @@
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchUtil.h"
+#include "bytecode/Bytecode.h"
 #include "codegen/NativeJit.h"
+#include "jit/Elision.h"
 #include "support/Support.h"
 #include "target/VM.h"
+#include "vapor/FillAdapters.h"
 #include "vapor/Pipeline.h"
 #include "vapor/Sweep.h"
+#include "vectorizer/Vectorizer.h"
+#include "verify/Verify.h"
 
 #include <chrono>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -65,7 +79,45 @@ struct Cell {
   double VmNsPerOp = 0;   ///< Cycle-model VM, fused dispatch.
   double NativeNsPerOp = 0;
   double Speedup = 0; ///< VM wall time / native wall time.
+  /// Proof-carrying check elision applied (jit::buildElisionPlan), same
+  /// MachineIR and placement; ElidedChecks = 0 means the plan granted
+  /// nothing and these equal the unelided numbers.
+  double NativeElideNsPerOp = 0;
+  double ElideSpeedup = 0; ///< Native unelided / native elided wall time.
+  uint32_t ElidedChecks = 0;
 };
+
+/// Rebuilds the elision plan the executor would grant for (K, T, Mem):
+/// same decode, same verifier certificate, same parameter bindings.
+target::ElisionPlan elisionPlanFor(const kernels::Kernel &K,
+                                   const target::TargetDesc &T,
+                                   const target::MemoryImage &Mem) {
+  auto VR = vectorizer::vectorize(K.Source, {});
+  std::vector<uint8_t> Enc = bytecode::encode(VR.Output);
+  std::string Err;
+  auto Dec = bytecode::decode(Enc, Err);
+  if (!Dec)
+    fatalError("decode failed for " + K.Name + ": " + Err);
+  verify::VerifyOptions VO;
+  VO.Targets = {T};
+  verify::Report Rep = verify::verifyModule(*Dec, VO);
+  target::ElisionPlan Plan; // Mode Off when nothing was certified.
+  if (!Rep.ok() || Rep.Certificates.empty())
+    return Plan;
+  std::map<std::string, int64_t> IntVals;
+  detail::setParams(
+      K, *Dec, [&](const std::string &N, int64_t V) { IntVals[N] = V; },
+      [](const std::string &, double) {});
+  analysis::ParamFn PF =
+      [&IntVals](const std::string &N) -> std::optional<int64_t> {
+    auto It = IntVals.find(N);
+    if (It != IntVals.end())
+      return It->second;
+    return std::nullopt; // FP-bound: no integer value.
+  };
+  return jit::buildElisionPlan(*Dec, &Rep.Certificates.front(), T, Mem,
+                               target::ElisionMode::On, PF);
+}
 
 } // namespace
 
@@ -155,37 +207,69 @@ int main(int argc, char **argv) {
         fatalError("native run trapped for " + K.Name + " on " + TName);
       double NativeNsPerRun = timeRuns([&] { Exec.run(); }, Secs);
 
+      // Elided native side: the checked certificate's grants baked in.
+      target::ElisionPlan Plan = elisionPlanFor(K, T, *Out.Mem);
+      const target::ElisionPlan *PlanPtr =
+          Plan.Mode != target::ElisionMode::Off ? &Plan : nullptr;
+      C.ElidedChecks = Plan.AlignElided + Plan.BoundsElided;
+      codegen::NativeOptions NOE;
+      NOE.Plan = PlanPtr;
+      auto NUE = codegen::compileNative(Out.Code, T, *Out.Mem, NOE);
+      if (!NUE.ok())
+        fatalError("elided compileNative failed for " + K.Name + " on " +
+                   TName + ": " + NUE.status().str());
+      std::shared_ptr<const codegen::NativeUnit> UnitE = NUE.take();
+      codegen::NativeExec ExecE(UnitE, *Out.Mem);
+      for (const auto &P : K.IntParams)
+        ExecE.setParamInt(P.first, P.second);
+      for (const auto &P : K.FPParams)
+        ExecE.setParamFP(P.first, P.second);
+      if (!ExecE.run().ok()) // Warm-up.
+        fatalError("elided native run trapped for " + K.Name + " on " +
+                   TName);
+      double ElideNsPerRun = timeRuns([&] { ExecE.run(); }, Secs);
+
       double Ops = static_cast<double>(C.OpsPerRun);
       C.VmNsPerOp = VmNsPerRun / Ops;
       C.NativeNsPerOp = NativeNsPerRun / Ops;
       C.Speedup = VmNsPerRun / NativeNsPerRun;
+      C.NativeElideNsPerOp = ElideNsPerRun / Ops;
+      C.ElideSpeedup = NativeNsPerRun / ElideNsPerRun;
       Cells.push_back(std::move(C));
     }
   }
 
   const Cell *Head = nullptr;
-  std::vector<double> Speedups;
+  std::vector<double> Speedups, ElideSpeedups;
   for (const Cell &C : Cells) {
     Speedups.push_back(C.Speedup);
+    ElideSpeedups.push_back(C.ElideSpeedup);
     if (C.Kernel == "saxpy_fp" && C.Target == "sse")
       Head = &C;
   }
   double GeoSpeedup = geoMean(Speedups);
+  double GeoElide = geoMean(ElideSpeedups);
 
   printHeader("Native x86-64 tier vs cycle-model VM (split-vectorized, "
               "fused dispatch)");
   std::printf("host features: %s\n\n", FX.str().c_str());
-  std::printf("%-16s %-8s %10s %12s %12s %9s\n", "kernel", "target",
-              "ops/run", "vm-ns/op", "nat-ns/op", "speedup");
+  std::printf("%-16s %-8s %10s %12s %12s %9s %12s %8s %7s\n", "kernel",
+              "target", "ops/run", "vm-ns/op", "nat-ns/op", "speedup",
+              "elide-ns/op", "elide-x", "elided");
   for (const Cell &C : Cells)
-    std::printf("%-16s %-8s %10llu %12.3f %12.4f %8.1fx\n", C.Kernel.c_str(),
-                C.Target.c_str(), (unsigned long long)C.OpsPerRun,
-                C.VmNsPerOp, C.NativeNsPerOp, C.Speedup);
+    std::printf("%-16s %-8s %10llu %12.3f %12.4f %8.1fx %12.4f %7.2fx %7u\n",
+                C.Kernel.c_str(), C.Target.c_str(),
+                (unsigned long long)C.OpsPerRun, C.VmNsPerOp, C.NativeNsPerOp,
+                C.Speedup, C.NativeElideNsPerOp, C.ElideSpeedup,
+                C.ElidedChecks);
   std::printf("\ngeomean speedup     %8.1fx\n", GeoSpeedup);
+  std::printf("geomean elide gain  %8.2fx (elision ON vs OFF, native)\n",
+              GeoElide);
   if (Head)
     std::printf("headline (saxpy_fp, sse): vm %.3f ns/op, native %.4f "
-                "ns/op, %.1fx\n",
-                Head->VmNsPerOp, Head->NativeNsPerOp, Head->Speedup);
+                "ns/op, %.1fx; elided %.4f ns/op (%.2fx over unelided)\n",
+                Head->VmNsPerOp, Head->NativeNsPerOp, Head->Speedup,
+                Head->NativeElideNsPerOp, Head->ElideSpeedup);
 
   if (!JsonPath)
     return 0;
@@ -206,19 +290,26 @@ int main(int argc, char **argv) {
                 "  \"native_ns_per_op\": %.4f,\n"
                 "  \"headline_speedup\": %.2f,\n"
                 "  \"geomean_speedup\": %.2f,\n"
+                "  \"native_ns_per_op_elide\": %.4f,\n"
+                "  \"elide_speedup\": %.2f,\n"
+                "  \"geomean_elide_speedup\": %.2f,\n"
                 "  \"cells\": [\n",
                 FX.str().c_str(), Head->VmNsPerOp, Head->NativeNsPerOp,
-                Head->Speedup, GeoSpeedup);
+                Head->Speedup, GeoSpeedup, Head->NativeElideNsPerOp,
+                Head->ElideSpeedup, GeoElide);
   OS << Buf;
   for (size_t I = 0; I < Cells.size(); ++I) {
     const Cell &C = Cells[I];
     std::snprintf(Buf, sizeof(Buf),
                   "    {\"kernel\": \"%s\", \"target\": \"%s\", "
                   "\"ops_per_run\": %llu, \"vm_ns_per_op\": %.3f, "
-                  "\"native_ns_per_op\": %.4f, \"speedup\": %.2f}%s\n",
+                  "\"native_ns_per_op\": %.4f, \"speedup\": %.2f, "
+                  "\"native_ns_per_op_elide\": %.4f, "
+                  "\"elide_speedup\": %.2f, \"elided_checks\": %u}%s\n",
                   C.Kernel.c_str(), C.Target.c_str(),
                   (unsigned long long)C.OpsPerRun, C.VmNsPerOp,
-                  C.NativeNsPerOp, C.Speedup,
+                  C.NativeNsPerOp, C.Speedup, C.NativeElideNsPerOp,
+                  C.ElideSpeedup, C.ElidedChecks,
                   I + 1 < Cells.size() ? "," : "");
     OS << Buf;
   }

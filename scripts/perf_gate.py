@@ -43,6 +43,23 @@ Three modes:
                        cleanly there, so there is nothing to gate:
                        perf_gate.py --native-floor native_current.json
 
+  --elision-floor      gates proof-carrying check elision from one
+                       native_throughput report: the report's
+                       geomean_elide_speedup (elision ON vs OFF, native,
+                       geomean over every kernel x target cell) must be
+                       at least --elision-floor-geomean (default 1.0:
+                       elision must never cost throughput on average; a
+                       single cell is too noisy to gate, the geomean over
+                       the full matrix is stable). Both sides of every
+                       ratio come from the same report, so the gate holds
+                       under uniform slowdown. With --audit-json the
+                       matching ``vapor-crashtest --audit --json`` report
+                       must additionally show zero would-have-fired
+                       elidable checks and zero failures -- the soundness
+                       half of the same contract:
+                       perf_gate.py --elision-floor native_current.json \
+                           --audit-json audit.json
+
 Exit status: 0 pass, 1 regression, 2 bad input.
 """
 
@@ -92,7 +109,73 @@ def main():
                          "native_throughput report")
     ap.add_argument("--native-floor-ratio", type=float, default=0.5,
                     help="maximum native/VM ns-per-op ratio (default 0.5)")
+    ap.add_argument("--elision-floor", action="store_true",
+                    help="gate elided vs unelided native ns/op inside one "
+                         "native_throughput report")
+    ap.add_argument("--elision-floor-geomean", type=float, default=1.0,
+                    help="minimum geomean elision-ON-vs-OFF native speedup "
+                         "(default 1.0)")
+    ap.add_argument("--audit-json", default=None,
+                    help="with --elision-floor: a vapor-crashtest --audit "
+                         "--json report that must show zero would-have-"
+                         "fired checks and zero failures")
     args = ap.parse_args()
+
+    if args.elision_floor:
+        path = args.current or args.baseline
+        report = load(path)
+        if report.get("bench") != "native_throughput":
+            print(f"perf_gate: {path} is not a native_throughput report",
+                  file=sys.stderr)
+            sys.exit(2)
+        if not report.get("native_supported", False):
+            print("perf_gate: PASS (notice): native tier unsupported on "
+                  f"the measuring host (features: "
+                  f"{report.get('cpu_features', '?')}); nothing to gate")
+            sys.exit(0)
+        geo = report.get("geomean_elide_speedup")
+        if not isinstance(geo, (int, float)) or geo <= 0:
+            print(f"perf_gate: {path} has no usable geomean_elide_speedup",
+                  file=sys.stderr)
+            sys.exit(2)
+        verdict = "PASS" if geo >= args.elision_floor_geomean else "FAIL"
+        print(f"perf_gate: {verdict}: geomean elision-ON-vs-OFF native "
+              f"speedup {geo:.2f}x "
+              f"(floor {args.elision_floor_geomean:.2f}x); headline "
+              f"elided {report.get('native_ns_per_op_elide', 0):.4f} vs "
+              f"unelided {report.get('native_ns_per_op', 0):.4f} ns/op")
+        if geo < args.elision_floor_geomean:
+            print("perf_gate: certificate-driven check elision no longer "
+                  "pays for itself across the matrix; check whether the "
+                  "verifier stopped certifying accesses or the native "
+                  "emitter stopped honoring the plan's grants",
+                  file=sys.stderr)
+            sys.exit(1)
+        if args.audit_json:
+            audit = load(args.audit_json)
+            if not audit.get("audit_mode", False):
+                print(f"perf_gate: {args.audit_json} was not produced by a "
+                      "--audit crashtest sweep", file=sys.stderr)
+                sys.exit(2)
+            fired = (audit.get("audit_align_fired", -1),
+                     audit.get("audit_bounds_fired", -1))
+            failures = audit.get("failures", -1)
+            if any(not isinstance(v, int) or v < 0
+                   for v in (*fired, failures)):
+                print(f"perf_gate: {args.audit_json} is missing audit "
+                      "counters", file=sys.stderr)
+                sys.exit(2)
+            if fired != (0, 0) or failures != 0:
+                print(f"perf_gate: FAIL: audit sweep saw "
+                      f"{fired[0]} align + {fired[1]} bounds "
+                      f"would-have-fired elidable checks and "
+                      f"{failures} failures (all must be 0); an elided "
+                      "check masked a genuine fault", file=sys.stderr)
+                sys.exit(1)
+            print(f"perf_gate: audit sweep clean: 0 would-have-fired "
+                  f"elidable checks across {audit.get('cases', '?')} "
+                  f"fault-injected cases")
+        sys.exit(0)
 
     if args.native_floor:
         path = args.current or args.baseline

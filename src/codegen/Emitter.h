@@ -402,6 +402,13 @@ public:
     memDisp(Dst, Base, Disp);
   }
 
+  /// inc qword [Base + Disp] (FF /0) -- audit-mode fire counters.
+  void incM64(unsigned Base, int32_t Disp) {
+    rex(true, 0, 0, Base);
+    u8(0xFF);
+    memDisp(0, Base, Disp);
+  }
+
   //===--- Control flow ---------------------------------------------------===//
 
   void push(unsigned R) {

@@ -136,8 +136,9 @@ struct TrapFix {
 class NativeBuilder {
 public:
   NativeBuilder(const MFunction &Fn, const MemoryImage &Image,
-                const CpuFeatures &Features, NativeUnit &Unit)
-      : F(Fn), Mem(Image), FX(Features), U(Unit) {
+                const CpuFeatures &Features, const ElisionPlan *Elide,
+                NativeUnit &Unit)
+      : F(Fn), Mem(Image), FX(Features), Plan(Elide), U(Unit) {
     E.UseVEX = FX.AVX;
   }
 
@@ -172,6 +173,7 @@ private:
   const MFunction &F;
   const MemoryImage &Mem;
   const CpuFeatures &FX;
+  const ElisionPlan *Plan; ///< Checked elision grants (may be null).
   NativeUnit &U;
   Emitter E;
 
@@ -255,6 +257,60 @@ private:
     E.lea(RCX, RAX, static_cast<int32_t>(Size));
     E.cmpRR64(RCX, R14);
     TrapFixes.push_back({E.jcc(CC::A), ~0u, 0, false, 2});
+  }
+
+  /// Audit-mode counting: increments the context counters when the
+  /// check predicate would genuinely fire, leaving all trap checks
+  /// live. Mirrors the VM's auditCount preamble.
+  void auditAlign(uint32_t Mask) {
+    if (!Mask)
+      return;
+    E.testImm(RAX, Mask);
+    size_t Skip = E.jcc(CC::E);
+    E.incM64(RBP, 56); // NativeContext::AuditAlign
+    E.patch32(Skip, E.here());
+  }
+
+  void auditBounds(uint64_t Size) {
+    E.cmpRR64(RAX, R13);
+    size_t Fire1 = E.jcc(CC::B);
+    E.lea(RCX, RAX, static_cast<int32_t>(Size));
+    E.cmpRR64(RCX, R14);
+    size_t Fire2 = E.jcc(CC::A);
+    size_t Skip = E.jmp();
+    E.patch32(Fire1, E.here());
+    E.patch32(Fire2, E.here());
+    E.incM64(RBP, 64); // NativeContext::AuditBounds
+    E.patch32(Skip, E.here());
+  }
+
+  /// Emits the check sequence for a memory access whose address is in
+  /// rax, honoring the elision plan with exactly the VM decoder's
+  /// VMCheck mapping: on aligned ops the align grant gates everything
+  /// (a bounds-only grant elides nothing); audit mode keeps every check
+  /// live and counts would-have-fired predicates first.
+  void memChecks(const MInstr &I, bool Aligned, uint32_t Ord, bool IsStore,
+                 uint64_t Size) {
+    uint8_t G = Plan ? Plan->provenBits(I.SrcInstr) : 0;
+    bool Audit = Plan && Plan->Mode == ElisionMode::Audit;
+    if (Aligned) {
+      uint32_t Mask = F.VSBytes - 1;
+      if (Audit && (G & ElisionPlan::AlignBit)) {
+        // The VM's AuditAlign state counts both predicates.
+        auditAlign(Mask);
+        auditBounds(Size);
+      }
+      bool ElideA = !Audit && (G & ElisionPlan::AlignBit);
+      if (!ElideA)
+        alignCheck(Mask, Ord, IsStore);
+      if (!(ElideA && (G & ElisionPlan::BoundsBit)))
+        boundsCheck(Size);
+    } else {
+      if (Audit && (G & ElisionPlan::BoundsBit))
+        auditBounds(Size);
+      if (Audit || !(G & ElisionPlan::BoundsBit))
+        boundsCheck(Size);
+    }
   }
 
   //===--- Region walk (mirrors VMDecoder) --------------------------------===//
@@ -730,9 +786,8 @@ private:
     uint32_t A = Off[I.Dst], Lanes = RegLanes[I.Dst];
     unsigned ES = scalarSize(I.Kind);
     E.movRM64(RAX, RBX, d(Off[I.Srcs[0]]));
-    if (Aligned)
-      alignCheck(F.VSBytes - 1, Ord, /*IsStore=*/false);
-    boundsCheck(static_cast<uint64_t>(Lanes) * ES);
+    memChecks(I, Aligned, Ord, /*IsStore=*/false,
+              static_cast<uint64_t>(Lanes) * ES);
     if (ES == 8) {
       uint32_t L = 0;
       while (FX.AVX && Lanes - L >= 4) {
@@ -765,9 +820,8 @@ private:
     uint32_t B = Off[I.Srcs[1]], Lanes = RegLanes[I.Srcs[1]];
     unsigned ES = scalarSize(I.Kind);
     E.movRM64(RAX, RBX, d(Off[I.Srcs[0]]));
-    if (Aligned)
-      alignCheck(F.VSBytes - 1, Ord, /*IsStore=*/true);
-    boundsCheck(static_cast<uint64_t>(Lanes) * ES);
+    memChecks(I, Aligned, Ord, /*IsStore=*/true,
+              static_cast<uint64_t>(Lanes) * ES);
     if (ES == 8) {
       uint32_t L = 0;
       while (FX.AVX && Lanes - L >= 4) {
@@ -950,7 +1004,7 @@ private:
     case MOp::Load: {
       unsigned ES = scalarSize(I.Kind);
       E.movRM64(RAX, RBX, d(Off[I.Srcs[0]]));
-      boundsCheck(ES);
+      memChecks(I, /*Aligned=*/false, Ord, /*IsStore=*/false, ES);
       E.movRMSib(RCX, RAX, R12, 0, ES); // Zero-extends: ld<ES>.
       E.movMR64(RBX, d(Off[I.Dst]), RCX);
       countInline(I.Op);
@@ -959,7 +1013,7 @@ private:
     case MOp::Store: {
       unsigned ES = scalarSize(I.Kind);
       E.movRM64(RAX, RBX, d(Off[I.Srcs[0]]));
-      boundsCheck(ES);
+      memChecks(I, /*Aligned=*/false, Ord, /*IsStore=*/true, ES);
       E.movRM64(RCX, RBX, d(Off[I.Srcs[1]]));
       E.movMRSib(RAX, R12, 0, RCX, ES);
       countInline(I.Op);
@@ -1197,7 +1251,7 @@ vapor::codegen::compileNative(const MFunction &F, const TargetDesc &T,
                              Opts.Features.str() + "')");
 
   auto U = std::make_shared<NativeUnit>();
-  NativeBuilder B(F, Image, Opts.Features, *U);
+  NativeBuilder B(F, Image, Opts.Features, Opts.Plan, *U);
   B.build();
   U->TargetName = T.Name;
   U->Stats.FeaturesUsed = Opts.Features.str();
@@ -1260,6 +1314,8 @@ Status NativeExec::run() {
   Ctx.MemHi = Mem.highAddr();
 
   uint64_t Rc = Unit->entry()(&Ctx);
+  AuditAlignFired += Ctx.AuditAlign;
+  AuditBoundsFired += Ctx.AuditBounds;
   if (Rc == 0)
     return Status::okStatus();
 

@@ -35,6 +35,7 @@
 #include "ir/Opcode.h"
 #include "ir/Type.h"
 #include "support/Status.h"
+#include "target/Elision.h"
 #include "target/MachineIR.h"
 #include "target/MemoryImage.h"
 #include "target/Target.h"
@@ -64,6 +65,11 @@ struct NativeContext {
   uint32_t TrapOp = ~0u;     ///< Pre-fusion op ordinal (~0u for OOB, as VM).
   uint32_t TrapAlign = 0;    ///< Required alignment (0 for OOB).
   uint8_t TrapIsStore = 0;
+  /// Audit-mode telemetry (elision plans in ElisionMode::Audit): counts
+  /// of genuine would-have-been-elided predicate fires, incremented
+  /// inline by the generated code before the (still live) checks run.
+  uint64_t AuditAlign = 0;
+  uint64_t AuditBounds = 0;
 };
 static_assert(offsetof(NativeContext, Lanes) == 0, "codegen ABI");
 static_assert(offsetof(NativeContext, MemBias) == 8, "codegen ABI");
@@ -73,6 +79,8 @@ static_assert(offsetof(NativeContext, TrapAddr) == 32, "codegen ABI");
 static_assert(offsetof(NativeContext, TrapOp) == 40, "codegen ABI");
 static_assert(offsetof(NativeContext, TrapAlign) == 44, "codegen ABI");
 static_assert(offsetof(NativeContext, TrapIsStore) == 48, "codegen ABI");
+static_assert(offsetof(NativeContext, AuditAlign) == 56, "codegen ABI");
+static_assert(offsetof(NativeContext, AuditBounds) == 64, "codegen ABI");
 
 /// One deferred operation: the generated code calls vapor_codegen_shim
 /// with a pointer to its NOp, and the shim replays the VM handler's exact
@@ -122,6 +130,11 @@ struct NativeOptions {
   /// Encoding set. Defaults to the host probe; tests force subsets to
   /// check feature-gated selection.
   CpuFeatures Features = hostFeatures();
+  /// Checked elision plan (may be null): granted accesses drop (On) or
+  /// audit-count (Audit) their inline align/bounds check sequences. The
+  /// plan must outlive the compile call only -- grants are baked into
+  /// the emitted code, so cache keys must include the plan hash.
+  const target::ElisionPlan *Plan = nullptr;
 };
 
 /// An immutable compiled unit: sealed executable pages plus the shim
@@ -163,12 +176,19 @@ public:
   bool trapped() const { return Trapped; }
   const target::TrapInfo &trapInfo() const { return Trap; }
 
+  /// Audit-mode telemetry accumulated across runs (mirrors
+  /// VM::auditAlignFired/auditBoundsFired).
+  uint64_t auditAlignFired() const { return AuditAlignFired; }
+  uint64_t auditBoundsFired() const { return AuditBoundsFired; }
+
 private:
   std::shared_ptr<const NativeUnit> Unit;
   target::MemoryImage &Mem;
   std::vector<uint64_t> RegStore;
   target::TrapInfo Trap;
   bool Trapped = false;
+  uint64_t AuditAlignFired = 0;
+  uint64_t AuditBoundsFired = 0;
 };
 
 /// Compiles \p F (as lowered for \p T) to native x86-64 bound to the

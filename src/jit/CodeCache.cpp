@@ -263,13 +263,27 @@ std::shared_ptr<const CompileResult> cache::putCompile(uint64_t Key,
   return S.Compiles.emplace(Key, std::move(P)).first->second;
 }
 
+namespace {
+
+/// Key contribution of an elision plan. Null and Off-mode plans hash
+/// alike (both decode/compile to the unelided artifact).
+uint64_t planKey(const target::ElisionPlan *Plan) {
+  if (!Plan || Plan->Mode == target::ElisionMode::Off)
+    return 0;
+  return cache::hashCombine(static_cast<uint64_t>(Plan->Mode), Plan->Hash);
+}
+
+} // namespace
+
 std::shared_ptr<const target::DecodedProgram>
 cache::programFor(uint64_t CompKey, const target::MFunction &Code,
                   const target::TargetDesc &T,
-                  const target::MemoryImage &Image, bool Weak, bool Fuse) {
+                  const target::MemoryImage &Image, bool Weak, bool Fuse,
+                  const target::ElisionPlan *Plan) {
   uint64_t Key = hashCombine(0x7067, CompKey);
   Key = hashCombine(Key, hashPlacement(Image));
   Key = hashCombine(Key, (uint64_t(Weak) << 1) | uint64_t(Fuse));
+  Key = hashCombine(Key, planKey(Plan));
   static obs::Counter Hits("cache.program_hits"),
       Misses("cache.program_misses");
   Store &S = store();
@@ -285,7 +299,7 @@ cache::programFor(uint64_t CompKey, const target::MFunction &Code,
   // Build outside the lock (decode+fusion is the expensive part); ties
   // between concurrent builders of the same key resolve first-writer-wins
   // and the artifacts are identical anyway.
-  auto P = target::DecodedProgram::build(Code, T, Image, Weak, Fuse);
+  auto P = target::DecodedProgram::build(Code, T, Image, Weak, Fuse, Plan);
   std::lock_guard<std::mutex> L(S.Mu);
   return S.Programs.emplace(Key, std::move(P)).first->second;
 }
@@ -301,6 +315,7 @@ cache::nativeFor(uint64_t CompKey, const target::MFunction &Code,
   uint64_t Key = hashCombine(0x6e76, CompKey);
   Key = hashCombine(Key, hashPlacement(Image));
   Key = hashCombine(Key, NO.Features.bits());
+  Key = hashCombine(Key, planKey(NO.Plan));
   static obs::Counter Hits("cache.native_hits"),
       Misses("cache.native_misses");
   Store &S = store();

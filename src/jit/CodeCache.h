@@ -41,6 +41,7 @@
 #ifndef VAPOR_JIT_CODECACHE_H
 #define VAPOR_JIT_CODECACHE_H
 
+#include "analysis/Certificate.h"
 #include "codegen/NativeJit.h"
 #include "jit/Jit.h"
 #include "target/VM.h"
@@ -115,6 +116,10 @@ std::shared_ptr<const ir::Function> putModule(uint64_t BytesHash,
 struct VerifyResult {
   bool Ok = false;
   std::string Report; ///< Rendered findings (empty when Ok).
+  /// The per-target safety certificate the verifier emitted (null when
+  /// it proved nothing). Cached alongside the verdict so elision plans
+  /// can be rebuilt per placement without re-running the verifier.
+  std::shared_ptr<const analysis::SafetyCertificate> Cert;
 };
 std::optional<VerifyResult> findVerify(uint64_t FnHash, uint64_t TargetHash);
 void putVerify(uint64_t FnHash, uint64_t TargetHash, VerifyResult R);
@@ -134,11 +139,13 @@ std::shared_ptr<const CompileResult> putCompile(uint64_t Key,
 
 /// Looks up the pre-decoded (and fused) program for \p CompKey's machine
 /// code at \p Image's placement; on miss builds it with
-/// target::DecodedProgram::build and memoizes. Never returns null.
+/// target::DecodedProgram::build and memoizes. Never returns null. The
+/// elision plan (mode + grant hash) joins the key: decoded check states
+/// are baked into the program.
 std::shared_ptr<const target::DecodedProgram>
 programFor(uint64_t CompKey, const target::MFunction &Code,
            const target::TargetDesc &T, const target::MemoryImage &Image,
-           bool Weak, bool Fuse);
+           bool Weak, bool Fuse, const target::ElisionPlan *Plan = nullptr);
 
 //===--- Native-unit memo -------------------------------------------------===//
 

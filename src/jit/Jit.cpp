@@ -1123,6 +1123,7 @@ void JitCompiler::emitInstr(const Instr &I, uint32_t Idx, bool Scalar) {
     L.Kind = I.Ty.Elem;
     L.Srcs = {Addr};
     L.Dst = M.makeReg(I.Ty.Elem, false);
+    L.SrcInstr = Idx;
     SetLanes({emit(std::move(L))});
     return;
   }
@@ -1133,6 +1134,7 @@ void JitCompiler::emitInstr(const Instr &I, uint32_t Idx, bool Scalar) {
     S.Op = MOp::Store;
     S.Kind = K;
     S.Srcs = {Addr, lanesOf(I.Ops[1])[0]};
+    S.SrcInstr = Idx;
     emit(std::move(S));
     return;
   }
@@ -1522,6 +1524,10 @@ std::vector<MReg> JitCompiler::lowerVectorLoad(const Instr &I, uint32_t Idx,
   L.Vector = true;
   L.Srcs = {Addr};
   L.Dst = M.makeReg(K, true);
+  // Only plain vector loads are certificate-covered; align_load floors
+  // its address and realign chains read out-of-range on purpose.
+  if (I.Op != Opcode::AlignLoad && I.Op != Opcode::RealignLoad)
+    L.SrcInstr = Idx;
   return {emit(std::move(L))};
 }
 
@@ -1551,6 +1557,7 @@ void JitCompiler::lowerVectorStore(const Instr &I, uint32_t Idx,
   St.Kind = K;
   St.Vector = true;
   St.Srcs = {Addr, Vals[0]};
+  St.SrcInstr = Idx;
   emit(std::move(St));
 }
 

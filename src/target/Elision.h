@@ -1,0 +1,95 @@
+//===- target/Elision.h - Check-elision plan shared by consumers -*- C++ -*-===//
+//
+// Part of the Vapor SIMD reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The result of evaluating a safety certificate against one concrete run:
+/// which bytecode accesses may drop their align/bounds checks, and in which
+/// mode. Deliberately dependency-free (plain types only) so both execution
+/// tiers — the VM pre-decoder in target/ and the native JIT in codegen/ —
+/// can consume a plan without linking the analysis layer.
+///
+/// A plan is built by jit::buildElisionPlan (src/jit/Elision.h), which is
+/// the ONLY component allowed to set Proven bits: it runs the independent
+/// certificate checker first and then evaluates the residual runtime
+/// preconditions (concrete array bases, concrete parameters). Consumers
+/// treat the plan as ground truth; a null plan or Mode == Off means "emit
+/// every check", which is always sound.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VAPOR_TARGET_ELISION_H
+#define VAPOR_TARGET_ELISION_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vapor {
+namespace target {
+
+enum class ElisionMode : uint8_t {
+  Off,   ///< Emit every check (baseline; also the fault-injection stand-down).
+  On,    ///< Skip checks proven redundant by a checked certificate.
+  Audit, ///< Keep every check compiled, but count the instances an On-mode
+         ///< run would have elided *and whose predicate fired* — the
+         ///< soundness telemetry swept by vapor-crashtest --audit.
+};
+
+inline const char *elisionModeName(ElisionMode M) {
+  switch (M) {
+  case ElisionMode::Off:
+    return "off";
+  case ElisionMode::On:
+    return "on";
+  case ElisionMode::Audit:
+    return "audit";
+  }
+  return "?";
+}
+
+/// Per-access elision grants, indexed by bytecode instruction index.
+/// Bit 0 = alignment check proven redundant, bit 1 = bounds check proven
+/// redundant. Machine instructions carry their source bytecode index
+/// (MInstr::SrcInstr); consumers look the grant up at lowering time.
+struct ElisionPlan {
+  ElisionMode Mode = ElisionMode::Off;
+  /// Proven[InstrIdx] = bit0 (align) | bit1 (bounds). Sized to the
+  /// function's instruction count; anything out of range has no grant.
+  std::vector<uint8_t> Proven;
+  /// Deterministic hash over (Mode, Proven) for cache keying: artifacts
+  /// compiled under one plan must never be reused under another.
+  uint64_t Hash = 0;
+
+  /// Human-readable per-access decisions ("#12 aload A: elide align
+  /// (base%32==0), elide bounds (range [0,1016] ⊆ [0,1016])"), surfaced
+  /// by vapor-explain and RunOutcome.
+  std::vector<std::string> Decisions;
+
+  // Plan-build statistics.
+  uint32_t AlignElided = 0;  ///< Accesses whose align check is granted away.
+  uint32_t BoundsElided = 0; ///< Accesses whose bounds check is granted away.
+  uint32_t ChecksKept = 0;   ///< Certificate-covered accesses kept checked.
+  uint32_t FactsRejected = 0; ///< Facts the independent checker rejected.
+  /// Non-empty when the whole certificate failed structural validation;
+  /// every fact was then treated as rejected.
+  std::string CheckerError;
+
+  static constexpr uint8_t AlignBit = 1;
+  static constexpr uint8_t BoundsBit = 2;
+
+  /// The grant bits for bytecode instruction \p Src; 0 when the plan is
+  /// Off, the index is unmapped (~0u), or out of range.
+  uint8_t provenBits(uint32_t Src) const {
+    if (Mode == ElisionMode::Off || Src == ~0u || Src >= Proven.size())
+      return 0;
+    return Proven[Src];
+  }
+};
+
+} // namespace target
+} // namespace vapor
+
+#endif // VAPOR_TARGET_ELISION_H

@@ -102,6 +102,11 @@ struct MInstr {
   double FImm = 0;    ///< LdFImm value.
   uint32_t Array = 0; ///< LoadBase array id.
   unsigned Scale = 1; ///< Addr index scale (element size).
+  /// Memory ops only: the bytecode instruction this access lowers, for
+  /// looking up elision grants (target/Elision.h). ~0u = not a direct
+  /// lowering of a certifiable access (scalar expansion, realign chains,
+  /// permutes) — such accesses always keep their checks.
+  uint32_t SrcInstr = ~0u;
 };
 
 enum class MNodeKind : uint8_t { Instr, Loop, If };

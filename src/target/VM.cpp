@@ -155,41 +155,71 @@ struct VMOps {
 
   //===--- Scalar and vector memory ---------------------------------------===//
 
-  template <unsigned ES>
+  /// Audit-mode telemetry preamble shared by the memory handlers: counts
+  /// *genuine* predicate fires (never fault-injected ones) into the VM's
+  /// audit counters. Runs before the normal checks, which stay live --
+  /// an audit op still traps exactly like its checked form.
+  template <unsigned ES, VMCheck CK>
+  VAPOR_ALWAYS_INLINE static void auditCount(VM &Vm, const DOp &O,
+                                             uint64_t Addr) {
+    if constexpr (CK == VMCheck::AuditAlign)
+      if (Addr & static_cast<uint64_t>(O.Imm))
+        ++Vm.AuditAlignFired;
+    if constexpr (CK == VMCheck::AuditAlign || CK == VMCheck::AuditBounds)
+      if (Addr < Vm.MemLo || Addr + O.Lanes * uint64_t(ES) > Vm.MemHi)
+        ++Vm.AuditBoundsFired;
+  }
+
+  template <unsigned ES, VMCheck CK = VMCheck::Bounds>
   static uint32_t loadScalar(VM &Vm, const DOp &O, uint32_t PC) {
-    Vm.R[O.A] = ld<ES>(mem(Vm, Vm.R[O.B], ES));
+    uint64_t Addr = Vm.R[O.B];
+    auditCount<ES, CK>(Vm, O, Addr);
+    if constexpr (CK == VMCheck::None)
+      Vm.R[O.A] = ld<ES>(Vm.MemPtr + (Addr - Vm.MemLo));
+    else
+      Vm.R[O.A] = ld<ES>(mem(Vm, Addr, ES));
     return PC + 1;
   }
 
-  template <unsigned ES>
+  template <unsigned ES, VMCheck CK = VMCheck::Bounds>
   static uint32_t storeScalar(VM &Vm, const DOp &O, uint32_t PC) {
-    st<ES>(mem(Vm, Vm.R[O.A], ES), Vm.R[O.B]);
+    uint64_t Addr = Vm.R[O.A];
+    auditCount<ES, CK>(Vm, O, Addr);
+    if constexpr (CK == VMCheck::None)
+      st<ES>(Vm.MemPtr + (Addr - Vm.MemLo), Vm.R[O.B]);
+    else
+      st<ES>(mem(Vm, Addr, ES), Vm.R[O.B]);
     return PC + 1;
   }
 
-  template <unsigned ES, bool Checked>
+  template <unsigned ES, VMCheck CK>
   static uint32_t vload(VM &Vm, const DOp &O, uint32_t PC) {
     uint64_t Addr = Vm.R[O.B];
-    if constexpr (Checked)
+    auditCount<ES, CK>(Vm, O, Addr);
+    if constexpr (CK == VMCheck::Align || CK == VMCheck::AuditAlign)
       if ((Addr & static_cast<uint64_t>(O.Imm)) ||
           faultinject::shouldFire(faultinject::SiteClass::VmAlign))
         return Vm.alignTrap(PC, Addr, static_cast<uint32_t>(O.Imm) + 1,
                             /*IsStore=*/false);
-    const uint8_t *P = mem(Vm, Addr, O.Lanes * uint64_t(ES));
+    const uint8_t *P = CK == VMCheck::None
+                           ? Vm.MemPtr + (Addr - Vm.MemLo)
+                           : mem(Vm, Addr, O.Lanes * uint64_t(ES));
     for (unsigned L = 0; L < O.Lanes; ++L)
       Vm.R[O.A + L] = ld<ES>(P + L * ES);
     return PC + 1;
   }
 
-  template <unsigned ES, bool Checked>
+  template <unsigned ES, VMCheck CK>
   static uint32_t vstore(VM &Vm, const DOp &O, uint32_t PC) {
     uint64_t Addr = Vm.R[O.A];
-    if constexpr (Checked)
+    auditCount<ES, CK>(Vm, O, Addr);
+    if constexpr (CK == VMCheck::Align || CK == VMCheck::AuditAlign)
       if ((Addr & static_cast<uint64_t>(O.Imm)) ||
           faultinject::shouldFire(faultinject::SiteClass::VmAlign))
         return Vm.alignTrap(PC, Addr, static_cast<uint32_t>(O.Imm) + 1,
                             /*IsStore=*/true);
-    uint8_t *P = mem(Vm, Addr, O.Lanes * uint64_t(ES));
+    uint8_t *P = CK == VMCheck::None ? Vm.MemPtr + (Addr - Vm.MemLo)
+                                     : mem(Vm, Addr, O.Lanes * uint64_t(ES));
     for (unsigned L = 0; L < O.Lanes; ++L)
       st<ES>(P + L * ES, Vm.R[O.B + L]);
     return PC + 1;
@@ -470,18 +500,20 @@ struct VMOps {
 
   /// addr+load: A = load dst, B = base, C = index, D = addr dst,
   /// Imm = scale shift.
-  template <unsigned ES, bool Checked>
+  template <unsigned ES, VMCheck CK>
   static uint32_t addrLoad(VM &Vm, const DOp &O, uint32_t PC) {
     uint64_t Addr = Vm.R[O.B] + (Vm.R[O.C] << O.Imm);
     Vm.R[O.D] = Addr;
-    if constexpr (Checked) {
+    if constexpr (CK == VMCheck::Align) {
       const uint64_t Mask = uint64_t(O.Lanes) * ES - 1;
       if ((Addr & Mask) ||
           faultinject::shouldFire(faultinject::SiteClass::VmAlign))
         return Vm.alignTrap(PC, Addr, static_cast<uint32_t>(Mask) + 1,
                             /*IsStore=*/false);
     }
-    const uint8_t *P = mem(Vm, Addr, O.Lanes * uint64_t(ES));
+    const uint8_t *P = CK == VMCheck::None
+                           ? Vm.MemPtr + (Addr - Vm.MemLo)
+                           : mem(Vm, Addr, O.Lanes * uint64_t(ES));
     for (unsigned L = 0; L < O.Lanes; ++L)
       Vm.R[O.A + L] = ld<ES>(P + L * ES);
     return PC + 1;
@@ -489,18 +521,20 @@ struct VMOps {
 
   /// addr+store: A = addr dst, B = base, C = index, D = value,
   /// Imm = scale shift.
-  template <unsigned ES, bool Checked>
+  template <unsigned ES, VMCheck CK>
   static uint32_t addrStore(VM &Vm, const DOp &O, uint32_t PC) {
     uint64_t Addr = Vm.R[O.B] + (Vm.R[O.C] << O.Imm);
     Vm.R[O.A] = Addr;
-    if constexpr (Checked) {
+    if constexpr (CK == VMCheck::Align) {
       const uint64_t Mask = uint64_t(O.Lanes) * ES - 1;
       if ((Addr & Mask) ||
           faultinject::shouldFire(faultinject::SiteClass::VmAlign))
         return Vm.alignTrap(PC, Addr, static_cast<uint32_t>(Mask) + 1,
                             /*IsStore=*/true);
     }
-    uint8_t *P = mem(Vm, Addr, O.Lanes * uint64_t(ES));
+    uint8_t *P = CK == VMCheck::None
+                     ? Vm.MemPtr + (Addr - Vm.MemLo)
+                     : mem(Vm, Addr, O.Lanes * uint64_t(ES));
     for (unsigned L = 0; L < O.Lanes; ++L)
       st<ES>(P + L * ES, Vm.R[O.D + L]);
     return PC + 1;
@@ -510,18 +544,20 @@ struct VMOps {
   /// D = binop dst; SrcKind = 1 when the loaded value is the RHS. The
   /// element size is derived from the kind template (the fuser only
   /// fuses pairs whose load element size equals scalarSize(bin kind)).
-  template <Opcode Sub, ScalarKind K, bool Checked>
+  template <Opcode Sub, ScalarKind K, VMCheck CK>
   static uint32_t loadBin(VM &Vm, const DOp &O, uint32_t PC) {
     constexpr unsigned ES = scalarSize(K);
     uint64_t Addr = Vm.R[O.B];
-    if constexpr (Checked) {
+    if constexpr (CK == VMCheck::Align) {
       const uint64_t Mask = uint64_t(O.Lanes) * ES - 1;
       if ((Addr & Mask) ||
           faultinject::shouldFire(faultinject::SiteClass::VmAlign))
         return Vm.alignTrap(PC, Addr, static_cast<uint32_t>(Mask) + 1,
                             /*IsStore=*/false);
     }
-    const uint8_t *P = mem(Vm, Addr, O.Lanes * uint64_t(ES));
+    const uint8_t *P = CK == VMCheck::None
+                           ? Vm.MemPtr + (Addr - Vm.MemLo)
+                           : mem(Vm, Addr, O.Lanes * uint64_t(ES));
     for (unsigned L = 0; L < O.Lanes; ++L)
       Vm.R[O.A + L] = ld<ES>(P + L * ES);
     if (O.SrcKind) {
@@ -537,20 +573,22 @@ struct VMOps {
   /// binop+store: A = binop dst, B/C = binop operands, D = address reg.
   /// The address register is read *after* the binop, matching the pair.
   /// The store element size is scalarSize(K) (fuser-checked).
-  template <Opcode Sub, ScalarKind K, bool Checked>
+  template <Opcode Sub, ScalarKind K, VMCheck CK>
   static uint32_t binStore(VM &Vm, const DOp &O, uint32_t PC) {
     constexpr unsigned ES = scalarSize(K);
     for (unsigned L = 0; L < O.Lanes; ++L)
       Vm.R[O.A + L] = applyBinopT<Sub, K>(Vm.R[O.B + L], Vm.R[O.C + L]);
     uint64_t Addr = Vm.R[O.D];
-    if constexpr (Checked) {
+    if constexpr (CK == VMCheck::Align) {
       const uint64_t Mask = uint64_t(O.Lanes) * ES - 1;
       if ((Addr & Mask) ||
           faultinject::shouldFire(faultinject::SiteClass::VmAlign))
         return Vm.alignTrap(PC, Addr, static_cast<uint32_t>(Mask) + 1,
                             /*IsStore=*/true);
     }
-    uint8_t *P = mem(Vm, Addr, O.Lanes * uint64_t(ES));
+    uint8_t *P = CK == VMCheck::None
+                     ? Vm.MemPtr + (Addr - Vm.MemLo)
+                     : mem(Vm, Addr, O.Lanes * uint64_t(ES));
     for (unsigned L = 0; L < O.Lanes; ++L)
       st<ES>(P + L * ES, Vm.R[O.A + L]);
     return PC + 1;
@@ -591,17 +629,19 @@ struct VMOps {
   /// Aux = load dst lane offset; SrcKind = 1 when the loaded vector is
   /// the second permute source. The element-size shift is folded into
   /// the template (fuser checks it matches the permute's decoded Imm).
-  template <unsigned ES, bool Checked>
+  template <unsigned ES, VMCheck CK>
   static uint32_t loadPerm(VM &Vm, const DOp &O, uint32_t PC) {
     uint64_t Addr = Vm.R[O.B];
-    if constexpr (Checked) {
+    if constexpr (CK == VMCheck::Align) {
       const uint64_t Mask = uint64_t(O.Lanes) * ES - 1;
       if ((Addr & Mask) ||
           faultinject::shouldFire(faultinject::SiteClass::VmAlign))
         return Vm.alignTrap(PC, Addr, static_cast<uint32_t>(Mask) + 1,
                             /*IsStore=*/false);
     }
-    const uint8_t *P = mem(Vm, Addr, O.Lanes * uint64_t(ES));
+    const uint8_t *P = CK == VMCheck::None
+                           ? Vm.MemPtr + (Addr - Vm.MemLo)
+                           : mem(Vm, Addr, O.Lanes * uint64_t(ES));
     for (unsigned L = 0; L < O.Lanes; ++L)
       Vm.R[O.Aux + L] = ld<ES>(P + L * ES);
     constexpr unsigned Shift = ES == 1 ? 0 : ES == 2 ? 1 : ES == 4 ? 2 : 3;
@@ -633,6 +673,7 @@ struct VMDecoder {
   const TargetDesc &T;
   const MemoryImage &Mem;
   bool Weak;
+  const ElisionPlan *Plan;        ///< Checked elision grants (may be null).
   std::vector<uint32_t> Off;      ///< Lane-file offset per register.
   std::vector<uint16_t> RegLanes; ///< Lane count per register.
 
@@ -640,8 +681,37 @@ struct VMDecoder {
   using Handler = DecodedProgram::Handler;
 
   VMDecoder(DecodedProgram &Prog, const MFunction &Fn, const TargetDesc &Target,
-            const MemoryImage &Image, bool WeakTier)
-      : P(Prog), F(Fn), T(Target), Mem(Image), Weak(WeakTier) {}
+            const MemoryImage &Image, bool WeakTier,
+            const ElisionPlan *Elide = nullptr)
+      : P(Prog), F(Fn), T(Target), Mem(Image), Weak(WeakTier), Plan(Elide) {}
+
+  /// Maps a memory instruction's elision grant to its decoded check
+  /// state. \p Aligned = the op defaults to the alignment-trap check
+  /// (VLoadA/VStoreA). On mode elides what the grant covers; Audit mode
+  /// keeps every check live but selects the counting handler for grants
+  /// an On-mode run would have elided.
+  VMCheck checkFor(const MInstr &I, bool Aligned) const {
+    VMCheck CK = Aligned ? VMCheck::Align : VMCheck::Bounds;
+    uint8_t Bits = Plan ? Plan->provenBits(I.SrcInstr) : 0;
+    if (!Bits)
+      return CK;
+    bool A = Bits & ElisionPlan::AlignBit;
+    bool B = Bits & ElisionPlan::BoundsBit;
+    if (Plan->Mode == ElisionMode::Audit) {
+      if (Aligned)
+        return A ? VMCheck::AuditAlign : CK;
+      return B ? VMCheck::AuditBounds : CK;
+    }
+    if (Aligned) {
+      if (A && B)
+        return VMCheck::None;
+      if (A)
+        return VMCheck::Bounds;
+      return VMCheck::Align; // Bounds-only grant on an aligned op: the
+                             // align trap subsumes nothing, keep both.
+    }
+    return B ? VMCheck::None : VMCheck::Bounds;
+  }
 
   void decode() {
     // Lay out the flat lane file: vector registers get VS/ES lanes.
@@ -796,36 +866,46 @@ struct VMDecoder {
     case MOp::Alu:
       decodeAlu(I, O);
       break;
-    case MOp::Load:
-      O.Fn = pickLoad(scalarSize(I.Kind));
+    case MOp::Load: {
+      VMCheck CK = checkFor(I, /*Aligned=*/false);
+      O.Fn = pickLoad(scalarSize(I.Kind), CK);
       O.B = Off[I.Srcs[0]];
       O.Cls = OpCls::LoadS;
+      O.Sub = static_cast<uint8_t>(CK);
       break;
-    case MOp::Store:
-      O.Fn = pickStore(scalarSize(I.Kind));
+    }
+    case MOp::Store: {
+      VMCheck CK = checkFor(I, /*Aligned=*/false);
+      O.Fn = pickStore(scalarSize(I.Kind), CK);
       O.A = Off[I.Srcs[0]];
       O.B = Off[I.Srcs[1]];
       O.Lanes = 1;
       O.Cls = OpCls::StoreS;
+      O.Sub = static_cast<uint8_t>(CK);
       break;
+    }
     case MOp::VLoadA:
-    case MOp::VLoadU:
-      O.Fn = pickVLoad(scalarSize(I.Kind), I.Op == MOp::VLoadA);
+    case MOp::VLoadU: {
+      VMCheck CK = checkFor(I, I.Op == MOp::VLoadA);
+      O.Fn = pickVLoad(scalarSize(I.Kind), CK);
       O.B = Off[I.Srcs[0]];
       O.Imm = static_cast<int64_t>(F.VSBytes - 1);
       O.Cls = OpCls::VLoad;
-      O.Sub = I.Op == MOp::VLoadA;
+      O.Sub = static_cast<uint8_t>(CK);
       break;
+    }
     case MOp::VStoreA:
-    case MOp::VStoreU:
-      O.Fn = pickVStore(scalarSize(I.Kind), I.Op == MOp::VStoreA);
+    case MOp::VStoreU: {
+      VMCheck CK = checkFor(I, I.Op == MOp::VStoreA);
+      O.Fn = pickVStore(scalarSize(I.Kind), CK);
       O.A = Off[I.Srcs[0]];
       O.B = Off[I.Srcs[1]];
       O.Lanes = RegLanes[I.Srcs[1]];
       O.Imm = static_cast<int64_t>(F.VSBytes - 1);
       O.Cls = OpCls::VStore;
-      O.Sub = I.Op == MOp::VStoreA;
+      O.Sub = static_cast<uint8_t>(CK);
       break;
+    }
     case MOp::GetPerm:
       O.Fn = &VMOps::getPerm;
       O.B = Off[I.Srcs[0]];
@@ -984,77 +1064,107 @@ struct VMDecoder {
     }
   }
 
-  static Handler pickLoad(unsigned ES) {
+  template <VMCheck CK> static Handler pickLoadES(unsigned ES) {
     switch (ES) {
     case 1:
-      return &VMOps::loadScalar<1>;
+      return &VMOps::loadScalar<1, CK>;
     case 2:
-      return &VMOps::loadScalar<2>;
+      return &VMOps::loadScalar<2, CK>;
     case 4:
-      return &VMOps::loadScalar<4>;
+      return &VMOps::loadScalar<4, CK>;
     default:
-      return &VMOps::loadScalar<8>;
+      return &VMOps::loadScalar<8, CK>;
     }
   }
 
-  static Handler pickStore(unsigned ES) {
-    switch (ES) {
-    case 1:
-      return &VMOps::storeScalar<1>;
-    case 2:
-      return &VMOps::storeScalar<2>;
-    case 4:
-      return &VMOps::storeScalar<4>;
+  static Handler pickLoad(unsigned ES, VMCheck CK) {
+    switch (CK) {
+    case VMCheck::None:
+      return pickLoadES<VMCheck::None>(ES);
+    case VMCheck::AuditBounds:
+      return pickLoadES<VMCheck::AuditBounds>(ES);
     default:
-      return &VMOps::storeScalar<8>;
+      return pickLoadES<VMCheck::Bounds>(ES);
     }
   }
 
-  static Handler pickVLoad(unsigned ES, bool Checked) {
-    if (Checked)
-      switch (ES) {
-      case 1:
-        return &VMOps::vload<1, true>;
-      case 2:
-        return &VMOps::vload<2, true>;
-      case 4:
-        return &VMOps::vload<4, true>;
-      default:
-        return &VMOps::vload<8, true>;
-      }
+  template <VMCheck CK> static Handler pickStoreES(unsigned ES) {
     switch (ES) {
     case 1:
-      return &VMOps::vload<1, false>;
+      return &VMOps::storeScalar<1, CK>;
     case 2:
-      return &VMOps::vload<2, false>;
+      return &VMOps::storeScalar<2, CK>;
     case 4:
-      return &VMOps::vload<4, false>;
+      return &VMOps::storeScalar<4, CK>;
     default:
-      return &VMOps::vload<8, false>;
+      return &VMOps::storeScalar<8, CK>;
     }
   }
 
-  static Handler pickVStore(unsigned ES, bool Checked) {
-    if (Checked)
-      switch (ES) {
-      case 1:
-        return &VMOps::vstore<1, true>;
-      case 2:
-        return &VMOps::vstore<2, true>;
-      case 4:
-        return &VMOps::vstore<4, true>;
-      default:
-        return &VMOps::vstore<8, true>;
-      }
+  static Handler pickStore(unsigned ES, VMCheck CK) {
+    switch (CK) {
+    case VMCheck::None:
+      return pickStoreES<VMCheck::None>(ES);
+    case VMCheck::AuditBounds:
+      return pickStoreES<VMCheck::AuditBounds>(ES);
+    default:
+      return pickStoreES<VMCheck::Bounds>(ES);
+    }
+  }
+
+  template <VMCheck CK> static Handler pickVLoadES(unsigned ES) {
     switch (ES) {
     case 1:
-      return &VMOps::vstore<1, false>;
+      return &VMOps::vload<1, CK>;
     case 2:
-      return &VMOps::vstore<2, false>;
+      return &VMOps::vload<2, CK>;
     case 4:
-      return &VMOps::vstore<4, false>;
+      return &VMOps::vload<4, CK>;
     default:
-      return &VMOps::vstore<8, false>;
+      return &VMOps::vload<8, CK>;
+    }
+  }
+
+  static Handler pickVLoad(unsigned ES, VMCheck CK) {
+    switch (CK) {
+    case VMCheck::Align:
+      return pickVLoadES<VMCheck::Align>(ES);
+    case VMCheck::None:
+      return pickVLoadES<VMCheck::None>(ES);
+    case VMCheck::AuditAlign:
+      return pickVLoadES<VMCheck::AuditAlign>(ES);
+    case VMCheck::AuditBounds:
+      return pickVLoadES<VMCheck::AuditBounds>(ES);
+    default:
+      return pickVLoadES<VMCheck::Bounds>(ES);
+    }
+  }
+
+  template <VMCheck CK> static Handler pickVStoreES(unsigned ES) {
+    switch (ES) {
+    case 1:
+      return &VMOps::vstore<1, CK>;
+    case 2:
+      return &VMOps::vstore<2, CK>;
+    case 4:
+      return &VMOps::vstore<4, CK>;
+    default:
+      return &VMOps::vstore<8, CK>;
+    }
+  }
+
+  static Handler pickVStore(unsigned ES, VMCheck CK) {
+    switch (CK) {
+    case VMCheck::Align:
+      return pickVStoreES<VMCheck::Align>(ES);
+    case VMCheck::None:
+      return pickVStoreES<VMCheck::None>(ES);
+    case VMCheck::AuditAlign:
+      return pickVStoreES<VMCheck::AuditAlign>(ES);
+    case VMCheck::AuditBounds:
+      return pickVStoreES<VMCheck::AuditBounds>(ES);
+    default:
+      return pickVStoreES<VMCheck::Bounds>(ES);
     }
   }
 
@@ -1250,43 +1360,52 @@ struct VMFuser {
     return uint64_t(M.Lanes) * ES == static_cast<uint64_t>(M.Imm) + 1;
   }
 
+  /// Audit-counting ops never fuse: they are a soundness-verification
+  /// mode, not a fast path, and keeping them as their own dispatch keeps
+  /// the counting handlers simple. Everything else (Bounds/Align/None)
+  /// has a fused instantiation.
+  static bool fusibleCheck(uint8_t Sub) {
+    return Sub < static_cast<uint8_t>(VMCheck::AuditAlign);
+  }
+
   //===--- Fused-handler pickers ------------------------------------------===//
 
-  template <template <unsigned, bool> class H>
-  static Handler pickByES(unsigned ES, bool Checked) {
-    if (Checked)
-      switch (ES) {
-      case 1:
-        return &H<1, true>::get;
-      case 2:
-        return &H<2, true>::get;
-      case 4:
-        return &H<4, true>::get;
-      default:
-        return &H<8, true>::get;
-      }
+  template <template <unsigned, VMCheck> class H, VMCheck CK>
+  static Handler pickByESK(unsigned ES) {
     switch (ES) {
     case 1:
-      return &H<1, false>::get;
+      return &H<1, CK>::get;
     case 2:
-      return &H<2, false>::get;
+      return &H<2, CK>::get;
     case 4:
-      return &H<4, false>::get;
+      return &H<4, CK>::get;
     default:
-      return &H<8, false>::get;
+      return &H<8, CK>::get;
+    }
+  }
+
+  template <template <unsigned, VMCheck> class H>
+  static Handler pickByES(unsigned ES, VMCheck CK) {
+    switch (CK) {
+    case VMCheck::Align:
+      return pickByESK<H, VMCheck::Align>(ES);
+    case VMCheck::None:
+      return pickByESK<H, VMCheck::None>(ES);
+    default:
+      return pickByESK<H, VMCheck::Bounds>(ES);
     }
   }
 
 // Wrapping the fused function templates in picker structs keeps the
-// ES x Checked (x Sub) instantiation fan-out to one switch each.
+// ES x check-state (x Sub) instantiation fan-out to one switch each.
 #define FUSED_ES_PICKER(NAME, FN)                                         \
-  template <unsigned ES, bool Checked> struct NAME##Wrap {                \
+  template <unsigned ES, VMCheck CK> struct NAME##Wrap {                  \
     static uint32_t get(VM &Vm, const DOp &O, uint32_t PC) {              \
-      return VMOps::FN<ES, Checked>(Vm, O, PC);                           \
+      return VMOps::FN<ES, CK>(Vm, O, PC);                                \
     }                                                                     \
   };                                                                      \
-  static Handler NAME(unsigned ES, bool Checked) {                        \
-    return pickByES<NAME##Wrap>(ES, Checked);                             \
+  static Handler NAME(unsigned ES, VMCheck CK) {                          \
+    return pickByES<NAME##Wrap>(ES, CK);                                  \
   }
 
   FUSED_ES_PICKER(pickAddrLoad, addrLoad)
@@ -1299,15 +1418,18 @@ struct VMFuser {
   // non-dominant sub-opcodes): the pair simply stays unfused.
 
   template <Opcode Sub>
-  static Handler pickLoadBinK(ScalarKind K, bool Checked) {
+  static Handler pickLoadBinK(ScalarKind K, VMCheck CK) {
     switch (K) {
 #define KIND_CASE(KK)                                                     \
   case ScalarKind::KK:                                                    \
-    return Checked                                                        \
-               ? static_cast<Handler>(                                    \
-                     &VMOps::loadBin<Sub, ScalarKind::KK, true>)          \
-               : static_cast<Handler>(                                    \
-                     &VMOps::loadBin<Sub, ScalarKind::KK, false>);
+    switch (CK) {                                                         \
+    case VMCheck::Align:                                                  \
+      return &VMOps::loadBin<Sub, ScalarKind::KK, VMCheck::Align>;        \
+    case VMCheck::None:                                                   \
+      return &VMOps::loadBin<Sub, ScalarKind::KK, VMCheck::None>;         \
+    default:                                                              \
+      return &VMOps::loadBin<Sub, ScalarKind::KK, VMCheck::Bounds>;      \
+    }
       VAPOR_VM_FOREACH_KIND(KIND_CASE)
 #undef KIND_CASE
     default:
@@ -1316,15 +1438,18 @@ struct VMFuser {
   }
 
   template <Opcode Sub>
-  static Handler pickBinStoreK(ScalarKind K, bool Checked) {
+  static Handler pickBinStoreK(ScalarKind K, VMCheck CK) {
     switch (K) {
 #define KIND_CASE(KK)                                                     \
   case ScalarKind::KK:                                                    \
-    return Checked                                                        \
-               ? static_cast<Handler>(                                    \
-                     &VMOps::binStore<Sub, ScalarKind::KK, true>)         \
-               : static_cast<Handler>(                                    \
-                     &VMOps::binStore<Sub, ScalarKind::KK, false>);
+    switch (CK) {                                                         \
+    case VMCheck::Align:                                                  \
+      return &VMOps::binStore<Sub, ScalarKind::KK, VMCheck::Align>;       \
+    case VMCheck::None:                                                   \
+      return &VMOps::binStore<Sub, ScalarKind::KK, VMCheck::None>;        \
+    default:                                                              \
+      return &VMOps::binStore<Sub, ScalarKind::KK, VMCheck::Bounds>;     \
+    }
       VAPOR_VM_FOREACH_KIND(KIND_CASE)
 #undef KIND_CASE
     default:
@@ -1348,12 +1473,12 @@ struct VMFuser {
     return nullptr;                                                       \
   }
 
-  static Handler pickLoadBin(uint8_t Sub, ScalarKind K, bool Checked) {
-    FUSED_SUB_SWITCH(pickLoadBinK, K, Checked)
+  static Handler pickLoadBin(uint8_t Sub, ScalarKind K, VMCheck CK) {
+    FUSED_SUB_SWITCH(pickLoadBinK, K, CK)
   }
 
-  static Handler pickBinStore(uint8_t Sub, ScalarKind K, bool Checked) {
-    FUSED_SUB_SWITCH(pickBinStoreK, K, Checked)
+  static Handler pickBinStore(uint8_t Sub, ScalarKind K, VMCheck CK) {
+    FUSED_SUB_SWITCH(pickBinStoreK, K, CK)
   }
 
   template <Opcode S1, Opcode S2>
@@ -1464,12 +1589,13 @@ struct VMFuser {
     case OpCls::Addr: {
       // addr dst feeding a load's address -> addr+load.
       if ((Y.Cls == OpCls::VLoad || Y.Cls == OpCls::LoadS) && Y.B == X.A) {
-        bool Checked = Y.Cls == OpCls::VLoad && Y.Sub;
+        VMCheck CK = static_cast<VMCheck>(Y.Sub);
         unsigned ES = scalarSize(static_cast<ScalarKind>(Y.Kind));
-        if (!validES(ES) || (Checked && !maskMatches(Y, ES)))
+        if (!fusibleCheck(Y.Sub) || !validES(ES) ||
+            (CK == VMCheck::Align && !maskMatches(Y, ES)))
           return false;
         F = seed(X, Y);
-        F.Fn = pickAddrLoad(ES, Checked);
+        F.Fn = pickAddrLoad(ES, CK);
         F.A = Y.A;
         F.B = X.B;
         F.C = X.C;
@@ -1482,12 +1608,13 @@ struct VMFuser {
       }
       // addr dst feeding a store's address -> addr+store.
       if ((Y.Cls == OpCls::VStore || Y.Cls == OpCls::StoreS) && Y.A == X.A) {
-        bool Checked = Y.Cls == OpCls::VStore && Y.Sub;
+        VMCheck CK = static_cast<VMCheck>(Y.Sub);
         unsigned ES = scalarSize(static_cast<ScalarKind>(Y.Kind));
-        if (!validES(ES) || (Checked && !maskMatches(Y, ES)))
+        if (!fusibleCheck(Y.Sub) || !validES(ES) ||
+            (CK == VMCheck::Align && !maskMatches(Y, ES)))
           return false;
         F = seed(X, Y);
-        F.Fn = pickAddrStore(ES, Checked);
+        F.Fn = pickAddrStore(ES, CK);
         F.A = X.A;
         F.B = X.B;
         F.C = X.C;
@@ -1503,9 +1630,10 @@ struct VMFuser {
 
     case OpCls::VLoad:
     case OpCls::LoadS: {
-      bool Checked = X.Cls == OpCls::VLoad && X.Sub;
+      VMCheck CK = static_cast<VMCheck>(X.Sub);
       unsigned ES = scalarSize(static_cast<ScalarKind>(X.Kind));
-      if (!validES(ES) || (Checked && !maskMatches(X, ES)))
+      if (!fusibleCheck(X.Sub) || !validES(ES) ||
+          (CK == VMCheck::Align && !maskMatches(X, ES)))
         return false;
       // load dst feeding one side of a binop -> load+binop. The fused
       // handler derives the element size from the binop kind, so the
@@ -1515,7 +1643,7 @@ struct VMFuser {
           scalarSize(static_cast<ScalarKind>(Y.Kind)) == ES &&
           (Y.B == X.A || Y.C == X.A)) {
         Handler H =
-            pickLoadBin(Y.Sub, static_cast<ScalarKind>(Y.Kind), Checked);
+            pickLoadBin(Y.Sub, static_cast<ScalarKind>(Y.Kind), CK);
         if (!H)
           return false;
         F = seed(X, Y);
@@ -1540,7 +1668,7 @@ struct VMFuser {
           Y.Lanes == X.Lanes && (Y.B == X.A || Y.C == X.A) &&
           static_cast<uint64_t>(Y.Imm) == VMDecoder::log2Size(ES)) {
         F = seed(X, Y);
-        F.Fn = pickLoadPerm(ES, Checked);
+        F.Fn = pickLoadPerm(ES, CK);
         F.A = Y.A;
         F.B = X.B;
         F.Aux = X.A;
@@ -1592,13 +1720,14 @@ struct VMFuser {
       // the store's element size must match it.
       OpCls WantSt = X.Cls == OpCls::BinV ? OpCls::VStore : OpCls::StoreS;
       if (Y.Cls == WantSt && Y.B == X.A && Y.Lanes == X.Lanes) {
-        bool Checked = Y.Cls == OpCls::VStore && Y.Sub;
+        VMCheck CK = static_cast<VMCheck>(Y.Sub);
         unsigned ES = scalarSize(static_cast<ScalarKind>(Y.Kind));
-        if (!validES(ES) || (Checked && !maskMatches(Y, ES)) ||
+        if (!fusibleCheck(Y.Sub) || !validES(ES) ||
+            (CK == VMCheck::Align && !maskMatches(Y, ES)) ||
             scalarSize(static_cast<ScalarKind>(X.Kind)) != ES)
           return false;
         Handler H =
-            pickBinStore(X.Sub, static_cast<ScalarKind>(X.Kind), Checked);
+            pickBinStore(X.Sub, static_cast<ScalarKind>(X.Kind), CK);
         if (!H)
           return false;
         F = seed(X, Y);
@@ -1719,13 +1848,14 @@ struct VMFuser {
 
 std::shared_ptr<const DecodedProgram>
 DecodedProgram::build(const MFunction &F, const TargetDesc &T,
-                      const MemoryImage &Image, bool Weak, bool Fuse) {
+                      const MemoryImage &Image, bool Weak, bool Fuse,
+                      const ElisionPlan *Plan) {
   obs::Span S("vm", "decode+fuse");
   S.arg("function", F.Name);
   S.arg("target", T.Name);
   auto P = std::make_shared<DecodedProgram>();
   P->TargetName = T.Name;
-  VMDecoder(*P, F, T, Image, Weak).decode();
+  VMDecoder(*P, F, T, Image, Weak, Plan).decode();
   P->PreFusionOps = static_cast<uint32_t>(P->Code.size());
   if (Fuse)
     VMFuser::run(*P);
@@ -1765,8 +1895,8 @@ std::string TrapInfo::str() const {
 //===--- VM ---------------------------------------------------------------===//
 
 VM::VM(const MFunction &F, const TargetDesc &T, MemoryImage &Image, bool Weak,
-       bool Fuse)
-    : Prog(DecodedProgram::build(F, T, Image, Weak, Fuse)), Mem(Image) {
+       bool Fuse, const ElisionPlan *Plan)
+    : Prog(DecodedProgram::build(F, T, Image, Weak, Fuse, Plan)), Mem(Image) {
   bindProgram();
 }
 

@@ -51,6 +51,7 @@
 
 #include "ir/Type.h"
 #include "support/Status.h"
+#include "target/Elision.h"
 #include "target/MachineIR.h"
 #include "target/MemoryImage.h"
 #include "target/Target.h"
@@ -97,10 +98,10 @@ enum class OpCls : uint8_t {
   Jump,     ///< Unconditional; Imm = absolute target.
   Branch,   ///< branch-if-zero; Imm = absolute target.
   Addr,     ///< base + (index << scale) address computation.
-  LoadS,    ///< Scalar load.
-  StoreS,   ///< Scalar store.
-  VLoad,    ///< Vector load; Sub = 1 when alignment-checked (VLoadA).
-  VStore,   ///< Vector store; Sub = 1 when alignment-checked (VStoreA).
+  LoadS,    ///< Scalar load; Sub = VMCheck state.
+  StoreS,   ///< Scalar store; Sub = VMCheck state.
+  VLoad,    ///< Vector load; Sub = VMCheck state (Align for VLoadA).
+  VStore,   ///< Vector store; Sub = VMCheck state (Align for VStoreA).
   BinS,     ///< Scalar ALU binop; Sub = ir::Opcode.
   BinV,     ///< Vector ALU binop; Sub = ir::Opcode.
   CmpS,     ///< Scalar compare; Sub = ir::Opcode.
@@ -109,6 +110,24 @@ enum class OpCls : uint8_t {
   Nop,      ///< Costed no-op (spill placeholder).
   Fused,    ///< Straight-line superop (fall-through).
   FusedBr,  ///< Control superop (cmp+branch, copy+latch); Imm = target.
+};
+
+/// Check state of a decoded memory op (DOp::Sub for the memory OpCls
+/// values). The first two states are the historical defaults (Sub was a
+/// bool "alignment-checked" flag); None/Audit* exist only when a checked
+/// elision plan granted the access, so a null plan decodes byte-identical
+/// programs to the pre-elision VM.
+enum class VMCheck : uint8_t {
+  Bounds = 0, ///< Image-bounds check only (unaligned vector / scalar).
+  Align = 1,  ///< Alignment trap check, then bounds (VLoadA/VStoreA).
+  None = 2,   ///< Every check elided by a checked certificate grant.
+  /// Audit mode keeps the op's normal checks (including trapping!) but
+  /// first counts *genuine* predicate fires into the VM's audit
+  /// counters: each count is an instance an On-mode run would have
+  /// elided. AuditAlign counts both predicates; AuditBounds only the
+  /// bounds predicate.
+  AuditAlign = 3,
+  AuditBounds = 4,
 };
 
 /// An immutable decoded (and optionally fused) program: everything the
@@ -149,9 +168,14 @@ public:
   /// Decodes \p F for target \p T with array bases resolved against
   /// \p Image's placement, then (when \p Fuse) runs the macro-op fusion
   /// peephole. \p Weak models the weak online tier (x87 scalar FP).
+  /// \p Plan (may be null) grants per-access check elision: granted
+  /// accesses decode to unchecked (or audit-counting) handlers. Cost and
+  /// Counts never depend on the plan, so modeled cycles and
+  /// instrsExecuted() are elision-invariant.
   static std::shared_ptr<const DecodedProgram>
   build(const MFunction &F, const TargetDesc &T, const MemoryImage &Image,
-        bool Weak = false, bool Fuse = true);
+        bool Weak = false, bool Fuse = true,
+        const ElisionPlan *Plan = nullptr);
 
   /// Maps a decoded-op PC back to the pre-fusion op index reported in
   /// TrapInfo::OpIndex: for a superop, the original index of its single
@@ -188,7 +212,8 @@ public:
   /// dispatches). Arrays must already be placed in \p Image; bases are
   /// resolved here.
   VM(const MFunction &F, const TargetDesc &T, MemoryImage &Image,
-     bool Weak = false, bool Fuse = true);
+     bool Weak = false, bool Fuse = true,
+     const ElisionPlan *Plan = nullptr);
 
   /// Runs a prebuilt (typically cache-shared) program against \p Image.
   /// \p Image must use the placement the program's bases were resolved
@@ -223,6 +248,13 @@ public:
   /// VM in this mode so it can deoptimize instead of dying.
   void setTrapRecording(bool On) { TrapRecording = On; }
   bool trapped() const { return Trapped; }
+
+  /// Audit-mode telemetry: genuine would-have-been-elided predicate fires
+  /// accumulated across runs (VMCheck::AuditAlign/AuditBounds ops). Any
+  /// nonzero count means a certificate grant was wrong -- the access also
+  /// trapped normally, so audit runs never execute unsafely.
+  uint64_t auditAlignFired() const { return AuditAlignFired; }
+  uint64_t auditBoundsFired() const { return AuditBoundsFired; }
   /// Structured details of the recorded trap (TrapKind None if none).
   const TrapInfo &trapInfo() const { return Trap; }
   const std::string &trapMessage() const { return TrapMsg; }
@@ -261,6 +293,8 @@ private:
 
   uint64_t Cycles = 0;
   uint64_t Instrs = 0;
+  uint64_t AuditAlignFired = 0;
+  uint64_t AuditBoundsFired = 0;
 
   bool TrapRecording = false;
   bool Trapped = false;

@@ -9,6 +9,7 @@
 #include "bytecode/Bytecode.h"
 #include "ir/Interp.h"
 #include "jit/CodeCache.h"
+#include "jit/Elision.h"
 #include "obs/Obs.h"
 #include "support/FaultInject.h"
 #include "support/Support.h"
@@ -17,6 +18,8 @@
 #include "verify/Verify.h"
 
 #include <chrono>
+#include <map>
+#include <set>
 
 using namespace vapor;
 using namespace vapor::ir;
@@ -235,6 +238,7 @@ Status Executor::attemptScalarBytecode(RunOutcome &Out) {
 
 Status Executor::verifyCached(const ir::Function &Module, uint64_t FnHash,
                               bool Cached, const char *FailPrefix) {
+  Cert.reset(); // Never let a previous module's certificate leak forward.
   uint64_t TargetHash = Cached ? jit::cache::hashTarget(O.Target) : 0;
   std::optional<jit::cache::VerifyResult> VRes;
   if (Cached)
@@ -255,10 +259,15 @@ Status Executor::verifyCached(const ir::Function &Module, uint64_t FnHash,
           static_cast<uint64_t>(Rep.ObligationsProved));
     S.arg("obligations_failed",
           static_cast<uint64_t>(Rep.ObligationsFailed));
-    VRes = jit::cache::VerifyResult{Rep.ok(), Rep.ok() ? "" : Rep.str()};
+    VRes = jit::cache::VerifyResult{Rep.ok(), Rep.ok() ? "" : Rep.str(), {}};
+    // One target verified => at most one certificate.
+    if (!Rep.Certificates.empty())
+      VRes->Cert = std::make_shared<const analysis::SafetyCertificate>(
+          std::move(Rep.Certificates.front()));
     if (Cached)
       jit::cache::putVerify(FnHash, TargetHash, *VRes);
   }
+  Cert = VRes->Cert;
   if (!VRes->Ok)
     return Status::error(Code::VerificationFailed, Layer::Verify,
                          FailPrefix + K.Name + ":\n" + VRes->Report);
@@ -325,6 +334,55 @@ Status Executor::runModule(RunOutcome &Out, const ir::Function &Module,
   Out.Strategy = R->Strategy;
   Out.Iaca = analyzeVectorLoop(Out.Code, O.Target);
 
+  // --- Proof-carrying check elision: replay the verifier's certificate
+  // through the independent checker and evaluate its runtime
+  // preconditions against this concrete placement. Fault-injected runs
+  // stand down from On to Off -- an injected fault must never be masked
+  // by an elided check (Audit keeps every check live, so it may pass
+  // through). Forced-scalar recompiles run code the certificate does
+  // not describe, so they never elide.
+  target::ElisionMode EMode = O.Elide;
+  if (EMode == target::ElisionMode::On && faultinject::controller().Active)
+    EMode = target::ElisionMode::Off;
+  if (ForceScalarize)
+    EMode = target::ElisionMode::Off;
+  target::ElisionPlan Plan;
+  if (EMode != target::ElisionMode::Off && Cert) {
+    // Mirror exactly the values the workload will bind below: ints get
+    // their table value (absent => 0), FP-bound params have no integer
+    // value the bounds evaluator may rely on.
+    std::map<std::string, int64_t> IntVals;
+    std::set<std::string> FpSet;
+    detail::setParams(
+        K, Module,
+        [&](const std::string &N, int64_t V) { IntVals[N] = V; },
+        [&](const std::string &N, double) { FpSet.insert(N); });
+    analysis::ParamFn PF =
+        [&IntVals, &FpSet](const std::string &N) -> std::optional<int64_t> {
+      auto It = IntVals.find(N);
+      if (It != IntVals.end())
+        return It->second;
+      return std::nullopt; // FP-bound or unknown: no integer value.
+    };
+    (void)FpSet;
+    Plan = jit::buildElisionPlan(Module, Cert.get(), O.Target, *Out.Mem,
+                                 EMode, PF);
+  } else {
+    Plan.Mode = target::ElisionMode::Off;
+  }
+  const target::ElisionPlan *PlanPtr =
+      Plan.Mode != target::ElisionMode::Off ? &Plan : nullptr;
+  Out.ElideMode = Plan.Mode;
+  Out.AlignElided = Plan.AlignElided;
+  Out.BoundsElided = Plan.BoundsElided;
+  Out.ChecksKept = Plan.ChecksKept;
+  Out.ElideFactsRejected = Plan.FactsRejected;
+  Out.ElideCheckerError = Plan.CheckerError;
+  Out.ElideDecisions = Plan.Decisions;
+  // Audit counters are NOT reset here: they accumulate across the whole
+  // demotion chain, so a genuine would-have-fired in a trapped attempt
+  // survives the recovery rerun (the soundness sweep reads the total).
+
   // --- Workload and execution ---
   detail::MemFill Fill(*Out.Mem);
   K.fill(Fill);
@@ -337,13 +395,15 @@ Status Executor::runModule(RunOutcome &Out, const ir::Function &Module,
       return Status::error(Code::AlignmentTrap, Layer::Vm,
                            "injected fault: native trap");
 
-    // The unit is placement- and feature-keyed in the cache; compile
-    // time joins CompileMicros like the JIT lowering above.
+    // The unit is placement-, feature-, and plan-keyed in the cache;
+    // compile time joins CompileMicros like the JIT lowering above.
+    codegen::NativeOptions NO = O.Native;
+    NO.Plan = PlanPtr;
     auto N0 = std::chrono::steady_clock::now();
     auto NU = Cached ? jit::cache::nativeFor(CompKey, R->Code, O.Target,
-                                             *Out.Mem, O.Native)
+                                             *Out.Mem, NO)
                      : codegen::compileNative(R->Code, O.Target, *Out.Mem,
-                                              O.Native);
+                                              NO);
     Out.CompileMicros += std::chrono::duration<double, std::micro>(
                              std::chrono::steady_clock::now() - N0)
                              .count();
@@ -357,6 +417,8 @@ Status Executor::runModule(RunOutcome &Out, const ir::Function &Module,
         [&](const std::string &N, int64_t V) { Exec.setParamInt(N, V); },
         [&](const std::string &N, double V) { Exec.setParamFP(N, V); });
     Status St = Exec.run();
+    Out.AuditAlignFired += Exec.auditAlignFired();
+    Out.AuditBoundsFired += Exec.auditBoundsFired();
     if (!St.ok())
       return St;
     // No cycle model ran: the native tier is measured in wall time by
@@ -372,9 +434,9 @@ Status Executor::runModule(RunOutcome &Out, const ir::Function &Module,
   const bool Weak = JO.CompilerTier == jit::Tier::Weak;
   std::shared_ptr<const DecodedProgram> Prog =
       Cached ? jit::cache::programFor(CompKey, R->Code, O.Target, *Out.Mem,
-                                      Weak, O.FuseOps)
+                                      Weak, O.FuseOps, PlanPtr)
              : DecodedProgram::build(R->Code, O.Target, *Out.Mem, Weak,
-                                     O.FuseOps);
+                                     O.FuseOps, PlanPtr);
   VM Machine(Prog, *Out.Mem);
   Machine.setTrapRecording(true);
   detail::setParams(
@@ -382,6 +444,8 @@ Status Executor::runModule(RunOutcome &Out, const ir::Function &Module,
       [&](const std::string &N, int64_t V) { Machine.setParamInt(N, V); },
       [&](const std::string &N, double V) { Machine.setParamFP(N, V); });
   Status St = Machine.run();
+  Out.AuditAlignFired += Machine.auditAlignFired();
+  Out.AuditBoundsFired += Machine.auditBoundsFired();
   if (!St.ok())
     return St;
   Out.Cycles = Machine.cycles();

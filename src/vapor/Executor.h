@@ -49,6 +49,7 @@
 #ifndef VAPOR_VAPOR_EXECUTOR_H
 #define VAPOR_VAPOR_EXECUTOR_H
 
+#include "analysis/Certificate.h"
 #include "vapor/Pipeline.h"
 
 namespace vapor {
@@ -112,6 +113,11 @@ private:
   /// cache (immutable either way).
   std::shared_ptr<const ir::Function> VecModule;
   uint64_t VecModuleHash = 0; ///< ir::hashFunction(*VecModule), if cached.
+  /// Safety certificate the last verifyCached call captured for the
+  /// module it verified (null when the verifier proved nothing or the
+  /// verify gate is off). Always describes the module runModule runs
+  /// next: each verify resets it.
+  std::shared_ptr<const analysis::SafetyCertificate> Cert;
 };
 
 } // namespace vapor

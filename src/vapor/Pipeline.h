@@ -98,6 +98,18 @@ struct RunOptions {
   /// Encoding-set override for the native tier (tests force SSE2-only
   /// subsets to check feature-gated selection). Defaults to the host.
   codegen::NativeOptions Native;
+  /// Proof-carrying check elision (analysis/Certificate.h). On: replay
+  /// the verifier's safety certificate through the independent checker,
+  /// evaluate its runtime preconditions against the concrete placement,
+  /// and drop the granted align/bounds checks from the VM pre-decode and
+  /// the native code. Audit: keep every check live but count instances
+  /// where an elidable check's predicate would genuinely have fired
+  /// (the crashtest's soundness sweep). Off: consumer disabled. Elision
+  /// requires the verify gate (VerifyBytecode) -- without it there is no
+  /// certificate and every check stays. Fault-injected runs stand down
+  /// from On to Off automatically so an injected fault can never be
+  /// masked by an elided check.
+  target::ElisionMode Elide = target::ElisionMode::On;
 };
 
 struct RunOutcome {
@@ -121,6 +133,20 @@ struct RunOutcome {
   /// packed/VEX chunks, encoding set). Filled only when the executed
   /// tier is Native.
   codegen::NativeStats NativeCode;
+
+  /// Proof-carrying check-elision record of the executed tier's run
+  /// (split flows; Off when elision stood down or nothing was granted).
+  target::ElisionMode ElideMode = target::ElisionMode::Off;
+  uint32_t AlignElided = 0;        ///< Align grants applied to accesses.
+  uint32_t BoundsElided = 0;       ///< Bounds grants applied.
+  uint32_t ChecksKept = 0;         ///< Certified accesses left checked.
+  uint32_t ElideFactsRejected = 0; ///< Facts the checker refused.
+  std::string ElideCheckerError;   ///< Certificate-level rejection, if any.
+  /// Per-access elide/keep/audit decision lines (vapor-explain).
+  std::vector<std::string> ElideDecisions;
+  /// Audit-mode telemetry: genuine would-have-fired check predicates.
+  uint64_t AuditAlignFired = 0;
+  uint64_t AuditBoundsFired = 0;
 
   /// Tier of the degradation chain that actually produced the results in
   /// Mem. Split flows only; mono flows always report Vectorized.

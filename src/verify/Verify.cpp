@@ -253,6 +253,11 @@ private:
   std::vector<uint32_t> BaseSym; ///< Array -> its ArrayBase symbol.
   std::set<uint32_t> ObSeen, ObFail, ConsFail;
   bool BudgetNoted = false;
+  /// Certificate facts under construction, keyed by instruction index.
+  /// Align claims are recorded on every successful obligation discharge
+  /// and withdrawn wholesale if any scenario fails; bounds claims come
+  /// from a separate structural pass.
+  std::map<uint32_t, analysis::AccessFact> CertFacts;
 
   //===--- Infrastructure -------------------------------------------------===//
 
@@ -797,9 +802,14 @@ private:
   /// terminates). \returns the constant residue, or nullopt when some
   /// symbol without a usable fact survives. \p Bump32Array names an array
   /// whose base may additionally be assumed 32-byte aligned (the premise
-  /// of an if-jit-aligns hint).
+  /// of an if-jit-aligns hint). When \p Reqs is non-null, every array-base
+  /// alignment assumption the reduction consumes is appended to it — the
+  /// derivation is only valid in worlds where all of them hold, and the
+  /// certificate must say so.
   std::optional<int64_t> residueMod(const WalkState &S, Aff A, int64_t W,
-                                    uint32_t Bump32Array) const {
+                                    uint32_t Bump32Array,
+                                    std::vector<analysis::BaseAlignReq>
+                                        *Reqs = nullptr) const {
     if (W <= 1)
       return 0;
     for (int Iter = 0; Iter < 64; ++Iter) {
@@ -820,6 +830,12 @@ private:
       if (SI.K == SymInfo::Kind::ArrayBase) {
         M = alignElems(S, SI.Array, Bump32Array);
         Rhs = &Zero;
+        if (Reqs) {
+          int64_t ES =
+              std::max<int64_t>(scalarSize(F.Arrays[SI.Array].Elem), 1);
+          Reqs->push_back(
+              {SI.Array, static_cast<uint64_t>(M * ES)});
+        }
       } else if (SI.K == SymInfo::Kind::Congruent) {
         M = SI.Mod;
         Rhs = &SI.Rhs;
@@ -847,6 +863,7 @@ private:
     ObSeen.clear();
     ObFail.clear();
     ConsFail.clear();
+    CertFacts.clear();
     BudgetNoted = false;
     BaseSym.assign(F.Arrays.size(), 0);
     WalkState S0;
@@ -860,6 +877,25 @@ private:
     }
     Rep.ObligationsFailed += ObFail.size();
     Rep.ObligationsProved += ObSeen.size() - ObFail.size();
+
+    // Certificate assembly. Align facts survive only when *every* scenario
+    // proved them — any failed obligation on the access withdraws the
+    // claim. Bounds facts come from the structural pass.
+    for (uint32_t Idx : ObFail) {
+      auto It = CertFacts.find(Idx);
+      if (It != CertFacts.end())
+        It->second.HasAlign = false;
+    }
+    collectBoundsFacts(F.Body, /*LoopIdx=*/~0u);
+    analysis::SafetyCertificate C;
+    C.TargetName = Td.Name;
+    C.VSBytes = Td.VSBytes;
+    C.FnHash = ir::hashFunction(F);
+    for (auto &[Idx, Fa] : CertFacts)
+      if (Fa.HasAlign || Fa.HasBounds)
+        C.Facts.push_back(Fa);
+    if (!C.Facts.empty())
+      Rep.Certificates.push_back(std::move(C));
   }
 
   void walkRegionNodes(const Region &R, std::vector<WalkState> &States) {
@@ -1149,9 +1185,12 @@ private:
     int64_t W = ES > 0 ? (int64_t)T->VSBytes / ES : 0;
     uint32_t Bump = I.Hint.known() && I.Hint.IfJitAligns ? I.Array : NoArray;
     Aff Addr = affAdd(affSym(BaseSym[I.Array]), affOf(S, memIndex(I)));
-    std::optional<int64_t> R = residueMod(S, Addr, W, Bump);
-    if (R && *R == 0)
+    std::vector<analysis::BaseAlignReq> Reqs;
+    std::optional<int64_t> R = residueMod(S, Addr, W, Bump, &Reqs);
+    if (R && *R == 0) {
+      recordAlignFact(Idx, I, W, ES, Reqs);
       return;
+    }
     if (!ObFail.insert(Idx).second)
       return;
     std::string Why = "cannot prove " + std::to_string(T->VSBytes) +
@@ -1192,6 +1231,104 @@ private:
             std::to_string(*R * ES) + "B";
     Why += "; scenario " + (S.Path.empty() ? std::string("<top>") : S.Path);
     diag(Check::HintConsistency, Severity::Error, T->Name, Idx, Why);
+  }
+
+  //===--- Certificate production -----------------------------------------===//
+
+  /// Records a discharged alignment obligation as a certificate fact.
+  /// Called once per scenario; requirements union across scenarios (the
+  /// runtime execution is *some* scenario, so demanding all of them is
+  /// sound), and any failing scenario withdraws the claim afterwards.
+  void recordAlignFact(uint32_t Idx, const Instr &I, int64_t W, int64_t ES,
+                       std::vector<analysis::BaseAlignReq> &Reqs) {
+    if (I.Op == Opcode::RealignLoad || W < 1 || ES <= 0)
+      return; // Realign chains keep their checks; no consumer elides them.
+    // Element-granular addressing assumes the accessed base is a whole
+    // number of elements; surface that as a checked runtime precondition
+    // instead of a modeling assumption.
+    Reqs.push_back({I.Array, static_cast<uint64_t>(ES)});
+    analysis::AccessFact &Fa = CertFacts[Idx];
+    Fa.InstrIdx = Idx;
+    Fa.Array = I.Array;
+    Fa.HasAlign = true;
+    Fa.AlignElems = W;
+    for (const analysis::BaseAlignReq &R : Reqs) {
+      bool Merged = false;
+      for (analysis::BaseAlignReq &E : Fa.BaseReqs)
+        if (E.Array == R.Array) {
+          E.Bytes = std::max(E.Bytes, R.Bytes);
+          Merged = true;
+        }
+      if (!Merged)
+        Fa.BaseReqs.push_back(R);
+    }
+  }
+
+  /// Structural bounds pass: claims index ∈ [0, NumElems - Span] material
+  /// for every access whose direct lowering the downstream consumers can
+  /// cover. Vector accesses only count in vector-mode regions (scalar
+  /// expansion re-emits them as per-lane accesses outside the
+  /// certificate); scalar load/store count everywhere.
+  void collectBoundsFacts(const Region &R, uint32_t LoopIdx) {
+    for (const NodeRef &N : R.Nodes) {
+      switch (N.Kind) {
+      case NodeKind::Instr: {
+        const Instr &I = F.Instrs[N.Index];
+        switch (I.Op) {
+        case Opcode::ALoad:
+        case Opcode::ULoad:
+        case Opcode::AStore:
+        case Opcode::UStore:
+          if (!regionScalar(R))
+            addBoundsFact(N.Index, I, /*Vector=*/true, LoopIdx);
+          break;
+        case Opcode::Load:
+        case Opcode::Store:
+          addBoundsFact(N.Index, I, /*Vector=*/false, LoopIdx);
+          break;
+        default:
+          break;
+        }
+        break;
+      }
+      case NodeKind::Loop:
+        collectBoundsFacts(F.Loops[N.Index].Body, N.Index);
+        break;
+      case NodeKind::If:
+        collectBoundsFacts(F.Ifs[N.Index].Then, LoopIdx);
+        collectBoundsFacts(F.Ifs[N.Index].Else, LoopIdx);
+        break;
+      }
+    }
+  }
+
+  void addBoundsFact(uint32_t Idx, const Instr &I, bool Vector,
+                     uint32_t LoopIdx) {
+    if (I.Array >= F.Arrays.size() || I.Ops.empty())
+      return;
+    int64_t ES = scalarSize(F.Arrays[I.Array].Elem);
+    if (ES <= 0 || (Vector && (T->VSBytes % ES || T->VSBytes / ES == 0)))
+      return;
+    analysis::AccessFact &Fa = CertFacts[Idx];
+    Fa.InstrIdx = Idx;
+    Fa.Array = I.Array;
+    Fa.LoopIdx = LoopIdx;
+    Fa.HasBounds = true;
+    Fa.SpanElems = Vector ? T->VSBytes / ES : 1;
+    Fa.NumElems = F.Arrays[I.Array].NumElems;
+    Fa.IndexVal = I.Ops[0];
+    // Static range when derivable without parameter values; otherwise the
+    // consumer evaluates the range with the run's concrete parameters.
+    analysis::BoundsEvaluator BE(
+        F, T->VSBytes,
+        [](const std::string &) { return std::optional<int64_t>(); });
+    if (std::optional<analysis::Interval> Rng = BE.eval(I.Ops[0])) {
+      Fa.DynamicRange = false;
+      Fa.MinIdx = Rng->Min;
+      Fa.MaxIdx = Rng->Max;
+    } else {
+      Fa.DynamicRange = true;
+    }
   }
 };
 

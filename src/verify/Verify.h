@@ -31,6 +31,7 @@
 #ifndef VAPOR_VERIFY_VERIFY_H
 #define VAPOR_VERIFY_VERIFY_H
 
+#include "analysis/Certificate.h"
 #include "ir/Function.h"
 #include "target/Target.h"
 
@@ -77,6 +78,11 @@ struct Report {
   uint64_t ObligationsProved = 0;
   uint64_t ObligationsFailed = 0;
   unsigned TargetsChecked = 0;
+  /// One proof-carrying certificate per SIMD target that produced any
+  /// per-access facts (analysis/Certificate.h). Consumers must run the
+  /// independent checker before acting on them — these records are the
+  /// *untrusted producer* half of the elision pipeline.
+  std::vector<analysis::SafetyCertificate> Certificates;
 
   bool ok() const; ///< True when no Error-severity diagnostic exists.
   size_t count(Severity S) const;

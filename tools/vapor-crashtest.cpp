@@ -76,6 +76,10 @@ struct Stats {
   uint64_t Retries = 0;
   uint64_t Demotions = 0;
   uint64_t TierCount[5] = {}; ///< Indexed by ExecTier.
+  /// --audit: genuine would-have-fired counts of elision-granted checks,
+  /// summed across every case. Soundness demands both stay zero.
+  uint64_t AuditAlign = 0;
+  uint64_t AuditBounds = 0;
 };
 
 /// The tier each fault class must demote the split-vectorized flow to
@@ -132,18 +136,30 @@ ExecTier expectedTier(SiteClass S, bool Sticky, bool Native) {
 
 bool runCase(const kernels::Kernel &K, const target::TargetDesc &T,
              const std::string &Desc, const ExecTier *Expect, Stats &S,
-             bool Native, bool Verbose) {
+             bool Native, bool Audit, bool Verbose) {
   ++S.Cases;
   RunOptions O;
   O.Target = T;
   O.UseNative = Native;
+  if (Audit)
+    O.Elide = target::ElisionMode::Audit;
   RunOutcome Out = runKernel(K, Flow::SplitVectorized, O);
   uint64_t Fired = faultinject::fired();
   ExecTier CleanTier = Native ? ExecTier::Native : ExecTier::Vectorized;
 
+  S.AuditAlign += Out.AuditAlignFired;
+  S.AuditBounds += Out.AuditBoundsFired;
+
   std::string Err;
   bool Ok = true;
-  if (!checkAgainstGolden(K, Out, Err)) {
+  if (Out.AuditAlignFired || Out.AuditBoundsFired) {
+    // An elision-granted check's predicate genuinely fired: had the run
+    // been in elide mode this would have been a silent unsafe access.
+    Err = "audit: " + std::to_string(Out.AuditAlignFired) + " align + " +
+          std::to_string(Out.AuditBoundsFired) +
+          " bounds elided-eligible checks would have fired";
+    Ok = false;
+  } else if (!checkAgainstGolden(K, Out, Err)) {
     Err = "golden mismatch: " + Err;
     Ok = false;
   } else if (Fired == 0) {
@@ -182,12 +198,15 @@ bool runCase(const kernels::Kernel &K, const target::TargetDesc &T,
 
 /// Dynamic hit counts per class for one clean run (site discovery).
 void countSites(const kernels::Kernel &K, const target::TargetDesc &T,
-                bool Native, uint64_t Hits[faultinject::NumSiteClasses]) {
+                bool Native, bool Audit,
+                uint64_t Hits[faultinject::NumSiteClasses]) {
   faultinject::resetHits();
   faultinject::startCounting();
   RunOptions O;
   O.Target = T;
   O.UseNative = Native;
+  if (Audit)
+    O.Elide = target::ElisionMode::Audit;
   runKernel(K, Flow::SplitVectorized, O);
   for (unsigned C = 0; C < faultinject::NumSiteClasses; ++C)
     Hits[C] = faultinject::hits(static_cast<SiteClass>(C));
@@ -196,12 +215,12 @@ void countSites(const kernels::Kernel &K, const target::TargetDesc &T,
 }
 
 void sweepOne(const kernels::Kernel &K, const target::TargetDesc &T,
-              Stats &S, bool Native, bool Verbose) {
+              Stats &S, bool Native, bool Audit, bool Verbose) {
   // Baseline: no injection active at all (the 1-branch fast path).
-  runCase(K, T, "clean", nullptr, S, Native, Verbose);
+  runCase(K, T, "clean", nullptr, S, Native, Audit, Verbose);
 
   uint64_t Hits[faultinject::NumSiteClasses];
-  countSites(K, T, Native, Hits);
+  countSites(K, T, Native, Audit, Hits);
 
   constexpr SiteClass Classes[] = {SiteClass::Decode, SiteClass::Verify,
                                    SiteClass::JitLower, SiteClass::VmAlign,
@@ -220,7 +239,7 @@ void sweepOne(const kernels::Kernel &K, const target::TargetDesc &T,
       faultinject::ScopedFault F(C, Site, /*Sticky=*/false);
       runCase(K, T,
               std::string(siteClassName(C)) + "@" + std::to_string(Site),
-              &Expect, S, Native, Verbose);
+              &Expect, S, Native, Audit, Verbose);
     }
 
     // Sticky fault: fires at every occurrence from the first on.
@@ -228,13 +247,13 @@ void sweepOne(const kernels::Kernel &K, const target::TargetDesc &T,
       ExecTier Expect = expectedTier(C, /*Sticky=*/true, Native);
       faultinject::ScopedFault F(C, 0, /*Sticky=*/true);
       runCase(K, T, std::string(siteClassName(C)) + " sticky", &Expect, S,
-              Native, Verbose);
+              Native, Audit, Verbose);
     }
   }
 }
 
 void writeJson(const char *Path, const Stats &S, size_t Kernels,
-               size_t Targets, bool Native) {
+               size_t Targets, bool Native, bool Audit) {
   std::FILE *F = std::fopen(Path, "w");
   if (!F) {
     std::printf("cannot write %s\n", Path);
@@ -244,6 +263,11 @@ void writeJson(const char *Path, const Stats &S, size_t Kernels,
   std::fprintf(F, "  \"suite\": \"vapor-crashtest\",\n");
   std::fprintf(F, "  \"flow\": \"split-vectorized\",\n");
   std::fprintf(F, "  \"native_entry\": %s,\n", Native ? "true" : "false");
+  std::fprintf(F, "  \"audit_mode\": %s,\n", Audit ? "true" : "false");
+  std::fprintf(F, "  \"audit_align_fired\": %llu,\n",
+               (unsigned long long)S.AuditAlign);
+  std::fprintf(F, "  \"audit_bounds_fired\": %llu,\n",
+               (unsigned long long)S.AuditBounds);
   std::fprintf(F, "  \"kernels\": %zu,\n", Kernels);
   std::fprintf(F, "  \"targets\": %zu,\n", Targets);
   std::fprintf(F, "  \"cases\": %llu,\n", (unsigned long long)S.Cases);
@@ -269,15 +293,15 @@ void writeJson(const char *Path, const Stats &S, size_t Kernels,
 } // namespace
 
 static int usage() {
-  std::printf("usage: vapor-crashtest --all-kernels [--native] "
+  std::printf("usage: vapor-crashtest --all-kernels [--native] [--audit] "
               "[--json <path>] [--trace <path>] [--jobs N] [--verbose]\n"
-              "       vapor-crashtest <kernel> [target] [--native] "
+              "       vapor-crashtest <kernel> [target] [--native] [--audit] "
               "[--trace <path>] [--jobs N] [--verbose]\n");
   return 2;
 }
 
 int main(int argc, char **argv) {
-  bool All = false, Verbose = false, Native = false;
+  bool All = false, Verbose = false, Native = false, Audit = false;
   const char *JsonPath = nullptr;
   const char *TracePath = nullptr;
   unsigned Jobs = sweep::defaultJobs();
@@ -287,6 +311,8 @@ int main(int argc, char **argv) {
       All = true;
     else if (!std::strcmp(argv[I], "--native"))
       Native = true;
+    else if (!std::strcmp(argv[I], "--audit"))
+      Audit = true;
     else if (!std::strcmp(argv[I], "--verbose"))
       Verbose = true;
     else if (!std::strcmp(argv[I], "--json") && I + 1 < argc)
@@ -356,13 +382,15 @@ int main(int argc, char **argv) {
     const kernels::Kernel &K = Ks[Cell / Ts.size()];
     const target::TargetDesc &T = Ts[Cell % Ts.size()];
     Stats Local;
-    sweepOne(K, T, Local, Native, Verbose);
+    sweepOne(K, T, Local, Native, Audit, Verbose);
     std::lock_guard<std::mutex> Lock(MergeMu);
     S.Cases += Local.Cases;
     S.Failures += Local.Failures;
     S.Fired += Local.Fired;
     S.Retries += Local.Retries;
     S.Demotions += Local.Demotions;
+    S.AuditAlign += Local.AuditAlign;
+    S.AuditBounds += Local.AuditBounds;
     for (unsigned I = 0; I < 5; ++I)
       S.TierCount[I] += Local.TierCount[I];
   });
@@ -379,7 +407,12 @@ int main(int argc, char **argv) {
               (unsigned long long)S.TierCount[2],
               (unsigned long long)S.TierCount[3],
               (unsigned long long)S.TierCount[4]);
+  if (Audit)
+    std::printf("audit: %llu align + %llu bounds elided-eligible checks "
+                "would have fired (soundness requires 0 + 0)\n",
+                (unsigned long long)S.AuditAlign,
+                (unsigned long long)S.AuditBounds);
   if (JsonPath)
-    writeJson(JsonPath, S, Ks.size(), Ts.size(), Native);
+    writeJson(JsonPath, S, Ks.size(), Ts.size(), Native, Audit);
   return static_cast<int>(S.Failures);
 }

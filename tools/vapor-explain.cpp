@@ -49,8 +49,26 @@ namespace {
 
 int usage() {
   std::printf("usage: vapor-explain <kernel> [target] [--tier weak|strong] "
-              "[--native] [--trace <path>]\n");
+              "[--native] [--elide on|off|audit] [--trace <path>]\n");
   return 2;
+}
+
+/// The proof-carrying elision record: what the checker granted against
+/// this placement and what each certified access decided.
+void printElisionReport(const RunOutcome &Out) {
+  std::printf("  check elision: mode %s — %u align + %u bounds checks "
+              "elided, %u kept, %u facts rejected\n",
+              target::elisionModeName(Out.ElideMode), Out.AlignElided,
+              Out.BoundsElided, Out.ChecksKept, Out.ElideFactsRejected);
+  if (!Out.ElideCheckerError.empty())
+    std::printf("    checker rejected certificate: %s\n",
+                Out.ElideCheckerError.c_str());
+  for (const std::string &D : Out.ElideDecisions)
+    std::printf("    %s\n", D.c_str());
+  if (Out.ElideMode == target::ElisionMode::Audit)
+    std::printf("    audit: %llu align + %llu bounds would-have-fired\n",
+                static_cast<unsigned long long>(Out.AuditAlignFired),
+                static_cast<unsigned long long>(Out.AuditBoundsFired));
 }
 
 /// The --native addendum: which encodings the emitter picked and how much
@@ -105,7 +123,8 @@ void printLoopDecision(const vectorizer::LoopReport &L) {
 }
 
 void explainOnTarget(const kernels::Kernel &K, const target::TargetDesc &T,
-                     jit::Tier Tier, bool Native) {
+                     jit::Tier Tier, bool Native,
+                     target::ElisionMode Elide) {
   std::printf("\n== Online stage: %s (%s tier) ==\n", T.Name.c_str(),
               Tier == jit::Tier::Strong ? "strong" : "weak");
   if (T.VSBytes)
@@ -121,6 +140,7 @@ void explainOnTarget(const kernels::Kernel &K, const target::TargetDesc &T,
   O.Target = T;
   O.Tier = Tier;
   O.UseNative = Native;
+  O.Elide = Elide;
   RunOutcome Out = runKernel(K, Flow::SplitVectorized, O);
   jit::cache::Stats After = jit::cache::stats();
 
@@ -137,6 +157,7 @@ void explainOnTarget(const kernels::Kernel &K, const target::TargetDesc &T,
                   T.VSBytes / L.MinElemBytes, T.VSBytes, L.MinElemBytes);
   if (Out.Scalarized)
     std::printf("  lowering: scalarized end-to-end on this target\n");
+  printElisionReport(Out);
   std::printf("  compile time: %.1f us; code cache this run: %llu hits, "
               "%llu misses\n",
               Out.CompileMicros,
@@ -179,6 +200,7 @@ int main(int argc, char **argv) {
   std::string KernelName, TargetName;
   jit::Tier Tier = jit::Tier::Strong;
   bool Native = false;
+  target::ElisionMode Elide = target::ElisionMode::On;
   const char *TracePath = nullptr;
   for (int I = 1; I < argc; ++I) {
     if (!std::strcmp(argv[I], "--tier") && I + 1 < argc) {
@@ -189,6 +211,18 @@ int main(int argc, char **argv) {
         Tier = jit::Tier::Strong;
       else {
         std::printf("unknown tier '%s'\n", argv[I]);
+        return usage();
+      }
+    } else if (!std::strcmp(argv[I], "--elide") && I + 1 < argc) {
+      ++I;
+      if (!std::strcmp(argv[I], "on"))
+        Elide = target::ElisionMode::On;
+      else if (!std::strcmp(argv[I], "off"))
+        Elide = target::ElisionMode::Off;
+      else if (!std::strcmp(argv[I], "audit"))
+        Elide = target::ElisionMode::Audit;
+      else {
+        std::printf("unknown elision mode '%s'\n", argv[I]);
         return usage();
       }
     } else if (!std::strcmp(argv[I], "--native"))
@@ -265,9 +299,21 @@ int main(int argc, char **argv) {
               Rep.TargetsChecked, Rep.TargetsChecked == 1 ? "" : "s");
   if (!Rep.ok())
     std::printf("%s\n", Rep.str().c_str());
+  for (const analysis::SafetyCertificate &C : Rep.Certificates) {
+    size_t Align = 0, Bounds = 0;
+    for (const analysis::AccessFact &F : C.Facts) {
+      Align += F.HasAlign;
+      Bounds += F.HasBounds;
+    }
+    std::printf("  certificate [%s]: %zu access facts (%zu align, %zu "
+                "bounds) — hash %016llx\n",
+                C.TargetName.c_str(), C.Facts.size(), Align, Bounds,
+                static_cast<unsigned long long>(
+                    analysis::certificateHash(C)));
+  }
 
   // --- Online stage + execution, per target. ---
   for (const target::TargetDesc &T : Ts)
-    explainOnTarget(*K, T, Tier, Native);
+    explainOnTarget(*K, T, Tier, Native, Elide);
   return 0;
 }
