@@ -38,10 +38,27 @@ Three modes:
                        vm_ns_per_op * --native-floor-ratio (default 0.5,
                        i.e. native must at least halve the VM's fused
                        dispatch cost). Reports written on hosts without
-                       the native tier carry "native_supported": false
-                       and pass with a notice -- the executor demotes
-                       cleanly there, so there is nothing to gate:
-                       perf_gate.py --native-floor native_current.json
+                       the native tier carry "native_supported": false;
+                       with --allow-missing those pass with a notice --
+                       the executor demotes cleanly there, so there is
+                       nothing to gate. Without --allow-missing (and
+                       always when the key is absent, i.e. the report is
+                       corrupt or from the wrong bench) that is a hard
+                       failure: a gate that silently stops measuring is
+                       worse than no gate:
+                       perf_gate.py --native-floor --allow-missing \
+                           native_current.json
+
+  --server-floor       gates the execution service's replay report
+                       (BENCH_server.json from vapor-replay --json): the
+                       load run must be contract-clean (0 failures, 0
+                       golden mismatches, 0 unexpected Statuses, 0
+                       protocol violations, 0 server aborts), must have
+                       completed work (completed > 0, throughput > 0),
+                       and the bounded code cache must be earning its
+                       keep (cache_hit_rate at least
+                       --server-min-hit-rate, default 0.10):
+                       perf_gate.py --server-floor BENCH_server.json
 
   --elision-floor      gates proof-carrying check elision from one
                        native_throughput report: the report's
@@ -75,6 +92,36 @@ def load(path):
     except (OSError, ValueError) as e:
         print(f"perf_gate: cannot read {path}: {e}", file=sys.stderr)
         sys.exit(2)
+
+
+def native_gate_applies(report, path, allow_missing):
+    """Whether a native_throughput gate should run on *report*.
+
+    Returns True when the native tier was measured. Exits instead of
+    returning when the report cannot be trusted: an absent
+    "native_supported" key means a corrupt or wrong-bench report (hard
+    exit 2), and an unsupported host is only waved through when the
+    caller explicitly opted in with --allow-missing -- otherwise a runner
+    misconfiguration would silently disable the gate forever (exit 1).
+    """
+    if "native_supported" not in report:
+        print(f"perf_gate: {path} has no \"native_supported\" key; the "
+              "report is corrupt or not from this bench. Refusing to "
+              "treat a broken report as a pass.", file=sys.stderr)
+        sys.exit(2)
+    if report["native_supported"] is not False:
+        return True
+    if not allow_missing:
+        print("perf_gate: FAIL: the report says the native tier is "
+              "unsupported on the measuring host, but --allow-missing "
+              "was not given. If this runner is genuinely meant to gate "
+              "without the native tier, pass --allow-missing explicitly.",
+              file=sys.stderr)
+        sys.exit(1)
+    print("perf_gate: PASS (notice): native tier unsupported on the "
+          f"measuring host (features: {report.get('cpu_features', '?')}); "
+          "nothing to gate (--allow-missing)")
+    return False
 
 
 def headline_cell(report):
@@ -119,7 +166,66 @@ def main():
                     help="with --elision-floor: a vapor-crashtest --audit "
                          "--json report that must show zero would-have-"
                          "fired checks and zero failures")
+    ap.add_argument("--allow-missing", action="store_true",
+                    help="with the native gates: accept a report whose "
+                         "\"native_supported\" is exactly false (host "
+                         "without the native tier) as a pass-with-notice "
+                         "instead of a failure")
+    ap.add_argument("--server-floor", action="store_true",
+                    help="gate a vapor-replay BENCH_server.json report: "
+                         "contract-clean load run, work completed, cache "
+                         "hit rate above the floor")
+    ap.add_argument("--server-min-hit-rate", type=float, default=0.10,
+                    help="minimum cache_hit_rate for --server-floor "
+                         "(default 0.10)")
     args = ap.parse_args()
+
+    if args.server_floor:
+        path = args.current or args.baseline
+        report = load(path)
+        if report.get("schema") != "vapor-bench-server-v1":
+            print(f"perf_gate: {path} is not a vapor-replay server report",
+                  file=sys.stderr)
+            sys.exit(2)
+        # Contract counters: every one must be present AND zero. A
+        # missing counter is a corrupt report, not a clean run.
+        zeros = ("failures", "golden_mismatches", "unexpected_status",
+                 "protocol_failures", "server_aborts")
+        bad = []
+        for key in zeros:
+            v = report.get(key)
+            if not isinstance(v, int) or v < 0:
+                print(f"perf_gate: {path} is missing counter \"{key}\"",
+                      file=sys.stderr)
+                sys.exit(2)
+            if v != 0:
+                bad.append(f"{key}={v}")
+        completed = report.get("completed")
+        rps = report.get("throughput_rps")
+        hit = report.get("cache_hit_rate")
+        for name, v in (("completed", completed),
+                        ("throughput_rps", rps),
+                        ("cache_hit_rate", hit)):
+            if not isinstance(v, (int, float)):
+                print(f"perf_gate: {path} has no usable {name}",
+                      file=sys.stderr)
+                sys.exit(2)
+        if completed <= 0 or rps <= 0:
+            bad.append(f"completed={completed} throughput={rps}")
+        if hit < args.server_min_hit_rate:
+            bad.append(f"cache_hit_rate={hit:.3f}"
+                       f"<{args.server_min_hit_rate:.2f}")
+        verdict = "FAIL" if bad else "PASS"
+        print(f"perf_gate: {verdict}: server replay "
+              f"completed={completed} p50={report.get('p50_ms', 0):.2f}ms "
+              f"p99={report.get('p99_ms', 0):.2f}ms "
+              f"throughput={rps:.1f} req/s hit_rate={hit:.3f} "
+              f"evictions={report.get('cache_evictions', '?')}")
+        if bad:
+            print("perf_gate: the execution service broke its robustness "
+                  "contract under load: " + ", ".join(bad), file=sys.stderr)
+            sys.exit(1)
+        sys.exit(0)
 
     if args.elision_floor:
         path = args.current or args.baseline
@@ -128,10 +234,7 @@ def main():
             print(f"perf_gate: {path} is not a native_throughput report",
                   file=sys.stderr)
             sys.exit(2)
-        if not report.get("native_supported", False):
-            print("perf_gate: PASS (notice): native tier unsupported on "
-                  f"the measuring host (features: "
-                  f"{report.get('cpu_features', '?')}); nothing to gate")
+        if not native_gate_applies(report, path, args.allow_missing):
             sys.exit(0)
         geo = report.get("geomean_elide_speedup")
         if not isinstance(geo, (int, float)) or geo <= 0:
@@ -184,10 +287,7 @@ def main():
             print(f"perf_gate: {path} is not a native_throughput report",
                   file=sys.stderr)
             sys.exit(2)
-        if not report.get("native_supported", False):
-            print("perf_gate: PASS (notice): native tier unsupported on "
-                  f"the measuring host (features: "
-                  f"{report.get('cpu_features', '?')}); nothing to gate")
+        if not native_gate_applies(report, path, args.allow_missing):
             sys.exit(0)
         native = report.get("native_ns_per_op")
         vm = report.get("vm_ns_per_op")

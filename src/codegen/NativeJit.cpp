@@ -19,10 +19,14 @@
 
 #include "codegen/Emitter.h"
 #include "ir/ScalarOps.h"
+#include "obs/Obs.h"
+#include "support/FaultInject.h"
 #include "support/Support.h"
 
 #include <algorithm>
+#include <csetjmp>
 #include <cstring>
+#include <string>
 
 using namespace vapor;
 using namespace vapor::ir;
@@ -37,6 +41,14 @@ using namespace vapor::codegen;
 namespace vapor {
 namespace codegen {
 extern "C" void vapor_codegen_shim(NativeContext *Ctx, const NOp *Op) {
+  // Deadline checkpoint: shim calls are the native tier's only recurring
+  // re-entries into C++, so the fuel budget is decremented here and an
+  // exhausted run is abandoned by longjmping out of the generated frame
+  // (no destructors are live below run()'s setjmp; the generated code
+  // holds no resources). One predictable branch when unfueled.
+  if (__builtin_expect(Ctx->FuelLeft != 0, 0) && --Ctx->FuelLeft == 0 &&
+      Ctx->DeadlineJmp)
+    std::longjmp(*static_cast<std::jmp_buf *>(Ctx->DeadlineJmp), 1);
   uint64_t *R = Ctx->Lanes;
   const NOp &O = *Op;
   switch (O.F) {
@@ -1306,12 +1318,33 @@ Status NativeExec::run() {
                              : Code::OutOfBoundsAccess,
                          Layer::Vm, Trap.str());
 
+  // Fault-injection site: a fueled native run reports deadline
+  // exhaustion up front -- the injected analogue of a runaway kernel,
+  // without needing one (mirrors the VM's fueled-entry site).
+  if (Fuel != 0 &&
+      faultinject::shouldFire(faultinject::SiteClass::Deadline))
+    return Status::error(Code::DeadlineExceeded, Layer::Vm,
+                         "injected fault: native deadline exceeded");
+
   NativeContext Ctx;
   Ctx.Lanes = RegStore.data();
   Ctx.MemBias = static_cast<uint64_t>(reinterpret_cast<uintptr_t>(Mem.data())) -
                 Mem.lowAddr();
   Ctx.MemLo = Mem.lowAddr();
   Ctx.MemHi = Mem.highAddr();
+  Ctx.FuelLeft = Fuel;
+  std::jmp_buf DeadlineJmp;
+  Ctx.DeadlineJmp = &DeadlineJmp;
+  // NOLINTNEXTLINE(cert-err52-cpp): longjmp is the only way to abandon a
+  // generated frame; nothing with a destructor is live across it.
+  if (setjmp(DeadlineJmp) != 0) {
+    static obs::Counter Deadlines("native.deadline_exceeded");
+    Deadlines.add(1);
+    return Status::error(
+        Code::DeadlineExceeded, Layer::Vm,
+        "deadline exceeded: native shim-call budget of " +
+            std::to_string(Fuel) + " exhausted on " + Unit->TargetName);
+  }
 
   uint64_t Rc = Unit->entry()(&Ctx);
   AuditAlignFired += Ctx.AuditAlign;

@@ -70,6 +70,15 @@ struct NativeContext {
   /// inline by the generated code before the (still live) checks run.
   uint64_t AuditAlign = 0;
   uint64_t AuditBounds = 0;
+  /// Deadline checkpoint state, consumed by vapor_codegen_shim only (the
+  /// generated code never reads these, so they sit past the ABI-asserted
+  /// prefix). FuelLeft is the remaining shim-call budget; 0 disarms the
+  /// checkpoint. When the budget runs out the shim longjmps through
+  /// DeadlineJmp (a std::jmp_buf*) back into NativeExec::run, which
+  /// reports DeadlineExceeded -- the only way to stop a generated loop
+  /// whose body no longer touches C++ except at shim boundaries.
+  uint64_t FuelLeft = 0;
+  void *DeadlineJmp = nullptr;
 };
 static_assert(offsetof(NativeContext, Lanes) == 0, "codegen ABI");
 static_assert(offsetof(NativeContext, MemBias) == 8, "codegen ABI");
@@ -181,10 +190,19 @@ public:
   uint64_t auditAlignFired() const { return AuditAlignFired; }
   uint64_t auditBoundsFired() const { return AuditBoundsFired; }
 
+  /// Arms a per-run shim-call budget (mirrors VM::setFuel, but the unit
+  /// is deferred-op shim calls -- the native tier's only recurring C++
+  /// checkpoints). A run whose generated code makes more than \p
+  /// MaxShimCalls shim calls is abandoned mid-flight via longjmp and
+  /// reported as DeadlineExceeded. 0 (default) disarms; all-inline
+  /// kernels make no shim calls and can only be bounded by the VM tier.
+  void setFuel(uint64_t MaxShimCalls) { Fuel = MaxShimCalls; }
+
 private:
   std::shared_ptr<const NativeUnit> Unit;
   target::MemoryImage &Mem;
   std::vector<uint64_t> RegStore;
+  uint64_t Fuel = 0; ///< Per-run shim-call budget; 0 = unlimited.
   target::TrapInfo Trap;
   bool Trapped = false;
   uint64_t AuditAlignFired = 0;

@@ -10,6 +10,9 @@
 #include "support/FaultInject.h"
 
 #include <atomic>
+#include <algorithm>
+#include <list>
+#include <map>
 #include <mutex>
 #include <unordered_map>
 
@@ -22,18 +25,57 @@ namespace {
 constexpr uint64_t FnvOffset = 0xcbf29ce484222325ULL;
 constexpr uint64_t FnvPrime = 0x100000001b3ULL;
 
-/// One mutex-guarded store for all four maps: lookups are a hash plus a
-/// map probe, far off any per-dispatch hot path, so a single lock is
-/// simpler than four and contention is irrelevant at sweep granularity.
+/// Which of the five maps an LRU node's key lives in (eviction needs to
+/// erase from the right one).
+enum class EKind : uint8_t { Module, Verify, Compile, Program, Native };
+
+/// One node of the unified recency list: enough to erase the entry and
+/// refund its charge when it falls off the cold end.
+struct LruNode {
+  EKind Kind;
+  uint64_t Key;
+  size_t Cost;
+  std::string Tenant;
+};
+using LruList = std::list<LruNode>;
+using LruIt = LruList::iterator;
+
+/// Map values wrap the artifact with its recency-list position so finds
+/// can splice to the hot end and evictions can refund the exact charge.
+template <typename T> struct Entry {
+  T Value;
+  LruIt It;
+};
+
+struct TenantUsage {
+  uint64_t BytesLive = 0;
+  uint64_t Entries = 0;
+  uint64_t Insertions = 0;
+  uint64_t Evictions = 0;
+};
+
+/// One mutex-guarded store for all five maps plus the recency list and
+/// the capacity accounting: lookups are a hash plus a map probe, far off
+/// any per-dispatch hot path, so a single lock is simpler than six and
+/// contention is irrelevant at sweep granularity.
 struct Store {
   std::mutex Mu;
-  std::unordered_map<uint64_t, std::shared_ptr<const ir::Function>> Modules;
-  std::unordered_map<uint64_t, VerifyResult> Verifies;
-  std::unordered_map<uint64_t, std::shared_ptr<const CompileResult>> Compiles;
-  std::unordered_map<uint64_t, std::shared_ptr<const target::DecodedProgram>>
+  std::unordered_map<uint64_t, Entry<std::shared_ptr<const ir::Function>>>
+      Modules;
+  std::unordered_map<uint64_t, Entry<VerifyResult>> Verifies;
+  std::unordered_map<uint64_t, Entry<std::shared_ptr<const CompileResult>>>
+      Compiles;
+  std::unordered_map<uint64_t,
+                     Entry<std::shared_ptr<const target::DecodedProgram>>>
       Programs;
-  std::unordered_map<uint64_t, std::shared_ptr<const codegen::NativeUnit>>
+  std::unordered_map<uint64_t,
+                     Entry<std::shared_ptr<const codegen::NativeUnit>>>
       Natives;
+
+  LruList Lru;            ///< Front = most recently used.
+  size_t BytesLive = 0;   ///< Sum of resident entry costs.
+  size_t Capacity = 0;    ///< 0 = unbounded.
+  std::map<std::string, TenantUsage> Tenants;
 };
 
 Store &store() {
@@ -51,6 +93,9 @@ struct AtomicStats {
   std::atomic<uint64_t> CompileHits{0}, CompileMisses{0};
   std::atomic<uint64_t> ProgramHits{0}, ProgramMisses{0};
   std::atomic<uint64_t> NativeHits{0}, NativeMisses{0};
+  std::atomic<uint64_t> Evictions{0};
+  std::atomic<uint64_t> BytesLive{0}; ///< Mirror of Store::BytesLive.
+  std::atomic<uint64_t> Capacity{0};  ///< Mirror of Store::Capacity.
 };
 
 AtomicStats &counts() {
@@ -65,6 +110,109 @@ void bump(std::atomic<uint64_t> &Slot, obs::Counter &Obs) {
 }
 
 std::atomic<bool> GlobalSwitch{true};
+
+/// The thread's ambient tenant attribution (empty = anonymous).
+thread_local std::string CurrentTenantName;
+
+//===--- Approximate entry costs ------------------------------------------===//
+// Coarse but monotone-in-reality byte estimates; the bound is a memory
+// *budget*, not an allocator audit, so each entry pays its dominant
+// arrays plus a fixed overhead for the map/list/node bookkeeping.
+
+constexpr size_t EntryOverhead = 256;
+
+size_t costModule(const ir::Function &F) {
+  size_t C = EntryOverhead + F.Name.size();
+  C += F.Arrays.size() * 64;
+  return C + 1024; // Body shape unknown here; callers pass encoded size.
+}
+
+size_t costVerify(const VerifyResult &R) {
+  return EntryOverhead + R.Report.size() + (R.Cert ? 4096 : 0);
+}
+
+size_t costCompile(const CompileResult &R) {
+  return EntryOverhead + R.Code.Instrs.size() * sizeof(target::MInstr) +
+         R.Code.Regs.size() * sizeof(target::MRegInfo) +
+         R.ScalarizeReason.size();
+}
+
+size_t costProgram(const target::DecodedProgram &P) {
+  return EntryOverhead +
+         P.Code.size() * sizeof(target::DecodedProgram::DOp) +
+         P.AuxLanes.size() * sizeof(uint32_t) +
+         P.OrigIndex.size() * sizeof(uint32_t);
+}
+
+size_t costNative(const codegen::NativeUnit &U) {
+  return EntryOverhead + U.Stats.CodeBytes +
+         U.Shims.size() * sizeof(codegen::NOp);
+}
+
+//===--- LRU plumbing (all called under Store::Mu) ------------------------===//
+
+void touch(Store &S, LruIt It) {
+  if (It != S.Lru.begin())
+    S.Lru.splice(S.Lru.begin(), S.Lru, It);
+}
+
+/// Erases the map entry a cold-end node points at. The artifact itself
+/// survives through any shared_ptrs already handed out.
+void eraseEntry(Store &S, const LruNode &N) {
+  switch (N.Kind) {
+  case EKind::Module:
+    S.Modules.erase(N.Key);
+    break;
+  case EKind::Verify:
+    S.Verifies.erase(N.Key);
+    break;
+  case EKind::Compile:
+    S.Compiles.erase(N.Key);
+    break;
+  case EKind::Program:
+    S.Programs.erase(N.Key);
+    break;
+  case EKind::Native:
+    S.Natives.erase(N.Key);
+    break;
+  }
+}
+
+/// Evicts from the cold end until BytesLive is under the capacity.
+/// No-op with capacity 0. Maintains the per-tenant refunds and the
+/// eviction tallies (obs + atomic stats).
+void evictOverCapacity(Store &S) {
+  if (S.Capacity == 0)
+    return;
+  static obs::Counter Evicted("cache.evictions");
+  while (S.BytesLive > S.Capacity && !S.Lru.empty()) {
+    const LruNode &N = S.Lru.back();
+    eraseEntry(S, N);
+    S.BytesLive -= std::min(S.BytesLive, N.Cost);
+    TenantUsage &T = S.Tenants[N.Tenant];
+    T.BytesLive -= std::min(T.BytesLive, static_cast<uint64_t>(N.Cost));
+    if (T.Entries)
+      --T.Entries;
+    ++T.Evictions;
+    S.Lru.pop_back();
+    bump(counts().Evictions, Evicted);
+  }
+  counts().BytesLive.store(S.BytesLive, std::memory_order_relaxed);
+}
+
+/// Charges a fresh insertion: pushes the hot-end node, attributes the
+/// cost to the calling thread's tenant, then enforces the bound.
+/// \returns the node's iterator for the map entry.
+LruIt charge(Store &S, EKind Kind, uint64_t Key, size_t Cost) {
+  S.Lru.push_front(LruNode{Kind, Key, Cost, CurrentTenantName});
+  S.BytesLive += Cost;
+  TenantUsage &T = S.Tenants[CurrentTenantName];
+  T.BytesLive += Cost;
+  ++T.Entries;
+  ++T.Insertions;
+  counts().BytesLive.store(S.BytesLive, std::memory_order_relaxed);
+  return S.Lru.begin();
+}
 
 } // namespace
 
@@ -85,7 +233,50 @@ void cache::clear() {
   S.Compiles.clear();
   S.Programs.clear();
   S.Natives.clear();
+  S.Lru.clear();
+  S.BytesLive = 0;
+  counts().BytesLive.store(0, std::memory_order_relaxed);
+  // Residency resets; lifetime insert/evict tallies survive (clear() is
+  // not an eviction).
+  for (auto &KV : S.Tenants) {
+    KV.second.BytesLive = 0;
+    KV.second.Entries = 0;
+  }
 }
+
+size_t cache::setCapacity(size_t Bytes) {
+  Store &S = store();
+  std::lock_guard<std::mutex> L(S.Mu);
+  size_t Prev = S.Capacity;
+  S.Capacity = Bytes;
+  counts().Capacity.store(Bytes, std::memory_order_relaxed);
+  evictOverCapacity(S); // Shrinking evicts immediately.
+  return Prev;
+}
+
+size_t cache::capacity() {
+  return counts().Capacity.load(std::memory_order_relaxed);
+}
+
+std::vector<TenantStats> cache::tenantStats() {
+  Store &S = store();
+  std::lock_guard<std::mutex> L(S.Mu);
+  std::vector<TenantStats> Out;
+  Out.reserve(S.Tenants.size());
+  for (const auto &KV : S.Tenants)
+    Out.push_back({KV.first, KV.second.BytesLive, KV.second.Entries,
+                   KV.second.Insertions, KV.second.Evictions});
+  return Out; // std::map iteration is already name-sorted.
+}
+
+const std::string &cache::currentTenant() { return CurrentTenantName; }
+
+cache::ScopedTenant::ScopedTenant(std::string Name)
+    : Prev(std::move(CurrentTenantName)) {
+  CurrentTenantName = std::move(Name);
+}
+
+cache::ScopedTenant::~ScopedTenant() { CurrentTenantName = std::move(Prev); }
 
 Stats cache::stats() {
   AtomicStats &C = counts();
@@ -100,6 +291,9 @@ Stats cache::stats() {
   S.ProgramMisses = C.ProgramMisses.load(std::memory_order_relaxed);
   S.NativeHits = C.NativeHits.load(std::memory_order_relaxed);
   S.NativeMisses = C.NativeMisses.load(std::memory_order_relaxed);
+  S.Evictions = C.Evictions.load(std::memory_order_relaxed);
+  S.BytesLive = C.BytesLive.load(std::memory_order_relaxed);
+  S.CapacityBytes = C.Capacity.load(std::memory_order_relaxed);
   return S;
 }
 
@@ -115,6 +309,8 @@ void cache::resetStats() {
   C.ProgramMisses = 0;
   C.NativeHits = 0;
   C.NativeMisses = 0;
+  C.Evictions = 0;
+  // BytesLive/Capacity are state mirrors, not tallies: they survive.
 }
 
 uint64_t cache::hashBytes(const void *Data, size_t Len, uint64_t Seed) {
@@ -204,18 +400,31 @@ std::shared_ptr<const ir::Function> cache::findModule(uint64_t BytesHash) {
     bump(counts().ModuleMisses, Misses);
     return nullptr;
   }
+  touch(S, It->second.It);
   bump(counts().ModuleHits, Hits);
-  return It->second;
+  return It->second.Value;
 }
 
-std::shared_ptr<const ir::Function> cache::putModule(uint64_t BytesHash,
-                                                     ir::Function Module) {
+std::shared_ptr<const ir::Function>
+cache::putModule(uint64_t BytesHash, ir::Function Module, size_t Cost) {
+  if (Cost == 0)
+    Cost = costModule(Module);
   auto P = std::make_shared<const ir::Function>(std::move(Module));
   Store &S = store();
   std::lock_guard<std::mutex> L(S.Mu);
   // First writer wins: under the thread pool two workers may decode the
   // same bytes concurrently; both results are identical, keep one.
-  return S.Modules.emplace(BytesHash, std::move(P)).first->second;
+  auto It = S.Modules.find(BytesHash);
+  if (It != S.Modules.end()) {
+    touch(S, It->second.It);
+    return It->second.Value;
+  }
+  LruIt N = charge(S, EKind::Module, BytesHash, Cost);
+  auto &E = S.Modules[BytesHash];
+  E.Value = std::move(P);
+  E.It = N;
+  evictOverCapacity(S);
+  return E.Value;
 }
 
 std::optional<VerifyResult> cache::findVerify(uint64_t FnHash,
@@ -230,15 +439,26 @@ std::optional<VerifyResult> cache::findVerify(uint64_t FnHash,
     bump(counts().VerifyMisses, Misses);
     return std::nullopt;
   }
+  touch(S, It->second.It);
   bump(counts().VerifyHits, Hits);
-  return It->second;
+  return It->second.Value;
 }
 
 void cache::putVerify(uint64_t FnHash, uint64_t TargetHash, VerifyResult R) {
   uint64_t Key = hashCombine(hashCombine(0x7666, FnHash), TargetHash);
+  size_t Cost = costVerify(R);
   Store &S = store();
   std::lock_guard<std::mutex> L(S.Mu);
-  S.Verifies.emplace(Key, std::move(R));
+  auto It = S.Verifies.find(Key);
+  if (It != S.Verifies.end()) {
+    touch(S, It->second.It);
+    return;
+  }
+  LruIt N = charge(S, EKind::Verify, Key, Cost);
+  auto &E = S.Verifies[Key];
+  E.Value = std::move(R);
+  E.It = N;
+  evictOverCapacity(S);
 }
 
 std::shared_ptr<const CompileResult> cache::findCompile(uint64_t Key) {
@@ -251,16 +471,28 @@ std::shared_ptr<const CompileResult> cache::findCompile(uint64_t Key) {
     bump(counts().CompileMisses, Misses);
     return nullptr;
   }
+  touch(S, It->second.It);
   bump(counts().CompileHits, Hits);
-  return It->second;
+  return It->second.Value;
 }
 
 std::shared_ptr<const CompileResult> cache::putCompile(uint64_t Key,
                                                        CompileResult R) {
+  size_t Cost = costCompile(R);
   auto P = std::make_shared<const CompileResult>(std::move(R));
   Store &S = store();
   std::lock_guard<std::mutex> L(S.Mu);
-  return S.Compiles.emplace(Key, std::move(P)).first->second;
+  auto It = S.Compiles.find(Key);
+  if (It != S.Compiles.end()) {
+    touch(S, It->second.It);
+    return It->second.Value;
+  }
+  LruIt N = charge(S, EKind::Compile, Key, Cost);
+  auto &E = S.Compiles[Key];
+  E.Value = std::move(P);
+  E.It = N;
+  evictOverCapacity(S);
+  return E.Value;
 }
 
 namespace {
@@ -291,8 +523,9 @@ cache::programFor(uint64_t CompKey, const target::MFunction &Code,
     std::lock_guard<std::mutex> L(S.Mu);
     auto It = S.Programs.find(Key);
     if (It != S.Programs.end()) {
+      touch(S, It->second.It);
       bump(counts().ProgramHits, Hits);
-      return It->second;
+      return It->second.Value;
     }
     bump(counts().ProgramMisses, Misses);
   }
@@ -300,8 +533,19 @@ cache::programFor(uint64_t CompKey, const target::MFunction &Code,
   // between concurrent builders of the same key resolve first-writer-wins
   // and the artifacts are identical anyway.
   auto P = target::DecodedProgram::build(Code, T, Image, Weak, Fuse, Plan);
+  size_t Cost = costProgram(*P);
   std::lock_guard<std::mutex> L(S.Mu);
-  return S.Programs.emplace(Key, std::move(P)).first->second;
+  auto It = S.Programs.find(Key);
+  if (It != S.Programs.end()) {
+    touch(S, It->second.It);
+    return It->second.Value;
+  }
+  LruIt N = charge(S, EKind::Program, Key, Cost);
+  auto &E = S.Programs[Key];
+  E.Value = std::move(P);
+  E.It = N;
+  evictOverCapacity(S);
+  return E.Value;
 }
 
 Expected<std::shared_ptr<const codegen::NativeUnit>>
@@ -323,8 +567,10 @@ cache::nativeFor(uint64_t CompKey, const target::MFunction &Code,
     std::lock_guard<std::mutex> L(S.Mu);
     auto It = S.Natives.find(Key);
     if (It != S.Natives.end()) {
+      touch(S, It->second.It);
       bump(counts().NativeHits, Hits);
-      return Expected<std::shared_ptr<const codegen::NativeUnit>>(It->second);
+      return Expected<std::shared_ptr<const codegen::NativeUnit>>(
+          It->second.Value);
     }
     bump(counts().NativeMisses, Misses);
   }
@@ -332,7 +578,19 @@ cache::nativeFor(uint64_t CompKey, const target::MFunction &Code,
   auto R = codegen::compileNative(Code, T, Image, NO);
   if (!R.ok())
     return R;
+  std::shared_ptr<const codegen::NativeUnit> U = R.take();
+  size_t Cost = costNative(*U);
   std::lock_guard<std::mutex> L(S.Mu);
-  return Expected<std::shared_ptr<const codegen::NativeUnit>>(
-      S.Natives.emplace(Key, R.take()).first->second);
+  auto It = S.Natives.find(Key);
+  if (It != S.Natives.end()) {
+    touch(S, It->second.It);
+    return Expected<std::shared_ptr<const codegen::NativeUnit>>(
+        It->second.Value);
+  }
+  LruIt N = charge(S, EKind::Native, Key, Cost);
+  auto &E = S.Natives[Key];
+  E.Value = std::move(U);
+  E.It = N;
+  evictOverCapacity(S);
+  return Expected<std::shared_ptr<const codegen::NativeUnit>>(E.Value);
 }

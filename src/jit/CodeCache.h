@@ -49,6 +49,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 namespace vapor {
 namespace jit {
@@ -62,8 +63,10 @@ bool enabled();
 /// this to measure cold compiles; tests use it to force both paths.
 bool setEnabled(bool On);
 
-/// Drops every entry (all four maps). Entries already handed out stay
-/// alive through their shared_ptrs.
+/// Drops every entry (all five maps), the LRU list, and the live-byte
+/// charges (global and per-tenant). Entries already handed out stay
+/// alive through their shared_ptrs. Eviction/insertion counters keep
+/// their totals (clear() is not an eviction).
 void clear();
 
 struct Stats {
@@ -72,9 +75,70 @@ struct Stats {
   uint64_t CompileHits = 0, CompileMisses = 0;
   uint64_t ProgramHits = 0, ProgramMisses = 0;
   uint64_t NativeHits = 0, NativeMisses = 0;
+  /// Memory-bound telemetry (capacity-driven LRU eviction; see
+  /// setCapacity). BytesLive counts the approximate cost of resident
+  /// entries; Evictions counts entries dropped to stay under the bound.
+  uint64_t Evictions = 0;
+  uint64_t BytesLive = 0;
+  uint64_t CapacityBytes = 0; ///< 0 = unbounded.
 };
 Stats stats();
 void resetStats();
+
+//===--- Memory bound + cost-aware LRU ------------------------------------===//
+//
+// Every entry carries an approximate byte cost (machine-code bytes,
+// decoded-op array sizes, report lengths -- see the cost functions in
+// CodeCache.cpp). With a nonzero capacity the cache maintains one
+// recency list across all five maps and evicts from the cold end,
+// cheapest-to-keep last: a find refreshes recency, an insert charges its
+// cost and then evicts least-recently-used entries (of any kind) until
+// the total is back under the bound. Capacity 0 (the default) disables
+// eviction entirely and is byte-identical to the unbounded cache.
+//
+// The invariant with a nonzero capacity is BytesLive <= CapacityBytes at
+// every return -- an entry larger than the whole capacity is evicted
+// immediately after insertion (its caller keeps it via the returned
+// shared_ptr; it is simply never resident).
+
+/// Sets the total-cost budget in approximate bytes (0 = unbounded) and
+/// \returns the previous capacity. Shrinking evicts immediately.
+size_t setCapacity(size_t Bytes);
+size_t capacity();
+
+//===--- Per-tenant accounting --------------------------------------------===//
+//
+// The execution service attributes cache residency to the tenant whose
+// request inserted each entry. Attribution is ambient (a thread-local
+// tenant name) so the five insert paths need no signature change; the
+// empty name is the anonymous/default tenant every non-server caller
+// charges to.
+
+struct TenantStats {
+  std::string Tenant;
+  uint64_t BytesLive = 0;   ///< Resident cost attributed to this tenant.
+  uint64_t Entries = 0;     ///< Resident entry count.
+  uint64_t Insertions = 0;  ///< Lifetime inserts attributed.
+  uint64_t Evictions = 0;   ///< Lifetime evictions of this tenant's entries.
+};
+/// Snapshot of every tenant ever charged, sorted by name.
+std::vector<TenantStats> tenantStats();
+
+/// The tenant name new insertions are attributed to on this thread.
+const std::string &currentTenant();
+
+/// RAII tenant attribution: sets the thread's tenant for the scope,
+/// restoring the previous one (scopes nest).
+class ScopedTenant {
+public:
+  explicit ScopedTenant(std::string Name);
+  ~ScopedTenant();
+  ScopedTenant(const ScopedTenant &) = delete;
+  ScopedTenant &operator=(const ScopedTenant &) = delete;
+
+private:
+  std::string Prev;
+};
 
 //===--- Key ingredients --------------------------------------------------===//
 // Combine with ir::hashFunction(F) (Function.h). Every hash covers all
@@ -107,9 +171,12 @@ uint64_t hashCombine(uint64_t Seed, uint64_t W);
 //===--- Module (decode) memo ---------------------------------------------===//
 
 std::shared_ptr<const ir::Function> findModule(uint64_t BytesHash);
-/// Inserts (first writer wins) and \returns the cached module.
-std::shared_ptr<const ir::Function> putModule(uint64_t BytesHash,
-                                              ir::Function Module);
+/// Inserts (first writer wins) and \returns the cached module. \p Cost
+/// is the entry's approximate byte cost for the capacity bound; 0 asks
+/// the cache to estimate from the function's shape (callers that know
+/// the encoded size should pass it -- it is the honest decode cost).
+std::shared_ptr<const ir::Function>
+putModule(uint64_t BytesHash, ir::Function Module, size_t Cost = 0);
 
 //===--- Verify memo ------------------------------------------------------===//
 

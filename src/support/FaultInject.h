@@ -44,8 +44,11 @@ enum class SiteClass : uint8_t {
   JitLower,   ///< jit::compileChecked returns unsupported-idiom.
   VmAlign,    ///< The VM's next checked vector access alignment-traps.
   NativeTrap, ///< The native tier's next run reports an alignment trap.
+  Deadline,   ///< A fueled run reports DeadlineExceeded at its entry.
+  QueueFull,  ///< The server's admission gate reports Overloaded.
+  SocketIo,   ///< The server drops one response write on the floor.
 };
-constexpr unsigned NumSiteClasses = 5;
+constexpr unsigned NumSiteClasses = 8;
 
 inline const char *siteClassName(SiteClass S) {
   switch (S) {
@@ -59,6 +62,12 @@ inline const char *siteClassName(SiteClass S) {
     return "vm-align";
   case SiteClass::NativeTrap:
     return "native-trap";
+  case SiteClass::Deadline:
+    return "deadline";
+  case SiteClass::QueueFull:
+    return "queue-full";
+  case SiteClass::SocketIo:
+    return "socket-io";
   }
   return "unknown";
 }

@@ -51,6 +51,14 @@ enum class Code : uint8_t {
   // VM execution.
   AlignmentTrap,      ///< Aligned vector access at a misaligned address.
   OutOfBoundsAccess,  ///< Access outside the memory image.
+  // Deadlines and admission control (the execution service).
+  DeadlineExceeded,   ///< Fuel/step budget exhausted; terminal, never demotes.
+  Overloaded,         ///< Bounded queue full; retry after backoff.
+  QuotaExceeded,      ///< Per-tenant in-flight cap reached.
+  Unavailable,        ///< Server draining; no new work accepted.
+  // Wire protocol.
+  MalformedFrame,     ///< Framing violation (magic, length cap, kind).
+  DuplicateRequest,   ///< Request id already in flight on this connection.
   // Generic.
   InvalidArgument,
   Internal,
@@ -64,6 +72,7 @@ enum class Layer : uint8_t {
   Jit,      ///< Online lowering.
   Vm,       ///< Target-model execution.
   Pipeline, ///< Driver-level (executor) conditions.
+  Server,   ///< Execution-service framing/admission/scheduling.
 };
 
 inline const char *codeName(Code C) {
@@ -90,6 +99,18 @@ inline const char *codeName(Code C) {
     return "alignment-trap";
   case Code::OutOfBoundsAccess:
     return "out-of-bounds-access";
+  case Code::DeadlineExceeded:
+    return "deadline-exceeded";
+  case Code::Overloaded:
+    return "overloaded";
+  case Code::QuotaExceeded:
+    return "quota-exceeded";
+  case Code::Unavailable:
+    return "unavailable";
+  case Code::MalformedFrame:
+    return "malformed-frame";
+  case Code::DuplicateRequest:
+    return "duplicate-request";
   case Code::InvalidArgument:
     return "invalid-argument";
   case Code::Internal:
@@ -112,6 +133,8 @@ inline const char *layerName(Layer L) {
     return "vm";
   case Layer::Pipeline:
     return "pipeline";
+  case Layer::Server:
+    return "server";
   }
   return "unknown";
 }

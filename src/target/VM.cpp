@@ -2005,11 +2005,45 @@ status::Status VM::run() {
   const uint32_t N = static_cast<uint32_t>(Prog->Code.size());
   uint64_t Cyc = 0, Ins = 0;
   uint32_t PC = 0;
-  while (PC < N) {
-    const DOp &O = Ops[PC];
-    Cyc += O.Cost;
-    Ins += O.Counts;
-    PC = O.Fn(*this, O, PC);
+  if (__builtin_expect(Fuel != 0, 0)) {
+    // Fueled (deadline-bounded) run: a separate copy of the dispatch
+    // loop, so the unfueled hot path below stays byte-identical to the
+    // pre-fuel interpreter. The budget counts dispatched decoded ops --
+    // the one quantity the loop already advances by exactly one per
+    // iteration -- so exhaustion is detected within one dispatch of the
+    // limit regardless of fusion or control flow.
+    //
+    // Fault-injection site: models a runaway kernel without needing one;
+    // fires only on fueled runs, so the crashtest's classic sweeps never
+    // count it.
+    if (faultinject::shouldFire(faultinject::SiteClass::Deadline))
+      return status::Status::error(
+          Code::DeadlineExceeded, Layer::Vm,
+          "injected fault: deadline exceeded before dispatch");
+    uint64_t Left = Fuel;
+    while (PC < N) {
+      if (__builtin_expect(Left-- == 0, 0)) {
+        Cycles += Cyc;
+        Instrs += Ins;
+        static obs::Counter Deadlines("vm.deadline_exceeded");
+        Deadlines.add(1);
+        return status::Status::error(
+            Code::DeadlineExceeded, Layer::Vm,
+            "deadline exceeded: dispatch budget of " + std::to_string(Fuel) +
+                " ops exhausted on " + Prog->TargetName);
+      }
+      const DOp &O = Ops[PC];
+      Cyc += O.Cost;
+      Ins += O.Counts;
+      PC = O.Fn(*this, O, PC);
+    }
+  } else {
+    while (PC < N) {
+      const DOp &O = Ops[PC];
+      Cyc += O.Cost;
+      Ins += O.Counts;
+      PC = O.Fn(*this, O, PC);
+    }
   }
   Cycles += Cyc;
   Instrs += Ins;

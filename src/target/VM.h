@@ -249,6 +249,14 @@ public:
   void setTrapRecording(bool On) { TrapRecording = On; }
   bool trapped() const { return Trapped; }
 
+  /// Arms a per-run dispatch budget (the execution service's deadline):
+  /// a run that dispatches more than \p MaxDispatches decoded ops halts
+  /// with a DeadlineExceeded Status instead of wedging its worker. 0
+  /// (the default) is unlimited and runs the exact pre-fuel dispatch
+  /// loop -- the fueled loop is a separate copy, so unfueled callers pay
+  /// nothing. The budget re-arms at every run() call.
+  void setFuel(uint64_t MaxDispatches) { Fuel = MaxDispatches; }
+
   /// Audit-mode telemetry: genuine would-have-been-elided predicate fires
   /// accumulated across runs (VMCheck::AuditAlign/AuditBounds ops). Any
   /// nonzero count means a certificate grant was wrong -- the access also
@@ -293,6 +301,7 @@ private:
 
   uint64_t Cycles = 0;
   uint64_t Instrs = 0;
+  uint64_t Fuel = 0; ///< Per-run dispatch budget; 0 = unlimited.
   uint64_t AuditAlignFired = 0;
   uint64_t AuditBoundsFired = 0;
 

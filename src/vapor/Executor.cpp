@@ -60,6 +60,13 @@ RunOutcome Executor::run(ExecTier Entry) {
         Out.Tier = ExecTier::Native;
         break;
       }
+      if (St.code() == Code::DeadlineExceeded) {
+        // Terminal, never a demotion: the fast tier already spent the
+        // whole budget, so a slower tier cannot meet the deadline.
+        Out.Tier = ExecTier::Native;
+        Out.Terminal = St;
+        break;
+      }
       // Every native failure -- unsupported host, page allocation,
       // runtime trap -- demotes to the VM running the exact same
       // lowering. Not a Retry: the vector code is not suspect, only its
@@ -75,11 +82,22 @@ RunOutcome Executor::run(ExecTier Entry) {
         Out.Tier = ExecTier::Vectorized;
         break;
       }
+      if (St.code() == Code::DeadlineExceeded) {
+        Out.Tier = ExecTier::Vectorized;
+        Out.Terminal = St;
+        break;
+      }
       ExecTier Next;
       if (St.layer() == Layer::Verify) {
         Next = ExecTier::ScalarJit; // Forced-scalar code is safe to run.
       } else if (St.layer() == Layer::Vm) {
         ++Out.Retries; // Deoptimize: recompile scalar after the trap.
+        Next = ExecTier::ScalarJit;
+      } else if (FailClosed) {
+        // Server mode has no ScalarBytecode tier (no trusted source to
+        // re-encode); a lowering failure recovers on the forced-scalar
+        // re-JIT of the same pre-decoded module instead. Decode cannot
+        // fail here -- the module arrived decoded.
         Next = ExecTier::ScalarJit;
       } else {
         // Decode failures leave no module to re-JIT; JIT failures demote
@@ -101,6 +119,14 @@ RunOutcome Executor::run(ExecTier Entry) {
         Out.Tier = ExecTier::ScalarJit;
         break;
       }
+      if (FailClosed || St.code() == Code::DeadlineExceeded) {
+        // Fail closed: past ScalarJit lie only tiers that re-derive
+        // from trusted kernel source or run the checkpoint-free
+        // interpreter -- neither may see tenant-supplied input.
+        Out.Tier = ExecTier::ScalarJit;
+        Out.Terminal = St;
+        break;
+      }
       Out.Demotions.push_back(St);
       recordDemotion(K, O, St, T, ExecTier::ScalarBytecode);
       T = ExecTier::ScalarBytecode;
@@ -110,6 +136,11 @@ RunOutcome Executor::run(ExecTier Entry) {
       Status St = attemptScalarBytecode(Out);
       if (St.ok()) {
         Out.Tier = ExecTier::ScalarBytecode;
+        break;
+      }
+      if (St.code() == Code::DeadlineExceeded) {
+        Out.Tier = ExecTier::ScalarBytecode;
+        Out.Terminal = St;
         break;
       }
       Out.Demotions.push_back(St);
@@ -124,6 +155,11 @@ RunOutcome Executor::run(ExecTier Entry) {
     }
     static obs::Counter Runs("executor.runs");
     Runs.add(1);
+    if (!Out.Terminal.ok()) {
+      static obs::Counter Terminals("executor.terminal");
+      Terminals.add(1);
+      S.arg("terminal", Out.Terminal.str());
+    }
     S.arg("tier", tierName(Out.Tier));
     S.arg("demotions", static_cast<uint64_t>(Out.Demotions.size()));
     S.arg("retries", static_cast<uint64_t>(Out.Retries));
@@ -133,6 +169,21 @@ RunOutcome Executor::run(ExecTier Entry) {
 }
 
 Status Executor::prepareVectorized(RunOutcome &Out) {
+  if (FailClosed) {
+    // Server mode: the module arrived pre-decoded (and pre-vectorized),
+    // so there is no offline stage and no interchange round trip to run
+    // here -- only the verify gate stands between the wire bytes and
+    // the JIT.
+    Out.BytecodeBytes = PreDecodedBytes;
+    const bool Cached = O.UseCodeCache && jit::cache::enabled();
+    if (Cached && !VecModuleHash)
+      VecModuleHash = ir::hashFunction(*VecModule);
+    if (O.VerifyBytecode)
+      return verifyCached(*VecModule, VecModuleHash, Cached,
+                          "bytecode verification failed for ");
+    return Status::okStatus();
+  }
+
   // --- Offline stage (trusted: keeps its internal asserts) ---
   auto VR = vectorizer::vectorize(K.Source, O.VecOpts);
   Out.AnyLoopVectorized = VR.anyVectorized();
@@ -160,7 +211,8 @@ Status Executor::prepareVectorized(RunOutcome &Out) {
     if (!Decoded)
       return Decoded.status();
     Module = Cached
-                 ? jit::cache::putModule(BytesHash, Decoded.take())
+                 ? jit::cache::putModule(BytesHash, Decoded.take(),
+                                         Encoded.size())
                  : std::make_shared<const ir::Function>(Decoded.take());
   }
   VecModule = Module;
@@ -221,7 +273,8 @@ Status Executor::attemptScalarBytecode(RunOutcome &Out) {
     if (!Decoded)
       return Decoded.status();
     Module = Cached
-                 ? jit::cache::putModule(BytesHash, Decoded.take())
+                 ? jit::cache::putModule(BytesHash, Decoded.take(),
+                                         Encoded.size())
                  : std::make_shared<const ir::Function>(Decoded.take());
   }
   uint64_t FnHash = Cached ? ir::hashFunction(*Module) : 0;
@@ -412,6 +465,8 @@ Status Executor::runModule(RunOutcome &Out, const ir::Function &Module,
     std::shared_ptr<const codegen::NativeUnit> Unit = NU.take();
 
     codegen::NativeExec Exec(Unit, *Out.Mem);
+    if (O.DeadlineFuel)
+      Exec.setFuel(O.DeadlineFuel);
     detail::setParams(
         K, Module,
         [&](const std::string &N, int64_t V) { Exec.setParamInt(N, V); },
@@ -439,6 +494,8 @@ Status Executor::runModule(RunOutcome &Out, const ir::Function &Module,
                                      O.FuseOps, PlanPtr);
   VM Machine(Prog, *Out.Mem);
   Machine.setTrapRecording(true);
+  if (O.DeadlineFuel)
+    Machine.setFuel(O.DeadlineFuel);
   detail::setParams(
       K, Module,
       [&](const std::string &N, int64_t V) { Machine.setParamInt(N, V); },
@@ -488,4 +545,51 @@ void Executor::runInterpreter(RunOutcome &Out) {
   Out.BytecodeBytes = 0;
   Out.Code = MFunction();
   Out.Iaca = IacaReport();
+}
+
+RunOutcome vapor::runEncodedModule(const ModuleWorkload &W,
+                                   const RunOptions &O) {
+  obs::Span S("executor", "runEncodedModule");
+  S.arg("name", W.Name);
+  S.arg("bytes", static_cast<uint64_t>(W.Bytecode.size()));
+
+  // Decode first (through the cache when enabled): the bytes are the
+  // only definition of the work, so a decode failure is terminal -- no
+  // lower tier can synthesize a module the wire format rejected.
+  const bool Cached = O.UseCodeCache && jit::cache::enabled();
+  uint64_t BytesHash = 0;
+  std::shared_ptr<const ir::Function> Module;
+  if (Cached) {
+    BytesHash = jit::cache::hashBytes(W.Bytecode.data(), W.Bytecode.size());
+    Module = jit::cache::findModule(BytesHash);
+  }
+  if (!Module) {
+    auto Decoded = bytecode::decode(W.Bytecode);
+    if (!Decoded) {
+      RunOutcome Out;
+      Out.Terminal = Decoded.status();
+      return Out;
+    }
+    Module = Cached ? jit::cache::putModule(BytesHash, Decoded.take(),
+                                            W.Bytecode.size())
+                    : std::make_shared<const ir::Function>(Decoded.take());
+  }
+
+  // Synthesize the workload the executor drives: the decoded module is
+  // the source of truth for arrays and params; the fill is the
+  // deterministic default (seeded), so a client that knows the original
+  // source can recompute the golden result independently.
+  kernels::Kernel K;
+  K.Name = W.Name.empty() ? Module->Name : W.Name;
+  K.Suite = "server";
+  K.Source = *Module;
+  K.IntParams = W.IntParams;
+  K.FPParams = W.FPParams;
+  const uint64_t Seed = W.FillSeed;
+  K.Fill = [Seed](kernels::FillSink &Sink, const ir::Function &F) {
+    kernels::defaultFill(Sink, F, Seed);
+  };
+
+  return Executor(K, O, Module, W.Bytecode.size())
+      .run(O.UseNative ? ExecTier::Native : ExecTier::Vectorized);
 }

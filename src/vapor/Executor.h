@@ -58,6 +58,19 @@ class Executor {
 public:
   Executor(const kernels::Kernel &K, const RunOptions &O) : K(K), O(O) {}
 
+  /// Server-mode executor: \p PreDecoded is the already-decoded module
+  /// the (untrusted) encoded bytes produced and \p EncodedBytes its wire
+  /// size. The chain FAIL-CLOSES after ScalarJit: with no trusted kernel
+  /// source behind the module, the ScalarBytecode re-encode is a no-op
+  /// and the interpreter tier -- which has no deadline checkpoint --
+  /// must never run tenant-supplied input. \p K still supplies the
+  /// workload (params, fill, name); its Source is the decoded module.
+  Executor(const kernels::Kernel &K, const RunOptions &O,
+           std::shared_ptr<const ir::Function> PreDecoded,
+           size_t EncodedBytes)
+      : K(K), O(O), VecModule(std::move(PreDecoded)),
+        PreDecodedBytes(EncodedBytes), FailClosed(true) {}
+
   /// Walks the chain starting at \p Entry (Vectorized for the
   /// SplitVectorized flow, ScalarBytecode for SplitScalar) until a tier
   /// completes. Never aborts for representable configurations -- also
@@ -113,6 +126,11 @@ private:
   /// cache (immutable either way).
   std::shared_ptr<const ir::Function> VecModule;
   uint64_t VecModuleHash = 0; ///< ir::hashFunction(*VecModule), if cached.
+  size_t PreDecodedBytes = 0; ///< Wire size of the server-mode module.
+  /// Server mode: stop (RunOutcome::Terminal) instead of demoting past
+  /// ScalarJit. Also skips the offline vectorize/encode in
+  /// prepareVectorized -- VecModule arrived pre-decoded.
+  bool FailClosed = false;
   /// Safety certificate the last verifyCached call captured for the
   /// module it verified (null when the verifier proved nothing or the
   /// verify gate is off). Always describes the module runModule runs

@@ -33,6 +33,7 @@
 #include "target/Target.h"
 #include "vectorizer/Vectorizer.h"
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -110,6 +111,17 @@ struct RunOptions {
   /// from On to Off automatically so an injected fault can never be
   /// masked by an elided check.
   target::ElisionMode Elide = target::ElisionMode::On;
+  /// Per-run execution deadline as a dispatch budget: the VM counts op
+  /// dispatches, the native tier counts shim calls (its only recurring
+  /// C++ checkpoints -- see codegen::NativeExec::setFuel). 0 = unlimited.
+  /// A run that exhausts its budget stops mid-flight with a
+  /// DeadlineExceeded Status, which is TERMINAL: the executor never
+  /// demotes it (re-running heavier work on a slower tier cannot meet a
+  /// deadline the fast tier missed) -- the outcome's Terminal field
+  /// carries the Status and Mem holds partial results. The unit is
+  /// deliberately deterministic work, not wall time, so deadline
+  /// verdicts are reproducible across hosts and load.
+  uint64_t DeadlineFuel = 0;
 };
 
 struct RunOutcome {
@@ -156,6 +168,14 @@ struct RunOutcome {
   std::vector<status::Status> Demotions;
   /// Deoptimizing re-JIT attempts (runtime trap -> forced-scalar recompile).
   uint32_t Retries = 0;
+  /// Terminal failure, if any. ok() for every run that produced valid
+  /// results (possibly after demotions). Not-ok only when the chain was
+  /// stopped for good: a DeadlineExceeded budget exhaustion (any mode),
+  /// or any unrecoverable failure of a fail-closed server-mode run
+  /// (runEncodedModule), which must never fall back to the unbounded
+  /// interpreter on tenant-supplied input. When set, Mem is partial or
+  /// absent and must not be compared against the golden model.
+  status::Status Terminal = status::Status::okStatus();
 };
 
 /// Compiles and executes \p K under \p Flow. Split flows run under the
@@ -172,6 +192,31 @@ RunOutcome runKernel(const kernels::Kernel &K, Flow F, const RunOptions &O);
 /// that produced the mismatching results.
 bool checkAgainstGolden(const kernels::Kernel &K, const RunOutcome &Out,
                         std::string &Err);
+
+/// A self-contained unit of work submitted to the execution service: an
+/// already-vectorized bytecode module plus the scalar parameter bindings
+/// its run needs. The service trusts NOTHING in here -- the bytes came
+/// over a socket.
+struct ModuleWorkload {
+  std::string Name;              ///< Request label for traces and errors.
+  std::vector<uint8_t> Bytecode; ///< Encoded module (bytecode::encode).
+  std::map<std::string, int64_t> IntParams;
+  std::map<std::string, double> FPParams;
+  uint64_t FillSeed = 7; ///< Seed for the deterministic default fill.
+};
+
+/// Server-mode entry point: decodes and runs \p W under the
+/// fault-tolerant executor with the chain FAIL-CLOSED at the JIT tiers
+/// ([Native ->] Vectorized -> ScalarJit -> stop). Unlike runKernel there
+/// is no trusted kernel source behind the bytes, so a run that cannot
+/// complete on a JIT tier reports a Terminal Status instead of falling
+/// back to ScalarBytecode/Interpreter -- the interpreter has no deadline
+/// checkpoint, and an unbounded golden-model walk over tenant-supplied
+/// input is exactly the wedged-worker failure mode the service exists to
+/// prevent. Decode failures, verify failures after demotion, and
+/// deadline exhaustion (O.DeadlineFuel) all land in Outcome::Terminal
+/// with the demotion trail preserved.
+RunOutcome runEncodedModule(const ModuleWorkload &W, const RunOptions &O);
 
 } // namespace vapor
 

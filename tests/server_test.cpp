@@ -1,0 +1,576 @@
+//===- tests/server_test.cpp - Execution-service robustness tests ---------===//
+//
+// Part of the Vapor SIMD reproduction.
+//
+//===----------------------------------------------------------------------===//
+//
+// Two layers of coverage for vapor::server:
+//
+//  1. Pure protocol fuzzing -- every decoder is driven with truncations,
+//     hostile length prefixes, bad enum values, and deterministic garbage,
+//     and must answer with a structured MalformedFrame Status (never UB,
+//     never an abort).
+//  2. A live in-process Server attacked over real AF_UNIX sockets:
+//     garbage frames, mid-request disconnects, duplicate ids, unknown
+//     targets. Every attack lands as a structured rejection counter and
+//     the server keeps serving; deadline and fail-closed semantics are
+//     pinned through runEncodedModule directly.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/Bytecode.h"
+#include "kernels/Kernels.h"
+#include "server/Protocol.h"
+#include "server/Server.h"
+#include "vapor/Pipeline.h"
+#include "vectorizer/Vectorizer.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace vapor;
+using server::FrameKind;
+
+namespace {
+
+//===--- Protocol fuzz (no sockets) ---------------------------------------===//
+
+server::RunRequest sampleRequest() {
+  server::RunRequest R;
+  R.RequestId = 42;
+  R.Tenant = "tenant-x";
+  R.Name = "dissolve_s8";
+  R.Target = "sse";
+  R.UseNative = false;
+  R.VerifyBytecode = true;
+  R.UseCodeCache = true;
+  R.Elide = 1;
+  R.DeadlineFuel = 12345;
+  R.FillSeed = 9;
+  R.IntParams["n"] = 64;
+  R.IntParams["w"] = 7;
+  R.FPParams["alpha"] = 0.5;
+  R.Bytecode = {1, 2, 3, 4, 5, 6, 7, 8};
+  return R;
+}
+
+TEST(ProtocolTest, RunRequestRoundTrip) {
+  server::RunRequest R = sampleRequest();
+  std::vector<uint8_t> P = server::encodeRunRequest(R);
+  server::RunRequest Out;
+  ASSERT_TRUE(server::decodeRunRequest(P.data(), P.size(), Out).ok());
+  EXPECT_EQ(Out.RequestId, R.RequestId);
+  EXPECT_EQ(Out.Tenant, R.Tenant);
+  EXPECT_EQ(Out.Name, R.Name);
+  EXPECT_EQ(Out.Target, R.Target);
+  EXPECT_EQ(Out.VerifyBytecode, R.VerifyBytecode);
+  EXPECT_EQ(Out.UseCodeCache, R.UseCodeCache);
+  EXPECT_EQ(Out.Elide, R.Elide);
+  EXPECT_EQ(Out.Inject, R.Inject);
+  EXPECT_EQ(Out.DeadlineFuel, R.DeadlineFuel);
+  EXPECT_EQ(Out.FillSeed, R.FillSeed);
+  EXPECT_EQ(Out.IntParams, R.IntParams);
+  EXPECT_EQ(Out.FPParams, R.FPParams);
+  EXPECT_EQ(Out.Bytecode, R.Bytecode);
+}
+
+TEST(ProtocolTest, RunResponseRoundTrip) {
+  server::RunResponse R;
+  R.RequestId = 7;
+  R.TraceId = "vs-3";
+  R.Code = 11;
+  R.Layer = 6;
+  R.Message = "queue full";
+  R.Tier = 2;
+  R.Demotions = 1;
+  R.Retries = 2;
+  R.Cycles = 998877;
+  R.RetryAfterMs = 50;
+  R.Arrays.push_back({"o", 0, {1, 2, 3}});
+  R.Arrays.push_back({"f", 1, {0x3ff0000000000000ull}});
+  std::vector<uint8_t> P = server::encodeRunResponse(R);
+  server::RunResponse Out;
+  ASSERT_TRUE(server::decodeRunResponse(P.data(), P.size(), Out).ok());
+  EXPECT_EQ(Out.TraceId, R.TraceId);
+  EXPECT_EQ(Out.RetryAfterMs, R.RetryAfterMs);
+  ASSERT_EQ(Out.Arrays.size(), 2u);
+  EXPECT_EQ(Out.Arrays[0].Lanes, R.Arrays[0].Lanes);
+  EXPECT_EQ(Out.Arrays[1].IsFP, 1);
+}
+
+TEST(ProtocolTest, StatsResponseRoundTrip) {
+  server::StatsResponse S;
+  S.Accepted = 100;
+  S.RejectedOverload = 3;
+  S.CacheEvictions = 17;
+  S.RssBytes = 1u << 24;
+  S.Tenants.push_back({"a", 1, 2, 3, 4, 5});
+  std::vector<uint8_t> P = server::encodeStatsResponse(S);
+  server::StatsResponse Out;
+  ASSERT_TRUE(server::decodeStatsResponse(P.data(), P.size(), Out).ok());
+  EXPECT_EQ(Out.Accepted, 100u);
+  EXPECT_EQ(Out.CacheEvictions, 17u);
+  ASSERT_EQ(Out.Tenants.size(), 1u);
+  EXPECT_EQ(Out.Tenants[0].Rejected, 3u);
+}
+
+TEST(ProtocolTest, EveryTruncationOfARequestIsMalformed) {
+  std::vector<uint8_t> P = server::encodeRunRequest(sampleRequest());
+  for (size_t Len = 0; Len < P.size(); ++Len) {
+    server::RunRequest Out;
+    Status St = server::decodeRunRequest(P.data(), Len, Out);
+    ASSERT_FALSE(St.ok()) << "truncation at " << Len << " decoded";
+    EXPECT_EQ(St.code(), status::Code::MalformedFrame);
+    EXPECT_EQ(St.layer(), status::Layer::Server);
+  }
+}
+
+TEST(ProtocolTest, TrailingGarbageIsMalformed) {
+  std::vector<uint8_t> P = server::encodeRunRequest(sampleRequest());
+  P.push_back(0xaa);
+  server::RunRequest Out;
+  EXPECT_FALSE(server::decodeRunRequest(P.data(), P.size(), Out).ok());
+}
+
+TEST(ProtocolTest, HostileStringAndCountPrefixesAreMalformed) {
+  // A huge inner string length must not drive a huge allocation: the
+  // decoder checks every length against the remaining payload.
+  std::vector<uint8_t> P = server::encodeRunRequest(sampleRequest());
+  // RequestId occupies bytes [0,8); the Tenant length prefix follows.
+  uint32_t Huge = 0x7fffffff;
+  std::memcpy(P.data() + 8, &Huge, 4);
+  server::RunRequest Out;
+  Status St = server::decodeRunRequest(P.data(), P.size(), Out);
+  ASSERT_FALSE(St.ok());
+  EXPECT_EQ(St.code(), status::Code::MalformedFrame);
+}
+
+TEST(ProtocolTest, BadEnumFieldsAreMalformed) {
+  {
+    server::RunRequest R = sampleRequest();
+    R.Elide = 3; // Past ElisionMode::Audit.
+    std::vector<uint8_t> P = server::encodeRunRequest(R);
+    server::RunRequest Out;
+    EXPECT_FALSE(server::decodeRunRequest(P.data(), P.size(), Out).ok());
+  }
+  {
+    server::RunRequest R = sampleRequest();
+    R.Inject = 200; // Not 0xff, not a SiteClass.
+    std::vector<uint8_t> P = server::encodeRunRequest(R);
+    server::RunRequest Out;
+    EXPECT_FALSE(server::decodeRunRequest(P.data(), P.size(), Out).ok());
+  }
+}
+
+TEST(ProtocolTest, DeterministicGarbageNeverCrashesDecoders) {
+  // SplitMix64-driven fuzz: whatever the bytes, every decoder must
+  // return (never throw/abort), and failures must be structured.
+  uint64_t X = 0x9e3779b97f4a7c15ull;
+  auto Next = [&X] {
+    X += 0x9e3779b97f4a7c15ull;
+    uint64_t Z = X;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  };
+  for (int Round = 0; Round < 200; ++Round) {
+    std::vector<uint8_t> P(Next() % 512);
+    for (uint8_t &B : P)
+      B = static_cast<uint8_t>(Next());
+    server::RunRequest Rq;
+    server::RunResponse Rs;
+    server::StatsResponse St;
+    Status A = server::decodeRunRequest(P.data(), P.size(), Rq);
+    Status B = server::decodeRunResponse(P.data(), P.size(), Rs);
+    Status C = server::decodeStatsResponse(P.data(), P.size(), St);
+    for (const Status &S : {A, B, C}) {
+      if (!S.ok()) {
+        EXPECT_EQ(S.code(), status::Code::MalformedFrame);
+      }
+    }
+  }
+}
+
+TEST(ProtocolTest, FrameHeaderRejectsMagicLengthAndKind) {
+  std::vector<uint8_t> F =
+      server::frame(FrameKind::Ping, {1, 2, 3});
+  ASSERT_EQ(F.size(), server::FrameHeaderBytes + 3);
+  FrameKind Kind;
+  uint32_t Len = 0;
+  ASSERT_TRUE(server::decodeFrameHeader(F.data(), Kind, Len).ok());
+  EXPECT_EQ(Kind, FrameKind::Ping);
+  EXPECT_EQ(Len, 3u);
+
+  std::vector<uint8_t> Bad = F;
+  Bad[0] ^= 0xff; // Magic.
+  EXPECT_FALSE(server::decodeFrameHeader(Bad.data(), Kind, Len).ok());
+
+  Bad = F;
+  Bad[4] = 0x7e; // Unknown kind.
+  EXPECT_FALSE(server::decodeFrameHeader(Bad.data(), Kind, Len).ok());
+
+  Bad = F;
+  uint32_t Oversized = server::MaxPayload + 1;
+  std::memcpy(Bad.data() + 5, &Oversized, 4); // Hostile length prefix.
+  EXPECT_FALSE(server::decodeFrameHeader(Bad.data(), Kind, Len).ok());
+}
+
+TEST(ProtocolTest, RequestKindPredicate) {
+  EXPECT_TRUE(server::isRequestKind(1));
+  EXPECT_TRUE(server::isRequestKind(2));
+  EXPECT_TRUE(server::isRequestKind(3));
+  EXPECT_FALSE(server::isRequestKind(0x81)) << "responses are not requests";
+  EXPECT_FALSE(server::isRequestKind(0));
+  EXPECT_FALSE(server::isRequestKind(99));
+}
+
+//===--- Live server over AF_UNIX -----------------------------------------===//
+
+int connectTo(const std::string &Path) {
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return -1;
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  std::strncpy(Addr.sun_path, Path.c_str(), sizeof(Addr.sun_path) - 1);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+/// Spins until \p Pred holds or ~2s elapse: socket teardown and the
+/// server's reader threads race the test thread by design.
+template <typename P> bool eventually(P Pred) {
+  for (int I = 0; I < 200; ++I) {
+    if (Pred())
+      return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return Pred();
+}
+
+class ServerTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Path = "/tmp/vapor-servertest-" + std::to_string(::getpid()) + "-" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+           ".sock";
+    server::ServerOptions Opts;
+    Opts.SocketPath = Path;
+    Opts.Workers = 2;
+    Srv = std::make_unique<server::Server>(Opts);
+    ASSERT_TRUE(Srv->start().ok());
+  }
+  void TearDown() override {
+    Srv->drain();
+    Srv.reset();
+  }
+
+  /// A real module: vectorized + encoded dissolve_s8.
+  static std::vector<uint8_t> realBytecode() {
+    for (const kernels::Kernel &K : kernels::allKernels())
+      if (K.Name == "dissolve_s8") {
+        auto VR = vectorizer::vectorize(K.Source, {});
+        return bytecode::encode(VR.Output);
+      }
+    return {};
+  }
+
+  server::RunResponse roundTrip(int Fd, const server::RunRequest &Req,
+                                bool &Ok) {
+    server::RunResponse Resp;
+    Ok = false;
+    if (!server::writeFrame(Fd, FrameKind::RunReq,
+                            server::encodeRunRequest(Req)))
+      return Resp;
+    FrameKind Kind;
+    std::vector<uint8_t> Payload;
+    bool CleanEof = false;
+    if (!server::readFrame(Fd, Kind, Payload, CleanEof).ok() || CleanEof ||
+        Kind != FrameKind::RunResp)
+      return Resp;
+    Ok = server::decodeRunResponse(Payload.data(), Payload.size(), Resp)
+             .ok();
+    return Resp;
+  }
+
+  std::string Path;
+  std::unique_ptr<server::Server> Srv;
+};
+
+TEST_F(ServerTest, PingPongAndStats) {
+  int Fd = connectTo(Path);
+  ASSERT_GE(Fd, 0);
+  ASSERT_TRUE(server::writeFrame(Fd, FrameKind::Ping, {9, 8, 7}));
+  FrameKind Kind;
+  std::vector<uint8_t> Payload;
+  bool CleanEof = false;
+  ASSERT_TRUE(server::readFrame(Fd, Kind, Payload, CleanEof).ok());
+  EXPECT_EQ(Kind, FrameKind::Pong);
+  EXPECT_EQ(Payload, (std::vector<uint8_t>{9, 8, 7}));
+
+  ASSERT_TRUE(server::writeFrame(Fd, FrameKind::StatsReq, {}));
+  ASSERT_TRUE(server::readFrame(Fd, Kind, Payload, CleanEof).ok());
+  EXPECT_EQ(Kind, FrameKind::StatsResp);
+  server::StatsResponse S;
+  EXPECT_TRUE(
+      server::decodeStatsResponse(Payload.data(), Payload.size(), S).ok());
+  EXPECT_EQ(S.Workers, 2u);
+  ::close(Fd);
+}
+
+TEST_F(ServerTest, ValidRunSucceedsWithArrays) {
+  std::vector<uint8_t> Code = realBytecode();
+  ASSERT_FALSE(Code.empty());
+  int Fd = connectTo(Path);
+  ASSERT_GE(Fd, 0);
+  server::RunRequest Req;
+  Req.RequestId = 1;
+  Req.Tenant = "t0";
+  Req.Name = "dissolve_s8";
+  Req.IntParams["n"] = 64; // Harmless extra binding.
+  Req.Bytecode = Code;
+  bool Ok = false;
+  server::RunResponse Resp = roundTrip(Fd, Req, Ok);
+  ASSERT_TRUE(Ok);
+  EXPECT_EQ(Resp.Code, 0u) << Resp.Message;
+  EXPECT_FALSE(Resp.TraceId.empty());
+  EXPECT_FALSE(Resp.Arrays.empty());
+  ::close(Fd);
+  server::StatsResponse S = Srv->statsSnapshot();
+  EXPECT_EQ(S.Accepted, 1u);
+  EXPECT_TRUE(eventually([&] {
+    return Srv->statsSnapshot().Completed == 1;
+  }));
+}
+
+TEST_F(ServerTest, GarbageMagicTearsDownConnectionNotServer) {
+  int Fd = connectTo(Path);
+  ASSERT_GE(Fd, 0);
+  const char Junk[] = "this is not a vapor frame at all";
+  ASSERT_TRUE(server::writeAll(Fd, Junk, sizeof(Junk)));
+  // The server answers best-effort with a malformed-frame Status and then
+  // closes; either way the connection must die...
+  FrameKind Kind;
+  std::vector<uint8_t> Payload;
+  bool CleanEof = false;
+  (void)server::readFrame(Fd, Kind, Payload, CleanEof);
+  ::close(Fd);
+  // ...and the rejection must be counted, with the server still serving.
+  EXPECT_TRUE(eventually([&] {
+    return Srv->statsSnapshot().RejectedMalformed >= 1;
+  }));
+  int Fd2 = connectTo(Path);
+  ASSERT_GE(Fd2, 0) << "server must keep accepting after a hostile peer";
+  ASSERT_TRUE(server::writeFrame(Fd2, FrameKind::Ping, {1}));
+  ASSERT_TRUE(server::readFrame(Fd2, Kind, Payload, CleanEof).ok());
+  EXPECT_EQ(Kind, FrameKind::Pong);
+  ::close(Fd2);
+}
+
+TEST_F(ServerTest, OversizedLengthPrefixIsRejected) {
+  int Fd = connectTo(Path);
+  ASSERT_GE(Fd, 0);
+  uint8_t Hdr[server::FrameHeaderBytes];
+  uint32_t Magic = server::FrameMagic;
+  std::memcpy(Hdr, &Magic, 4);
+  Hdr[4] = 1; // RunReq.
+  uint32_t Len = server::MaxPayload + 1;
+  std::memcpy(Hdr + 5, &Len, 4);
+  ASSERT_TRUE(server::writeAll(Fd, Hdr, sizeof(Hdr)));
+  EXPECT_TRUE(eventually([&] {
+    return Srv->statsSnapshot().RejectedMalformed >= 1;
+  }));
+  ::close(Fd);
+}
+
+TEST_F(ServerTest, MidRequestDisconnectIsHandled) {
+  int Fd = connectTo(Path);
+  ASSERT_GE(Fd, 0);
+  // A valid header promising 100 payload bytes, then only 10, then gone.
+  uint8_t Hdr[server::FrameHeaderBytes];
+  uint32_t Magic = server::FrameMagic;
+  std::memcpy(Hdr, &Magic, 4);
+  Hdr[4] = 1;
+  uint32_t Len = 100;
+  std::memcpy(Hdr + 5, &Len, 4);
+  ASSERT_TRUE(server::writeAll(Fd, Hdr, sizeof(Hdr)));
+  uint8_t Partial[10] = {};
+  ASSERT_TRUE(server::writeAll(Fd, Partial, sizeof(Partial)));
+  ::close(Fd);
+  EXPECT_TRUE(eventually([&] {
+    return Srv->statsSnapshot().RejectedMalformed >= 1;
+  }));
+  // Server is unharmed.
+  int Fd2 = connectTo(Path);
+  ASSERT_GE(Fd2, 0);
+  ::close(Fd2);
+}
+
+TEST_F(ServerTest, GarbageRunPayloadGetsStructuredAnswerStreamSurvives) {
+  int Fd = connectTo(Path);
+  ASSERT_GE(Fd, 0);
+  // Well-framed, but the payload is garbage: the server answers with a
+  // MalformedFrame Status and KEEPS the connection (framing is intact).
+  ASSERT_TRUE(
+      server::writeFrame(Fd, FrameKind::RunReq, {0xde, 0xad, 0xbe, 0xef}));
+  FrameKind Kind;
+  std::vector<uint8_t> Payload;
+  bool CleanEof = false;
+  ASSERT_TRUE(server::readFrame(Fd, Kind, Payload, CleanEof).ok());
+  ASSERT_FALSE(CleanEof);
+  ASSERT_EQ(Kind, FrameKind::RunResp);
+  server::RunResponse Resp;
+  ASSERT_TRUE(
+      server::decodeRunResponse(Payload.data(), Payload.size(), Resp).ok());
+  EXPECT_EQ(Resp.Code,
+            static_cast<uint8_t>(status::Code::MalformedFrame));
+
+  // Same connection still serves valid traffic.
+  ASSERT_TRUE(server::writeFrame(Fd, FrameKind::Ping, {5}));
+  ASSERT_TRUE(server::readFrame(Fd, Kind, Payload, CleanEof).ok());
+  EXPECT_EQ(Kind, FrameKind::Pong);
+  ::close(Fd);
+}
+
+TEST_F(ServerTest, DuplicateRequestIdsAreRejected) {
+  std::vector<uint8_t> Code = realBytecode();
+  ASSERT_FALSE(Code.empty());
+  int Fd = connectTo(Path);
+  ASSERT_GE(Fd, 0);
+  server::RunRequest Req;
+  Req.RequestId = 77;
+  Req.Tenant = "t0";
+  Req.Bytecode = Code;
+  bool Ok = false;
+  server::RunResponse First = roundTrip(Fd, Req, Ok);
+  ASSERT_TRUE(Ok);
+  EXPECT_EQ(First.Code, 0u) << First.Message;
+  // Same id again on the same connection: the completed-id window must
+  // reject it without running anything.
+  server::RunResponse Second = roundTrip(Fd, Req, Ok);
+  ASSERT_TRUE(Ok);
+  EXPECT_EQ(Second.Code,
+            static_cast<uint8_t>(status::Code::DuplicateRequest));
+  EXPECT_EQ(Srv->statsSnapshot().RejectedDuplicate, 1u);
+  ::close(Fd);
+}
+
+TEST_F(ServerTest, UnknownTargetIsInvalidArgument) {
+  int Fd = connectTo(Path);
+  ASSERT_GE(Fd, 0);
+  server::RunRequest Req;
+  Req.RequestId = 5;
+  Req.Target = "itanium";
+  Req.Bytecode = {1, 2, 3};
+  bool Ok = false;
+  server::RunResponse Resp = roundTrip(Fd, Req, Ok);
+  ASSERT_TRUE(Ok);
+  EXPECT_EQ(Resp.Code,
+            static_cast<uint8_t>(status::Code::InvalidArgument));
+  EXPECT_EQ(Srv->statsSnapshot().RejectedInvalid, 1u);
+  ::close(Fd);
+}
+
+TEST_F(ServerTest, UndecodableModuleFailsClosedNotSilently) {
+  int Fd = connectTo(Path);
+  ASSERT_GE(Fd, 0);
+  server::RunRequest Req;
+  Req.RequestId = 6;
+  Req.Tenant = "t0";
+  Req.Bytecode = {9, 9, 9, 9, 9, 9, 9, 9}; // Not a module.
+  bool Ok = false;
+  server::RunResponse Resp = roundTrip(Fd, Req, Ok);
+  ASSERT_TRUE(Ok);
+  EXPECT_NE(Resp.Code, 0u) << "garbage bytecode must not 'succeed'";
+  EXPECT_TRUE(Resp.Arrays.empty());
+  ::close(Fd);
+}
+
+TEST_F(ServerTest, ResponseKindFromClientIsMalformed) {
+  int Fd = connectTo(Path);
+  ASSERT_GE(Fd, 0);
+  ASSERT_TRUE(server::writeFrame(Fd, FrameKind::RunResp, {1, 2, 3}));
+  EXPECT_TRUE(eventually([&] {
+    return Srv->statsSnapshot().RejectedMalformed >= 1;
+  }));
+  ::close(Fd);
+}
+
+TEST_F(ServerTest, DrainIsIdempotentAndStops) {
+  EXPECT_TRUE(Srv->running());
+  Srv->drain();
+  EXPECT_FALSE(Srv->running());
+  Srv->drain(); // Second drain is a no-op, not a crash.
+  EXPECT_LT(connectTo(Path), 0) << "socket must be gone after drain";
+}
+
+//===--- Deadline + fail-closed semantics (no socket needed) --------------===//
+
+std::vector<uint8_t> encodedKernel(const char *Name) {
+  for (const kernels::Kernel &K : kernels::allKernels())
+    if (K.Name == Name) {
+      auto VR = vectorizer::vectorize(K.Source, {});
+      return bytecode::encode(VR.Output);
+    }
+  return {};
+}
+
+TEST(RunEncodedModuleTest, CompletesAndReportsOkTerminal) {
+  ModuleWorkload W;
+  W.Name = "dissolve_s8";
+  W.Bytecode = encodedKernel("dissolve_s8");
+  ASSERT_FALSE(W.Bytecode.empty());
+  RunOptions O;
+  RunOutcome Out = runEncodedModule(W, O);
+  EXPECT_TRUE(Out.Terminal.ok()) << Out.Terminal.str();
+  EXPECT_NE(Out.Mem, nullptr);
+  EXPECT_GT(Out.Cycles, 0u);
+}
+
+TEST(RunEncodedModuleTest, TinyFuelIsTerminalDeadline) {
+  ModuleWorkload W;
+  W.Name = "dissolve_s8";
+  W.Bytecode = encodedKernel("dissolve_s8");
+  ASSERT_FALSE(W.Bytecode.empty());
+  RunOptions O;
+  O.DeadlineFuel = 3; // A handful of dispatches; nothing completes.
+  RunOutcome Out = runEncodedModule(W, O);
+  ASSERT_FALSE(Out.Terminal.ok());
+  EXPECT_EQ(Out.Terminal.code(), status::Code::DeadlineExceeded);
+  // Terminal means terminal: no demotion chain below the deadline.
+  EXPECT_EQ(Out.Retries, 0u);
+}
+
+TEST(RunEncodedModuleTest, AmpleFuelCompletes) {
+  ModuleWorkload W;
+  W.Name = "dissolve_s8";
+  W.Bytecode = encodedKernel("dissolve_s8");
+  ASSERT_FALSE(W.Bytecode.empty());
+  RunOptions O;
+  O.DeadlineFuel = 50000000;
+  RunOutcome Out = runEncodedModule(W, O);
+  EXPECT_TRUE(Out.Terminal.ok()) << Out.Terminal.str();
+}
+
+TEST(RunEncodedModuleTest, GarbageBytecodeIsTerminalDecodeFailure) {
+  ModuleWorkload W;
+  W.Name = "garbage";
+  W.Bytecode = {0xff, 0xfe, 0xfd, 0xfc};
+  RunOptions O;
+  RunOutcome Out = runEncodedModule(W, O);
+  ASSERT_FALSE(Out.Terminal.ok());
+  EXPECT_EQ(Out.Terminal.layer(), status::Layer::Bytecode);
+}
+
+} // namespace

@@ -109,6 +109,13 @@ ExecTier expectedTier(SiteClass S, bool Sticky, bool Native) {
       // vector lowering cleanly, and sticky does not matter because the
       // site class never fires again below Native.
       return ExecTier::Vectorized;
+    case SiteClass::Deadline:
+    case SiteClass::QueueFull:
+    case SiteClass::SocketIo:
+      // Server-side site classes: their sites only exist under a fueled
+      // run or inside the execution service, so classic sweeps count
+      // zero hits and skip them (Classes[] below never lists them).
+      return ExecTier::Native;
     }
     return ExecTier::Interpreter;
   }
@@ -130,9 +137,20 @@ ExecTier expectedTier(SiteClass S, bool Sticky, bool Native) {
     // The native engine never runs in the classic sweep; hit counts for
     // this class are always zero and the case is skipped.
     return ExecTier::Vectorized;
+  case SiteClass::Deadline:
+  case SiteClass::QueueFull:
+  case SiteClass::SocketIo:
+    // Server-side classes; never hit in the classic sweep (no fuel is
+    // armed and no admission gate runs here).
+    return ExecTier::Vectorized;
   }
   return ExecTier::Interpreter;
 }
+
+/// Set by --no-elide: run every case with check elision forced off.
+/// Mutually exclusive with --audit (rejected at parse time): audit mode
+/// exists precisely to observe the checks elision would have removed.
+bool NoElide = false;
 
 bool runCase(const kernels::Kernel &K, const target::TargetDesc &T,
              const std::string &Desc, const ExecTier *Expect, Stats &S,
@@ -143,6 +161,8 @@ bool runCase(const kernels::Kernel &K, const target::TargetDesc &T,
   O.UseNative = Native;
   if (Audit)
     O.Elide = target::ElisionMode::Audit;
+  else if (NoElide)
+    O.Elide = target::ElisionMode::Off;
   RunOutcome Out = runKernel(K, Flow::SplitVectorized, O);
   uint64_t Fired = faultinject::fired();
   ExecTier CleanTier = Native ? ExecTier::Native : ExecTier::Vectorized;
@@ -207,6 +227,8 @@ void countSites(const kernels::Kernel &K, const target::TargetDesc &T,
   O.UseNative = Native;
   if (Audit)
     O.Elide = target::ElisionMode::Audit;
+  else if (NoElide)
+    O.Elide = target::ElisionMode::Off;
   runKernel(K, Flow::SplitVectorized, O);
   for (unsigned C = 0; C < faultinject::NumSiteClasses; ++C)
     Hits[C] = faultinject::hits(static_cast<SiteClass>(C));
@@ -293,9 +315,11 @@ void writeJson(const char *Path, const Stats &S, size_t Kernels,
 } // namespace
 
 static int usage() {
-  std::printf("usage: vapor-crashtest --all-kernels [--native] [--audit] "
+  std::printf("usage: vapor-crashtest --all-kernels [--native] "
+              "[--audit | --no-elide] "
               "[--json <path>] [--trace <path>] [--jobs N] [--verbose]\n"
-              "       vapor-crashtest <kernel> [target] [--native] [--audit] "
+              "       vapor-crashtest <kernel> [target] [--native] "
+              "[--audit | --no-elide] "
               "[--trace <path>] [--jobs N] [--verbose]\n");
   return 2;
 }
@@ -313,6 +337,8 @@ int main(int argc, char **argv) {
       Native = true;
     else if (!std::strcmp(argv[I], "--audit"))
       Audit = true;
+    else if (!std::strcmp(argv[I], "--no-elide"))
+      NoElide = true;
     else if (!std::strcmp(argv[I], "--verbose"))
       Verbose = true;
     else if (!std::strcmp(argv[I], "--json") && I + 1 < argc)
@@ -335,6 +361,13 @@ int main(int argc, char **argv) {
       KernelName = argv[I];
     else
       TargetName = argv[I];
+  }
+  if (Audit && NoElide) {
+    // Contradictory: --audit asks to observe elided-eligible checks
+    // firing, --no-elide removes the elision grants it audits.
+    std::printf("--audit conflicts with --no-elide: audit mode observes "
+                "the checks elision would remove\n");
+    return usage();
   }
   if (!All && KernelName.empty())
     return usage();

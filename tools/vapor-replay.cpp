@@ -1,0 +1,601 @@
+//===- tools/vapor-replay.cpp - Execution-service load driver -------------===//
+//
+// Part of the Vapor SIMD reproduction.
+//
+//===----------------------------------------------------------------------===//
+//
+// Replays the kernel suite against a running vapor-serve instance under
+// real concurrency and checks every answer without trusting the server:
+//
+//  - each kernel is vectorized + encoded CLIENT-side, and its expected
+//    outputs are computed client-side with the golden IR evaluator; a
+//    successful response's array lanes must match (0 mismatches is a
+//    hard gate);
+//  - requests rotate across tenants, targets, and kernels, so the
+//    server's cache, quotas, and queue see genuinely mixed traffic;
+//  - with --inject-every N, every Nth request carries a request-scoped
+//    fault-injection class (decode failure, verify failure, JIT-lower
+//    failure, VM alignment trap, deadline exhaustion, queue-full
+//    rejection, dropped response write) and the reply is checked against
+//    that class's expected structured Status -- under load, while other
+//    tenants' clean requests run on the same workers;
+//  - genuine Overloaded/QuotaExceeded rejections are retried after the
+//    server's RetryAfterMs hint (that is the backpressure contract);
+//  - at the end, a StatsReq audits the service: cache hit rate and
+//    evictions, deadline count, and the server's resident-set size
+//    against --max-rss-mb.
+//
+// Exit status is the number of contract violations (0 = clean). --json
+// writes the BENCH_server.json consumed by scripts/perf_gate.py
+// --server-floor.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/Bytecode.h"
+#include "ir/Interp.h"
+#include "kernels/Kernels.h"
+#include "server/Protocol.h"
+#include "support/FaultInject.h"
+#include "target/Target.h"
+#include "vapor/FillAdapters.h"
+#include "vectorizer/Vectorizer.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace vapor;
+using server::FrameKind;
+
+namespace {
+
+/// One kernel prepared for replay: the encoded module the server will
+/// receive and the golden outputs no server response may contradict.
+struct Prep {
+  const kernels::Kernel *K = nullptr;
+  std::vector<uint8_t> Bytecode;
+  struct GoldArray {
+    std::string Name;
+    bool IsFP = false;
+    std::vector<int64_t> I; ///< Integer lanes.
+    std::vector<double> F;  ///< FP lanes (value, not bit pattern).
+  };
+  std::vector<GoldArray> Golden;
+};
+
+struct Tally {
+  std::atomic<uint64_t> Completed{0};  ///< Ok responses, golden-checked.
+  std::atomic<uint64_t> Mismatches{0}; ///< Golden lane disagreements.
+  std::atomic<uint64_t> Unexpected{0}; ///< Wrong Status for the case.
+  std::atomic<uint64_t> ProtoFail{0};  ///< Framing/decode/id violations.
+  std::atomic<uint64_t> ServerGone{0}; ///< Connection died mid-replay.
+  std::atomic<uint64_t> Overloaded{0}; ///< Genuine backpressure hits.
+  std::atomic<uint64_t> Quota{0};
+  std::atomic<uint64_t> Retried{0};    ///< Backoff-and-resend cycles.
+  std::atomic<uint64_t> InjectedOk{0}; ///< Injected cases answered right.
+  std::atomic<uint64_t> Dropped{0};    ///< SocketIo: reply never sent.
+  std::atomic<uint64_t> Deadlines{0};  ///< DeadlineExceeded answers.
+};
+
+int connectUnix(const std::string &Path) {
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return -1;
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  std::strncpy(Addr.sun_path, Path.c_str(), sizeof(Addr.sun_path) - 1);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+/// Connect with retries so the driver can be started alongside the
+/// server before its socket is bound.
+int connectRetry(const std::string &Path, int Attempts = 50) {
+  for (int I = 0; I < Attempts; ++I) {
+    int Fd = connectUnix(Path);
+    if (Fd >= 0)
+      return Fd;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  return -1;
+}
+
+/// Computes the golden outputs for \p K exactly the way the server runs
+/// the module: deterministic default fill with \p Seed, parameters bound
+/// from the kernel's workload tables.
+void computeGolden(Prep &P, uint64_t Seed) {
+  const kernels::Kernel &K = *P.K;
+  ir::Evaluator E(K.Source, {});
+  E.allocAllArrays();
+  detail::EvalFill Fill(E);
+  kernels::defaultFill(Fill, K.Source, Seed);
+  detail::setParams(
+      K, K.Source,
+      [&](const std::string &N, int64_t V) { E.setParamInt(N, V); },
+      [&](const std::string &N, double V) { E.setParamFP(N, V); });
+  E.run();
+  for (uint32_t A = 0; A < K.Source.Arrays.size(); ++A) {
+    const ir::ArrayInfo &AI = K.Source.Arrays[A];
+    Prep::GoldArray G;
+    G.Name = AI.Name;
+    G.IsFP = ir::isFloatKind(AI.Elem);
+    for (uint64_t I = 0; I < AI.NumElems; ++I) {
+      if (G.IsFP)
+        G.F.push_back(E.peekFP(A, I));
+      else
+        G.I.push_back(E.peekInt(A, I));
+    }
+    P.Golden.push_back(std::move(G));
+  }
+}
+
+/// Checks a successful response's array dump against the prep's golden
+/// lanes. \returns true on match, else fills \p Err.
+bool checkGolden(const Prep &P, const server::RunResponse &Resp,
+                 std::string &Err) {
+  // The vectorizer may append "__vt*" scratch arrays to the module; the
+  // server dumps every module array, so the source arrays are a strict
+  // prefix of the response and anything beyond it must be scratch.
+  if (Resp.Arrays.size() < P.Golden.size()) {
+    Err = "array count " + std::to_string(Resp.Arrays.size()) + ", golden " +
+          std::to_string(P.Golden.size());
+    return false;
+  }
+  for (size_t A = P.Golden.size(); A < Resp.Arrays.size(); ++A)
+    if (Resp.Arrays[A].Name.rfind("__vt", 0) != 0) {
+      Err = "unexpected non-scratch array " + Resp.Arrays[A].Name;
+      return false;
+    }
+  for (size_t A = 0; A < P.Golden.size(); ++A) {
+    const Prep::GoldArray &G = P.Golden[A];
+    const server::ArrayDump &D = Resp.Arrays[A];
+    size_t Want = G.IsFP ? G.F.size() : G.I.size();
+    if (D.Name != G.Name || (D.IsFP != 0) != G.IsFP ||
+        D.Lanes.size() != Want) {
+      Err = "array " + std::to_string(A) + " shape mismatch (" + D.Name +
+            ")";
+      return false;
+    }
+    for (size_t I = 0; I < D.Lanes.size(); ++I) {
+      if (G.IsFP) {
+        double Got;
+        static_assert(sizeof(Got) == sizeof(uint64_t), "lane width");
+        std::memcpy(&Got, &D.Lanes[I], sizeof(Got));
+        double WantV = G.F[I];
+        double Tol = P.K->Tolerance * std::max(1.0, std::fabs(WantV));
+        if (std::fabs(WantV - Got) > Tol &&
+            !(std::isnan(WantV) && std::isnan(Got))) {
+          Err = G.Name + "[" + std::to_string(I) +
+                "] = " + std::to_string(Got) + ", golden " +
+                std::to_string(WantV);
+          return false;
+        }
+      } else if (static_cast<int64_t>(D.Lanes[I]) != G.I[I]) {
+        Err = G.Name + "[" + std::to_string(I) + "] = " +
+              std::to_string(static_cast<int64_t>(D.Lanes[I])) +
+              ", golden " + std::to_string(G.I[I]);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// Injection classes the replay rotates through. NativeTrap is omitted:
+/// the driver never requests the native tier, so its sites cannot run.
+constexpr faultinject::SiteClass InjectRotation[] = {
+    faultinject::SiteClass::Decode,   faultinject::SiteClass::Verify,
+    faultinject::SiteClass::JitLower, faultinject::SiteClass::VmAlign,
+    faultinject::SiteClass::Deadline, faultinject::SiteClass::QueueFull,
+    faultinject::SiteClass::SocketIo,
+};
+constexpr size_t InjectRotationSize =
+    sizeof(InjectRotation) / sizeof(InjectRotation[0]);
+
+struct DriverConfig {
+  std::string Socket;
+  uint64_t Requests = 2000;
+  unsigned Tenants = 4;
+  unsigned Connections = 8;
+  uint64_t InjectEvery = 0; ///< 0 = no injection.
+  uint64_t MaxRssMb = 0;    ///< 0 = no bound.
+  bool ExpectEvictions = false;
+  bool Verbose = false;
+  const char *JsonPath = nullptr;
+};
+
+/// One connection's synchronous replay loop over its slice of the
+/// request index space.
+void runClient(const DriverConfig &Cfg, unsigned Tid,
+               const std::vector<Prep> &Preps,
+               const std::vector<std::string> &Targets, Tally &T,
+               std::vector<double> &LatenciesMs) {
+  int Fd = connectRetry(Cfg.Socket);
+  if (Fd < 0) {
+    T.ServerGone.fetch_add(1);
+    return;
+  }
+  using Clock = std::chrono::steady_clock;
+  const uint8_t CodeOk = 0;
+  const auto CodeOf = [](status::Code C) {
+    return static_cast<uint8_t>(C);
+  };
+
+  for (uint64_t J = Tid; J < Cfg.Requests; J += Cfg.Connections) {
+    const Prep &P = Preps[J % Preps.size()];
+    server::RunRequest Req;
+    Req.RequestId = J + 1;
+    Req.Tenant = "tenant-" + std::to_string(J % Cfg.Tenants);
+    Req.Name = P.K->Name;
+    Req.Target = Targets[J % Targets.size()];
+    Req.FillSeed = 7;
+    Req.IntParams = P.K->IntParams;
+    Req.FPParams = P.K->FPParams;
+    Req.Bytecode = P.Bytecode;
+    bool Injected = Cfg.InjectEvery != 0 && J % Cfg.InjectEvery == 0;
+    faultinject::SiteClass Cls = faultinject::SiteClass::Decode;
+    if (Injected) {
+      Cls = InjectRotation[(J / Cfg.InjectEvery) % InjectRotationSize];
+      Req.Inject = static_cast<uint8_t>(Cls);
+    }
+
+    // Backoff-and-resend loop for genuine backpressure; injected cases
+    // are answered on the first attempt by construction.
+    for (int Attempt = 0; Attempt < 200; ++Attempt) {
+      auto T0 = Clock::now();
+      if (!server::writeFrame(Fd, FrameKind::RunReq,
+                              server::encodeRunRequest(Req))) {
+        T.ServerGone.fetch_add(1);
+        ::close(Fd);
+        return;
+      }
+      if (Injected && Cls == faultinject::SiteClass::SocketIo) {
+        // The server executes the run but the response write is dropped
+        // by the injected fault; nothing will arrive for this id.
+        T.Dropped.fetch_add(1);
+        T.InjectedOk.fetch_add(1);
+        break;
+      }
+
+      FrameKind Kind;
+      std::vector<uint8_t> Payload;
+      bool CleanEof = false;
+      Status St = server::readFrame(Fd, Kind, Payload, CleanEof);
+      if (!St.ok() || CleanEof || Kind != FrameKind::RunResp) {
+        T.ServerGone.fetch_add(1);
+        ::close(Fd);
+        return;
+      }
+      server::RunResponse Resp;
+      if (!server::decodeRunResponse(Payload.data(), Payload.size(), Resp)
+               .ok() ||
+          Resp.RequestId != Req.RequestId) {
+        T.ProtoFail.fetch_add(1);
+        break;
+      }
+      double Ms = std::chrono::duration<double, std::milli>(Clock::now() -
+                                                            T0)
+                      .count();
+
+      if (!Injected) {
+        if (Resp.Code == CodeOk) {
+          std::string Err;
+          if (checkGolden(P, Resp, Err)) {
+            T.Completed.fetch_add(1);
+            LatenciesMs.push_back(Ms);
+          } else {
+            T.Mismatches.fetch_add(1);
+            std::printf("MISMATCH %-14s %-8s id=%llu %s\n",
+                        P.K->Name.c_str(), Req.Target.c_str(),
+                        (unsigned long long)Req.RequestId, Err.c_str());
+          }
+          break;
+        }
+        if (Resp.Code == CodeOf(status::Code::Overloaded) ||
+            Resp.Code == CodeOf(status::Code::QuotaExceeded)) {
+          // The backpressure contract: honor the hint and resend.
+          (Resp.Code == CodeOf(status::Code::Overloaded) ? T.Overloaded
+                                                         : T.Quota)
+              .fetch_add(1);
+          T.Retried.fetch_add(1);
+          uint32_t BackoffMs = Resp.RetryAfterMs ? Resp.RetryAfterMs : 5;
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(BackoffMs));
+          continue;
+        }
+        T.Unexpected.fetch_add(1);
+        std::printf("UNEXPECTED %-14s id=%llu code=%u layer=%u %s\n",
+                    P.K->Name.c_str(), (unsigned long long)Req.RequestId,
+                    Resp.Code, Resp.Layer, Resp.Message.c_str());
+        break;
+      }
+
+      // Injected case: check the class's expected structured answer.
+      bool Ok = false;
+      std::string Expect;
+      switch (Cls) {
+      case faultinject::SiteClass::Decode:
+        // The module fails to decode; fail-closed, so the run stops
+        // with the decode Status instead of falling back.
+        Ok = Resp.Code != CodeOk;
+        Expect = "non-ok decode failure";
+        break;
+      case faultinject::SiteClass::Verify:
+      case faultinject::SiteClass::JitLower:
+      case faultinject::SiteClass::VmAlign:
+        // One-shot faults the chain absorbs: the run demotes (or
+        // deopt-retries) and still completes with correct results.
+        Ok = Resp.Code == CodeOk;
+        if (Ok) {
+          std::string Err;
+          Ok = checkGolden(P, Resp, Err);
+          if (!Ok)
+            Expect = "golden match after demotion: " + Err;
+        } else {
+          Expect = "ok-after-demotion";
+        }
+        break;
+      case faultinject::SiteClass::Deadline:
+        Ok = Resp.Code == CodeOf(status::Code::DeadlineExceeded);
+        Expect = "deadline-exceeded";
+        if (Ok)
+          T.Deadlines.fetch_add(1);
+        break;
+      case faultinject::SiteClass::QueueFull:
+        Ok = Resp.Code == CodeOf(status::Code::Overloaded) &&
+             Resp.RetryAfterMs > 0;
+        Expect = "overloaded with retry-after hint";
+        break;
+      case faultinject::SiteClass::NativeTrap:
+      case faultinject::SiteClass::SocketIo:
+        break; // Not in the rotation / handled before the read.
+      }
+      if (Ok) {
+        T.InjectedOk.fetch_add(1);
+        if (Cfg.Verbose)
+          std::printf("inject ok  %-10s %-14s id=%llu code=%u\n",
+                      faultinject::siteClassName(Cls), P.K->Name.c_str(),
+                      (unsigned long long)Req.RequestId, Resp.Code);
+      } else {
+        T.Unexpected.fetch_add(1);
+        std::printf("INJECT FAIL %-10s %-14s id=%llu code=%u layer=%u: "
+                    "expected %s (%s)\n",
+                    faultinject::siteClassName(Cls), P.K->Name.c_str(),
+                    (unsigned long long)Req.RequestId, Resp.Code,
+                    Resp.Layer, Expect.c_str(), Resp.Message.c_str());
+      }
+      break;
+    }
+  }
+  ::close(Fd);
+}
+
+double percentile(std::vector<double> &Sorted, double P) {
+  if (Sorted.empty())
+    return 0;
+  size_t Idx = static_cast<size_t>(P / 100.0 * Sorted.size());
+  return Sorted[std::min(Idx, Sorted.size() - 1)];
+}
+
+} // namespace
+
+static int usage() {
+  std::printf(
+      "usage: vapor-replay --socket <path> [--requests N] [--tenants N]\n"
+      "                    [--connections N] [--inject-every N]\n"
+      "                    [--max-rss-mb N] [--expect-evictions]\n"
+      "                    [--json <path>] [--verbose]\n");
+  return 2;
+}
+
+int main(int argc, char **argv) {
+  DriverConfig Cfg;
+  for (int I = 1; I < argc; ++I) {
+    auto Num = [&](uint64_t &Out) {
+      if (I + 1 >= argc)
+        return false;
+      char *End = nullptr;
+      Out = std::strtoull(argv[++I], &End, 10);
+      return End != argv[I] && !*End;
+    };
+    uint64_t V = 0;
+    if (!std::strcmp(argv[I], "--socket") && I + 1 < argc)
+      Cfg.Socket = argv[++I];
+    else if (!std::strcmp(argv[I], "--requests") && Num(V) && V >= 1)
+      Cfg.Requests = V;
+    else if (!std::strcmp(argv[I], "--tenants") && Num(V) && V >= 1)
+      Cfg.Tenants = static_cast<unsigned>(V);
+    else if (!std::strcmp(argv[I], "--connections") && Num(V) && V >= 1)
+      Cfg.Connections = static_cast<unsigned>(V);
+    else if (!std::strcmp(argv[I], "--inject-every") && Num(V))
+      Cfg.InjectEvery = V;
+    else if (!std::strcmp(argv[I], "--max-rss-mb") && Num(V))
+      Cfg.MaxRssMb = V;
+    else if (!std::strcmp(argv[I], "--expect-evictions"))
+      Cfg.ExpectEvictions = true;
+    else if (!std::strcmp(argv[I], "--verbose"))
+      Cfg.Verbose = true;
+    else if (!std::strcmp(argv[I], "--json") && I + 1 < argc)
+      Cfg.JsonPath = argv[++I];
+    else {
+      std::printf("bad option or missing value at '%s'\n", argv[I]);
+      return usage();
+    }
+  }
+  if (Cfg.Socket.empty())
+    return usage();
+
+  // Client-side prep: vectorize + encode every kernel, compute goldens.
+  std::vector<kernels::Kernel> Ks = kernels::allKernels();
+  std::vector<Prep> Preps;
+  for (const kernels::Kernel &K : Ks) {
+    Prep P;
+    P.K = &K;
+    auto VR = vectorizer::vectorize(K.Source, {});
+    P.Bytecode = bytecode::encode(VR.Output);
+    computeGolden(P, /*Seed=*/7);
+    Preps.push_back(std::move(P));
+  }
+  std::vector<std::string> Targets;
+  for (const target::TargetDesc &T : target::allTargets())
+    Targets.push_back(T.Name);
+
+  std::printf("replaying %llu requests: %zu kernels x %zu targets, "
+              "%u tenants, %u connections%s\n",
+              (unsigned long long)Cfg.Requests, Preps.size(),
+              Targets.size(), Cfg.Tenants, Cfg.Connections,
+              Cfg.InjectEvery ? ", fault injection armed" : "");
+
+  Tally T;
+  std::vector<std::vector<double>> PerThreadLat(Cfg.Connections);
+  auto T0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> Threads;
+  for (unsigned I = 0; I < Cfg.Connections; ++I)
+    Threads.emplace_back([&, I] {
+      runClient(Cfg, I, Preps, Targets, T, PerThreadLat[I]);
+    });
+  for (std::thread &Th : Threads)
+    Th.join();
+  double WallSec = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - T0)
+                       .count();
+
+  // Post-run audit over a fresh connection: the server must still be
+  // alive and answering after everything above.
+  server::StatsResponse Stats;
+  bool StatsOk = false;
+  if (int Fd = connectUnix(Cfg.Socket); Fd >= 0) {
+    if (server::writeFrame(Fd, FrameKind::StatsReq, {})) {
+      FrameKind Kind;
+      std::vector<uint8_t> Payload;
+      bool CleanEof = false;
+      if (server::readFrame(Fd, Kind, Payload, CleanEof).ok() &&
+          !CleanEof && Kind == FrameKind::StatsResp)
+        StatsOk = server::decodeStatsResponse(Payload.data(),
+                                              Payload.size(), Stats)
+                      .ok();
+    }
+    ::close(Fd);
+  }
+
+  std::vector<double> Lat;
+  for (std::vector<double> &L : PerThreadLat)
+    Lat.insert(Lat.end(), L.begin(), L.end());
+  std::sort(Lat.begin(), Lat.end());
+  double P50 = percentile(Lat, 50), P99 = percentile(Lat, 99);
+  double Rps = WallSec > 0 ? T.Completed.load() / WallSec : 0;
+  uint64_t HitDen = Stats.CacheHits + Stats.CacheMisses;
+  double HitRate = HitDen ? double(Stats.CacheHits) / double(HitDen) : 0;
+
+  uint64_t Failures = 0;
+  auto Gate = [&](bool Bad, const char *What) {
+    if (Bad) {
+      ++Failures;
+      std::printf("FAIL %s\n", What);
+    }
+  };
+  Gate(!StatsOk, "server did not answer the post-run stats audit");
+  Gate(T.ServerGone.load() != 0, "connection(s) died mid-replay");
+  Gate(T.Mismatches.load() != 0, "golden mismatches on ok responses");
+  Gate(T.Unexpected.load() != 0, "unexpected structured Status answers");
+  Gate(T.ProtoFail.load() != 0, "protocol violations in responses");
+  Gate(T.Completed.load() == 0, "no request completed");
+  if (Cfg.ExpectEvictions)
+    Gate(StatsOk && Stats.CacheEvictions == 0,
+         "bounded cache never evicted under load");
+  if (Cfg.MaxRssMb && StatsOk)
+    Gate(Stats.RssBytes > Cfg.MaxRssMb * (1ull << 20),
+         "server RSS above the configured bound");
+
+  std::printf(
+      "completed=%llu injected_ok=%llu dropped=%llu retried=%llu "
+      "overloaded=%llu quota=%llu deadlines(client)=%llu\n"
+      "p50=%.3fms p99=%.3fms throughput=%.1f req/s\n",
+      (unsigned long long)T.Completed.load(),
+      (unsigned long long)T.InjectedOk.load(),
+      (unsigned long long)T.Dropped.load(),
+      (unsigned long long)T.Retried.load(),
+      (unsigned long long)T.Overloaded.load(),
+      (unsigned long long)T.Quota.load(),
+      (unsigned long long)T.Deadlines.load(), P50, P99, Rps);
+  if (StatsOk)
+    std::printf("server: accepted=%llu completed=%llu deadlines=%llu "
+                "cache{hit_rate=%.3f bytes=%llu/%llu evictions=%llu} "
+                "rss=%.1fMiB\n",
+                (unsigned long long)Stats.Accepted,
+                (unsigned long long)Stats.Completed,
+                (unsigned long long)Stats.Deadlines, HitRate,
+                (unsigned long long)Stats.CacheBytesLive,
+                (unsigned long long)Stats.CacheCapacity,
+                (unsigned long long)Stats.CacheEvictions,
+                Stats.RssBytes / double(1 << 20));
+
+  if (Cfg.JsonPath) {
+    std::FILE *F = std::fopen(Cfg.JsonPath, "w");
+    if (!F) {
+      std::printf("cannot write %s\n", Cfg.JsonPath);
+      return static_cast<int>(Failures + 1);
+    }
+    std::fprintf(
+        F,
+        "{\n"
+        "  \"schema\": \"vapor-bench-server-v1\",\n"
+        "  \"requests\": %llu,\n"
+        "  \"tenants\": %u,\n"
+        "  \"connections\": %u,\n"
+        "  \"inject_every\": %llu,\n"
+        "  \"completed\": %llu,\n"
+        "  \"injected_ok\": %llu,\n"
+        "  \"dropped_responses\": %llu,\n"
+        "  \"retried\": %llu,\n"
+        "  \"golden_mismatches\": %llu,\n"
+        "  \"unexpected_status\": %llu,\n"
+        "  \"protocol_failures\": %llu,\n"
+        "  \"server_aborts\": %llu,\n"
+        "  \"failures\": %llu,\n"
+        "  \"p50_ms\": %.4f,\n"
+        "  \"p99_ms\": %.4f,\n"
+        "  \"throughput_rps\": %.2f,\n"
+        "  \"cache_hit_rate\": %.4f,\n"
+        "  \"cache_evictions\": %llu,\n"
+        "  \"cache_bytes_live\": %llu,\n"
+        "  \"cache_capacity\": %llu,\n"
+        "  \"server_deadlines\": %llu,\n"
+        "  \"server_rss_bytes\": %llu\n"
+        "}\n",
+        (unsigned long long)Cfg.Requests, Cfg.Tenants, Cfg.Connections,
+        (unsigned long long)Cfg.InjectEvery,
+        (unsigned long long)T.Completed.load(),
+        (unsigned long long)T.InjectedOk.load(),
+        (unsigned long long)T.Dropped.load(),
+        (unsigned long long)T.Retried.load(),
+        (unsigned long long)T.Mismatches.load(),
+        (unsigned long long)T.Unexpected.load(),
+        (unsigned long long)T.ProtoFail.load(),
+        (unsigned long long)(T.ServerGone.load() + (StatsOk ? 0 : 1)),
+        (unsigned long long)Failures, P50, P99, Rps, HitRate,
+        (unsigned long long)Stats.CacheEvictions,
+        (unsigned long long)Stats.CacheBytesLive,
+        (unsigned long long)Stats.CacheCapacity,
+        (unsigned long long)Stats.Deadlines,
+        (unsigned long long)Stats.RssBytes);
+    std::fclose(F);
+    std::printf("wrote %s\n", Cfg.JsonPath);
+  }
+
+  return static_cast<int>(Failures);
+}

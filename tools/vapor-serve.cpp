@@ -1,0 +1,136 @@
+//===- tools/vapor-serve.cpp - Kernel-execution daemon entry point --------===//
+//
+// Part of the Vapor SIMD reproduction.
+//
+//===----------------------------------------------------------------------===//
+//
+// Long-running front end over server::Server. Binds the AF_UNIX socket,
+// prints a readiness line, then parks on sigwait until SIGTERM/SIGINT
+// asks for a graceful drain: stop accepting, answer everything already
+// admitted, reject new runs with Unavailable, tear down, exit 0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Server.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace vapor;
+
+static int usage() {
+  std::printf(
+      "usage: vapor-serve --socket <path> [--workers N] [--max-queue N]\n"
+      "                   [--max-per-tenant N] [--retry-after-ms N]\n"
+      "                   [--cache-mb N] [--default-fuel N] [--max-fuel N]\n"
+      "  --socket          AF_UNIX listen path (required)\n"
+      "  --workers         execution workers (default: host concurrency)\n"
+      "  --max-queue       admission bound before Overloaded (default 256)\n"
+      "  --max-per-tenant  per-tenant in-flight cap (default 64)\n"
+      "  --retry-after-ms  backoff hint sent with Overloaded (default 50)\n"
+      "  --cache-mb        code-cache budget in MiB, 0 = unbounded "
+      "(default 64)\n"
+      "  --default-fuel    dispatch budget for requests that ask for 0\n"
+      "  --max-fuel        clamp on client-supplied budgets, 0 = no clamp\n");
+  return 2;
+}
+
+static bool parseU64(const char *S, uint64_t &Out) {
+  if (!S || !*S)
+    return false;
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(S, &End, 10);
+  if (End == S || *End)
+    return false;
+  Out = V;
+  return true;
+}
+
+int main(int argc, char **argv) {
+  server::ServerOptions Opts;
+  for (int I = 1; I < argc; ++I) {
+    uint64_t V = 0;
+    if (!std::strcmp(argv[I], "--socket") && I + 1 < argc) {
+      Opts.SocketPath = argv[++I];
+    } else if (!std::strcmp(argv[I], "--workers") && I + 1 < argc &&
+               parseU64(argv[I + 1], V)) {
+      Opts.Workers = static_cast<unsigned>(V);
+      ++I;
+    } else if (!std::strcmp(argv[I], "--max-queue") && I + 1 < argc &&
+               parseU64(argv[I + 1], V) && V >= 1) {
+      Opts.MaxQueue = static_cast<uint32_t>(V);
+      ++I;
+    } else if (!std::strcmp(argv[I], "--max-per-tenant") && I + 1 < argc &&
+               parseU64(argv[I + 1], V) && V >= 1) {
+      Opts.MaxPerTenant = static_cast<uint32_t>(V);
+      ++I;
+    } else if (!std::strcmp(argv[I], "--retry-after-ms") && I + 1 < argc &&
+               parseU64(argv[I + 1], V)) {
+      Opts.RetryAfterMs = static_cast<uint32_t>(V);
+      ++I;
+    } else if (!std::strcmp(argv[I], "--cache-mb") && I + 1 < argc &&
+               parseU64(argv[I + 1], V)) {
+      Opts.CacheCapacityBytes = static_cast<size_t>(V) << 20;
+      ++I;
+    } else if (!std::strcmp(argv[I], "--default-fuel") && I + 1 < argc &&
+               parseU64(argv[I + 1], V) && V >= 1) {
+      Opts.DefaultDeadlineFuel = V;
+      ++I;
+    } else if (!std::strcmp(argv[I], "--max-fuel") && I + 1 < argc &&
+               parseU64(argv[I + 1], V)) {
+      Opts.MaxDeadlineFuel = V;
+      ++I;
+    } else {
+      std::printf("bad option or missing value at '%s'\n", argv[I]);
+      return usage();
+    }
+  }
+  if (Opts.SocketPath.empty())
+    return usage();
+
+  // Block the shutdown signals BEFORE any thread is spawned so every
+  // server thread inherits the mask and only main's sigwait sees them.
+  sigset_t Mask;
+  sigemptyset(&Mask);
+  sigaddset(&Mask, SIGTERM);
+  sigaddset(&Mask, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &Mask, nullptr);
+
+  server::Server Srv(Opts);
+  if (Status St = Srv.start(); !St.ok()) {
+    std::fprintf(stderr, "vapor-serve: %s\n", St.str().c_str());
+    return 1;
+  }
+  std::printf("vapor-serve: listening on %s (%llu workers, queue %u, "
+              "cache %zu MiB)\n",
+              Opts.SocketPath.c_str(),
+              (unsigned long long)Srv.statsSnapshot().Workers, Opts.MaxQueue,
+              Opts.CacheCapacityBytes >> 20);
+  std::fflush(stdout);
+
+  int Sig = 0;
+  while (sigwait(&Mask, &Sig) != 0) {
+  }
+  std::printf("vapor-serve: signal %d, draining\n", Sig);
+  std::fflush(stdout);
+  Srv.drain();
+
+  server::StatsResponse S = Srv.statsSnapshot();
+  std::printf("vapor-serve: drained. accepted=%llu completed=%llu "
+              "deadlines=%llu rejected{overload=%llu quota=%llu dup=%llu "
+              "malformed=%llu unavailable=%llu invalid=%llu} "
+              "cache{bytes=%llu evictions=%llu}\n",
+              (unsigned long long)S.Accepted, (unsigned long long)S.Completed,
+              (unsigned long long)S.Deadlines,
+              (unsigned long long)S.RejectedOverload,
+              (unsigned long long)S.RejectedQuota,
+              (unsigned long long)S.RejectedDuplicate,
+              (unsigned long long)S.RejectedMalformed,
+              (unsigned long long)S.RejectedUnavailable,
+              (unsigned long long)S.RejectedInvalid,
+              (unsigned long long)S.CacheBytesLive,
+              (unsigned long long)S.CacheEvictions);
+  return 0;
+}
