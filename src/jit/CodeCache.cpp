@@ -269,6 +269,18 @@ std::vector<TenantStats> cache::tenantStats() {
   return Out; // std::map iteration is already name-sorted.
 }
 
+bool cache::forgetTenant(const std::string &Tenant) {
+  Store &S = store();
+  std::lock_guard<std::mutex> L(S.Mu);
+  auto It = S.Tenants.find(Tenant);
+  if (It == S.Tenants.end())
+    return true;
+  if (It->second.BytesLive != 0 || It->second.Entries != 0)
+    return false; // Still resident: the eviction refund needs the line.
+  S.Tenants.erase(It);
+  return true;
+}
+
 const std::string &cache::currentTenant() { return CurrentTenantName; }
 
 cache::ScopedTenant::ScopedTenant(std::string Name)
@@ -423,8 +435,12 @@ cache::putModule(uint64_t BytesHash, ir::Function Module, size_t Cost) {
   auto &E = S.Modules[BytesHash];
   E.Value = std::move(P);
   E.It = N;
+  // Copy the artifact out before enforcing the bound: an entry costlier
+  // than the whole capacity is evicted immediately (served but never
+  // resident), which erases the map node `E` refers into.
+  auto Ret = E.Value;
   evictOverCapacity(S);
-  return E.Value;
+  return Ret;
 }
 
 std::optional<VerifyResult> cache::findVerify(uint64_t FnHash,
@@ -491,8 +507,11 @@ std::shared_ptr<const CompileResult> cache::putCompile(uint64_t Key,
   auto &E = S.Compiles[Key];
   E.Value = std::move(P);
   E.It = N;
+  // As in putModule: eviction may erase this very entry (oversized
+  // case), so copy out before enforcing the bound.
+  auto Ret = E.Value;
   evictOverCapacity(S);
-  return E.Value;
+  return Ret;
 }
 
 namespace {
@@ -544,8 +563,11 @@ cache::programFor(uint64_t CompKey, const target::MFunction &Code,
   auto &E = S.Programs[Key];
   E.Value = std::move(P);
   E.It = N;
+  // As in putModule: eviction may erase this very entry (oversized
+  // case), so copy out before enforcing the bound.
+  auto Ret = E.Value;
   evictOverCapacity(S);
-  return E.Value;
+  return Ret;
 }
 
 Expected<std::shared_ptr<const codegen::NativeUnit>>
@@ -591,6 +613,10 @@ cache::nativeFor(uint64_t CompKey, const target::MFunction &Code,
   auto &E = S.Natives[Key];
   E.Value = std::move(U);
   E.It = N;
+  // As in putModule: eviction may erase this very entry (oversized
+  // case), so copy out before enforcing the bound.
+  auto Ret = E.Value;
   evictOverCapacity(S);
-  return Expected<std::shared_ptr<const codegen::NativeUnit>>(E.Value);
+  return Expected<std::shared_ptr<const codegen::NativeUnit>>(
+      std::move(Ret));
 }

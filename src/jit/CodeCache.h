@@ -124,6 +124,13 @@ struct TenantStats {
 /// Snapshot of every tenant ever charged, sorted by name.
 std::vector<TenantStats> tenantStats();
 
+/// Drops \p Tenant's accounting line (lifetime tallies included) iff it
+/// has no resident bytes or entries; \returns true when the line is
+/// gone (or never existed). The execution service retires idle tenants
+/// through this so the per-tenant map stays bounded when hostile
+/// clients invent unique tenant names.
+bool forgetTenant(const std::string &Tenant);
+
 /// The tenant name new insertions are attributed to on this thread.
 const std::string &currentTenant();
 

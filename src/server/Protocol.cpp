@@ -176,6 +176,9 @@ Status server::decodeRunRequest(const uint8_t *Data, size_t Len,
   Out = RunRequest();
   Out.RequestId = R.u64();
   Out.Tenant = R.str();
+  if (Out.Tenant.size() > MaxTenantBytes)
+    return malformed("run request: tenant name exceeds " +
+                     std::to_string(MaxTenantBytes) + " bytes");
   Out.Name = R.str();
   Out.Target = R.str();
   uint8_t Flags = R.u8();
@@ -417,7 +420,10 @@ bool server::writeAll(int Fd, const void *Buf, size_t N) {
   size_t Sent = 0;
   while (Sent < N) {
     // MSG_NOSIGNAL: a vanished client must surface as a failed write,
-    // not a SIGPIPE killing the whole service.
+    // not a SIGPIPE killing the whole service. With SO_SNDTIMEO set on
+    // the fd (the server arms it on every accepted connection), a peer
+    // that stops reading surfaces here as EAGAIN after the timeout and
+    // the write fails -- a stalled client can never pin the writer.
     ssize_t R = ::send(Fd, P + Sent, N - Sent, MSG_NOSIGNAL);
     if (R >= 0) {
       Sent += static_cast<size_t>(R);

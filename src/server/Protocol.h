@@ -43,6 +43,10 @@ namespace server {
 constexpr uint32_t FrameMagic = 0x56535631u;
 constexpr uint32_t MaxPayload = 8u << 20;
 constexpr size_t FrameHeaderBytes = 9; ///< magic + kind + len.
+/// Tenant names are accounting keys (quota tables, per-tenant cache
+/// lines), so their size is bounded at decode time: a longer name is a
+/// malformed request, never a multi-kilobyte map key.
+constexpr uint32_t MaxTenantBytes = 64;
 
 /// Frame kinds. Responses set the high bit of the request they answer.
 enum class FrameKind : uint8_t {

@@ -19,11 +19,13 @@
 #include <cstdio>
 #include <cstring>
 #include <deque>
+#include <iterator>
 #include <map>
 #include <mutex>
 #include <optional>
 #include <set>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <thread>
 #include <unistd.h>
@@ -83,7 +85,17 @@ struct Server::Impl {
   std::thread Acceptor;
 
   std::mutex ConnMu;
-  std::vector<std::thread> Readers;
+  /// Live reader threads by id. A reader retires itself into
+  /// DoneReaders on exit; the acceptor joins-and-drops that list on the
+  /// next accept (and drain() joins whatever is left), so a long-lived
+  /// daemon serving short-lived connections holds no per-dead-connection
+  /// thread handles.
+  std::map<uint64_t, std::thread> Readers;
+  std::vector<std::thread> DoneReaders;
+  uint64_t ReaderSeq = 0;
+  /// Connections with a live reader. A reader removes its Conn here on
+  /// exit; in-flight jobs keep the Conn (and its fd) alive through their
+  /// own shared_ptrs, and the fd closes when the last one drops.
   std::vector<std::shared_ptr<Conn>> Conns;
 
   std::atomic<uint64_t> Accepted{0}, Completed{0}, Deadlines{0};
@@ -99,17 +111,43 @@ struct Server::Impl {
     return "vs-" + std::to_string(TraceSeq.fetch_add(1) + 1);
   }
 
+  /// Drops one tenant line with nothing in flight, together with the
+  /// cache's matching stats line when it holds no live bytes. Called
+  /// under TenantMu. \returns false when every line is active.
+  bool retireIdleTenantLocked() {
+    for (auto It = Tenants.begin(); It != Tenants.end(); ++It)
+      if (It->second.Active == 0) {
+        jit::cache::forgetTenant(It->first);
+        Tenants.erase(It);
+        return true;
+      }
+    return false;
+  }
+
   void tenantReject(const std::string &T) {
     std::lock_guard<std::mutex> L(TenantMu);
+    auto It = Tenants.find(T);
+    if (It != Tenants.end()) {
+      ++It->second.Rejected;
+      return;
+    }
+    // A rejection alone must not mint a tenant line past the bound: the
+    // global rejection counters already account it.
+    if (Tenants.size() >= Opts.MaxTenants && !retireIdleTenantLocked())
+      return;
     ++Tenants[T].Rejected;
   }
 
   /// Best-effort structured rejection/response write. A dead peer is a
-  /// disconnect, not an error: the rejection was still accounted.
+  /// disconnect, not an error: the rejection was still accounted. A
+  /// *stalled* peer (SO_SNDTIMEO expired mid-frame) is also a
+  /// disconnect: the stream is desynchronized, so tear the connection
+  /// down rather than let later writers block behind it.
   void sendRunResponse(Conn &C, const RunResponse &R) {
     std::vector<uint8_t> P = encodeRunResponse(R);
     std::lock_guard<std::mutex> L(C.WriteMu);
-    (void)writeFrame(C.Fd, FrameKind::RunResp, P);
+    if (!writeFrame(C.Fd, FrameKind::RunResp, P))
+      ::shutdown(C.Fd, SHUT_RDWR);
   }
 
   void sendRunError(Conn &C, uint64_t Id, const std::string &Trace,
@@ -238,21 +276,42 @@ struct Server::Impl {
       return;
     }
 
+    // Quota decision under TenantMu, response write OUTSIDE it: the
+    // write can block until the send timeout, and a client that stops
+    // reading must stall only its own connection, never the global
+    // admission/completion lock.
+    std::optional<Status> QuotaReject;
     {
       std::lock_guard<std::mutex> L(TenantMu);
-      TenantCounters &T = Tenants[Req.Tenant];
-      if (T.Active >= Opts.MaxPerTenant) {
-        ++T.Rejected;
-        ++RejQuota;
-        sendRunError(*C, Req.RequestId, Trace,
-                     Status::error(Code::QuotaExceeded, Layer::Server,
-                                   "tenant '" + Req.Tenant + "' at its " +
-                                       std::to_string(Opts.MaxPerTenant) +
-                                       "-request in-flight cap"),
-                     Opts.RetryAfterMs);
-        return;
+      auto It = Tenants.find(Req.Tenant);
+      if (It == Tenants.end()) {
+        if (Tenants.size() >= Opts.MaxTenants && !retireIdleTenantLocked())
+          QuotaReject = Status::error(
+              Code::QuotaExceeded, Layer::Server,
+              "tenant table full (" + std::to_string(Opts.MaxTenants) +
+                  " active tenants); retry after hint");
+        else
+          It = Tenants.emplace(Req.Tenant, TenantCounters{}).first;
       }
-      ++T.Active;
+      if (!QuotaReject) {
+        TenantCounters &T = It->second;
+        if (T.Active >= Opts.MaxPerTenant) {
+          ++T.Rejected;
+          QuotaReject = Status::error(
+              Code::QuotaExceeded, Layer::Server,
+              "tenant '" + Req.Tenant + "' at its " +
+                  std::to_string(Opts.MaxPerTenant) +
+                  "-request in-flight cap");
+        } else {
+          ++T.Active;
+        }
+      }
+    }
+    if (QuotaReject) {
+      ++RejQuota;
+      sendRunError(*C, Req.RequestId, Trace, *QuotaReject,
+                   Opts.RetryAfterMs);
+      return;
     }
     ++QueueDepth;
     {
@@ -377,7 +436,9 @@ struct Server::Impl {
   /// Per-connection frame loop. Any framing violation tears the
   /// connection down (a hostile length prefix makes the stream
   /// unrecoverable); payload-level garbage is answered and survives.
-  void readerLoop(const std::shared_ptr<Conn> &C) {
+  /// On exit the reader retires its own Conn and thread-handle entries
+  /// so neither grows with connection churn.
+  void readerLoop(const std::shared_ptr<Conn> &C, uint64_t Id) {
     while (true) {
       FrameKind Kind;
       std::vector<uint8_t> Payload;
@@ -395,13 +456,15 @@ struct Server::Impl {
       switch (Kind) {
       case FrameKind::Ping: {
         std::lock_guard<std::mutex> L(C->WriteMu);
-        (void)writeFrame(C->Fd, FrameKind::Pong, Payload);
+        if (!writeFrame(C->Fd, FrameKind::Pong, Payload))
+          ::shutdown(C->Fd, SHUT_RDWR); // Stalled/vanished peer.
         continue;
       }
       case FrameKind::StatsReq: {
         std::vector<uint8_t> P = encodeStatsResponse(snapshot());
         std::lock_guard<std::mutex> L(C->WriteMu);
-        (void)writeFrame(C->Fd, FrameKind::StatsResp, P);
+        if (!writeFrame(C->Fd, FrameKind::StatsResp, P))
+          ::shutdown(C->Fd, SHUT_RDWR); // Stalled/vanished peer.
         continue;
       }
       case FrameKind::RunReq: {
@@ -409,9 +472,10 @@ struct Server::Impl {
         Status DSt = decodeRunRequest(Payload.data(), Payload.size(), Req);
         if (!DSt.ok()) {
           // The payload was length-delimited, so the stream is still in
-          // sync: answer and keep serving this connection.
+          // sync: answer and keep serving this connection. No per-tenant
+          // accounting here -- the tenant field of a malformed request
+          // is attacker-controlled garbage and must not mint map lines.
           ++RejMalformed;
-          tenantReject(Req.Tenant);
           sendRunError(*C, Req.RequestId, nextTrace(), DSt);
           continue;
         }
@@ -429,6 +493,22 @@ struct Server::Impl {
       break;
     }
     ::shutdown(C->Fd, SHUT_RD);
+
+    // Self-reap: drop the Conn from the live set (in-flight jobs keep it
+    // alive; the fd closes on the last shared_ptr drop) and retire this
+    // thread's handle for the acceptor or drain() to join. If drain()
+    // already claimed the handle, the entry is simply gone.
+    std::lock_guard<std::mutex> L(ConnMu);
+    for (auto It = Conns.begin(); It != Conns.end(); ++It)
+      if (It->get() == C.get()) {
+        Conns.erase(It);
+        break;
+      }
+    auto It = Readers.find(Id);
+    if (It != Readers.end()) {
+      DoneReaders.push_back(std::move(It->second));
+      Readers.erase(It);
+    }
   }
 
   void acceptLoop() {
@@ -443,10 +523,25 @@ struct Server::Impl {
         ::close(Fd);
         continue;
       }
+      // A peer that stops reading must become a failed write, not an
+      // indefinitely blocked worker: see writeAll.
+      if (Opts.WriteTimeoutMs) {
+        timeval TV{};
+        TV.tv_sec = Opts.WriteTimeoutMs / 1000;
+        TV.tv_usec = static_cast<long>(Opts.WriteTimeoutMs % 1000) * 1000;
+        (void)::setsockopt(Fd, SOL_SOCKET, SO_SNDTIMEO, &TV, sizeof(TV));
+      }
       auto C = std::make_shared<Conn>(Fd);
       std::lock_guard<std::mutex> L(ConnMu);
+      // Join readers that already retired themselves, so churny clients
+      // leave no finished-thread handles behind.
+      for (std::thread &T : DoneReaders)
+        T.join();
+      DoneReaders.clear();
+      uint64_t Id = ++ReaderSeq;
       Conns.push_back(C);
-      Readers.emplace_back([this, C] { readerLoop(C); });
+      Readers.emplace(Id,
+                      std::thread([this, C, Id] { readerLoop(C, Id); }));
     }
   }
 };
@@ -526,7 +621,13 @@ void Server::drain() {
     std::lock_guard<std::mutex> L(I->ConnMu);
     for (const auto &C : I->Conns)
       ::shutdown(C->Fd, SHUT_RD);
-    Readers.swap(I->Readers);
+    for (auto &KV : I->Readers)
+      Readers.push_back(std::move(KV.second));
+    I->Readers.clear();
+    Readers.insert(Readers.end(),
+                   std::make_move_iterator(I->DoneReaders.begin()),
+                   std::make_move_iterator(I->DoneReaders.end()));
+    I->DoneReaders.clear();
   }
   for (std::thread &T : Readers)
     T.join();

@@ -70,6 +70,17 @@ struct ServerOptions {
   /// Completed request ids remembered per connection for duplicate
   /// detection (in-flight ids are always checked).
   uint32_t DuplicateWindow = 4096;
+  /// SO_SNDTIMEO installed on every accepted connection (0 = block
+  /// forever). A peer that stops reading for longer than this while the
+  /// server has a response to write is treated as a disconnect, so a
+  /// slow reader can never pin a pool worker or the reader thread.
+  uint32_t WriteTimeoutMs = 5000;
+  /// Bound on distinct tenant accounting lines (quota counters plus the
+  /// code cache's per-tenant stats). Past it, an idle line (nothing in
+  /// flight) is retired to make room; when every line is active, runs
+  /// from brand-new tenants are rejected with QuotaExceeded. Keeps a
+  /// hostile unique-tenant flood from growing server memory unboundedly.
+  uint32_t MaxTenants = 256;
 };
 
 class Server {

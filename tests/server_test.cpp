@@ -153,6 +153,23 @@ TEST(ProtocolTest, HostileStringAndCountPrefixesAreMalformed) {
   EXPECT_EQ(St.code(), status::Code::MalformedFrame);
 }
 
+TEST(ProtocolTest, OverlongTenantNameIsMalformed) {
+  // Tenant names are accounting-map keys; a hostile multi-kilobyte name
+  // must die at decode, not become server state.
+  server::RunRequest R = sampleRequest();
+  R.Tenant = std::string(server::MaxTenantBytes, 'x');
+  std::vector<uint8_t> P = server::encodeRunRequest(R);
+  server::RunRequest Out;
+  EXPECT_TRUE(server::decodeRunRequest(P.data(), P.size(), Out).ok())
+      << "names at the cap are fine";
+
+  R.Tenant = std::string(server::MaxTenantBytes + 1, 'x');
+  P = server::encodeRunRequest(R);
+  Status St = server::decodeRunRequest(P.data(), P.size(), Out);
+  ASSERT_FALSE(St.ok());
+  EXPECT_EQ(St.code(), status::Code::MalformedFrame);
+}
+
 TEST(ProtocolTest, BadEnumFieldsAreMalformed) {
   {
     server::RunRequest R = sampleRequest();
@@ -505,6 +522,56 @@ TEST_F(ServerTest, ResponseKindFromClientIsMalformed) {
     return Srv->statsSnapshot().RejectedMalformed >= 1;
   }));
   ::close(Fd);
+}
+
+TEST(ServerTenantBoundTest, UniqueTenantFloodStaysBounded) {
+  // A hostile client inventing a fresh tenant name per request must not
+  // grow the accounting maps past MaxTenants: idle lines are retired to
+  // make room, and the cache's per-tenant stats lines go with them.
+  std::string Path = "/tmp/vapor-servertest-" + std::to_string(::getpid()) +
+                     "-tenantbound.sock";
+  server::ServerOptions Opts;
+  Opts.SocketPath = Path;
+  Opts.Workers = 2;
+  Opts.MaxTenants = 4;
+  server::Server Srv(Opts);
+  ASSERT_TRUE(Srv.start().ok());
+
+  int Fd = connectTo(Path);
+  ASSERT_GE(Fd, 0);
+  constexpr unsigned Flood = 12;
+  for (unsigned I = 0; I < Flood; ++I) {
+    // Unknown target: cheap rejection path, still tenant-attributed.
+    server::RunRequest Req;
+    Req.RequestId = 100 + I;
+    Req.Tenant = "flood-" + std::to_string(I);
+    Req.Target = "itanium";
+    Req.Bytecode = {1, 2, 3};
+    FrameKind Kind;
+    std::vector<uint8_t> Payload;
+    bool CleanEof = false;
+    ASSERT_TRUE(server::writeFrame(Fd, FrameKind::RunReq,
+                                   server::encodeRunRequest(Req)));
+    ASSERT_TRUE(server::readFrame(Fd, Kind, Payload, CleanEof).ok());
+    server::RunResponse Resp;
+    ASSERT_TRUE(
+        server::decodeRunResponse(Payload.data(), Payload.size(), Resp)
+            .ok());
+    EXPECT_EQ(Resp.Code,
+              static_cast<uint8_t>(status::Code::InvalidArgument));
+  }
+  ::close(Fd);
+
+  server::StatsResponse S = Srv.statsSnapshot();
+  EXPECT_EQ(S.RejectedInvalid, Flood) << "every rejection is counted";
+  // The snapshot also merges the process-global cache's tenant lines
+  // (other suites share it), so bound only the lines this flood minted.
+  unsigned FloodLines = 0;
+  for (const server::TenantLine &T : S.Tenants)
+    if (T.Tenant.rfind("flood-", 0) == 0)
+      ++FloodLines;
+  EXPECT_LE(FloodLines, 4u) << "tenant lines stay bounded";
+  Srv.drain();
 }
 
 TEST_F(ServerTest, DrainIsIdempotentAndStops) {
