@@ -1,0 +1,284 @@
+//===- bench/tiering_latency.cpp - Tiered cold-start latency ----------------===//
+//
+// Part of the Vapor SIMD reproduction.
+//
+// Measures what RunOptions::Tiered buys and what it costs:
+//
+//  - COLD time-to-first-result (TTFR): an eager cold run pays vectorize +
+//    encode + decode + verify + JIT before the first result; a tiered
+//    cold run answers from the golden IR interpreter immediately and
+//    defers every compile to the background. On compile-heavy kernels
+//    (one-time compile work dominating cold TTFR) the tiered entry must
+//    be >= 3x faster -- that is the headline gate.
+//  - STEADY state: after hotness-driven promotion converges (the entry
+//    tier reaches the eager tier, artifacts warm in the CodeCache), a
+//    tiered run pays only the hotness tick on top of the eager warm
+//    path. Tiered steady throughput must stay within 5% of eager.
+//
+//   tiering_latency [--json [PATH]]
+//
+// --json writes the machine-readable report (BENCH_tiering.json by
+// default) consumed by scripts/perf_gate.py --tiering-floor.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "jit/CodeCache.h"
+#include "jit/Tiering.h"
+#include "kernels/Kernels.h"
+#include "vapor/Pipeline.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace vapor;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Cold TTFR reps (each from a cleared cache) and steady-state reps
+/// (warm). Medians tame scheduler noise without google-benchmark.
+constexpr int ColdReps = 7;
+constexpr int SteadyReps = 25;
+/// Promotion-convergence bound: tiered runs (each followed by an engine
+/// drain) before we give up waiting for the entry tier to reach the
+/// eager tier.
+constexpr int MaxPromoteRuns = 300;
+/// A cell is compile-heavy when at least this fraction of its eager
+/// cold TTFR is one-time compile work (cold minus steady). Defined from
+/// eager-side quantities only, so the classification cannot be gamed by
+/// the tiered numbers it gates.
+constexpr double CompileHeavyFraction = 0.75;
+
+struct Cell {
+  std::string Kernel, Target;
+  double EagerColdUs = 0;   ///< Median cold TTFR, eager.
+  double TieredColdUs = 0;  ///< Median cold TTFR, tiered (interpreter).
+  double EagerSteadyUs = 0; ///< Median warm-cache eager run.
+  double TieredSteadyUs = 0;///< Median promoted+warm tiered run.
+  double ColdSpeedup = 0;   ///< EagerColdUs / TieredColdUs.
+  double SteadyRatio = 0;   ///< EagerSteadyUs / TieredSteadyUs.
+  bool CompileHeavy = false;
+  int PromoteRuns = -1; ///< Tiered runs until promotion converged.
+};
+
+double median(std::vector<double> V) {
+  std::sort(V.begin(), V.end());
+  return V.empty() ? 0 : V[V.size() / 2];
+}
+
+/// Fastest rep: the standard noise-robust estimator for steady-state
+/// throughput comparisons (scheduler preemption only ever adds time).
+double fastest(const std::vector<double> &V) {
+  return V.empty() ? 0 : *std::min_element(V.begin(), V.end());
+}
+
+double wallMicros(const std::function<void()> &F) {
+  auto T0 = Clock::now();
+  F();
+  return std::chrono::duration<double, std::micro>(Clock::now() - T0)
+      .count();
+}
+
+/// Distinct hotness-key salt per (cell, purpose, rep) so no measurement
+/// inherits another's promotion state on the process-global engine.
+uint64_t salt(size_t CellIdx, int Purpose, int Rep) {
+  return (CellIdx + 1) * 1000000 + Purpose * 1000 + Rep;
+}
+
+Cell measure(size_t CellIdx, const kernels::Kernel &K,
+             const std::string &TName, const target::TargetDesc &T) {
+  Cell C;
+  C.Kernel = K.Name;
+  C.Target = TName;
+
+  RunOptions Eager;
+  Eager.Target = T;
+  RunOptions Tiered = Eager;
+  Tiered.Tiered = true;
+
+  // Eager cold TTFR: every rep starts from an empty cache and pays the
+  // full compile pipeline before its first result.
+  std::vector<double> V;
+  for (int R = 0; R < ColdReps; ++R) {
+    jit::cache::clear();
+    V.push_back(wallMicros(
+        [&] { runKernel(K, Flow::SplitVectorized, Eager); }));
+  }
+  C.EagerColdUs = median(V);
+
+  // Tiered cold TTFR: fresh salt per rep (first invocation of a new
+  // hotness key), empty cache -- the run must answer from the
+  // interpreter without touching the compile pipeline.
+  V.clear();
+  for (int R = 0; R < ColdReps; ++R) {
+    jit::cache::clear();
+    Tiered.TieringSalt = salt(CellIdx, 1, R);
+    RunOutcome Out;
+    V.push_back(wallMicros(
+        [&] { Out = runKernel(K, Flow::SplitVectorized, Tiered); }));
+    if (!Out.Terminal.ok() || Out.EntryTier != ExecTier::Interpreter)
+      std::printf("WARNING %s/%s: tiered cold run entered %s\n",
+                  K.Name.c_str(), TName.c_str(), tierName(Out.EntryTier));
+  }
+  C.TieredColdUs = median(V);
+
+  // Promotion convergence: one salt, repeated invocations with a drain
+  // after each so background compiles land deterministically; stop when
+  // the entry tier reaches the eager tier (Vectorized here).
+  jit::cache::clear();
+  Tiered.TieringSalt = salt(CellIdx, 2, 0);
+  for (int R = 0; R < MaxPromoteRuns; ++R) {
+    RunOutcome Out = runKernel(K, Flow::SplitVectorized, Tiered);
+    jit::tiering::engine().drain();
+    if (Out.Terminal.ok() && Out.EntryTier == ExecTier::Vectorized) {
+      C.PromoteRuns = R + 1;
+      break;
+    }
+  }
+  if (C.PromoteRuns < 0)
+    std::printf("WARNING %s/%s: promotion did not converge in %d runs\n",
+                K.Name.c_str(), TName.c_str(), MaxPromoteRuns);
+
+  // Steady state, INTERLEAVED: after promotion the tiered run is the
+  // eager warm path plus one hotness tick. Alternating the two per rep
+  // keeps clock-frequency and cache drift identical on both sides of
+  // the ratio; fastest-of-N on each side then compares like with like.
+  std::vector<double> VE, VT;
+  runKernel(K, Flow::SplitVectorized, Eager);
+  runKernel(K, Flow::SplitVectorized, Tiered);
+  for (int R = 0; R < SteadyReps; ++R) {
+    VE.push_back(wallMicros(
+        [&] { runKernel(K, Flow::SplitVectorized, Eager); }));
+    VT.push_back(wallMicros(
+        [&] { runKernel(K, Flow::SplitVectorized, Tiered); }));
+  }
+  C.EagerSteadyUs = fastest(VE);
+  C.TieredSteadyUs = fastest(VT);
+
+  C.ColdSpeedup =
+      C.TieredColdUs > 0 ? C.EagerColdUs / C.TieredColdUs : 0;
+  C.SteadyRatio =
+      C.TieredSteadyUs > 0 ? C.EagerSteadyUs / C.TieredSteadyUs : 0;
+  C.CompileHeavy = C.EagerColdUs > 0 &&
+                   (C.EagerColdUs - C.EagerSteadyUs) / C.EagerColdUs >=
+                       CompileHeavyFraction;
+  return C;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  const char *JsonPath = nullptr;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--json") == 0) {
+      JsonPath = "BENCH_tiering.json";
+      if (I + 1 < argc && argv[I + 1][0] != '-')
+        JsonPath = argv[++I];
+    } else {
+      std::printf("usage: tiering_latency [--json [PATH]]\n");
+      return 2;
+    }
+  }
+
+  const bool WasEnabled = jit::cache::setEnabled(true);
+  jit::tiering::engine().reset();
+  // Small thresholds keep the convergence loop (and CI) short without
+  // changing what is measured: cold TTFR has no compiles either way,
+  // and steady state is measured after promotion regardless of when it
+  // happened.
+  jit::tiering::Config Cfg;
+  Cfg.HotVectorized = 4;
+  Cfg.HotNative = 12;
+  jit::tiering::engine().setConfig(Cfg);
+
+  bench::printHeader(
+      "Tiered execution: cold time-to-first-result and steady state vs "
+      "eager, split-vectorized");
+  std::printf("%-14s %-8s %11s %11s %8s %10s %10s %7s %s\n", "kernel",
+              "target", "eager-cold", "tier-cold", "speedup", "eager-ss",
+              "tier-ss", "ratio", "heavy");
+
+  std::vector<Cell> Cells;
+  size_t Idx = 0;
+  for (auto [TName, T] :
+       {std::pair<const char *, target::TargetDesc>{"sse",
+                                                    target::sseTarget()},
+        {"altivec", target::altivecTarget()}}) {
+    for (const kernels::Kernel &K : kernels::allKernels()) {
+      Cell C = measure(Idx++, K, TName, T);
+      std::printf("%-14s %-8s %10.1fus %10.1fus %7.1fx %9.2fus %9.2fus "
+                  "%7.3f %s\n",
+                  C.Kernel.c_str(), C.Target.c_str(), C.EagerColdUs,
+                  C.TieredColdUs, C.ColdSpeedup, C.EagerSteadyUs,
+                  C.TieredSteadyUs, C.SteadyRatio,
+                  C.CompileHeavy ? "yes" : "no");
+      Cells.push_back(std::move(C));
+    }
+  }
+  jit::tiering::engine().reset();
+  jit::tiering::engine().setConfig(jit::tiering::Config{});
+  jit::cache::setEnabled(WasEnabled);
+  jit::cache::clear();
+
+  double LogSum = 0, SteadyLogSum = 0;
+  unsigned Heavy = 0;
+  double MinSteady = 1e300;
+  for (const Cell &C : Cells) {
+    if (C.CompileHeavy && C.ColdSpeedup > 0) {
+      LogSum += std::log(C.ColdSpeedup);
+      ++Heavy;
+    }
+    if (C.SteadyRatio > 0)
+      SteadyLogSum += std::log(C.SteadyRatio);
+    MinSteady = std::min(MinSteady, C.SteadyRatio);
+  }
+  double Geomean = Heavy ? std::exp(LogSum / Heavy) : 0;
+  double SteadyGeomean =
+      Cells.empty() ? 0 : std::exp(SteadyLogSum / Cells.size());
+  std::printf("\ncompile-heavy cells: %u/%zu  cold-speedup geomean %.2fx  "
+              "steady-ratio geomean %.3f min %.3f\n",
+              Heavy, Cells.size(), Geomean, SteadyGeomean, MinSteady);
+
+  if (!JsonPath)
+    return 0;
+  std::ofstream OS(JsonPath);
+  if (!OS) {
+    std::fprintf(stderr, "cannot write %s\n", JsonPath);
+    return 1;
+  }
+  char Buf[512];
+  OS << "{\n  \"schema\": \"vapor-bench-tiering-v1\",\n"
+        "  \"flow\": \"split_vectorized\",\n";
+  std::snprintf(Buf, sizeof(Buf),
+                "  \"cold_speedup_geomean_compile_heavy\": %.3f,\n"
+                "  \"steady_ratio_geomean\": %.4f,\n"
+                "  \"steady_ratio_min\": %.4f,\n"
+                "  \"compile_heavy_cells\": %u,\n  \"cells\": [\n",
+                Geomean, SteadyGeomean, MinSteady, Heavy);
+  OS << Buf;
+  for (size_t I = 0; I < Cells.size(); ++I) {
+    const Cell &C = Cells[I];
+    std::snprintf(
+        Buf, sizeof(Buf),
+        "    {\"kernel\": \"%s\", \"target\": \"%s\", "
+        "\"eager_cold_us\": %.2f, \"tiered_cold_us\": %.2f, "
+        "\"cold_speedup\": %.3f, \"eager_steady_us\": %.3f, "
+        "\"tiered_steady_us\": %.3f, \"steady_ratio\": %.4f, "
+        "\"compile_heavy\": %s, \"promote_runs\": %d}%s\n",
+        C.Kernel.c_str(), C.Target.c_str(), C.EagerColdUs, C.TieredColdUs,
+        C.ColdSpeedup, C.EagerSteadyUs, C.TieredSteadyUs, C.SteadyRatio,
+        C.CompileHeavy ? "true" : "false", C.PromoteRuns,
+        I + 1 < Cells.size() ? "," : "");
+    OS << Buf;
+  }
+  OS << "  ]\n}\n";
+  std::printf("wrote %s\n", JsonPath);
+  return 0;
+}

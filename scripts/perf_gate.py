@@ -60,6 +60,23 @@ Three modes:
                        --server-min-hit-rate, default 0.10):
                        perf_gate.py --server-floor BENCH_server.json
 
+  --tiering-floor      gates tiered execution's payoff from one
+                       ``tiering_latency --json`` report
+                       (BENCH_tiering.json): the geomean cold
+                       time-to-first-result speedup over the report's
+                       compile-heavy cells must be at least
+                       --tiering-cold-floor (default 3.0), there must BE
+                       at least one compile-heavy cell (a report that
+                       stopped classifying cells is corrupt, not
+                       passing), and steady-state tiered throughput must
+                       stay within 5% of eager: steady_ratio_geomean at
+                       least --tiering-steady-floor (default 0.95) with
+                       no single cell below --tiering-steady-cell-min
+                       (default 0.85). Every ratio compares two numbers
+                       from the same report on the same host, so the
+                       gate holds under uniform slowdown (sanitizers):
+                       perf_gate.py --tiering-floor BENCH_tiering.json
+
   --elision-floor      gates proof-carrying check elision from one
                        native_throughput report: the report's
                        geomean_elide_speedup (elision ON vs OFF, native,
@@ -178,7 +195,76 @@ def main():
     ap.add_argument("--server-min-hit-rate", type=float, default=0.10,
                     help="minimum cache_hit_rate for --server-floor "
                          "(default 0.10)")
+    ap.add_argument("--tiering-floor", action="store_true",
+                    help="gate a tiering_latency BENCH_tiering.json "
+                         "report: cold TTFR speedup on compile-heavy "
+                         "cells and steady-state parity with eager")
+    ap.add_argument("--tiering-cold-floor", type=float, default=3.0,
+                    help="minimum geomean cold-TTFR speedup over "
+                         "compile-heavy cells (default 3.0)")
+    ap.add_argument("--tiering-steady-floor", type=float, default=0.95,
+                    help="minimum geomean steady-state tiered/eager "
+                         "throughput ratio (default 0.95)")
+    ap.add_argument("--tiering-steady-cell-min", type=float, default=0.85,
+                    help="minimum per-cell steady-state ratio "
+                         "(default 0.85)")
     args = ap.parse_args()
+
+    if args.tiering_floor:
+        path = args.current or args.baseline
+        report = load(path)
+        if report.get("schema") != "vapor-bench-tiering-v1":
+            print(f"perf_gate: {path} is not a tiering_latency report",
+                  file=sys.stderr)
+            sys.exit(2)
+        cold = report.get("cold_speedup_geomean_compile_heavy")
+        steady = report.get("steady_ratio_geomean")
+        steady_min = report.get("steady_ratio_min")
+        heavy = report.get("compile_heavy_cells")
+        for name, v in (("cold_speedup_geomean_compile_heavy", cold),
+                        ("steady_ratio_geomean", steady),
+                        ("steady_ratio_min", steady_min)):
+            if not isinstance(v, (int, float)) or v <= 0:
+                print(f"perf_gate: {path} has no usable {name}",
+                      file=sys.stderr)
+                sys.exit(2)
+        if not isinstance(heavy, int) or heavy < 0:
+            print(f"perf_gate: {path} has no usable compile_heavy_cells",
+                  file=sys.stderr)
+            sys.exit(2)
+        bad = []
+        if heavy == 0:
+            bad.append("no compile-heavy cells classified (the bench "
+                       "stopped measuring what the gate gates)")
+        if cold < args.tiering_cold_floor:
+            bad.append(f"cold speedup geomean {cold:.2f}x"
+                       f"<{args.tiering_cold_floor:.2f}x")
+        if steady < args.tiering_steady_floor:
+            bad.append(f"steady ratio geomean {steady:.3f}"
+                       f"<{args.tiering_steady_floor:.2f}")
+        if steady_min < args.tiering_steady_cell_min:
+            bad.append(f"steady ratio min {steady_min:.3f}"
+                       f"<{args.tiering_steady_cell_min:.2f}")
+        # A cell that never converged to the eager tier means promotion
+        # itself is broken -- its "steady" numbers measure the wrong tier.
+        unconverged = [c.get("kernel", "?") + "/" + c.get("target", "?")
+                       for c in report.get("cells", [])
+                       if c.get("promote_runs", -1) < 0]
+        if unconverged:
+            bad.append("promotion never converged on: "
+                       + ", ".join(unconverged[:5]))
+        verdict = "FAIL" if bad else "PASS"
+        print(f"perf_gate: {verdict}: tiered cold-TTFR geomean {cold:.2f}x "
+              f"over {heavy} compile-heavy cells "
+              f"(floor {args.tiering_cold_floor:.1f}x); steady ratio "
+              f"geomean {steady:.3f} min {steady_min:.3f} "
+              f"(floors {args.tiering_steady_floor:.2f}/"
+              f"{args.tiering_steady_cell_min:.2f})")
+        if bad:
+            print("perf_gate: tiered execution broke its latency "
+                  "contract: " + ", ".join(bad), file=sys.stderr)
+            sys.exit(1)
+        sys.exit(0)
 
     if args.server_floor:
         path = args.current or args.baseline

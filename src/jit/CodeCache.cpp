@@ -225,9 +225,22 @@ bool cache::setEnabled(bool On) {
   return GlobalSwitch.exchange(On, std::memory_order_relaxed);
 }
 
+namespace {
+/// Bumped by every clear(). The tiering engine stamps demotion pins with
+/// the generation they were recorded under; a pin from an older
+/// generation has expired ("pinned below the failing tier until cache
+/// invalidation"), and cached-artifact readiness expires with it.
+std::atomic<uint64_t> Generation{1};
+} // namespace
+
+uint64_t cache::generation() {
+  return Generation.load(std::memory_order_acquire);
+}
+
 void cache::clear() {
   Store &S = store();
   std::lock_guard<std::mutex> L(S.Mu);
+  Generation.fetch_add(1, std::memory_order_acq_rel);
   S.Modules.clear();
   S.Verifies.clear();
   S.Compiles.clear();

@@ -69,6 +69,14 @@ bool setEnabled(bool On);
 /// their totals (clear() is not an eviction).
 void clear();
 
+/// Monotonic invalidation generation: starts at 1 and is bumped by every
+/// clear(). The tiering engine (jit/Tiering.h) stamps its promotion
+/// state and demotion pins with this, so a full cache invalidation also
+/// expires "function is ready at tier X" claims and "never re-promote
+/// into tier Y" pins -- both describe artifacts/failures of the cleared
+/// generation.
+uint64_t generation();
+
 struct Stats {
   uint64_t ModuleHits = 0, ModuleMisses = 0;
   uint64_t VerifyHits = 0, VerifyMisses = 0;

@@ -301,6 +301,12 @@ std::vector<uint8_t> server::encodeStatsResponse(const StatsResponse &S) {
   W.u64(S.CacheHits);
   W.u64(S.CacheMisses);
   W.u64(S.RssBytes);
+  W.u64(S.TierInvocations);
+  W.u64(S.TierPromotions);
+  W.u64(S.TierCompilesOk);
+  W.u64(S.TierCompilesFailed);
+  W.u64(S.TierQueueRejects);
+  W.u64(S.TierPins);
   W.u32(static_cast<uint32_t>(S.Tenants.size()));
   for (const TenantLine &T : S.Tenants) {
     W.str(T.Tenant);
@@ -334,6 +340,12 @@ Status server::decodeStatsResponse(const uint8_t *Data, size_t Len,
   Out.CacheHits = R.u64();
   Out.CacheMisses = R.u64();
   Out.RssBytes = R.u64();
+  Out.TierInvocations = R.u64();
+  Out.TierPromotions = R.u64();
+  Out.TierCompilesOk = R.u64();
+  Out.TierCompilesFailed = R.u64();
+  Out.TierQueueRejects = R.u64();
+  Out.TierPins = R.u64();
   uint32_t NT = R.u32();
   if (!saneCount(NT, 44))
     return malformed("stats response: tenant count exceeds payload");

@@ -147,6 +147,14 @@ struct StatsResponse {
   uint64_t CacheHits = 0;   ///< Sum across all five artifact kinds.
   uint64_t CacheMisses = 0;
   uint64_t RssBytes = 0;    ///< Resident set of the server process.
+  /// Tiered-execution telemetry (jit/Tiering.h); all zero when the
+  /// server runs without --tiered.
+  uint64_t TierInvocations = 0; ///< Runs that ticked the hotness engine.
+  uint64_t TierPromotions = 0;  ///< Ready-tier improvements applied.
+  uint64_t TierCompilesOk = 0;  ///< Background compiles that landed.
+  uint64_t TierCompilesFailed = 0;
+  uint64_t TierQueueRejects = 0; ///< Compiles skipped: queue bound hit.
+  uint64_t TierPins = 0;         ///< Demotion pins recorded.
   std::vector<TenantLine> Tenants;
 };
 

@@ -7,6 +7,7 @@
 #include "server/Server.h"
 
 #include "jit/CodeCache.h"
+#include "jit/Tiering.h"
 #include "obs/Obs.h"
 #include "support/FaultInject.h"
 #include "support/ThreadPool.h"
@@ -184,6 +185,15 @@ struct Server::Impl {
     S.CacheMisses = CS.ModuleMisses + CS.VerifyMisses + CS.CompileMisses +
                     CS.ProgramMisses + CS.NativeMisses;
     S.RssBytes = processRssBytes();
+    if (Opts.Tiered) {
+      jit::tiering::EngineStats TS = jit::tiering::engine().stats();
+      S.TierInvocations = TS.Invocations;
+      S.TierPromotions = TS.Promotions;
+      S.TierCompilesOk = TS.CompilesOk;
+      S.TierCompilesFailed = TS.CompilesFailed;
+      S.TierQueueRejects = TS.QueueRejects;
+      S.TierPins = TS.Pins;
+    }
     std::map<std::string, TenantLine> Lines;
     {
       std::lock_guard<std::mutex> L(TenantMu);
@@ -342,6 +352,7 @@ struct Server::Impl {
     if (Opts.MaxDeadlineFuel && Fuel > Opts.MaxDeadlineFuel)
       Fuel = Opts.MaxDeadlineFuel;
     RO.DeadlineFuel = Fuel;
+    RO.Tiered = Opts.Tiered;
 
     ModuleWorkload W;
     W.Name = Req.Name;
@@ -591,6 +602,11 @@ Status Server::start() {
   I->Pool = std::make_unique<support::ThreadPool>(
       I->Opts.Workers ? I->Opts.Workers
                       : support::ThreadPool::defaultWorkerCount());
+  if (I->Opts.Tiered)
+    // Background compiles share the request pool's low-priority lane:
+    // an otherwise-idle worker promotes; a loaded pool serves requests
+    // first and compiles when the request queues drain.
+    jit::tiering::engine().attachPool(I->Pool.get());
   I->ListenFd = Fd;
   I->Draining = false;
   I->Running = true;
@@ -633,7 +649,12 @@ void Server::drain() {
     T.join();
 
   // 3. Finish everything already admitted -- each job writes its
-  // response before the connection objects are released.
+  // response before the connection objects are released. Tiered mode:
+  // detach the hotness engine first (attachPool drains outstanding
+  // background compiles) so nothing submits to the pool we are about to
+  // destroy.
+  if (I->Opts.Tiered)
+    jit::tiering::engine().attachPool(nullptr);
   if (I->Pool)
     I->Pool->wait();
   I->Pool.reset();

@@ -81,6 +81,14 @@ struct ServerOptions {
   /// from brand-new tenants are rejected with QuotaExceeded. Keeps a
   /// hostile unique-tenant flood from growing server memory unboundedly.
   uint32_t MaxTenants = 256;
+  /// Tiered execution (jit/Tiering.h): run each request at the cheapest
+  /// READY tier (cold modules enter at the forced-scalar JIT -- the
+  /// fail-closed floor -- instead of paying the full verify+vector-JIT
+  /// [+native] compile on the request path) and promote hot
+  /// (module × target × options) cells off-thread on this server's own
+  /// pool at background priority, so compiles never starve request
+  /// execution. Promotion counters are reported in StatsResponse.
+  bool Tiered = false;
 };
 
 class Server {

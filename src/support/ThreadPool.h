@@ -101,6 +101,20 @@ public:
     WorkCV.notify_one();
   }
 
+  /// Enqueues \p Job at BACKGROUND priority: a worker only picks it up
+  /// once every normal deque (its own and every steal victim's) is
+  /// empty, so background work -- the tiering engine's off-thread
+  /// compiles -- can never starve foreground jobs of a worker. Within
+  /// the background lane jobs run FIFO. wait() covers these too.
+  void submitBackground(std::function<void()> Job) {
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      ++Pending;
+      Background.push_back(std::move(Job));
+    }
+    WorkCV.notify_one();
+  }
+
   /// Blocks until every job submitted so far has *finished* running.
   void wait() {
     std::unique_lock<std::mutex> Lock(Mu);
@@ -123,6 +137,12 @@ private:
         Queues[Victim].pop_front();
         return true;
       }
+    }
+    // Background lane last: only an otherwise-idle worker compiles.
+    if (!Background.empty()) {
+      Out = std::move(Background.front());
+      Background.pop_front();
+      return true;
     }
     return false;
   }
@@ -147,6 +167,7 @@ private:
   }
 
   std::vector<std::deque<std::function<void()>>> Queues;
+  std::deque<std::function<void()>> Background; ///< Low-priority FIFO lane.
   std::vector<std::thread> Threads;
   std::mutex Mu;
   std::condition_variable WorkCV; ///< Signals new work or shutdown.

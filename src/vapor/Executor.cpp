@@ -10,6 +10,7 @@
 #include "ir/Interp.h"
 #include "jit/CodeCache.h"
 #include "jit/Elision.h"
+#include "jit/Tiering.h"
 #include "obs/Obs.h"
 #include "support/FaultInject.h"
 #include "support/Support.h"
@@ -47,10 +48,141 @@ void recordDemotion(const kernels::Kernel &K, const RunOptions &O,
 } // namespace
 
 RunOutcome Executor::run(ExecTier Entry) {
+  if (O.Tiered)
+    return runTiered(Entry);
+  return runChain(Entry);
+}
+
+namespace {
+
+/// One counter per lattice tier so "tier-at-execution" is readable off
+/// a counter snapshot without parsing trace args.
+void countExecTier(ExecTier T) {
+  static obs::Counter Native("tiering.exec.native");
+  static obs::Counter Vectorized("tiering.exec.vectorized");
+  static obs::Counter ScalarJit("tiering.exec.scalar_jit");
+  static obs::Counter ScalarBytecode("tiering.exec.scalar_bytecode");
+  static obs::Counter Interp("tiering.exec.interpreter");
+  switch (T) {
+  case ExecTier::Native:
+    Native.add(1);
+    break;
+  case ExecTier::Vectorized:
+    Vectorized.add(1);
+    break;
+  case ExecTier::ScalarJit:
+    ScalarJit.add(1);
+    break;
+  case ExecTier::ScalarBytecode:
+    ScalarBytecode.add(1);
+    break;
+  case ExecTier::Interpreter:
+    Interp.add(1);
+    break;
+  }
+}
+
+} // namespace
+
+uint64_t Executor::tieringKey() {
+  uint64_t H;
+  if (VecModule) {
+    // Server mode: the decoded module IS the function; its structural
+    // hash is also what the cache keys compiles under.
+    if (!VecModuleHash)
+      VecModuleHash = ir::hashFunction(*VecModule);
+    H = VecModuleHash;
+  } else {
+    // Kernel mode: names are unique in the registry and hashing one is
+    // O(bytes-of-name), which keeps the per-invocation steady-state
+    // cost of tiering negligible.
+    H = jit::cache::hashBytes(K.Name.data(), K.Name.size());
+  }
+  H = jit::cache::hashCombine(H, jit::cache::hashTarget(O.Target));
+  H = jit::cache::hashCombine(H, O.ExternalMisalign);
+  uint64_t Flags = (O.UseNative ? 1u : 0u) | (FailClosed ? 2u : 0u) |
+                   (O.FoldAddressing ? 4u : 0u) |
+                   (O.PromoteAccumulators ? 8u : 0u) |
+                   (O.FuseOps ? 16u : 0u) | (O.VerifyBytecode ? 32u : 0u) |
+                   (O.UseCodeCache ? 64u : 0u) |
+                   (static_cast<uint64_t>(O.Tier) << 8) |
+                   (static_cast<uint64_t>(O.Elide) << 16);
+  H = jit::cache::hashCombine(H, Flags);
+  return jit::cache::hashCombine(H, O.TieringSalt);
+}
+
+RunOutcome Executor::runTiered(ExecTier Eager) {
+  namespace tiering = jit::tiering;
+  const uint8_t EagerV = static_cast<uint8_t>(Eager);
+  // Fail-closed flows must not touch the checkpoint-free interpreter or
+  // the (source-re-encoding) scalar-bytecode tier; their cheapest tier
+  // is the forced-scalar JIT, which also skips the verify gate -- the
+  // scalar lowering emits no checked vector access a bytecode lie could
+  // trap, so it is safe-by-construction like the verify-fail demotion
+  // edge. Trusted kernel flows start all the way down at the golden
+  // interpreter: zero compilation before the first result.
+  const uint8_t ColdV =
+      static_cast<uint8_t>(FailClosed ? ExecTier::ScalarJit
+                                      : ExecTier::Interpreter);
+  if (EagerV >= ColdV)
+    return runChain(Eager); // Nothing below the requested tier to tier.
+
+  const uint64_t Key = tieringKey();
+  tiering::Decision D = tiering::engine().onInvoke(Key, EagerV, ColdV);
+
+  if (D.ShouldCompile) {
+    // The background job is a fresh Executor over VALUE copies (this
+    // one borrows K and O by reference and dies with the caller). It
+    // runs the promotion target once with tiering off; success means
+    // every artifact of that tier now sits in the content-addressed
+    // cache under the exact keys the next foreground invocation will
+    // look up -- placement is deterministic (MemoryImage::AddrBase), so
+    // the swap-in is a warm hit, not a handoff.
+    RunOptions O2 = O;
+    O2.Tiered = false;
+    kernels::Kernel K2 = K;
+    std::shared_ptr<const ir::Function> Vec = VecModule;
+    size_t PDB = PreDecodedBytes;
+    bool FC = FailClosed;
+    ExecTier CT = static_cast<ExecTier>(D.CompileTier);
+    std::string Tenant = jit::cache::currentTenant();
+    tiering::engine().enqueueCompile(
+        Key, D.EntryTier, D.CompileTier,
+        [K2, O2, Vec, PDB, FC, CT, Tenant]() -> bool {
+          jit::cache::ScopedTenant Scope(Tenant);
+          RunOutcome BG = FC ? Executor(K2, O2, Vec, PDB).runChain(CT)
+                             : Executor(K2, O2).runChain(CT);
+          return BG.Terminal.ok() &&
+                 static_cast<uint8_t>(BG.Tier) <= static_cast<uint8_t>(CT);
+        });
+  }
+
+  RunOutcome Out = runChain(static_cast<ExecTier>(D.EntryTier));
+  countExecTier(Out.Tier);
+
+  // Demotions feed back as pins so the engine never promotes into a
+  // failing tier again (until cache invalidation). Deadline exhaustion
+  // is exempt: the budget, not the tier, stopped the run.
+  const bool Deadline =
+      !Out.Terminal.ok() && Out.Terminal.code() == Code::DeadlineExceeded;
+  const bool FinalFailed = !Out.Terminal.ok() && !Deadline;
+  const bool TierFailure =
+      !Out.Demotions.empty() || Out.Retries > 0 || FinalFailed;
+  if (TierFailure) {
+    uint8_t Pin = static_cast<uint8_t>(Out.Tier);
+    if (FinalFailed)
+      ++Pin; // Even the tier it ended on failed.
+    tiering::engine().onOutcome(Key, Pin);
+  }
+  return Out;
+}
+
+RunOutcome Executor::runChain(ExecTier Entry) {
   obs::Span S("executor", "run");
   S.arg("kernel", K.Name);
   S.arg("target", O.Target.Name);
   RunOutcome Out;
+  Out.EntryTier = Entry;
   ExecTier T = Entry;
   while (true) {
     switch (T) {

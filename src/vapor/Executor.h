@@ -76,7 +76,18 @@ public:
   /// completes. Never aborts for representable configurations -- also
   /// not under fault injection; the outcome records the executed tier,
   /// every demoting Status, and the retry count.
+  ///
+  /// Under RunOptions::Tiered, \p Entry is the EAGER entry tier (the
+  /// best this run may reach); the actual entry is chosen by the
+  /// hotness engine -- see runTiered.
   RunOutcome run(ExecTier Entry = ExecTier::Vectorized);
+
+  /// The hotness key this workload ticks under RunOptions::Tiered:
+  /// function identity (module hash in server mode, kernel name
+  /// otherwise), target, external-array placement, every
+  /// compilation-relevant option, and O.TieringSalt. Exposed so
+  /// vapor-explain can look up the promotion timeline after a run.
+  uint64_t tieringKey();
 
 private:
   /// Which engine runModule hands the compiled MachineIR to.
@@ -84,6 +95,17 @@ private:
     Vm,     ///< Cycle-model target VM (trap-recording).
     Native, ///< Host x86-64 via codegen::compileNative.
   };
+
+  /// The plain degradation chain starting at \p Entry (the body of
+  /// run() before tiering existed).
+  RunOutcome runChain(ExecTier Entry);
+
+  /// Tiered execution: ticks the hotness engine, enters the chain at
+  /// the cheapest READY tier, enqueues a claimed background compile
+  /// (a fresh Executor over copies of K and O with Tiered off, run
+  /// once at the promotion target so every artifact lands in the
+  /// CodeCache), and reports demotions back as pins.
+  RunOutcome runTiered(ExecTier Eager);
 
   /// The shared front of the Native and Vectorized tiers: offline
   /// vectorize, encode/decode through the interchange format, verify

@@ -122,6 +122,25 @@ struct RunOptions {
   /// deliberately deterministic work, not wall time, so deadline
   /// verdicts are reproducible across hosts and load.
   uint64_t DeadlineFuel = 0;
+  /// Tiered execution (jit/Tiering.h): instead of compiling everything
+  /// synchronously before the first result, enter each invocation at
+  /// the cheapest READY tier -- the golden IR interpreter for trusted
+  /// kernel flows, the forced-scalar JIT for fail-closed server flows
+  /// -- and let the hotness engine promote the function off-thread: at
+  /// the configured invocation thresholds a background job compiles the
+  /// vectorized VM program (and, when UseNative, the native unit) into
+  /// the CodeCache, and the NEXT invocation enters the better tier as a
+  /// warm cache hit. The swap point is the run boundary: an in-flight
+  /// run always finishes on the tier it started. The degradation chain
+  /// is unchanged within a run; a run that demotes (or a background
+  /// compile that fails) pins the function below the failing tier until
+  /// the cache is invalidated (jit::cache::clear()).
+  bool Tiered = false;
+  /// Extra value folded into the tiering hotness key. The engine is
+  /// process-global; sweep drivers (crashtest --tiered, tests, benches)
+  /// give every case a distinct salt so cases cannot share hotness,
+  /// promotions, or demotion pins.
+  uint64_t TieringSalt = 0;
 };
 
 struct RunOutcome {
@@ -163,6 +182,11 @@ struct RunOutcome {
   /// Tier of the degradation chain that actually produced the results in
   /// Mem. Split flows only; mono flows always report Vectorized.
   ExecTier Tier = ExecTier::Vectorized;
+  /// Tier the chain ENTERED at. Equals the flow's eager entry tier for
+  /// plain runs; under RunOptions::Tiered it is the tier the hotness
+  /// engine picked (the interesting signal: cold runs enter cheap,
+  /// promoted runs enter where the background compile landed).
+  ExecTier EntryTier = ExecTier::Vectorized;
   /// Every Status that demoted this run down the chain, in order. Empty
   /// for a clean run.
   std::vector<status::Status> Demotions;

@@ -49,6 +49,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "codegen/NativeJit.h"
+#include "jit/Tiering.h"
 #include "kernels/Kernels.h"
 #include "obs/Obs.h"
 #include "support/FaultInject.h"
@@ -57,6 +58,7 @@
 #include "vapor/Sweep.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -152,9 +154,50 @@ ExecTier expectedTier(SiteClass S, bool Sticky, bool Native) {
 /// exists precisely to observe the checks elision would have removed.
 bool NoElide = false;
 
+/// Set by --tiered: run every case through the hotness engine
+/// (RunOptions::Tiered). Each case gets a fresh salt and is prewarmed to
+/// the sweep's clean entry ceiling first, so the per-class tier oracle
+/// holds unchanged: the instrumented run enters exactly where an eager
+/// run would (the code cache stands down under the armed controller, so
+/// every stage -- and every fault site -- still executes).
+bool Tiered = false;
+std::atomic<uint64_t> NextSalt{1};
+
+/// Drives a fresh tiering key to the clean entry ceiling (Vectorized, or
+/// Native under --native) with clean runs + queue drains. \returns the
+/// salt on success, 0 when the ceiling is unreachable for this cell (the
+/// case then falls back to a plain eager run instead of asserting a
+/// vacuous oracle against a cold interpreter entry).
+uint64_t prewarmTiered(const kernels::Kernel &K, const target::TargetDesc &T,
+                       bool Native, bool Audit) {
+  if (!Tiered)
+    return 0;
+  uint64_t Salt = NextSalt.fetch_add(1, std::memory_order_relaxed);
+  RunOptions O;
+  O.Target = T;
+  O.UseNative = Native;
+  if (Audit)
+    O.Elide = target::ElisionMode::Audit;
+  else if (NoElide)
+    O.Elide = target::ElisionMode::Off;
+  O.Tiered = true;
+  O.TieringSalt = Salt;
+  const ExecTier Ceiling = Native ? ExecTier::Native : ExecTier::Vectorized;
+  for (int R = 0; R < 64; ++R) {
+    RunOutcome Out = runKernel(K, Flow::SplitVectorized, O);
+    jit::tiering::engine().drain();
+    if (Out.EntryTier == Ceiling)
+      return Salt;
+    if (!Out.Terminal.ok())
+      break;
+  }
+  return 0;
+}
+
 bool runCase(const kernels::Kernel &K, const target::TargetDesc &T,
              const std::string &Desc, const ExecTier *Expect, Stats &S,
-             bool Native, bool Audit, bool Verbose) {
+             bool Native, bool Audit, bool Verbose,
+             uint64_t TieredSalt = 0) {
   ++S.Cases;
   RunOptions O;
   O.Target = T;
@@ -163,6 +206,10 @@ bool runCase(const kernels::Kernel &K, const target::TargetDesc &T,
     O.Elide = target::ElisionMode::Audit;
   else if (NoElide)
     O.Elide = target::ElisionMode::Off;
+  if (TieredSalt) {
+    O.Tiered = true;
+    O.TieringSalt = TieredSalt;
+  }
   RunOutcome Out = runKernel(K, Flow::SplitVectorized, O);
   uint64_t Fired = faultinject::fired();
   ExecTier CleanTier = Native ? ExecTier::Native : ExecTier::Vectorized;
@@ -239,7 +286,8 @@ void countSites(const kernels::Kernel &K, const target::TargetDesc &T,
 void sweepOne(const kernels::Kernel &K, const target::TargetDesc &T,
               Stats &S, bool Native, bool Audit, bool Verbose) {
   // Baseline: no injection active at all (the 1-branch fast path).
-  runCase(K, T, "clean", nullptr, S, Native, Audit, Verbose);
+  runCase(K, T, "clean", nullptr, S, Native, Audit, Verbose,
+          prewarmTiered(K, T, Native, Audit));
 
   uint64_t Hits[faultinject::NumSiteClasses];
   countSites(K, T, Native, Audit, Hits);
@@ -258,18 +306,21 @@ void sweepOne(const kernels::Kernel &K, const target::TargetDesc &T,
     Sites.erase(std::unique(Sites.begin(), Sites.end()), Sites.end());
     for (uint64_t Site : Sites) {
       ExecTier Expect = expectedTier(C, /*Sticky=*/false, Native);
+      // Prewarm BEFORE arming: promotion runs must not eat the fault.
+      uint64_t Salt = prewarmTiered(K, T, Native, Audit);
       faultinject::ScopedFault F(C, Site, /*Sticky=*/false);
       runCase(K, T,
               std::string(siteClassName(C)) + "@" + std::to_string(Site),
-              &Expect, S, Native, Audit, Verbose);
+              &Expect, S, Native, Audit, Verbose, Salt);
     }
 
     // Sticky fault: fires at every occurrence from the first on.
     {
       ExecTier Expect = expectedTier(C, /*Sticky=*/true, Native);
+      uint64_t Salt = prewarmTiered(K, T, Native, Audit);
       faultinject::ScopedFault F(C, 0, /*Sticky=*/true);
       runCase(K, T, std::string(siteClassName(C)) + " sticky", &Expect, S,
-              Native, Audit, Verbose);
+              Native, Audit, Verbose, Salt);
     }
   }
 }
@@ -286,6 +337,7 @@ void writeJson(const char *Path, const Stats &S, size_t Kernels,
   std::fprintf(F, "  \"flow\": \"split-vectorized\",\n");
   std::fprintf(F, "  \"native_entry\": %s,\n", Native ? "true" : "false");
   std::fprintf(F, "  \"audit_mode\": %s,\n", Audit ? "true" : "false");
+  std::fprintf(F, "  \"tiered\": %s,\n", Tiered ? "true" : "false");
   std::fprintf(F, "  \"audit_align_fired\": %llu,\n",
                (unsigned long long)S.AuditAlign);
   std::fprintf(F, "  \"audit_bounds_fired\": %llu,\n",
@@ -316,10 +368,10 @@ void writeJson(const char *Path, const Stats &S, size_t Kernels,
 
 static int usage() {
   std::printf("usage: vapor-crashtest --all-kernels [--native] "
-              "[--audit | --no-elide] "
+              "[--audit | --no-elide] [--tiered] "
               "[--json <path>] [--trace <path>] [--jobs N] [--verbose]\n"
               "       vapor-crashtest <kernel> [target] [--native] "
-              "[--audit | --no-elide] "
+              "[--audit | --no-elide] [--tiered] "
               "[--trace <path>] [--jobs N] [--verbose]\n");
   return 2;
 }
@@ -339,6 +391,8 @@ int main(int argc, char **argv) {
       Audit = true;
     else if (!std::strcmp(argv[I], "--no-elide"))
       NoElide = true;
+    else if (!std::strcmp(argv[I], "--tiered"))
+      Tiered = true;
     else if (!std::strcmp(argv[I], "--verbose"))
       Verbose = true;
     else if (!std::strcmp(argv[I], "--json") && I + 1 < argc)
@@ -376,6 +430,14 @@ int main(int argc, char **argv) {
                 "sweeping the classic chain instead\n",
                 codegen::hostFeatures().str().c_str());
     Native = false;
+  }
+  if (Tiered) {
+    // Small thresholds keep the per-case prewarm (clean runs to the
+    // entry ceiling before arming the fault) cheap across the sweep.
+    jit::tiering::Config C = jit::tiering::engine().config();
+    C.HotVectorized = 2;
+    C.HotNative = 4;
+    jit::tiering::engine().setConfig(C);
   }
 
   // --trace wins over the VAPOR_TRACE environment variable; the sink's
@@ -445,6 +507,17 @@ int main(int argc, char **argv) {
                 "would have fired (soundness requires 0 + 0)\n",
                 (unsigned long long)S.AuditAlign,
                 (unsigned long long)S.AuditBounds);
+  if (Tiered) {
+    jit::tiering::engine().drain();
+    jit::tiering::EngineStats TS = jit::tiering::engine().stats();
+    std::printf("tiering: %llu invocations, %llu promotions, %llu/%llu "
+                "compiles ok, %llu pins\n",
+                (unsigned long long)TS.Invocations,
+                (unsigned long long)TS.Promotions,
+                (unsigned long long)TS.CompilesOk,
+                (unsigned long long)(TS.CompilesOk + TS.CompilesFailed),
+                (unsigned long long)TS.Pins);
+  }
   if (JsonPath)
     writeJson(JsonPath, S, Ks.size(), Ts.size(), Native, Audit);
   return static_cast<int>(S.Failures);

@@ -29,9 +29,11 @@
 #include "bytecode/Bytecode.h"
 #include "codegen/NativeJit.h"
 #include "jit/CodeCache.h"
+#include "jit/Tiering.h"
 #include "kernels/Kernels.h"
 #include "obs/Obs.h"
 #include "target/Target.h"
+#include "vapor/Executor.h"
 #include "vapor/Pipeline.h"
 #include "vapor/Sweep.h"
 #include "vectorizer/Vectorizer.h"
@@ -49,8 +51,88 @@ namespace {
 
 int usage() {
   std::printf("usage: vapor-explain <kernel> [target] [--tier weak|strong] "
-              "[--native] [--elide on|off|audit] [--trace <path>]\n");
+              "[--native] [--elide on|off|audit] [--tiered] "
+              "[--trace <path>]\n");
   return 2;
+}
+
+const char *tierNameRaw(uint8_t T) {
+  return T == jit::tiering::NoTier ? "none"
+                                   : tierName(static_cast<ExecTier>(T));
+}
+
+/// The --tiered addendum: drive the kernel through the hotness engine run
+/// by run (draining the background queue between invocations so the
+/// timeline is deterministic) and print the engine's own transition
+/// record for the key -- the same KeyReport the tests assert on.
+void printTieredTimeline(const kernels::Kernel &K,
+                         const target::TargetDesc &T, jit::Tier Tier,
+                         bool Native, target::ElisionMode Elide) {
+  std::printf("\n== Tiered promotion timeline: %s ==\n", T.Name.c_str());
+  RunOptions O;
+  O.Target = T;
+  O.Tier = Tier;
+  O.UseNative = Native;
+  O.Elide = Elide;
+  O.Tiered = true;
+  O.TieringSalt = std::hash<std::string>{}("explain:" + T.Name);
+
+  jit::tiering::Config C = jit::tiering::engine().config();
+  std::printf("  thresholds: vectorized at %llu invocations, native at "
+              "%llu%s\n",
+              static_cast<unsigned long long>(C.HotVectorized),
+              static_cast<unsigned long long>(C.HotNative),
+              Native ? "" : " (native tier not requested)");
+  const ExecTier Best = Native ? ExecTier::Native : ExecTier::Vectorized;
+  const unsigned Runs = (Native ? C.HotNative : C.HotVectorized) + 4;
+  for (unsigned R = 1; R <= Runs; ++R) {
+    RunOutcome Out = runKernel(K, Flow::SplitVectorized, O);
+    std::printf("  run %2u: entered %-14s executed %-14s %llu cycles\n", R,
+                tierName(Out.EntryTier), tierName(Out.Tier),
+                static_cast<unsigned long long>(Out.Cycles));
+    jit::tiering::engine().drain(); // Promotions land before the next run.
+    if (Out.EntryTier == Best)
+      break;
+  }
+
+  uint64_t Key = Executor(K, O).tieringKey();
+  auto Rep = jit::tiering::engine().keyReport(Key);
+  if (!Rep) {
+    std::printf("  (no hotness row for this key)\n");
+    return;
+  }
+  std::printf("  hotness key %016llx: %llu invocations, ready tier %s, "
+              "pin %s%s\n",
+              static_cast<unsigned long long>(Rep->Key),
+              static_cast<unsigned long long>(Rep->Invocations),
+              tierNameRaw(Rep->ReadyTier), tierNameRaw(Rep->PinTier),
+              Rep->CompileInFlight ? ", compile in flight" : "");
+  for (const jit::tiering::TransitionEvent &Ev : Rep->Events) {
+    switch (Ev.What) {
+    case jit::tiering::TransitionEvent::Promoted:
+      std::printf("    at invocation %llu: promoted entry %s -> %s "
+                  "(queued %.0f us, compiled %.0f us off-thread)\n",
+                  static_cast<unsigned long long>(Ev.AtInvocation),
+                  tierNameRaw(Ev.FromTier), tierNameRaw(Ev.ToTier),
+                  Ev.QueueWaitMicros, Ev.CompileMicros);
+      break;
+    case jit::tiering::TransitionEvent::CompileFailed:
+      std::printf("    at invocation %llu: background compile FAILED; "
+                  "pinned at %s (queued %.0f us, compiled %.0f us)\n",
+                  static_cast<unsigned long long>(Ev.AtInvocation),
+                  tierNameRaw(Ev.ToTier), Ev.QueueWaitMicros,
+                  Ev.CompileMicros);
+      break;
+    case jit::tiering::TransitionEvent::Demoted:
+      std::printf("    at invocation %llu: run demoted; pinned at %s "
+                  "(was ready at %s)\n",
+                  static_cast<unsigned long long>(Ev.AtInvocation),
+                  tierNameRaw(Ev.ToTier), tierNameRaw(Ev.FromTier));
+      break;
+    }
+  }
+  if (Rep->Events.empty())
+    std::printf("    (no transitions recorded)\n");
 }
 
 /// The proof-carrying elision record: what the checker granted against
@@ -200,6 +282,7 @@ int main(int argc, char **argv) {
   std::string KernelName, TargetName;
   jit::Tier Tier = jit::Tier::Strong;
   bool Native = false;
+  bool Tiered = false;
   target::ElisionMode Elide = target::ElisionMode::On;
   const char *TracePath = nullptr;
   for (int I = 1; I < argc; ++I) {
@@ -227,6 +310,8 @@ int main(int argc, char **argv) {
       }
     } else if (!std::strcmp(argv[I], "--native"))
       Native = true;
+    else if (!std::strcmp(argv[I], "--tiered"))
+      Tiered = true;
     else if (!std::strcmp(argv[I], "--trace") && I + 1 < argc)
       TracePath = argv[++I];
     else if (argv[I][0] == '-') {
@@ -313,7 +398,10 @@ int main(int argc, char **argv) {
   }
 
   // --- Online stage + execution, per target. ---
-  for (const target::TargetDesc &T : Ts)
+  for (const target::TargetDesc &T : Ts) {
     explainOnTarget(*K, T, Tier, Native, Elide);
+    if (Tiered)
+      printTieredTimeline(*K, T, Tier, Native, Elide);
+  }
   return 0;
 }

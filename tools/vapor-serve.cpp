@@ -25,6 +25,7 @@ static int usage() {
       "usage: vapor-serve --socket <path> [--workers N] [--max-queue N]\n"
       "                   [--max-per-tenant N] [--retry-after-ms N]\n"
       "                   [--cache-mb N] [--default-fuel N] [--max-fuel N]\n"
+      "                   [--tiered]\n"
       "  --socket          AF_UNIX listen path (required)\n"
       "  --workers         execution workers (default: host concurrency)\n"
       "  --max-queue       admission bound before Overloaded (default 256)\n"
@@ -33,7 +34,11 @@ static int usage() {
       "  --cache-mb        code-cache budget in MiB, 0 = unbounded "
       "(default 64)\n"
       "  --default-fuel    dispatch budget for requests that ask for 0\n"
-      "  --max-fuel        clamp on client-supplied budgets, 0 = no clamp\n");
+      "  --max-fuel        clamp on client-supplied budgets, 0 = no clamp\n"
+      "  --tiered          tiered execution: cold requests run at the\n"
+      "                    forced-scalar JIT floor; hot modules are\n"
+      "                    promoted by background compiles on idle "
+      "workers\n");
   return 2;
 }
 
@@ -82,6 +87,8 @@ int main(int argc, char **argv) {
                parseU64(argv[I + 1], V)) {
       Opts.MaxDeadlineFuel = V;
       ++I;
+    } else if (!std::strcmp(argv[I], "--tiered")) {
+      Opts.Tiered = true;
     } else {
       std::printf("bad option or missing value at '%s'\n", argv[I]);
       return usage();
@@ -121,7 +128,8 @@ int main(int argc, char **argv) {
   std::printf("vapor-serve: drained. accepted=%llu completed=%llu "
               "deadlines=%llu rejected{overload=%llu quota=%llu dup=%llu "
               "malformed=%llu unavailable=%llu invalid=%llu} "
-              "cache{bytes=%llu evictions=%llu}\n",
+              "cache{bytes=%llu evictions=%llu} "
+              "tiering{promotions=%llu compiles=%llu/%llu pins=%llu}\n",
               (unsigned long long)S.Accepted, (unsigned long long)S.Completed,
               (unsigned long long)S.Deadlines,
               (unsigned long long)S.RejectedOverload,
@@ -131,6 +139,10 @@ int main(int argc, char **argv) {
               (unsigned long long)S.RejectedUnavailable,
               (unsigned long long)S.RejectedInvalid,
               (unsigned long long)S.CacheBytesLive,
-              (unsigned long long)S.CacheEvictions);
+              (unsigned long long)S.CacheEvictions,
+              (unsigned long long)S.TierPromotions,
+              (unsigned long long)S.TierCompilesOk,
+              (unsigned long long)(S.TierCompilesOk + S.TierCompilesFailed),
+              (unsigned long long)S.TierPins);
   return 0;
 }
