@@ -85,6 +85,17 @@ struct Cell {
   double NativeElideNsPerOp = 0;
   double ElideSpeedup = 0; ///< Native unelided / native elided wall time.
   uint32_t ElidedChecks = 0;
+  /// Lowering shape from NativeStats: how many machine ops were emitted
+  /// as inline host code, how many fell back to the interpreter-helper
+  /// shim, and how many inline vector ops used packed SSE encodings.
+  /// scripts/perf_gate.py --native-floor holds saturating-kernel cells
+  /// (Saturating = kernel carries the "saturating" feature) to packed
+  /// lowering on SIMD targets: the paddsb/psubusw family must stay
+  /// inline, not regress to an all-shim lowering.
+  uint64_t InlineOps = 0;
+  uint64_t HelperOps = 0;
+  uint64_t PackedOps = 0;
+  bool Saturating = false;
 };
 
 /// Rebuilds the elision plan the executor would grant for (K, T, Mem):
@@ -198,6 +209,12 @@ int main(int argc, char **argv) {
         fatalError("compileNative failed for " + K.Name + " on " + TName +
                    ": " + NU.status().str());
       std::shared_ptr<const codegen::NativeUnit> Unit = NU.take();
+      C.InlineOps = Unit->Stats.InlineOps;
+      C.HelperOps = Unit->Stats.HelperOps;
+      C.PackedOps = Unit->Stats.PackedOps;
+      for (const std::string &F : K.Features)
+        if (F == "saturating")
+          C.Saturating = true;
       codegen::NativeExec Exec(Unit, *Out.Mem);
       for (const auto &P : K.IntParams)
         Exec.setParamInt(P.first, P.second);
@@ -305,11 +322,17 @@ int main(int argc, char **argv) {
                   "\"ops_per_run\": %llu, \"vm_ns_per_op\": %.3f, "
                   "\"native_ns_per_op\": %.4f, \"speedup\": %.2f, "
                   "\"native_ns_per_op_elide\": %.4f, "
-                  "\"elide_speedup\": %.2f, \"elided_checks\": %u}%s\n",
+                  "\"elide_speedup\": %.2f, \"elided_checks\": %u, "
+                  "\"inline_ops\": %llu, \"helper_ops\": %llu, "
+                  "\"packed_ops\": %llu, \"saturating\": %s}%s\n",
                   C.Kernel.c_str(), C.Target.c_str(),
                   (unsigned long long)C.OpsPerRun, C.VmNsPerOp,
                   C.NativeNsPerOp, C.Speedup, C.NativeElideNsPerOp,
                   C.ElideSpeedup, C.ElidedChecks,
+                  (unsigned long long)C.InlineOps,
+                  (unsigned long long)C.HelperOps,
+                  (unsigned long long)C.PackedOps,
+                  C.Saturating ? "true" : "false",
                   I + 1 < Cells.size() ? "," : "");
     OS << Buf;
   }

@@ -163,10 +163,12 @@ int main(int argc, char **argv) {
   std::vector<kernels::Kernel> All = kernels::allKernels();
 
   // The measured basket: a streaming FP kernel, a compute-dense integer/
-  // FP transform, and a reduction (carried accumulator) kernel, on every
-  // target the repro models (the scalar row is the no-SIMD baseline the
-  // harmonic means are normalized against).
-  const char *KernelNames[] = {"saxpy_fp", "dct_s32fp", "sfir_fp"};
+  // FP transform, a reduction (carried accumulator) kernel, and a
+  // striped saturating-DP kernel (narrow-int lanes, sat-add/max recur-
+  // rence, horizontal-max epilogue), on every target the repro models
+  // (the scalar row is the no-SIMD baseline the harmonic means are
+  // normalized against).
+  const char *KernelNames[] = {"saxpy_fp", "dct_s32fp", "sfir_fp", "ssv_u8"};
   const std::pair<const char *, target::TargetDesc> Targets[] = {
       {"sse", target::sseTarget()},
       {"altivec", target::altivecTarget()},

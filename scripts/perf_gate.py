@@ -37,7 +37,14 @@ Three modes:
                        cell's native_ns_per_op must be at most
                        vm_ns_per_op * --native-floor-ratio (default 0.5,
                        i.e. native must at least halve the VM's fused
-                       dispatch cost). Reports written on hosts without
+                       dispatch cost). It also holds the saturating-kernel
+                       lowering floor: every cell whose kernel carries the
+                       "saturating" feature (the striped-DP SSV/Viterbi
+                       family) must report packed_ops >= 1 on SIMD
+                       targets -- the narrow packed encodings
+                       (paddsb/paddsw/paddusb/psubusb/pmaxub/pmaxsw ...)
+                       must stay inline, never regress to the all-shim
+                       helper path. Reports written on hosts without
                        the native tier carry "native_supported": false;
                        with --allow-missing those pass with a notice --
                        the executor demotes cleanly there, so there is
@@ -394,6 +401,35 @@ def main():
                   "coverage (ops falling back to ScalarOps shims)",
                   file=sys.stderr)
             sys.exit(1)
+        # Saturating-kernel lowering floor: every cell whose kernel
+        # carries the "saturating" feature must keep packed SSE lowering
+        # (paddsb/psubusw family) on SIMD targets. A report with no such
+        # cells came from a bench binary that lost the DP kernels -- that
+        # is corrupt input, not a pass.
+        sat_cells = [c for c in report.get("cells", [])
+                     if c.get("saturating") is True]
+        sat_simd = [c for c in sat_cells if c.get("target") != "scalar"]
+        if not sat_simd:
+            print(f"perf_gate: {path} has no saturating-kernel SIMD cells "
+                  f"(bench binary predates the striped-DP kernels, or the "
+                  f"kernel registry lost them)", file=sys.stderr)
+            sys.exit(2)
+        bad = []
+        for c in sat_simd:
+            packed = c.get("packed_ops")
+            if not isinstance(packed, int) or packed < 1:
+                bad.append(c)
+        if bad:
+            names = ", ".join(f"{c.get('kernel')}x{c.get('target')}"
+                              for c in bad)
+            print(f"perf_gate: FAIL: saturating-kernel cells regressed to "
+                  f"an all-shim lowering (packed_ops = 0): {names}; the "
+                  f"narrow packed encodings (paddsb/paddsw/paddusb/psubusb "
+                  f"...) must stay inline", file=sys.stderr)
+            sys.exit(1)
+        print(f"perf_gate: PASS: {len(sat_simd)} saturating-kernel SIMD "
+              f"cells keep packed inline lowering (min packed_ops "
+              f"{min(c['packed_ops'] for c in sat_simd)})")
         sys.exit(0)
 
     if args.obs_overhead:

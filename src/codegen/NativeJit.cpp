@@ -471,6 +471,67 @@ private:
     }
   }
 
+  /// SSE2 byte/word-wise packed forms that are lane-exact on canonical
+  /// 64-bit lane slots: the live value sits in byte/word 0 of each slot
+  /// and the zero high bytes are fixpoints of the operation (0 satop 0,
+  /// min/max(0, 0) == 0), so a 16-byte chunk processes 2 lanes at once
+  /// without ever mixing them. Restricted to the kinds whose ScalarOps
+  /// semantics the hardware form matches exactly: saturating ops on the
+  /// kind of their signedness, pmin/pmaxub on U8, pmin/pmaxsw on I16
+  /// (the only narrow min/max encodings legacy SSE2 has).
+  static bool narrowPackedOpc(Opcode Op, ScalarKind K, uint8_t &Opc) {
+    bool S = isSignedKind(K);
+    if (scalarSize(K) == 1) {
+      switch (Op) {
+      case Opcode::AddSatS:
+        Opc = 0xEC; // paddsb
+        return S;
+      case Opcode::SubSatS:
+        Opc = 0xE8; // psubsb
+        return S;
+      case Opcode::AddSatU:
+        Opc = 0xDC; // paddusb
+        return !S;
+      case Opcode::SubSatU:
+        Opc = 0xD8; // psubusb
+        return !S;
+      case Opcode::Min:
+        Opc = 0xDA; // pminub
+        return !S;
+      case Opcode::Max:
+        Opc = 0xDE; // pmaxub
+        return !S;
+      default:
+        return false;
+      }
+    }
+    if (scalarSize(K) == 2) {
+      switch (Op) {
+      case Opcode::AddSatS:
+        Opc = 0xED; // paddsw
+        return S;
+      case Opcode::SubSatS:
+        Opc = 0xE9; // psubsw
+        return S;
+      case Opcode::AddSatU:
+        Opc = 0xDD; // paddusw
+        return !S;
+      case Opcode::SubSatU:
+        Opc = 0xD9; // psubusw
+        return !S;
+      case Opcode::Min:
+        Opc = 0xEA; // pminsw
+        return S;
+      case Opcode::Max:
+        Opc = 0xEE; // pmaxsw
+        return S;
+      default:
+        return false;
+      }
+    }
+    return false;
+  }
+
   static bool inlinableBin(Opcode Op, ScalarKind K) {
     if (K == ScalarKind::None || K == ScalarKind::I1)
       return false; // ScalarOps' kind dispatch is subtle there: shim.
@@ -491,6 +552,13 @@ private:
     case Opcode::ShrL:
     case Opcode::ShrA:
       return true;
+    case Opcode::AddSatS:
+    case Opcode::AddSatU:
+    case Opcode::SubSatS:
+    case Opcode::SubSatU:
+      // Narrow kinds only (the verifier's contract); the clamp bounds
+      // then fit an imm and the 64-bit intermediate cannot overflow.
+      return scalarSize(K) <= 2;
     default:
       return false; // Div/Rem keep the VM's assert-on-zero via the shim.
     }
@@ -576,6 +644,30 @@ private:
       if (isSignedKind(K))
         maskTo(RAX, K); // ...re-encoded. Unsigned decode is nonneg: exact.
       break;
+    case Opcode::AddSatS:
+    case Opcode::AddSatU:
+    case Opcode::SubSatS:
+    case Opcode::SubSatU: {
+      // Decoded 64-bit add/sub, then a two-sided clamp to the kind's
+      // range. Narrow kinds only (inlinableBin), so the intermediate
+      // never overflows and both bounds fit a signed imm.
+      bool S = Sub == Opcode::AddSatS || Sub == Opcode::SubSatS;
+      loadDecoded(RAX, B, K);
+      loadDecoded(RCX, C, K);
+      if (Sub == Opcode::AddSatS || Sub == Opcode::AddSatU)
+        E.addRR64(RAX, RCX);
+      else
+        E.subRR64(RAX, RCX);
+      uint64_t Hi = S ? laneMask(K) >> 1 : laneMask(K);
+      E.movImm64(RCX, Hi);
+      E.cmpRR64(RAX, RCX);
+      E.cmov(CC::G, RAX, RCX);
+      E.movImm64(RCX, S ? ~Hi : 0); // Signed low bound is -(Hi+1).
+      E.cmpRR64(RAX, RCX);
+      E.cmov(CC::L, RAX, RCX);
+      E.andImm32(RAX, static_cast<uint32_t>(laneMask(K)));
+      break;
+    }
     default:
       vapor_unreachable("binLane on a non-inlinable opcode");
     }
@@ -758,6 +850,16 @@ private:
         StoreOpc = 0x7F;
         YmmOk = FX.AVX2; // 256-bit integer ALU needs AVX2, not AVX.
       }
+    } else if (isIntKind(K) && scalarSize(K) <= 2 &&
+               narrowPackedOpc(Sub, K, Opc)) {
+      // Saturating / narrow min-max forms, 2 canonical slots per chunk
+      // (see narrowPackedOpc for the lane-exactness argument).
+      Packed = true;
+      LoadPP = 2;
+      OpPP = 1;
+      LoadOpc = 0x6F;
+      StoreOpc = 0x7F;
+      YmmOk = FX.AVX2;
     }
     // Both operands go through unaligned loads and the arithmetic is
     // register-register: lane-file vectors start at arbitrary 8-byte

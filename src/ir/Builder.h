@@ -54,6 +54,18 @@ public:
   ValueId rem(ValueId A, ValueId B) { return binop(Opcode::Rem, A, B); }
   ValueId smin(ValueId A, ValueId B) { return binop(Opcode::Min, A, B); }
   ValueId smax(ValueId A, ValueId B) { return binop(Opcode::Max, A, B); }
+  ValueId addSatS(ValueId A, ValueId B) {
+    return binop(Opcode::AddSatS, A, B);
+  }
+  ValueId addSatU(ValueId A, ValueId B) {
+    return binop(Opcode::AddSatU, A, B);
+  }
+  ValueId subSatS(ValueId A, ValueId B) {
+    return binop(Opcode::SubSatS, A, B);
+  }
+  ValueId subSatU(ValueId A, ValueId B) {
+    return binop(Opcode::SubSatU, A, B);
+  }
   ValueId shl(ValueId A, ValueId B) { return binop(Opcode::Shl, A, B); }
   ValueId shra(ValueId A, ValueId B) { return binop(Opcode::ShrA, A, B); }
   ValueId shrl(ValueId A, ValueId B) { return binop(Opcode::ShrL, A, B); }

@@ -50,6 +50,14 @@ uint8_t opcodeFlags(Opcode Op);
 
 inline bool isIdiom(Opcode Op) { return opcodeFlags(Op) & OF_Idiom; }
 inline bool isBinArith(Opcode Op) { return opcodeFlags(Op) & OF_BinArith; }
+
+/// Saturating binops clamp to the element range instead of wrapping; they
+/// are restricted to the 1/2-byte integer kinds whose signedness matches
+/// the opcode suffix (checked by the IR verifier).
+inline bool isSaturatingOp(Opcode Op) {
+  return Op == Opcode::AddSatS || Op == Opcode::AddSatU ||
+         Op == Opcode::SubSatS || Op == Opcode::SubSatU;
+}
 inline bool isCompare(Opcode Op) { return opcodeFlags(Op) & OF_Cmp; }
 inline bool readsMemory(Opcode Op) { return opcodeFlags(Op) & OF_MemRead; }
 inline bool writesMemory(Opcode Op) { return opcodeFlags(Op) & OF_MemWrite; }

@@ -102,7 +102,28 @@ inline uint64_t applyBinop(Opcode Op, ScalarKind K, uint64_t A, uint64_t B) {
   }
   int64_t X = decodeInt(K, A), Y = decodeInt(K, B);
   int64_t R;
+  // Saturating range of kind K. Narrow kinds only (<= 2 bytes, verified),
+  // so the clamp bounds always fit int64 with room to spare and the
+  // unclamped sum/difference of two in-range values cannot overflow.
+  auto SignedClamp = [&](int64_t V) {
+    int64_t Hi = static_cast<int64_t>(laneMask(K) >> 1); // 2^(bits-1)-1
+    int64_t Lo = -Hi - 1;
+    return V < Lo ? Lo : (V > Hi ? Hi : V);
+  };
+  auto UnsignedClamp = [&](int64_t V) {
+    int64_t Hi = static_cast<int64_t>(laneMask(K)); // 2^bits - 1
+    return V < 0 ? 0 : (V > Hi ? Hi : V);
+  };
   switch (Op) {
+  case Opcode::AddSatS:
+    return encodeInt(K, SignedClamp(X + Y));
+  case Opcode::SubSatS:
+    return encodeInt(K, SignedClamp(X - Y));
+  case Opcode::AddSatU:
+    // Unsigned kinds zero-extend in decodeInt, so X, Y are in [0, 2^bits).
+    return encodeInt(K, UnsignedClamp(X + Y));
+  case Opcode::SubSatU:
+    return encodeInt(K, UnsignedClamp(X - Y));
   case Opcode::Add:
     R = static_cast<int64_t>(static_cast<uint64_t>(X) +
                              static_cast<uint64_t>(Y));

@@ -233,6 +233,16 @@ private:
       if (isCompare(I.Op) &&
           I.Ty != Type(ScalarKind::I1, TyOf(0).Vector))
         error(Where + ": comparison must produce i1");
+      if (isSaturatingOp(I.Op)) {
+        ScalarKind K = I.Ty.Elem;
+        bool Narrow = isIntKind(K) && scalarSize(K) <= 2;
+        bool WantSigned =
+            I.Op == Opcode::AddSatS || I.Op == Opcode::SubSatS;
+        if (!Narrow)
+          error(Where + ": saturating op on a non-narrow-int kind");
+        else if (isSignedKind(K) != WantSigned)
+          error(Where + ": saturating op signedness does not match kind");
+      }
       return;
     }
     switch (I.Op) {

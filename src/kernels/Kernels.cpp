@@ -466,6 +466,152 @@ Kernel saxpy(ScalarKind Kind, const std::string &Name) {
   return K;
 }
 
+//===--- Striped saturating-DP kernels (hmmer SSV / Viterbi filters) ------===//
+
+/// Stripe width of the striped-DP kernels, in elements. Chosen >= the
+/// widest evaluated VF (AVX: 32 x u8) so that every target tiles a
+/// stripe with whole vectors: the flat Q*W cell walk below visits the
+/// same memory order for every V, which is what makes the kernels
+/// VF-independent (golden-comparable) while still using the Farrar
+/// striped layout Q = max(2, ceil(M/W)).
+constexpr int64_t DpStripeW = 32;
+/// Model length M before striping; Q = max(2, ceil(M/W)) stripes.
+constexpr int64_t DpModelM = 100;
+/// Sequence rows walked by the outer loop.
+constexpr int64_t DpRows = 24;
+
+constexpr int64_t dpQ() {
+  int64_t Q = (DpModelM + DpStripeW - 1) / DpStripeW;
+  return Q < 2 ? 2 : Q;
+}
+
+/// Workload for the 16-bit DP kernels: the default fill's small values
+/// (|v| < 100) would never saturate a 16-bit lane, so scores span most
+/// of the kind's range instead.
+void wideDpFill(FillSink &Sink, const Function &F) {
+  SplitMix64 Rng(11);
+  for (uint32_t A = 0; A < F.Arrays.size(); ++A) {
+    const ArrayInfo &AI = F.Arrays[A];
+    if (AI.Name.rfind("__vt", 0) == 0)
+      continue; // Compiler scratch starts zeroed.
+    for (uint64_t I = 0; I < AI.NumElems; ++I) {
+      int64_t V = static_cast<int64_t>(Rng.nextBelow(60000));
+      Sink.pokeInt(A, I, isSignedKind(AI.Elem) ? V - 30000 : V);
+    }
+  }
+}
+
+/// Striped SSV-style filter (single-state): every row saturate-adds its
+/// striped scores into the running cells, drains with a saturating bias
+/// subtract, and collapses the row into a running best score through a
+/// max reduction (the ReducMax epilogue).
+///
+///   for t in [0, rows):
+///     for j in [0, qw):                  # qw = Q*W flat striped cells
+///       v     = addsat(dp[j], sc[t*qw + j])
+///       v     = subsat(v, bias)
+///       dp[j] = v
+///       m     = max(m, v)               # vectorized max reduction
+///     best[0] = max(best[0], m)
+Kernel ssvFilter(ScalarKind Kind, const std::string &Name) {
+  Kernel K;
+  K.Name = Name;
+  K.Suite = "kernel";
+  K.Features = {"saturating", "striped-dp", "reduction"};
+  K.ExternalArrays = {"sc"}; // Scores stream in from the host.
+  Function &F = K.Source;
+  F.Name = K.Name;
+  const int64_t QW = dpQ() * DpStripeW;
+  bool S = isSignedKind(Kind);
+  Opcode AddSat = S ? Opcode::AddSatS : Opcode::AddSatU;
+  Opcode SubSat = S ? Opcode::SubSatS : Opcode::SubSatU;
+  uint32_t Dp = addArr(F, "dp", Kind, QW + Slack);
+  uint32_t Sc = addArr(F, "sc", Kind, DpRows * QW + Slack);
+  uint32_t Best = addArr(F, "best", Kind, 4);
+  ValueId Rows = F.addParam("rows", Type::scalar(ScalarKind::I64));
+  ValueId QWv = F.addParam("qw", Type::scalar(ScalarKind::I64));
+  ValueId Bias = F.addParam("bias", Type::scalar(Kind));
+  IrBuilder B(F);
+  // Max identity: the kind's smallest value.
+  ValueId Ident = B.constInt(
+      Kind, S ? -(static_cast<int64_t>(1) << (scalarSize(Kind) * 8 - 1))
+              : 0);
+  auto LT = B.beginLoop(B.constIdx(0), Rows, B.constIdx(1));
+  ValueId RowBase = B.mul(LT.indVar(), QWv);
+  auto LJ = B.beginLoop(B.constIdx(0), QWv, B.constIdx(1));
+  ValueId M = B.addCarried(LJ, Ident);
+  ValueId V = B.binop(AddSat, B.load(Dp, LJ.indVar()),
+                      B.load(Sc, B.add(RowBase, LJ.indVar())));
+  V = B.binop(SubSat, V, Bias);
+  B.store(Dp, LJ.indVar(), V);
+  B.setCarriedNext(LJ, M, B.smax(M, V));
+  B.endLoop(LJ);
+  B.store(Best, B.constIdx(0),
+          B.smax(B.load(Best, B.constIdx(0)), B.carriedResult(LJ, M)));
+  B.endLoop(LT);
+  K.IntParams = {{"rows", DpRows}, {"qw", QW}, {"bias", 3}};
+  if (scalarSize(Kind) == 2)
+    K.Fill = wideDpFill;
+  seal(K);
+  return K;
+}
+
+/// Striped Viterbi-style filter (two-state): the row update takes the
+/// better of the match/delete cells before the saturating score add, and
+/// the delete cell decays by a saturating extension cost.
+///
+///   for t in [0, rows):
+///     for j in [0, qw):
+///       v      = addsat(max(dpM[j], dpD[j]), sc[t*qw + j])
+///       dpD[j] = subsat(v, ext)
+///       dpM[j] = v
+///       m      = max(m, v)
+///     best[0] = max(best[0], m)
+Kernel vitFilter(ScalarKind Kind, const std::string &Name) {
+  Kernel K;
+  K.Name = Name;
+  K.Suite = "kernel";
+  K.Features = {"saturating", "striped-dp", "reduction"};
+  K.ExternalArrays = {"sc"};
+  Function &F = K.Source;
+  F.Name = K.Name;
+  const int64_t QW = dpQ() * DpStripeW;
+  bool S = isSignedKind(Kind);
+  Opcode AddSat = S ? Opcode::AddSatS : Opcode::AddSatU;
+  Opcode SubSat = S ? Opcode::SubSatS : Opcode::SubSatU;
+  uint32_t DpM = addArr(F, "dpM", Kind, QW + Slack);
+  uint32_t DpD = addArr(F, "dpD", Kind, QW + Slack);
+  uint32_t Sc = addArr(F, "sc", Kind, DpRows * QW + Slack);
+  uint32_t Best = addArr(F, "best", Kind, 4);
+  ValueId Rows = F.addParam("rows", Type::scalar(ScalarKind::I64));
+  ValueId QWv = F.addParam("qw", Type::scalar(ScalarKind::I64));
+  ValueId Ext = F.addParam("ext", Type::scalar(Kind));
+  IrBuilder B(F);
+  ValueId Ident = B.constInt(
+      Kind, S ? -(static_cast<int64_t>(1) << (scalarSize(Kind) * 8 - 1))
+              : 0);
+  auto LT = B.beginLoop(B.constIdx(0), Rows, B.constIdx(1));
+  ValueId RowBase = B.mul(LT.indVar(), QWv);
+  auto LJ = B.beginLoop(B.constIdx(0), QWv, B.constIdx(1));
+  ValueId M = B.addCarried(LJ, Ident);
+  ValueId BestCell = B.smax(B.load(DpM, LJ.indVar()),
+                            B.load(DpD, LJ.indVar()));
+  ValueId V = B.binop(AddSat, BestCell,
+                      B.load(Sc, B.add(RowBase, LJ.indVar())));
+  B.store(DpD, LJ.indVar(), B.binop(SubSat, V, Ext));
+  B.store(DpM, LJ.indVar(), V);
+  B.setCarriedNext(LJ, M, B.smax(M, V));
+  B.endLoop(LJ);
+  B.store(Best, B.constIdx(0),
+          B.smax(B.load(Best, B.constIdx(0)), B.carriedResult(LJ, M)));
+  B.endLoop(LT);
+  K.IntParams = {{"rows", DpRows}, {"qw", QW}, {"ext", 7}};
+  if (scalarSize(Kind) == 2)
+    K.Fill = wideDpFill;
+  seal(K);
+  return K;
+}
+
 } // namespace
 
 std::vector<Kernel> kernels::table2Kernels() {
@@ -486,6 +632,10 @@ std::vector<Kernel> kernels::table2Kernels() {
   Ks.push_back(saxpy(ScalarKind::F32, "saxpy_fp"));
   Ks.push_back(dscal(ScalarKind::F64, "dscal_dp"));
   Ks.push_back(saxpy(ScalarKind::F64, "saxpy_dp"));
+  Ks.push_back(ssvFilter(ScalarKind::U8, "ssv_u8"));
+  Ks.push_back(ssvFilter(ScalarKind::I8, "ssv_s8"));
+  Ks.push_back(vitFilter(ScalarKind::I16, "vit_s16"));
+  Ks.push_back(vitFilter(ScalarKind::U16, "vit_u16"));
   return Ks;
 }
 

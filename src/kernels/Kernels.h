@@ -75,7 +75,12 @@ struct Kernel {
   }
 };
 
-/// Table 2 kernels, in the paper's order.
+/// Total registry size (table2Kernels + polybenchKernels). The sweep
+/// suites assert against this single constant so a kernel added to a
+/// builder below cannot silently miss a kernel x target matrix.
+inline constexpr size_t ExpectedKernelCount = 36;
+
+/// Table 2 kernels (paper order), then the striped saturating-DP family.
 std::vector<Kernel> table2Kernels();
 
 /// The Polybench subset evaluated in Fig. 6.

@@ -468,6 +468,12 @@ Status server::readFrame(int Fd, FrameKind &Kind,
 
 bool server::writeFrame(int Fd, FrameKind K,
                         const std::vector<uint8_t> &Payload) {
+  // Never emit a frame the peer's header check would reject: beyond the
+  // cap the u32 length field may also have truncated. Failing here reads
+  // as a dead peer to the caller, which tears the connection down
+  // instead of desynchronizing the stream.
+  if (Payload.size() > MaxPayload)
+    return false;
   std::vector<uint8_t> F = frame(K, Payload);
   return writeAll(Fd, F.data(), F.size());
 }

@@ -392,24 +392,43 @@ struct Server::Impl {
           DL.add(1);
         }
       } else if (Out.Mem) {
+        // Every lane costs 8 bytes on the wire whatever the element
+        // kind, so narrow-element modules inflate when dumped (an I8
+        // array ships at 8x its memory size). Size the frame before
+        // building it: an over-cap RunResp would fail the peer's
+        // header length check and desynchronize the stream.
+        uint64_t Wire = 64 + Trace.size();
         for (uint32_t A = 0; A < Out.Mem->arrayCount(); ++A) {
           const ir::ArrayInfo &AI = Out.Mem->info(A);
-          ArrayDump D;
-          D.Name = AI.Name;
-          D.IsFP = ir::isFloatKind(AI.Elem) ? 1 : 0;
-          D.Lanes.reserve(AI.NumElems);
-          for (uint64_t E = 0; E < AI.NumElems; ++E) {
-            if (D.IsFP) {
-              double V = Out.Mem->peekFP(A, E);
-              uint64_t Bits;
-              std::memcpy(&Bits, &V, sizeof(Bits));
-              D.Lanes.push_back(Bits);
-            } else {
-              D.Lanes.push_back(
-                  static_cast<uint64_t>(Out.Mem->peekInt(A, E)));
+          Wire += 9 + AI.Name.size() + 8 * AI.NumElems;
+        }
+        if (Wire > MaxPayload) {
+          Resp.Code = static_cast<uint8_t>(Code::InvalidArgument);
+          Resp.Layer = static_cast<uint8_t>(status::Layer::Server);
+          Resp.Message = "result arrays need " + std::to_string(Wire) +
+                         " wire bytes, over the " +
+                         std::to_string(MaxPayload) +
+                         "-byte response cap";
+        } else {
+          for (uint32_t A = 0; A < Out.Mem->arrayCount(); ++A) {
+            const ir::ArrayInfo &AI = Out.Mem->info(A);
+            ArrayDump D;
+            D.Name = AI.Name;
+            D.IsFP = ir::isFloatKind(AI.Elem) ? 1 : 0;
+            D.Lanes.reserve(AI.NumElems);
+            for (uint64_t E = 0; E < AI.NumElems; ++E) {
+              if (D.IsFP) {
+                double V = Out.Mem->peekFP(A, E);
+                uint64_t Bits;
+                std::memcpy(&Bits, &V, sizeof(Bits));
+                D.Lanes.push_back(Bits);
+              } else {
+                D.Lanes.push_back(
+                    static_cast<uint64_t>(Out.Mem->peekInt(A, E)));
+              }
             }
+            Resp.Arrays.push_back(std::move(D));
           }
-          Resp.Arrays.push_back(std::move(D));
         }
       }
 

@@ -90,6 +90,8 @@ TargetDesc target::scalarTarget() {
   // baselines (x86-64, PPC) have 16+ GPRs to hold it.
   T.ScalarRegs = 16;
   T.VectorRegs = 0;
+  // No native saturating ALU: every lane pays an add + two-sided clamp.
+  T.Costs.SatOp = 3;
   return T;
 }
 
@@ -117,6 +119,11 @@ unsigned target::instrCost(const TargetDesc &T, const MInstr &I,
       return C.DivOp;
     case Opcode::Convert:
       return C.ConvertOp;
+    case Opcode::AddSatS:
+    case Opcode::AddSatU:
+    case Opcode::SubSatS:
+    case Opcode::SubSatU:
+      return C.SatOp;
     default:
       break;
     }

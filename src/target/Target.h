@@ -42,6 +42,8 @@ struct CostTable {
   unsigned RegOp = 1;      ///< ldimm/ldfimm/mov/loadbase.
   unsigned AddrOp = 1;     ///< Unfolded address arithmetic.
   unsigned IntOp = 1;      ///< Integer ALU, compares, selects.
+  unsigned SatOp = 1;      ///< Saturating narrow-int add/sub (SIMD units
+                           ///< have native forms; scalar clamps cost more).
   unsigned FpOp = 3;       ///< FP add/sub/mul (SIMD or FPU unit).
   unsigned X87Op = 9;      ///< Scalar FP on the x87 stack (weak tier).
   unsigned DivOp = 12;     ///< Divide/remainder/sqrt, any unit.

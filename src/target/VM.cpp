@@ -1204,6 +1204,10 @@ struct VMDecoder {
       BINOP_CASE(Shl)
       BINOP_CASE(ShrL)
       BINOP_CASE(ShrA)
+      BINOP_CASE(AddSatS)
+      BINOP_CASE(AddSatU)
+      BINOP_CASE(SubSatS)
+      BINOP_CASE(SubSatU)
 #undef BINOP_CASE
     default:
       vapor_unreachable("bad ALU binop");
@@ -1343,6 +1347,10 @@ struct VMFuser {
     case Opcode::Mul:
     case Opcode::Min:
     case Opcode::Max:
+    case Opcode::AddSatS:
+    case Opcode::AddSatU:
+    case Opcode::SubSatS:
+    case Opcode::SubSatU:
       return true;
     default:
       return false;
@@ -1469,6 +1477,14 @@ struct VMFuser {
     return PICK<Opcode::Min>(__VA_ARGS__);                                \
   case Opcode::Max:                                                       \
     return PICK<Opcode::Max>(__VA_ARGS__);                                \
+  case Opcode::AddSatS:                                                   \
+    return PICK<Opcode::AddSatS>(__VA_ARGS__);                            \
+  case Opcode::AddSatU:                                                   \
+    return PICK<Opcode::AddSatU>(__VA_ARGS__);                            \
+  case Opcode::SubSatS:                                                   \
+    return PICK<Opcode::SubSatS>(__VA_ARGS__);                            \
+  case Opcode::SubSatU:                                                   \
+    return PICK<Opcode::SubSatU>(__VA_ARGS__);                            \
   default:                                                                \
     return nullptr;                                                       \
   }
@@ -1507,6 +1523,14 @@ struct VMFuser {
       return pickBinBinK<S1, Opcode::Min>(K);
     case Opcode::Max:
       return pickBinBinK<S1, Opcode::Max>(K);
+    case Opcode::AddSatS:
+      return pickBinBinK<S1, Opcode::AddSatS>(K);
+    case Opcode::AddSatU:
+      return pickBinBinK<S1, Opcode::AddSatU>(K);
+    case Opcode::SubSatS:
+      return pickBinBinK<S1, Opcode::SubSatS>(K);
+    case Opcode::SubSatU:
+      return pickBinBinK<S1, Opcode::SubSatU>(K);
     default:
       return nullptr;
     }

@@ -102,6 +102,9 @@ struct LoopPlan {
   /// Dependence-distance hint: all carried dependences have |distance|
   /// >= MaxSafeVF >= 2 and the online compiler must keep VF <= it.
   int64_t MaxSafeVF = 0;
+  /// Saturating narrow-int ops classified as vector values (the
+  /// striped-DP idiom signature; surfaced in the loop's decision record).
+  uint32_t SatOps = 0;
 };
 
 /// Element kinds eligible as vector data. I64/U64 are excluded: index
@@ -291,6 +294,9 @@ private:
     Report.Peeled = Plan.Peel;
     Report.MaxSafeVF = Plan.MaxSafeVF;
     Report.Reductions = static_cast<uint32_t>(Plan.Reds.size());
+    for (const RedPlan &RP : Plan.Reds)
+      Report.MaxReductions += RP.Info.Kind == ReductionKind::Max;
+    Report.SatOps = Plan.SatOps;
     Report.MinElemBytes =
         Plan.MinKind == ScalarKind::None ? 0 : scalarSize(Plan.MinKind);
   }
@@ -381,6 +387,12 @@ private:
       }
       // Opcode restrictions for vector emission.
       switch (I.Op) {
+      case Opcode::AddSatS:
+      case Opcode::AddSatU:
+      case Opcode::SubSatS:
+      case Opcode::SubSatU:
+        ++P.SatOps;
+        break;
       case Opcode::Rem:
         return Fail("vector integer remainder is not supported");
       case Opcode::Div:
@@ -522,25 +534,24 @@ private:
     }
 
     // Versioning: needed when the alignment hints depend on runtime base
-    // alignment (some accessed array has unknown base alignment).
+    // alignment (some hinted array has unknown base alignment). Only
+    // arrays whose accesses carry a useful hint go into the guard: an
+    // access whose misalignment stays symbolic (nulled hint, e.g. a
+    // striped-DP row at a runtime offset) is emitted through the
+    // realignment chain in both versions, so guarding its base would add
+    // a runtime check that no downstream obligation consumes.
     if (AlignOpts) {
-      std::set<uint32_t> Arrays;
+      std::set<uint32_t> HintedArrays;
+      for (const auto &[InstrIdx, AP] : P.Access)
+        if (AP.Hint.Mod != 0 || AP.K == AccessPlan::Kind::Strided)
+          HintedArrays.insert(Src.Instrs[InstrIdx].Array);
       bool AnyUnknownBase = false;
-      for (const auto &[InstrIdx, AP] : P.Access) {
-        (void)AP;
-        uint32_t Arr = Src.Instrs[InstrIdx].Array;
-        Arrays.insert(Arr);
+      for (uint32_t Arr : HintedArrays)
         if (Src.Arrays[Arr].BaseAlign < AlignModBytes)
           AnyUnknownBase = true;
-      }
-      bool AnyUsefulHint = false;
-      for (const auto &[InstrIdx, AP] : P.Access) {
-        (void)InstrIdx;
-        AnyUsefulHint |= AP.Hint.Mod != 0;
-      }
-      if (AnyUnknownBase && AnyUsefulHint) {
+      if (AnyUnknownBase) {
         P.Versioned = true;
-        P.GuardArrays.assign(Arrays.begin(), Arrays.end());
+        P.GuardArrays.assign(HintedArrays.begin(), HintedArrays.end());
       }
       // Peeling (fall-back path): single store array with one constant
       // offset class.
@@ -1587,6 +1598,9 @@ Result vectorizer::vectorize(const Function &Src, const Options &Opt) {
          {"peeled", obs::argStr(LR.Peeled)},
          {"max_safe_vf", obs::argStr(LR.MaxSafeVF)},
          {"reductions", obs::argStr(static_cast<uint64_t>(LR.Reductions))},
+         {"max_reductions",
+          obs::argStr(static_cast<uint64_t>(LR.MaxReductions))},
+         {"sat_ops", obs::argStr(static_cast<uint64_t>(LR.SatOps))},
          {"min_elem_bytes",
           obs::argStr(static_cast<uint64_t>(LR.MinElemBytes))}});
   }

@@ -69,6 +69,9 @@ struct LoopReport {
   bool Peeled = false;       ///< Fall-back path peels to align the store.
   int64_t MaxSafeVF = 0;     ///< Dependence-distance VF cap (0 = none).
   uint32_t Reductions = 0;   ///< Carried reductions vectorized.
+  uint32_t MaxReductions = 0; ///< Of those, horizontal-max collapses
+                              ///< (the striped-DP epilogue).
+  uint32_t SatOps = 0;       ///< Saturating narrow-int ops vectorized.
   /// Smallest vector element size in bytes. The split VF is symbolic;
   /// each target resolves it to VSBytes / MinElemBytes (jit::loopVF).
   unsigned MinElemBytes = 0;

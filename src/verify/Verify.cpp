@@ -538,7 +538,7 @@ private:
     // until a collapsing idiom; the combiner family must agree with it.
     std::set<ValueId> Visited{CV->Result};
     std::deque<ValueId> Work{CV->Result};
-    bool SawAdd = false, SawMin = false, SawMax = false;
+    bool SawAdd = false, SawMin = false, SawMax = false, SawSat = false;
     bool Reached = false, Mismatch = false;
     while (!Work.empty()) {
       ValueId V = Work.front();
@@ -551,6 +551,16 @@ private:
         switch (UI.Op) {
         case Opcode::Add:
           SawAdd = true;
+          if (UI.hasResult() && Visited.insert(UI.Result).second)
+            Work.push_back(UI.Result);
+          break;
+        case Opcode::AddSatS:
+        case Opcode::AddSatU:
+        case Opcode::SubSatS:
+        case Opcode::SubSatU:
+          // Saturating arithmetic is not associative, so it can never
+          // legally combine partial accumulators, whatever the collapse.
+          SawSat = true;
           if (UI.hasResult() && Visited.insert(UI.Result).second)
             Work.push_back(UI.Result);
           break;
@@ -586,10 +596,12 @@ private:
       diag(Check::IdiomChains, Severity::Warning, "", Idx,
            "init_reduc accumulator is never collapsed by a reduc_* or "
            "dot_product idiom");
-    else if (Mismatch)
+    else if (Mismatch || SawSat)
       diag(Check::IdiomChains, Severity::Warning, "", Idx,
-           "part-combining operations disagree with the final reduction "
-           "idiom");
+           SawSat ? "saturating op combines reduction parts (saturating "
+                    "arithmetic is not associative)"
+                  : "part-combining operations disagree with the final "
+                    "reduction idiom");
   }
 
   void checkWidenPair(uint32_t Idx, const Instr &I, Opcode Partner) {

@@ -41,7 +41,7 @@ namespace {
 /// a grown kernel set or target registry widens the sweep instead of
 /// silently shrinking it.
 TEST(FusionMatrix, SweepShape) {
-  EXPECT_EQ(kernels::allKernels().size(), 32u);
+  EXPECT_EQ(kernels::allKernels().size(), kernels::ExpectedKernelCount);
   EXPECT_EQ(target::allTargets().size(), 5u);
 }
 

@@ -13,12 +13,14 @@
 //===----------------------------------------------------------------------===//
 
 #include "bytecode/Bytecode.h"
+#include "codegen/NativeJit.h"
 #include "ir/Builder.h"
 #include "ir/Interp.h"
 #include "ir/Verifier.h"
 #include "jit/Jit.h"
 #include "support/Support.h"
 #include "target/VM.h"
+#include "vapor/Pipeline.h"
 #include "vectorizer/Vectorizer.h"
 
 #include <gtest/gtest.h>
@@ -249,5 +251,114 @@ TEST_P(PipelineFuzzTest, RandomKernelCorrectOnEveryTarget) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PipelineFuzzTest, ::testing::Range(0, 16));
+
+//===--- Narrow-int boundary semantics -----------------------------------------//
+//
+// Every narrow-int (I8/U8/I16/U16) binop, fed the full cross product of
+// its kind's boundary operands (min, max, -1/0/1, the sign-flip edge),
+// must produce identical results from all three executors: the golden
+// interpreter, the cycle-model VM on every target, and the native x86-64
+// tier. ScalarOps.h is the single semantics source; this pins the VM
+// handler table and the native lane/packed encodings to it.
+
+std::vector<int64_t> boundaryValues(ScalarKind K) {
+  switch (K) {
+  case ScalarKind::I8:
+    return {-128, -127, -64, -1, 0, 1, 63, 126, 127};
+  case ScalarKind::U8:
+    return {0, 1, 63, 127, 128, 129, 254, 255};
+  case ScalarKind::I16:
+    return {-32768, -32767, -129, -1, 0, 1, 127, 32766, 32767};
+  case ScalarKind::U16:
+    return {0, 1, 255, 32767, 32768, 65534, 65535};
+  default:
+    return {};
+  }
+}
+
+std::vector<Opcode> boundaryOps(ScalarKind K) {
+  std::vector<Opcode> Ops = {Opcode::Add, Opcode::Sub, Opcode::Mul,
+                             Opcode::Min, Opcode::Max, Opcode::And,
+                             Opcode::Or,  Opcode::Xor, Opcode::Shl,
+                             Opcode::ShrL, Opcode::ShrA};
+  if (isSignedKind(K)) {
+    Ops.push_back(Opcode::AddSatS);
+    Ops.push_back(Opcode::SubSatS);
+  } else {
+    Ops.push_back(Opcode::AddSatU);
+    Ops.push_back(Opcode::SubSatU);
+  }
+  return Ops;
+}
+
+/// o[i] = a[i] op b[i] over the boundary cross product, as a regular
+/// scalar-source kernel so runKernel drives the full split pipeline.
+kernels::Kernel boundaryKernel(ScalarKind K, Opcode Op) {
+  std::vector<int64_t> Vals = boundaryValues(K);
+  size_t N = Vals.size() * Vals.size();
+  kernels::Kernel Kn;
+  Kn.Name = std::string("nb_") + opcodeMnemonic(Op) + "_" +
+            scalarKindName(K);
+  Kn.Suite = "property";
+  Function F(Kn.Name);
+  uint32_t A = F.addArray("a", K, N, scalarSize(K));
+  uint32_t Bd = F.addArray("b", K, N, scalarSize(K));
+  uint32_t O = F.addArray("o", K, N, scalarSize(K));
+  ValueId NP = F.addParam("n", Type::scalar(ScalarKind::I64));
+  IrBuilder B(F);
+  auto L = B.beginLoop(B.constIdx(0), NP, B.constIdx(1));
+  B.store(O, L.indVar(),
+          B.binop(Op, B.load(A, L.indVar()), B.load(Bd, L.indVar())));
+  B.endLoop(L);
+  verifyOrDie(F);
+  Kn.Source = std::move(F);
+  Kn.IntParams["n"] = static_cast<int64_t>(N);
+  Kn.Fill = [Vals](kernels::FillSink &S, const Function &) {
+    uint64_t I = 0;
+    for (int64_t X : Vals)
+      for (int64_t Y : Vals) {
+        S.pokeInt(0, I, X);
+        S.pokeInt(1, I, Y);
+        ++I;
+      }
+  };
+  return Kn;
+}
+
+class NarrowIntBoundaryTest
+    : public ::testing::TestWithParam<ScalarKind> {};
+
+TEST_P(NarrowIntBoundaryTest, AllExecutorsAgreeOnBoundaryOperands) {
+  ScalarKind K = GetParam();
+  for (Opcode Op : boundaryOps(K)) {
+    kernels::Kernel Kn = boundaryKernel(K, Op);
+    for (const TargetDesc &T : allTargets()) {
+      RunOptions O;
+      O.Target = T;
+      RunOutcome Vm = runKernel(Kn, Flow::SplitVectorized, O);
+      std::string Err;
+      EXPECT_TRUE(checkAgainstGolden(Kn, Vm, Err))
+          << Kn.Name << " on " << T.Name << " (VM): " << Err;
+
+      if (!codegen::supported())
+        continue;
+      O.UseNative = true;
+      RunOutcome Native = runKernel(Kn, Flow::SplitVectorized, O);
+      EXPECT_EQ(Native.Tier, ExecTier::Native)
+          << Kn.Name << " on " << T.Name << " demoted: "
+          << (Native.Demotions.empty() ? "?" : Native.Demotions[0].str());
+      EXPECT_TRUE(checkAgainstGolden(Kn, Native, Err))
+          << Kn.Name << " on " << T.Name << " (native): " << Err;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(NarrowKinds, NarrowIntBoundaryTest,
+                         ::testing::Values(ScalarKind::I8, ScalarKind::U8,
+                                           ScalarKind::I16,
+                                           ScalarKind::U16),
+                         [](const auto &Info) {
+                           return std::string(scalarKindName(Info.param));
+                         });
 
 } // namespace

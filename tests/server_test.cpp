@@ -19,6 +19,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "bytecode/Bytecode.h"
+#include "ir/Builder.h"
 #include "kernels/Kernels.h"
 #include "server/Protocol.h"
 #include "server/Server.h"
@@ -369,6 +370,44 @@ TEST_F(ServerTest, ValidRunSucceedsWithArrays) {
   EXPECT_TRUE(eventually([&] {
     return Srv->statsSnapshot().Completed == 1;
   }));
+}
+
+TEST_F(ServerTest, NarrowElementOversizedResponseIsStructuredNotFatal) {
+  // Lanes ship as u64 whatever the element kind, so a u8 array inflates
+  // 8x on the wire: ~1.2M elements fit comfortably in memory (1.2 MB)
+  // but need ~9.6 MB in a RunResp, over the 8 MiB frame cap. The server
+  // must answer with a structured error, not emit a frame the client's
+  // header check would reject (which would desynchronize the stream).
+  ir::Function F("wide_u8");
+  F.IsSplitLayer = true;
+  uint32_t O = F.addArray("o", ir::ScalarKind::U8, 1200000, 1);
+  ir::IrBuilder B(F);
+  B.store(O, B.constIdx(0), B.constInt(ir::ScalarKind::U8, 7));
+
+  int Fd = connectTo(Path);
+  ASSERT_GE(Fd, 0);
+  server::RunRequest Req;
+  Req.RequestId = 11;
+  Req.Tenant = "t0";
+  Req.Name = "wide_u8";
+  Req.Bytecode = bytecode::encode(F);
+  bool Ok = false;
+  server::RunResponse Resp = roundTrip(Fd, Req, Ok);
+  ASSERT_TRUE(Ok);
+  EXPECT_EQ(Resp.Code,
+            static_cast<uint8_t>(status::Code::InvalidArgument))
+      << Resp.Message;
+  EXPECT_EQ(Resp.Layer, static_cast<uint8_t>(status::Layer::Server));
+  EXPECT_TRUE(Resp.Arrays.empty());
+
+  // The connection survives and keeps serving.
+  ASSERT_TRUE(server::writeFrame(Fd, FrameKind::Ping, {1, 2}));
+  FrameKind Kind;
+  std::vector<uint8_t> Payload;
+  bool CleanEof = false;
+  ASSERT_TRUE(server::readFrame(Fd, Kind, Payload, CleanEof).ok());
+  EXPECT_EQ(Kind, FrameKind::Pong);
+  ::close(Fd);
 }
 
 TEST_F(ServerTest, GarbageMagicTearsDownConnectionNotServer) {

@@ -199,6 +199,14 @@ void printLoopDecision(const vectorizer::LoopReport &L) {
               L.Peeled ? "yes (fall-back peels to align the store)" : "no");
   if (L.Reductions)
     std::printf("    reductions vectorized: %u\n", L.Reductions);
+  if (L.MaxReductions)
+    std::printf("    horizontal-max epilogues: %u (striped-DP reduc_max "
+                "collapse)\n",
+                L.MaxReductions);
+  if (L.SatOps)
+    std::printf("    saturating ops vectorized: %u (clamping lanes, "
+                "never combined across partial accumulators)\n",
+                L.SatOps);
   if (L.MaxSafeVF)
     std::printf("    dependence limit: VF <= %lld (maxvf hint)\n",
                 static_cast<long long>(L.MaxSafeVF));
